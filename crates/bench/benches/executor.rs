@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the execution substrate: selection
+//! bitmap throughput and join-count throughput (the labeling oracle's
+//! hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qfe_core::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+use qfe_core::query::{ColumnRef, JoinPredicate};
+use qfe_core::{ColumnId, Query, TableId};
+use qfe_data::imdb::{generate_imdb, ImdbConfig};
+use qfe_data::table::Table;
+use qfe_data::{Column, Database};
+use qfe_exec::eval::selection_bitmap;
+use qfe_exec::true_cardinality;
+
+fn bench_selection(c: &mut Criterion) {
+    let table = Table::new(
+        "t",
+        vec![(
+            "a".into(),
+            Column::Int((0..500_000).map(|i| i % 1000).collect()),
+        )],
+    );
+    let cp = CompoundPredicate::conjunction(
+        ColumnRef::new(TableId(0), ColumnId(0)),
+        vec![
+            SimplePredicate::new(CmpOp::Ge, 100),
+            SimplePredicate::new(CmpOp::Le, 600),
+            SimplePredicate::new(CmpOp::Ne, 250),
+        ],
+    );
+    c.bench_function("selection_500k_rows", |b| {
+        b.iter(|| std::hint::black_box(selection_bitmap(&table, &[&cp]).count()))
+    });
+}
+
+fn bench_join_count(c: &mut Criterion) {
+    let db: Database = generate_imdb(&ImdbConfig {
+        titles: 10_000,
+        seed: 2,
+    });
+    let title = db.table_id("title").unwrap();
+    let ci = db.table_id("cast_info").unwrap();
+    let mk = db.table_id("movie_keyword").unwrap();
+    let title_id = ColumnId(0);
+    let q = Query {
+        tables: vec![title, ci, mk],
+        joins: vec![
+            JoinPredicate {
+                left: ColumnRef::new(ci, ColumnId(0)),
+                right: ColumnRef::new(title, title_id),
+            },
+            JoinPredicate {
+                left: ColumnRef::new(mk, ColumnId(0)),
+                right: ColumnRef::new(title, title_id),
+            },
+        ],
+        predicates: vec![CompoundPredicate::conjunction(
+            ColumnRef::new(title, ColumnId(2)),
+            vec![SimplePredicate::new(CmpOp::Ge, 2000)],
+        )],
+    };
+    let mut group = c.benchmark_group("join_count");
+    group.sample_size(20);
+    group.bench_function("three_way_star", |b| {
+        b.iter(|| std::hint::black_box(true_cardinality(&db, &q).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_join_count);
+criterion_main!(benches);

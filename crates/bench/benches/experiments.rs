@@ -1,0 +1,108 @@
+//! The full experiment suite: regenerates every table and figure of the
+//! paper in one run (`cargo bench -p qfe-bench --bench experiments`).
+//!
+//! This is a custom `harness = false` bench target, not a criterion
+//! micro-benchmark: the "benchmark" here is the paper's evaluation itself.
+//! Scale via `QFE_SCALE=smoke|small|full` (default `small`).
+
+use std::time::Instant;
+
+use qfe_bench::envs::{ForestEnv, ImdbEnv};
+use qfe_bench::{experiments, Scale};
+
+fn main() {
+    // `cargo bench` passes --bench and filter args; a filter selects a
+    // subset of experiments by substring.
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let selected = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f));
+
+    let scale = Scale::from_env();
+    println!(
+        "qfe experiment suite — scale '{}' (set QFE_SCALE=smoke|small|full)",
+        scale.label
+    );
+    let total = Instant::now();
+
+    let forest_names = [
+        "fig1",
+        "fig2",
+        "fig3",
+        "tab3",
+        "fig4",
+        "fig5",
+        "tab6",
+        "tab7",
+        "sec552",
+        "sec6",
+        "ablations",
+    ];
+    let imdb_names = ["tab1", "tab2", "tab4", "tab5"];
+
+    let need_forest = forest_names.iter().any(|n| selected(n));
+    let need_imdb = imdb_names.iter().any(|n| selected(n));
+
+    let forest = need_forest.then(|| {
+        let t = Instant::now();
+        let env = ForestEnv::build(&scale);
+        println!(
+            "[setup] forest env: {} rows, {}+{} conj, {}+{} mixed queries ({:.1}s)",
+            scale.forest_rows,
+            env.conj_train.len(),
+            env.conj_test.len(),
+            env.mixed_train.len(),
+            env.mixed_test.len(),
+            t.elapsed().as_secs_f64()
+        );
+        env
+    });
+    let imdb = need_imdb.then(|| {
+        let t = Instant::now();
+        let env = ImdbEnv::build(&scale);
+        println!(
+            "[setup] imdb env: {} titles, {} train joins, {} suite queries ({:.1}s)",
+            scale.imdb_titles,
+            env.train.len(),
+            env.suite.len(),
+            t.elapsed().as_secs_f64()
+        );
+        env
+    });
+
+    macro_rules! run {
+        ($name:literal, $module:ident, $env:expr) => {
+            if selected($name) {
+                let t = Instant::now();
+                let _ = experiments::$module::run($env, &scale);
+                println!("[{}] done in {:.1}s", $name, t.elapsed().as_secs_f64());
+            }
+        };
+    }
+
+    if let Some(env) = &forest {
+        run!("fig1", fig1, env);
+        run!("fig2", fig2, env);
+        run!("fig3", fig3, env);
+        run!("tab3", tab3, env);
+        run!("fig4", fig4, env);
+        run!("fig5", fig5, env);
+        run!("tab6", tab6, env);
+        run!("tab7", tab7, env);
+        run!("sec552", sec552, env);
+        run!("sec6", sec6, env);
+        run!("ablations", ablations, env);
+    }
+    if let Some(env) = &imdb {
+        run!("tab1", tab1, env);
+        run!("tab2", tab2, env);
+        run!("tab4", tab4, env);
+        run!("tab5", tab5, env);
+    }
+
+    println!(
+        "\nexperiment suite finished in {:.1}s",
+        total.elapsed().as_secs_f64()
+    );
+}

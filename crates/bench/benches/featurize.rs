@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark of featurization latency per QFT — the
+//! precise version of the paper's Table 7 (µs per query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qfe_bench::envs::ForestEnv;
+use qfe_bench::trainers::{make_featurizer, QftKind};
+use qfe_bench::Scale;
+use qfe_core::featurize::AttributeSpace;
+use qfe_core::TableId;
+
+fn bench_featurization(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let env = ForestEnv::build(&scale);
+    let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+    let mut group = c.benchmark_group("featurize");
+    for qft in QftKind::ALL {
+        let featurizer = make_featurizer(qft, space.clone(), 64, true);
+        let queries = match qft {
+            QftKind::Complex => &env.mixed_test.queries,
+            _ => &env.conj_test.queries,
+        };
+        group.bench_function(qft.label(), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(featurizer.featurize(q).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_featurization);
+criterion_main!(benches);

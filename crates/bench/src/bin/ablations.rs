@@ -1,0 +1,9 @@
+//! Standalone runner for the ablations experiment (see `qfe_bench::experiments::ablations`).
+//! Scale via `QFE_SCALE=smoke|small|full`.
+
+fn main() {
+    let scale = qfe_bench::Scale::from_env();
+    eprintln!("building forest environment at scale '{}'…", scale.label);
+    let env = qfe_bench::envs::ForestEnv::build(&scale);
+    qfe_bench::experiments::ablations::run(&env, &scale);
+}

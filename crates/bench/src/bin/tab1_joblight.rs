@@ -1,0 +1,9 @@
+//! Standalone runner for the tab1 experiment (see `qfe_bench::experiments::tab1`).
+//! Scale via `QFE_SCALE=smoke|small|full`.
+
+fn main() {
+    let scale = qfe_bench::Scale::from_env();
+    eprintln!("building IMDB environment at scale '{}'…", scale.label);
+    let env = qfe_bench::envs::ImdbEnv::build(&scale);
+    qfe_bench::experiments::tab1::run(&env, &scale);
+}

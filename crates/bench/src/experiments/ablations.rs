@@ -1,0 +1,241 @@
+//! Ablation studies for the design choices DESIGN.md calls out (these go
+//! beyond the paper's own tables):
+//!
+//! 1. **Ternary vs binary bucket marks** — are the `½` entries of
+//!    Algorithm 1 worth anything over a binary superset encoding?
+//! 2. **Label transform** — regressing on `log(1+card)` vs raw counts.
+//! 3. **GBDT capacity** — trees × depth sensitivity of GB + conj.
+//! 4. **Equal-width vs equi-depth vs v-optimal buckets** — the
+//!    data-driven partitioning refinements Section 3.2 suggests.
+//! 5. **Limited Disjunction Encoding vs inclusion-exclusion** — the
+//!    Section 6 argument, measured: accuracy and inner-estimate counts.
+
+use qfe_core::featurize::{
+    AttributeSpace, EquiDepthConjunctionEncoding, LimitedDisjunctionEncoding,
+    UniversalConjunctionEncoding,
+};
+use qfe_core::metrics::q_error;
+use qfe_core::{ColumnId, TableId};
+use qfe_estimators::{IepEstimator, LearnedEstimator};
+use qfe_ml::gbdt::{Gbdt, GbdtConfig};
+use qfe_ml::matrix::Matrix;
+use qfe_ml::train::Regressor;
+
+use crate::envs::ForestEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::q_errors;
+
+fn featurize_all(enc: &UniversalConjunctionEncoding, queries: &[qfe_core::Query]) -> Matrix {
+    use qfe_core::featurize::Featurizer;
+    let rows: Vec<Vec<f32>> = queries
+        .iter()
+        .map(|q| enc.featurize(q).expect("featurizable").0)
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+/// Run all three ablations; returns the rendered report.
+pub fn run(env: &ForestEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+
+    // 1. Ternary vs binary marks.
+    report.heading("Ablation: ternary ½-marks vs. binary buckets (GB + conj)");
+    for ternary in [true, false] {
+        let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+        let enc = UniversalConjunctionEncoding::new(space, scale.buckets).with_ternary(ternary);
+        let mut est = LearnedEstimator::new(
+            Box::new(enc),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: scale.gbdt_trees,
+                min_samples_leaf: 5,
+                ..GbdtConfig::default()
+            })),
+        );
+        est.fit(&env.conj_train).expect("training");
+        let label = if ternary {
+            "ternary {0,½,1}"
+        } else {
+            "binary {0,1}"
+        };
+        report.table_row(label, &q_errors(&est, &env.conj_test));
+    }
+
+    // 2. Label transform: log vs raw.
+    report.heading("Ablation: log-label transform vs. raw counts (GB + conj)");
+    {
+        let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+        let enc = UniversalConjunctionEncoding::new(space, scale.buckets);
+        let x_train = featurize_all(&enc, &env.conj_train.queries);
+        let x_test = featurize_all(&enc, &env.conj_test.queries);
+        // Raw labels, normalized only by the max to keep f32 range sane.
+        let max_card = env
+            .conj_train
+            .cardinalities
+            .iter()
+            .cloned()
+            .fold(1.0, f64::max);
+        let y_raw: Vec<f32> = env
+            .conj_train
+            .cardinalities
+            .iter()
+            .map(|&c| (c / max_card) as f32)
+            .collect();
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: scale.gbdt_trees,
+            min_samples_leaf: 5,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x_train, &y_raw);
+        let errors: Vec<f64> = gb
+            .predict_batch(&x_test)
+            .into_iter()
+            .zip(&env.conj_test.cardinalities)
+            .map(|(p, &truth)| q_error(truth, (p as f64 * max_card).max(1.0)))
+            .collect();
+        report.table_row("raw labels", &errors);
+
+        let mut est = LearnedEstimator::new(
+            Box::new(enc),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: scale.gbdt_trees,
+                min_samples_leaf: 5,
+                ..GbdtConfig::default()
+            })),
+        );
+        est.fit(&env.conj_train).expect("training");
+        report.table_row("log labels", &q_errors(&est, &env.conj_test));
+    }
+
+    // 3. GBDT capacity sweep.
+    report.heading("Ablation: GBDT capacity (trees × depth, GB + conj)");
+    for (trees, depth) in [(10usize, 4usize), (40, 4), (40, 8), (160, 8)] {
+        let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+        let mut est = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, scale.buckets)),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: trees,
+                max_depth: depth,
+                min_samples_leaf: 5,
+                ..GbdtConfig::default()
+            })),
+        );
+        est.fit(&env.conj_train).expect("training");
+        report.table_row(
+            &format!("{trees} trees, depth {depth}"),
+            &q_errors(&est, &env.conj_test),
+        );
+    }
+
+    // 4. Equal-width vs equi-depth vs v-optimal buckets, same budget.
+    report.heading("Ablation: equal-width vs equi-depth vs v-optimal buckets (GB)");
+    {
+        let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+        let gbdt = || {
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: scale.gbdt_trees,
+                min_samples_leaf: 5,
+                ..GbdtConfig::default()
+            }))
+        };
+        let mut equal_width = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(
+                space.clone(),
+                scale.buckets,
+            )),
+            gbdt(),
+        );
+        equal_width.fit(&env.conj_train).expect("training");
+        report.table_row(
+            "equal-width buckets",
+            &q_errors(&equal_width, &env.conj_test),
+        );
+
+        let table = env.db.table(TableId(0));
+        let edges: Vec<Vec<f64>> = (0..space.len())
+            .map(|ci| {
+                qfe_data::histogram::equi_depth_edges(table.column(ColumnId(ci)), scale.buckets)
+            })
+            .collect();
+        let mut equi_depth = LearnedEstimator::new(
+            Box::new(EquiDepthConjunctionEncoding::new(space, edges)),
+            gbdt(),
+        );
+        equi_depth.fit(&env.conj_train).expect("training");
+        report.table_row("equi-depth buckets", &q_errors(&equi_depth, &env.conj_test));
+
+        let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+        let vopt_edges: Vec<Vec<f64>> = (0..space.len())
+            .map(|ci| {
+                qfe_data::voptimal::v_optimal_edges(table.column(ColumnId(ci)), scale.buckets, 512)
+            })
+            .collect();
+        let mut v_optimal = LearnedEstimator::new(
+            Box::new(EquiDepthConjunctionEncoding::new(space, vopt_edges)),
+            gbdt(),
+        );
+        v_optimal.fit(&env.conj_train).expect("training");
+        report.table_row("v-optimal buckets", &q_errors(&v_optimal, &env.conj_test));
+    }
+
+    // 5. Limited Disjunction Encoding vs inclusion-exclusion on mixed
+    // queries (Section 6).
+    report.heading("Ablation: complex encoding vs inclusion-exclusion (mixed queries)");
+    {
+        let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+        let mut complex = LearnedEstimator::new(
+            Box::new(LimitedDisjunctionEncoding::new(
+                space.clone(),
+                scale.buckets,
+            )),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: scale.gbdt_trees,
+                min_samples_leaf: 5,
+                ..GbdtConfig::default()
+            })),
+        );
+        complex.fit(&env.mixed_train).expect("training");
+        report.table_row(
+            "GB + complex (1 estimate/query)",
+            &q_errors(&complex, &env.mixed_test),
+        );
+
+        // IEP over a conj-only model: train on the conjunctive workload,
+        // answer mixed queries by inclusion-exclusion.
+        let mut conj = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, scale.buckets)),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: scale.gbdt_trees,
+                min_samples_leaf: 5,
+                ..GbdtConfig::default()
+            })),
+        );
+        conj.fit(&env.conj_train).expect("training");
+        let iep = IepEstimator::new(conj, 12);
+        let errors = q_errors(&iep, &env.mixed_test);
+        report.table_row("IEP(GB + conj)", &errors);
+        report.line(format!(
+            "IEP inner estimates for {} mixed queries: {} ({}x blow-up)",
+            env.mixed_test.len(),
+            iep.inner_calls(),
+            iep.inner_calls() / env.mixed_test.len().max(1) as u64
+        ));
+    }
+
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let scale = Scale::smoke();
+        let env = ForestEnv::build(&scale);
+        let out = run(&env, &scale);
+        assert!(out.contains("ternary"));
+        assert!(out.contains("raw labels"));
+        assert!(out.contains("160 trees"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 1: q-error distribution for every QFT × ML model combination on
+//! the forest dataset. `simple`, `range`, and `conjunctive` run on the
+//! conjunctive workload; `complex` runs on the mixed workload (as in the
+//! paper, separated by a vertical line in the plot).
+
+use qfe_core::featurize::mscn::PredicateMode;
+use qfe_core::TableId;
+use qfe_estimators::MscnEstimator;
+use qfe_ml::mscn::MscnConfig;
+
+use crate::envs::ForestEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_single_table, ModelKind, QftKind};
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ForestEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Figure 1: error distribution by QFT × ML model (forest)");
+    report.line(format!(
+        "scale = {} ({} train / {} test conjunctive, {} / {} mixed)",
+        scale.label,
+        env.conj_train.len(),
+        env.conj_test.len(),
+        env.mixed_train.len(),
+        env.mixed_test.len()
+    ));
+
+    for model in [ModelKind::Gb, ModelKind::Nn] {
+        for qft in QftKind::ALL {
+            let (train, test) = match qft {
+                QftKind::Complex => (&env.mixed_train, &env.mixed_test),
+                _ => (&env.conj_train, &env.conj_test),
+            };
+            let est =
+                train_single_table(env.db.catalog(), TableId(0), train, qft, model, scale, true);
+            let errors = q_errors(&est, test);
+            report.boxplot(&format!("{} + {}", model.label(), qft.label()), &errors);
+        }
+    }
+
+    // MSCN rows: per-predicate mode is MSCN × simple (the original
+    // featurization), per-attribute-range is MSCN × range, per-attribute
+    // buckets is MSCN × conj (and × comp on the mixed workload — the mode
+    // handles disjunctions).
+    let mscn_cfg = MscnConfig {
+        hidden: 32,
+        epochs: scale.mscn_epochs,
+        batch_size: 64,
+        learning_rate: 1e-3,
+        seed: 3,
+    };
+    let modes = [
+        ("MSCN + simple", PredicateMode::PerPredicate, false),
+        ("MSCN + range", PredicateMode::PerAttributeRange, false),
+        (
+            "MSCN + conj",
+            PredicateMode::PerAttribute {
+                max_buckets: scale.buckets,
+                attr_sel: true,
+            },
+            false,
+        ),
+        (
+            "MSCN + comp",
+            PredicateMode::PerAttribute {
+                max_buckets: scale.buckets,
+                attr_sel: true,
+            },
+            true,
+        ),
+    ];
+    for (label, mode, mixed) in modes {
+        let (train, test) = if mixed {
+            (&env.mixed_train, &env.mixed_test)
+        } else {
+            (&env.conj_train, &env.conj_test)
+        };
+        let mut est = MscnEstimator::new(env.db.catalog(), mode, mscn_cfg.clone());
+        est.fit(train).expect("MSCN training");
+        let errors = q_errors(&est, test);
+        report.boxplot(label, &errors);
+    }
+
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let scale = Scale::smoke();
+        let env = ForestEnv::build(&scale);
+        let out = run(&env, &scale);
+        assert!(out.contains("GB + conj"));
+        assert!(out.contains("NN + simple"));
+        assert!(out.contains("MSCN + comp"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 2: estimation errors per QFT in the number of attributes
+//! mentioned in the queries (GB models only, as in the paper — NN
+//! underperforms GB everywhere and MSCN is worse on joins).
+
+use qfe_core::TableId;
+use qfe_estimators::labels::LabeledQueries;
+
+use crate::envs::ForestEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_single_table, ModelKind, QftKind};
+
+/// Attribute-count groups shown in the paper's figure.
+pub const ATTR_GROUPS: [usize; 5] = [1, 2, 3, 5, 8];
+
+/// Split a labeled workload by exact attribute count.
+pub fn by_attribute_count(data: &LabeledQueries, k: usize) -> LabeledQueries {
+    data.clone().filter(|q, _| q.attribute_count() == k)
+}
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ForestEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Figure 2: q-error per QFT by number of attributes (GB, forest)");
+
+    for qft in QftKind::ALL {
+        let (train, test) = match qft {
+            QftKind::Complex => (&env.mixed_train, &env.mixed_test),
+            _ => (&env.conj_train, &env.conj_test),
+        };
+        let est = train_single_table(
+            env.db.catalog(),
+            TableId(0),
+            train,
+            qft,
+            ModelKind::Gb,
+            scale,
+            true,
+        );
+        for k in ATTR_GROUPS {
+            let group = by_attribute_count(test, k);
+            if group.len() < 5 {
+                continue;
+            }
+            let errors = q_errors(&est, &group);
+            report.boxplot(&format!("GB + {:<7} | {k} attrs", qft.label()), &errors);
+        }
+        report.line("");
+    }
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_is_exact() {
+        let scale = Scale::smoke();
+        let env = ForestEnv::build(&scale);
+        let g = by_attribute_count(&env.conj_test, 2);
+        assert!(g.queries.iter().all(|q| q.attribute_count() == 2));
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 3: estimation errors per QFT in the number of predicates in the
+//! queries (GB models). In the paper's reading: 2 predicates = a single
+//! closed range (lower + upper bound); 3 predicates = a closed range plus
+//! one `<>` exclusion — the point where Range Predicate Encoding's upper
+//! whisker spikes.
+
+use qfe_core::TableId;
+use qfe_estimators::labels::LabeledQueries;
+
+use crate::envs::ForestEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_single_table, ModelKind, QftKind};
+
+/// Predicate-count buckets: exact counts, then a tail group.
+pub const PRED_GROUPS: [(usize, usize); 6] =
+    [(2, 2), (3, 3), (4, 4), (5, 6), (7, 10), (11, usize::MAX)];
+
+/// Filter a labeled workload by total simple-predicate count.
+pub fn by_predicate_count(data: &LabeledQueries, lo: usize, hi: usize) -> LabeledQueries {
+    data.clone()
+        .filter(|q, _| (lo..=hi).contains(&q.predicate_count()))
+}
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ForestEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Figure 3: q-error per QFT by number of predicates (GB, forest)");
+
+    for qft in QftKind::ALL {
+        let (train, test) = match qft {
+            QftKind::Complex => (&env.mixed_train, &env.mixed_test),
+            _ => (&env.conj_train, &env.conj_test),
+        };
+        let est = train_single_table(
+            env.db.catalog(),
+            TableId(0),
+            train,
+            qft,
+            ModelKind::Gb,
+            scale,
+            true,
+        );
+        for (lo, hi) in PRED_GROUPS {
+            let group = by_predicate_count(test, lo, hi);
+            if group.len() < 5 {
+                continue;
+            }
+            let label = if hi == usize::MAX {
+                format!("GB + {:<7} | {lo}+ preds", qft.label())
+            } else if lo == hi {
+                format!("GB + {:<7} | {lo} preds", qft.label())
+            } else {
+                format!("GB + {:<7} | {lo}-{hi} preds", qft.label())
+            };
+            let errors = q_errors(&est, &group);
+            report.boxplot(&label, &errors);
+        }
+        report.line("");
+    }
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_grouping() {
+        let scale = Scale::smoke();
+        let env = ForestEnv::build(&scale);
+        let g = by_predicate_count(&env.conj_test, 2, 3);
+        assert!(g
+            .queries
+            .iter()
+            .all(|q| (2..=3).contains(&q.predicate_count())));
+    }
+}

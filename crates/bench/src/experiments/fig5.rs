@@ -1,0 +1,81 @@
+//! Figure 5: query drift (Section 5.5.1) — train on low-dimensional
+//! queries (≤ 2 attributes), test on high-dimensional queries (≥ 3
+//! attributes). Rows for 1–2 attributes show training-distribution
+//! errors; rows for 3/5/8 attributes show the drifted test errors.
+//!
+//! Expected shape: GB generalizes under drift for all QFTs; NN degrades
+//! visibly, least with conj/comp.
+
+use qfe_core::TableId;
+use qfe_estimators::labels::LabeledQueries;
+use qfe_workload::drift::drift_split;
+
+use crate::envs::ForestEnv;
+use crate::experiments::fig2::by_attribute_count;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_single_table, ModelKind, QftKind};
+
+fn select(data: &LabeledQueries, idx: &[usize]) -> LabeledQueries {
+    LabeledQueries {
+        queries: idx.iter().map(|&i| data.queries[i].clone()).collect(),
+        cardinalities: idx.iter().map(|&i| data.cardinalities[i]).collect(),
+    }
+}
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ForestEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Figure 5: query drift — train on ≤2 attrs, test on ≥3 attrs (forest)");
+
+    for model in [ModelKind::Gb, ModelKind::Nn] {
+        for qft in QftKind::ALL {
+            let (all_train, all_test) = match qft {
+                QftKind::Complex => (&env.mixed_train, &env.mixed_test),
+                _ => (&env.conj_train, &env.conj_test),
+            };
+            let (low_idx, _) = drift_split(&all_train.queries, 2);
+            let train = select(all_train, &low_idx);
+            if train.len() < 50 {
+                continue;
+            }
+            let est = train_single_table(
+                env.db.catalog(),
+                TableId(0),
+                &train,
+                qft,
+                model,
+                scale,
+                true,
+            );
+            for k in [1usize, 2, 3, 5, 8] {
+                let group = by_attribute_count(all_test, k);
+                if group.len() < 5 {
+                    continue;
+                }
+                let marker = if k <= 2 { "train-dist" } else { "DRIFTED" };
+                report.boxplot(
+                    &format!("{}+{:<5} {k} attrs {marker}", model.label(), qft.label()),
+                    &q_errors(&est, &group),
+                );
+            }
+            report.line("");
+        }
+    }
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_selection_works() {
+        let scale = Scale::smoke();
+        let env = ForestEnv::build(&scale);
+        let (low, high) = drift_split(&env.conj_train.queries, 2);
+        assert_eq!(low.len() + high.len(), env.conj_train.len());
+        let train = select(&env.conj_train, &low);
+        assert!(train.queries.iter().all(|q| q.attribute_count() <= 2));
+    }
+}

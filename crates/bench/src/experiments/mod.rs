@@ -1,0 +1,35 @@
+//! One module per paper table/figure, plus the ablation studies.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig1`] | Figure 1 — q-error distributions per QFT × model (forest) |
+//! | [`fig2`] | Figure 2 — q-error by number of attributes (GB) |
+//! | [`fig3`] | Figure 3 — q-error by number of predicates (GB) |
+//! | [`tab1`] | Table 1 — JOB-light, local models, QFT × {NN, GB} |
+//! | [`tab2`] | Table 2 — local vs global models on JOB-light |
+//! | [`tab3`] | Table 3 — effect of per-attribute selectivity entries |
+//! | [`tab4`] | Table 4 — end-to-end runtimes under three estimate sources |
+//! | [`fig4`] | Figure 4 — best QFT × model vs established estimators |
+//! | [`tab5`] | Table 5 — feature-vector length sweep |
+//! | [`fig5`] | Figure 5 — query drift |
+//! | [`tab6`] | Table 6 — training convergence |
+//! | [`tab7`] | Table 7 + §5.7 — featurization time & estimator memory |
+//! | [`sec552`] | §5.5.2 — estimator reconstruction cost after data drift |
+//! | [`sec6`] | §6 extensions — GROUP BY and string-prefix estimation |
+//! | [`ablations`] | DESIGN.md §5 — ternary marks, label transform, GBDT capacity, equi-depth buckets, IEP |
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod sec552;
+pub mod sec6;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+pub mod tab5;
+pub mod tab6;
+pub mod tab7;

@@ -1,0 +1,51 @@
+//! Table 1: the 70 JOB-light join queries under local models, for
+//! {NN, GB} × {simple, range, conj}. `complex` is omitted exactly as in
+//! the paper: JOB-light contains no disjunctions, so its feature vectors
+//! equal `conj`'s.
+
+use crate::envs::ImdbEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_local_models, ModelKind, QftKind};
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ImdbEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Table 1: JOB-light join queries (local models)");
+    report.line(format!(
+        "scale = {} ({} training join queries, {} suite queries)",
+        scale.label,
+        env.train.len(),
+        env.suite.len()
+    ));
+    report.table_header("model + QFT");
+    for model in [ModelKind::Nn, ModelKind::Gb] {
+        for qft in [QftKind::Simple, QftKind::Range, QftKind::Conjunctive] {
+            let est = train_local_models(
+                env.db.catalog(),
+                &env.train,
+                qft,
+                model,
+                scale,
+                scale.buckets,
+            );
+            let errors = q_errors(&est, &env.suite);
+            report.table_row(&format!("{} + {}", model.label(), qft.label()), &errors);
+        }
+    }
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let scale = Scale::smoke();
+        let env = ImdbEnv::build(&scale);
+        let out = run(&env, &scale);
+        assert!(out.contains("GB + conj"));
+        assert!(out.contains("NN + simple"));
+    }
+}

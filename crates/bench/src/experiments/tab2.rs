@@ -1,0 +1,71 @@
+//! Table 2: local vs global models on JOB-light — the original MSCN,
+//! MSCN with the paper's conjunction-encoded predicate set, and the local
+//! NN + conj for comparison. The paper's finding: the QFT upgrade improves
+//! MSCN across all quantiles, but local models still beat global ones.
+
+use qfe_core::featurize::mscn::PredicateMode;
+use qfe_estimators::MscnEstimator;
+use qfe_ml::mscn::MscnConfig;
+
+use crate::envs::ImdbEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_local_models, ModelKind, QftKind};
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ImdbEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Table 2: JOB-light — local vs. global models");
+    report.table_header("model + QFT");
+
+    let mscn_cfg = MscnConfig {
+        hidden: 32,
+        epochs: scale.mscn_epochs,
+        batch_size: 64,
+        learning_rate: 1e-3,
+        seed: 4,
+    };
+    let mut original = MscnEstimator::new(
+        env.db.catalog(),
+        PredicateMode::PerPredicate,
+        mscn_cfg.clone(),
+    );
+    original.fit(&env.train).expect("MSCN training");
+    report.table_row("MSCN w/o mods (global)", &q_errors(&original, &env.suite));
+
+    let mut modded = MscnEstimator::new(
+        env.db.catalog(),
+        PredicateMode::PerAttribute {
+            max_buckets: scale.buckets,
+            attr_sel: true,
+        },
+        mscn_cfg,
+    );
+    modded.fit(&env.train).expect("MSCN training");
+    report.table_row("MSCN + conj (global)", &q_errors(&modded, &env.suite));
+
+    let local = train_local_models(
+        env.db.catalog(),
+        &env.train,
+        QftKind::Conjunctive,
+        ModelKind::Nn,
+        scale,
+        scale.buckets,
+    );
+    report.table_row("NN + conj (local)", &q_errors(&local, &env.suite));
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let scale = Scale::smoke();
+        let env = ImdbEnv::build(&scale);
+        let out = run(&env, &scale);
+        assert!(out.contains("MSCN w/o mods"));
+        assert!(out.contains("NN + conj (local)"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Table 3: effect of the per-attribute selectivity entries (the gray
+//! entries of Algorithm 1) — {GB, NN} × {conj, comp} each trained with and
+//! without `attrSel`. The paper finds the difference mostly marginal but
+//! worst-case errors usually improve with the entries.
+
+use qfe_core::TableId;
+
+use crate::envs::ForestEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_single_table, ModelKind, QftKind};
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ForestEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Table 3: effect of per-attribute selectivity estimates (forest)");
+    report.table_header("model");
+    for model in [ModelKind::Gb, ModelKind::Nn] {
+        for qft in [QftKind::Conjunctive, QftKind::Complex] {
+            let (train, test) = match qft {
+                QftKind::Complex => (&env.mixed_train, &env.mixed_test),
+                _ => (&env.conj_train, &env.conj_test),
+            };
+            for attr_sel in [true, false] {
+                let est = train_single_table(
+                    env.db.catalog(),
+                    TableId(0),
+                    train,
+                    qft,
+                    model,
+                    scale,
+                    attr_sel,
+                );
+                let label = format!(
+                    "{}+{} {}",
+                    model.label(),
+                    qft.label(),
+                    if attr_sel {
+                        "w/ attrSel"
+                    } else {
+                        "w/o attrSel"
+                    }
+                );
+                report.table_row(&label, &q_errors(&est, test));
+            }
+        }
+    }
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let scale = Scale::smoke();
+        let env = ForestEnv::build(&scale);
+        let out = run(&env, &scale);
+        assert!(out.contains("GB+conj w/ attrSel"));
+        assert!(out.contains("NN+comp w/o attrSel"));
+    }
+}

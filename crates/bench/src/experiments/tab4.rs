@@ -1,0 +1,110 @@
+//! Table 4: end-to-end run times for JOB-light.
+//!
+//! The paper integrates its estimator into PostgreSQL and measures total
+//! benchmark runtime under (a) PG's own estimates, (b) the learned
+//! estimates, (c) true cardinalities. We reproduce the mechanism with our
+//! own cost-based optimizer and executor: every suite query is optimized
+//! three times (each arm supplying the cardinalities to the DP optimizer)
+//! and the chosen plans are actually executed; total wall time and total
+//! executor work are reported.
+//!
+//! The expected *shape* (paper Table 4): the learned arm lands close to
+//! the true-cardinality arm, and the improvement over the PG-style arm is
+//! modest because JOB-light plans are mostly robust.
+
+use qfe_core::estimator::CardinalityEstimator;
+use qfe_estimators::{PostgresEstimator, TrueCardinalityEstimator};
+use qfe_exec::executor::execute_plan;
+use qfe_exec::Optimizer;
+
+use crate::envs::ImdbEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{train_local_models, ModelKind, QftKind};
+
+/// Cap on materialized intermediates: generous, but keeps a catastrophic
+/// plan from consuming all memory.
+const MAX_INTERMEDIATE: u64 = 200_000_000;
+
+/// Optimize and execute every suite query with cardinalities from `est`;
+/// returns `(total_seconds, total_work, plans_differing_from_truth)`.
+fn run_arm(
+    env: &ImdbEnv,
+    est: &dyn CardinalityEstimator,
+    truth_plans: Option<&[String]>,
+) -> (f64, u64, usize, Vec<String>) {
+    let optimizer = Optimizer::new(&est);
+    let mut total_secs = 0.0;
+    let mut total_work = 0u64;
+    let mut differing = 0usize;
+    let mut plans = Vec::with_capacity(env.suite.len());
+    for (i, q) in env.suite.queries.iter().enumerate() {
+        let plan = optimizer.optimize(q).expect("optimizable query");
+        let rendered = plan.plan.render();
+        if let Some(tp) = truth_plans {
+            if tp[i] != rendered {
+                differing += 1;
+            }
+        }
+        let stats = execute_plan(&env.db, q, &plan.plan, MAX_INTERMEDIATE).expect("plan executes");
+        debug_assert_eq!(stats.rows as f64, env.suite.cardinalities[i]);
+        total_secs += stats.elapsed.as_secs_f64();
+        total_work += stats.work;
+        plans.push(rendered);
+    }
+    (total_secs, total_work, differing, plans)
+}
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ImdbEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Table 4: end-to-end run times for JOB-light (optimizer + executor)");
+
+    let truth = TrueCardinalityEstimator::new(&env.db);
+    let (true_secs, true_work, _, true_plans) = run_arm(env, &truth, None);
+
+    let pg = PostgresEstimator::analyze_default(&env.db);
+    let (pg_secs, pg_work, pg_diff, _) = run_arm(env, &pg, Some(&true_plans));
+
+    let learned = train_local_models(
+        env.db.catalog(),
+        &env.train,
+        QftKind::Conjunctive,
+        ModelKind::Gb,
+        scale,
+        scale.buckets,
+    );
+    let (our_secs, our_work, our_diff, _) = run_arm(env, &learned, Some(&true_plans));
+
+    report.line(format!(
+        "{:<22} {:>12} {:>16} {:>22}",
+        "estimates", "exec time", "executor work", "plans != true-card plan"
+    ));
+    report.line(format!(
+        "{:<22} {:>10.3}s {:>16} {:>22}",
+        "Postgres-style", pg_secs, pg_work, pg_diff
+    ));
+    report.line(format!(
+        "{:<22} {:>10.3}s {:>16} {:>22}",
+        "Our approach (GB+conj)", our_secs, our_work, our_diff
+    ));
+    report.line(format!(
+        "{:<22} {:>10.3}s {:>16} {:>22}",
+        "True cardinalities", true_secs, true_work, 0
+    ));
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let scale = Scale::smoke();
+        let env = ImdbEnv::build(&scale);
+        let out = run(&env, &scale);
+        assert!(out.contains("Postgres-style"));
+        assert!(out.contains("True cardinalities"));
+    }
+}

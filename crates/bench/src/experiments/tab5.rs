@@ -1,0 +1,83 @@
+//! Table 5: accuracy for different feature-vector lengths — Universal
+//! Conjunction Encoding with n ∈ {8, 16, 32, 64, 256} per-attribute
+//! entries, GB local models on JOB-light. Also reports the per-query
+//! feature-vector footprint (which equals the model's input layer size).
+//!
+//! The paper's shape: mid-size n wins; too few buckets lose information,
+//! too many make the pattern harder to learn for a fixed training budget.
+
+use qfe_core::featurize::{AttributeSpace, Featurizer, UniversalConjunctionEncoding};
+
+use crate::envs::ImdbEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_local_models, ModelKind, QftKind};
+
+/// The sweep of per-attribute entry counts from the paper.
+pub const LENGTHS: [usize; 5] = [8, 16, 32, 64, 256];
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ImdbEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Table 5: accuracy for different feature vector lengths (GB + conj, JOB-light)");
+    // The paper's U-shape is a training-budget effect: long vectors are
+    // hard to learn *given the number of training queries* (Section 5.4).
+    // Use a fixed, deliberately modest budget so the trade-off is visible
+    // rather than washed out by abundant data.
+    let budget = (env.train.len() / 3).max(1_000).min(env.train.len());
+    let (train, _) = env.train.clone().split_at(budget);
+    report.line(format!(
+        "training budget: {} queries (of {} available)",
+        train.len(),
+        env.train.len()
+    ));
+    report.line(format!(
+        "{:<12} {:>16} {:>47}",
+        "no. entries", "bytes feat. vec.*", "accuracy"
+    ));
+    for n in LENGTHS {
+        // Footprint of a feature vector over the full catalog space (the
+        // widest local model input).
+        let space = AttributeSpace::for_catalog(env.db.catalog());
+        let probe = UniversalConjunctionEncoding::new(space, n);
+        let bytes = probe.dim() * std::mem::size_of::<f32>();
+        let est = train_local_models(
+            env.db.catalog(),
+            &train,
+            QftKind::Conjunctive,
+            ModelKind::Gb,
+            scale,
+            n,
+        );
+        let errors = q_errors(&est, &env.suite);
+        let s = qfe_core::metrics::ErrorSummary::from_errors(&errors);
+        report.line(format!(
+            "{n:<12} {bytes:>16}  mean {:>8.2} median {:>7.2} 99% {:>9.2} max {:>10.2}",
+            s.mean, s.median, s.p99, s.max
+        ));
+    }
+    report.line("*Affects only the input layer; the rest of the model is unchanged.");
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_a_short_sweep_at_smoke_scale() {
+        // Full sweep is slow; smoke just checks the plumbing with one n.
+        let scale = Scale::smoke();
+        let env = ImdbEnv::build(&scale);
+        let est = train_local_models(
+            env.db.catalog(),
+            &env.train,
+            QftKind::Conjunctive,
+            ModelKind::Gb,
+            &scale,
+            8,
+        );
+        let errors = q_errors(&est, &env.suite);
+        assert_eq!(errors.len(), env.suite.len());
+    }
+}

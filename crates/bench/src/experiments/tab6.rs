@@ -1,0 +1,76 @@
+//! Table 6: training convergence — mean q-error for growing training-set
+//! sizes, {GB, NN} × all four QFTs. The paper's shape: errors decrease
+//! monotonically in training size; GB needs far fewer queries than NN;
+//! conj/comp dominate range/simple at every size.
+
+use qfe_core::TableId;
+use qfe_estimators::labels::LabeledQueries;
+
+use crate::envs::ForestEnv;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::trainers::{q_errors, train_single_table, ModelKind, QftKind};
+
+/// Training-set fractions mirroring the paper's 10k–100k sweep.
+pub const FRACTIONS: [f64; 6] = [0.1, 0.2, 0.3, 0.4, 0.5, 1.0];
+
+fn prefix(data: &LabeledQueries, n: usize) -> LabeledQueries {
+    LabeledQueries {
+        queries: data.queries[..n].to_vec(),
+        cardinalities: data.cardinalities[..n].to_vec(),
+    }
+}
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ForestEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Table 6: mean q-error vs. number of training queries (forest)");
+    for model in [ModelKind::Gb, ModelKind::Nn] {
+        report.line(format!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10}",
+            format!("[{}]", model.label()),
+            "conj",
+            "comp",
+            "range",
+            "simple"
+        ));
+        for frac in FRACTIONS {
+            let mut row = format!("{:<10}", format!("{:.0}%", frac * 100.0));
+            for qft in [
+                QftKind::Conjunctive,
+                QftKind::Complex,
+                QftKind::Range,
+                QftKind::Simple,
+            ] {
+                let (train, test) = match qft {
+                    QftKind::Complex => (&env.mixed_train, &env.mixed_test),
+                    _ => (&env.conj_train, &env.conj_test),
+                };
+                let n = ((train.len() as f64) * frac).round() as usize;
+                let sub = prefix(train, n.max(50).min(train.len()));
+                let est =
+                    train_single_table(env.db.catalog(), TableId(0), &sub, qft, model, scale, true);
+                let errors = q_errors(&est, test);
+                let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+                row.push_str(&format!(" {mean:>10.2}"));
+            }
+            report.line(row);
+        }
+        report.line("");
+    }
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_selection() {
+        let scale = Scale::smoke();
+        let env = ForestEnv::build(&scale);
+        let sub = prefix(&env.conj_train, 100);
+        assert_eq!(sub.len(), 100);
+        assert_eq!(sub.cardinalities[0], env.conj_train.cardinalities[0]);
+    }
+}

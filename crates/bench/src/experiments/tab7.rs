@@ -1,0 +1,131 @@
+//! Table 7 + Section 5.7: featurization time per QFT (µs/query) and the
+//! memory consumption of every estimator family.
+//!
+//! Expected shape: all QFTs featurize well under 100 µs/query; cost grows
+//! with QFT complexity (simple < range < conj < comp). Memory: GB smallest
+//! (kB), NN largest (up to MB), sampling proportional to the sample,
+//! Postgres histograms small.
+
+use std::time::Instant;
+
+use qfe_core::estimator::CardinalityEstimator;
+use qfe_core::featurize::{AttributeSpace, Featurizer};
+use qfe_core::TableId;
+use qfe_estimators::{PostgresEstimator, SamplingEstimator};
+
+use crate::envs::ForestEnv;
+use crate::report::{format_bytes, Report};
+use crate::scale::Scale;
+use crate::trainers::{make_featurizer, train_single_table, ModelKind, QftKind};
+
+/// Measure mean featurization latency (µs/query) of `featurizer` over the
+/// given queries.
+pub fn featurization_micros(featurizer: &dyn Featurizer, queries: &[qfe_core::Query]) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for q in queries {
+        if let Ok(f) = featurizer.featurize(q) {
+            sink += f.dim();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    elapsed * 1e6 / queries.len() as f64
+}
+
+/// Run the experiment; returns the rendered report.
+pub fn run(env: &ForestEnv, scale: &Scale) -> String {
+    let mut report = Report::new();
+    report.heading("Table 7: time consumption of QFTs (forest workload)");
+    let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+    for qft in QftKind::ALL {
+        let featurizer = make_featurizer(qft, space.clone(), scale.buckets, true);
+        let queries = match qft {
+            QftKind::Complex => &env.mixed_test.queries,
+            _ => &env.conj_test.queries,
+        };
+        let micros = featurization_micros(featurizer.as_ref(), queries);
+        report.line(format!("{:<10} {micros:>8.1} µs per query", qft.label()));
+    }
+
+    report.heading("Section 5.7: estimator memory consumption");
+    let pg = PostgresEstimator::analyze_default(&env.db);
+    report.line(format!(
+        "{:<22} {:>12}",
+        "postgres (histograms)",
+        format_bytes(pg.memory_bytes())
+    ));
+    let sampling = SamplingEstimator::new(&env.db, 0.001, 5);
+    let _ = sampling.estimate(&env.conj_test.queries[0]);
+    report.line(format!(
+        "{:<22} {:>12}",
+        "sampling (0.1% sample)",
+        format_bytes(sampling.memory_bytes())
+    ));
+    let gb = train_single_table(
+        env.db.catalog(),
+        TableId(0),
+        &env.conj_train,
+        QftKind::Conjunctive,
+        ModelKind::Gb,
+        scale,
+        true,
+    );
+    report.line(format!(
+        "{:<22} {:>12}",
+        "GB + conj",
+        format_bytes(gb.memory_bytes())
+    ));
+    // A compact GB configuration (the paper's GB is a few kB; tree count
+    // and leaf caps trade memory for the last bit of accuracy).
+    let scale_compact = Scale {
+        gbdt_trees: 40,
+        ..scale.clone()
+    };
+    let gb_small = train_single_table(
+        env.db.catalog(),
+        TableId(0),
+        &env.conj_train,
+        QftKind::Conjunctive,
+        ModelKind::Gb,
+        &scale_compact,
+        true,
+    );
+    report.line(format!(
+        "{:<22} {:>12}",
+        "GB + conj (40 trees)",
+        format_bytes(gb_small.memory_bytes())
+    ));
+    let nn = train_single_table(
+        env.db.catalog(),
+        TableId(0),
+        &env.conj_train,
+        QftKind::Conjunctive,
+        ModelKind::Nn,
+        scale,
+        true,
+    );
+    report.line(format!(
+        "{:<22} {:>12}",
+        "NN + conj",
+        format_bytes(nn.memory_bytes())
+    ));
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn featurization_is_fast_and_ordered() {
+        let scale = Scale::smoke();
+        let env = ForestEnv::build(&scale);
+        let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+        let simple = make_featurizer(QftKind::Simple, space.clone(), scale.buckets, true);
+        let micros = featurization_micros(simple.as_ref(), &env.conj_test.queries);
+        // Paper: well under 100 µs/query (debug builds are slower; allow
+        // generous headroom).
+        assert!(micros < 2_000.0, "simple featurization {micros} µs");
+    }
+}

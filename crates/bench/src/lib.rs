@@ -1,0 +1,28 @@
+//! # qfe-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper's evaluation (Section 5). Each experiment lives in
+//! [`experiments`] and can be run three ways:
+//!
+//! * `cargo run --release -p qfe-bench --bin <experiment>` — one
+//!   experiment, e.g. `fig1_qft_model_matrix`;
+//! * `cargo bench -p qfe-bench --bench experiments` — the full suite
+//!   (prints every table/figure; this is what EXPERIMENTS.md records);
+//! * `cargo bench -p qfe-bench --bench featurize|models|executor` —
+//!   criterion micro-benchmarks (featurization latency for Table 7, model
+//!   forward passes, executor throughput).
+//!
+//! Experiment scale is controlled with the `QFE_SCALE` environment
+//! variable: `smoke` (seconds, CI), `small` (default, minutes), `full`
+//! (closer to paper scale). Absolute numbers differ from the paper — the
+//! data is synthetic and the models are scaled down — but the comparisons
+//! (which QFT/model wins, by roughly what factor) are what the harness
+//! reproduces; see EXPERIMENTS.md.
+
+pub mod envs;
+pub mod experiments;
+pub mod report;
+pub mod scale;
+pub mod trainers;
+
+pub use scale::Scale;

@@ -1,0 +1,105 @@
+//! Plain-text rendering of experiment results: box-plot rows for figures,
+//! aligned tables for tables. The output format mirrors the statistics the
+//! paper plots (1 %, 25 %, 50 %, 75 %, 99 % quantiles for box plots;
+//! mean/median/99 %/max for tables).
+
+use qfe_core::metrics::ErrorSummary;
+
+/// A text report under construction.
+#[derive(Debug, Default)]
+pub struct Report {
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Add a heading.
+    pub fn heading(&mut self, title: &str) {
+        self.lines.push(String::new());
+        self.lines.push(format!("== {title} =="));
+    }
+
+    /// Add a free-form line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Add a box-plot row (the figure statistics).
+    pub fn boxplot(&mut self, label: &str, errors: &[f64]) {
+        let s = ErrorSummary::from_errors(errors);
+        self.lines.push(format!(
+            "{label:<28} p01 {:>8.2}  p25 {:>8.2}  med {:>8.2}  p75 {:>8.2}  p99 {:>10.2}  (n={})",
+            s.p01, s.p25, s.median, s.p75, s.p99, s.count
+        ));
+    }
+
+    /// Add a table row (mean / median / 99 % / max).
+    pub fn table_row(&mut self, label: &str, errors: &[f64]) {
+        let s = ErrorSummary::from_errors(errors);
+        self.lines.push(format!(
+            "{label:<28} mean {:>10.2}  median {:>8.2}  99% {:>10.2}  max {:>12.2}",
+            s.mean, s.median, s.p99, s.max
+        ));
+    }
+
+    /// Header matching [`Report::table_row`].
+    pub fn table_header(&mut self, label: &str) {
+        self.lines.push(format!(
+            "{label:<28} {:>15} {:>15} {:>14} {:>16}",
+            "mean", "median", "99%", "max"
+        ));
+    }
+
+    /// Render and also print to stdout.
+    pub fn finish(self) -> String {
+        let text = self.lines.join("\n");
+        println!("{text}");
+        text
+    }
+
+    /// Render without printing.
+    pub fn render(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+/// Format a byte count human-readably.
+pub fn format_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} kB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_rows() {
+        let mut r = Report::new();
+        r.heading("Table X");
+        r.table_header("model");
+        r.table_row("GB + conj", &[1.0, 2.0, 3.0]);
+        r.boxplot("NN + simple", &[1.0, 10.0, 100.0]);
+        let text = r.render();
+        assert!(text.contains("== Table X =="));
+        assert!(text.contains("GB + conj"));
+        assert!(text.contains("med"));
+        assert!(text.contains("n=3"));
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(format_bytes(100), "100 B");
+        assert_eq!(format_bytes(4915), "4.8 kB");
+        assert_eq!(format_bytes(2 << 20), "2.0 MB");
+    }
+}

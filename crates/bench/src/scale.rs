@@ -1,0 +1,122 @@
+//! Experiment scale knobs.
+//!
+//! The paper trains on 100k–231k queries over 580k–5M rows with hours of
+//! query generation; the harness defaults to a scaled-down configuration
+//! whose *comparisons* reproduce the paper's, while finishing in minutes.
+//! Set `QFE_SCALE=full` for a configuration closer to paper scale, or
+//! `QFE_SCALE=smoke` for CI-speed runs.
+
+/// All scale knobs in one place.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Rows of the synthetic forest table (paper: 581 012).
+    pub forest_rows: usize,
+    /// Training queries per forest workload (paper: 100 000).
+    pub train_queries: usize,
+    /// Test queries per forest workload (paper: 25 000).
+    pub test_queries: usize,
+    /// Titles in the synthetic IMDB (paper IMDb: 2.5M movies).
+    pub imdb_titles: usize,
+    /// Generated join training queries (paper: 231k).
+    pub join_train_queries: usize,
+    /// Trees per GBDT model.
+    pub gbdt_trees: usize,
+    /// Epochs for the feed-forward NN.
+    pub nn_epochs: usize,
+    /// Hidden width for the feed-forward NN.
+    pub nn_hidden: usize,
+    /// Epochs for MSCN.
+    pub mscn_epochs: usize,
+    /// Default per-attribute buckets for the bucketized QFTs
+    /// (paper default: 64; Section 5.4 finds 32 best on JOB-light).
+    pub buckets: usize,
+    /// Human-readable label.
+    pub label: &'static str,
+}
+
+impl Scale {
+    /// Seconds-scale configuration for CI and tests.
+    pub fn smoke() -> Self {
+        Scale {
+            forest_rows: 4_000,
+            train_queries: 700,
+            test_queries: 250,
+            imdb_titles: 1_500,
+            join_train_queries: 900,
+            gbdt_trees: 30,
+            nn_epochs: 8,
+            nn_hidden: 32,
+            mscn_epochs: 6,
+            buckets: 16,
+            label: "smoke",
+        }
+    }
+
+    /// Default configuration: minutes for the full suite.
+    pub fn small() -> Self {
+        Scale {
+            forest_rows: 30_000,
+            train_queries: 6_000,
+            test_queries: 1_500,
+            imdb_titles: 8_000,
+            join_train_queries: 15_000,
+            gbdt_trees: 200,
+            nn_epochs: 25,
+            nn_hidden: 64,
+            mscn_epochs: 40,
+            buckets: 32,
+            label: "small",
+        }
+    }
+
+    /// Closer to paper scale (tens of minutes to hours).
+    pub fn full() -> Self {
+        Scale {
+            forest_rows: 200_000,
+            train_queries: 40_000,
+            test_queries: 10_000,
+            imdb_titles: 40_000,
+            join_train_queries: 60_000,
+            gbdt_trees: 300,
+            nn_epochs: 60,
+            nn_hidden: 128,
+            mscn_epochs: 40,
+            buckets: 64,
+            label: "full",
+        }
+    }
+
+    /// Read `QFE_SCALE` (default `small`).
+    pub fn from_env() -> Self {
+        match std::env::var("QFE_SCALE").as_deref() {
+            Ok("smoke") => Scale::smoke(),
+            Ok("full") => Scale::full(),
+            Ok("small") | Err(_) => Scale::small(),
+            Ok(other) => {
+                eprintln!("unknown QFE_SCALE '{other}', using 'small'");
+                Scale::small()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let (s, m, f) = (Scale::smoke(), Scale::small(), Scale::full());
+        assert!(s.forest_rows < m.forest_rows && m.forest_rows < f.forest_rows);
+        assert!(s.train_queries < m.train_queries && m.train_queries < f.train_queries);
+        assert_eq!(s.label, "smoke");
+    }
+
+    #[test]
+    fn from_env_defaults_to_small() {
+        // The test environment does not set QFE_SCALE (or sets a valid
+        // value); either way this must not panic.
+        let s = Scale::from_env();
+        assert!(!s.label.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised by query construction, featurization, and estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QfeError {
+    /// The query references a table that is not part of the catalog.
+    UnknownTable(String),
+    /// The query references a column that does not exist on its table.
+    UnknownColumn(String),
+    /// The query uses a construct the chosen featurizer cannot represent
+    /// (e.g. disjunctions under Universal Conjunction Encoding).
+    UnsupportedQuery(String),
+    /// A predicate literal is incompatible with the column type or domain.
+    InvalidLiteral(String),
+    /// The query is structurally invalid (e.g. a compound predicate mixing
+    /// attributes, or a join edge between unrelated tables).
+    InvalidQuery(String),
+    /// A model or estimator was asked to work on inputs of the wrong shape.
+    ShapeMismatch { expected: usize, actual: usize },
+}
+
+impl fmt::Display for QfeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QfeError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            QfeError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            QfeError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
+            QfeError::InvalidLiteral(msg) => write!(f, "invalid literal: {msg}"),
+            QfeError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            QfeError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QfeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QfeError::UnknownTable("orders".into());
+        assert_eq!(e.to_string(), "unknown table: orders");
+        let e = QfeError::ShapeMismatch {
+            expected: 4,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(e.to_string().contains("got 7"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            QfeError::UnknownColumn("a".into()),
+            QfeError::UnknownColumn("a".into())
+        );
+        assert_ne!(
+            QfeError::UnknownColumn("a".into()),
+            QfeError::UnknownTable("a".into())
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! The estimator abstraction shared by the whole workspace.
+//!
+//! Lives in `qfe-core` so that both the execution engine (whose cost-based
+//! optimizer consumes estimates) and the estimator implementations (which
+//! need the executor for training labels) can depend on it without a cycle.
+
+use crate::query::Query;
+
+/// A cardinality estimator: maps a count query to an estimated result
+/// cardinality.
+///
+/// Estimates are clamped to `>= 1` by convention (the paper's evaluation
+/// protocol; also keeps the q-error defined).
+pub trait CardinalityEstimator {
+    /// Short label used in experiment output (`postgres`, `sampling`,
+    /// `GB + conj`, …).
+    fn name(&self) -> String;
+
+    /// Estimate the result cardinality of `query`.
+    fn estimate(&self, query: &Query) -> f64;
+
+    /// Approximate memory footprint of the estimator state in bytes
+    /// (Section 5.7 compares estimator sizes).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Blanket implementation for references.
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        (**self).estimate(query)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableId;
+
+    struct Constant(f64);
+
+    impl CardinalityEstimator for Constant {
+        fn name(&self) -> String {
+            "constant".into()
+        }
+
+        fn estimate(&self, _query: &Query) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn trait_object_and_reference_impls() {
+        let c = Constant(42.0);
+        let q = Query::single_table(TableId(0), vec![]);
+        assert_eq!(c.estimate(&q), 42.0);
+        let by_ref: &dyn CardinalityEstimator = &c;
+        assert_eq!(by_ref.estimate(&q), 42.0);
+        assert_eq!(by_ref.name(), "constant");
+        assert_eq!(by_ref.memory_bytes(), 0);
+        // Reference blanket impl.
+        fn takes_estimator(e: impl CardinalityEstimator) -> f64 {
+            e.estimate(&Query::single_table(TableId(0), vec![]))
+        }
+        assert_eq!(takes_estimator(&c), 42.0);
+    }
+}

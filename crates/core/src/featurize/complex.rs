@@ -1,0 +1,340 @@
+//! Limited Disjunction Encoding (Section 3.3, Algorithm 2).
+//!
+//! The first QFT able to featurize *mixed queries* (Definition 3.3):
+//! conjunctions of per-attribute compound predicates, where each compound
+//! predicate is an arbitrary AND/OR combination of simple predicates on one
+//! attribute.
+//!
+//! The key idea: each conjunction inside a compound predicate is a query
+//! featurizable with Universal Conjunction Encoding; the per-conjunction
+//! vectors are then merged by **entry-wise max**, which directly resembles
+//! the semantics of OR — additional disjuncts make a query only *less*
+//! selective. Compound predicates need not be in CNF/DNF: we normalize
+//! arbitrary AND/OR trees via [`crate::predicate::PredicateExpr::to_dnf`].
+//!
+//! The per-attribute selectivity entry (when enabled) is the exact
+//! uniformity-assumption selectivity of the *union* of the disjunct
+//! regions, computed by [`crate::interval::RegionSet`] — entry-wise max
+//! would overestimate it, and summing disjunct selectivities would double
+//! count overlaps.
+
+use crate::error::QfeError;
+use crate::featurize::conjunctive::featurize_conjunct;
+use crate::featurize::space::AttributeSpace;
+use crate::featurize::{group_by_column, FeatureVec, Featurizer};
+use crate::interval::RegionSet;
+use crate::query::Query;
+
+/// The `complex` QFT: Universal Conjunction Encoding per disjunct, merged
+/// by entry-wise max (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct LimitedDisjunctionEncoding {
+    space: AttributeSpace,
+    max_buckets: usize,
+    attr_sel: bool,
+    ternary: bool,
+}
+
+impl LimitedDisjunctionEncoding {
+    /// Build over `space` with at most `max_buckets` entries per attribute
+    /// and per-attribute selectivity entries enabled.
+    pub fn new(space: AttributeSpace, max_buckets: usize) -> Self {
+        assert!(max_buckets >= 1, "need at least one bucket per attribute");
+        LimitedDisjunctionEncoding {
+            space,
+            max_buckets,
+            attr_sel: true,
+            ternary: true,
+        }
+    }
+
+    /// Enable/disable the per-attribute selectivity entries.
+    pub fn with_attr_sel(mut self, attr_sel: bool) -> Self {
+        self.attr_sel = attr_sel;
+        self
+    }
+
+    /// Enable/disable the ternary `½` marks (see
+    /// [`super::UniversalConjunctionEncoding::with_ternary`]).
+    pub fn with_ternary(mut self, ternary: bool) -> Self {
+        self.ternary = ternary;
+        self
+    }
+
+    /// The attribute space this encoder is defined over.
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// Maximum buckets per attribute (`n`).
+    pub fn max_buckets(&self) -> usize {
+        self.max_buckets
+    }
+
+    fn attr_width(&self, pos: usize) -> usize {
+        self.space.domain(pos).bucket_count(self.max_buckets) + usize::from(self.attr_sel)
+    }
+}
+
+impl Featurizer for LimitedDisjunctionEncoding {
+    fn name(&self) -> &'static str {
+        "complex"
+    }
+
+    fn dim(&self) -> usize {
+        (0..self.space.len()).map(|p| self.attr_width(p)).sum()
+    }
+
+    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+        let grouped = group_by_column(query);
+        let mut per_attr: Vec<Option<(Vec<f32>, f64)>> = vec![None; self.space.len()];
+        for (col, expr) in grouped {
+            let Some(pos) = self.space.position(col) else {
+                return Err(QfeError::InvalidQuery(format!(
+                    "predicate on attribute outside the featurizer's space: table {} column {}",
+                    col.table.0, col.column.0
+                )));
+            };
+            let domain = self.space.domain(pos);
+            let n_a = domain.bucket_count(self.max_buckets);
+            // Algorithm 2 line 3: start from an all-zero vector V …
+            let mut merged = vec![0.0f32; n_a];
+            let mut regions = Vec::new();
+            // … line 4: for each disjunct d of the compound predicate …
+            for conjunct in expr.to_dnf()? {
+                // … line 5: featurize d with Algorithm 1 …
+                let (v, region) = featurize_conjunct(&conjunct, domain, n_a, self.ternary)?;
+                // … line 6: merge by entry-wise max.
+                for (m, e) in merged.iter_mut().zip(&v) {
+                    *m = m.max(*e);
+                }
+                regions.push(region);
+            }
+            let sel = RegionSet::new(regions).selectivity(domain);
+            per_attr[pos] = Some((merged, sel));
+        }
+        let mut out = Vec::with_capacity(self.dim());
+        for (pos, slot) in per_attr.iter().enumerate() {
+            let n_a = self.space.domain(pos).bucket_count(self.max_buckets);
+            match slot {
+                Some((buckets, sel)) => {
+                    out.extend_from_slice(buckets);
+                    if self.attr_sel {
+                        out.push(*sel as f32);
+                    }
+                }
+                None => {
+                    out.extend(std::iter::repeat_n(1.0, n_a));
+                    if self.attr_sel {
+                        out.push(1.0);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.dim());
+        Ok(FeatureVec(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::UniversalConjunctionEncoding;
+    use crate::predicate::{CmpOp, CompoundPredicate, PredicateExpr, SimplePredicate};
+    use crate::query::ColumnRef;
+    use crate::schema::{AttributeDomain, ColumnId, TableId};
+
+    /// Attributes A [-9, 50], B [0, 115], C in {1, 2} — the Section 3.3
+    /// example space (n = 12).
+    fn paper_space() -> AttributeSpace {
+        AttributeSpace::new(vec![
+            (
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                AttributeDomain::integers(-9, 50),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(1)),
+                AttributeDomain::integers(0, 115),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(2)),
+                AttributeDomain::integers(1, 2),
+            ),
+        ])
+    }
+
+    fn col(i: usize) -> ColumnRef {
+        ColumnRef::new(TableId(0), ColumnId(i))
+    }
+
+    /// Section 3.3 example:
+    /// `(A > -2 AND A <= 30 AND A != 7 OR A >= 42) AND B >= 39.5` gives
+    /// A: 0 ½ 1 ½ 1 1 1 ½ 0 0 ½ 1   B: 0 0 0 0 ½ 1 1 1 1 1 1 1   C: 1 1
+    #[test]
+    fn paper_example_merged_vector() {
+        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12).with_attr_sel(false);
+        let q = Query::single_table(
+            TableId(0),
+            vec![
+                CompoundPredicate {
+                    column: col(0),
+                    expr: PredicateExpr::Or(vec![
+                        PredicateExpr::And(vec![
+                            PredicateExpr::leaf(CmpOp::Gt, -2),
+                            PredicateExpr::leaf(CmpOp::Le, 30),
+                            PredicateExpr::leaf(CmpOp::Ne, 7),
+                        ]),
+                        PredicateExpr::leaf(CmpOp::Ge, 42),
+                    ]),
+                },
+                CompoundPredicate::conjunction(col(1), vec![SimplePredicate::new(CmpOp::Ge, 39.5)]),
+            ],
+        );
+        let f = enc.featurize(&q).unwrap();
+        let expected_a = [0.0, 0.5, 1.0, 0.5, 1.0, 1.0, 1.0, 0.5, 0.0, 0.0, 0.5, 1.0];
+        let expected_b = [0.0, 0.0, 0.0, 0.0, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let expected_c = [1.0, 1.0];
+        assert_eq!(&f.0[..12], &expected_a, "attribute A");
+        assert_eq!(&f.0[12..24], &expected_b, "attribute B");
+        assert_eq!(&f.0[24..], &expected_c, "attribute C");
+    }
+
+    #[test]
+    fn reduces_to_conjunctive_encoding_on_conjunctive_queries() {
+        // JOB-light contains no disjunctions, hence the paper notes the
+        // feature vectors of `complex` and `conjunctive` coincide there.
+        let space = paper_space();
+        let complex = LimitedDisjunctionEncoding::new(space.clone(), 12);
+        let conj = UniversalConjunctionEncoding::new(space, 12);
+        let q = Query::single_table(
+            TableId(0),
+            vec![
+                CompoundPredicate::conjunction(
+                    col(0),
+                    vec![
+                        SimplePredicate::new(CmpOp::Ge, 0),
+                        SimplePredicate::new(CmpOp::Le, 20),
+                        SimplePredicate::new(CmpOp::Ne, 5),
+                    ],
+                ),
+                CompoundPredicate::conjunction(col(2), vec![SimplePredicate::new(CmpOp::Eq, 2)]),
+            ],
+        );
+        assert_eq!(complex.featurize(&q).unwrap(), conj.featurize(&q).unwrap());
+        assert_eq!(complex.dim(), conj.dim());
+    }
+
+    #[test]
+    fn disjunction_only_increases_entries() {
+        // Adding a disjunct makes the query less selective: every entry is
+        // monotonically non-decreasing in the number of disjuncts.
+        let space = paper_space();
+        let enc = LimitedDisjunctionEncoding::new(space, 12).with_attr_sel(false);
+        let disjuncts = [
+            PredicateExpr::And(vec![
+                PredicateExpr::leaf(CmpOp::Ge, 0),
+                PredicateExpr::leaf(CmpOp::Le, 10),
+            ]),
+            PredicateExpr::leaf(CmpOp::Eq, 42),
+            PredicateExpr::And(vec![
+                PredicateExpr::leaf(CmpOp::Ge, 20),
+                PredicateExpr::leaf(CmpOp::Le, 25),
+            ]),
+        ];
+        let mut prev: Option<Vec<f32>> = None;
+        for k in 1..=disjuncts.len() {
+            let q = Query::single_table(
+                TableId(0),
+                vec![CompoundPredicate {
+                    column: col(0),
+                    expr: PredicateExpr::Or(disjuncts[..k].to_vec()),
+                }],
+            );
+            let f = enc.featurize(&q).unwrap();
+            if let Some(prev) = &prev {
+                for (new, old) in f.0.iter().zip(prev) {
+                    assert!(new >= old, "entry decreased when adding a disjunct");
+                }
+            }
+            prev = Some(f.0);
+        }
+    }
+
+    #[test]
+    fn union_selectivity_entry_does_not_double_count() {
+        // Two disjuncts covering the identical range: selectivity of the
+        // union equals that of a single disjunct.
+        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12);
+        let range = |lo: i64, hi: i64| {
+            PredicateExpr::And(vec![
+                PredicateExpr::leaf(CmpOp::Ge, lo),
+                PredicateExpr::leaf(CmpOp::Le, hi),
+            ])
+        };
+        let single = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: col(1),
+                expr: range(10, 40),
+            }],
+        );
+        let double = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: col(1),
+                expr: PredicateExpr::Or(vec![range(10, 40), range(10, 40)]),
+            }],
+        );
+        let fs = enc.featurize(&single).unwrap();
+        let fd = enc.featurize(&double).unwrap();
+        assert_eq!(fs, fd);
+    }
+
+    #[test]
+    fn non_dnf_trees_are_normalized() {
+        // ((a OR b) AND c) is not in DNF; Algorithm 2 still applies after
+        // normalization.
+        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12).with_attr_sel(false);
+        let nested = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: col(1),
+                expr: PredicateExpr::And(vec![
+                    PredicateExpr::Or(vec![
+                        PredicateExpr::leaf(CmpOp::Le, 20),
+                        PredicateExpr::leaf(CmpOp::Ge, 100),
+                    ]),
+                    PredicateExpr::leaf(CmpOp::Ne, 10),
+                ]),
+            }],
+        );
+        let flat = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: col(1),
+                expr: PredicateExpr::Or(vec![
+                    PredicateExpr::And(vec![
+                        PredicateExpr::leaf(CmpOp::Le, 20),
+                        PredicateExpr::leaf(CmpOp::Ne, 10),
+                    ]),
+                    PredicateExpr::And(vec![
+                        PredicateExpr::leaf(CmpOp::Ge, 100),
+                        PredicateExpr::leaf(CmpOp::Ne, 10),
+                    ]),
+                ]),
+            }],
+        );
+        assert_eq!(
+            enc.featurize(&nested).unwrap(),
+            enc.featurize(&flat).unwrap()
+        );
+    }
+
+    #[test]
+    fn no_predicate_attribute_is_all_ones() {
+        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12);
+        let q = Query::single_table(TableId(0), vec![]);
+        let f = enc.featurize(&q).unwrap();
+        assert!(f.0.iter().all(|&e| e == 1.0));
+    }
+}

@@ -1,0 +1,501 @@
+//! Universal Conjunction Encoding (Section 3.2, Algorithm 1).
+//!
+//! The data-driven idea: (1) partition the data domain of each attribute,
+//! (2) give each partition one feature-vector entry, and (3) assign each
+//! entry a categorical value indicating whether the partition satisfies the
+//! predicates of the query — `0` (no value qualifies), `½` (some values
+//! qualify), `1` (all values qualify). This encodes queries with
+//! *arbitrarily many* simple predicates connected by AND, unlike the
+//! fixed-slot encodings.
+//!
+//! Per the paper, an optional per-attribute selectivity estimate (the gray
+//! entries of Algorithm 1) is appended after each attribute's buckets; it
+//! is the uniformity-assumption fraction of the attribute's domain that
+//! qualifies, which helps the model when buckets are coarse or training
+//! data is scarce. We compute it exactly via [`crate::interval::Region`]
+//! (a refinement of the paper's `r_A` formula that handles equality
+//! predicates and off-by-one endpoints precisely).
+//!
+//! When an attribute's domain has at most as many distinct values as
+//! buckets, each bucket covers exactly one value and the implementation
+//! switches to an exact 0/1 mode (no ½ entries), as described at the end of
+//! Section 3.2.
+
+use crate::error::QfeError;
+use crate::featurize::space::AttributeSpace;
+use crate::featurize::{group_by_column, FeatureVec, Featurizer};
+use crate::interval::{Region, RegionSet};
+use crate::predicate::{CmpOp, SimplePredicate};
+use crate::query::Query;
+use crate::schema::AttributeDomain;
+
+/// The `conjunctive` QFT: bucketized per-attribute vectors with entries in
+/// `{0, ½, 1}` plus optional per-attribute selectivity estimates.
+#[derive(Debug, Clone)]
+pub struct UniversalConjunctionEncoding {
+    space: AttributeSpace,
+    max_buckets: usize,
+    attr_sel: bool,
+    ternary: bool,
+}
+
+impl UniversalConjunctionEncoding {
+    /// Build over `space` with at most `max_buckets` entries per attribute
+    /// (the paper's `n`; 32–64 is recommended, cf. Section 5.4) and
+    /// per-attribute selectivity entries enabled.
+    pub fn new(space: AttributeSpace, max_buckets: usize) -> Self {
+        assert!(max_buckets >= 1, "need at least one bucket per attribute");
+        UniversalConjunctionEncoding {
+            space,
+            max_buckets,
+            attr_sel: true,
+            ternary: true,
+        }
+    }
+
+    /// Enable/disable the per-attribute selectivity entries (Table 3
+    /// ablates them).
+    pub fn with_attr_sel(mut self, attr_sel: bool) -> Self {
+        self.attr_sel = attr_sel;
+        self
+    }
+
+    /// Enable/disable the ternary `½` marks for partially-qualifying
+    /// buckets. With `false`, touched buckets keep their binary value
+    /// (superset semantics) — an ablation of the design choice, not part
+    /// of the paper's algorithm.
+    pub fn with_ternary(mut self, ternary: bool) -> Self {
+        self.ternary = ternary;
+        self
+    }
+
+    /// The attribute space this encoder is defined over.
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// Maximum buckets per attribute (`n`).
+    pub fn max_buckets(&self) -> usize {
+        self.max_buckets
+    }
+
+    /// Whether selectivity entries are appended.
+    pub fn attr_sel(&self) -> bool {
+        self.attr_sel
+    }
+
+    /// Number of bucket entries of the attribute at layout position `pos`.
+    pub fn buckets_of(&self, pos: usize) -> usize {
+        self.space.domain(pos).bucket_count(self.max_buckets)
+    }
+
+    /// Per-attribute vector width including the selectivity entry.
+    fn attr_width(&self, pos: usize) -> usize {
+        self.buckets_of(pos) + usize::from(self.attr_sel)
+    }
+
+    /// Offset of attribute `pos` inside the feature vector.
+    pub fn attr_offset(&self, pos: usize) -> usize {
+        (0..pos).map(|p| self.attr_width(p)).sum()
+    }
+}
+
+/// Featurize one attribute's conjunction of simple predicates into `n_a`
+/// bucket entries (Algorithm 1 lines 1–16) plus the exact selectivity.
+///
+/// Shared with Limited Disjunction Encoding, which runs it once per
+/// disjunct and merges by entry-wise max (Algorithm 2).
+pub(crate) fn featurize_conjunct(
+    preds: &[SimplePredicate],
+    domain: &AttributeDomain,
+    n_a: usize,
+    ternary: bool,
+) -> Result<(Vec<f32>, Region), QfeError> {
+    let exact = domain.exact_buckets(n_a);
+    let v = featurize_conjunct_buckets(preds, n_a, exact, ternary, &|val| {
+        domain.bucket_of(val, n_a)
+    })?;
+    let region = Region::from_conjunct(preds, domain);
+    Ok((v, region))
+}
+
+/// The bucket-update core of Algorithm 1, generic over the bucket mapping
+/// (equal-width per the paper, or data-driven equi-depth via
+/// [`super::EquiDepthConjunctionEncoding`]). `bucket_of` must be monotone
+/// non-decreasing in its argument.
+pub(crate) fn featurize_conjunct_buckets(
+    preds: &[SimplePredicate],
+    n_a: usize,
+    exact: bool,
+    ternary: bool,
+    bucket_of: &dyn Fn(f64) -> usize,
+) -> Result<Vec<f32>, QfeError> {
+    let mut v = vec![1.0f32; n_a];
+    for p in preds {
+        let val = p.value.as_f64().ok_or_else(|| {
+            QfeError::InvalidLiteral(format!(
+                "literal {} must be dictionary-encoded before featurization",
+                p.value
+            ))
+        })?;
+        let idx = bucket_of(val).min(n_a - 1);
+        // Line 5: a bucket touched by a predicate only *partially*
+        // qualifies — but only in coarse mode; with exact single-value
+        // buckets the boundary is sharp (end of Section 3.2). With the
+        // ternary marks ablated, touched buckets keep their value
+        // (superset semantics).
+        let mark_partial = |v: &mut [f32], idx: usize| {
+            if ternary && v[idx] == 1.0 {
+                v[idx] = 0.5;
+            }
+        };
+        match p.op {
+            CmpOp::Eq => {
+                if !exact {
+                    mark_partial(&mut v, idx);
+                }
+                for (i, entry) in v.iter_mut().enumerate() {
+                    if i != idx {
+                        *entry = 0.0;
+                    }
+                }
+            }
+            CmpOp::Gt => {
+                let zero_to = if exact { idx + 1 } else { idx };
+                if !exact {
+                    mark_partial(&mut v, idx);
+                }
+                v[..zero_to.min(n_a)].fill(0.0);
+            }
+            CmpOp::Ge => {
+                if !exact {
+                    mark_partial(&mut v, idx);
+                }
+                v[..idx].fill(0.0);
+            }
+            CmpOp::Lt => {
+                let zero_from = if exact { idx } else { idx + 1 };
+                if !exact {
+                    mark_partial(&mut v, idx);
+                }
+                v[zero_from..].fill(0.0);
+            }
+            CmpOp::Le => {
+                if !exact {
+                    mark_partial(&mut v, idx);
+                }
+                v[idx + 1..].fill(0.0);
+            }
+            CmpOp::Ne => {
+                if exact {
+                    v[idx] = 0.0;
+                } else {
+                    mark_partial(&mut v, idx);
+                }
+            }
+        }
+    }
+    Ok(v)
+}
+
+impl Featurizer for UniversalConjunctionEncoding {
+    fn name(&self) -> &'static str {
+        "conjunctive"
+    }
+
+    fn dim(&self) -> usize {
+        (0..self.space.len()).map(|p| self.attr_width(p)).sum()
+    }
+
+    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+        let grouped = group_by_column(query);
+        // Per-attribute slots default to "no predicate": all-one buckets,
+        // selectivity 1.
+        let mut per_attr: Vec<Option<(Vec<f32>, f64)>> = vec![None; self.space.len()];
+        for (col, expr) in grouped {
+            let Some(pos) = self.space.position(col) else {
+                return Err(QfeError::InvalidQuery(format!(
+                    "predicate on attribute outside the featurizer's space: table {} column {}",
+                    col.table.0, col.column.0
+                )));
+            };
+            if !expr.is_conjunctive() {
+                return Err(QfeError::UnsupportedQuery(
+                    "Universal Conjunction Encoding cannot featurize disjunctions; \
+                     use Limited Disjunction Encoding"
+                        .into(),
+                ));
+            }
+            let domain = self.space.domain(pos);
+            let n_a = domain.bucket_count(self.max_buckets);
+            match expr.to_dnf()?.into_iter().next() {
+                Some(preds) => {
+                    let (buckets, region) = featurize_conjunct(&preds, domain, n_a, self.ternary)?;
+                    let sel = RegionSet::new(vec![region]).selectivity(domain);
+                    per_attr[pos] = Some((buckets, sel));
+                }
+                // An empty disjunction is unsatisfiable (e.g. a prefix
+                // predicate matching nothing): no bucket qualifies.
+                None => per_attr[pos] = Some((vec![0.0; n_a], 0.0)),
+            }
+        }
+        let mut out = Vec::with_capacity(self.dim());
+        for (pos, slot) in per_attr.iter().enumerate() {
+            match slot {
+                Some((buckets, sel)) => {
+                    out.extend_from_slice(buckets);
+                    if self.attr_sel {
+                        out.push(*sel as f32);
+                    }
+                }
+                None => {
+                    out.extend(std::iter::repeat_n(1.0, self.buckets_of(pos)));
+                    if self.attr_sel {
+                        out.push(1.0);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.dim());
+        Ok(FeatureVec(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompoundPredicate, PredicateExpr};
+    use crate::query::ColumnRef;
+    use crate::schema::{ColumnId, TableId};
+
+    /// The paper's running example: attributes A [-9, 50], B [0, 115],
+    /// C in {1, 2}; n = 12.
+    fn paper_space() -> AttributeSpace {
+        AttributeSpace::new(vec![
+            (
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                AttributeDomain::integers(-9, 50),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(1)),
+                AttributeDomain::integers(0, 115),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(2)),
+                AttributeDomain::integers(1, 2),
+            ),
+        ])
+    }
+
+    fn col(i: usize) -> ColumnRef {
+        ColumnRef::new(TableId(0), ColumnId(i))
+    }
+
+    /// Section 3.2 example: A < 7 AND B >= 30 AND B <= 100 AND B <> 66
+    /// with n = 12 yields
+    /// A: 1 1 1 ½ 0 0 0 0 0 0 0 0   B: 0 0 0 ½ 1 1 ½ 1 1 1 ½ 0   C: 1 1
+    #[test]
+    fn paper_example_feature_vector() {
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12).with_attr_sel(false);
+        let q = Query::single_table(
+            TableId(0),
+            vec![
+                CompoundPredicate::conjunction(col(0), vec![SimplePredicate::new(CmpOp::Lt, 7)]),
+                CompoundPredicate::conjunction(
+                    col(1),
+                    vec![
+                        SimplePredicate::new(CmpOp::Ge, 30),
+                        SimplePredicate::new(CmpOp::Le, 100),
+                        SimplePredicate::new(CmpOp::Ne, 66),
+                    ],
+                ),
+            ],
+        );
+        let f = enc.featurize(&q).unwrap();
+        let expected_a = [1.0, 1.0, 1.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let expected_b = [0.0, 0.0, 0.0, 0.5, 1.0, 1.0, 0.5, 1.0, 1.0, 1.0, 0.5, 0.0];
+        let expected_c = [1.0, 1.0];
+        assert_eq!(&f.0[..12], &expected_a);
+        assert_eq!(&f.0[12..24], &expected_b);
+        assert_eq!(&f.0[24..26], &expected_c);
+        assert_eq!(f.dim(), 26);
+    }
+
+    /// With attrSel the example's gray entries are ~0.27 for A (16/60) and
+    /// ~0.48 for B (70/116, the paper rounds to .48); C gets 1.0.
+    #[test]
+    fn paper_example_selectivity_entries() {
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let q = Query::single_table(
+            TableId(0),
+            vec![
+                CompoundPredicate::conjunction(col(0), vec![SimplePredicate::new(CmpOp::Lt, 7)]),
+                CompoundPredicate::conjunction(
+                    col(1),
+                    vec![
+                        SimplePredicate::new(CmpOp::Ge, 30),
+                        SimplePredicate::new(CmpOp::Le, 100),
+                        SimplePredicate::new(CmpOp::Ne, 66),
+                    ],
+                ),
+            ],
+        );
+        let f = enc.featurize(&q).unwrap();
+        // Layout: A buckets (12) + sel, B buckets (12) + sel, C buckets (2) + sel.
+        let sel_a = f.0[12];
+        let sel_b = f.0[25];
+        let sel_c = f.0[28];
+        // A < 7 on [-9, 50]: qualifying integers -9..=6 => 16 / 60.
+        assert!((sel_a - 16.0 / 60.0).abs() < 1e-6, "sel_a = {sel_a}");
+        // 30 <= B <= 100 minus 66 on [0, 115]: 70 / 116.
+        assert!((sel_b - 70.0 / 116.0).abs() < 1e-6, "sel_b = {sel_b}");
+        assert_eq!(sel_c, 1.0);
+        assert_eq!(f.dim(), 12 + 1 + 12 + 1 + 2 + 1);
+    }
+
+    #[test]
+    fn equality_zeroes_all_other_buckets() {
+        let d = AttributeDomain::integers(0, 999);
+        let (v, _) =
+            featurize_conjunct(&[SimplePredicate::new(CmpOp::Eq, 500)], &d, 10, true).unwrap();
+        let idx = d.bucket_of(500.0, 10);
+        for (i, &e) in v.iter().enumerate() {
+            if i == idx {
+                assert_eq!(e, 0.5);
+            } else {
+                assert_eq!(e, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_uses_only_binary_entries() {
+        // Domain {1, 2} with 12 max buckets -> 2 exact buckets.
+        let d = AttributeDomain::integers(1, 2);
+        let (v, _) =
+            featurize_conjunct(&[SimplePredicate::new(CmpOp::Eq, 2)], &d, 2, true).unwrap();
+        assert_eq!(v, vec![0.0, 1.0]);
+        let (v, _) =
+            featurize_conjunct(&[SimplePredicate::new(CmpOp::Ne, 2)], &d, 2, true).unwrap();
+        assert_eq!(v, vec![1.0, 0.0]);
+        let (v, _) =
+            featurize_conjunct(&[SimplePredicate::new(CmpOp::Gt, 1)], &d, 2, true).unwrap();
+        assert_eq!(v, vec![0.0, 1.0]);
+        let (v, _) =
+            featurize_conjunct(&[SimplePredicate::new(CmpOp::Ge, 2)], &d, 2, true).unwrap();
+        assert_eq!(v, vec![0.0, 1.0]);
+        let (v, _) =
+            featurize_conjunct(&[SimplePredicate::new(CmpOp::Lt, 2)], &d, 2, true).unwrap();
+        assert_eq!(v, vec![1.0, 0.0]);
+        let (v, _) =
+            featurize_conjunct(&[SimplePredicate::new(CmpOp::Le, 1)], &d, 2, true).unwrap();
+        assert_eq!(v, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn conjunction_only_decreases_entries() {
+        // Adding conjuncts can only make a query more selective: every
+        // entry is monotonically non-increasing in the number of predicates.
+        let d = AttributeDomain::integers(0, 99);
+        let preds = [
+            SimplePredicate::new(CmpOp::Ge, 10),
+            SimplePredicate::new(CmpOp::Le, 80),
+            SimplePredicate::new(CmpOp::Ne, 42),
+            SimplePredicate::new(CmpOp::Gt, 15),
+        ];
+        let mut prev = vec![1.0f32; 16];
+        for k in 0..=preds.len() {
+            let (v, _) = featurize_conjunct(&preds[..k], &d, 16, true).unwrap();
+            for (a, b) in v.iter().zip(&prev) {
+                assert!(a <= b, "entry increased when adding a conjunct");
+            }
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn no_predicate_attribute_is_all_ones() {
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let q = Query::single_table(TableId(0), vec![]);
+        let f = enc.featurize(&q).unwrap();
+        assert!(f.0.iter().all(|&e| e == 1.0));
+    }
+
+    #[test]
+    fn empty_disjunction_is_unsatisfiable_not_unrestricted() {
+        // An `Or([])` (e.g. a prefix predicate matching no dictionary
+        // entry) must zero its attribute's buckets, not leave them all-one.
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: col(0),
+                expr: PredicateExpr::Or(vec![]),
+            }],
+        );
+        let f = enc.featurize(&q).unwrap();
+        // Attribute A: 12 zero buckets + selectivity 0.
+        assert!(f.0[..12].iter().all(|&e| e == 0.0), "{:?}", &f.0[..13]);
+        assert_eq!(f.0[12], 0.0);
+        // Other attributes untouched.
+        assert!(f.0[13..].iter().all(|&e| e == 1.0));
+    }
+
+    #[test]
+    fn disjunction_is_rejected() {
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: col(0),
+                expr: PredicateExpr::Or(vec![
+                    PredicateExpr::leaf(CmpOp::Eq, 1),
+                    PredicateExpr::leaf(CmpOp::Eq, 2),
+                ]),
+            }],
+        );
+        assert!(matches!(
+            enc.featurize(&q),
+            Err(QfeError::UnsupportedQuery(_))
+        ));
+    }
+
+    #[test]
+    fn raw_string_literal_is_rejected() {
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                col(0),
+                vec![SimplePredicate::new(CmpOp::Eq, "raw")],
+            )],
+        );
+        assert!(matches!(
+            enc.featurize(&q),
+            Err(QfeError::InvalidLiteral(_))
+        ));
+    }
+
+    #[test]
+    fn determinism() {
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 32);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                col(1),
+                vec![
+                    SimplePredicate::new(CmpOp::Ge, 30),
+                    SimplePredicate::new(CmpOp::Le, 100),
+                ],
+            )],
+        );
+        assert_eq!(enc.featurize(&q).unwrap(), enc.featurize(&q).unwrap());
+    }
+
+    #[test]
+    fn offsets_are_consistent_with_dim() {
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let last = enc.space().len() - 1;
+        assert_eq!(enc.attr_offset(last) + enc.buckets_of(last) + 1, enc.dim());
+    }
+}

@@ -1,0 +1,162 @@
+//! GROUP BY featurization (Section 6 of the paper).
+//!
+//! "Suppose a binary vector with as many entries as attributes in the
+//! table under consideration … this vector exactly describes the GROUP BY
+//! clause by setting the entry of each of the grouping attributes to 1.
+//! For instance, for attributes A1 … A5, `01010` corresponds to
+//! GROUP BY A2, A4." The vector is appended to any QFT's feature vector,
+//! so grouped-query cardinality estimation (the number of result groups)
+//! reuses the whole featurization stack.
+
+use crate::error::QfeError;
+use crate::featurize::space::AttributeSpace;
+use crate::featurize::{FeatureVec, Featurizer};
+use crate::query::{ColumnRef, Query};
+
+/// A count query with a GROUP BY clause; its result cardinality is the
+/// number of distinct groups among qualifying rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedQuery {
+    /// The underlying selection/join query.
+    pub query: Query,
+    /// Grouping attributes (empty means no grouping: one result row).
+    pub group_by: Vec<ColumnRef>,
+}
+
+impl GroupedQuery {
+    /// Wrap a query with grouping attributes.
+    pub fn new(query: Query, group_by: Vec<ColumnRef>) -> Self {
+        GroupedQuery { query, group_by }
+    }
+}
+
+/// Wraps any featurizer and appends the binary GROUP BY vector over the
+/// same attribute space.
+#[derive(Debug, Clone)]
+pub struct GroupByEncoding<F> {
+    inner: F,
+    space: AttributeSpace,
+}
+
+impl<F: Featurizer> GroupByEncoding<F> {
+    /// Wrap `inner`; `space` must be the attribute space the grouping
+    /// attributes come from (usually the same space as `inner`'s).
+    pub fn new(inner: F, space: AttributeSpace) -> Self {
+        GroupByEncoding { inner, space }
+    }
+
+    /// Total feature dimension.
+    pub fn dim(&self) -> usize {
+        self.inner.dim() + self.space.len()
+    }
+
+    /// Featurize a grouped query: the inner featurization of the selection
+    /// part followed by the binary grouping vector.
+    pub fn featurize(&self, grouped: &GroupedQuery) -> Result<FeatureVec, QfeError> {
+        let mut vec = self.inner.featurize(&grouped.query)?.0;
+        let mut bits = vec![0.0f32; self.space.len()];
+        for col in &grouped.group_by {
+            let pos = self.space.position(*col).ok_or_else(|| {
+                QfeError::InvalidQuery(format!(
+                    "grouping attribute outside the featurizer's space: table {} column {}",
+                    col.table.0, col.column.0
+                ))
+            })?;
+            bits[pos] = 1.0;
+        }
+        vec.extend_from_slice(&bits);
+        Ok(FeatureVec(vec))
+    }
+
+    /// The wrapped featurizer.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::RangePredicateEncoding;
+    use crate::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+    use crate::schema::{AttributeDomain, ColumnId, TableId};
+
+    fn space() -> AttributeSpace {
+        AttributeSpace::new(vec![
+            (
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                AttributeDomain::integers(0, 99),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(1)),
+                AttributeDomain::integers(0, 9),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(2)),
+                AttributeDomain::integers(0, 4),
+            ),
+        ])
+    }
+
+    fn col(i: usize) -> ColumnRef {
+        ColumnRef::new(TableId(0), ColumnId(i))
+    }
+
+    #[test]
+    fn paper_example_binary_vector() {
+        // GROUP BY A2 (index 1) over three attributes → bits 0 1 0.
+        let enc = GroupByEncoding::new(RangePredicateEncoding::new(space()), space());
+        let grouped = GroupedQuery::new(Query::single_table(TableId(0), vec![]), vec![col(1)]);
+        let f = enc.featurize(&grouped).unwrap();
+        assert_eq!(f.dim(), enc.dim());
+        assert_eq!(&f.0[f.dim() - 3..], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn multiple_grouping_attributes() {
+        let enc = GroupByEncoding::new(RangePredicateEncoding::new(space()), space());
+        let grouped = GroupedQuery::new(
+            Query::single_table(TableId(0), vec![]),
+            vec![col(0), col(2)],
+        );
+        let f = enc.featurize(&grouped).unwrap();
+        assert_eq!(&f.0[f.dim() - 3..], &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn selection_part_is_preserved() {
+        let enc = GroupByEncoding::new(RangePredicateEncoding::new(space()), space());
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                col(0),
+                vec![SimplePredicate::new(CmpOp::Le, 49)],
+            )],
+        );
+        let inner_f = enc.inner().featurize(&q).unwrap();
+        let grouped = GroupedQuery::new(q, vec![col(1)]);
+        let f = enc.featurize(&grouped).unwrap();
+        assert_eq!(&f.0[..inner_f.dim()], inner_f.as_slice());
+    }
+
+    #[test]
+    fn no_grouping_is_all_zero_bits() {
+        let enc = GroupByEncoding::new(RangePredicateEncoding::new(space()), space());
+        let grouped = GroupedQuery::new(Query::single_table(TableId(0), vec![]), vec![]);
+        let f = enc.featurize(&grouped).unwrap();
+        assert_eq!(&f.0[f.dim() - 3..], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn unknown_grouping_attribute_rejected() {
+        let enc = GroupByEncoding::new(RangePredicateEncoding::new(space()), space());
+        let grouped = GroupedQuery::new(
+            Query::single_table(TableId(0), vec![]),
+            vec![ColumnRef::new(TableId(3), ColumnId(0))],
+        );
+        assert!(matches!(
+            enc.featurize(&grouped),
+            Err(QfeError::InvalidQuery(_))
+        ));
+    }
+}

@@ -1,0 +1,333 @@
+//! Lossless query featurization (Definition 3.1) and its verification.
+//!
+//! A feature vector `F` is a *lossless* featurization of query `Q` iff
+//! there is a function from `F` to a query `Q̃` such that `Q` and `Q̃` have
+//! the same result. This module implements exactly such a function for the
+//! bucketized encodings: [`invert_conjunctive`] maps a Universal
+//! Conjunction / Limited Disjunction feature vector back to a query whose
+//! per-attribute qualifying set is the union of its fully-qualifying
+//! buckets.
+//!
+//! When every attribute is in the exact small-domain mode (one bucket per
+//! distinct value — the limit of Lemma 3.2) the reconstruction is exact:
+//! the reconstructed query selects precisely the same rows on **any** data.
+//! With coarse buckets, `½` entries mark partially-qualifying partitions
+//! and the reconstruction brackets the original query between a subset
+//! (counting only `1` buckets) and a superset (counting `½` too); the gap
+//! shrinks as `n` grows, which is the convergence statement of Lemma 3.2.
+//! Integration tests in `tests/lossless.rs` verify both directions against
+//! the execution engine.
+
+use crate::error::QfeError;
+use crate::featurize::{FeatureVec, Featurizer, UniversalConjunctionEncoding};
+use crate::predicate::{CmpOp, CompoundPredicate, PredicateExpr};
+use crate::query::Query;
+use crate::schema::{AttributeDomain, TableId};
+
+/// Which buckets count as qualifying during inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InversionMode {
+    /// Only fully-qualifying buckets (`1`): yields a query whose result is
+    /// a subset of the original's.
+    Subset,
+    /// Fully and partially qualifying buckets (`1` and `½`): yields a
+    /// superset query.
+    Superset,
+}
+
+/// The value range covered by bucket `idx` of `domain` under `n_a` buckets
+/// (inclusive bounds; for real domains the upper bound is exclusive up to
+/// the domain step).
+pub fn bucket_bounds(domain: &AttributeDomain, n_a: usize, idx: usize) -> (f64, f64) {
+    if domain.integral {
+        // Exact integer arithmetic: bucket i covers offsets o with
+        // i <= o*n_a/width < i+1.
+        let width = (domain.max - domain.min) as i64 + 1;
+        let n = n_a as i64;
+        let i = idx as i64;
+        let lo_off = (i * width + n - 1) / n;
+        let hi_off = ((i + 1) * width + n - 1) / n - 1;
+        (domain.min + lo_off as f64, domain.min + hi_off as f64)
+    } else {
+        let w = domain.width() / n_a as f64;
+        let lo = domain.min + idx as f64 * w;
+        let hi = (domain.min + (idx + 1) as f64 * w - domain.step()).min(domain.max);
+        (lo, hi)
+    }
+}
+
+/// Invert a Universal Conjunction Encoding feature vector into a query
+/// `Q̃` over `table` whose per-attribute qualifying sets are unions of the
+/// selected buckets (the function required by Definition 3.1).
+///
+/// The selectivity entries (if present in the encoding) are skipped; they
+/// are redundant with the buckets for inversion purposes.
+pub fn invert_conjunctive(
+    enc: &UniversalConjunctionEncoding,
+    features: &FeatureVec,
+    table: TableId,
+    mode: InversionMode,
+) -> Result<Query, QfeError> {
+    if features.dim() != enc.dim() {
+        return Err(QfeError::ShapeMismatch {
+            expected: enc.dim(),
+            actual: features.dim(),
+        });
+    }
+    let threshold = match mode {
+        InversionMode::Subset => 0.75,
+        InversionMode::Superset => 0.25,
+    };
+    let mut predicates = Vec::new();
+    let mut offset = 0usize;
+    for pos in 0..enc.space().len() {
+        let (col, domain) = &enc.space().columns()[pos];
+        let n_a = enc.buckets_of(pos);
+        let buckets = &features.0[offset..offset + n_a];
+        offset += n_a + usize::from(enc.attr_sel());
+        if buckets.iter().all(|&b| b >= threshold) {
+            continue; // attribute unrestricted
+        }
+        // Collect maximal runs of qualifying buckets into ranges.
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut run: Option<(usize, usize)> = None;
+        for (i, &b) in buckets.iter().enumerate() {
+            if b >= threshold {
+                run = Some(match run {
+                    Some((s, _)) => (s, i),
+                    None => (i, i),
+                });
+            } else if let Some(r) = run.take() {
+                ranges.push(r);
+            }
+        }
+        if let Some(r) = run {
+            ranges.push(r);
+        }
+        let mut disjuncts = Vec::with_capacity(ranges.len());
+        for (first, last) in ranges {
+            let (lo, _) = bucket_bounds(domain, n_a, first);
+            let (_, hi) = bucket_bounds(domain, n_a, last);
+            disjuncts.push(PredicateExpr::And(vec![
+                PredicateExpr::leaf(CmpOp::Ge, lo),
+                PredicateExpr::leaf(CmpOp::Le, hi),
+            ]));
+        }
+        let expr = if disjuncts.is_empty() {
+            // No qualifying bucket at all: an unsatisfiable predicate.
+            PredicateExpr::leaf(CmpOp::Lt, domain.min)
+        } else if disjuncts.len() == 1 {
+            disjuncts.pop().unwrap()
+        } else {
+            PredicateExpr::Or(disjuncts)
+        };
+        predicates.push(CompoundPredicate { column: *col, expr });
+    }
+    Ok(Query::single_table(table, predicates))
+}
+
+/// True if the feature vector contains no partial (`½`) bucket entry —
+/// when every attribute is in exact mode this certifies the inversion is
+/// exact and the featurization lossless for this query.
+pub fn is_exact(enc: &UniversalConjunctionEncoding, features: &FeatureVec) -> bool {
+    let mut offset = 0usize;
+    for pos in 0..enc.space().len() {
+        let n_a = enc.buckets_of(pos);
+        if features.0[offset..offset + n_a]
+            .iter()
+            .any(|&b| b != 0.0 && b != 1.0)
+        {
+            return false;
+        }
+        offset += n_a + usize::from(enc.attr_sel());
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{AttributeSpace, Featurizer};
+    use crate::predicate::SimplePredicate;
+    use crate::query::ColumnRef;
+    use crate::schema::ColumnId;
+
+    fn small_space() -> AttributeSpace {
+        AttributeSpace::new(vec![
+            (
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                AttributeDomain::integers(0, 15),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(1)),
+                AttributeDomain::integers(-3, 3),
+            ),
+        ])
+    }
+
+    fn col(i: usize) -> ColumnRef {
+        ColumnRef::new(TableId(0), ColumnId(i))
+    }
+
+    #[test]
+    fn bucket_bounds_partition_integer_domain() {
+        let d = AttributeDomain::integers(-9, 50);
+        let n_a = 12;
+        let mut covered = Vec::new();
+        for i in 0..n_a {
+            let (lo, hi) = bucket_bounds(&d, n_a, i);
+            assert!(lo <= hi, "bucket {i} empty: [{lo}, {hi}]");
+            let mut v = lo;
+            while v <= hi {
+                covered.push(v);
+                v += 1.0;
+            }
+        }
+        // Every domain value is covered exactly once.
+        assert_eq!(covered.len(), 60);
+        assert_eq!(covered[0], -9.0);
+        assert_eq!(*covered.last().unwrap(), 50.0);
+        for w in covered.windows(2) {
+            assert_eq!(w[1], w[0] + 1.0);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_agree_with_bucket_of() {
+        let d = AttributeDomain::integers(-9, 50);
+        for n_a in [1, 2, 5, 12, 60] {
+            for i in 0..n_a {
+                let (lo, hi) = bucket_bounds(&d, n_a, i);
+                assert_eq!(d.bucket_of(lo, n_a), i, "lo of bucket {i}/{n_a}");
+                assert_eq!(d.bucket_of(hi, n_a), i, "hi of bucket {i}/{n_a}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_inversion_reproduces_membership() {
+        // Lemma 3.2 limit: n >= domain size makes the featurization
+        // lossless — the inverted query accepts exactly the same values.
+        let enc = UniversalConjunctionEncoding::new(small_space(), 16);
+        let q = Query::single_table(
+            TableId(0),
+            vec![
+                CompoundPredicate::conjunction(
+                    col(0),
+                    vec![
+                        SimplePredicate::new(CmpOp::Ge, 3),
+                        SimplePredicate::new(CmpOp::Le, 12),
+                        SimplePredicate::new(CmpOp::Ne, 7),
+                    ],
+                ),
+                CompoundPredicate::conjunction(col(1), vec![SimplePredicate::new(CmpOp::Gt, 0)]),
+            ],
+        );
+        let f = enc.featurize(&q).unwrap();
+        assert!(is_exact(&enc, &f));
+        let inv = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Subset).unwrap();
+        // Attribute 0: membership must match on every domain value.
+        let orig_expr = &q.predicates[0].expr;
+        let inv_expr = &inv
+            .predicates
+            .iter()
+            .find(|cp| cp.column == col(0))
+            .unwrap()
+            .expr;
+        for v in 0..=15 {
+            assert_eq!(
+                orig_expr.matches_f64(v as f64),
+                inv_expr.matches_f64(v as f64),
+                "value {v}"
+            );
+        }
+        let orig_expr = &q.predicates[1].expr;
+        let inv_expr = &inv
+            .predicates
+            .iter()
+            .find(|cp| cp.column == col(1))
+            .unwrap()
+            .expr;
+        for v in -3..=3 {
+            assert_eq!(
+                orig_expr.matches_f64(v as f64),
+                inv_expr.matches_f64(v as f64),
+                "value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_inversion_brackets_the_query() {
+        // With coarse buckets the Subset inversion accepts a subset of the
+        // original's values and the Superset inversion a superset.
+        let space = AttributeSpace::new(vec![(col(0), AttributeDomain::integers(0, 99))]);
+        let enc = UniversalConjunctionEncoding::new(space, 8);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                col(0),
+                vec![
+                    SimplePredicate::new(CmpOp::Ge, 17),
+                    SimplePredicate::new(CmpOp::Le, 63),
+                ],
+            )],
+        );
+        let f = enc.featurize(&q).unwrap();
+        assert!(!is_exact(&enc, &f));
+        let sub = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Subset).unwrap();
+        let sup = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Superset).unwrap();
+        let orig = &q.predicates[0].expr;
+        let sub_expr = &sub.predicates[0].expr;
+        let sup_expr = &sup.predicates[0].expr;
+        for v in 0..=99 {
+            let v = v as f64;
+            if sub_expr.matches_f64(v) {
+                assert!(orig.matches_f64(v), "subset violated at {v}");
+            }
+            if orig.matches_f64(v) {
+                assert!(sup_expr.matches_f64(v), "superset violated at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrestricted_attributes_produce_no_predicate() {
+        let enc = UniversalConjunctionEncoding::new(small_space(), 16);
+        let q = Query::single_table(TableId(0), vec![]);
+        let f = enc.featurize(&q).unwrap();
+        let inv = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Subset).unwrap();
+        assert!(inv.predicates.is_empty());
+    }
+
+    #[test]
+    fn empty_selection_inverts_to_unsatisfiable() {
+        let enc = UniversalConjunctionEncoding::new(small_space(), 16);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                col(0),
+                vec![
+                    SimplePredicate::new(CmpOp::Gt, 10),
+                    SimplePredicate::new(CmpOp::Lt, 5),
+                ],
+            )],
+        );
+        let f = enc.featurize(&q).unwrap();
+        let inv = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Superset).unwrap();
+        let expr = &inv.predicates[0].expr;
+        for v in 0..=15 {
+            assert!(!expr.matches_f64(v as f64));
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let enc = UniversalConjunctionEncoding::new(small_space(), 16);
+        let bad = FeatureVec(vec![1.0; 3]);
+        assert!(matches!(
+            invert_conjunctive(&enc, &bad, TableId(0), InversionMode::Subset),
+            Err(QfeError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Query featurization techniques (QFTs) — the paper's core contribution.
+//!
+//! A QFT encodes a [`Query`] into a numeric [`FeatureVec`] that serves as
+//! input to a machine-learning model. All QFTs here are model-independent
+//! (Section 4): the same feature vector can be fed to a feed-forward
+//! network, a gradient-boosting model, or — via the set-based adapter in
+//! [`mscn`] — a multi-set convolutional network.
+//!
+//! | paper label  | type |
+//! |--------------|------|
+//! | `simple`     | [`SingularPredicateEncoding`] |
+//! | `range`      | [`RangePredicateEncoding`] |
+//! | `conjunctive`| [`UniversalConjunctionEncoding`] |
+//! | `complex`    | [`LimitedDisjunctionEncoding`] |
+
+mod complex;
+mod conjunctive;
+mod equidepth;
+pub mod groupby;
+pub mod join;
+pub mod lossless;
+pub mod mscn;
+mod range;
+mod simple;
+mod space;
+
+pub use complex::LimitedDisjunctionEncoding;
+pub use conjunctive::UniversalConjunctionEncoding;
+pub use equidepth::EquiDepthConjunctionEncoding;
+pub use groupby::{GroupByEncoding, GroupedQuery};
+pub use join::GlobalTableEncoding;
+pub use range::RangePredicateEncoding;
+pub use simple::SingularPredicateEncoding;
+pub use space::AttributeSpace;
+
+use crate::error::QfeError;
+use crate::predicate::PredicateExpr;
+use crate::query::{ColumnRef, Query};
+
+/// A featurized query: the numeric vector consumed by ML models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVec(pub Vec<f32>);
+
+impl FeatureVec {
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw entries.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Approximate in-memory footprint in bytes (Table 5 reports
+    /// per-feature-vector memory).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.0.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// A query featurization technique.
+///
+/// Implementations are deterministic: equal queries always produce equal
+/// feature vectors (the requirement of Eq. 4 in the paper — ML training
+/// breaks down if the same input maps to different labels, so featurization
+/// must at least be a function).
+pub trait Featurizer: Send + Sync {
+    /// Short label used in experiment output (`simple`, `range`,
+    /// `conjunctive`, `complex`).
+    fn name(&self) -> &'static str;
+
+    /// Length of every produced feature vector.
+    fn dim(&self) -> usize;
+
+    /// Encode `query` into a feature vector of length [`Featurizer::dim`].
+    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError>;
+}
+
+/// Boxed featurizers are featurizers, so composite encodings
+/// ([`GroupByEncoding`], [`GlobalTableEncoding`]) can wrap trait objects.
+impl Featurizer for Box<dyn Featurizer> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn dim(&self) -> usize {
+        self.as_ref().dim()
+    }
+
+    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+        self.as_ref().featurize(query)
+    }
+}
+
+/// Group a query's compound predicates by attribute, conjoining multiple
+/// compound predicates on the same attribute (Definition 3.3 permits one
+/// compound predicate per attribute; queries built from workload generators
+/// satisfy this, but user-built queries may repeat an attribute).
+pub(crate) fn group_by_column(query: &Query) -> Vec<(ColumnRef, PredicateExpr)> {
+    let mut grouped: Vec<(ColumnRef, Vec<PredicateExpr>)> = Vec::new();
+    for cp in &query.predicates {
+        match grouped.iter_mut().find(|(c, _)| *c == cp.column) {
+            Some((_, exprs)) => exprs.push(cp.expr.clone()),
+            None => grouped.push((cp.column, vec![cp.expr.clone()])),
+        }
+    }
+    grouped
+        .into_iter()
+        .map(|(c, mut exprs)| {
+            let expr = if exprs.len() == 1 {
+                exprs.pop().unwrap()
+            } else {
+                PredicateExpr::And(exprs)
+            };
+            (c, expr)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+    use crate::schema::{ColumnId, TableId};
+
+    #[test]
+    fn feature_vec_accessors() {
+        let v = FeatureVec(vec![0.0, 0.5, 1.0]);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.as_slice(), &[0.0, 0.5, 1.0]);
+        assert!(v.memory_bytes() >= 12);
+    }
+
+    #[test]
+    fn grouping_merges_repeated_attributes() {
+        let col_a = ColumnRef::new(TableId(0), ColumnId(0));
+        let col_b = ColumnRef::new(TableId(0), ColumnId(1));
+        let q = Query::single_table(
+            TableId(0),
+            vec![
+                CompoundPredicate::conjunction(col_a, vec![SimplePredicate::new(CmpOp::Ge, 1)]),
+                CompoundPredicate::conjunction(col_b, vec![SimplePredicate::new(CmpOp::Eq, 7)]),
+                CompoundPredicate::conjunction(col_a, vec![SimplePredicate::new(CmpOp::Le, 9)]),
+            ],
+        );
+        let grouped = group_by_column(&q);
+        assert_eq!(grouped.len(), 2);
+        let (c, expr) = &grouped[0];
+        assert_eq!(*c, col_a);
+        assert_eq!(expr.leaf_count(), 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Estimation-quality metrics: the q-error and distribution summaries.
+//!
+//! The q-error `max(x/e, e/x)` (Moerkotte et al. \[19\]) is the standard
+//! metric in ML-based cardinality estimation; it is relative and symmetric,
+//! unlike the relative error which systematically favors underestimation
+//! (Section 5, "Error metric"). Following the paper, truths are non-empty
+//! query results and estimates are clamped to `>= 1`, so the q-error is
+//! always defined and `>= 1`.
+
+/// q-error between a true cardinality `truth` and an estimate `estimate`.
+///
+/// Both inputs are clamped to `>= 1` per the paper's evaluation protocol.
+pub fn q_error(truth: f64, estimate: f64) -> f64 {
+    let x = truth.max(1.0);
+    let e = estimate.max(1.0);
+    (x / e).max(e / x)
+}
+
+/// Distribution summary of a set of errors: the statistics used in the
+/// paper's box plots (1 %, 25 %, 50 %, 75 %, 99 % quantiles) and tables
+/// (mean, median, 99 %, max).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 1 % quantile (lower whisker).
+    pub p01: f64,
+    /// 25 % quantile (box bottom).
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75 % quantile (box top).
+    pub p75: f64,
+    /// 90 % quantile.
+    pub p90: f64,
+    /// 95 % quantile.
+    pub p95: f64,
+    /// 99 % quantile (upper whisker).
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Minimum.
+    pub min: f64,
+}
+
+impl ErrorSummary {
+    /// Summarize a non-empty slice of errors.
+    ///
+    /// # Panics
+    /// Panics if `errors` is empty.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "cannot summarize zero errors");
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        ErrorSummary {
+            count: sorted.len(),
+            mean,
+            p01: quantile(&sorted, 0.01),
+            p25: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.50),
+            p75: quantile(&sorted, 0.75),
+            p90: quantile(&sorted, 0.90),
+            p95: quantile(&sorted, 0.95),
+            p99: quantile(&sorted, 0.99),
+            max: *sorted.last().unwrap(),
+            min: sorted[0],
+        }
+    }
+
+    /// Summarize q-errors of paired (truth, estimate) slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths or are empty.
+    pub fn from_estimates(truths: &[f64], estimates: &[f64]) -> Self {
+        assert_eq!(truths.len(), estimates.len(), "paired slices required");
+        let errors: Vec<f64> = truths
+            .iter()
+            .zip(estimates)
+            .map(|(&t, &e)| q_error(t, e))
+            .collect();
+        ErrorSummary::from_errors(&errors)
+    }
+
+    /// One-line rendering used by the experiment harness tables.
+    pub fn table_row(&self) -> String {
+        format!(
+            "mean {:>10.2}  median {:>8.2}  p99 {:>10.2}  max {:>10.2}",
+            self.mean, self.median, self.p99, self.max
+        )
+    }
+}
+
+/// Linear-interpolation quantile of an already-sorted slice, `q` in `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Geometric mean of errors — useful as a drift-robust aggregate.
+pub fn geometric_mean(errors: &[f64]) -> f64 {
+    assert!(!errors.is_empty());
+    let log_sum: f64 = errors.iter().map(|e| e.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / errors.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric() {
+        assert_eq!(q_error(100.0, 10.0), q_error(10.0, 100.0));
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+    }
+
+    #[test]
+    fn q_error_perfect_estimate_is_one() {
+        assert_eq!(q_error(7.0, 7.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_clamps_to_one() {
+        // Estimates below 1 and truths below 1 are clamped per the paper.
+        assert_eq!(q_error(1.0, 0.0), 1.0);
+        assert_eq!(q_error(0.5, 0.25), 1.0);
+        assert_eq!(q_error(0.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn q_error_never_below_one() {
+        for t in [0.0, 0.5, 1.0, 3.0, 1e9] {
+            for e in [0.0, 0.9, 1.0, 2.0, 1e12] {
+                assert!(q_error(t, e) >= 1.0, "q({t}, {e})");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 0.5), 3.0);
+        assert_eq!(quantile(&sorted, 1.0), 5.0);
+        assert_eq!(quantile(&sorted, 0.25), 2.0);
+        assert_eq!(quantile(&sorted, 0.1), 1.4);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn summary_of_constant_errors() {
+        let s = ErrorSummary::from_errors(&[2.0; 10]);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p99, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.min, 2.0);
+    }
+
+    #[test]
+    fn summary_orders_quantiles() {
+        let errors: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = ErrorSummary::from_errors(&errors);
+        assert!(s.p01 <= s.p25);
+        assert!(s.p25 <= s.median);
+        assert!(s.median <= s.p75);
+        assert!(s.p75 <= s.p90);
+        assert!(s.p90 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_from_estimate_pairs() {
+        let truths = [10.0, 100.0, 1000.0];
+        let ests = [10.0, 10.0, 100.0];
+        let s = ErrorSummary::from_estimates(&truths, &ests);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot summarize zero errors")]
+    fn summary_rejects_empty_input() {
+        let _ = ErrorSummary::from_errors(&[]);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_contains_all_fields() {
+        let s = ErrorSummary::from_errors(&[1.0, 2.0, 3.0]);
+        let row = s.table_row();
+        assert!(row.contains("mean"));
+        assert!(row.contains("median"));
+        assert!(row.contains("p99"));
+        assert!(row.contains("max"));
+    }
+}

@@ -1,0 +1,512 @@
+//! A small WHERE-clause parser.
+//!
+//! The workload generators build query ASTs directly; this parser exists
+//! for the public API, examples, and tests — it accepts the predicate
+//! grammar the paper's QFTs cover and produces [`CompoundPredicate`]s
+//! grouped per attribute (Definition 3.3). Grammar:
+//!
+//! ```text
+//! expr    := term ( OR term )*
+//! term    := factor ( AND factor )*
+//! factor  := '(' expr ')' | comparison
+//! comparison := ident op literal
+//! op      := '=' | '<' | '>' | '<=' | '>=' | '<>' | '!='
+//! literal := integer | float | 'single-quoted string'
+//! ```
+//!
+//! The parsed expression must be a *mixed query* per Definition 3.3: after
+//! normalization, every compound predicate may reference only one
+//! attribute. Cross-attribute disjunctions are rejected with a clear
+//! error (they are outside every QFT's supported class).
+
+use crate::error::QfeError;
+use crate::predicate::{CmpOp, CompoundPredicate, PredicateExpr, SimplePredicate};
+use crate::query::{ColumnRef, Query};
+use crate::schema::{Catalog, TableId};
+use crate::value::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Op(CmpOp),
+    And,
+    Or,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, QfeError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(CmpOp::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    return Err(QfeError::InvalidQuery(format!(
+                        "unexpected '!' at byte {i}"
+                    )));
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QfeError::InvalidQuery("unterminated string".into()));
+                }
+                tokens.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if text.contains('.') {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| QfeError::InvalidLiteral(format!("bad number '{text}'")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| QfeError::InvalidLiteral(format!("bad number '{text}'")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => tokens.push(Token::And),
+                    "OR" => tokens.push(Token::Or),
+                    _ => tokens.push(Token::Ident(word.to_owned())),
+                }
+            }
+            other => {
+                return Err(QfeError::InvalidQuery(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// An expression tree where leaves carry their attribute.
+#[derive(Debug, Clone)]
+enum Ast {
+    Leaf(ColumnRef, SimplePredicate),
+    And(Vec<Ast>),
+    Or(Vec<Ast>),
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    catalog: &'a Catalog,
+    table: TableId,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expr(&mut self) -> Result<Ast, QfeError> {
+        let mut terms = vec![self.term()?];
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.next();
+            terms.push(self.term()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Ast::Or(terms)
+        })
+    }
+
+    fn term(&mut self) -> Result<Ast, QfeError> {
+        let mut factors = vec![self.factor()?];
+        while matches!(self.peek(), Some(Token::And)) {
+            self.next();
+            factors.push(self.factor()?);
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().unwrap()
+        } else {
+            Ast::And(factors)
+        })
+    }
+
+    fn factor(&mut self) -> Result<Ast, QfeError> {
+        match self.next() {
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(QfeError::InvalidQuery("missing ')'".into())),
+                }
+            }
+            Some(Token::Ident(name)) => {
+                // Optional "table.column" qualification.
+                let column_name = match name.split_once('.') {
+                    Some((t, c)) => {
+                        let table_name = &self.catalog.table(self.table).name;
+                        if t != table_name {
+                            return Err(QfeError::UnknownTable(t.to_owned()));
+                        }
+                        c.to_owned()
+                    }
+                    None => name,
+                };
+                let cid = self
+                    .catalog
+                    .table(self.table)
+                    .column_id(&column_name)
+                    .ok_or_else(|| QfeError::UnknownColumn(column_name.clone()))?;
+                let op = match self.next() {
+                    Some(Token::Op(op)) => op,
+                    other => {
+                        return Err(QfeError::InvalidQuery(format!(
+                            "expected comparison operator after '{column_name}', got {other:?}"
+                        )))
+                    }
+                };
+                let value = match self.next() {
+                    Some(Token::Int(v)) => Value::Int(v),
+                    Some(Token::Float(v)) => Value::Float(v),
+                    Some(Token::Str(s)) => Value::Str(s),
+                    other => {
+                        return Err(QfeError::InvalidQuery(format!(
+                            "expected literal, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(Ast::Leaf(
+                    ColumnRef::new(self.table, cid),
+                    SimplePredicate { op, value },
+                ))
+            }
+            other => Err(QfeError::InvalidQuery(format!(
+                "expected '(' or attribute, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Which single attribute an AST references, if exactly one.
+fn single_attribute(ast: &Ast) -> Option<ColumnRef> {
+    fn collect(ast: &Ast, cols: &mut Vec<ColumnRef>) {
+        match ast {
+            Ast::Leaf(c, _) => {
+                if !cols.contains(c) {
+                    cols.push(*c);
+                }
+            }
+            Ast::And(children) | Ast::Or(children) => {
+                for c in children {
+                    collect(c, cols);
+                }
+            }
+        }
+    }
+    let mut cols = Vec::new();
+    collect(ast, &mut cols);
+    (cols.len() == 1).then(|| cols[0])
+}
+
+fn to_expr(ast: &Ast) -> PredicateExpr {
+    match ast {
+        Ast::Leaf(_, p) => PredicateExpr::Leaf(p.clone()),
+        Ast::And(children) => PredicateExpr::And(children.iter().map(to_expr).collect()),
+        Ast::Or(children) => PredicateExpr::Or(children.iter().map(to_expr).collect()),
+    }
+}
+
+/// Parse a WHERE clause over one table into per-attribute compound
+/// predicates (a mixed query per Definition 3.3).
+///
+/// # Errors
+/// * lexical/syntactic errors and unknown columns,
+/// * [`QfeError::UnsupportedQuery`] if a disjunction spans more than one
+///   attribute — such queries are outside Definition 3.3 and no QFT in
+///   the paper can featurize them.
+pub fn parse_where(
+    catalog: &Catalog,
+    table: TableId,
+    input: &str,
+) -> Result<Vec<CompoundPredicate>, QfeError> {
+    let tokens = lex(input)?;
+    if tokens.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        catalog,
+        table,
+    };
+    let ast = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(QfeError::InvalidQuery(format!(
+            "trailing tokens at position {}",
+            parser.pos
+        )));
+    }
+    // The top level must be a conjunction of per-attribute groups.
+    let top: Vec<Ast> = match ast {
+        Ast::And(children) => children,
+        other => vec![other],
+    };
+    let mut predicates: Vec<CompoundPredicate> = Vec::new();
+    for group in top {
+        let Some(col) = single_attribute(&group) else {
+            return Err(QfeError::UnsupportedQuery(
+                "a disjunction spans multiple attributes; mixed queries \
+                 (Definition 3.3) require per-attribute compound predicates"
+                    .into(),
+            ));
+        };
+        predicates.push(CompoundPredicate {
+            column: col,
+            expr: to_expr(&group),
+        });
+    }
+    Ok(predicates)
+}
+
+/// Parse a WHERE clause into a single-table [`Query`].
+pub fn parse_single_table_query(
+    catalog: &Catalog,
+    table: TableId,
+    where_clause: &str,
+) -> Result<Query, QfeError> {
+    Ok(Query::single_table(
+        table,
+        parse_where(catalog, table, where_clause)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDomain, ColumnMeta, TableMeta};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(TableMeta {
+            name: "orders".into(),
+            columns: vec![
+                ColumnMeta {
+                    name: "price".into(),
+                    domain: AttributeDomain::integers(0, 1000),
+                },
+                ColumnMeta {
+                    name: "qty".into(),
+                    domain: AttributeDomain::integers(0, 10),
+                },
+            ],
+            row_count: 100,
+        });
+        cat
+    }
+
+    #[test]
+    fn parses_simple_conjunction() {
+        let cat = catalog();
+        let preds = parse_where(
+            &cat,
+            TableId(0),
+            "price >= 100 AND price <= 200 AND qty = 3",
+        )
+        .unwrap();
+        // Top-level conjunction yields one compound per factor; the two
+        // price factors stay separate compounds here and are merged by
+        // `group_by_column` during featurization.
+        assert_eq!(preds.len(), 3);
+        let total: usize = preds.iter().map(|p| p.predicate_count()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn parses_mixed_query() {
+        let cat = catalog();
+        let preds = parse_where(
+            &cat,
+            TableId(0),
+            "(price < 100 OR price > 900) AND (qty = 1 OR qty = 2)",
+        )
+        .unwrap();
+        assert_eq!(preds.len(), 2);
+        assert!(!preds[0].is_conjunctive());
+        // Round-trip through evaluation semantics.
+        let price_expr = &preds[0].expr;
+        assert!(price_expr.matches_f64(50.0));
+        assert!(price_expr.matches_f64(950.0));
+        assert!(!price_expr.matches_f64(500.0));
+    }
+
+    #[test]
+    fn operator_spellings() {
+        let cat = catalog();
+        for (text, op) in [
+            ("price = 1", CmpOp::Eq),
+            ("price < 1", CmpOp::Lt),
+            ("price > 1", CmpOp::Gt),
+            ("price <= 1", CmpOp::Le),
+            ("price >= 1", CmpOp::Ge),
+            ("price <> 1", CmpOp::Ne),
+            ("price != 1", CmpOp::Ne),
+        ] {
+            let preds = parse_where(&cat, TableId(0), text).unwrap();
+            match &preds[0].expr {
+                PredicateExpr::Leaf(p) => assert_eq!(p.op, op, "{text}"),
+                other => panic!("expected leaf for {text}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn literals_and_strings() {
+        let cat = catalog();
+        let preds = parse_where(&cat, TableId(0), "price >= -2.5").unwrap();
+        match &preds[0].expr {
+            PredicateExpr::Leaf(p) => assert_eq!(p.value, Value::Float(-2.5)),
+            _ => panic!(),
+        }
+        let preds = parse_where(&cat, TableId(0), "qty = 'abc'").unwrap();
+        match &preds[0].expr {
+            PredicateExpr::Leaf(p) => assert_eq!(p.value, Value::Str("abc".into())),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn qualified_names() {
+        let cat = catalog();
+        assert!(parse_where(&cat, TableId(0), "orders.price = 1").is_ok());
+        assert!(matches!(
+            parse_where(&cat, TableId(0), "items.price = 1"),
+            Err(QfeError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn cross_attribute_disjunction_is_rejected() {
+        let cat = catalog();
+        assert!(matches!(
+            parse_where(&cat, TableId(0), "price < 10 OR qty > 5"),
+            Err(QfeError::UnsupportedQuery(_))
+        ));
+    }
+
+    #[test]
+    fn nested_parentheses_and_precedence() {
+        let cat = catalog();
+        // AND binds tighter than OR.
+        let preds = parse_where(&cat, TableId(0), "price > 1 AND price < 9 OR price = 42").unwrap();
+        // Without parens this is (>1 AND <9) OR (=42): one attribute →
+        // one compound predicate.
+        assert_eq!(preds.len(), 1);
+        let e = &preds[0].expr;
+        assert!(e.matches_f64(5.0));
+        assert!(e.matches_f64(42.0));
+        assert!(!e.matches_f64(10.0));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let cat = catalog();
+        assert!(matches!(
+            parse_where(&cat, TableId(0), "nope = 1"),
+            Err(QfeError::UnknownColumn(_))
+        ));
+        assert!(parse_where(&cat, TableId(0), "price >").is_err());
+        assert!(parse_where(&cat, TableId(0), "(price = 1").is_err());
+        assert!(parse_where(&cat, TableId(0), "price = 'unterminated").is_err());
+        assert!(parse_where(&cat, TableId(0), "price = 1 garbage = 2").is_err());
+    }
+
+    #[test]
+    fn empty_clause_is_no_predicates() {
+        let cat = catalog();
+        assert!(parse_where(&cat, TableId(0), "  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn query_round_trips_through_sql_rendering() {
+        let cat = catalog();
+        let q = parse_single_table_query(
+            &cat,
+            TableId(0),
+            "(price >= 10 AND price <= 20 AND price <> 15) AND qty = 3",
+        )
+        .unwrap();
+        let sql = q.to_sql(&cat);
+        assert!(sql.contains("orders.price >= 10"));
+        assert!(sql.contains("orders.qty = 3"));
+        q.validate(&cat).unwrap();
+    }
+}

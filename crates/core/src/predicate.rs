@@ -1,0 +1,382 @@
+//! Predicates: simple comparisons and per-attribute compound predicates.
+//!
+//! Following Definition 3.3 of the paper, a *compound predicate* for some
+//! attribute `A` is an arbitrary AND/OR combination of simple predicates on
+//! `A`. Mixed queries are conjunctions of compound predicates over a subset
+//! of attributes. Compound predicates do **not** have to be in CNF or DNF;
+//! [`PredicateExpr::to_dnf`] normalizes them into the
+//! disjunction-of-conjunctions form that Algorithm 2 consumes.
+
+use crate::error::QfeError;
+use crate::value::Value;
+
+/// Comparison operators supported in simple predicates
+/// (`{=, >, <, >=, <=, <>}`, Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` / `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// SQL spelling of the operator.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::Ne => "<>",
+        }
+    }
+
+    /// Evaluate the comparison on numeric values.
+    pub fn eval_f64(&self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// Evaluate the comparison on integer values.
+    pub fn eval_i64(&self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// All six operators, for workload generation and exhaustive tests.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Lt,
+        CmpOp::Gt,
+        CmpOp::Le,
+        CmpOp::Ge,
+        CmpOp::Ne,
+    ];
+}
+
+/// A simple predicate `A op literal` (the attribute is carried by the
+/// enclosing [`CompoundPredicate`]; a simple predicate itself only stores
+/// the operator and literal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplePredicate {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal the attribute is compared against.
+    pub value: Value,
+}
+
+impl SimplePredicate {
+    /// Construct a predicate `op value`.
+    pub fn new(op: CmpOp, value: impl Into<Value>) -> Self {
+        SimplePredicate {
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Whether a numeric attribute value satisfies this predicate.
+    pub fn matches_f64(&self, attr_value: f64) -> bool {
+        match self.value.as_f64() {
+            Some(rhs) => self.op.eval_f64(attr_value, rhs),
+            None => false,
+        }
+    }
+}
+
+/// An arbitrary AND/OR combination of simple predicates on one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateExpr {
+    /// A simple predicate leaf.
+    Leaf(SimplePredicate),
+    /// Conjunction of sub-expressions.
+    And(Vec<PredicateExpr>),
+    /// Disjunction of sub-expressions.
+    Or(Vec<PredicateExpr>),
+}
+
+impl PredicateExpr {
+    /// Leaf constructor.
+    pub fn leaf(op: CmpOp, value: impl Into<Value>) -> Self {
+        PredicateExpr::Leaf(SimplePredicate::new(op, value))
+    }
+
+    /// Conjunction of simple predicates (the common case for conjunctive
+    /// workloads).
+    pub fn all_of(preds: Vec<SimplePredicate>) -> Self {
+        PredicateExpr::And(preds.into_iter().map(PredicateExpr::Leaf).collect())
+    }
+
+    /// Number of simple-predicate leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            PredicateExpr::Leaf(_) => 1,
+            PredicateExpr::And(children) | PredicateExpr::Or(children) => {
+                children.iter().map(|c| c.leaf_count()).sum()
+            }
+        }
+    }
+
+    /// True if the expression contains no `Or` node (i.e. is a pure
+    /// conjunction usable with Universal Conjunction Encoding).
+    pub fn is_conjunctive(&self) -> bool {
+        match self {
+            PredicateExpr::Leaf(_) => true,
+            PredicateExpr::And(children) => children.iter().all(|c| c.is_conjunctive()),
+            PredicateExpr::Or(children) => {
+                children.len() <= 1 && children.iter().all(|c| c.is_conjunctive())
+            }
+        }
+    }
+
+    /// Evaluate against a single numeric attribute value. Empty `And` is
+    /// `true`, empty `Or` is `false` (the usual identities).
+    pub fn matches_f64(&self, attr_value: f64) -> bool {
+        match self {
+            PredicateExpr::Leaf(p) => p.matches_f64(attr_value),
+            PredicateExpr::And(children) => children.iter().all(|c| c.matches_f64(attr_value)),
+            PredicateExpr::Or(children) => children.iter().any(|c| c.matches_f64(attr_value)),
+        }
+    }
+
+    /// Normalize into disjunctive normal form: a list of conjunctions, each
+    /// a list of simple predicates. This is the `Split(cp, "OR")` step of
+    /// Algorithm 2, generalized to arbitrary nesting.
+    ///
+    /// The expansion is exponential in the worst case; compound predicates
+    /// in practice are small (the paper's workloads use at most three
+    /// disjuncts per attribute), and we cap the expansion to guard against
+    /// adversarial inputs.
+    pub fn to_dnf(&self) -> Result<Vec<Vec<SimplePredicate>>, QfeError> {
+        const MAX_DNF_TERMS: usize = 4096;
+        let dnf = self.dnf_inner()?;
+        if dnf.len() > MAX_DNF_TERMS {
+            return Err(QfeError::UnsupportedQuery(format!(
+                "DNF expansion of compound predicate exceeds {MAX_DNF_TERMS} terms"
+            )));
+        }
+        Ok(dnf)
+    }
+
+    fn dnf_inner(&self) -> Result<Vec<Vec<SimplePredicate>>, QfeError> {
+        match self {
+            PredicateExpr::Leaf(p) => Ok(vec![vec![p.clone()]]),
+            PredicateExpr::Or(children) => {
+                let mut terms = Vec::new();
+                for child in children {
+                    terms.extend(child.dnf_inner()?);
+                }
+                Ok(terms)
+            }
+            PredicateExpr::And(children) => {
+                // Cross product of the children's DNFs.
+                let mut acc: Vec<Vec<SimplePredicate>> = vec![vec![]];
+                for child in children {
+                    let child_dnf = child.dnf_inner()?;
+                    let mut next = Vec::with_capacity(acc.len() * child_dnf.len());
+                    for left in &acc {
+                        for right in &child_dnf {
+                            let mut term = left.clone();
+                            term.extend(right.iter().cloned());
+                            next.push(term);
+                        }
+                    }
+                    if next.len() > 1 << 20 {
+                        return Err(QfeError::UnsupportedQuery(
+                            "DNF expansion blow-up".to_owned(),
+                        ));
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+/// A compound predicate: an AND/OR combination of simple predicates over a
+/// single attribute of a single table (Definition 3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompoundPredicate {
+    /// The attribute all simple predicates refer to.
+    pub column: crate::query::ColumnRef,
+    /// The AND/OR expression.
+    pub expr: PredicateExpr,
+}
+
+impl CompoundPredicate {
+    /// A pure conjunction of simple predicates on `column`.
+    pub fn conjunction(column: crate::query::ColumnRef, preds: Vec<SimplePredicate>) -> Self {
+        CompoundPredicate {
+            column,
+            expr: PredicateExpr::all_of(preds),
+        }
+    }
+
+    /// Number of simple predicates inside.
+    pub fn predicate_count(&self) -> usize {
+        self.expr.leaf_count()
+    }
+
+    /// True if the compound predicate contains no disjunction.
+    pub fn is_conjunctive(&self) -> bool {
+        self.expr.is_conjunctive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ColumnRef;
+    use crate::schema::{ColumnId, TableId};
+
+    fn col() -> ColumnRef {
+        ColumnRef {
+            table: TableId(0),
+            column: ColumnId(0),
+        }
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.eval_f64(2.0, 2.0));
+        assert!(CmpOp::Lt.eval_f64(1.0, 2.0));
+        assert!(CmpOp::Gt.eval_i64(3, 2));
+        assert!(CmpOp::Le.eval_i64(2, 2));
+        assert!(CmpOp::Ge.eval_f64(2.0, 2.0));
+        assert!(CmpOp::Ne.eval_i64(1, 2));
+        assert!(!CmpOp::Ne.eval_i64(2, 2));
+    }
+
+    #[test]
+    fn sql_spellings() {
+        let spellings: Vec<_> = CmpOp::ALL.iter().map(|op| op.sql()).collect();
+        assert_eq!(spellings, vec!["=", "<", ">", "<=", ">=", "<>"]);
+    }
+
+    #[test]
+    fn simple_predicate_matching() {
+        let p = SimplePredicate::new(CmpOp::Ge, 10);
+        assert!(p.matches_f64(10.0));
+        assert!(p.matches_f64(11.5));
+        assert!(!p.matches_f64(9.9));
+    }
+
+    #[test]
+    fn expr_evaluation_and_identities() {
+        // (x > 0 AND x < 10) OR x = 42
+        let e = PredicateExpr::Or(vec![
+            PredicateExpr::And(vec![
+                PredicateExpr::leaf(CmpOp::Gt, 0),
+                PredicateExpr::leaf(CmpOp::Lt, 10),
+            ]),
+            PredicateExpr::leaf(CmpOp::Eq, 42),
+        ]);
+        assert!(e.matches_f64(5.0));
+        assert!(e.matches_f64(42.0));
+        assert!(!e.matches_f64(20.0));
+        assert!(PredicateExpr::And(vec![]).matches_f64(1.0));
+        assert!(!PredicateExpr::Or(vec![]).matches_f64(1.0));
+    }
+
+    #[test]
+    fn leaf_count_and_conjunctive_detection() {
+        let conj = PredicateExpr::all_of(vec![
+            SimplePredicate::new(CmpOp::Ge, 1),
+            SimplePredicate::new(CmpOp::Le, 9),
+            SimplePredicate::new(CmpOp::Ne, 5),
+        ]);
+        assert_eq!(conj.leaf_count(), 3);
+        assert!(conj.is_conjunctive());
+
+        let disj = PredicateExpr::Or(vec![
+            PredicateExpr::leaf(CmpOp::Eq, 1),
+            PredicateExpr::leaf(CmpOp::Eq, 2),
+        ]);
+        assert_eq!(disj.leaf_count(), 2);
+        assert!(!disj.is_conjunctive());
+    }
+
+    #[test]
+    fn dnf_of_conjunction_is_single_term() {
+        let conj = PredicateExpr::all_of(vec![
+            SimplePredicate::new(CmpOp::Ge, 1),
+            SimplePredicate::new(CmpOp::Le, 9),
+        ]);
+        let dnf = conj.to_dnf().unwrap();
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 2);
+    }
+
+    #[test]
+    fn dnf_distributes_and_over_or() {
+        // (a OR b) AND (c OR d) => ac, ad, bc, bd
+        let e = PredicateExpr::And(vec![
+            PredicateExpr::Or(vec![
+                PredicateExpr::leaf(CmpOp::Eq, 1),
+                PredicateExpr::leaf(CmpOp::Eq, 2),
+            ]),
+            PredicateExpr::Or(vec![
+                PredicateExpr::leaf(CmpOp::Ne, 3),
+                PredicateExpr::leaf(CmpOp::Ne, 4),
+            ]),
+        ]);
+        let dnf = e.to_dnf().unwrap();
+        assert_eq!(dnf.len(), 4);
+        assert!(dnf.iter().all(|term| term.len() == 2));
+    }
+
+    #[test]
+    fn dnf_preserves_semantics() {
+        // ((x >= 2 AND x <= 5) OR x = 9) evaluated both ways for all x.
+        let e = PredicateExpr::Or(vec![
+            PredicateExpr::And(vec![
+                PredicateExpr::leaf(CmpOp::Ge, 2),
+                PredicateExpr::leaf(CmpOp::Le, 5),
+            ]),
+            PredicateExpr::leaf(CmpOp::Eq, 9),
+        ]);
+        let dnf = e.to_dnf().unwrap();
+        for x in 0..12 {
+            let direct = e.matches_f64(x as f64);
+            let via_dnf = dnf
+                .iter()
+                .any(|term| term.iter().all(|p| p.matches_f64(x as f64)));
+            assert_eq!(direct, via_dnf, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn compound_predicate_counts() {
+        let cp = CompoundPredicate::conjunction(
+            col(),
+            vec![
+                SimplePredicate::new(CmpOp::Ge, 1),
+                SimplePredicate::new(CmpOp::Le, 9),
+            ],
+        );
+        assert_eq!(cp.predicate_count(), 2);
+        assert!(cp.is_conjunctive());
+    }
+}

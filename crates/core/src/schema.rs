@@ -1,0 +1,375 @@
+//! Schema metadata: tables, columns, attribute domains, and join edges.
+//!
+//! Featurizers never touch stored data; everything they need is the
+//! per-attribute domain (`min(A)`, `max(A)`, integrality) plus the catalog's
+//! table/join structure for the global-model encodings of Section 2.1.2.
+//! The `qfe-data` crate computes domains from actual columns and builds the
+//! [`Catalog`].
+
+use crate::error::QfeError;
+
+/// Index of a table within a [`Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub usize);
+
+/// Index of a column within its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub usize);
+
+/// The value domain of one attribute, the basis of all four QFTs.
+///
+/// Open ranges are closed using `step`: for integer attributes `A < 5`
+/// becomes `[min(A), 4]` (step 1); for decimal attributes a small step size
+/// is used, exactly as Section 3.1 of the paper prescribes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDomain {
+    /// Smallest value present in the attribute.
+    pub min: f64,
+    /// Largest value present in the attribute.
+    pub max: f64,
+    /// Whether the attribute holds integers (or dictionary codes).
+    pub integral: bool,
+    /// Number of distinct values if known; enables the exact small-domain
+    /// mode of Algorithm 1 (entries only 0/1, never ½).
+    pub distinct: Option<u64>,
+}
+
+impl AttributeDomain {
+    /// Domain for an integer attribute spanning `[min, max]`.
+    pub fn integers(min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty integer domain [{min}, {max}]");
+        AttributeDomain {
+            min: min as f64,
+            max: max as f64,
+            integral: true,
+            distinct: Some((max - min + 1) as u64),
+        }
+    }
+
+    /// Domain for a real-valued attribute spanning `[min, max]`.
+    pub fn reals(min: f64, max: f64) -> Self {
+        assert!(min <= max, "empty real domain [{min}, {max}]");
+        AttributeDomain {
+            min,
+            max,
+            integral: false,
+            distinct: None,
+        }
+    }
+
+    /// Step used to close open ranges (`1` for integral domains, a small
+    /// fraction of the width for real domains).
+    pub fn step(&self) -> f64 {
+        if self.integral {
+            1.0
+        } else {
+            // A 1e-6 fraction of the width keeps `<` and `<=` distinguishable
+            // without distorting normalized positions.
+            ((self.max - self.min) * 1e-6).max(f64::MIN_POSITIVE)
+        }
+    }
+
+    /// Width of the domain as used by Algorithm 1's index formula:
+    /// `max(A) - min(A) + 1` for integers, `max - min + step` for reals.
+    pub fn width(&self) -> f64 {
+        self.max - self.min + self.step()
+    }
+
+    /// Normalize a literal into `[0, 1]` relative to this domain, clamping
+    /// out-of-domain literals (a query may compare against values outside
+    /// the stored data).
+    pub fn normalize(&self, v: f64) -> f64 {
+        if self.max <= self.min {
+            return 0.0;
+        }
+        ((v - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+
+    /// Number of per-attribute feature entries given a maximum of `n`:
+    /// `n_A = min(n, max(A) - min(A) + 1)` (Section 3.2).
+    pub fn bucket_count(&self, n: usize) -> usize {
+        if self.integral {
+            let span = (self.max - self.min) as i64 + 1;
+            (span.max(1) as usize).min(n)
+        } else {
+            n
+        }
+        .max(1)
+    }
+
+    /// Zero-based bucket index of value `v` per Algorithm 1 line 4, clamped
+    /// into the valid range so out-of-domain literals map to the border
+    /// buckets.
+    pub fn bucket_of(&self, v: f64, n_a: usize) -> usize {
+        let idx = ((v - self.min) / self.width() * n_a as f64).floor();
+        (idx.max(0.0) as usize).min(n_a - 1)
+    }
+
+    /// True if with `n_a` buckets every bucket covers exactly one distinct
+    /// integer value, enabling the exact 0/1 mode of our Algorithm 1
+    /// implementation (final paragraph of Section 3.2).
+    pub fn exact_buckets(&self, n_a: usize) -> bool {
+        self.integral && ((self.max - self.min) as i64) < n_a as i64
+    }
+}
+
+/// Metadata of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnMeta {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Value domain.
+    pub domain: AttributeDomain,
+}
+
+/// Metadata of one table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// Table name, unique within the catalog.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnMeta>,
+    /// Number of rows (used by selectivity-based estimators).
+    pub row_count: u64,
+}
+
+impl TableMeta {
+    /// Find a column id by name.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(ColumnId)
+    }
+}
+
+/// A key/foreign-key edge along which tables may be joined
+/// (Section 2.1.2: "assuming that tables are joined following their
+/// key/foreign-key relationships").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FkEdge {
+    /// Referencing (fact) side.
+    pub from: (TableId, ColumnId),
+    /// Referenced (primary-key) side.
+    pub to: (TableId, ColumnId),
+}
+
+/// The database schema seen by featurizers and estimators.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<TableMeta>,
+    fk_edges: Vec<FkEdge>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table; returns its id.
+    pub fn add_table(&mut self, table: TableMeta) -> TableId {
+        assert!(
+            self.table_id(&table.name).is_none(),
+            "duplicate table name {}",
+            table.name
+        );
+        self.tables.push(table);
+        TableId(self.tables.len() - 1)
+    }
+
+    /// Register a key/foreign-key edge; returns its index (used by the MSCN
+    /// join-set encoding).
+    pub fn add_fk_edge(&mut self, edge: FkEdge) -> usize {
+        self.fk_edges.push(edge);
+        self.fk_edges.len() - 1
+    }
+
+    /// All tables in id order.
+    pub fn tables(&self) -> &[TableMeta] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// All registered FK edges.
+    pub fn fk_edges(&self) -> &[FkEdge] {
+        &self.fk_edges
+    }
+
+    /// Metadata of `table`.
+    pub fn table(&self, table: TableId) -> &TableMeta {
+        &self.tables[table.0]
+    }
+
+    /// Look up a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.tables.iter().position(|t| t.name == name).map(TableId)
+    }
+
+    /// Metadata of one column.
+    pub fn column(&self, table: TableId, column: ColumnId) -> &ColumnMeta {
+        &self.tables[table.0].columns[column.0]
+    }
+
+    /// Domain of one column.
+    pub fn domain(&self, table: TableId, column: ColumnId) -> &AttributeDomain {
+        &self.column(table, column).domain
+    }
+
+    /// Resolve `"table.column"` or (`table`, `column`) names.
+    pub fn resolve(&self, table: &str, column: &str) -> Result<(TableId, ColumnId), QfeError> {
+        let tid = self
+            .table_id(table)
+            .ok_or_else(|| QfeError::UnknownTable(table.to_owned()))?;
+        let cid = self
+            .table(tid)
+            .column_id(column)
+            .ok_or_else(|| QfeError::UnknownColumn(format!("{table}.{column}")))?;
+        Ok((tid, cid))
+    }
+
+    /// Index of the FK edge connecting the two given (table, column) pairs
+    /// in either orientation.
+    pub fn fk_edge_index(&self, a: (TableId, ColumnId), b: (TableId, ColumnId)) -> Option<usize> {
+        self.fk_edges
+            .iter()
+            .position(|e| (e.from == a && e.to == b) || (e.from == b && e.to == a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let t0 = cat.add_table(TableMeta {
+            name: "orders".into(),
+            columns: vec![
+                ColumnMeta {
+                    name: "id".into(),
+                    domain: AttributeDomain::integers(0, 999),
+                },
+                ColumnMeta {
+                    name: "price".into(),
+                    domain: AttributeDomain::reals(0.0, 100.0),
+                },
+            ],
+            row_count: 1000,
+        });
+        let t1 = cat.add_table(TableMeta {
+            name: "items".into(),
+            columns: vec![ColumnMeta {
+                name: "order_id".into(),
+                domain: AttributeDomain::integers(0, 999),
+            }],
+            row_count: 5000,
+        });
+        cat.add_fk_edge(FkEdge {
+            from: (t1, ColumnId(0)),
+            to: (t0, ColumnId(0)),
+        });
+        cat
+    }
+
+    #[test]
+    fn integer_domain_width_and_step() {
+        let d = AttributeDomain::integers(-9, 50);
+        assert_eq!(d.step(), 1.0);
+        assert_eq!(d.width(), 60.0);
+        assert_eq!(d.distinct, Some(60));
+    }
+
+    #[test]
+    fn real_domain_width_close_to_span() {
+        let d = AttributeDomain::reals(0.0, 10.0);
+        assert!(d.width() > 10.0 && d.width() < 10.001);
+        assert!(d.step() > 0.0);
+    }
+
+    #[test]
+    fn normalize_clamps() {
+        let d = AttributeDomain::integers(0, 100);
+        assert_eq!(d.normalize(-5.0), 0.0);
+        assert_eq!(d.normalize(50.0), 0.5);
+        assert_eq!(d.normalize(200.0), 1.0);
+    }
+
+    #[test]
+    fn bucket_count_caps_at_domain_size() {
+        // Attribute C from the paper's example: values in {1, 2}.
+        let c = AttributeDomain::integers(1, 2);
+        assert_eq!(c.bucket_count(12), 2);
+        let a = AttributeDomain::integers(-9, 50);
+        assert_eq!(a.bucket_count(12), 12);
+        let r = AttributeDomain::reals(0.0, 1.0);
+        assert_eq!(r.bucket_count(12), 12);
+    }
+
+    #[test]
+    fn paper_example_bucket_index() {
+        // Paper Section 3.2: min(A) = -9, max(A) = 50, n = 12, literal 7
+        // maps to index floor((7 - (-9)) / (50 - (-9) + 1) * 12) = 3.
+        let a = AttributeDomain::integers(-9, 50);
+        assert_eq!(a.bucket_of(7.0, 12), 3);
+    }
+
+    #[test]
+    fn bucket_index_clamps_out_of_domain() {
+        let a = AttributeDomain::integers(0, 9);
+        assert_eq!(a.bucket_of(-100.0, 10), 0);
+        assert_eq!(a.bucket_of(100.0, 10), 9);
+    }
+
+    #[test]
+    fn exact_buckets_detection() {
+        let c = AttributeDomain::integers(1, 2);
+        assert!(c.exact_buckets(2));
+        assert!(c.exact_buckets(12));
+        let a = AttributeDomain::integers(-9, 50);
+        assert!(!a.exact_buckets(12));
+        assert!(a.exact_buckets(60));
+        let r = AttributeDomain::reals(0.0, 1.0);
+        assert!(!r.exact_buckets(1000));
+    }
+
+    #[test]
+    fn catalog_resolution() {
+        let cat = demo_catalog();
+        let (t, c) = cat.resolve("orders", "price").unwrap();
+        assert_eq!(cat.column(t, c).name, "price");
+        assert!(matches!(
+            cat.resolve("nope", "price"),
+            Err(QfeError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            cat.resolve("orders", "nope"),
+            Err(QfeError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn fk_edge_lookup_is_orientation_insensitive() {
+        let cat = demo_catalog();
+        let a = (TableId(1), ColumnId(0));
+        let b = (TableId(0), ColumnId(0));
+        assert_eq!(cat.fk_edge_index(a, b), Some(0));
+        assert_eq!(cat.fk_edge_index(b, a), Some(0));
+        assert_eq!(cat.fk_edge_index(a, a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table name")]
+    fn duplicate_table_names_rejected() {
+        let mut cat = demo_catalog();
+        cat.add_table(TableMeta {
+            name: "orders".into(),
+            columns: vec![],
+            row_count: 0,
+        });
+    }
+}

@@ -1,0 +1,147 @@
+//! Literal values appearing in predicates.
+//!
+//! The paper's QFTs operate on numeric domains: every literal is mapped into
+//! the `[min(A), max(A)]` range of its attribute. Strings are supported via
+//! dictionary codes (Section 6 of the paper sketches the extension; the
+//! `qfe-data` crate assigns codes so that code order equals lexicographic
+//! order, which makes prefix/range predicates on strings behave like numeric
+//! ranges).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A literal value compared against an attribute in a simple predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer literal (also used for dates encoded as days
+    /// and for dictionary-encoded strings).
+    Int(i64),
+    /// 64-bit float literal.
+    Float(f64),
+    /// Raw string literal; must be dictionary-encoded (via
+    /// `qfe-data::Dictionary`) before featurization.
+    Str(String),
+}
+
+impl Value {
+    /// Numeric view of the literal, used by all featurizers.
+    ///
+    /// Returns `None` for raw (not yet dictionary-encoded) strings.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// True if the literal is an integer (integral domains use step size 1
+    /// when closing open ranges, cf. Section 3.1 of the paper).
+    pub fn is_integral(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// Total order on numeric values; raw strings compare lexicographically
+    /// among themselves and sort after all numbers (they should never be
+    /// mixed within one attribute).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Str(_), _) => Ordering::Greater,
+            (_, Value::Str(_)) => Ordering::Less,
+            (a, b) => {
+                let (a, b) = (
+                    a.as_f64().unwrap_or(f64::NAN),
+                    b.as_f64().unwrap_or(f64::NAN),
+                );
+                a.total_cmp(&b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(Value::Int(3).is_integral());
+        assert!(!Value::Float(3.0).is_integral());
+        assert!(!Value::Str("a".into()).is_integral());
+    }
+
+    #[test]
+    fn ordering_mixes_int_and_float() {
+        assert_eq!(Value::Int(1).total_cmp(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(Value::Float(2.0).total_cmp(&Value::Int(2)), Ordering::Equal);
+        assert_eq!(Value::Int(3).total_cmp(&Value::Int(-3)), Ordering::Greater);
+    }
+
+    #[test]
+    fn strings_sort_after_numbers() {
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Int(i64::MAX)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Str("ab".into()).to_string(), "'ab'");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+}

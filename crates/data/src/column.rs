@@ -1,0 +1,204 @@
+//! Typed in-memory columns.
+
+use qfe_core::schema::AttributeDomain;
+
+use crate::dictionary::Dictionary;
+
+/// A typed column of values.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers (also dates as day numbers).
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Dictionary-encoded strings; `codes[i]` indexes into the dictionary,
+    /// and code order equals lexicographic order so string range predicates
+    /// behave like numeric ranges (Section 6 of the paper).
+    Dict {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The order-preserving dictionary.
+        dict: Dictionary,
+    },
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Numeric view of one row (dictionary columns expose their codes).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn get_f64(&self, row: usize) -> f64 {
+        match self {
+            Column::Int(v) => v[row] as f64,
+            Column::Float(v) => v[row],
+            Column::Dict { codes, .. } => codes[row] as f64,
+        }
+    }
+
+    /// Integer view of one row (floats are truncated).
+    pub fn get_i64(&self, row: usize) -> i64 {
+        match self {
+            Column::Int(v) => v[row],
+            Column::Float(v) => v[row] as i64,
+            Column::Dict { codes, .. } => codes[row] as i64,
+        }
+    }
+
+    /// Whether values are integral (integers and dictionary codes).
+    pub fn is_integral(&self) -> bool {
+        !matches!(self, Column::Float(_))
+    }
+
+    /// Collect all values as `f64` (dictionary columns yield codes).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            Column::Int(v) => v.iter().map(|&x| x as f64).collect(),
+            Column::Float(v) => v.clone(),
+            Column::Dict { codes, .. } => codes.iter().map(|&c| c as f64).collect(),
+        }
+    }
+
+    /// Compute the attribute domain from the stored values.
+    ///
+    /// # Panics
+    /// Panics on empty columns — a domain needs at least one value.
+    pub fn domain(&self) -> AttributeDomain {
+        assert!(
+            !self.is_empty(),
+            "cannot derive a domain from an empty column"
+        );
+        match self {
+            Column::Int(v) => {
+                let min = *v.iter().min().unwrap();
+                let max = *v.iter().max().unwrap();
+                AttributeDomain::integers(min, max)
+            }
+            Column::Float(v) => {
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for &x in v {
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                AttributeDomain::reals(min, max)
+            }
+            Column::Dict { codes, dict } => {
+                let _ = codes;
+                // Dictionary codes span the full dictionary by construction.
+                AttributeDomain::integers(0, dict.len().saturating_sub(1) as i64)
+            }
+        }
+    }
+
+    /// Exact number of distinct values.
+    pub fn distinct_count(&self) -> u64 {
+        match self {
+            Column::Int(v) => {
+                let mut sorted = v.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted.len() as u64
+            }
+            Column::Float(v) => {
+                let mut sorted = v.clone();
+                sorted.sort_by(f64::total_cmp);
+                sorted.dedup();
+                sorted.len() as u64
+            }
+            Column::Dict { codes, .. } => {
+                let mut sorted = codes.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted.len() as u64
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * 8,
+            Column::Float(v) => v.len() * 8,
+            Column::Dict { codes, dict } => codes.len() * 4 + dict.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_accessors() {
+        let c = Column::Int(vec![3, 1, 2]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.get_f64(0), 3.0);
+        assert_eq!(c.get_i64(2), 2);
+        assert!(c.is_integral());
+        let d = c.domain();
+        assert_eq!((d.min, d.max), (1.0, 3.0));
+        assert!(d.integral);
+    }
+
+    #[test]
+    fn float_column_domain() {
+        let c = Column::Float(vec![1.5, -2.5, 0.0]);
+        let d = c.domain();
+        assert_eq!((d.min, d.max), (-2.5, 1.5));
+        assert!(!d.integral);
+        assert!(!c.is_integral());
+    }
+
+    #[test]
+    fn dict_column_exposes_codes() {
+        let dict = Dictionary::from_values(vec!["b".into(), "a".into(), "c".into(), "a".into()]);
+        let codes = vec![
+            dict.code("b").unwrap(),
+            dict.code("a").unwrap(),
+            dict.code("c").unwrap(),
+        ];
+        let c = Column::Dict {
+            codes,
+            dict: dict.clone(),
+        };
+        // Codes are lexicographic: a=0, b=1, c=2.
+        assert_eq!(c.get_f64(0), 1.0);
+        assert_eq!(c.get_f64(1), 0.0);
+        assert_eq!(c.get_f64(2), 2.0);
+        let d = c.domain();
+        assert_eq!((d.min, d.max), (0.0, 2.0));
+    }
+
+    #[test]
+    fn distinct_counts() {
+        assert_eq!(Column::Int(vec![1, 1, 2, 3, 3]).distinct_count(), 3);
+        assert_eq!(Column::Float(vec![0.5, 0.5]).distinct_count(), 1);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        assert_eq!(Column::Int(vec![0; 10]).memory_bytes(), 80);
+        assert_eq!(Column::Float(vec![0.0; 4]).memory_bytes(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty column")]
+    fn empty_column_has_no_domain() {
+        let _ = Column::Int(vec![]).domain();
+    }
+}

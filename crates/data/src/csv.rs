@@ -1,0 +1,263 @@
+//! Minimal CSV loading into columnar tables.
+//!
+//! The synthetic generators are stand-ins for the paper's datasets; this
+//! loader lets a user with access to the real files (e.g. the UCI
+//! covertype CSV) run the same pipeline on them. No external CSV crate:
+//! the format accepted is simple comma-separated values with an optional
+//! header, no quoting/escaping (sufficient for the numeric datasets the
+//! paper uses; string columns are dictionary-encoded on load).
+
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::column::Column;
+use crate::dictionary::Dictionary;
+use crate::table::Table;
+
+/// How each CSV column should be typed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsvType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Dictionary-encoded string.
+    Str,
+}
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// A row had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Expected fields.
+        expected: usize,
+        /// Found fields.
+        found: usize,
+    },
+    /// A field failed to parse under the declared type.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        column: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::FieldCount {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: expected {expected} fields, found {found}"),
+            CsvError::Parse { line, column, text } => {
+                write!(f, "line {line}, column {column}: cannot parse '{text}'")
+            }
+            CsvError::Empty => write!(f, "csv contains no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse CSV text into a table. `types` declares one entry per column;
+/// `header` skips the first line. Column names come from the header when
+/// present, else `c0`, `c1`, ….
+pub fn parse_csv(
+    name: &str,
+    reader: impl BufRead,
+    types: &[CsvType],
+    header: bool,
+) -> Result<Table, CsvError> {
+    let mut names: Vec<String> = (0..types.len()).map(|i| format!("c{i}")).collect();
+    let mut ints: Vec<Vec<i64>> = vec![Vec::new(); types.len()];
+    let mut floats: Vec<Vec<f64>> = vec![Vec::new(); types.len()];
+    let mut strings: Vec<Vec<String>> = vec![Vec::new(); types.len()];
+    let mut rows = 0usize;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if lineno == 0 && header {
+            if fields.len() == types.len() {
+                names = fields.iter().map(|s| s.trim().to_owned()).collect();
+            }
+            continue;
+        }
+        if fields.len() != types.len() {
+            return Err(CsvError::FieldCount {
+                line: lineno + 1,
+                expected: types.len(),
+                found: fields.len(),
+            });
+        }
+        for (ci, (field, ty)) in fields.iter().zip(types).enumerate() {
+            let field = field.trim();
+            match ty {
+                CsvType::Int => {
+                    let v: i64 = field.parse().map_err(|_| CsvError::Parse {
+                        line: lineno + 1,
+                        column: ci,
+                        text: field.to_owned(),
+                    })?;
+                    ints[ci].push(v);
+                }
+                CsvType::Float => {
+                    let v: f64 = field.parse().map_err(|_| CsvError::Parse {
+                        line: lineno + 1,
+                        column: ci,
+                        text: field.to_owned(),
+                    })?;
+                    floats[ci].push(v);
+                }
+                CsvType::Str => strings[ci].push(field.to_owned()),
+            }
+        }
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(CsvError::Empty);
+    }
+
+    let mut columns = Vec::with_capacity(types.len());
+    for (ci, ty) in types.iter().enumerate() {
+        let column = match ty {
+            CsvType::Int => Column::Int(std::mem::take(&mut ints[ci])),
+            CsvType::Float => Column::Float(std::mem::take(&mut floats[ci])),
+            CsvType::Str => {
+                let values = std::mem::take(&mut strings[ci]);
+                let dict = Dictionary::from_values(values.clone());
+                let codes = values
+                    .iter()
+                    .map(|v| dict.code(v).expect("value just inserted"))
+                    .collect();
+                Column::Dict { codes, dict }
+            }
+        };
+        columns.push((names[ci].clone(), column));
+    }
+    Ok(Table::new(name, columns))
+}
+
+/// Load a CSV file from disk.
+pub fn load_csv(
+    name: &str,
+    path: impl AsRef<Path>,
+    types: &[CsvType],
+    header: bool,
+) -> Result<Table, CsvError> {
+    let file = std::fs::File::open(path)?;
+    parse_csv(name, std::io::BufReader::new(file), types, header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_typed_columns() {
+        let csv = "id,price,tag\n1,2.5,b\n2,3.5,a\n3,1.0,b\n";
+        let t = parse_csv(
+            "t",
+            csv.as_bytes(),
+            &[CsvType::Int, CsvType::Float, CsvType::Str],
+            true,
+        )
+        .unwrap();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.columns[0].0, "id");
+        assert_eq!(t.column_by_name("id").unwrap().get_i64(2), 3);
+        assert_eq!(t.column_by_name("price").unwrap().get_f64(0), 2.5);
+        // Dictionary codes are lexicographic: a=0, b=1.
+        assert_eq!(t.column_by_name("tag").unwrap().get_i64(0), 1);
+        assert_eq!(t.column_by_name("tag").unwrap().get_i64(1), 0);
+    }
+
+    #[test]
+    fn headerless_generates_names() {
+        let t = parse_csv(
+            "t",
+            "1,2\n3,4\n".as_bytes(),
+            &[CsvType::Int, CsvType::Int],
+            false,
+        )
+        .unwrap();
+        assert_eq!(t.columns[0].0, "c0");
+        assert_eq!(t.columns[1].0, "c1");
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = parse_csv("t", "1\n\n2\n\n".as_bytes(), &[CsvType::Int], false).unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn field_count_mismatch_is_reported() {
+        let err = parse_csv(
+            "t",
+            "1,2\n3\n".as_bytes(),
+            &[CsvType::Int, CsvType::Int],
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsvError::FieldCount { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_csv("t", "1\nxyz\n".as_bytes(), &[CsvType::Int], false).unwrap_err();
+        match err {
+            CsvError::Parse { line, column, text } => {
+                assert_eq!((line, column), (2, 0));
+                assert_eq!(text, "xyz");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            parse_csv("t", "".as_bytes(), &[CsvType::Int], false),
+            Err(CsvError::Empty)
+        ));
+        assert!(matches!(
+            parse_csv("t", "a\n".as_bytes(), &[CsvType::Int], true),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("qfe_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.csv");
+        std::fs::write(&path, "a,b\n1,x\n2,y\n").unwrap();
+        let t = load_csv("t", &path, &[CsvType::Int, CsvType::Str], true).unwrap();
+        assert_eq!(t.row_count(), 2);
+        let _ = std::fs::remove_file(path);
+    }
+}

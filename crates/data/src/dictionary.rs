@@ -1,0 +1,252 @@
+//! Order-preserving string dictionaries.
+//!
+//! Section 6 of the paper: "The state-of-the-art approach to support
+//! strings is to use a dictionary encoding … range predicates could only be
+//! supported for sorted dictionaries." This implementation sorts, so code
+//! order equals lexicographic order and string range / prefix predicates
+//! reduce to numeric ranges over codes (which the bucketized QFTs encode
+//! naturally).
+
+use std::collections::HashMap;
+
+use qfe_core::predicate::{CmpOp, PredicateExpr, SimplePredicate};
+use qfe_core::{QfeError, Value};
+
+/// A sorted string dictionary with bidirectional lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    codes: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Build from arbitrary values (deduplicated and sorted).
+    pub fn from_values(mut values: Vec<String>) -> Self {
+        values.sort();
+        values.dedup();
+        let codes = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        Dictionary { values, codes }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Code of `value`, if present.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.codes.get(value).copied()
+    }
+
+    /// Value of `code`, if in range.
+    pub fn value(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Code of the first value `>= value` (for encoding range predicates on
+    /// literals that are not themselves stored).
+    pub fn lower_bound(&self, value: &str) -> u32 {
+        self.values.partition_point(|v| v.as_str() < value) as u32
+    }
+
+    /// Translate a predicate on raw strings into an equivalent predicate on
+    /// dictionary codes. Returns [`QfeError::InvalidLiteral`] for equality
+    /// against a value not in the dictionary (such a predicate matches
+    /// nothing; callers typically special-case it).
+    pub fn encode_predicate(&self, pred: &SimplePredicate) -> Result<SimplePredicate, QfeError> {
+        let Value::Str(s) = &pred.value else {
+            return Ok(pred.clone());
+        };
+        let (op, code) = match pred.op {
+            CmpOp::Eq | CmpOp::Ne => (
+                pred.op,
+                self.code(s).ok_or_else(|| {
+                    QfeError::InvalidLiteral(format!("string '{s}' not in dictionary"))
+                })?,
+            ),
+            // For inequalities the lower bound gives the exact frontier:
+            // v < s ⟺ code(v) < lower_bound(s), v >= s ⟺ code(v) >= lower_bound(s).
+            CmpOp::Lt | CmpOp::Ge => (pred.op, self.lower_bound(s)),
+            // With an exact match, v <= s ⟺ code(v) <= code(s); otherwise
+            // v <= s ⟺ v < s ⟺ code(v) < lower_bound(s).
+            CmpOp::Le => match self.code(s) {
+                Some(c) => (CmpOp::Le, c),
+                None => (CmpOp::Lt, self.lower_bound(s)),
+            },
+            // Symmetric: without an exact match, v > s ⟺ v >= s.
+            CmpOp::Gt => match self.code(s) {
+                Some(c) => (CmpOp::Gt, c),
+                None => (CmpOp::Ge, self.lower_bound(s)),
+            },
+        };
+        Ok(SimplePredicate::new(op, code as i64))
+    }
+
+    /// Encode a prefix predicate `LIKE 'prefix%'` as a closed code range
+    /// (Section 6: bucketized QFTs naturally support such predicates).
+    /// Returns `None` when no stored value has the prefix.
+    pub fn prefix_range(&self, prefix: &str) -> Option<(u32, u32)> {
+        let lo = self.lower_bound(prefix);
+        // The exclusive upper frontier: first value >= prefix with
+        // incremented last byte; simpler: scan from lo while prefix matches.
+        let mut hi = lo;
+        while (hi as usize) < self.values.len() && self.values[hi as usize].starts_with(prefix) {
+            hi += 1;
+        }
+        if hi == lo {
+            None
+        } else {
+            Some((lo, hi - 1))
+        }
+    }
+
+    /// Prefix predicate as a [`PredicateExpr`] over codes.
+    pub fn prefix_expr(&self, prefix: &str) -> PredicateExpr {
+        match self.prefix_range(prefix) {
+            Some((lo, hi)) => PredicateExpr::And(vec![
+                PredicateExpr::leaf(CmpOp::Ge, lo as i64),
+                PredicateExpr::leaf(CmpOp::Le, hi as i64),
+            ]),
+            // Unsatisfiable: empty disjunction.
+            None => PredicateExpr::Or(vec![]),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.iter().map(|v| v.len() + 24).sum::<usize>()
+            + self.codes.len() * (std::mem::size_of::<String>() + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary {
+        Dictionary::from_values(vec![
+            "cherry".into(),
+            "apple".into(),
+            "banana".into(),
+            "apricot".into(),
+            "apple".into(), // duplicate
+        ])
+    }
+
+    #[test]
+    fn codes_are_lexicographic() {
+        let d = dict();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.code("apple"), Some(0));
+        assert_eq!(d.code("apricot"), Some(1));
+        assert_eq!(d.code("banana"), Some(2));
+        assert_eq!(d.code("cherry"), Some(3));
+        assert_eq!(d.value(2), Some("banana"));
+        assert_eq!(d.value(9), None);
+        assert_eq!(d.code("durian"), None);
+    }
+
+    #[test]
+    fn lower_bound_frontiers() {
+        let d = dict();
+        assert_eq!(d.lower_bound("apple"), 0);
+        assert_eq!(d.lower_bound("azalea"), 2); // between apricot and banana
+        assert_eq!(d.lower_bound("zzz"), 4);
+    }
+
+    #[test]
+    fn equality_predicates_encode_to_codes() {
+        let d = dict();
+        let p = SimplePredicate::new(CmpOp::Eq, "banana");
+        assert_eq!(
+            d.encode_predicate(&p).unwrap(),
+            SimplePredicate::new(CmpOp::Eq, 2i64)
+        );
+        let missing = SimplePredicate::new(CmpOp::Eq, "durian");
+        assert!(d.encode_predicate(&missing).is_err());
+    }
+
+    #[test]
+    fn range_predicates_encode_to_code_frontiers() {
+        let d = dict();
+        // v >= "azalea" ⟺ code >= 2 (banana is the first such value).
+        let p = d
+            .encode_predicate(&SimplePredicate::new(CmpOp::Ge, "azalea"))
+            .unwrap();
+        assert_eq!(p, SimplePredicate::new(CmpOp::Ge, 2i64));
+        // v <= "azalea" ⟺ code < 2 (apricot is the last such value).
+        let p = d
+            .encode_predicate(&SimplePredicate::new(CmpOp::Le, "azalea"))
+            .unwrap();
+        assert_eq!(p, SimplePredicate::new(CmpOp::Lt, 2i64));
+        // With an exact match the operator is preserved.
+        let p = d
+            .encode_predicate(&SimplePredicate::new(CmpOp::Le, "banana"))
+            .unwrap();
+        assert_eq!(p, SimplePredicate::new(CmpOp::Le, 2i64));
+    }
+
+    #[test]
+    fn encoded_range_semantics_match_string_semantics() {
+        let d = dict();
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for literal in ["apple", "azalea", "cherry", "a", "zzz"] {
+                let encoded = d
+                    .encode_predicate(&SimplePredicate::new(op, literal))
+                    .unwrap();
+                for code in 0..d.len() as u32 {
+                    let s = d.value(code).unwrap();
+                    let string_match = match op {
+                        CmpOp::Lt => s < literal,
+                        CmpOp::Le => s <= literal,
+                        CmpOp::Gt => s > literal,
+                        CmpOp::Ge => s >= literal,
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(
+                        encoded.matches_f64(code as f64),
+                        string_match,
+                        "op {op:?} literal {literal} code {code}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_predicates_pass_through() {
+        let d = dict();
+        let p = SimplePredicate::new(CmpOp::Gt, 5i64);
+        assert_eq!(d.encode_predicate(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn prefix_ranges() {
+        let d = dict();
+        assert_eq!(d.prefix_range("ap"), Some((0, 1))); // apple, apricot
+        assert_eq!(d.prefix_range("banana"), Some((2, 2)));
+        assert_eq!(d.prefix_range("z"), None);
+        assert_eq!(d.prefix_range(""), Some((0, 3)));
+    }
+
+    #[test]
+    fn prefix_expr_semantics() {
+        let d = dict();
+        let e = d.prefix_expr("ap");
+        for code in 0..d.len() as u32 {
+            let expected = d.value(code).unwrap().starts_with("ap");
+            assert_eq!(e.matches_f64(code as f64), expected);
+        }
+        let none = d.prefix_expr("zzz");
+        assert!(!none.matches_f64(0.0));
+    }
+}

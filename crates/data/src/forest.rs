@@ -1,0 +1,351 @@
+//! Synthetic forest-cover-type-shaped dataset.
+//!
+//! The paper's first dataset is the UCI *covertype* table (581k rows × 55
+//! attributes) \[17\]. The original download is not available offline, so
+//! this generator produces a table with the same shape and the statistical
+//! properties the experiments exercise:
+//!
+//! * 10 quantitative attributes with covertype-like ranges, skew, and
+//!   cross-correlations (elevation ↔ cover type, hydrology distances,
+//!   hillshades ↔ aspect),
+//! * 4 binary wilderness-area indicators and 40 binary soil-type
+//!   indicators (one-hot groups, as in the original),
+//! * a 7-valued `cover_type` label correlated with elevation.
+//!
+//! The correlations matter: they are what makes the attribute-value-
+//! independence baseline err and bucketized featurizations informative.
+//! Generation is fully deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::column::Column;
+use crate::generator::{normal_approx, normal_int, Zipf};
+use crate::table::{Database, Table};
+
+/// Configuration of the forest generator.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of rows (the original has 581 012; experiments default to a
+    /// scaled-down table for runtime).
+    pub rows: usize,
+    /// If true, only the 10 quantitative attributes plus `cover_type` are
+    /// generated (11 columns); otherwise the full 55-column layout.
+    pub quantitative_only: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            rows: 60_000,
+            quantitative_only: true,
+            seed: 0xF0_4E57, // "forest"
+        }
+    }
+}
+
+/// Names of the 10 quantitative attributes (order follows covertype).
+pub const QUANTITATIVE_COLUMNS: [&str; 10] = [
+    "elevation",
+    "aspect",
+    "slope",
+    "horizontal_distance_to_hydrology",
+    "vertical_distance_to_hydrology",
+    "horizontal_distance_to_roadways",
+    "hillshade_9am",
+    "hillshade_noon",
+    "hillshade_3pm",
+    "horizontal_distance_to_fire_points",
+];
+
+/// A tightly coupled monotone transform of the latent gradient plus small
+/// noise; `power > 1` skews mass toward the low end like the real distance
+/// attributes.
+fn coupled(rng: &mut StdRng, z: f64, noise_sd: f64, power: f64) -> f64 {
+    let jitter = normal_approx(rng, 0.0, noise_sd);
+    (z + jitter).clamp(0.0, 1.0).powf(power)
+}
+
+/// Generate the forest table as a single-table [`Database`].
+pub fn generate_forest(config: &ForestConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.rows;
+    assert!(n > 0, "forest table needs at least one row");
+
+    let mut elevation = Vec::with_capacity(n);
+    let mut aspect = Vec::with_capacity(n);
+    let mut slope = Vec::with_capacity(n);
+    let mut horiz_hydro = Vec::with_capacity(n);
+    let mut vert_hydro = Vec::with_capacity(n);
+    let mut horiz_road = Vec::with_capacity(n);
+    let mut hs_9am = Vec::with_capacity(n);
+    let mut hs_noon = Vec::with_capacity(n);
+    let mut hs_3pm = Vec::with_capacity(n);
+    let mut horiz_fire = Vec::with_capacity(n);
+    let mut cover_type = Vec::with_capacity(n);
+    let mut wilderness: Vec<Vec<i64>> = (0..4).map(|_| Vec::with_capacity(n)).collect();
+    let mut soil: Vec<Vec<i64>> = (0..40).map(|_| Vec::with_capacity(n)).collect();
+
+    let soil_zipf = Zipf::new(40, 0.9);
+
+    for _ in 0..n {
+        // A latent terrain gradient couples the quantitative attributes —
+        // the real covertype data is strongly correlated (elevation
+        // predicts distances, soils, and the cover type), and exactly this
+        // correlation is what defeats attribute-value-independence
+        // estimators.
+        let z: f64 = rng.gen();
+        let elev = (1850.0 + 2010.0 * coupled(&mut rng, z, 0.03, 1.0)).round() as i64;
+        let asp = rng.gen_range(0..360i64);
+        // Steeper terrain at higher sites (negatively coupled noise-free
+        // queries on slope vs elevation interact strongly).
+        let slp = (66.0 * coupled(&mut rng, z, 0.06, 1.5))
+            .round()
+            .clamp(0.0, 66.0) as i64;
+        // Remote (high-z) sites are far from hydrology, roads, and fire
+        // points alike.
+        // Riverside cells: a large correlated spike at exactly 0 for both
+        // hydrology distances (the real covertype has such a spike).
+        // Histograms capture each marginal spike via MCVs, but the joint
+        // spike breaks the independence assumption.
+        let riverside = rng.gen_bool(0.30);
+        let hh = if riverside {
+            0
+        } else {
+            (1400.0 * coupled(&mut rng, z, 0.05, 2.0))
+                .round()
+                .clamp(1.0, 1400.0) as i64
+        };
+        // Vertical distance correlates with horizontal distance.
+        let vh = if riverside {
+            0
+        } else {
+            (hh as f64 * 0.3 + normal_int(&mut rng, 0.0, 40.0, -170, 600) as f64)
+                .round()
+                .clamp(-170.0, 600.0) as i64
+        };
+        let hr = (7120.0 * coupled(&mut rng, z, 0.05, 1.6))
+            .round()
+            .clamp(0.0, 7120.0) as i64;
+        // Hillshades depend on aspect and slope (sun geometry caricature).
+        let asp_rad = (asp as f64).to_radians();
+        let h9 = (220.0 + 25.0 * (asp_rad - 0.8).cos() - 0.5 * slp as f64
+            + normal_int(&mut rng, 0.0, 12.0, -40, 40) as f64)
+            .round()
+            .clamp(0.0, 254.0) as i64;
+        let hn = (225.0 + 8.0 * (asp_rad - 1.5).cos() - 0.3 * slp as f64
+            + normal_int(&mut rng, 0.0, 10.0, -30, 30) as f64)
+            .round()
+            .clamp(0.0, 254.0) as i64;
+        let h3 = (0.6 * hn as f64
+            + 0.35 * (254.0 - h9 as f64)
+            + normal_int(&mut rng, 0.0, 10.0, -30, 30) as f64)
+            .round()
+            .clamp(0.0, 254.0) as i64;
+        let hf = (7170.0 * coupled(&mut rng, z, 0.06, 1.6))
+            .round()
+            .clamp(0.0, 7170.0) as i64;
+
+        // Cover type is driven by elevation bands with noise, mirroring the
+        // strong elevation/cover correlation of the real data.
+        let band = match elev {
+            e if e < 2300 => 3,
+            e if e < 2600 => 2,
+            e if e < 2900 => 1,
+            e if e < 3200 => 0,
+            e if e < 3500 => 6,
+            _ => 5,
+        };
+        let noise: i64 = rng.gen_range(0..10);
+        let ct = if noise < 8 {
+            band + 1
+        } else {
+            rng.gen_range(1..=7i64)
+        };
+
+        // Wilderness area correlates with elevation.
+        let wa = match elev {
+            e if e < 2500 => usize::from(rng.gen_bool(0.3)) + 2,
+            e if e < 3100 => usize::from(rng.gen_bool(0.5)),
+            _ => usize::from(rng.gen_bool(0.7)),
+        };
+        // Soil type: zipf skewed, shifted by elevation band.
+        let st = (soil_zipf.sample(&mut rng) + band as usize * 5) % 40;
+
+        elevation.push(elev);
+        aspect.push(asp);
+        slope.push(slp);
+        horiz_hydro.push(hh);
+        vert_hydro.push(vh);
+        horiz_road.push(hr);
+        hs_9am.push(h9);
+        hs_noon.push(hn);
+        hs_3pm.push(h3);
+        horiz_fire.push(hf);
+        cover_type.push(ct);
+        for (i, w) in wilderness.iter_mut().enumerate() {
+            w.push(i64::from(i == wa));
+        }
+        for (i, s) in soil.iter_mut().enumerate() {
+            s.push(i64::from(i == st));
+        }
+    }
+
+    let mut columns: Vec<(String, Column)> = vec![
+        (QUANTITATIVE_COLUMNS[0].into(), Column::Int(elevation)),
+        (QUANTITATIVE_COLUMNS[1].into(), Column::Int(aspect)),
+        (QUANTITATIVE_COLUMNS[2].into(), Column::Int(slope)),
+        (QUANTITATIVE_COLUMNS[3].into(), Column::Int(horiz_hydro)),
+        (QUANTITATIVE_COLUMNS[4].into(), Column::Int(vert_hydro)),
+        (QUANTITATIVE_COLUMNS[5].into(), Column::Int(horiz_road)),
+        (QUANTITATIVE_COLUMNS[6].into(), Column::Int(hs_9am)),
+        (QUANTITATIVE_COLUMNS[7].into(), Column::Int(hs_noon)),
+        (QUANTITATIVE_COLUMNS[8].into(), Column::Int(hs_3pm)),
+        (QUANTITATIVE_COLUMNS[9].into(), Column::Int(horiz_fire)),
+    ];
+    if !config.quantitative_only {
+        for (i, w) in wilderness.into_iter().enumerate() {
+            columns.push((format!("wilderness_area_{}", i + 1), Column::Int(w)));
+        }
+        for (i, s) in soil.into_iter().enumerate() {
+            columns.push((format!("soil_type_{}", i + 1), Column::Int(s)));
+        }
+    }
+    columns.push(("cover_type".into(), Column::Int(cover_type)));
+
+    Database::new(vec![Table::new("forest", columns)], &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::TableId;
+
+    fn small() -> Database {
+        generate_forest(&ForestConfig {
+            rows: 5_000,
+            quantitative_only: true,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn quantitative_layout() {
+        let db = small();
+        let t = db.table(TableId(0));
+        assert_eq!(t.name, "forest");
+        assert_eq!(t.columns.len(), 11);
+        assert_eq!(t.row_count(), 5000);
+        assert_eq!(t.columns[0].0, "elevation");
+        assert_eq!(t.columns[10].0, "cover_type");
+    }
+
+    #[test]
+    fn full_layout_has_55_columns() {
+        let db = generate_forest(&ForestConfig {
+            rows: 500,
+            quantitative_only: false,
+            seed: 7,
+        });
+        assert_eq!(db.table(TableId(0)).columns.len(), 55);
+    }
+
+    #[test]
+    fn value_ranges_match_covertype() {
+        let db = small();
+        let t = db.table(TableId(0));
+        let check = |name: &str, lo: f64, hi: f64| {
+            let c = t.column_by_name(name).unwrap();
+            let d = c.domain();
+            assert!(d.min >= lo, "{name} min {} < {lo}", d.min);
+            assert!(d.max <= hi, "{name} max {} > {hi}", d.max);
+        };
+        check("elevation", 1850.0, 3860.0);
+        check("aspect", 0.0, 359.0);
+        check("slope", 0.0, 66.0);
+        check("hillshade_9am", 0.0, 254.0);
+        check("cover_type", 1.0, 7.0);
+        check("vertical_distance_to_hydrology", -170.0, 600.0);
+    }
+
+    #[test]
+    fn cover_type_correlates_with_elevation() {
+        let db = small();
+        let t = db.table(TableId(0));
+        let elev = t.column_by_name("elevation").unwrap();
+        let ct = t.column_by_name("cover_type").unwrap();
+        // Mean elevation of cover type 4 (low band) should be well below
+        // cover type 6 (high band).
+        let mean_for = |target: i64| {
+            let mut sum = 0.0;
+            let mut cnt = 0.0;
+            for row in 0..t.row_count() {
+                if ct.get_i64(row) == target {
+                    sum += elev.get_f64(row);
+                    cnt += 1.0;
+                }
+            }
+            if cnt == 0.0 {
+                f64::NAN
+            } else {
+                sum / cnt
+            }
+        };
+        let low = mean_for(4);
+        let high = mean_for(6);
+        assert!(
+            low + 300.0 < high,
+            "expected elevation correlation, got low={low} high={high}"
+        );
+    }
+
+    #[test]
+    fn one_hot_groups_are_exclusive() {
+        let db = generate_forest(&ForestConfig {
+            rows: 300,
+            quantitative_only: false,
+            seed: 9,
+        });
+        let t = db.table(TableId(0));
+        for row in 0..t.row_count() {
+            let wa_sum: i64 = (1..=4)
+                .map(|i| {
+                    t.column_by_name(&format!("wilderness_area_{i}"))
+                        .unwrap()
+                        .get_i64(row)
+                })
+                .sum();
+            assert_eq!(wa_sum, 1, "wilderness one-hot at row {row}");
+            let soil_sum: i64 = (1..=40)
+                .map(|i| {
+                    t.column_by_name(&format!("soil_type_{i}"))
+                        .unwrap()
+                        .get_i64(row)
+                })
+                .sum();
+            assert_eq!(soil_sum, 1, "soil one-hot at row {row}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = ForestConfig {
+            rows: 1000,
+            quantitative_only: true,
+            seed: 11,
+        };
+        let a = generate_forest(&cfg);
+        let b = generate_forest(&cfg);
+        let (ta, tb) = (a.table(TableId(0)), b.table(TableId(0)));
+        for row in (0..1000).step_by(97) {
+            for col in 0..ta.columns.len() {
+                assert_eq!(
+                    ta.columns[col].1.get_i64(row),
+                    tb.columns[col].1.get_i64(row)
+                );
+            }
+        }
+    }
+}

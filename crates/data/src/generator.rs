@@ -1,0 +1,162 @@
+//! Distribution toolkit for the synthetic dataset generators.
+//!
+//! Everything is driven by a seeded [`rand::rngs::StdRng`], so datasets are
+//! bit-for-bit reproducible across runs and platforms.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Zipf sampler over `{0, 1, …, n-1}` with exponent `s` (rank 0 most
+/// frequent). Uses inverted-CDF sampling over precomputed cumulative
+/// weights — exact, O(log n) per draw.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build for `n` ranks with skew exponent `s` (`s = 0` is uniform;
+    /// `s ≈ 1` is classic zipf).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty support");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draw a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Number of ranks.
+    pub fn support(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+/// Approximately normal sample via the central limit theorem (sum of 12
+/// uniforms), scaled to `mean`/`std_dev`. Deterministic given the RNG and
+/// free of external dependencies.
+pub fn normal_approx(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+    mean + (sum - 6.0) * std_dev
+}
+
+/// Normal sample clamped and rounded into an integer range.
+pub fn normal_int(rng: &mut StdRng, mean: f64, std_dev: f64, min: i64, max: i64) -> i64 {
+    (normal_approx(rng, mean, std_dev).round() as i64).clamp(min, max)
+}
+
+/// Right-skewed sample on `[min, max]`: `min + (max-min) * u^k` with
+/// `k > 1` concentrating mass near `min`.
+pub fn skewed_int(rng: &mut StdRng, min: i64, max: i64, k: f64) -> i64 {
+    let u: f64 = rng.gen();
+    let x = u.powf(k);
+    min + ((max - min) as f64 * x).round() as i64
+}
+
+/// Bernoulli draw with probability `p`.
+pub fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50] * 5);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = rng();
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 500.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_support() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = rng();
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+        assert_eq!(z.support(), 5);
+    }
+
+    #[test]
+    fn normal_approx_moments() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| normal_approx(&mut rng, 10.0, 2.0))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_int_respects_bounds() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let v = normal_int(&mut rng, 0.0, 100.0, -5, 5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn skewed_int_concentrates_near_min() {
+        let mut rng = rng();
+        let samples: Vec<i64> = (0..10_000)
+            .map(|_| skewed_int(&mut rng, 0, 100, 3.0))
+            .collect();
+        let below_25 = samples.iter().filter(|&&v| v < 25).count();
+        assert!(below_25 > 5000, "below_25 = {below_25}");
+        assert!(samples.iter().all(|&v| (0..=100).contains(&v)));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let z = Zipf::new(50, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,351 @@
+//! Per-column statistics for the Postgres-style baseline estimator:
+//! equi-depth histograms and most-common-value (MCV) lists, mirroring
+//! PostgreSQL's `pg_stats` (`histogram_bounds` + `most_common_vals`).
+
+use qfe_core::predicate::{CmpOp, SimplePredicate};
+use qfe_core::schema::AttributeDomain;
+
+use crate::column::Column;
+
+/// An equi-depth histogram over one column plus an MCV list.
+///
+/// Selectivity estimation follows PostgreSQL's approach: MCVs are matched
+/// exactly; the remaining mass is spread over the histogram buckets with
+/// linear interpolation inside a bucket.
+#[derive(Debug, Clone)]
+pub struct EquiDepthHistogram {
+    /// Bucket boundaries, `buckets + 1` entries, first = min, last = max.
+    bounds: Vec<f64>,
+    /// Most common values with their frequencies (fraction of rows).
+    mcvs: Vec<(f64, f64)>,
+    /// Fraction of rows not covered by the MCV list.
+    non_mcv_fraction: f64,
+    /// Distinct count estimate of non-MCV values.
+    non_mcv_distinct: f64,
+    /// Total rows the histogram was built from.
+    row_count: usize,
+}
+
+impl EquiDepthHistogram {
+    /// Build from a column with `buckets` histogram buckets and up to
+    /// `mcv_count` most common values.
+    ///
+    /// # Panics
+    /// Panics on empty columns.
+    pub fn build(column: &Column, buckets: usize, mcv_count: usize) -> Self {
+        let mut values = column.to_f64_vec();
+        assert!(
+            !values.is_empty(),
+            "cannot build histogram over empty column"
+        );
+        let row_count = values.len();
+        values.sort_by(f64::total_cmp);
+
+        // MCV list: run-length over the sorted values.
+        let mut runs: Vec<(f64, usize)> = Vec::new();
+        for &v in &values {
+            match runs.last_mut() {
+                Some((rv, c)) if *rv == v => *c += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        let distinct = runs.len() as f64;
+        runs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let mcvs: Vec<(f64, f64)> = runs
+            .iter()
+            .take(mcv_count)
+            // Only keep values that are genuinely common (PG uses a similar
+            // frequency cutoff); a value occurring once is not an MCV.
+            .filter(|(_, c)| *c > 1)
+            .map(|&(v, c)| (v, c as f64 / row_count as f64))
+            .collect();
+        let mcv_fraction: f64 = mcvs.iter().map(|(_, f)| f).sum();
+
+        // Histogram over the remaining (non-MCV) values.
+        let mcv_values: Vec<f64> = mcvs.iter().map(|&(v, _)| v).collect();
+        let rest: Vec<f64> = values
+            .iter()
+            .copied()
+            .filter(|v| !mcv_values.contains(v))
+            .collect();
+        let hist_source = if rest.is_empty() { &values } else { &rest };
+        let buckets = buckets.max(1).min(hist_source.len());
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for i in 0..=buckets {
+            let pos = (i * (hist_source.len() - 1)) / buckets;
+            bounds.push(hist_source[pos]);
+        }
+
+        EquiDepthHistogram {
+            bounds,
+            mcvs,
+            non_mcv_fraction: (1.0 - mcv_fraction).max(0.0),
+            non_mcv_distinct: (distinct - mcv_values.len() as f64).max(1.0),
+            row_count,
+        }
+    }
+
+    /// Estimated selectivity of `column op literal`.
+    pub fn selectivity(&self, pred: &SimplePredicate) -> f64 {
+        let Some(v) = pred.value.as_f64() else {
+            return 0.0;
+        };
+        match pred.op {
+            CmpOp::Eq => self.eq_selectivity(v),
+            CmpOp::Ne => (1.0 - self.eq_selectivity(v)).max(0.0),
+            CmpOp::Lt => self.lt_selectivity(v),
+            CmpOp::Le => self.lt_selectivity(v) + self.eq_selectivity(v),
+            CmpOp::Gt => (1.0 - self.lt_selectivity(v) - self.eq_selectivity(v)).max(0.0),
+            CmpOp::Ge => (1.0 - self.lt_selectivity(v)).max(0.0),
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    fn eq_selectivity(&self, v: f64) -> f64 {
+        if let Some(&(_, f)) = self.mcvs.iter().find(|&&(mv, _)| mv == v) {
+            return f;
+        }
+        // Uniform share of the non-MCV mass.
+        self.non_mcv_fraction / self.non_mcv_distinct
+    }
+
+    /// Fraction of rows strictly below `v`.
+    fn lt_selectivity(&self, v: f64) -> f64 {
+        // MCV contribution.
+        let mcv_part: f64 = self
+            .mcvs
+            .iter()
+            .filter(|&&(mv, _)| mv < v)
+            .map(|&(_, f)| f)
+            .sum();
+        // Histogram contribution with linear interpolation.
+        let hist_part = self.histogram_fraction_below(v) * self.non_mcv_fraction;
+        mcv_part + hist_part
+    }
+
+    fn histogram_fraction_below(&self, v: f64) -> f64 {
+        let n_buckets = self.bounds.len() - 1;
+        if n_buckets == 0 || v <= self.bounds[0] {
+            return 0.0;
+        }
+        if v > *self.bounds.last().unwrap() {
+            return 1.0;
+        }
+        let mut fraction = 0.0;
+        for b in 0..n_buckets {
+            let (lo, hi) = (self.bounds[b], self.bounds[b + 1]);
+            if v > hi {
+                fraction += 1.0;
+            } else if v > lo && hi > lo {
+                fraction += (v - lo) / (hi - lo);
+                break;
+            } else {
+                break;
+            }
+        }
+        fraction / n_buckets as f64
+    }
+
+    /// Histogram bucket boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// The MCV list `(value, frequency)`.
+    pub fn mcvs(&self) -> &[(f64, f64)] {
+        &self.mcvs
+    }
+
+    /// Rows the histogram was built from.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bounds.len() * 8 + self.mcvs.len() * 16 + std::mem::size_of::<Self>()
+    }
+}
+
+/// Statistics bundle used by the Postgres-style estimator: histogram per
+/// column plus the attribute domain.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// The histogram + MCVs.
+    pub histogram: EquiDepthHistogram,
+    /// Domain of the column.
+    pub domain: AttributeDomain,
+    /// Exact distinct count (PG keeps `n_distinct`).
+    pub distinct: u64,
+}
+
+impl ColumnStats {
+    /// Build from a column.
+    pub fn build(column: &Column, buckets: usize, mcv_count: usize) -> Self {
+        ColumnStats {
+            histogram: EquiDepthHistogram::build(column, buckets, mcv_count),
+            domain: column.domain(),
+            distinct: column.distinct_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_column() -> Column {
+        Column::Int((0..1000).collect())
+    }
+
+    #[test]
+    fn uniform_range_selectivity_is_accurate() {
+        let h = EquiDepthHistogram::build(&uniform_column(), 32, 8);
+        let s = h.selectivity(&SimplePredicate::new(CmpOp::Lt, 500));
+        assert!((s - 0.5).abs() < 0.05, "selectivity {s}");
+        let s = h.selectivity(&SimplePredicate::new(CmpOp::Ge, 900));
+        assert!((s - 0.1).abs() < 0.05, "selectivity {s}");
+    }
+
+    #[test]
+    fn eq_selectivity_on_uniform_data() {
+        let h = EquiDepthHistogram::build(&uniform_column(), 32, 8);
+        let s = h.selectivity(&SimplePredicate::new(CmpOp::Eq, 123));
+        assert!((s - 0.001).abs() < 0.001, "selectivity {s}");
+    }
+
+    #[test]
+    fn mcvs_capture_heavy_hitters() {
+        // 50% of rows are value 7.
+        let mut vals: Vec<i64> = vec![7; 500];
+        vals.extend(0..500);
+        let col = Column::Int(vals);
+        let h = EquiDepthHistogram::build(&col, 16, 4);
+        assert!(h.mcvs().iter().any(|&(v, f)| v == 7.0 && f > 0.49));
+        let s = h.selectivity(&SimplePredicate::new(CmpOp::Eq, 7));
+        assert!(s > 0.49 && s < 0.52, "selectivity {s}");
+        let s_ne = h.selectivity(&SimplePredicate::new(CmpOp::Ne, 7));
+        assert!((s + s_ne - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_literals() {
+        let h = EquiDepthHistogram::build(&uniform_column(), 16, 4);
+        assert_eq!(h.selectivity(&SimplePredicate::new(CmpOp::Lt, -10)), 0.0);
+        let s = h.selectivity(&SimplePredicate::new(CmpOp::Lt, 10_000));
+        assert!(s > 0.99);
+        let s = h.selectivity(&SimplePredicate::new(CmpOp::Gt, 10_000));
+        assert!(s < 0.01);
+    }
+
+    #[test]
+    fn le_ge_complementarity() {
+        let h = EquiDepthHistogram::build(&uniform_column(), 32, 8);
+        for v in [100, 500, 900] {
+            let le = h.selectivity(&SimplePredicate::new(CmpOp::Le, v));
+            let gt = h.selectivity(&SimplePredicate::new(CmpOp::Gt, v));
+            assert!((le + gt - 1.0).abs() < 1e-6, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn skewed_data_beats_uniformity_assumption() {
+        // Heavily skewed: 90% of rows in [0, 10), rest in [10, 1000).
+        let mut vals = Vec::new();
+        for i in 0..900 {
+            vals.push(i % 10);
+        }
+        for i in 0..100 {
+            vals.push(10 + i * 9);
+        }
+        let col = Column::Int(vals);
+        let h = EquiDepthHistogram::build(&col, 32, 0);
+        let s = h.selectivity(&SimplePredicate::new(CmpOp::Lt, 10));
+        assert!(s > 0.8, "histogram should capture the skew, got {s}");
+    }
+
+    #[test]
+    fn constant_column() {
+        let col = Column::Int(vec![5; 100]);
+        let h = EquiDepthHistogram::build(&col, 8, 4);
+        let s = h.selectivity(&SimplePredicate::new(CmpOp::Eq, 5));
+        assert!(s > 0.99);
+        assert_eq!(h.row_count(), 100);
+    }
+
+    #[test]
+    fn column_stats_bundle() {
+        let stats = ColumnStats::build(&uniform_column(), 16, 4);
+        assert_eq!(stats.distinct, 1000);
+        assert_eq!(stats.domain.min, 0.0);
+        assert_eq!(stats.domain.max, 999.0);
+        assert!(stats.histogram.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn string_literal_selectivity_is_zero() {
+        let h = EquiDepthHistogram::build(&uniform_column(), 8, 2);
+        assert_eq!(h.selectivity(&SimplePredicate::new(CmpOp::Eq, "raw")), 0.0);
+    }
+}
+
+/// Equi-depth bucket edges for one column: `n - 1` sorted inner cut
+/// points producing `n` buckets of roughly equal row counts. Used by
+/// `qfe_core::featurize::EquiDepthConjunctionEncoding` (the data-driven
+/// partitioning refinement Section 3.2 of the paper suggests).
+pub fn equi_depth_edges(column: &Column, n: usize) -> Vec<f64> {
+    assert!(n >= 1, "need at least one bucket");
+    let mut values = column.to_f64_vec();
+    assert!(!values.is_empty(), "cannot partition an empty column");
+    values.sort_by(f64::total_cmp);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for i in 1..n {
+        let pos = i * (values.len() - 1) / n;
+        edges.push(values[pos]);
+    }
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn uniform_edges_are_evenly_spaced() {
+        let col = Column::Int((0..1000).collect());
+        let edges = equi_depth_edges(&col, 4);
+        assert_eq!(edges.len(), 3);
+        assert!((edges[0] - 249.0).abs() <= 1.0);
+        assert!((edges[1] - 499.0).abs() <= 1.0);
+        assert!((edges[2] - 749.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn skewed_edges_concentrate_in_dense_region() {
+        // 90% of values below 10.
+        let mut vals: Vec<i64> = (0..900).map(|i| i % 10).collect();
+        vals.extend((0..100).map(|i| 10 + i * 10));
+        let col = Column::Int(vals);
+        let edges = equi_depth_edges(&col, 8);
+        let below_10 = edges.iter().filter(|&&e| e < 10.0).count();
+        assert!(
+            below_10 >= 5,
+            "edges below 10: {below_10} of {}",
+            edges.len()
+        );
+    }
+
+    #[test]
+    fn constant_column_collapses() {
+        let col = Column::Int(vec![7; 100]);
+        let edges = equi_depth_edges(&col, 8);
+        assert_eq!(edges, vec![7.0]);
+    }
+
+    #[test]
+    fn single_bucket_has_no_edges() {
+        let col = Column::Int(vec![1, 2, 3]);
+        assert!(equi_depth_edges(&col, 1).is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Synthetic IMDB-shaped multi-table dataset for the join experiments.
+//!
+//! The paper's second dataset is the Internet Movie Database with the
+//! JOB-light benchmark [12, 16]. Real IMDb snapshots are licensed and
+//! large, so this generator builds the six-table star schema JOB-light
+//! touches, with key/foreign-key edges onto `title.id`:
+//!
+//! ```text
+//! title(id, kind_id, production_year)
+//! cast_info(movie_id → title.id, person_id, role_id)
+//! movie_companies(movie_id → title.id, company_id, company_type_id)
+//! movie_info(movie_id → title.id, info_type_id)
+//! movie_info_idx(movie_id → title.id, info_type_id)
+//! movie_keyword(movie_id → title.id, keyword_id)
+//! ```
+//!
+//! Fan-outs are zipfian (popular movies accumulate more cast entries,
+//! keywords, …) and correlated with `production_year` (recent movies have
+//! more rows in the fact tables), which is what makes join-cardinality
+//! estimation non-trivial — exactly the regime JOB-light stresses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::column::Column;
+use crate::generator::{skewed_int, Zipf};
+use crate::table::{Database, ForeignKey, Table};
+
+/// Configuration for the IMDB generator. Row counts of the fact tables are
+/// per-title expectations times `titles`.
+#[derive(Debug, Clone)]
+pub struct ImdbConfig {
+    /// Number of `title` rows.
+    pub titles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig {
+            titles: 20_000,
+            seed: 0x1_4DB, // "imdb"
+        }
+    }
+}
+
+/// The fact tables joined onto `title` (name, per-title mean fan-out,
+/// zipf skew of the per-title popularity, attribute column name, attribute
+/// cardinality, attribute zipf skew).
+const FACT_TABLES: [(&str, f64, f64, &str, i64, f64); 5] = [
+    ("cast_info", 3.6, 1.1, "role_id", 11, 1.0),
+    ("movie_companies", 1.3, 0.9, "company_type_id", 2, 0.3),
+    ("movie_info", 2.0, 1.0, "info_type_id", 113, 1.1),
+    ("movie_info_idx", 1.35, 0.9, "info_type_id", 113, 1.3),
+    ("movie_keyword", 1.8, 1.2, "keyword_id", 500, 1.1),
+];
+
+/// Generate the IMDB-shaped database.
+pub fn generate_imdb(config: &ImdbConfig) -> Database {
+    assert!(config.titles > 0, "need at least one title");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_titles = config.titles;
+
+    // title: id (PK), kind_id in 1..=7 (zipf: most titles are movies/eps),
+    // production_year in 1900..=2019 skewed toward recent years.
+    let kind_zipf = Zipf::new(7, 1.2);
+    let mut title_id = Vec::with_capacity(n_titles);
+    let mut kind_id = Vec::with_capacity(n_titles);
+    let mut production_year = Vec::with_capacity(n_titles);
+    for id in 0..n_titles {
+        title_id.push(id as i64);
+        kind_id.push(kind_zipf.sample(&mut rng) as i64 + 1);
+        // Skew toward recent: sample offset from 2019 downward.
+        let back = skewed_int(&mut rng, 0, 119, 4.0);
+        production_year.push(2019 - back);
+    }
+
+    // Popularity rank per title: how strongly it attracts fact rows.
+    // Recent titles are more popular on average.
+    let mut popularity: Vec<f64> = (0..n_titles)
+        .map(|i| {
+            let recency = (production_year[i] - 1900) as f64 / 119.0;
+            let base: f64 = rng.gen::<f64>().powf(5.0); // heavy-tailed weight
+            base * (0.4 + 1.2 * recency)
+        })
+        .collect();
+    let pop_total: f64 = popularity.iter().sum();
+    for p in &mut popularity {
+        *p /= pop_total;
+    }
+    // Cumulative distribution for weighted title picks.
+    let mut pop_cdf = Vec::with_capacity(n_titles);
+    let mut acc = 0.0;
+    for &p in &popularity {
+        acc += p;
+        pop_cdf.push(acc);
+    }
+
+    let mut tables = vec![Table::new(
+        "title",
+        vec![
+            ("id".into(), Column::Int(title_id)),
+            ("kind_id".into(), Column::Int(kind_id)),
+            ("production_year".into(), Column::Int(production_year)),
+        ],
+    )];
+    let mut fks = Vec::new();
+
+    for (name, mean_fanout, _skew, attr_name, attr_card, attr_skew) in FACT_TABLES {
+        let rows = (n_titles as f64 * mean_fanout) as usize;
+        let attr_zipf = Zipf::new(attr_card as usize, attr_skew);
+        let mut movie_id = Vec::with_capacity(rows);
+        let mut attr = Vec::with_capacity(rows);
+        let mut extra: Vec<i64> = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let u: f64 = rng.gen();
+            let t = pop_cdf.partition_point(|&c| c < u).min(n_titles - 1);
+            movie_id.push(t as i64);
+            // Attribute value correlates with the movie's kind via a shift,
+            // so per-table selections interact with the join distribution.
+            let base = attr_zipf.sample(&mut rng) as i64;
+            attr.push((base + (t as i64 % 3)) % attr_card + 1);
+            extra.push(skewed_int(&mut rng, 1, 10_000, 1.3));
+        }
+        let extra_name = match name {
+            "cast_info" => "person_id",
+            "movie_companies" => "company_id",
+            "movie_keyword" => "keyword_rank",
+            _ => "info_rank",
+        };
+        tables.push(Table::new(
+            name,
+            vec![
+                ("movie_id".into(), Column::Int(movie_id)),
+                (attr_name.into(), Column::Int(attr)),
+                (extra_name.into(), Column::Int(extra)),
+            ],
+        ));
+        fks.push(ForeignKey {
+            from: (name.into(), "movie_id".into()),
+            to: ("title".into(), "id".into()),
+        });
+    }
+
+    Database::new(tables, &fks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::TableId;
+
+    fn small() -> Database {
+        generate_imdb(&ImdbConfig {
+            titles: 2_000,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn schema_layout() {
+        let db = small();
+        assert_eq!(db.tables().len(), 6);
+        assert_eq!(db.catalog().fk_edges().len(), 5);
+        let title = db.table(db.table_id("title").unwrap());
+        assert_eq!(title.row_count(), 2000);
+        assert!(db.table_id("cast_info").is_some());
+        assert!(db.table_id("movie_keyword").is_some());
+    }
+
+    #[test]
+    fn fk_values_reference_existing_titles() {
+        let db = small();
+        for name in [
+            "cast_info",
+            "movie_companies",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+        ] {
+            let t = db.table(db.table_id(name).unwrap());
+            let mid = t.column_by_name("movie_id").unwrap();
+            for row in 0..t.row_count() {
+                let v = mid.get_i64(row);
+                assert!((0..2000).contains(&v), "{name} row {row}: movie_id {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fan_outs_are_skewed() {
+        let db = small();
+        let ci = db.table(db.table_id("cast_info").unwrap());
+        let mid = ci.column_by_name("movie_id").unwrap();
+        let mut counts = vec![0usize; 2000];
+        for row in 0..ci.row_count() {
+            counts[mid.get_i64(row) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let mean = ci.row_count() as f64 / 2000.0;
+        assert!(
+            max as f64 > mean * 5.0,
+            "expected skewed fan-out, max {max} mean {mean}"
+        );
+    }
+
+    #[test]
+    fn production_year_skews_recent() {
+        let db = small();
+        let title = db.table(db.table_id("title").unwrap());
+        let year = title.column_by_name("production_year").unwrap();
+        let recent = (0..title.row_count())
+            .filter(|&r| year.get_i64(r) >= 2000)
+            .count();
+        assert!(
+            recent * 2 > title.row_count(),
+            "expected most titles after 2000, got {recent}/2000"
+        );
+    }
+
+    #[test]
+    fn attribute_domains() {
+        let db = small();
+        let ci = db.table(db.table_id("cast_info").unwrap());
+        let role = ci.column_by_name("role_id").unwrap().domain();
+        assert!(role.min >= 1.0 && role.max <= 11.0);
+        let mc = db.table(db.table_id("movie_companies").unwrap());
+        let ct = mc.column_by_name("company_type_id").unwrap().domain();
+        assert!(ct.min >= 1.0 && ct.max <= 2.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = ImdbConfig {
+            titles: 500,
+            seed: 99,
+        };
+        let a = generate_imdb(&cfg);
+        let b = generate_imdb(&cfg);
+        let (ta, tb) = (a.table(TableId(1)), b.table(TableId(1)));
+        assert_eq!(ta.row_count(), tb.row_count());
+        for row in (0..ta.row_count()).step_by(53) {
+            assert_eq!(ta.columns[0].1.get_i64(row), tb.columns[0].1.get_i64(row));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # qfe-data
+//!
+//! In-memory columnar storage, per-attribute statistics, and the synthetic
+//! dataset generators used to reproduce the paper's evaluation.
+//!
+//! The paper evaluates on two real-world datasets that are not
+//! redistributable here:
+//!
+//! * **forest cover type** (UCI covertype, 581k rows × 55 attributes) —
+//!   replaced by [`forest::generate_forest`], a deterministic generator
+//!   matching covertype's shape: 10 skewed/correlated quantitative
+//!   attributes, 4 binary wilderness-area indicators, 40 binary soil-type
+//!   indicators, and the 7-valued cover type label.
+//! * **IMDb** (with the JOB-light join benchmark) — replaced by
+//!   [`imdb::generate_imdb`], a six-table schema (`title`, `cast_info`,
+//!   `movie_info`, `movie_info_idx`, `movie_companies`, `movie_keyword`)
+//!   with key/foreign-key edges and zipfian fan-outs.
+//!
+//! Both generators are seeded and bit-for-bit reproducible. See DESIGN.md
+//! for why these substitutions preserve the behaviour the experiments
+//! exercise. Users with the real files can load them via [`csv`] and run
+//! the identical pipeline.
+
+pub mod column;
+pub mod csv;
+pub mod dictionary;
+pub mod forest;
+pub mod generator;
+pub mod histogram;
+pub mod imdb;
+pub mod sample;
+pub mod table;
+pub mod voptimal;
+
+pub use column::Column;
+pub use dictionary::Dictionary;
+pub use histogram::EquiDepthHistogram;
+pub use table::{Database, Table};

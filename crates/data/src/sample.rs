@@ -1,0 +1,114 @@
+//! Bernoulli sampling (Section 7, "Sampling"): each row is drawn
+//! independently with the same probability. The paper's sampling baseline
+//! uses a 0.1 % Bernoulli sample drawn independently per query.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Bernoulli sample of row indices from a table.
+#[derive(Debug, Clone)]
+pub struct BernoulliSample {
+    rows: Vec<u32>,
+    rate: f64,
+    population: usize,
+}
+
+impl BernoulliSample {
+    /// Draw a `rate` sample (e.g. `0.001` for 0.1 %) from a table with
+    /// `population` rows.
+    pub fn draw(population: usize, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity((population as f64 * rate * 1.2) as usize + 4);
+        for row in 0..population {
+            if rng.gen::<f64>() < rate {
+                rows.push(row as u32);
+            }
+        }
+        BernoulliSample {
+            rows,
+            rate,
+            population,
+        }
+    }
+
+    /// Sampled row indices (ascending).
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// The sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Rows in the sampled table.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Scale a count of qualifying sampled rows up to a population
+    /// estimate: `|R'(Q)| / p`.
+    pub fn scale_up(&self, qualifying: usize) -> f64 {
+        if self.rate == 0.0 {
+            return 0.0;
+        }
+        qualifying as f64 / self.rate
+    }
+
+    /// Approximate heap footprint in bytes (the paper reports ~142 kB for
+    /// a 0.1 % sample of the 142 MB forest table).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_matches_rate() {
+        let s = BernoulliSample::draw(100_000, 0.01, 1);
+        let n = s.rows().len();
+        assert!((800..1200).contains(&n), "sample size {n}");
+        assert_eq!(s.population(), 100_000);
+        assert_eq!(s.rate(), 0.01);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_unique() {
+        let s = BernoulliSample::draw(10_000, 0.05, 2);
+        for w in s.rows().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn scale_up_inverts_rate() {
+        let s = BernoulliSample::draw(10_000, 0.001, 3);
+        assert_eq!(s.scale_up(5), 5000.0);
+    }
+
+    #[test]
+    fn zero_rate_yields_empty_sample() {
+        let s = BernoulliSample::draw(1000, 0.0, 4);
+        assert!(s.rows().is_empty());
+        assert_eq!(s.scale_up(0), 0.0);
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let a = BernoulliSample::draw(5000, 0.02, 42);
+        let b = BernoulliSample::draw(5000, 0.02, 42);
+        assert_eq!(a.rows(), b.rows());
+        let c = BernoulliSample::draw(5000, 0.02, 43);
+        assert_ne!(a.rows(), c.rows());
+    }
+
+    #[test]
+    fn memory_scales_with_sample() {
+        let s = BernoulliSample::draw(100_000, 0.001, 5);
+        assert_eq!(s.memory_bytes(), s.rows().len() * 4);
+    }
+}

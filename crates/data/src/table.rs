@@ -1,0 +1,235 @@
+//! Tables and databases: named column collections plus the derived
+//! [`Catalog`] consumed by featurizers and estimators.
+
+use qfe_core::schema::{AttributeDomain, Catalog, ColumnMeta, FkEdge, TableMeta};
+use qfe_core::{ColumnId, TableId};
+
+use crate::column::Column;
+
+/// A named table of equal-length columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// `(column name, column data)` pairs in declaration order.
+    pub columns: Vec<(String, Column)>,
+}
+
+impl Table {
+    /// Build a table, checking that all columns have equal length.
+    pub fn new(name: impl Into<String>, columns: Vec<(String, Column)>) -> Self {
+        let name = name.into();
+        if let Some((_, first)) = columns.first() {
+            let len = first.len();
+            for (cname, c) in &columns {
+                assert_eq!(
+                    c.len(),
+                    len,
+                    "column {cname} of table {name} has inconsistent length"
+                );
+            }
+        }
+        Table { name, columns }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Column by id.
+    pub fn column(&self, id: ColumnId) -> &Column {
+        &self.columns[id.0].1
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Column id by name.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(ColumnId)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(|(_, c)| c.memory_bytes()).sum()
+    }
+
+    fn meta(&self) -> TableMeta {
+        TableMeta {
+            name: self.name.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|(n, c)| ColumnMeta {
+                    name: n.clone(),
+                    domain: if c.is_empty() {
+                        AttributeDomain::integers(0, 0)
+                    } else {
+                        let mut d = c.domain();
+                        d.distinct = Some(c.distinct_count());
+                        d
+                    },
+                })
+                .collect(),
+            row_count: self.row_count() as u64,
+        }
+    }
+}
+
+/// Declared key/foreign-key relationship between database tables, by name.
+#[derive(Debug, Clone)]
+pub struct ForeignKey {
+    /// Referencing table / column.
+    pub from: (String, String),
+    /// Referenced table / column.
+    pub to: (String, String),
+}
+
+/// A collection of tables plus the derived catalog.
+#[derive(Debug, Clone)]
+pub struct Database {
+    tables: Vec<Table>,
+    catalog: Catalog,
+}
+
+impl Database {
+    /// Build a database; derives the catalog (domains, distinct counts,
+    /// FK edges) from the data.
+    ///
+    /// # Panics
+    /// Panics if a foreign key references an unknown table or column.
+    pub fn new(tables: Vec<Table>, foreign_keys: &[ForeignKey]) -> Self {
+        let mut catalog = Catalog::new();
+        for t in &tables {
+            catalog.add_table(t.meta());
+        }
+        for fk in foreign_keys {
+            let (ft, fc) = catalog
+                .resolve(&fk.from.0, &fk.from.1)
+                .unwrap_or_else(|e| panic!("bad foreign key source: {e}"));
+            let (tt, tc) = catalog
+                .resolve(&fk.to.0, &fk.to.1)
+                .unwrap_or_else(|e| panic!("bad foreign key target: {e}"));
+            catalog.add_fk_edge(FkEdge {
+                from: (ft, fc),
+                to: (tt, tc),
+            });
+        }
+        Database { tables, catalog }
+    }
+
+    /// The derived catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// All tables in id order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0]
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.catalog.table_id(name)
+    }
+
+    /// Approximate heap footprint of all tables in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.iter().map(Table::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let orders = Table::new(
+            "orders",
+            vec![
+                ("id".into(), Column::Int(vec![0, 1, 2])),
+                ("price".into(), Column::Float(vec![9.5, 20.0, 3.25])),
+            ],
+        );
+        let items = Table::new(
+            "items",
+            vec![
+                ("order_id".into(), Column::Int(vec![0, 0, 1, 2, 2])),
+                ("qty".into(), Column::Int(vec![1, 2, 3, 4, 5])),
+            ],
+        );
+        Database::new(
+            vec![orders, items],
+            &[ForeignKey {
+                from: ("items".into(), "order_id".into()),
+                to: ("orders".into(), "id".into()),
+            }],
+        )
+    }
+
+    #[test]
+    fn catalog_is_derived_from_data() {
+        let db = db();
+        let cat = db.catalog();
+        assert_eq!(cat.table_count(), 2);
+        let orders = cat.table(TableId(0));
+        assert_eq!(orders.row_count, 3);
+        assert_eq!(orders.columns[1].name, "price");
+        assert_eq!(orders.columns[1].domain.min, 3.25);
+        assert_eq!(orders.columns[1].domain.max, 20.0);
+        assert_eq!(orders.columns[1].domain.distinct, Some(3));
+        assert_eq!(cat.fk_edges().len(), 1);
+    }
+
+    #[test]
+    fn table_lookups() {
+        let db = db();
+        let items = db.table(db.table_id("items").unwrap());
+        assert_eq!(items.row_count(), 5);
+        assert_eq!(items.column_id("qty"), Some(ColumnId(1)));
+        assert!(items.column_by_name("qty").is_some());
+        assert!(items.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let db = db();
+        assert_eq!(db.memory_bytes(), 3 * 8 + 3 * 8 + 5 * 8 + 5 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn mismatched_column_lengths_rejected() {
+        let _ = Table::new(
+            "bad",
+            vec![
+                ("a".into(), Column::Int(vec![1, 2])),
+                ("b".into(), Column::Int(vec![1])),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad foreign key")]
+    fn unknown_fk_rejected() {
+        let t = Table::new("t", vec![("a".into(), Column::Int(vec![1]))]);
+        let _ = Database::new(
+            vec![t],
+            &[ForeignKey {
+                from: ("t".into(), "a".into()),
+                to: ("missing".into(), "x".into()),
+            }],
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Learned estimator: a QFT × model combination.
+//!
+//! This is the composition the whole paper is about: any
+//! [`Featurizer`] (the QFT) is paired with any [`Regressor`] (the ML
+//! model). The featurizer is the plug-in layer of Section 4 — swapping it
+//! requires no change to the model beyond the input width.
+
+use qfe_core::estimator::CardinalityEstimator;
+use qfe_core::featurize::Featurizer;
+use qfe_core::{QfeError, Query};
+use qfe_ml::matrix::Matrix;
+use qfe_ml::scaling::LogScaler;
+use qfe_ml::train::Regressor;
+
+use crate::labels::LabeledQueries;
+
+/// A trained (or trainable) QFT × model cardinality estimator.
+pub struct LearnedEstimator {
+    featurizer: Box<dyn Featurizer>,
+    model: Box<dyn Regressor>,
+    scaler: Option<LogScaler>,
+}
+
+impl LearnedEstimator {
+    /// Pair a featurizer with an (untrained) model.
+    pub fn new(featurizer: Box<dyn Featurizer>, model: Box<dyn Regressor>) -> Self {
+        LearnedEstimator {
+            featurizer,
+            model,
+            scaler: None,
+        }
+    }
+
+    /// Featurize a workload into a dense matrix.
+    pub fn featurize_matrix(&self, queries: &[Query]) -> Result<Matrix, QfeError> {
+        let mut rows = Vec::with_capacity(queries.len());
+        for q in queries {
+            rows.push(self.featurizer.featurize(q)?.0);
+        }
+        Ok(Matrix::from_rows(&rows))
+    }
+
+    /// Train on labeled queries.
+    ///
+    /// # Errors
+    /// Fails if any training query cannot be featurized by the configured
+    /// QFT (e.g. disjunctions under `conjunctive`).
+    pub fn fit(&mut self, data: &LabeledQueries) -> Result<(), QfeError> {
+        assert!(!data.is_empty(), "cannot train on an empty workload");
+        let x = self.featurize_matrix(&data.queries)?;
+        let scaler = LogScaler::fit(&data.cardinalities);
+        let y = scaler.transform_batch(&data.cardinalities);
+        self.model.fit(&x, &y);
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    /// Estimate a batch of queries at once (faster than per-query calls
+    /// for NN models).
+    pub fn estimate_batch(&self, queries: &[Query]) -> Result<Vec<f64>, QfeError> {
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("estimate called before fit — train the estimator first");
+        let x = self.featurize_matrix(queries)?;
+        Ok(self
+            .model
+            .predict_batch(&x)
+            .into_iter()
+            .map(|y| scaler.inverse(y))
+            .collect())
+    }
+
+    /// The underlying featurizer.
+    pub fn featurizer(&self) -> &dyn Featurizer {
+        self.featurizer.as_ref()
+    }
+
+    /// True once `fit` has completed.
+    pub fn is_trained(&self) -> bool {
+        self.scaler.is_some()
+    }
+}
+
+impl CardinalityEstimator for LearnedEstimator {
+    fn name(&self) -> String {
+        format!("{} + {}", self.model.model_name(), self.featurizer.name())
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        let Some(scaler) = &self.scaler else {
+            return 1.0;
+        };
+        match self.featurizer.featurize(query) {
+            Ok(f) => scaler.inverse(self.model.predict(f.as_slice())),
+            // A query outside the QFT's supported class: the defined
+            // behaviour is the most conservative legal estimate.
+            Err(_) => 1.0,
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.model.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::label_queries;
+    use qfe_core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+    use qfe_core::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+    use qfe_core::query::ColumnRef;
+    use qfe_core::{ColumnId, TableId};
+    use qfe_data::table::Table;
+    use qfe_data::{Column, Database};
+    use qfe_ml::gbdt::{Gbdt, GbdtConfig};
+
+    fn db() -> Database {
+        Database::new(
+            vec![Table::new(
+                "t",
+                vec![(
+                    "a".into(),
+                    Column::Int((0..1000).map(|i| i % 100).collect()),
+                )],
+            )],
+            &[],
+        )
+    }
+
+    fn range_query(lo: i64, hi: i64) -> Query {
+        Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                vec![
+                    SimplePredicate::new(CmpOp::Ge, lo),
+                    SimplePredicate::new(CmpOp::Le, hi),
+                ],
+            )],
+        )
+    }
+
+    fn trained_estimator(db: &Database) -> LearnedEstimator {
+        let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+        let mut est = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, 32)),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: 60,
+                min_samples_leaf: 2,
+                ..GbdtConfig::default()
+            })),
+        );
+        let mut queries = Vec::new();
+        for lo in 0..90 {
+            for width in [1, 5, 10, 30, 60] {
+                queries.push(range_query(lo, lo + width));
+            }
+        }
+        let data = label_queries(db, queries);
+        est.fit(&data).unwrap();
+        est
+    }
+
+    #[test]
+    fn learns_range_cardinalities() {
+        let db = db();
+        let est = trained_estimator(&db);
+        // In-distribution test queries.
+        for (lo, hi) in [(5, 20), (30, 35), (10, 70)] {
+            let q = range_query(lo, hi);
+            let truth = qfe_exec::true_cardinality(&db, &q).unwrap() as f64;
+            let e = est.estimate(&q);
+            let q_err = (truth / e).max(e / truth);
+            assert!(
+                q_err < 2.0,
+                "({lo},{hi}): q-error {q_err} (truth {truth}, est {e})"
+            );
+        }
+    }
+
+    #[test]
+    fn name_combines_model_and_qft() {
+        let db = db();
+        let est = trained_estimator(&db);
+        assert_eq!(est.name(), "GB + conjunctive");
+        assert!(est.is_trained());
+        assert!(est.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn batch_estimates_match_single() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let queries = vec![range_query(5, 20), range_query(50, 90)];
+        let batch = est.estimate_batch(&queries).unwrap();
+        assert_eq!(batch[0], est.estimate(&queries[0]));
+        assert_eq!(batch[1], est.estimate(&queries[1]));
+    }
+
+    #[test]
+    fn unsupported_query_estimates_one() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: ColumnRef::new(TableId(0), ColumnId(0)),
+                expr: qfe_core::PredicateExpr::Or(vec![
+                    qfe_core::PredicateExpr::leaf(CmpOp::Eq, 1),
+                    qfe_core::PredicateExpr::leaf(CmpOp::Eq, 2),
+                ]),
+            }],
+        );
+        assert_eq!(est.estimate(&q), 1.0);
+    }
+
+    #[test]
+    fn untrained_estimator_returns_one() {
+        let db = db();
+        let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+        let est = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, 8)),
+            Box::new(Gbdt::new(GbdtConfig::default())),
+        );
+        assert_eq!(est.estimate(&range_query(0, 10)), 1.0);
+        assert!(!est.is_trained());
+    }
+}

@@ -1,0 +1,88 @@
+//! The oracle estimator: executes the query and returns the exact count.
+//! Used for labeling training workloads and as the "true cardinalities"
+//! arm of the end-to-end experiment (paper Table 4).
+
+use qfe_core::estimator::CardinalityEstimator;
+use qfe_core::Query;
+use qfe_data::Database;
+use qfe_exec::true_cardinality;
+
+/// Exact cardinalities by execution.
+pub struct TrueCardinalityEstimator<'a> {
+    db: &'a Database,
+}
+
+impl<'a> TrueCardinalityEstimator<'a> {
+    /// Wrap a database.
+    pub fn new(db: &'a Database) -> Self {
+        TrueCardinalityEstimator { db }
+    }
+}
+
+impl CardinalityEstimator for TrueCardinalityEstimator<'_> {
+    fn name(&self) -> String {
+        "true".into()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        // The oracle reports the exact count, including 0 — consumers that
+        // need the >= 1 convention (q-error) clamp themselves. This
+        // matters for inclusion-exclusion, where clamped zeros would
+        // corrupt the alternating sum.
+        match true_cardinality(self.db, query) {
+            Ok(c) => c as f64,
+            Err(_) => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+    use qfe_core::query::ColumnRef;
+    use qfe_core::{ColumnId, TableId};
+    use qfe_data::table::Table;
+    use qfe_data::Column;
+
+    #[test]
+    fn oracle_matches_execution() {
+        let db = Database::new(
+            vec![Table::new(
+                "t",
+                vec![("a".into(), Column::Int((0..50).collect()))],
+            )],
+            &[],
+        );
+        let est = TrueCardinalityEstimator::new(&db);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                vec![SimplePredicate::new(CmpOp::Lt, 10)],
+            )],
+        );
+        assert_eq!(est.estimate(&q), 10.0);
+        assert_eq!(est.name(), "true");
+    }
+
+    #[test]
+    fn empty_results_report_zero() {
+        let db = Database::new(
+            vec![Table::new(
+                "t",
+                vec![("a".into(), Column::Int((0..50).collect()))],
+            )],
+            &[],
+        );
+        let est = TrueCardinalityEstimator::new(&db);
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                vec![SimplePredicate::new(CmpOp::Gt, 1000)],
+            )],
+        );
+        assert_eq!(est.estimate(&q), 0.0);
+    }
+}

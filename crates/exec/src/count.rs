@@ -1,0 +1,473 @@
+//! Exact result cardinalities — the labeling oracle.
+//!
+//! Single-table queries reduce to a bitmap count. Join queries over an
+//! acyclic (tree-shaped) join graph are counted without materializing the
+//! join: a bottom-up pass aggregates per-join-key *counts* of each subtree
+//! and multiplies them into the parent, which is linear in the input sizes
+//! regardless of how large the join result is.
+
+use std::collections::HashMap;
+
+use qfe_core::predicate::CompoundPredicate;
+use qfe_core::{QfeError, Query, TableId};
+use qfe_data::Database;
+
+use crate::eval::selection_bitmap;
+
+/// Exact `SELECT count(*)` result of `query` over `db`.
+///
+/// Joins must form a tree (JOB-style queries do); cyclic join graphs are
+/// rejected with [`QfeError::UnsupportedQuery`].
+pub fn true_cardinality(db: &Database, query: &Query) -> Result<u64, QfeError> {
+    query.validate(db.catalog())?;
+    if query.tables.len() == 1 {
+        let preds: Vec<&CompoundPredicate> = query.predicates.iter().collect();
+        return Ok(selection_bitmap(db.table(query.tables[0]), &preds).count());
+    }
+    if query.joins.len() != query.sub_schema().len() - 1 {
+        return Err(QfeError::UnsupportedQuery(
+            "join counting requires a tree-shaped join graph".into(),
+        ));
+    }
+    let root = query.tables[0];
+    let mut visited = vec![root];
+    let total = count_subtree(db, query, root, None, &mut visited)?
+        .into_values()
+        .sum();
+    if visited.len() != query.sub_schema().len() {
+        return Err(QfeError::InvalidQuery(
+            "join graph does not connect all accessed tables".into(),
+        ));
+    }
+    Ok(total)
+}
+
+/// Count the subtree rooted at `table`. Returns a map from this table's
+/// parent-join-key values (or `0` for the root, which has no parent key)
+/// to the number of joined subtree combinations with that key.
+fn count_subtree(
+    db: &Database,
+    query: &Query,
+    table: TableId,
+    parent_key_col: Option<qfe_core::ColumnId>,
+    visited: &mut Vec<TableId>,
+) -> Result<HashMap<i64, u64>, QfeError> {
+    let t = db.table(table);
+    let preds: Vec<&CompoundPredicate> = query
+        .predicates
+        .iter()
+        .filter(|cp| cp.column.table == table)
+        .collect();
+    let rows = selection_bitmap(t, &preds);
+
+    // Recurse into children: joins touching `table` whose other side is
+    // unvisited.
+    let mut children: Vec<(qfe_core::ColumnId, HashMap<i64, u64>)> = Vec::new();
+    for j in &query.joins {
+        let (my_col, other) = if j.left.table == table && !visited.contains(&j.right.table) {
+            (j.left.column, j.right)
+        } else if j.right.table == table && !visited.contains(&j.left.table) {
+            (j.right.column, j.left)
+        } else {
+            continue;
+        };
+        visited.push(other.table);
+        let child_map = count_subtree(db, query, other.table, Some(other.column), visited)?;
+        children.push((my_col, child_map));
+    }
+
+    let mut out: HashMap<i64, u64> = HashMap::new();
+    let parent_col = parent_key_col;
+    for row in rows.iter_ones() {
+        let mut mult: u64 = 1;
+        for (my_col, child_map) in &children {
+            let key = t.column(*my_col).get_i64(row);
+            match child_map.get(&key) {
+                Some(&c) => mult *= c,
+                None => {
+                    mult = 0;
+                    break;
+                }
+            }
+        }
+        if mult == 0 {
+            continue;
+        }
+        let key = match parent_col {
+            Some(c) => t.column(c).get_i64(row),
+            None => 0,
+        };
+        *out.entry(key).or_insert(0) += mult;
+    }
+    Ok(out)
+}
+
+/// Brute-force nested-loop count over at most three tables — the test
+/// oracle for [`true_cardinality`]. Exponential; only for tiny inputs.
+pub fn brute_force_count(db: &Database, query: &Query) -> Result<u64, QfeError> {
+    query.validate(db.catalog())?;
+    let tables = &query.tables;
+    assert!(tables.len() <= 3, "brute force limited to three tables");
+    let sizes: Vec<usize> = tables.iter().map(|&t| db.table(t).row_count()).collect();
+    if sizes.contains(&0) {
+        return Ok(0); // a join with an empty input is empty
+    }
+    let mut count = 0u64;
+    let mut idx = vec![0usize; tables.len()];
+    'outer: loop {
+        // Check join predicates.
+        let mut ok = true;
+        for j in &query.joins {
+            let lpos = tables.iter().position(|&t| t == j.left.table).unwrap();
+            let rpos = tables.iter().position(|&t| t == j.right.table).unwrap();
+            let lv = db
+                .table(j.left.table)
+                .column(j.left.column)
+                .get_i64(idx[lpos]);
+            let rv = db
+                .table(j.right.table)
+                .column(j.right.column)
+                .get_i64(idx[rpos]);
+            if lv != rv {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for cp in &query.predicates {
+                let pos = tables.iter().position(|&t| t == cp.column.table).unwrap();
+                let v = db
+                    .table(cp.column.table)
+                    .column(cp.column.column)
+                    .get_f64(idx[pos]);
+                if !cp.expr.matches_f64(v) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            count += 1;
+        }
+        // Odometer increment.
+        for k in (0..idx.len()).rev() {
+            idx[k] += 1;
+            if idx[k] < sizes[k] {
+                continue 'outer;
+            }
+            idx[k] = 0;
+            if k == 0 {
+                break 'outer;
+            }
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::predicate::{CmpOp, PredicateExpr, SimplePredicate};
+    use qfe_core::query::{ColumnRef, JoinPredicate};
+    use qfe_core::ColumnId;
+    use qfe_data::table::{ForeignKey, Table};
+    use qfe_data::Column;
+
+    fn db() -> Database {
+        let orders = Table::new(
+            "orders",
+            vec![
+                ("id".into(), Column::Int(vec![0, 1, 2, 3])),
+                ("price".into(), Column::Int(vec![10, 20, 30, 40])),
+            ],
+        );
+        let items = Table::new(
+            "items",
+            vec![
+                ("order_id".into(), Column::Int(vec![0, 0, 1, 2, 2, 2])),
+                ("qty".into(), Column::Int(vec![1, 2, 3, 4, 5, 6])),
+            ],
+        );
+        let notes = Table::new(
+            "notes",
+            vec![
+                ("order_id".into(), Column::Int(vec![0, 2, 2, 3])),
+                ("kind".into(), Column::Int(vec![1, 1, 2, 2])),
+            ],
+        );
+        Database::new(
+            vec![orders, items, notes],
+            &[
+                ForeignKey {
+                    from: ("items".into(), "order_id".into()),
+                    to: ("orders".into(), "id".into()),
+                },
+                ForeignKey {
+                    from: ("notes".into(), "order_id".into()),
+                    to: ("orders".into(), "id".into()),
+                },
+            ],
+        )
+    }
+
+    fn orders_col(c: usize) -> ColumnRef {
+        ColumnRef::new(TableId(0), ColumnId(c))
+    }
+
+    #[test]
+    fn single_table_count() {
+        let db = db();
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                orders_col(1),
+                vec![SimplePredicate::new(CmpOp::Gt, 15)],
+            )],
+        );
+        assert_eq!(true_cardinality(&db, &q).unwrap(), 3);
+    }
+
+    #[test]
+    fn single_table_mixed_predicate() {
+        let db = db();
+        let q = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: orders_col(1),
+                expr: PredicateExpr::Or(vec![
+                    PredicateExpr::leaf(CmpOp::Le, 10),
+                    PredicateExpr::leaf(CmpOp::Ge, 40),
+                ]),
+            }],
+        );
+        assert_eq!(true_cardinality(&db, &q).unwrap(), 2);
+    }
+
+    fn two_way_join() -> Query {
+        Query {
+            tables: vec![TableId(0), TableId(1)],
+            joins: vec![JoinPredicate {
+                left: ColumnRef::new(TableId(1), ColumnId(0)),
+                right: ColumnRef::new(TableId(0), ColumnId(0)),
+            }],
+            predicates: vec![],
+        }
+    }
+
+    #[test]
+    fn two_way_join_count() {
+        let db = db();
+        // items per order: 2 + 1 + 3 + 0 = 6.
+        assert_eq!(true_cardinality(&db, &two_way_join()).unwrap(), 6);
+        assert_eq!(brute_force_count(&db, &two_way_join()).unwrap(), 6);
+    }
+
+    #[test]
+    fn join_with_selections() {
+        let db = db();
+        let mut q = two_way_join();
+        q.predicates.push(CompoundPredicate::conjunction(
+            orders_col(1),
+            vec![SimplePredicate::new(CmpOp::Ge, 30)],
+        ));
+        // Only order 2 (price 30, 3 items) and order 3 (price 40, 0 items).
+        assert_eq!(true_cardinality(&db, &q).unwrap(), 3);
+        assert_eq!(brute_force_count(&db, &q).unwrap(), 3);
+    }
+
+    #[test]
+    fn three_way_star_join() {
+        let db = db();
+        let q = Query {
+            tables: vec![TableId(0), TableId(1), TableId(2)],
+            joins: vec![
+                JoinPredicate {
+                    left: ColumnRef::new(TableId(1), ColumnId(0)),
+                    right: ColumnRef::new(TableId(0), ColumnId(0)),
+                },
+                JoinPredicate {
+                    left: ColumnRef::new(TableId(2), ColumnId(0)),
+                    right: ColumnRef::new(TableId(0), ColumnId(0)),
+                },
+            ],
+            predicates: vec![],
+        };
+        // order 0: 2 items × 1 note; order 2: 3 items × 2 notes = 2 + 6 = 8.
+        assert_eq!(true_cardinality(&db, &q).unwrap(), 8);
+        assert_eq!(brute_force_count(&db, &q).unwrap(), 8);
+    }
+
+    #[test]
+    fn star_join_with_fact_selection() {
+        let db = db();
+        let q = Query {
+            tables: vec![TableId(0), TableId(1), TableId(2)],
+            joins: vec![
+                JoinPredicate {
+                    left: ColumnRef::new(TableId(1), ColumnId(0)),
+                    right: ColumnRef::new(TableId(0), ColumnId(0)),
+                },
+                JoinPredicate {
+                    left: ColumnRef::new(TableId(2), ColumnId(0)),
+                    right: ColumnRef::new(TableId(0), ColumnId(0)),
+                },
+            ],
+            predicates: vec![CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(2), ColumnId(1)),
+                vec![SimplePredicate::new(CmpOp::Eq, 2)],
+            )],
+        };
+        // notes with kind=2: order 2 (one note), order 3 (one note).
+        // order 2: 3 items × 1 note = 3; order 3: 0 items.
+        assert_eq!(true_cardinality(&db, &q).unwrap(), 3);
+        assert_eq!(brute_force_count(&db, &q).unwrap(), 3);
+    }
+
+    #[test]
+    fn root_choice_does_not_matter() {
+        let db = db();
+        let mut q = two_way_join();
+        q.tables = vec![TableId(1), TableId(0)]; // fact table first
+        assert_eq!(true_cardinality(&db, &q).unwrap(), 6);
+    }
+
+    #[test]
+    fn empty_join_result() {
+        let db = db();
+        let mut q = two_way_join();
+        q.predicates.push(CompoundPredicate::conjunction(
+            orders_col(1),
+            vec![SimplePredicate::new(CmpOp::Gt, 1000)],
+        ));
+        assert_eq!(true_cardinality(&db, &q).unwrap(), 0);
+    }
+}
+
+/// Exact result cardinality of a grouped query: the number of distinct
+/// grouping-key combinations among qualifying rows (the row count of
+/// `SELECT …, count(*) … GROUP BY …`).
+///
+/// Single-table queries only (grouped join estimation is future work in
+/// the paper as well). An empty GROUP BY yields 1 if any row qualifies,
+/// 0 otherwise — SQL aggregate semantics.
+pub fn grouped_cardinality(
+    db: &Database,
+    grouped: &qfe_core::featurize::GroupedQuery,
+) -> Result<u64, QfeError> {
+    let query = &grouped.query;
+    query.validate(db.catalog())?;
+    if query.tables.len() != 1 {
+        return Err(QfeError::UnsupportedQuery(
+            "grouped counting supports single-table queries".into(),
+        ));
+    }
+    let table = query.tables[0];
+    for col in &grouped.group_by {
+        if col.table != table {
+            return Err(QfeError::InvalidQuery(
+                "grouping attribute on a table the query does not access".into(),
+            ));
+        }
+    }
+    let t = db.table(table);
+    let preds: Vec<&CompoundPredicate> = query.predicates.iter().collect();
+    let rows = selection_bitmap(t, &preds);
+    if grouped.group_by.is_empty() {
+        return Ok(u64::from(rows.count() > 0));
+    }
+    let mut groups: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+    let columns: Vec<_> = grouped
+        .group_by
+        .iter()
+        .map(|c| t.column(c.column))
+        .collect();
+    for row in rows.iter_ones() {
+        let key: Vec<i64> = columns.iter().map(|c| c.get_i64(row)).collect();
+        groups.insert(key);
+    }
+    Ok(groups.len() as u64)
+}
+
+#[cfg(test)]
+mod grouped_tests {
+    use super::*;
+    use qfe_core::featurize::GroupedQuery;
+    use qfe_core::predicate::{CmpOp, SimplePredicate};
+    use qfe_core::query::ColumnRef;
+    use qfe_core::ColumnId;
+    use qfe_data::table::Table;
+    use qfe_data::Column;
+
+    fn db() -> Database {
+        Database::new(
+            vec![Table::new(
+                "t",
+                vec![
+                    ("a".into(), Column::Int((0..100).map(|i| i % 10).collect())),
+                    ("b".into(), Column::Int((0..100).map(|i| i % 4).collect())),
+                ],
+            )],
+            &[],
+        )
+    }
+
+    fn col(i: usize) -> ColumnRef {
+        ColumnRef::new(TableId(0), ColumnId(i))
+    }
+
+    #[test]
+    fn counts_distinct_groups() {
+        let db = db();
+        let g = GroupedQuery::new(Query::single_table(TableId(0), vec![]), vec![col(0)]);
+        assert_eq!(grouped_cardinality(&db, &g).unwrap(), 10);
+        let g = GroupedQuery::new(
+            Query::single_table(TableId(0), vec![]),
+            vec![col(0), col(1)],
+        );
+        // lcm(10, 4) = 20 distinct (a, b) pairs over i % 10, i % 4.
+        assert_eq!(grouped_cardinality(&db, &g).unwrap(), 20);
+    }
+
+    #[test]
+    fn selections_reduce_groups() {
+        let db = db();
+        let g = GroupedQuery::new(
+            Query::single_table(
+                TableId(0),
+                vec![CompoundPredicate::conjunction(
+                    col(0),
+                    vec![SimplePredicate::new(CmpOp::Lt, 3)],
+                )],
+            ),
+            vec![col(0)],
+        );
+        assert_eq!(grouped_cardinality(&db, &g).unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_group_by_is_scalar_aggregate() {
+        let db = db();
+        let g = GroupedQuery::new(Query::single_table(TableId(0), vec![]), vec![]);
+        assert_eq!(grouped_cardinality(&db, &g).unwrap(), 1);
+        let g = GroupedQuery::new(
+            Query::single_table(
+                TableId(0),
+                vec![CompoundPredicate::conjunction(
+                    col(0),
+                    vec![SimplePredicate::new(CmpOp::Gt, 100)],
+                )],
+            ),
+            vec![],
+        );
+        assert_eq!(grouped_cardinality(&db, &g).unwrap(), 0);
+    }
+
+    #[test]
+    fn join_queries_are_rejected() {
+        let db = db();
+        let mut q = Query::single_table(TableId(0), vec![]);
+        q.tables.push(TableId(0));
+        let g = GroupedQuery::new(q, vec![col(0)]);
+        assert!(grouped_cardinality(&db, &g).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Vectorized predicate evaluation into selection bitmaps.
+
+use qfe_core::predicate::{CompoundPredicate, PredicateExpr, SimplePredicate};
+use qfe_core::CmpOp;
+use qfe_data::{Column, Table};
+
+use crate::bitmap::Bitmap;
+
+/// Evaluate one simple predicate over a column.
+pub fn eval_simple(column: &Column, pred: &SimplePredicate) -> Bitmap {
+    let n = column.len();
+    let mut bm = Bitmap::zeros(n);
+    let Some(rhs) = pred.value.as_f64() else {
+        // Raw string literals never match: they must be dictionary-encoded
+        // before execution.
+        return bm;
+    };
+    match column {
+        Column::Int(values) => {
+            // Integer fast path: compare in i64 when the literal is
+            // integral, avoiding float conversion per row.
+            if rhs.fract() == 0.0 && rhs.abs() < 9e15 {
+                let rhs = rhs as i64;
+                for (row, &v) in values.iter().enumerate() {
+                    if pred.op.eval_i64(v, rhs) {
+                        bm.set(row);
+                    }
+                }
+            } else {
+                for (row, &v) in values.iter().enumerate() {
+                    if pred.op.eval_f64(v as f64, rhs) {
+                        bm.set(row);
+                    }
+                }
+            }
+        }
+        Column::Float(values) => {
+            for (row, &v) in values.iter().enumerate() {
+                if pred.op.eval_f64(v, rhs) {
+                    bm.set(row);
+                }
+            }
+        }
+        Column::Dict { codes, .. } => {
+            for (row, &c) in codes.iter().enumerate() {
+                if pred.op.eval_f64(c as f64, rhs) {
+                    bm.set(row);
+                }
+            }
+        }
+    }
+    bm
+}
+
+/// Evaluate an arbitrary AND/OR predicate expression over a column.
+pub fn eval_expr(column: &Column, expr: &PredicateExpr) -> Bitmap {
+    match expr {
+        PredicateExpr::Leaf(p) => eval_simple(column, p),
+        PredicateExpr::And(children) => {
+            let mut acc = Bitmap::ones(column.len());
+            for child in children {
+                acc.and_with(&eval_expr(column, child));
+            }
+            acc
+        }
+        PredicateExpr::Or(children) => {
+            let mut acc = Bitmap::zeros(column.len());
+            for child in children {
+                acc.or_with(&eval_expr(column, child));
+            }
+            acc
+        }
+    }
+}
+
+/// Evaluate one compound predicate over its table.
+pub fn eval_compound(table: &Table, cp: &CompoundPredicate) -> Bitmap {
+    eval_expr(table.column(cp.column.column), &cp.expr)
+}
+
+/// Selection bitmap of a conjunction of compound predicates over one table
+/// (the per-table filter of a query).
+pub fn selection_bitmap(table: &Table, predicates: &[&CompoundPredicate]) -> Bitmap {
+    let mut acc = Bitmap::ones(table.row_count());
+    for cp in predicates {
+        acc.and_with(&eval_compound(table, cp));
+    }
+    acc
+}
+
+/// Brute-force row check used as a test oracle (and by the sampling
+/// estimator for sampled rows).
+pub fn row_matches(table: &Table, predicates: &[&CompoundPredicate], row: usize) -> bool {
+    predicates.iter().all(|cp| {
+        let v = table.column(cp.column.column).get_f64(row);
+        cp.expr.matches_f64(v)
+    })
+}
+
+/// Evaluate a simple predicate via an explicit match — kept for clarity in
+/// examples of how `CmpOp` maps onto scans.
+pub fn scan_count(column: &Column, op: CmpOp, rhs: f64) -> u64 {
+    (0..column.len())
+        .filter(|&row| op.eval_f64(column.get_f64(row), rhs))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::query::ColumnRef;
+    use qfe_core::schema::{ColumnId, TableId};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("a".into(), Column::Int((0..100).collect())),
+                (
+                    "b".into(),
+                    Column::Float((0..100).map(|i| i as f64 / 10.0).collect()),
+                ),
+            ],
+        )
+    }
+
+    fn col(i: usize) -> ColumnRef {
+        ColumnRef::new(TableId(0), ColumnId(i))
+    }
+
+    #[test]
+    fn simple_ops_on_int_column() {
+        let t = table();
+        let c = t.column(ColumnId(0));
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Lt, 10)).count(),
+            10
+        );
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Le, 10)).count(),
+            11
+        );
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Eq, 42)).count(),
+            1
+        );
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Ne, 42)).count(),
+            99
+        );
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Gt, 89)).count(),
+            10
+        );
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Ge, 90)).count(),
+            10
+        );
+    }
+
+    #[test]
+    fn float_literal_on_int_column() {
+        let t = table();
+        let c = t.column(ColumnId(0));
+        // a < 9.5 matches 0..=9.
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Lt, 9.5)).count(),
+            10
+        );
+    }
+
+    #[test]
+    fn float_column() {
+        let t = table();
+        let c = t.column(ColumnId(1));
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Ge, 5.0)).count(),
+            50
+        );
+    }
+
+    #[test]
+    fn raw_string_literal_matches_nothing() {
+        let t = table();
+        let c = t.column(ColumnId(0));
+        assert_eq!(
+            eval_simple(c, &SimplePredicate::new(CmpOp::Eq, "raw")).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn expr_and_or_match_semantics() {
+        let t = table();
+        let c = t.column(ColumnId(0));
+        // (a < 10 OR a >= 90) AND a <> 5  → 19 rows
+        let e = PredicateExpr::And(vec![
+            PredicateExpr::Or(vec![
+                PredicateExpr::leaf(CmpOp::Lt, 10),
+                PredicateExpr::leaf(CmpOp::Ge, 90),
+            ]),
+            PredicateExpr::leaf(CmpOp::Ne, 5),
+        ]);
+        let bm = eval_expr(c, &e);
+        assert_eq!(bm.count(), 19);
+        // Cross-check against scalar evaluation.
+        for row in 0..100 {
+            assert_eq!(bm.get(row), e.matches_f64(row as f64), "row {row}");
+        }
+    }
+
+    #[test]
+    fn selection_bitmap_intersects_compounds() {
+        let t = table();
+        let cp_a = CompoundPredicate::conjunction(
+            col(0),
+            vec![
+                SimplePredicate::new(CmpOp::Ge, 20),
+                SimplePredicate::new(CmpOp::Lt, 60),
+            ],
+        );
+        let cp_b =
+            CompoundPredicate::conjunction(col(1), vec![SimplePredicate::new(CmpOp::Lt, 4.0)]);
+        let bm = selection_bitmap(&t, &[&cp_a, &cp_b]);
+        // a in [20, 60) AND b < 4.0 (b = a/10) → a in [20, 40).
+        assert_eq!(bm.count(), 20);
+        for row in bm.iter_ones() {
+            assert!(row_matches(&t, &[&cp_a, &cp_b], row));
+        }
+    }
+
+    #[test]
+    fn empty_predicate_list_selects_all() {
+        let t = table();
+        assert_eq!(selection_bitmap(&t, &[]).count(), 100);
+    }
+
+    #[test]
+    fn scan_count_oracle() {
+        let t = table();
+        assert_eq!(scan_count(t.column(ColumnId(0)), CmpOp::Lt, 50.0), 50);
+    }
+}

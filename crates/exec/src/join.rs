@@ -1,0 +1,67 @@
+//! Hash-join primitives shared by counting and plan execution.
+
+use std::collections::HashMap;
+
+/// A build-side hash table: join key → row positions.
+#[derive(Debug, Clone, Default)]
+pub struct HashJoinTable {
+    map: HashMap<i64, Vec<u32>>,
+    build_rows: usize,
+}
+
+impl HashJoinTable {
+    /// Build from `(key, position)` pairs.
+    pub fn build(keys: impl Iterator<Item = i64>) -> Self {
+        let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+        let mut build_rows = 0;
+        for (pos, key) in keys.enumerate() {
+            map.entry(key).or_default().push(pos as u32);
+            build_rows += 1;
+        }
+        HashJoinTable { map, build_rows }
+    }
+
+    /// Positions matching `key`.
+    pub fn probe(&self, key: i64) -> &[u32] {
+        self.map.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of matches for `key` (used by count-only joins).
+    pub fn probe_count(&self, key: i64) -> usize {
+        self.map.get(&key).map_or(0, Vec::len)
+    }
+
+    /// Number of rows on the build side.
+    pub fn build_rows(&self) -> usize {
+        self.build_rows
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_probe() {
+        let ht = HashJoinTable::build([5, 7, 5, 9].into_iter());
+        assert_eq!(ht.build_rows(), 4);
+        assert_eq!(ht.distinct_keys(), 3);
+        assert_eq!(ht.probe(5), &[0, 2]);
+        assert_eq!(ht.probe(7), &[1]);
+        assert_eq!(ht.probe(42), &[] as &[u32]);
+        assert_eq!(ht.probe_count(5), 2);
+        assert_eq!(ht.probe_count(42), 0);
+    }
+
+    #[test]
+    fn empty_build_side() {
+        let ht = HashJoinTable::build(std::iter::empty());
+        assert_eq!(ht.build_rows(), 0);
+        assert_eq!(ht.probe_count(0), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # qfe-exec
+//!
+//! Query execution over `qfe-data` tables:
+//!
+//! * [`bitmap`] / [`eval`] — vectorized predicate evaluation into selection
+//!   bitmaps, including mixed (AND/OR) compound predicates.
+//! * [`count`] — exact result cardinalities for selection and join queries;
+//!   this is the labeling oracle that produces training/test cardinalities
+//!   for the learned estimators and the ground truth for q-errors.
+//! * [`join`] — hash-join machinery shared by counting and execution.
+//! * [`optimizer`] — a cost-based dynamic-programming join-order optimizer
+//!   parameterized by any [`qfe_core::CardinalityEstimator`]; used by the
+//!   end-to-end experiment (paper Table 4) to measure how estimate quality
+//!   translates into plan quality and runtime.
+//! * [`executor`] — physical execution of optimized plans with measured
+//!   wall-clock time.
+
+pub mod bitmap;
+pub mod count;
+pub mod eval;
+pub mod executor;
+pub mod join;
+pub mod optimizer;
+
+pub use bitmap::Bitmap;
+pub use count::true_cardinality;
+pub use optimizer::{JoinPlan, Optimizer};

@@ -1,0 +1,650 @@
+//! Gradient-boosted regression trees — the paper's `GB` model (after Dutt
+//! et al. \[5\], whose reference implementation is LightGBM).
+//!
+//! Squared-loss boosting: each tree fits the current residuals. Split
+//! finding is histogram-based like LightGBM's: features are quantile-binned
+//! to at most `max_bins` values once before training, and each candidate
+//! split only scans per-bin aggregates. Trees grow leaf-wise (best gain
+//! first) up to `max_leaves` / `max_depth`.
+//!
+//! The resulting estimator is small (kilobytes) and trains in seconds —
+//! reproducing the paper's Section 5.7 observation that GB is the smallest
+//! and fastest-to-train estimator.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::matrix::Matrix;
+use crate::train::Regressor;
+
+/// GBDT hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f32,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Maximum number of leaves per tree (leaf-wise growth).
+    pub max_leaves: usize,
+    /// Minimum samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// L2 regularization on leaf values.
+    pub lambda: f32,
+    /// Maximum histogram bins per feature.
+    pub max_bins: usize,
+    /// Fraction of features considered per tree (column subsampling).
+    pub colsample: f64,
+    /// RNG seed (column subsampling).
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            n_trees: 120,
+            learning_rate: 0.12,
+            max_depth: 8,
+            max_leaves: 31,
+            min_samples_leaf: 10,
+            lambda: 1.0,
+            max_bins: 64,
+            colsample: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Go left if `x[feature] <= threshold`.
+    Split {
+        feature: u32,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf(f32),
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f32]) -> f32 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+    }
+}
+
+/// A leaf-wise growth candidate.
+struct Candidate {
+    node_slot: usize,
+    rows: Vec<u32>,
+    depth: usize,
+    gain: f64,
+    feature: u32,
+    threshold_bin: u8,
+}
+
+/// The gradient-boosting ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    config: GbdtConfig,
+    trees: Vec<Tree>,
+    base: f32,
+    input_dim: usize,
+}
+
+impl Gbdt {
+    /// Create an untrained model.
+    pub fn new(config: GbdtConfig) -> Self {
+        assert!(config.n_trees >= 1);
+        assert!(config.max_bins >= 2 && config.max_bins <= 256);
+        assert!(config.max_leaves >= 2);
+        Gbdt {
+            config,
+            trees: Vec::new(),
+            base: 0.0,
+            input_dim: 0,
+        }
+    }
+
+    /// Number of trained trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Per-feature quantile cut points.
+    fn build_cuts(&self, x: &Matrix) -> Vec<Vec<f32>> {
+        let n = x.rows();
+        let mut cuts = Vec::with_capacity(x.cols());
+        for f in 0..x.cols() {
+            let mut vals: Vec<f32> = (0..n).map(|r| x.get(r, f)).collect();
+            vals.sort_by(f32::total_cmp);
+            vals.dedup();
+            let want = self.config.max_bins - 1;
+            let mut c: Vec<f32> = if vals.len() <= want {
+                // Few distinct values: cut between every pair.
+                vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+            } else {
+                (1..=want)
+                    .map(|i| vals[i * (vals.len() - 1) / want])
+                    .collect()
+            };
+            c.dedup();
+            cuts.push(c);
+        }
+        cuts
+    }
+
+    /// Column-major binned features: `bins[f][row]`.
+    fn bin_features(x: &Matrix, cuts: &[Vec<f32>]) -> Vec<Vec<u8>> {
+        let n = x.rows();
+        cuts.iter()
+            .enumerate()
+            .map(|(f, c)| {
+                (0..n)
+                    .map(|r| c.partition_point(|&edge| edge < x.get(r, f)) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Find the best split of `rows` over `features`, returning
+    /// `(gain, feature, threshold_bin)`.
+    fn best_split(
+        &self,
+        rows: &[u32],
+        residuals: &[f32],
+        bins: &[Vec<u8>],
+        cuts: &[Vec<f32>],
+        features: &[u32],
+    ) -> Option<(f64, u32, u8)> {
+        let lambda = self.config.lambda as f64;
+        let min_child = self.config.min_samples_leaf;
+        let total_sum: f64 = rows.iter().map(|&r| residuals[r as usize] as f64).sum();
+        let total_n = rows.len() as f64;
+        let parent_score = total_sum * total_sum / (total_n + lambda);
+        let mut best: Option<(f64, u32, u8)> = None;
+        let mut hist_sum = [0.0f64; 256];
+        let mut hist_cnt = [0u32; 256];
+        for &f in features {
+            let n_bins = cuts[f as usize].len() + 1;
+            if n_bins < 2 {
+                continue; // constant feature
+            }
+            hist_sum[..n_bins].fill(0.0);
+            hist_cnt[..n_bins].fill(0);
+            let fb = &bins[f as usize];
+            for &r in rows {
+                let b = fb[r as usize] as usize;
+                hist_sum[b] += residuals[r as usize] as f64;
+                hist_cnt[b] += 1;
+            }
+            let mut left_sum = 0.0f64;
+            let mut left_cnt = 0u32;
+            for t in 0..n_bins - 1 {
+                left_sum += hist_sum[t];
+                left_cnt += hist_cnt[t];
+                let right_cnt = rows.len() as u32 - left_cnt;
+                if (left_cnt as usize) < min_child || (right_cnt as usize) < min_child {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let score = left_sum * left_sum / (left_cnt as f64 + lambda)
+                    + right_sum * right_sum / (right_cnt as f64 + lambda);
+                let gain = score - parent_score;
+                if gain > 1e-9 && best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
+                    best = Some((gain, f, t as u8));
+                }
+            }
+        }
+        best
+    }
+
+    fn leaf_value(&self, rows: &[u32], residuals: &[f32]) -> f32 {
+        let sum: f64 = rows.iter().map(|&r| residuals[r as usize] as f64).sum();
+        (sum / (rows.len() as f64 + self.config.lambda as f64)) as f32
+    }
+
+    /// Grow one tree on the residuals, leaf-wise.
+    fn grow_tree(
+        &self,
+        residuals: &[f32],
+        bins: &[Vec<u8>],
+        cuts: &[Vec<f32>],
+        features: &[u32],
+        n: usize,
+    ) -> Tree {
+        let mut nodes: Vec<Node> = vec![Node::Leaf(0.0)];
+        let all_rows: Vec<u32> = (0..n as u32).collect();
+        let mut frontier: Vec<Candidate> = Vec::new();
+        if let Some((gain, feature, tbin)) =
+            self.best_split(&all_rows, residuals, bins, cuts, features)
+        {
+            frontier.push(Candidate {
+                node_slot: 0,
+                rows: all_rows,
+                depth: 0,
+                gain,
+                feature,
+                threshold_bin: tbin,
+            });
+        } else {
+            nodes[0] = Node::Leaf(self.leaf_value(&(0..n as u32).collect::<Vec<_>>(), residuals));
+            return Tree { nodes };
+        }
+
+        let mut leaves = 1usize;
+        while leaves < self.config.max_leaves {
+            // Expand the candidate with the highest gain.
+            let Some(best_idx) = frontier
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.gain.total_cmp(&b.1.gain))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let cand = frontier.swap_remove(best_idx);
+            let fb = &bins[cand.feature as usize];
+            let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = cand
+                .rows
+                .iter()
+                .partition(|&&r| fb[r as usize] <= cand.threshold_bin);
+            let threshold = cuts[cand.feature as usize][cand.threshold_bin as usize];
+            let left_slot = nodes.len();
+            nodes.push(Node::Leaf(self.leaf_value(&left_rows, residuals)));
+            let right_slot = nodes.len();
+            nodes.push(Node::Leaf(self.leaf_value(&right_rows, residuals)));
+            nodes[cand.node_slot] = Node::Split {
+                feature: cand.feature,
+                threshold,
+                left: left_slot as u32,
+                right: right_slot as u32,
+            };
+            leaves += 1;
+
+            // Enqueue children if they can still split.
+            if cand.depth + 1 < self.config.max_depth {
+                for (slot, rows) in [(left_slot, left_rows), (right_slot, right_rows)] {
+                    if rows.len() >= 2 * self.config.min_samples_leaf {
+                        if let Some((gain, feature, tbin)) =
+                            self.best_split(&rows, residuals, bins, cuts, features)
+                        {
+                            frontier.push(Candidate {
+                                node_slot: slot,
+                                rows,
+                                depth: cand.depth + 1,
+                                gain,
+                                feature,
+                                threshold_bin: tbin,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Tree { nodes }
+    }
+}
+
+impl Gbdt {
+    /// Encode the trained model into the `QFEGB001` byte format (see
+    /// [`crate::serialize`]).
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.trees.len() * 64);
+        out.extend_from_slice(crate::serialize::MAGIC);
+        out.extend_from_slice(&self.base.to_le_bytes());
+        out.extend_from_slice(&(self.input_dim as u32).to_le_bytes());
+        out.extend_from_slice(&self.config.learning_rate.to_le_bytes());
+        out.extend_from_slice(&(self.trees.len() as u32).to_le_bytes());
+        for tree in &self.trees {
+            out.extend_from_slice(&(tree.nodes.len() as u32).to_le_bytes());
+            for node in &tree.nodes {
+                match node {
+                    Node::Leaf(v) => {
+                        out.push(0);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        out.push(1);
+                        out.extend_from_slice(&feature.to_le_bytes());
+                        out.extend_from_slice(&threshold.to_le_bytes());
+                        out.extend_from_slice(&left.to_le_bytes());
+                        out.extend_from_slice(&right.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a model from the `QFEGB001` byte format. The returned model
+    /// predicts identically to the encoded one; training-only state
+    /// (bins, histograms) is not serialized, so refitting starts fresh.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, crate::serialize::DecodeError> {
+        use crate::serialize::{DecodeError, Reader, MAGIC};
+        let mut r = Reader::new(bytes);
+        if r.bytes(MAGIC.len())? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let base = r.f32()?;
+        let input_dim = r.u32()? as usize;
+        let learning_rate = r.f32()?;
+        let n_trees = r.u32()? as usize;
+        if n_trees == 0 || n_trees > 1_000_000 {
+            return Err(DecodeError::Corrupt("implausible tree count"));
+        }
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let n_nodes = r.u32()? as usize;
+            if n_nodes == 0 || n_nodes > 10_000_000 {
+                return Err(DecodeError::Corrupt("implausible node count"));
+            }
+            let mut nodes = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                match r.u8()? {
+                    0 => nodes.push(Node::Leaf(r.f32()?)),
+                    1 => {
+                        let feature = r.u32()?;
+                        let threshold = r.f32()?;
+                        let left = r.u32()?;
+                        let right = r.u32()?;
+                        if feature as usize >= input_dim.max(1) {
+                            return Err(DecodeError::Corrupt("split feature out of range"));
+                        }
+                        nodes.push(Node::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        });
+                    }
+                    _ => return Err(DecodeError::Corrupt("unknown node tag")),
+                }
+            }
+            // Child indices must stay inside the node table.
+            for node in &nodes {
+                if let Node::Split { left, right, .. } = node {
+                    if *left as usize >= nodes.len() || *right as usize >= nodes.len() {
+                        return Err(DecodeError::Corrupt("child index out of range"));
+                    }
+                }
+            }
+            trees.push(Tree { nodes });
+        }
+        if !r.finished() {
+            return Err(DecodeError::Corrupt("trailing bytes"));
+        }
+        Ok(Gbdt {
+            config: GbdtConfig {
+                n_trees,
+                learning_rate,
+                ..GbdtConfig::default()
+            },
+            trees,
+            base,
+            input_dim,
+        })
+    }
+}
+
+impl Regressor for Gbdt {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "cannot fit on zero samples");
+        self.input_dim = x.cols();
+        self.trees.clear();
+        self.base = y.iter().sum::<f32>() / y.len() as f32;
+
+        let cuts = self.build_cuts(x);
+        let bins = Self::bin_features(x, &cuts);
+        let n = x.rows();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut pred = vec![self.base; n];
+        let mut residuals = vec![0.0f32; n];
+        let all_features: Vec<u32> = (0..x.cols() as u32).collect();
+        let n_sampled =
+            ((x.cols() as f64 * self.config.colsample).ceil() as usize).clamp(1, x.cols());
+
+        for _ in 0..self.config.n_trees {
+            for i in 0..n {
+                residuals[i] = y[i] - pred[i];
+            }
+            let features: Vec<u32> = if n_sampled == x.cols() {
+                all_features.clone()
+            } else {
+                let mut fs = all_features.clone();
+                fs.shuffle(&mut rng);
+                fs.truncate(n_sampled);
+                fs
+            };
+            let tree = self.grow_tree(&residuals, &bins, &cuts, &features, n);
+            let lr = self.config.learning_rate;
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += lr * tree.predict(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
+        assert!(
+            !self.trees.is_empty(),
+            "predict called before fit — the GBDT has no trees yet"
+        );
+        assert_eq!(
+            x.cols(),
+            self.input_dim,
+            "input dimension {} does not match trained dimension {}",
+            x.cols(),
+            self.input_dim
+        );
+        let lr = self.config.learning_rate;
+        (0..x.rows())
+            .map(|r| {
+                let row = x.row(r);
+                self.base + lr * self.trees.iter().map(|t| t.predict(row)).sum::<f32>()
+            })
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.trees.iter().map(Tree::memory_bytes).sum::<usize>() + 8
+    }
+
+    fn model_name(&self) -> &'static str {
+        "GB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn toy_problem(n: usize) -> (Matrix, Vec<f32>) {
+        // A piecewise function with an interaction: trees should nail this.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f32 = rng.gen();
+            let b: f32 = rng.gen();
+            rows.push(vec![a, b]);
+            y.push(if a > 0.5 && b > 0.5 {
+                1.0
+            } else if a > 0.5 {
+                0.4
+            } else {
+                0.1
+            });
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_piecewise_function() {
+        let (x, y) = toy_problem(2000);
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 40,
+            max_depth: 4,
+            max_leaves: 8,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        let err = crate::train::mse(&gb.predict_batch(&x), &y);
+        assert!(err < 5e-3, "mse {err}");
+        assert_eq!(gb.tree_count(), 40);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let x = Matrix::from_rows(&(0..50).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let y = vec![3.0f32; 50];
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 5,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        for p in gb.predict_batch(&x) {
+            assert!((p - 3.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_features_yield_mean() {
+        let x = Matrix::from_rows(&vec![vec![1.0, 1.0]; 40]);
+        let y: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 10,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        let mean = y.iter().sum::<f32>() / 40.0;
+        for p in gb.predict_batch(&x) {
+            assert!((p - mean).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        // With min_samples_leaf = n, no split is allowed: single leaf.
+        let (x, y) = toy_problem(100);
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 3,
+            min_samples_leaf: 100,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        // Predictions must be constant (root leaves only).
+        let preds = gb.predict_batch(&x);
+        let first = preds[0];
+        assert!(preds.iter().all(|&p| (p - first).abs() < 1e-6));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (x, y) = toy_problem(300);
+        let cfg = GbdtConfig {
+            n_trees: 10,
+            colsample: 0.5,
+            seed: 11,
+            ..GbdtConfig::default()
+        };
+        let mut a = Gbdt::new(cfg.clone());
+        let mut b = Gbdt::new(cfg);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
+    }
+
+    #[test]
+    fn colsample_still_learns() {
+        let (x, y) = toy_problem(1000);
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 60,
+            colsample: 0.5,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        // With only 2 features, colsample 0.5 gives each tree a single
+        // axis; the interaction is still learned across trees, just less
+        // sharply.
+        let err = crate::train::mse(&gb.predict_batch(&x), &y);
+        assert!(err < 5e-2, "mse {err}");
+    }
+
+    #[test]
+    fn memory_is_kilobytes_not_megabytes() {
+        // Paper Section 5.7: GB is the smallest estimator (~4.8 kB there).
+        let (x, y) = toy_problem(1000);
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 30,
+            max_leaves: 8,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        assert!(gb.memory_bytes() < 200_000, "{} bytes", gb.memory_bytes());
+        assert_eq!(gb.model_name(), "GB");
+    }
+
+    #[test]
+    fn binning_boundaries_are_respected() {
+        // Feature with exactly two values: split must separate them.
+        let x = Matrix::from_rows(
+            &(0..100)
+                .map(|i| vec![if i < 50 { 0.0 } else { 1.0 }])
+                .collect::<Vec<_>>(),
+        );
+        let y: Vec<f32> = (0..100).map(|i| if i < 50 { 0.0 } else { 1.0 }).collect();
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 20,
+            min_samples_leaf: 5,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        let p0 = gb.predict(&[0.0]);
+        let p1 = gb.predict(&[1.0]);
+        assert!(p0 < 0.1, "p0 = {p0}");
+        assert!(p1 > 0.9, "p1 = {p1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let gb = Gbdt::new(GbdtConfig::default());
+        let _ = gb.predict_batch(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,161 @@
+//! Linear regression baseline.
+//!
+//! Section 2.2 of the paper: "we also tested simpler models, like linear
+//! regression and support vector regression. However, … their estimates are
+//! worse by a significant factor." Kept here so that claim is reproducible.
+//!
+//! Implemented as a single linear layer trained with Adam (equivalent to
+//! ridge-free least squares in the limit, robust to ill-conditioned
+//! feature matrices without a dense solver).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::matrix::Matrix;
+use crate::mlp::Linear;
+use crate::train::{shuffled_indices, Regressor};
+
+/// Linear regression via mini-batch Adam.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    epochs: usize,
+    batch_size: usize,
+    learning_rate: f32,
+    seed: u64,
+    layer: Option<Linear>,
+    input_dim: usize,
+    adam_t: i32,
+}
+
+impl LinearRegression {
+    /// Create with sensible defaults (60 epochs, batch 128, lr 1e-2).
+    pub fn new(seed: u64) -> Self {
+        LinearRegression {
+            epochs: 60,
+            batch_size: 128,
+            learning_rate: 1e-2,
+            seed,
+            layer: None,
+            input_dim: 0,
+            adam_t: 0,
+        }
+    }
+
+    /// Override the number of epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "cannot fit on zero samples");
+        self.input_dim = x.cols();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut layer = Linear::new(x.cols(), 1, &mut rng);
+        self.adam_t = 0;
+        let n = x.rows();
+        let bs = self.batch_size.clamp(1, n);
+        for epoch in 0..self.epochs {
+            let order = shuffled_indices(n, self.seed ^ (epoch as u64).wrapping_mul(0x517C_C1B7));
+            for chunk in order.chunks(bs) {
+                let bx = x.gather_rows(chunk);
+                let out = layer.forward(&bx);
+                let m = chunk.len();
+                let mut grad = Matrix::zeros(m, 1);
+                for (i, &src) in chunk.iter().enumerate() {
+                    grad.set(i, 0, 2.0 * (out.get(i, 0) - y[src]) / m as f32);
+                }
+                let dw = bx.transpose_a_matmul(&grad);
+                let db: f32 = (0..m).map(|i| grad.get(i, 0)).sum();
+                self.adam_t += 1;
+                layer.adam_step(&dw, &[db], self.learning_rate, self.adam_t);
+            }
+        }
+        self.layer = Some(layer);
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
+        let layer = self
+            .layer
+            .as_ref()
+            .expect("predict called before fit — linear regression has no weights yet");
+        assert_eq!(x.cols(), self.input_dim, "input dimension mismatch");
+        let out = layer.forward(x);
+        (0..out.rows()).map(|r| out.get(r, 0)).collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.layer.as_ref().map_or(0, Linear::memory_bytes)
+    }
+
+    fn model_name(&self) -> &'static str {
+        "linreg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn recovers_linear_coefficients() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..500 {
+            let a: f32 = rng.gen();
+            let b: f32 = rng.gen();
+            rows.push(vec![a, b]);
+            y.push(2.0 * a - 1.0 * b + 0.5);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut lr = LinearRegression::new(0).with_epochs(200);
+        lr.fit(&x, &y);
+        let err = crate::train::mse(&lr.predict_batch(&x), &y);
+        assert!(err < 1e-3, "mse {err}");
+    }
+
+    #[test]
+    fn cannot_fit_nonlinearity() {
+        // y = x0 XOR-ish interaction: linear model must underfit — this is
+        // exactly why the paper excluded it.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..500 {
+            let a = f32::from(rng.gen::<bool>());
+            let b = f32::from(rng.gen::<bool>());
+            rows.push(vec![a, b]);
+            y.push(if (a > 0.5) ^ (b > 0.5) { 1.0 } else { 0.0 });
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut lr = LinearRegression::new(0).with_epochs(200);
+        lr.fit(&x, &y);
+        let err = crate::train::mse(&lr.predict_batch(&x), &y);
+        assert!(err > 0.2, "linear model should not fit XOR, mse {err}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = Matrix::from_rows(&(0..64).map(|i| vec![i as f32 / 64.0]).collect::<Vec<_>>());
+        let y: Vec<f32> = (0..64).map(|i| i as f32 / 32.0).collect();
+        let mut a = LinearRegression::new(9);
+        let mut b = LinearRegression::new(9);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
+        assert_eq!(a.model_name(), "linreg");
+        assert!(a.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let lr = LinearRegression::new(0);
+        let _ = lr.predict_batch(&Matrix::zeros(1, 1));
+    }
+}

@@ -1,0 +1,395 @@
+//! Feed-forward neural network — the paper's `NN` model (after Woltmann et
+//! al. \[32\]): a ReLU multi-layer perceptron trained with Adam on mini
+//! batches, manual backpropagation, MSE loss on scaled log-cardinalities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+use crate::train::{shuffled_indices, Regressor};
+
+/// One fully-connected layer with Adam state.
+#[derive(Debug, Clone)]
+pub(crate) struct Linear {
+    pub(crate) w: Matrix, // in × out
+    pub(crate) b: Vec<f32>,
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+impl Linear {
+    pub(crate) fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        // He initialization for ReLU networks.
+        let scale = (2.0 / input as f32).sqrt();
+        let mut w = Matrix::zeros(input, output);
+        for v in w.data_mut() {
+            *v = (rng.gen::<f32>() * 2.0 - 1.0) * scale;
+        }
+        Linear {
+            w,
+            b: vec![0.0; output],
+            mw: Matrix::zeros(input, output),
+            vw: Matrix::zeros(input, output),
+            mb: vec![0.0; output],
+            vb: vec![0.0; output],
+        }
+    }
+
+    /// `x · W + b`.
+    pub(crate) fn forward(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.w);
+        for r in 0..z.rows() {
+            for (v, &b) in z.row_mut(r).iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        z
+    }
+
+    /// Adam step with gradients `(dw, db)`.
+    pub(crate) fn adam_step(&mut self, dw: &Matrix, db: &[f32], lr: f32, t: i32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t);
+        let bc2 = 1.0 - B2.powi(t);
+        for ((w, g), (m, v)) in self
+            .w
+            .data_mut()
+            .iter_mut()
+            .zip(dw.data())
+            .zip(self.mw.data_mut().iter_mut().zip(self.vw.data_mut()))
+        {
+            *m = B1 * *m + (1.0 - B1) * g;
+            *v = B2 * *v + (1.0 - B2) * g * g;
+            *w -= lr * (*m / bc1) / ((*v / bc2).sqrt() + EPS);
+        }
+        for ((b, &g), (m, v)) in self
+            .b
+            .iter_mut()
+            .zip(db)
+            .zip(self.mb.iter_mut().zip(&mut self.vb))
+        {
+            *m = B1 * *m + (1.0 - B1) * g;
+            *v = B2 * *v + (1.0 - B2) * g * g;
+            *b -= lr * (*m / bc1) / ((*v / bc2).sqrt() + EPS);
+        }
+    }
+
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.w.memory_bytes() + self.b.len() * 4
+    }
+}
+
+pub(crate) fn relu(m: &mut Matrix) {
+    for v in m.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Zero out gradient entries where the pre-activation was non-positive.
+pub(crate) fn relu_backward(grad: &mut Matrix, pre_activation: &Matrix) {
+    for (g, &z) in grad.data_mut().iter_mut().zip(pre_activation.data()) {
+        if z <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden layer widths (the output layer of width 1 is implicit).
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// RNG seed (weight init + batch shuffling).
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: vec![64, 64],
+            epochs: 40,
+            batch_size: 128,
+            learning_rate: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// The feed-forward network.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<Linear>,
+    input_dim: usize,
+    adam_t: i32,
+}
+
+impl Mlp {
+    /// Create an untrained MLP.
+    pub fn new(config: MlpConfig) -> Self {
+        assert!(!config.hidden.is_empty(), "need at least one hidden layer");
+        Mlp {
+            config,
+            layers: Vec::new(),
+            input_dim: 0,
+            adam_t: 0,
+        }
+    }
+
+    fn build(&mut self, input_dim: usize) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut dims = vec![input_dim];
+        dims.extend_from_slice(&self.config.hidden);
+        dims.push(1);
+        self.layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], &mut rng))
+            .collect();
+        self.input_dim = input_dim;
+        self.adam_t = 0;
+    }
+
+    /// Forward pass keeping pre-activations and activations for backprop.
+    fn forward_cached(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut act = Vec::with_capacity(self.layers.len() + 1);
+        act.push(x.clone());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(act.last().unwrap());
+            pre.push(z.clone());
+            let mut a = z;
+            if i + 1 < self.layers.len() {
+                relu(&mut a);
+            }
+            act.push(a);
+        }
+        (pre, act)
+    }
+
+    fn train_batch(&mut self, x: &Matrix, y: &[f32]) -> f64 {
+        let n = x.rows();
+        let (pre, act) = self.forward_cached(x);
+        let output = act.last().unwrap();
+        // dL/dZ_last for MSE: 2 (ŷ − y) / n.
+        let mut grad = Matrix::zeros(n, 1);
+        let mut loss = 0.0f64;
+        for (i, &target) in y.iter().enumerate() {
+            let diff = output.get(i, 0) - target;
+            loss += (diff as f64).powi(2);
+            grad.set(i, 0, 2.0 * diff / n as f32);
+        }
+        loss /= n as f64;
+
+        self.adam_t += 1;
+        let t = self.adam_t;
+        let lr = self.config.learning_rate;
+        for l in (0..self.layers.len()).rev() {
+            let dw = act[l].transpose_a_matmul(&grad);
+            let mut db = vec![0.0f32; grad.cols()];
+            for r in 0..grad.rows() {
+                for (acc, &g) in db.iter_mut().zip(grad.row(r)) {
+                    *acc += g;
+                }
+            }
+            // Propagate before updating weights.
+            if l > 0 {
+                let mut next = grad.matmul_transpose_b(&self.layers[l].w);
+                relu_backward(&mut next, &pre[l - 1]);
+                grad = next;
+            }
+            self.layers[l].adam_step(&dw, &db, lr, t);
+        }
+        loss
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "cannot fit on zero samples");
+        self.build(x.cols());
+        let n = x.rows();
+        let bs = self.config.batch_size.clamp(1, n);
+        for epoch in 0..self.config.epochs {
+            let order = shuffled_indices(
+                n,
+                self.config.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9),
+            );
+            for chunk in order.chunks(bs) {
+                let bx = x.gather_rows(chunk);
+                let by: Vec<f32> = chunk.iter().map(|&i| y[i]).collect();
+                self.train_batch(&bx, &by);
+            }
+        }
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
+        assert!(
+            !self.layers.is_empty(),
+            "predict called before fit — the MLP has no weights yet"
+        );
+        assert_eq!(
+            x.cols(),
+            self.input_dim,
+            "input dimension {} does not match trained dimension {}",
+            x.cols(),
+            self.input_dim
+        );
+        let mut a = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            a = layer.forward(&a);
+            if i + 1 < self.layers.len() {
+                relu(&mut a);
+            }
+        }
+        (0..a.rows()).map(|r| a.get(r, 0)).collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.layers.iter().map(Linear::memory_bytes).sum()
+    }
+
+    fn model_name(&self) -> &'static str {
+        "NN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_problem(n: usize) -> (Matrix, Vec<f32>) {
+        // y = 0.3 x0 + 0.6 x1 with x uniform in [0, 1].
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f32 = rng.gen();
+            let b: f32 = rng.gen();
+            rows.push(vec![a, b]);
+            y.push(0.3 * a + 0.6 * b);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (x, y) = toy_problem(512);
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: vec![16],
+            epochs: 120,
+            batch_size: 32,
+            learning_rate: 5e-3,
+            seed: 1,
+        });
+        mlp.fit(&x, &y);
+        let pred = mlp.predict_batch(&x);
+        let err = crate::train::mse(&pred, &y);
+        assert!(err < 1e-3, "mse {err}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        // y = max(x0 - 0.5, 0), requires the ReLU nonlinearity.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..1024 {
+            let a: f32 = rng.gen();
+            rows.push(vec![a]);
+            y.push((a - 0.5).max(0.0));
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: vec![16, 16],
+            epochs: 150,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            seed: 2,
+        });
+        mlp.fit(&x, &y);
+        let err = crate::train::mse(&mlp.predict_batch(&x), &y);
+        assert!(err < 5e-4, "mse {err}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = toy_problem(128);
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 10,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 7,
+        };
+        let mut a = Mlp::new(cfg.clone());
+        let mut b = Mlp::new(cfg);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
+    }
+
+    #[test]
+    fn single_sample_prediction_matches_batch() {
+        let (x, y) = toy_problem(64);
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: vec![8],
+            epochs: 5,
+            ..MlpConfig::default()
+        });
+        mlp.fit(&x, &y);
+        let batch = mlp.predict_batch(&x);
+        let single = mlp.predict(x.row(3));
+        assert!((batch[3] - single).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_grows_with_architecture() {
+        let (x, y) = toy_problem(32);
+        let mut small = Mlp::new(MlpConfig {
+            hidden: vec![4],
+            epochs: 1,
+            ..MlpConfig::default()
+        });
+        let mut big = Mlp::new(MlpConfig {
+            hidden: vec![64, 64],
+            epochs: 1,
+            ..MlpConfig::default()
+        });
+        small.fit(&x, &y);
+        big.fit(&x, &y);
+        assert!(big.memory_bytes() > small.memory_bytes() * 10);
+        assert_eq!(small.model_name(), "NN");
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let mlp = Mlp::new(MlpConfig::default());
+        let _ = mlp.predict_batch(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match trained dimension")]
+    fn wrong_input_dim_panics() {
+        let (x, y) = toy_problem(32);
+        let mut mlp = Mlp::new(MlpConfig {
+            epochs: 1,
+            ..MlpConfig::default()
+        });
+        mlp.fit(&x, &y);
+        let _ = mlp.predict_batch(&Matrix::zeros(1, 5));
+    }
+}

@@ -1,0 +1,506 @@
+//! Multi-Set Convolutional Network — the paper's global model (Kipf et al.
+//! \[12\], Section 2.2.1 / 4.2).
+//!
+//! Architecture: one two-layer ReLU MLP per vector set (tables, joins,
+//! predicates), applied per set element and followed by **average pooling**
+//! over the set (the "set convolution"); the three pooled vectors are
+//! concatenated and fed through a two-layer output MLP producing the
+//! scalar estimate. Empty sets pool to the zero vector.
+//!
+//! The predicate set can carry either the original per-predicate vectors
+//! or the paper's per-attribute QFT vectors
+//! ([`qfe_core::featurize::mscn::PredicateMode`]) — the model is agnostic,
+//! which is exactly the plug-in property Section 4.2 demonstrates.
+
+use qfe_core::featurize::mscn::MscnSets;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::matrix::Matrix;
+use crate::mlp::{relu, relu_backward, Linear};
+use crate::train::shuffled_indices;
+
+/// MSCN hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MscnConfig {
+    /// Hidden width of all set modules and the output module.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (gradients are accumulated over the batch before
+    /// each Adam step).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MscnConfig {
+    fn default() -> Self {
+        MscnConfig {
+            hidden: 32,
+            epochs: 40,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// A two-layer ReLU module applied per set element.
+#[derive(Debug, Clone)]
+struct SetModule {
+    l1: Linear,
+    l2: Linear,
+}
+
+/// Cached forward state of one set for backprop.
+struct SetCache {
+    input: Matrix,
+    z1: Matrix,
+    a1: Matrix,
+    z2: Matrix,
+    a2: Matrix,
+}
+
+impl SetModule {
+    fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        SetModule {
+            l1: Linear::new(input_dim, hidden, rng),
+            l2: Linear::new(hidden, hidden, rng),
+        }
+    }
+
+    /// Forward one set; returns the pooled vector and the cache. Empty
+    /// sets return zeros and no cache.
+    fn forward(&self, elements: &[Vec<f32>], hidden: usize) -> (Vec<f32>, Option<SetCache>) {
+        if elements.is_empty() {
+            return (vec![0.0; hidden], None);
+        }
+        let input = Matrix::from_rows(elements);
+        let z1 = self.l1.forward(&input);
+        let mut a1 = z1.clone();
+        relu(&mut a1);
+        let z2 = self.l2.forward(&a1);
+        let mut a2 = z2.clone();
+        relu(&mut a2);
+        let k = elements.len() as f32;
+        let mut pooled = vec![0.0f32; hidden];
+        for r in 0..a2.rows() {
+            for (p, &v) in pooled.iter_mut().zip(a2.row(r)) {
+                *p += v / k;
+            }
+        }
+        (
+            pooled,
+            Some(SetCache {
+                input,
+                z1,
+                a1,
+                z2,
+                a2,
+            }),
+        )
+    }
+
+    /// Backprop `d_pooled` through the pooling and both layers,
+    /// accumulating parameter gradients into `(dw1, db1, dw2, db2)`.
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &self,
+        cache: &SetCache,
+        d_pooled: &[f32],
+        dw1: &mut Matrix,
+        db1: &mut [f32],
+        dw2: &mut Matrix,
+        db2: &mut [f32],
+    ) {
+        let k = cache.a2.rows();
+        // Mean pooling distributes the gradient equally.
+        let mut dz2 = Matrix::zeros(k, d_pooled.len());
+        for r in 0..k {
+            for (g, &dp) in dz2.row_mut(r).iter_mut().zip(d_pooled) {
+                *g = dp / k as f32;
+            }
+        }
+        relu_backward(&mut dz2, &cache.z2);
+        let g_w2 = cache.a1.transpose_a_matmul(&dz2);
+        for (acc, g) in dw2.data_mut().iter_mut().zip(g_w2.data()) {
+            *acc += g;
+        }
+        for r in 0..k {
+            for (acc, &g) in db2.iter_mut().zip(dz2.row(r)) {
+                *acc += g;
+            }
+        }
+        let mut dz1 = dz2.matmul_transpose_b(&self.l2.w);
+        relu_backward(&mut dz1, &cache.z1);
+        let g_w1 = cache.input.transpose_a_matmul(&dz1);
+        for (acc, g) in dw1.data_mut().iter_mut().zip(g_w1.data()) {
+            *acc += g;
+        }
+        for r in 0..k {
+            for (acc, &g) in db1.iter_mut().zip(dz1.row(r)) {
+                *acc += g;
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.l1.memory_bytes() + self.l2.memory_bytes()
+    }
+}
+
+/// Per-module gradient accumulators.
+struct Grads {
+    dw1: Matrix,
+    db1: Vec<f32>,
+    dw2: Matrix,
+    db2: Vec<f32>,
+}
+
+impl Grads {
+    fn zeros_like(m: &SetModule) -> Self {
+        Grads {
+            dw1: Matrix::zeros(m.l1.w.rows(), m.l1.w.cols()),
+            db1: vec![0.0; m.l1.b.len()],
+            dw2: Matrix::zeros(m.l2.w.rows(), m.l2.w.cols()),
+            db2: vec![0.0; m.l2.b.len()],
+        }
+    }
+}
+
+/// The MSCN model.
+pub struct Mscn {
+    config: MscnConfig,
+    table_module: SetModule,
+    join_module: SetModule,
+    pred_module: SetModule,
+    out: SetModule, // reused as a generic two-layer head: hidden → 1
+    adam_t: i32,
+}
+
+impl Mscn {
+    /// Create an MSCN for the given set-vector dimensions.
+    pub fn new(config: MscnConfig, table_dim: usize, join_dim: usize, pred_dim: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let h = config.hidden;
+        let table_module = SetModule::new(table_dim, h, &mut rng);
+        let join_module = SetModule::new(join_dim, h, &mut rng);
+        let pred_module = SetModule::new(pred_dim, h, &mut rng);
+        let out = SetModule {
+            l1: Linear::new(3 * h, h, &mut rng),
+            l2: Linear::new(h, 1, &mut rng),
+        };
+        Mscn {
+            config,
+            table_module,
+            join_module,
+            pred_module,
+            out,
+            adam_t: 0,
+        }
+    }
+
+    /// Forward pass for one query.
+    pub fn predict(&self, sample: &MscnSets) -> f32 {
+        let h = self.config.hidden;
+        let (pt, _) = self.table_module.forward(&sample.tables, h);
+        let (pj, _) = self.join_module.forward(&sample.joins, h);
+        let (pp, _) = self.pred_module.forward(&sample.predicates, h);
+        let mut concat = pt;
+        concat.extend(pj);
+        concat.extend(pp);
+        let input = Matrix::from_rows(&[concat]);
+        let z1 = self.out.l1.forward(&input);
+        let mut a1 = z1.clone();
+        relu(&mut a1);
+        self.out.l2.forward(&a1).get(0, 0)
+    }
+
+    /// Forward pass for many queries.
+    pub fn predict_batch(&self, samples: &[MscnSets]) -> Vec<f32> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Train on `(sets, target)` pairs; targets are scaled
+    /// log-cardinalities.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or no samples are given.
+    pub fn fit(&mut self, samples: &[MscnSets], y: &[f32]) {
+        assert_eq!(samples.len(), y.len(), "sample/label count mismatch");
+        assert!(!samples.is_empty(), "cannot fit on zero samples");
+        let n = samples.len();
+        let bs = self.config.batch_size.clamp(1, n);
+        for epoch in 0..self.config.epochs {
+            let order = shuffled_indices(
+                n,
+                self.config.seed ^ (epoch as u64).wrapping_mul(0xC0FF_EE11),
+            );
+            for chunk in order.chunks(bs) {
+                self.train_minibatch(samples, y, chunk);
+            }
+        }
+    }
+
+    fn train_minibatch(&mut self, samples: &[MscnSets], y: &[f32], chunk: &[usize]) {
+        let h = self.config.hidden;
+        let m = chunk.len() as f32;
+        let mut g_table = Grads::zeros_like(&self.table_module);
+        let mut g_join = Grads::zeros_like(&self.join_module);
+        let mut g_pred = Grads::zeros_like(&self.pred_module);
+        let mut g_out = Grads::zeros_like(&self.out);
+
+        for &idx in chunk {
+            let sample = &samples[idx];
+            let (pt, ct) = self.table_module.forward(&sample.tables, h);
+            let (pj, cj) = self.join_module.forward(&sample.joins, h);
+            let (pp, cp) = self.pred_module.forward(&sample.predicates, h);
+            let mut concat = pt;
+            concat.extend(pj);
+            concat.extend(pp);
+            let input = Matrix::from_rows(&[concat]);
+            let z1 = self.out.l1.forward(&input);
+            let mut a1 = z1.clone();
+            relu(&mut a1);
+            let out = self.out.l2.forward(&a1).get(0, 0);
+
+            // MSE gradient, averaged over the minibatch.
+            let d_out = 2.0 * (out - y[idx]) / m;
+
+            // Output head backward.
+            let dz2 = Matrix::from_vec(1, 1, vec![d_out]);
+            let gw2 = a1.transpose_a_matmul(&dz2);
+            for (acc, g) in g_out.dw2.data_mut().iter_mut().zip(gw2.data()) {
+                *acc += g;
+            }
+            g_out.db2[0] += d_out;
+            let mut dz1 = dz2.matmul_transpose_b(&self.out.l2.w);
+            relu_backward(&mut dz1, &z1);
+            let gw1 = input.transpose_a_matmul(&dz1);
+            for (acc, g) in g_out.dw1.data_mut().iter_mut().zip(gw1.data()) {
+                *acc += g;
+            }
+            for (acc, &g) in g_out.db1.iter_mut().zip(dz1.row(0)) {
+                *acc += g;
+            }
+
+            // Gradient w.r.t. the concatenated pooled vector.
+            let d_concat = dz1.matmul_transpose_b(&self.out.l1.w);
+            let d = d_concat.row(0);
+            if let Some(c) = &ct {
+                self.table_module.backward(
+                    c,
+                    &d[0..h],
+                    &mut g_table.dw1,
+                    &mut g_table.db1,
+                    &mut g_table.dw2,
+                    &mut g_table.db2,
+                );
+            }
+            if let Some(c) = &cj {
+                self.join_module.backward(
+                    c,
+                    &d[h..2 * h],
+                    &mut g_join.dw1,
+                    &mut g_join.db1,
+                    &mut g_join.dw2,
+                    &mut g_join.db2,
+                );
+            }
+            if let Some(c) = &cp {
+                self.pred_module.backward(
+                    c,
+                    &d[2 * h..3 * h],
+                    &mut g_pred.dw1,
+                    &mut g_pred.db1,
+                    &mut g_pred.dw2,
+                    &mut g_pred.db2,
+                );
+            }
+        }
+
+        self.adam_t += 1;
+        let (t, lr) = (self.adam_t, self.config.learning_rate);
+        self.table_module
+            .l1
+            .adam_step(&g_table.dw1, &g_table.db1, lr, t);
+        self.table_module
+            .l2
+            .adam_step(&g_table.dw2, &g_table.db2, lr, t);
+        self.join_module
+            .l1
+            .adam_step(&g_join.dw1, &g_join.db1, lr, t);
+        self.join_module
+            .l2
+            .adam_step(&g_join.dw2, &g_join.db2, lr, t);
+        self.pred_module
+            .l1
+            .adam_step(&g_pred.dw1, &g_pred.db1, lr, t);
+        self.pred_module
+            .l2
+            .adam_step(&g_pred.dw2, &g_pred.db2, lr, t);
+        self.out.l1.adam_step(&g_out.dw1, &g_out.db1, lr, t);
+        self.out.l2.adam_step(&g_out.dw2, &g_out.db2, lr, t);
+    }
+
+    /// Approximate parameter footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.table_module.memory_bytes()
+            + self.join_module.memory_bytes()
+            + self.pred_module.memory_bytes()
+            + self.out.memory_bytes()
+    }
+
+    /// Model label for experiment output.
+    pub fn model_name(&self) -> &'static str {
+        "MSCN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Toy task: the target is the mean of the predicate-set literals plus
+    /// 0.2 per joined table — learnable only through both set modules.
+    fn toy_samples(n: usize, seed: u64) -> (Vec<MscnSets>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let n_tables = rng.gen_range(1..=3usize);
+            let tables: Vec<Vec<f32>> = (0..n_tables)
+                .map(|i| {
+                    let mut v = vec![0.0f32; 3];
+                    v[i] = 1.0;
+                    v
+                })
+                .collect();
+            let joins: Vec<Vec<f32>> = (0..n_tables.saturating_sub(1))
+                .map(|i| {
+                    let mut v = vec![0.0f32; 2];
+                    v[i] = 1.0;
+                    v
+                })
+                .collect();
+            let n_preds = rng.gen_range(0..=3usize);
+            let mut lit_sum = 0.0f32;
+            let predicates: Vec<Vec<f32>> = (0..n_preds)
+                .map(|_| {
+                    let lit: f32 = rng.gen();
+                    lit_sum += lit;
+                    vec![1.0, lit]
+                })
+                .collect();
+            let mean_lit = if n_preds > 0 {
+                lit_sum / n_preds as f32
+            } else {
+                0.5
+            };
+            y.push(mean_lit + 0.2 * n_tables as f32);
+            samples.push(MscnSets {
+                tables,
+                joins,
+                predicates,
+            });
+        }
+        (samples, y)
+    }
+
+    #[test]
+    fn learns_set_dependent_function() {
+        let (samples, y) = toy_samples(600, 1);
+        let mut model = Mscn::new(
+            MscnConfig {
+                hidden: 16,
+                epochs: 120,
+                batch_size: 32,
+                learning_rate: 3e-3,
+                seed: 5,
+            },
+            3,
+            2,
+            2,
+        );
+        model.fit(&samples, &y);
+        let pred = model.predict_batch(&samples);
+        let err = crate::train::mse(&pred, &y);
+        assert!(err < 5e-3, "mse {err}");
+    }
+
+    #[test]
+    fn handles_empty_sets() {
+        let sets = MscnSets {
+            tables: vec![vec![1.0, 0.0, 0.0]],
+            joins: vec![],
+            predicates: vec![],
+        };
+        let model = Mscn::new(MscnConfig::default(), 3, 2, 2);
+        let out = model.predict(&sets);
+        assert!(out.is_finite());
+    }
+
+    #[test]
+    fn set_order_invariance() {
+        // Average pooling makes the model permutation invariant — a core
+        // property of the set convolution.
+        let a = MscnSets {
+            tables: vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]],
+            joins: vec![vec![1.0, 0.0]],
+            predicates: vec![vec![1.0, 0.2], vec![1.0, 0.9]],
+        };
+        let b = MscnSets {
+            tables: vec![vec![0.0, 1.0, 0.0], vec![1.0, 0.0, 0.0]],
+            joins: vec![vec![1.0, 0.0]],
+            predicates: vec![vec![1.0, 0.9], vec![1.0, 0.2]],
+        };
+        let model = Mscn::new(MscnConfig::default(), 3, 2, 2);
+        let (pa, pb) = (model.predict(&a), model.predict(&b));
+        assert!((pa - pb).abs() < 1e-6, "{pa} vs {pb}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (samples, y) = toy_samples(100, 2);
+        let cfg = MscnConfig {
+            hidden: 8,
+            epochs: 5,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            seed: 3,
+        };
+        let mut a = Mscn::new(cfg.clone(), 3, 2, 2);
+        let mut b = Mscn::new(cfg, 3, 2, 2);
+        a.fit(&samples, &y);
+        b.fit(&samples, &y);
+        assert_eq!(a.predict_batch(&samples), b.predict_batch(&samples));
+    }
+
+    #[test]
+    fn memory_reflects_architecture() {
+        let small = Mscn::new(
+            MscnConfig {
+                hidden: 8,
+                ..MscnConfig::default()
+            },
+            3,
+            2,
+            2,
+        );
+        let big = Mscn::new(
+            MscnConfig {
+                hidden: 64,
+                ..MscnConfig::default()
+            },
+            3,
+            2,
+            2,
+        );
+        assert!(big.memory_bytes() > small.memory_bytes() * 4);
+        assert_eq!(small.model_name(), "MSCN");
+    }
+}

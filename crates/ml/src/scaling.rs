@@ -1,0 +1,112 @@
+//! Label scaling: cardinalities span many orders of magnitude, so all
+//! models regress on min-max-normalized `ln(1 + card)` and predictions are
+//! transformed back and clamped to `>= 1` (the paper's evaluation protocol
+//! guarantees estimates `>= 1`).
+
+/// Fitted log + min-max transform of cardinality labels.
+#[derive(Debug, Clone)]
+pub struct LogScaler {
+    log_min: f64,
+    log_max: f64,
+}
+
+impl LogScaler {
+    /// Fit on training cardinalities.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn fit(cardinalities: &[f64]) -> Self {
+        assert!(!cardinalities.is_empty(), "cannot fit scaler on no labels");
+        let mut log_min = f64::INFINITY;
+        let mut log_max = f64::NEG_INFINITY;
+        for &c in cardinalities {
+            let l = (1.0 + c.max(0.0)).ln();
+            log_min = log_min.min(l);
+            log_max = log_max.max(l);
+        }
+        if log_max <= log_min {
+            log_max = log_min + 1.0; // degenerate constant labels
+        }
+        LogScaler { log_min, log_max }
+    }
+
+    /// Transform a cardinality into the normalized log space.
+    pub fn transform(&self, cardinality: f64) -> f32 {
+        let l = (1.0 + cardinality.max(0.0)).ln();
+        (((l - self.log_min) / (self.log_max - self.log_min)).clamp(0.0, 2.0)) as f32
+    }
+
+    /// Transform a batch.
+    pub fn transform_batch(&self, cardinalities: &[f64]) -> Vec<f32> {
+        cardinalities.iter().map(|&c| self.transform(c)).collect()
+    }
+
+    /// Inverse transform a model output into a cardinality estimate,
+    /// clamped to `>= 1`.
+    pub fn inverse(&self, y: f32) -> f64 {
+        let l = y as f64 * (self.log_max - self.log_min) + self.log_min;
+        // Guard against wildly out-of-range model outputs overflowing exp.
+        (l.clamp(-50.0, 50.0).exp() - 1.0).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_within_range() {
+        let scaler = LogScaler::fit(&[1.0, 10.0, 100.0, 100_000.0]);
+        for &c in &[1.0, 5.0, 42.0, 9_999.0, 100_000.0] {
+            let back = scaler.inverse(scaler.transform(c));
+            let rel = (back - c).abs() / c;
+            assert!(rel < 1e-3, "card {c} round-tripped to {back}");
+        }
+    }
+
+    #[test]
+    fn transform_is_monotone() {
+        let scaler = LogScaler::fit(&[1.0, 1_000_000.0]);
+        let mut prev = f32::NEG_INFINITY;
+        for &c in &[1.0, 2.0, 10.0, 500.0, 123_456.0] {
+            let t = scaler.transform(c);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn training_range_maps_to_unit_interval() {
+        let scaler = LogScaler::fit(&[3.0, 30_000.0]);
+        assert_eq!(scaler.transform(3.0), 0.0);
+        assert_eq!(scaler.transform(30_000.0), 1.0);
+    }
+
+    #[test]
+    fn inverse_clamps_to_one() {
+        let scaler = LogScaler::fit(&[1.0, 100.0]);
+        assert_eq!(scaler.inverse(-5.0), 1.0);
+    }
+
+    #[test]
+    fn extreme_outputs_do_not_overflow() {
+        let scaler = LogScaler::fit(&[1.0, 100.0]);
+        assert!(scaler.inverse(1e9).is_finite());
+    }
+
+    #[test]
+    fn constant_labels_do_not_divide_by_zero() {
+        let scaler = LogScaler::fit(&[7.0, 7.0, 7.0]);
+        let t = scaler.transform(7.0);
+        assert!(t.is_finite());
+        let back = scaler.inverse(t);
+        assert!((back - 7.0).abs() < 0.01, "got {back}");
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let scaler = LogScaler::fit(&[1.0, 1000.0]);
+        let batch = scaler.transform_batch(&[1.0, 10.0, 1000.0]);
+        assert_eq!(batch[1], scaler.transform(10.0));
+    }
+}

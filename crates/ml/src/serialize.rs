@@ -1,0 +1,196 @@
+//! Compact binary serialization of trained GBDT models.
+//!
+//! A trained cardinality estimator must survive a process restart — the
+//! paper's deployment story (Section 5.5.2) reconstructs models on data
+//! drift but reuses them between drifts. The format is a small
+//! little-endian layout with a magic header and explicit versioning; no
+//! external serialization crate is needed.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "QFEGB001"                     8 bytes
+//! base   f32                            4
+//! input_dim u32                         4
+//! learning_rate f32                     4
+//! n_trees u32                           4
+//! per tree: n_nodes u32, then per node:
+//!   tag u8 (0 = leaf, 1 = split)
+//!   leaf:  value f32
+//!   split: feature u32, threshold f32, left u32, right u32
+//! ```
+
+use crate::gbdt::Gbdt;
+
+/// Errors from decoding a serialized model.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong or truncated header.
+    BadMagic,
+    /// Input ended before the declared structure was complete.
+    Truncated,
+    /// A structurally invalid entry (unknown node tag, out-of-range child).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a QFEGB001 model"),
+            DecodeError::Truncated => write!(f, "model bytes truncated"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt model: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+pub(crate) const MAGIC: &[u8; 8] = b"QFEGB001";
+
+/// Cursor helpers shared by the `gbdt` module's encode/decode impls.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Serialize a trained model; see the module docs for the layout.
+pub fn gbdt_to_bytes(model: &Gbdt) -> Vec<u8> {
+    model.encode()
+}
+
+/// Deserialize a model previously produced by [`gbdt_to_bytes`].
+pub fn gbdt_from_bytes(bytes: &[u8]) -> Result<Gbdt, DecodeError> {
+    Gbdt::decode(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbdt::GbdtConfig;
+    use crate::matrix::Matrix;
+    use crate::train::Regressor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained() -> (Gbdt, Matrix) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let rows: Vec<Vec<f32>> = (0..400)
+            .map(|_| vec![rng.gen::<f32>(), rng.gen::<f32>()])
+            .collect();
+        let y: Vec<f32> = rows.iter().map(|r| (r[0] * 3.0 + r[1]).sin()).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 25,
+            min_samples_leaf: 3,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        (gb, x)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (gb, x) = trained();
+        let bytes = gbdt_to_bytes(&gb);
+        let restored = gbdt_from_bytes(&bytes).unwrap();
+        assert_eq!(gb.predict_batch(&x), restored.predict_batch(&x));
+        assert_eq!(gb.tree_count(), restored.tree_count());
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let (gb, _) = trained();
+        let bytes = gbdt_to_bytes(&gb);
+        // Roughly 13–17 bytes per node; far below the in-memory enum size.
+        assert!(
+            bytes.len() < gb.memory_bytes(),
+            "{} encoded vs {} in memory",
+            bytes.len(),
+            gb.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (gb, _) = trained();
+        let mut bytes = gbdt_to_bytes(&gb);
+        bytes[0] = b'X';
+        assert_eq!(gbdt_from_bytes(&bytes).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (gb, _) = trained();
+        let bytes = gbdt_to_bytes(&gb);
+        for cut in [9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                gbdt_from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (gb, _) = trained();
+        let mut bytes = gbdt_to_bytes(&gb);
+        bytes.push(0);
+        assert_eq!(
+            gbdt_from_bytes(&bytes).unwrap_err(),
+            DecodeError::Corrupt("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn corrupt_child_index_rejected() {
+        // Hand-craft a model with a split pointing past the node table.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&0.0f32.to_le_bytes()); // base
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // input_dim
+        bytes.extend_from_slice(&0.1f32.to_le_bytes()); // lr
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_trees
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_nodes
+        bytes.push(1); // split
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // feature
+        bytes.extend_from_slice(&0.5f32.to_le_bytes()); // threshold
+        bytes.extend_from_slice(&7u32.to_le_bytes()); // left (out of range)
+        bytes.extend_from_slice(&8u32.to_le_bytes()); // right
+        assert!(matches!(
+            gbdt_from_bytes(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+}

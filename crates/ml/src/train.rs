@@ -1,0 +1,102 @@
+//! Shared training abstractions: the [`Regressor`] trait all models
+//! implement, plus deterministic shuffling and train/validation splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::matrix::Matrix;
+
+/// A trainable regression model over dense feature matrices.
+///
+/// Models are input-agnostic (Section 2.2 of the paper): for a fixed input
+/// dimension they work with any numeric vector, which is what allows
+/// swapping QFTs without touching model architectures.
+pub trait Regressor {
+    /// Fit on features `x` (one row per sample) and targets `y`.
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != y.len()` or `x` is empty.
+    fn fit(&mut self, x: &Matrix, y: &[f32]);
+
+    /// Predict targets for a batch.
+    fn predict_batch(&self, x: &Matrix) -> Vec<f32>;
+
+    /// Predict a single sample.
+    fn predict(&self, x: &[f32]) -> f32 {
+        self.predict_batch(&Matrix::from_rows(&[x.to_vec()]))[0]
+    }
+
+    /// Approximate model size in bytes (Section 5.7 compares footprints).
+    fn memory_bytes(&self) -> usize;
+
+    /// Model label for experiment output (`GB`, `NN`, `MSCN`, `linreg`).
+    fn model_name(&self) -> &'static str;
+}
+
+/// Deterministically shuffled sample indices.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    idx
+}
+
+/// Split `n` samples into train/validation index sets with the given
+/// validation fraction (deterministic).
+pub fn train_val_split(n: usize, val_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&val_fraction));
+    let idx = shuffled_indices(n, seed);
+    let val_n = ((n as f64) * val_fraction).round() as usize;
+    let (val, train) = idx.split_at(val_n);
+    (train.to_vec(), val.to_vec())
+}
+
+/// Mean squared error between predictions and targets.
+pub fn mse(pred: &[f32], target: &[f32]) -> f64 {
+    assert_eq!(pred.len(), target.len());
+    assert!(!pred.is_empty());
+    pred.iter()
+        .zip(target)
+        .map(|(&p, &t)| ((p - t) as f64).powi(2))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let a = shuffled_indices(100, 5);
+        let b = shuffled_indices(100, 5);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "should actually shuffle");
+    }
+
+    #[test]
+    fn split_fractions() {
+        let (train, val) = train_val_split(100, 0.2, 1);
+        assert_eq!(val.len(), 20);
+        assert_eq!(train.len(), 80);
+        let mut all: Vec<usize> = train.iter().chain(&val).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(mse(&[3.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mse_rejects_mismatched_lengths() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

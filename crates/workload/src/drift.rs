@@ -1,0 +1,59 @@
+//! Query-drift splits (Section 5.5.1).
+//!
+//! "Low-dimensional queries, mentioning at most two distinct attributes,
+//! are used for training. For testing, high-dimensional queries,
+//! mentioning at least three distinct attributes, are used." The split
+//! changes both input characteristics (fewer all-one entries in the
+//! feature vectors) and output characteristics (smaller result sizes).
+
+use qfe_core::Query;
+
+/// Indices of queries usable for drift training (at most `max_train_attrs`
+/// attributes) and drift testing (strictly more).
+pub fn drift_split(queries: &[Query], max_train_attrs: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        if q.attribute_count() <= max_train_attrs {
+            train.push(i);
+        } else {
+            test.push(i);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conjunctive::{generate_conjunctive, ConjunctiveConfig};
+    use qfe_core::TableId;
+    use qfe_data::forest::{generate_forest, ForestConfig};
+
+    #[test]
+    fn splits_by_attribute_count() {
+        let cat = generate_forest(&ForestConfig {
+            rows: 200,
+            quantitative_only: true,
+            seed: 1,
+        })
+        .catalog()
+        .clone();
+        let queries = generate_conjunctive(&cat, &ConjunctiveConfig::new(TableId(0), 300, 4));
+        let (train, test) = drift_split(&queries, 2);
+        assert_eq!(train.len() + test.len(), 300);
+        assert!(!train.is_empty() && !test.is_empty());
+        for &i in &train {
+            assert!(queries[i].attribute_count() <= 2);
+        }
+        for &i in &test {
+            assert!(queries[i].attribute_count() >= 3);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (train, test) = drift_split(&[], 2);
+        assert!(train.is_empty() && test.is_empty());
+    }
+}

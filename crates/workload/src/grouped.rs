@@ -1,0 +1,120 @@
+//! Grouped-query workloads (paper Section 6, "GROUP BY clauses").
+//!
+//! Each query is a conjunctive selection (same recipe as
+//! [`crate::conjunctive`]) plus a random set of grouping attributes; the
+//! label is the number of result groups. Kipf et al. \[11\] showed that
+//! estimating filtered group-by result sizes is hard — the binary
+//! grouping vector of Section 6 lets any QFT participate.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use qfe_core::featurize::GroupedQuery;
+use qfe_core::query::ColumnRef;
+use qfe_core::schema::Catalog;
+use qfe_core::ColumnId;
+
+use crate::conjunctive::{generate_conjunctive, ConjunctiveConfig};
+
+/// Configuration of the grouped workload generator.
+#[derive(Debug, Clone)]
+pub struct GroupedConfig {
+    /// Selection-part configuration.
+    pub selection: ConjunctiveConfig,
+    /// Maximum grouping attributes per query (at least 1).
+    pub max_group_attrs: usize,
+}
+
+impl GroupedConfig {
+    /// Defaults: paper-style selections plus 1–3 grouping attributes.
+    pub fn new(table: qfe_core::TableId, count: usize, seed: u64) -> Self {
+        GroupedConfig {
+            selection: ConjunctiveConfig::new(table, count, seed),
+            max_group_attrs: 3,
+        }
+    }
+}
+
+/// Generate grouped queries.
+pub fn generate_grouped(catalog: &Catalog, config: &GroupedConfig) -> Vec<GroupedQuery> {
+    let queries = generate_conjunctive(catalog, &config.selection);
+    let mut rng = StdRng::seed_from_u64(config.selection.seed ^ 0x6B0B);
+    let table = config.selection.table;
+    let columns = catalog.table(table).columns.len();
+    let mut column_ids: Vec<usize> = (0..columns).collect();
+    queries
+        .into_iter()
+        .map(|q| {
+            let g = rng.gen_range(1..=config.max_group_attrs.max(1).min(columns));
+            column_ids.shuffle(&mut rng);
+            let group_by = column_ids
+                .iter()
+                .take(g)
+                .map(|&ci| ColumnRef::new(table, ColumnId(ci)))
+                .collect();
+            GroupedQuery::new(q, group_by)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::TableId;
+    use qfe_data::forest::{generate_forest, ForestConfig};
+    use qfe_exec::count::grouped_cardinality;
+
+    #[test]
+    fn grouped_workload_is_labelable() {
+        let db = generate_forest(&ForestConfig {
+            rows: 2_000,
+            quantitative_only: true,
+            seed: 9,
+        });
+        let cfg = GroupedConfig::new(TableId(0), 100, 5);
+        let queries = generate_grouped(db.catalog(), &cfg);
+        assert_eq!(queries.len(), 100);
+        let mut nonzero = 0;
+        for g in &queries {
+            assert!(!g.group_by.is_empty());
+            assert!(g.group_by.len() <= 3);
+            let card = grouped_cardinality(&db, g).unwrap();
+            if card > 0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > 25, "enough grouped queries non-empty: {nonzero}");
+    }
+
+    #[test]
+    fn grouping_attributes_are_distinct() {
+        let db = generate_forest(&ForestConfig {
+            rows: 500,
+            quantitative_only: true,
+            seed: 10,
+        });
+        let cfg = GroupedConfig::new(TableId(0), 50, 6);
+        for g in generate_grouped(db.catalog(), &cfg) {
+            let mut cols = g.group_by.clone();
+            let before = cols.len();
+            cols.sort();
+            cols.dedup();
+            assert_eq!(cols.len(), before);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let db = generate_forest(&ForestConfig {
+            rows: 500,
+            quantitative_only: true,
+            seed: 11,
+        });
+        let cfg = GroupedConfig::new(TableId(0), 30, 12);
+        assert_eq!(
+            generate_grouped(db.catalog(), &cfg),
+            generate_grouped(db.catalog(), &cfg)
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! JOB-light-shaped join workloads over the synthetic IMDB schema.
+//!
+//! JOB-light \[12\] is a set of 70 hand-written queries on IMDb with 2–5
+//! joined tables (all star joins onto `title`), conjunctive selections of
+//! 1–5 predicates over 1–4 attributes, and at most one range per
+//! attribute. [`job_light_suite`] generates a fixed 70-query suite with
+//! exactly those characteristics; [`generate_join_workload`] produces the
+//! large randomized training workloads (the paper uses 231k generated
+//! training queries).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use qfe_core::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+use qfe_core::query::{ColumnRef, JoinPredicate};
+use qfe_core::schema::Catalog;
+use qfe_core::{ColumnId, Query, TableId};
+
+/// Configuration of the join workload generator.
+#[derive(Debug, Clone)]
+pub struct JoinWorkloadConfig {
+    /// Number of queries.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Minimum joined tables (including `title`); paper: 2.
+    pub min_tables: usize,
+    /// Maximum joined tables; paper: 5.
+    pub max_tables: usize,
+}
+
+impl JoinWorkloadConfig {
+    /// Paper-style defaults.
+    pub fn new(count: usize, seed: u64) -> Self {
+        JoinWorkloadConfig {
+            count,
+            seed,
+            min_tables: 2,
+            max_tables: 5,
+        }
+    }
+}
+
+/// The selectable attributes of the IMDB schema: `(table, column, is_range)`.
+/// Ranges only on `production_year`, equality elsewhere — mirroring
+/// JOB-light's predicate shapes.
+fn predicate_columns(catalog: &Catalog) -> Vec<(TableId, ColumnId, bool)> {
+    let mut cols = Vec::new();
+    let title = catalog.table_id("title").expect("IMDB schema has title");
+    let t = catalog.table(title);
+    cols.push((title, t.column_id("production_year").unwrap(), true));
+    cols.push((title, t.column_id("kind_id").unwrap(), false));
+    for name in [
+        ("cast_info", "role_id"),
+        ("movie_companies", "company_type_id"),
+        ("movie_info", "info_type_id"),
+        ("movie_info_idx", "info_type_id"),
+        ("movie_keyword", "keyword_id"),
+    ] {
+        if let Some(tid) = catalog.table_id(name.0) {
+            if let Some(cid) = catalog.table(tid).column_id(name.1) {
+                cols.push((tid, cid, false));
+            }
+        }
+    }
+    cols
+}
+
+/// The fact tables joinable onto `title` via their first FK edge.
+fn fact_tables(catalog: &Catalog) -> Vec<TableId> {
+    [
+        "cast_info",
+        "movie_companies",
+        "movie_info",
+        "movie_info_idx",
+        "movie_keyword",
+    ]
+    .iter()
+    .filter_map(|n| catalog.table_id(n))
+    .collect()
+}
+
+fn build_query(
+    catalog: &Catalog,
+    rng: &mut StdRng,
+    n_tables: usize,
+    max_pred_attrs: usize,
+) -> Query {
+    let title = catalog.table_id("title").expect("IMDB schema has title");
+    let title_id = catalog.table(title).column_id("id").unwrap();
+    let mut facts = fact_tables(catalog);
+    facts.shuffle(rng);
+    facts.truncate(n_tables.saturating_sub(1));
+    let mut tables = vec![title];
+    tables.extend(facts.iter().copied());
+    let joins: Vec<JoinPredicate> = facts
+        .iter()
+        .map(|&f| JoinPredicate {
+            left: ColumnRef::new(f, ColumnId(0)), // movie_id is column 0
+            right: ColumnRef::new(title, title_id),
+        })
+        .collect();
+
+    // Selection predicates: 1–4 distinct attributes among the accessed
+    // tables' predicate columns, at most one range per attribute.
+    let mut eligible: Vec<(TableId, ColumnId, bool)> = predicate_columns(catalog)
+        .into_iter()
+        .filter(|(t, _, _)| tables.contains(t))
+        .collect();
+    eligible.shuffle(rng);
+    let n_attrs = rng.gen_range(1..=max_pred_attrs.min(eligible.len()));
+    let mut predicates = Vec::with_capacity(n_attrs);
+    for &(t, c, is_range) in eligible.iter().take(n_attrs) {
+        let domain = catalog.domain(t, c);
+        let (lo, hi) = (domain.min as i64, domain.max as i64);
+        let preds = if is_range {
+            // A year range or a half-open bound (1 or 2 predicates).
+            match rng.gen_range(0..3) {
+                0 => {
+                    let a = rng.gen_range(lo..=hi);
+                    let b = rng.gen_range(lo..=hi);
+                    vec![
+                        SimplePredicate::new(CmpOp::Ge, a.min(b)),
+                        SimplePredicate::new(CmpOp::Le, a.max(b)),
+                    ]
+                }
+                1 => vec![SimplePredicate::new(CmpOp::Gt, rng.gen_range(lo..=hi))],
+                _ => vec![SimplePredicate::new(CmpOp::Le, rng.gen_range(lo..=hi))],
+            }
+        } else {
+            vec![SimplePredicate::new(CmpOp::Eq, rng.gen_range(lo..=hi))]
+        };
+        predicates.push(CompoundPredicate::conjunction(ColumnRef::new(t, c), preds));
+    }
+    Query {
+        tables,
+        joins,
+        predicates,
+    }
+}
+
+/// The fixed 70-query JOB-light-shaped test suite.
+pub fn job_light_suite(catalog: &Catalog) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(0x1_0B11_647A); // fixed: the suite is part of the benchmark
+    let mut queries = Vec::with_capacity(70);
+    for i in 0..70 {
+        // Cycle join sizes 2..=5 evenly like JOB-light's mixture.
+        let n_tables = 2 + (i % 4);
+        queries.push(build_query(catalog, &mut rng, n_tables, 4));
+    }
+    queries
+}
+
+/// Randomized training workload of the same shape.
+pub fn generate_join_workload(catalog: &Catalog, config: &JoinWorkloadConfig) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.count)
+        .map(|_| {
+            let n_tables = rng.gen_range(config.min_tables..=config.max_tables);
+            build_query(catalog, &mut rng, n_tables, 4)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_data::imdb::{generate_imdb, ImdbConfig};
+
+    fn catalog() -> Catalog {
+        generate_imdb(&ImdbConfig {
+            titles: 1000,
+            seed: 5,
+        })
+        .catalog()
+        .clone()
+    }
+
+    #[test]
+    fn suite_has_70_valid_queries() {
+        let cat = catalog();
+        let suite = job_light_suite(&cat);
+        assert_eq!(suite.len(), 70);
+        for q in &suite {
+            q.validate(&cat).unwrap();
+            let n = q.sub_schema().len();
+            assert!((2..=5).contains(&n), "tables {n}");
+            assert!(q.is_conjunctive());
+            let attrs = q.attribute_count();
+            assert!((1..=4).contains(&attrs), "attrs {attrs}");
+            let preds = q.predicate_count();
+            assert!((1..=8).contains(&preds), "preds {preds}");
+        }
+    }
+
+    #[test]
+    fn suite_is_stable() {
+        let cat = catalog();
+        assert_eq!(job_light_suite(&cat), job_light_suite(&cat));
+    }
+
+    #[test]
+    fn all_joins_are_star_onto_title() {
+        let cat = catalog();
+        let title = cat.table_id("title").unwrap();
+        for q in job_light_suite(&cat) {
+            assert!(q.tables.contains(&title));
+            for j in &q.joins {
+                assert_eq!(j.right.table, title);
+            }
+        }
+    }
+
+    #[test]
+    fn training_workload_covers_sub_schemata() {
+        let cat = catalog();
+        let cfg = JoinWorkloadConfig::new(500, 3);
+        let queries = generate_join_workload(&cat, &cfg);
+        assert_eq!(queries.len(), 500);
+        let mut schemas: Vec<_> = queries.iter().map(|q| q.sub_schema()).collect();
+        schemas.sort();
+        schemas.dedup();
+        // 5 fact tables: at least a dozen distinct sub-schemata expected.
+        assert!(
+            schemas.len() >= 12,
+            "distinct sub-schemata {}",
+            schemas.len()
+        );
+        for q in &queries {
+            q.validate(&cat).unwrap();
+        }
+    }
+
+    #[test]
+    fn at_most_one_range_per_attribute() {
+        let cat = catalog();
+        for q in job_light_suite(&cat) {
+            for cp in &q.predicates {
+                let dnf = cp.expr.to_dnf().unwrap();
+                assert_eq!(dnf.len(), 1);
+                // either a single =, a single bound, or a ge/le pair
+                assert!(dnf[0].len() <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # qfe-workload
+//!
+//! Query workload generators reproducing the paper's evaluation workloads
+//! (Section 5, "Data sets & query workloads"):
+//!
+//! * [`conjunctive`] — forest-style conjunctive queries: `k` distinct
+//!   attributes drawn uniformly, a random closed range per attribute, plus
+//!   `l ∈ [0, 5]` not-equal predicates excluding values inside the range.
+//! * [`mixed`] — mixed queries (Definition 3.3): the per-attribute
+//!   generation is repeated `m ∈ [1, 3]` times and the conjunctions are
+//!   concatenated with OR.
+//! * [`job_light`] — the JOB-light-shaped join benchmark over the
+//!   synthetic IMDB schema: a fixed suite of 70 test queries with 2–5
+//!   joined tables and 1–5 conjunctive predicates, plus a generator for
+//!   large training workloads of the same shape.
+//! * [`grouped`] — grouped queries (paper Section 6): conjunctive
+//!   selections plus random GROUP BY attribute sets.
+//! * [`drift`] — the query-drift split of Section 5.5.1 (train on at most
+//!   two attributes, test on at least three).
+//!
+//! All generators are seeded and deterministic.
+
+pub mod conjunctive;
+pub mod drift;
+pub mod grouped;
+pub mod job_light;
+pub mod mixed;
+
+pub use conjunctive::{generate_conjunctive, generate_conjunctive_with_data, ConjunctiveConfig};
+pub use grouped::{generate_grouped, GroupedConfig};
+pub use job_light::{generate_join_workload, job_light_suite, JoinWorkloadConfig};
+pub use mixed::{generate_mixed, generate_mixed_with_data, MixedConfig};

@@ -1,0 +1,209 @@
+//! The mixed query workload (Section 5):
+//!
+//! "The generation is the same as for conjunctive queries, except that we
+//! repeat the generation for the per-attribute predicates between `m`,
+//! `1 ≤ m ≤ 3` times and concatenate them via OR." This yields mixed
+//! queries in the sense of Definition 3.3: conjunctions of per-attribute
+//! compound predicates, each an OR of closed-range conjunctions.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use qfe_core::predicate::{CompoundPredicate, PredicateExpr};
+use qfe_core::query::ColumnRef;
+use qfe_core::schema::Catalog;
+use qfe_core::{ColumnId, Query, TableId};
+
+use qfe_data::Database;
+
+use crate::conjunctive::random_attribute_conjunct;
+
+/// Configuration of the mixed workload generator.
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    /// The table to query.
+    pub table: TableId,
+    /// Number of queries to generate.
+    pub count: usize,
+    /// Minimum distinct attributes per query.
+    pub min_attrs: usize,
+    /// Maximum distinct attributes per query.
+    pub max_attrs: usize,
+    /// Maximum `<>` predicates per conjunction (paper: 5).
+    pub max_not_equals: usize,
+    /// Maximum disjuncts per attribute (paper: 3).
+    pub max_disjuncts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MixedConfig {
+    /// Paper-style defaults for `table`.
+    pub fn new(table: TableId, count: usize, seed: u64) -> Self {
+        MixedConfig {
+            table,
+            count,
+            min_attrs: 1,
+            max_attrs: 8,
+            max_not_equals: 5,
+            max_disjuncts: 3,
+            seed,
+        }
+    }
+}
+
+/// Generate the mixed workload with domain-uniform literals.
+pub fn generate_mixed(catalog: &Catalog, config: &MixedConfig) -> Vec<Query> {
+    generate_mixed_inner(catalog, config, None)
+}
+
+/// Generate the mixed workload with data-aware literals (see
+/// [`crate::conjunctive::generate_conjunctive_with_data`]).
+pub fn generate_mixed_with_data(db: &Database, config: &MixedConfig) -> Vec<Query> {
+    generate_mixed_inner(db.catalog(), config, Some(db))
+}
+
+fn generate_mixed_inner(
+    catalog: &Catalog,
+    config: &MixedConfig,
+    db: Option<&Database>,
+) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let columns = catalog.table(config.table).columns.len();
+    assert!(columns > 0, "table has no columns");
+    let max_attrs = config.max_attrs.min(columns);
+    let min_attrs = config.min_attrs.clamp(1, max_attrs);
+    let mut queries = Vec::with_capacity(config.count);
+    let mut column_ids: Vec<usize> = (0..columns).collect();
+    for _ in 0..config.count {
+        let k = rng.gen_range(min_attrs..=max_attrs);
+        column_ids.shuffle(&mut rng);
+        let mut predicates = Vec::with_capacity(k);
+        for &ci in column_ids.iter().take(k) {
+            let col = ColumnRef::new(config.table, ColumnId(ci));
+            let domain = catalog.domain(config.table, ColumnId(ci));
+            let m = rng.gen_range(1..=config.max_disjuncts);
+            let disjuncts: Vec<PredicateExpr> = (0..m)
+                .map(|_| {
+                    let preds = match db {
+                        Some(db) => {
+                            let column = db.table(config.table).column(ColumnId(ci));
+                            let rows = column.len();
+                            let sampler =
+                                move |rng: &mut StdRng| column.get_f64(rng.gen_range(0..rows));
+                            random_attribute_conjunct(
+                                domain,
+                                config.max_not_equals,
+                                &mut rng,
+                                Some(&sampler),
+                            )
+                        }
+                        None => {
+                            random_attribute_conjunct(domain, config.max_not_equals, &mut rng, None)
+                        }
+                    };
+                    PredicateExpr::all_of(preds)
+                })
+                .collect();
+            let expr = if disjuncts.len() == 1 {
+                disjuncts.into_iter().next().unwrap()
+            } else {
+                PredicateExpr::Or(disjuncts)
+            };
+            predicates.push(CompoundPredicate { column: col, expr });
+        }
+        queries.push(Query::single_table(config.table, predicates));
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_data::forest::{generate_forest, ForestConfig};
+
+    fn catalog() -> Catalog {
+        generate_forest(&ForestConfig {
+            rows: 500,
+            quantitative_only: true,
+            seed: 1,
+        })
+        .catalog()
+        .clone()
+    }
+
+    #[test]
+    fn contains_disjunctions() {
+        let cat = catalog();
+        let cfg = MixedConfig::new(TableId(0), 200, 5);
+        let queries = generate_mixed(&cat, &cfg);
+        let with_or = queries.iter().filter(|q| !q.is_conjunctive()).count();
+        assert!(
+            with_or > 100,
+            "most mixed queries should contain an OR, got {with_or}/200"
+        );
+        for q in &queries {
+            q.validate(&cat).unwrap();
+        }
+    }
+
+    #[test]
+    fn disjunct_counts_bounded() {
+        let cat = catalog();
+        let cfg = MixedConfig::new(TableId(0), 100, 6);
+        for q in generate_mixed(&cat, &cfg) {
+            for cp in &q.predicates {
+                let dnf = cp.expr.to_dnf().unwrap();
+                assert!((1..=3).contains(&dnf.len()), "disjuncts {}", dnf.len());
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_counts_respected() {
+        let cat = catalog();
+        let cfg = MixedConfig {
+            min_attrs: 3,
+            max_attrs: 5,
+            ..MixedConfig::new(TableId(0), 100, 8)
+        };
+        for q in generate_mixed(&cat, &cfg) {
+            assert!((3..=5).contains(&q.attribute_count()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cat = catalog();
+        let cfg = MixedConfig::new(TableId(0), 30, 9);
+        assert_eq!(generate_mixed(&cat, &cfg), generate_mixed(&cat, &cfg));
+    }
+
+    #[test]
+    fn mixed_queries_are_less_selective_than_their_first_disjunct() {
+        // OR can only add rows: the full mixed query's cardinality is at
+        // least that of the query restricted to first disjuncts.
+        let db = generate_forest(&ForestConfig {
+            rows: 2000,
+            quantitative_only: true,
+            seed: 2,
+        });
+        let cfg = MixedConfig::new(TableId(0), 50, 10);
+        for q in generate_mixed(db.catalog(), &cfg) {
+            let full = qfe_exec::true_cardinality(&db, &q).unwrap();
+            let restricted = Query::single_table(
+                TableId(0),
+                q.predicates
+                    .iter()
+                    .map(|cp| {
+                        let first = cp.expr.to_dnf().unwrap().into_iter().next().unwrap();
+                        CompoundPredicate::conjunction(cp.column, first)
+                    })
+                    .collect(),
+            );
+            let sub = qfe_exec::true_cardinality(&db, &restricted).unwrap();
+            assert!(full >= sub, "OR removed rows: {full} < {sub}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Forest workbench: the single-table estimator bake-off the paper's
+//! introduction motivates — correlated real-world-shaped data, many
+//! predicates per attribute, and four estimator families side by side.
+//!
+//! ```sh
+//! cargo run --release --example forest_workbench
+//! ```
+
+use qfe::core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+use qfe::core::metrics::{q_error, ErrorSummary};
+use qfe::core::{CardinalityEstimator, TableId};
+use qfe::data::forest::{generate_forest, ForestConfig};
+use qfe::estimators::labels::label_queries;
+use qfe::estimators::{LearnedEstimator, PostgresEstimator, SamplingEstimator};
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::ml::mlp::{Mlp, MlpConfig};
+use qfe::workload::{generate_conjunctive, ConjunctiveConfig};
+
+fn main() {
+    let db = generate_forest(&ForestConfig {
+        rows: 50_000,
+        quantitative_only: true,
+        seed: 13,
+    });
+    let table = TableId(0);
+    println!(
+        "forest table: {} rows, {} attributes",
+        db.table(table).row_count(),
+        db.catalog().table(table).columns.len()
+    );
+
+    let train = label_queries(
+        &db,
+        generate_conjunctive(db.catalog(), &ConjunctiveConfig::new(table, 5_000, 21)),
+    );
+    let test = label_queries(
+        &db,
+        generate_conjunctive(db.catalog(), &ConjunctiveConfig::new(table, 1_000, 22)),
+    );
+    println!(
+        "train {} / test {} labeled queries",
+        train.len(),
+        test.len()
+    );
+
+    // Learned estimators: GB + conj and NN + conj.
+    let space = AttributeSpace::for_table(db.catalog(), table);
+    let mut gb = LearnedEstimator::new(
+        Box::new(UniversalConjunctionEncoding::new(space.clone(), 32)),
+        Box::new(Gbdt::new(GbdtConfig::default())),
+    );
+    gb.fit(&train).expect("GB training");
+    let mut nn = LearnedEstimator::new(
+        Box::new(UniversalConjunctionEncoding::new(space, 32)),
+        Box::new(Mlp::new(MlpConfig {
+            hidden: vec![64, 64],
+            epochs: 30,
+            ..MlpConfig::default()
+        })),
+    );
+    nn.fit(&train).expect("NN training");
+
+    // Baselines.
+    let pg = PostgresEstimator::analyze_default(&db);
+    let sampling = SamplingEstimator::new(&db, 0.001, 5);
+
+    println!("\nq-error distributions over the test workload:");
+    for est in [&gb as &dyn CardinalityEstimator, &nn, &pg, &sampling] {
+        let errors: Vec<f64> = test
+            .queries
+            .iter()
+            .zip(&test.cardinalities)
+            .map(|(q, &c)| q_error(c, est.estimate(q)))
+            .collect();
+        let s = ErrorSummary::from_errors(&errors);
+        println!(
+            "  {:<16} median {:>7.2}  p95 {:>9.2}  p99 {:>10.2}  max {:>11.2}  ({})",
+            est.name(),
+            s.median,
+            s.p95,
+            s.p99,
+            s.max,
+            qfe_bytes(est.memory_bytes())
+        );
+    }
+    println!("\n(GB + conj should dominate; sampling shows its heavy tail.)");
+}
+
+fn qfe_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} kB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}

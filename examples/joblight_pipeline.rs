@@ -1,0 +1,98 @@
+//! Join pipeline: synthetic IMDB → JOB-light-shaped suite → local learned
+//! models → cost-based optimizer → executed plans.
+//!
+//! Shows the full production path the paper targets: a learned estimator
+//! plugged into an optimizer, with measured plan quality against the
+//! Postgres-style baseline and true cardinalities.
+//!
+//! ```sh
+//! cargo run --release --example joblight_pipeline
+//! ```
+
+use qfe::core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+use qfe::core::metrics::ErrorSummary;
+use qfe::core::CardinalityEstimator;
+use qfe::data::imdb::{generate_imdb, ImdbConfig};
+use qfe::estimators::labels::label_queries;
+use qfe::estimators::{LocalModelEstimator, PostgresEstimator, TrueCardinalityEstimator};
+use qfe::exec::executor::execute_plan;
+use qfe::exec::Optimizer;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::workload::{generate_join_workload, job_light_suite, JoinWorkloadConfig};
+
+fn main() {
+    // 1. Data + workloads.
+    let db = generate_imdb(&ImdbConfig {
+        titles: 10_000,
+        seed: 3,
+    });
+    println!(
+        "IMDB-shaped database: {} tables, {} FK edges",
+        db.tables().len(),
+        db.catalog().fk_edges().len()
+    );
+    let train = label_queries(
+        &db,
+        generate_join_workload(db.catalog(), &JoinWorkloadConfig::new(4_000, 9)),
+    );
+    let suite = label_queries(&db, job_light_suite(db.catalog()));
+    println!(
+        "training queries: {}   JOB-light suite: {} queries",
+        train.len(),
+        suite.len()
+    );
+
+    // 2. Local GB + conj models, one per sub-schema.
+    let local = LocalModelEstimator::train(
+        db.catalog(),
+        &train,
+        20,
+        &|space: AttributeSpace| Box::new(UniversalConjunctionEncoding::new(space, 32)),
+        &|| Box::new(Gbdt::new(GbdtConfig::default())),
+    )
+    .expect("local training");
+    println!("trained {} local models", local.model_count());
+
+    // 3. Suite accuracy vs the Postgres-style baseline.
+    let pg = PostgresEstimator::analyze_default(&db);
+    let q_local: Vec<f64> = suite
+        .queries
+        .iter()
+        .zip(&suite.cardinalities)
+        .map(|(q, &c)| qfe::core::metrics::q_error(c, local.estimate(q)))
+        .collect();
+    let q_pg: Vec<f64> = suite
+        .queries
+        .iter()
+        .zip(&suite.cardinalities)
+        .map(|(q, &c)| qfe::core::metrics::q_error(c, pg.estimate(q)))
+        .collect();
+    println!("\nJOB-light q-errors:");
+    println!(
+        "  GB+conj (local): {}",
+        ErrorSummary::from_errors(&q_local).table_row()
+    );
+    println!(
+        "  postgres:        {}",
+        ErrorSummary::from_errors(&q_pg).table_row()
+    );
+
+    // 4. Optimize + execute every suite query under each estimator.
+    let truth = TrueCardinalityEstimator::new(&db);
+    for (name, est) in [
+        ("postgres", &pg as &dyn CardinalityEstimator),
+        ("GB+conj (local)", &local),
+        ("true cards", &truth),
+    ] {
+        let optimizer = Optimizer::new(&est);
+        let mut secs = 0.0;
+        let mut work = 0u64;
+        for q in &suite.queries {
+            let plan = optimizer.optimize(q).expect("optimizable");
+            let stats = execute_plan(&db, q, &plan.plan, 100_000_000).expect("executes");
+            secs += stats.elapsed.as_secs_f64();
+            work += stats.work;
+        }
+        println!("plans from {name:<16} total exec {secs:>7.3}s, executor work {work}");
+    }
+}

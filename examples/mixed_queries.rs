@@ -1,0 +1,159 @@
+//! Mixed queries end-to-end: the paper's Section 3.3 scenario on a
+//! TPC-H-like `orders` table — disjunctions over dates, a categorical
+//! status with dictionary-encoded strings, and a price range.
+//!
+//! ```sh
+//! cargo run --release --example mixed_queries
+//! ```
+
+use qfe::core::featurize::{AttributeSpace, Featurizer, LimitedDisjunctionEncoding};
+use qfe::core::metrics::q_error;
+use qfe::core::{
+    CardinalityEstimator, CmpOp, ColumnRef, CompoundPredicate, PredicateExpr, Query, TableId,
+};
+use qfe::data::table::{Database, Table};
+use qfe::data::{Column, Dictionary};
+use qfe::estimators::labels::label_queries;
+use qfe::estimators::{LearnedEstimator, PostgresEstimator};
+use qfe::exec::true_cardinality;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::workload::{generate_mixed, MixedConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a TPC-H-flavoured orders table: order date (days since
+/// 1992-01-01), status in {F, O, P}, total price.
+fn orders_table(rows: usize) -> (Database, Dictionary) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dict = Dictionary::from_values(vec!["F".into(), "O".into(), "P".into()]);
+    let mut dates = Vec::with_capacity(rows);
+    let mut statuses = Vec::with_capacity(rows);
+    let mut prices = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let date = rng.gen_range(0..2556i64); // seven years of days
+        dates.push(date);
+        // Status correlates with date: old orders are finished.
+        let status = if date < 1200 {
+            "F"
+        } else if rng.gen_bool(0.8) {
+            "O"
+        } else {
+            "P"
+        };
+        statuses.push(dict.code(status).unwrap());
+        prices.push(rng.gen_range(900.0..250_000.0f64));
+    }
+    let table = Table::new(
+        "orders",
+        vec![
+            ("o_orderdate".into(), Column::Int(dates)),
+            (
+                "o_orderstatus".into(),
+                Column::Dict {
+                    codes: statuses,
+                    dict: dict.clone(),
+                },
+            ),
+            ("o_totalprice".into(), Column::Float(prices)),
+        ],
+    );
+    (Database::new(vec![table], &[]), dict)
+}
+
+fn main() {
+    let (db, dict) = orders_table(100_000);
+    let t = TableId(0);
+    let catalog = db.catalog();
+    let orderdate = ColumnRef::new(t, qfe::core::ColumnId(0));
+    let orderstatus = ColumnRef::new(t, qfe::core::ColumnId(1));
+    let totalprice = ColumnRef::new(t, qfe::core::ColumnId(2));
+
+    // The paper's example query (Section 3.3), with dates as day numbers:
+    // orders from year 2 or year 4, each with one excluded day, status P
+    // or F, price in (1000, 2000).
+    let year = |y: i64| (y * 365, y * 365 + 364);
+    let (y2_lo, y2_hi) = year(2);
+    let (y4_lo, y4_hi) = year(4);
+    let status = |s: &str| PredicateExpr::leaf(CmpOp::Eq, dict.code(s).unwrap() as i64);
+    let query = Query::single_table(
+        t,
+        vec![
+            CompoundPredicate {
+                column: orderdate,
+                expr: PredicateExpr::Or(vec![
+                    PredicateExpr::And(vec![
+                        PredicateExpr::leaf(CmpOp::Ge, y2_lo),
+                        PredicateExpr::leaf(CmpOp::Le, y2_hi),
+                        PredicateExpr::leaf(CmpOp::Ne, y2_lo + 185),
+                    ]),
+                    PredicateExpr::And(vec![
+                        PredicateExpr::leaf(CmpOp::Ge, y4_lo),
+                        PredicateExpr::leaf(CmpOp::Le, y4_hi),
+                        PredicateExpr::leaf(CmpOp::Ne, y4_lo + 185),
+                    ]),
+                ]),
+            },
+            CompoundPredicate {
+                column: orderstatus,
+                expr: PredicateExpr::Or(vec![status("P"), status("F")]),
+            },
+            CompoundPredicate {
+                column: totalprice,
+                expr: PredicateExpr::And(vec![
+                    PredicateExpr::leaf(CmpOp::Gt, 1000.0),
+                    PredicateExpr::leaf(CmpOp::Lt, 2000.0),
+                ]),
+            },
+        ],
+    );
+    println!("query: {}", query.to_sql(catalog));
+    let truth = true_cardinality(&db, &query).unwrap();
+    println!("true cardinality: {truth}");
+
+    // Train GB + Limited Disjunction Encoding on a mixed workload.
+    println!("\ntraining GB + complex on a mixed workload…");
+    let workload = generate_mixed(catalog, &MixedConfig::new(t, 4_000, 11));
+    let labeled = label_queries(&db, workload);
+    println!("labeled {} non-empty training queries", labeled.len());
+    let space = AttributeSpace::for_table(catalog, t);
+    let qft = LimitedDisjunctionEncoding::new(space, 48);
+    println!("feature vector dimension: {}", qft.dim());
+    let mut learned =
+        LearnedEstimator::new(Box::new(qft), Box::new(Gbdt::new(GbdtConfig::default())));
+    learned.fit(&labeled).expect("training succeeds");
+
+    // Compare against the Postgres-style baseline on the example query and
+    // on a mixed test workload.
+    let pg = PostgresEstimator::analyze_default(&db);
+    let e_learned = learned.estimate(&query);
+    let e_pg = pg.estimate(&query);
+    println!("\nexample query:");
+    println!(
+        "  {:<14} estimate {:>10.0}  q-error {:>8.2}",
+        learned.name(),
+        e_learned,
+        q_error(truth as f64, e_learned)
+    );
+    println!(
+        "  {:<14} estimate {:>10.0}  q-error {:>8.2}",
+        pg.name(),
+        e_pg,
+        q_error(truth as f64, e_pg)
+    );
+
+    let test = label_queries(&db, generate_mixed(catalog, &MixedConfig::new(t, 500, 77)));
+    let mut sum_learned = 0.0;
+    let mut sum_pg = 0.0;
+    for (q, &c) in test.queries.iter().zip(&test.cardinalities) {
+        sum_learned += q_error(c, learned.estimate(q));
+        sum_pg += q_error(c, pg.estimate(q));
+    }
+    let n = test.len() as f64;
+    println!("\nmixed test workload ({} queries):", test.len());
+    println!(
+        "  mean q-error {:<14} {:>8.2}",
+        learned.name(),
+        sum_learned / n
+    );
+    println!("  mean q-error {:<14} {:>8.2}", pg.name(), sum_pg / n);
+}

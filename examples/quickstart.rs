@@ -1,0 +1,102 @@
+//! Quickstart: featurize queries with all four QFTs and train a learned
+//! cardinality estimator on a synthetic forest table.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qfe::core::featurize::{
+    AttributeSpace, Featurizer, LimitedDisjunctionEncoding, RangePredicateEncoding,
+    SingularPredicateEncoding, UniversalConjunctionEncoding,
+};
+use qfe::core::metrics::q_error;
+use qfe::core::{
+    CardinalityEstimator, CmpOp, ColumnId, ColumnRef, CompoundPredicate, PredicateExpr, Query,
+    SimplePredicate, TableId,
+};
+use qfe::data::forest::{generate_forest, ForestConfig};
+use qfe::estimators::labels::label_queries;
+use qfe::estimators::LearnedEstimator;
+use qfe::exec::true_cardinality;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::workload::{generate_conjunctive, ConjunctiveConfig};
+
+fn main() {
+    // 1. A forest-covertype-shaped table (10 quantitative attributes +
+    //    cover_type) and its catalog.
+    let db = generate_forest(&ForestConfig {
+        rows: 20_000,
+        quantitative_only: true,
+        seed: 42,
+    });
+    let table = TableId(0);
+    let catalog = db.catalog();
+    println!(
+        "dataset: {} rows × {} columns",
+        db.table(table).row_count(),
+        catalog.table(table).columns.len()
+    );
+
+    // 2. A count query with several predicates per attribute:
+    //    SELECT count(*) FROM forest
+    //    WHERE elevation >= 2500 AND elevation <= 3000 AND elevation <> 2750
+    //      AND (slope <= 10 OR slope >= 40)
+    let elevation = ColumnRef::new(table, ColumnId(0));
+    let slope = ColumnRef::new(table, ColumnId(2));
+    let query = Query::single_table(
+        table,
+        vec![
+            CompoundPredicate::conjunction(
+                elevation,
+                vec![
+                    SimplePredicate::new(CmpOp::Ge, 2500),
+                    SimplePredicate::new(CmpOp::Le, 3000),
+                    SimplePredicate::new(CmpOp::Ne, 2750),
+                ],
+            ),
+            CompoundPredicate {
+                column: slope,
+                expr: PredicateExpr::Or(vec![
+                    PredicateExpr::leaf(CmpOp::Le, 10),
+                    PredicateExpr::leaf(CmpOp::Ge, 40),
+                ]),
+            },
+        ],
+    );
+    println!("\nquery: {}", query.to_sql(catalog));
+    let truth = true_cardinality(&db, &query).unwrap();
+    println!("true cardinality: {truth}");
+
+    // 3. Featurize it with each QFT. Only Limited Disjunction Encoding
+    //    supports the OR on `slope`; the others report why they cannot.
+    let space = AttributeSpace::for_table(catalog, table);
+    let qfts: Vec<Box<dyn Featurizer>> = vec![
+        Box::new(SingularPredicateEncoding::new(space.clone())),
+        Box::new(RangePredicateEncoding::new(space.clone())),
+        Box::new(UniversalConjunctionEncoding::new(space.clone(), 32)),
+        Box::new(LimitedDisjunctionEncoding::new(space.clone(), 32)),
+    ];
+    println!();
+    for qft in &qfts {
+        match qft.featurize(&query) {
+            Ok(vec) => println!("{:<12} → {} feature entries", qft.name(), vec.dim()),
+            Err(e) => println!("{:<12} → unsupported: {e}", qft.name()),
+        }
+    }
+
+    // 4. Train GB + Limited Disjunction Encoding on a generated workload
+    //    and estimate the query.
+    println!("\ntraining GB + complex on 3000 conjunctive queries…");
+    let workload = generate_conjunctive(catalog, &ConjunctiveConfig::new(table, 3_000, 7));
+    let labeled = label_queries(&db, workload);
+    let mut estimator = LearnedEstimator::new(
+        Box::new(LimitedDisjunctionEncoding::new(space, 32)),
+        Box::new(Gbdt::new(GbdtConfig::default())),
+    );
+    estimator.fit(&labeled).expect("training succeeds");
+    let estimate = estimator.estimate(&query);
+    println!(
+        "estimate: {estimate:.0} (truth {truth}, q-error {:.2})",
+        q_error(truth as f64, estimate)
+    );
+}

@@ -1,0 +1,183 @@
+//! String predicates via order-preserving dictionaries (paper Section 6).
+//!
+//! "Universal Conjunction Encoding and Limited Disjunction Encoding
+//! naturally support the encoding of such predicates" — a sorted
+//! dictionary turns equality, range, and `LIKE 'prefix%'` predicates into
+//! numeric code ranges, which the bucketized QFTs featurize natively.
+//!
+//! ```sh
+//! cargo run --release --example string_predicates
+//! ```
+
+use qfe::core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+use qfe::core::metrics::q_error;
+use qfe::core::{
+    parse_single_table_query, CardinalityEstimator, CmpOp, ColumnRef, CompoundPredicate, Query,
+    SimplePredicate, TableId,
+};
+use qfe::data::table::{Database, Table};
+use qfe::data::{Column, Dictionary};
+use qfe::estimators::labels::label_queries;
+use qfe::estimators::LearnedEstimator;
+use qfe::exec::true_cardinality;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A products table with a string category column.
+    let categories = [
+        "appliance",
+        "apparel",
+        "audio",
+        "book",
+        "bicycle",
+        "camera",
+        "chair",
+        "desk",
+        "display",
+        "garden",
+        "game",
+        "keyboard",
+        "lamp",
+        "laptop",
+        "phone",
+        "printer",
+        "router",
+        "sofa",
+        "speaker",
+        "tablet",
+    ];
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut names = Vec::with_capacity(50_000);
+    let mut prices = Vec::with_capacity(50_000);
+    for _ in 0..50_000 {
+        // Zipf-ish category popularity.
+        let idx = (categories.len() as f64 * rng.gen::<f64>().powf(2.0)) as usize;
+        names.push(categories[idx.min(categories.len() - 1)].to_owned());
+        prices.push(rng.gen_range(1..2000i64));
+    }
+    let dict = Dictionary::from_values(names.clone());
+    let codes: Vec<u32> = names.iter().map(|n| dict.code(n).unwrap()).collect();
+    let db = Database::new(
+        vec![Table::new(
+            "products",
+            vec![
+                (
+                    "category".into(),
+                    Column::Dict {
+                        codes,
+                        dict: dict.clone(),
+                    },
+                ),
+                ("price".into(), Column::Int(prices)),
+            ],
+        )],
+        &[],
+    );
+    let table = TableId(0);
+    let category = ColumnRef::new(table, qfe::core::ColumnId(0));
+
+    // Train GB + conj on random category-code ranges × price ranges.
+    println!("training GB + conj on dictionary-encoded string ranges…");
+    let mut queries = Vec::new();
+    let max_code = dict.len() as i64 - 1;
+    for _ in 0..4000 {
+        let a = rng.gen_range(0..=max_code);
+        let b = rng.gen_range(0..=max_code);
+        let p = rng.gen_range(1..2000i64);
+        let q = rng.gen_range(1..2000i64);
+        queries.push(Query::single_table(
+            table,
+            vec![
+                CompoundPredicate::conjunction(
+                    category,
+                    vec![
+                        SimplePredicate::new(CmpOp::Ge, a.min(b)),
+                        SimplePredicate::new(CmpOp::Le, a.max(b)),
+                    ],
+                ),
+                CompoundPredicate::conjunction(
+                    ColumnRef::new(table, qfe::core::ColumnId(1)),
+                    vec![
+                        SimplePredicate::new(CmpOp::Ge, p.min(q)),
+                        SimplePredicate::new(CmpOp::Le, p.max(q)),
+                    ],
+                ),
+            ],
+        ));
+    }
+    let labeled = label_queries(&db, queries);
+    let space = AttributeSpace::for_table(db.catalog(), table);
+    let mut est = LearnedEstimator::new(
+        Box::new(UniversalConjunctionEncoding::new(space, 32)),
+        Box::new(Gbdt::new(GbdtConfig::default())),
+    );
+    est.fit(&labeled).expect("training");
+
+    // 1. An equality predicate written as a string, via the parser + the
+    //    dictionary.
+    let parsed =
+        parse_single_table_query(db.catalog(), table, "category = 'laptop' AND price <= 500")
+            .expect("parses");
+    let encoded = Query::single_table(
+        table,
+        parsed
+            .predicates
+            .iter()
+            .map(|cp| {
+                let dnf = cp.expr.to_dnf().unwrap();
+                let preds: Vec<SimplePredicate> = dnf[0]
+                    .iter()
+                    .map(|p| dict.encode_predicate(p).expect("in dictionary"))
+                    .collect();
+                CompoundPredicate::conjunction(cp.column, preds)
+            })
+            .collect(),
+    );
+    let truth = true_cardinality(&db, &encoded).unwrap();
+    let estimate = est.estimate(&encoded);
+    println!(
+        "category = 'laptop' AND price <= 500 → truth {truth}, estimate {estimate:.0} \
+         (q-error {:.2})",
+        q_error(truth as f64, estimate)
+    );
+
+    // 2. Prefix predicates LIKE 'p%' become code ranges.
+    for prefix in ["a", "ap", "la", "s", "z"] {
+        let expr = dict.prefix_expr(prefix);
+        let q = Query::single_table(
+            table,
+            vec![CompoundPredicate {
+                column: category,
+                expr,
+            }],
+        );
+        let truth = true_cardinality(&db, &q).unwrap();
+        let estimate = est.estimate(&q);
+        println!(
+            "category LIKE '{prefix}%' → truth {truth:>6}, estimate {estimate:>9.0}  \
+             (q-error {:.2})",
+            q_error(truth as f64, estimate)
+        );
+    }
+
+    // 3. String ranges: category between 'b' and 'd'.
+    let lo = dict
+        .encode_predicate(&SimplePredicate::new(CmpOp::Ge, "b"))
+        .unwrap();
+    let hi = dict
+        .encode_predicate(&SimplePredicate::new(CmpOp::Lt, "e"))
+        .unwrap();
+    let q = Query::single_table(
+        table,
+        vec![CompoundPredicate::conjunction(category, vec![lo, hi])],
+    );
+    let truth = true_cardinality(&db, &q).unwrap();
+    let estimate = est.estimate(&q);
+    println!(
+        "category >= 'b' AND category < 'e' → truth {truth}, estimate {estimate:.0} \
+         (q-error {:.2})",
+        q_error(truth as f64, estimate)
+    );
+}

@@ -1,0 +1,55 @@
+//! # qfe — Enhanced Featurization of Queries with Mixed Combinations of Predicates
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of the
+//! EDBT 2023 paper by Müller, Woltmann, and Lehner on query featurization
+//! techniques (QFTs) for ML-based cardinality estimation.
+//!
+//! ## Crate map
+//!
+//! * [`core`] — query AST, the four QFTs, q-error metrics.
+//! * [`data`] — columnar storage, statistics, synthetic dataset generators
+//!   (forest-covertype-shaped and IMDB-shaped).
+//! * [`exec`] — predicate/join execution for true-cardinality labeling,
+//!   plus a cost-based optimizer and executor for the end-to-end
+//!   experiment.
+//! * [`ml`] — from-scratch ML substrate: MLP, gradient-boosted trees,
+//!   MSCN, linear regression.
+//! * [`estimators`] — cardinality estimators: Postgres-style independence,
+//!   Bernoulli sampling, and learned local/global models.
+//! * [`workload`] — query generators: conjunctive, mixed, JOB-light-like
+//!   join workloads, and drift splits.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qfe::core::featurize::{AttributeSpace, Featurizer, UniversalConjunctionEncoding};
+//! use qfe::core::{CmpOp, CompoundPredicate, Query, SimplePredicate, TableId};
+//! use qfe::data::forest::{ForestConfig, generate_forest};
+//!
+//! // A small forest-covertype-shaped dataset and its catalog.
+//! let dataset = generate_forest(&ForestConfig { rows: 1_000, quantitative_only: true, seed: 7 });
+//! let space = AttributeSpace::for_table(dataset.catalog(), TableId(0));
+//! let qft = UniversalConjunctionEncoding::new(space, 32);
+//!
+//! // SELECT count(*) FROM forest WHERE a0 BETWEEN 50 AND 150
+//! let col = qfe::core::ColumnRef::new(TableId(0), qfe::core::ColumnId(0));
+//! let query = Query::single_table(
+//!     TableId(0),
+//!     vec![CompoundPredicate::conjunction(
+//!         col,
+//!         vec![
+//!             SimplePredicate::new(CmpOp::Ge, 50),
+//!             SimplePredicate::new(CmpOp::Le, 150),
+//!         ],
+//!     )],
+//! );
+//! let features = qft.featurize(&query).unwrap();
+//! assert_eq!(features.dim(), qft.dim());
+//! ```
+
+pub use qfe_core as core;
+pub use qfe_data as data;
+pub use qfe_estimators as estimators;
+pub use qfe_exec as exec;
+pub use qfe_ml as ml;
+pub use qfe_workload as workload;

@@ -1,0 +1,254 @@
+//! Property-based tests (proptest) of the featurization layer's
+//! invariants:
+//!
+//! * determinism (Eq. 4 of the paper),
+//! * fixed output dimension,
+//! * conjunction monotonicity (more conjuncts ⇒ entries never increase),
+//! * disjunction monotonicity (more disjuncts ⇒ entries never decrease),
+//! * entries stay in `[0, 1]`,
+//! * `complex` ≡ `conjunctive` on conjunction-only queries,
+//! * featurization semantics agree with execution-level membership.
+
+use proptest::prelude::*;
+use qfe::core::featurize::{
+    AttributeSpace, Featurizer, LimitedDisjunctionEncoding, RangePredicateEncoding,
+    SingularPredicateEncoding, UniversalConjunctionEncoding,
+};
+use qfe::core::interval::{Region, RegionSet};
+use qfe::core::{
+    AttributeDomain, CmpOp, ColumnId, ColumnRef, CompoundPredicate, PredicateExpr, Query,
+    SimplePredicate, TableId,
+};
+
+fn space() -> AttributeSpace {
+    AttributeSpace::new(vec![
+        (
+            ColumnRef::new(TableId(0), ColumnId(0)),
+            AttributeDomain::integers(-50, 150),
+        ),
+        (
+            ColumnRef::new(TableId(0), ColumnId(1)),
+            AttributeDomain::integers(0, 7),
+        ),
+        (
+            ColumnRef::new(TableId(0), ColumnId(2)),
+            AttributeDomain::reals(0.0, 1.0),
+        ),
+    ])
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_pred(col: usize) -> impl Strategy<Value = SimplePredicate> {
+    let value = match col {
+        0 => (-60i64..160).boxed(),
+        1 => (-1i64..9).boxed(),
+        _ => (0i64..100).boxed(),
+    };
+    (arb_op(), value).prop_map(move |(op, v)| {
+        if col == 2 {
+            SimplePredicate::new(op, v as f64 / 100.0)
+        } else {
+            SimplePredicate::new(op, v)
+        }
+    })
+}
+
+fn arb_conjunct(col: usize) -> impl Strategy<Value = Vec<SimplePredicate>> {
+    prop::collection::vec(arb_pred(col), 1..5)
+}
+
+/// An arbitrary conjunctive query over the three attributes.
+fn arb_conjunctive_query() -> impl Strategy<Value = Query> {
+    prop::collection::vec(
+        (0usize..3, arb_conjunct(0), arb_conjunct(1), arb_conjunct(2)),
+        0..3,
+    )
+    .prop_map(|specs| {
+        let mut predicates = Vec::new();
+        let mut used = [false; 3];
+        for (col, p0, p1, p2) in specs {
+            if used[col] {
+                continue;
+            }
+            used[col] = true;
+            let preds = match col {
+                0 => p0,
+                1 => p1,
+                _ => p2,
+            };
+            predicates.push(CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(0), ColumnId(col)),
+                preds,
+            ));
+        }
+        Query::single_table(TableId(0), predicates)
+    })
+}
+
+/// An arbitrary mixed query: 1–3 disjuncts per attribute.
+fn arb_mixed_query() -> impl Strategy<Value = Query> {
+    prop::collection::vec(
+        (
+            0usize..3,
+            prop::collection::vec(arb_conjunct(0), 1..4),
+            prop::collection::vec(arb_conjunct(1), 1..4),
+            prop::collection::vec(arb_conjunct(2), 1..4),
+        ),
+        0..3,
+    )
+    .prop_map(|specs| {
+        let mut predicates = Vec::new();
+        let mut used = [false; 3];
+        for (col, d0, d1, d2) in specs {
+            if used[col] {
+                continue;
+            }
+            used[col] = true;
+            let disjuncts = match col {
+                0 => d0,
+                1 => d1,
+                _ => d2,
+            };
+            let expr =
+                PredicateExpr::Or(disjuncts.into_iter().map(PredicateExpr::all_of).collect());
+            predicates.push(CompoundPredicate {
+                column: ColumnRef::new(TableId(0), ColumnId(col)),
+                expr,
+            });
+        }
+        Query::single_table(TableId(0), predicates)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_featurizers_are_deterministic_and_dimension_stable(q in arb_conjunctive_query()) {
+        let featurizers: Vec<Box<dyn Featurizer>> = vec![
+            Box::new(SingularPredicateEncoding::new(space())),
+            Box::new(RangePredicateEncoding::new(space())),
+            Box::new(UniversalConjunctionEncoding::new(space(), 16)),
+            Box::new(LimitedDisjunctionEncoding::new(space(), 16)),
+        ];
+        for f in &featurizers {
+            let a = f.featurize(&q).unwrap();
+            let b = f.featurize(&q).unwrap();
+            prop_assert_eq!(&a, &b, "{} not deterministic", f.name());
+            prop_assert_eq!(a.dim(), f.dim(), "{} dim unstable", f.name());
+            for &e in a.as_slice() {
+                prop_assert!((0.0..=1.0).contains(&e), "{} entry {} out of range", f.name(), e);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_equals_conjunctive_on_conjunctions(q in arb_conjunctive_query()) {
+        let conj = UniversalConjunctionEncoding::new(space(), 16);
+        let comp = LimitedDisjunctionEncoding::new(space(), 16);
+        prop_assert_eq!(conj.featurize(&q).unwrap(), comp.featurize(&q).unwrap());
+    }
+
+    #[test]
+    fn adding_a_conjunct_never_increases_entries(
+        preds in arb_conjunct(0),
+        extra in arb_pred(0),
+    ) {
+        let enc = UniversalConjunctionEncoding::new(space(), 16).with_attr_sel(false);
+        let col = ColumnRef::new(TableId(0), ColumnId(0));
+        let base = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(col, preds.clone())],
+        );
+        let mut more_preds = preds;
+        more_preds.push(extra);
+        let more = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(col, more_preds)],
+        );
+        let fa = enc.featurize(&base).unwrap();
+        let fb = enc.featurize(&more).unwrap();
+        for (a, b) in fa.as_slice().iter().zip(fb.as_slice()) {
+            prop_assert!(b <= a, "entry increased: {} -> {}", a, b);
+        }
+    }
+
+    #[test]
+    fn adding_a_disjunct_never_decreases_entries(
+        disjuncts in prop::collection::vec(arb_conjunct(0), 1..3),
+        extra in arb_conjunct(0),
+    ) {
+        let enc = LimitedDisjunctionEncoding::new(space(), 16).with_attr_sel(false);
+        let col = ColumnRef::new(TableId(0), ColumnId(0));
+        let or_of = |ds: &[Vec<SimplePredicate>]| {
+            Query::single_table(
+                TableId(0),
+                vec![CompoundPredicate {
+                    column: col,
+                    expr: PredicateExpr::Or(
+                        ds.iter().cloned().map(PredicateExpr::all_of).collect(),
+                    ),
+                }],
+            )
+        };
+        let base = or_of(&disjuncts);
+        let mut more_disjuncts = disjuncts;
+        more_disjuncts.push(extra);
+        let more = or_of(&more_disjuncts);
+        let fa = enc.featurize(&base).unwrap();
+        let fb = enc.featurize(&more).unwrap();
+        for (a, b) in fa.as_slice().iter().zip(fb.as_slice()) {
+            prop_assert!(b >= a, "entry decreased: {} -> {}", a, b);
+        }
+    }
+
+    #[test]
+    fn mixed_queries_featurize_without_error(q in arb_mixed_query()) {
+        let enc = LimitedDisjunctionEncoding::new(space(), 16);
+        let f = enc.featurize(&q).unwrap();
+        prop_assert_eq!(f.dim(), enc.dim());
+    }
+
+    #[test]
+    fn region_membership_matches_expression_semantics(
+        preds in arb_conjunct(1),
+        value in -1i64..9,
+    ) {
+        // The Region abstraction used for selectivity entries must agree
+        // with direct predicate evaluation on every domain value.
+        let domain = AttributeDomain::integers(0, 7);
+        let region = Region::from_conjunct(&preds, &domain);
+        if (0..=7).contains(&value) {
+            let direct = preds.iter().all(|p| p.matches_f64(value as f64));
+            prop_assert_eq!(
+                region.contains(value as f64),
+                direct,
+                "region/membership mismatch at {} for {:?}", value, preds
+            );
+        }
+    }
+
+    #[test]
+    fn union_selectivity_is_bounded_and_monotone(
+        d1 in arb_conjunct(1),
+        d2 in arb_conjunct(1),
+    ) {
+        let domain = AttributeDomain::integers(0, 7);
+        let r1 = Region::from_conjunct(&d1, &domain);
+        let r2 = Region::from_conjunct(&d2, &domain);
+        let s1 = RegionSet::new(vec![r1.clone()]).selectivity(&domain);
+        let union = RegionSet::new(vec![r1, r2]).selectivity(&domain);
+        prop_assert!((0.0..=1.0).contains(&union));
+        prop_assert!(union >= s1 - 1e-12, "union {} smaller than part {}", union, s1);
+    }
+}

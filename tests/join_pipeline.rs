@@ -1,0 +1,138 @@
+//! Integration of the join pipeline: synthetic IMDB → JOB-light-shaped
+//! suite → counting oracle ↔ optimizer ↔ executor consistency, plus local
+//! learned models over sub-schemata.
+
+use qfe::core::{CardinalityEstimator, Query};
+use qfe::data::imdb::{generate_imdb, ImdbConfig};
+use qfe::estimators::labels::label_queries;
+use qfe::estimators::{PostgresEstimator, TrueCardinalityEstimator};
+use qfe::exec::executor::execute_plan;
+use qfe::exec::{true_cardinality, Optimizer};
+use qfe::workload::{generate_join_workload, job_light_suite, JoinWorkloadConfig};
+
+fn imdb() -> qfe::data::Database {
+    generate_imdb(&ImdbConfig {
+        titles: 3_000,
+        seed: 17,
+    })
+}
+
+#[test]
+fn every_suite_query_counts_and_executes_consistently() {
+    // The count-map oracle and the physical executor must agree on every
+    // suite query, under plans from both estimator arms.
+    let db = imdb();
+    let suite: Vec<Query> = job_light_suite(db.catalog());
+    let truth_est = TrueCardinalityEstimator::new(&db);
+    let pg = PostgresEstimator::analyze_default(&db);
+    for (arm, est) in [
+        ("truth", &truth_est as &dyn CardinalityEstimator),
+        ("postgres", &pg),
+    ] {
+        let optimizer = Optimizer::new(&est);
+        for q in &suite {
+            let oracle = true_cardinality(&db, q).unwrap();
+            let plan = optimizer.optimize(q).unwrap();
+            let stats = execute_plan(&db, q, &plan.plan, 50_000_000).unwrap();
+            assert_eq!(
+                stats.rows,
+                oracle,
+                "{arm} plan for {} produced {} rows, oracle says {}",
+                q.to_sql(db.catalog()),
+                stats.rows,
+                oracle
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_workload_labels_are_consistent_with_execution() {
+    let db = imdb();
+    let labeled = label_queries(
+        &db,
+        generate_join_workload(db.catalog(), &JoinWorkloadConfig::new(200, 23)),
+    );
+    assert!(labeled.len() > 100, "workload mostly non-empty");
+    for (q, &c) in labeled.queries.iter().zip(&labeled.cardinalities) {
+        assert_eq!(true_cardinality(&db, q).unwrap() as f64, c);
+        assert!(c >= 1.0);
+    }
+}
+
+#[test]
+fn local_models_beat_postgres_on_joblight() {
+    use qfe::core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+    use qfe::core::metrics::{q_error, ErrorSummary};
+    use qfe::estimators::LocalModelEstimator;
+    use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+
+    let db = imdb();
+    let train = label_queries(
+        &db,
+        generate_join_workload(db.catalog(), &JoinWorkloadConfig::new(3_000, 29)),
+    );
+    let suite = label_queries(&db, job_light_suite(db.catalog()));
+    let local = LocalModelEstimator::train(
+        db.catalog(),
+        &train,
+        15,
+        &|space: AttributeSpace| Box::new(UniversalConjunctionEncoding::new(space, 16)),
+        &|| {
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: 60,
+                min_samples_leaf: 3,
+                ..GbdtConfig::default()
+            }))
+        },
+    )
+    .unwrap();
+    assert!(local.model_count() >= 8, "models: {}", local.model_count());
+
+    let pg = PostgresEstimator::analyze_default(&db);
+    let err = |est: &dyn CardinalityEstimator| {
+        ErrorSummary::from_errors(
+            &suite
+                .queries
+                .iter()
+                .zip(&suite.cardinalities)
+                .map(|(q, &c)| q_error(c, est.estimate(q)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let s_local = err(&local);
+    let s_pg = err(&pg);
+    assert!(
+        s_local.median < s_pg.median,
+        "local GB+conj median {} vs postgres {}",
+        s_local.median,
+        s_pg.median
+    );
+}
+
+#[test]
+fn optimizer_cost_never_below_best_arm() {
+    // The plan chosen with true cardinalities must have executor work no
+    // worse than (roughly) the plans chosen from misestimates — the
+    // monotonic sanity behind Table 4. Allow slack for cost-model error.
+    let db = imdb();
+    let suite = job_light_suite(db.catalog());
+    let truth_est = TrueCardinalityEstimator::new(&db);
+    let pg = PostgresEstimator::analyze_default(&db);
+    let work_of = |est: &dyn CardinalityEstimator| {
+        let optimizer = Optimizer::new(&est);
+        suite
+            .iter()
+            .map(|q| {
+                let plan = optimizer.optimize(q).unwrap();
+                execute_plan(&db, q, &plan.plan, 50_000_000).unwrap().work
+            })
+            .sum::<u64>()
+    };
+    let w_truth = work_of(&truth_est);
+    let w_pg = work_of(&pg);
+    assert!(
+        w_truth as f64 <= w_pg as f64 * 1.10,
+        "true-cardinality plans did substantially more work ({w_truth}) than PG plans ({w_pg})"
+    );
+}

@@ -1,0 +1,156 @@
+//! Integration tests of the lossless-featurization property
+//! (Definition 3.1 and Lemma 3.2), verified against the execution engine:
+//! featurize → invert → execute, and compare counts.
+
+use qfe::core::featurize::lossless::{invert_conjunctive, is_exact, InversionMode};
+use qfe::core::featurize::{AttributeSpace, Featurizer, UniversalConjunctionEncoding};
+use qfe::core::{CmpOp, ColumnId, ColumnRef, CompoundPredicate, Query, SimplePredicate, TableId};
+use qfe::data::table::{Database, Table};
+use qfe::data::Column;
+use qfe::exec::true_cardinality;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A table with two small-domain integer attributes (so exact bucket mode
+/// is reachable) filled with correlated data.
+fn small_db(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Vec::with_capacity(rows);
+    let mut b = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let x = rng.gen_range(0..32i64);
+        a.push(x);
+        b.push((x / 2 + rng.gen_range(0..8)) % 16);
+    }
+    Database::new(
+        vec![Table::new(
+            "t",
+            vec![("a".into(), Column::Int(a)), ("b".into(), Column::Int(b))],
+        )],
+        &[],
+    )
+}
+
+fn random_conjunctive_query(rng: &mut StdRng) -> Query {
+    let mut predicates = Vec::new();
+    for (ci, hi) in [(0usize, 31i64), (1usize, 15i64)] {
+        if rng.gen_bool(0.8) {
+            let lo_v = rng.gen_range(0..=hi);
+            let hi_v = rng.gen_range(lo_v..=hi);
+            let mut preds = vec![
+                SimplePredicate::new(CmpOp::Ge, lo_v),
+                SimplePredicate::new(CmpOp::Le, hi_v),
+            ];
+            for _ in 0..rng.gen_range(0..3) {
+                preds.push(SimplePredicate::new(CmpOp::Ne, rng.gen_range(lo_v..=hi_v)));
+            }
+            predicates.push(CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(0), ColumnId(ci)),
+                preds,
+            ));
+        }
+    }
+    Query::single_table(TableId(0), predicates)
+}
+
+#[test]
+fn exact_mode_inversion_preserves_cardinality() {
+    // Lemma 3.2 limit: with n >= |domain| the featurization is lossless —
+    // the reconstructed query must return exactly the same count on the
+    // actual data.
+    let db = small_db(3_000, 1);
+    let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+    let enc = UniversalConjunctionEncoding::new(space, 32); // both domains <= 32
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..100 {
+        let q = random_conjunctive_query(&mut rng);
+        let f = enc.featurize(&q).unwrap();
+        assert!(is_exact(&enc, &f), "32 buckets must be exact here");
+        let reconstructed =
+            invert_conjunctive(&enc, &f, TableId(0), InversionMode::Subset).unwrap();
+        let original_count = true_cardinality(&db, &q).unwrap();
+        let reconstructed_count = true_cardinality(&db, &reconstructed).unwrap();
+        assert_eq!(
+            original_count, reconstructed_count,
+            "lossless inversion changed the result for {:?}",
+            q
+        );
+    }
+}
+
+#[test]
+fn coarse_mode_inversion_brackets_cardinality() {
+    // With coarse buckets the Subset inversion undercounts and the
+    // Superset inversion overcounts — and the bracket tightens as n grows
+    // (the convergence statement of Lemma 3.2).
+    let db = small_db(3_000, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+    for _ in 0..50 {
+        let q = random_conjunctive_query(&mut rng);
+        let truth = true_cardinality(&db, &q).unwrap();
+        let mut prev_gap = u64::MAX;
+        for n in [4usize, 8, 16, 32] {
+            let enc = UniversalConjunctionEncoding::new(space.clone(), n);
+            let f = enc.featurize(&q).unwrap();
+            let sub = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Subset).unwrap();
+            let sup = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Superset).unwrap();
+            let c_sub = true_cardinality(&db, &sub).unwrap();
+            let c_sup = true_cardinality(&db, &sup).unwrap();
+            assert!(
+                c_sub <= truth,
+                "subset overcounts at n={n}: {c_sub} > {truth}"
+            );
+            assert!(
+                c_sup >= truth,
+                "superset undercounts at n={n}: {c_sup} < {truth}"
+            );
+            let gap = c_sup - c_sub;
+            assert!(
+                gap <= prev_gap,
+                "bracket widened when n grew to {n}: {gap} > {prev_gap}"
+            );
+            prev_gap = gap;
+        }
+        // At n = 32 both domains are exact: the bracket must be closed.
+        assert_eq!(prev_gap, 0, "bracket open at exact resolution");
+    }
+}
+
+#[test]
+fn singular_encoding_is_demonstrably_lossy() {
+    // The paper's negative example: two queries with different results but
+    // identical Singular Predicate Encoding feature vectors.
+    use qfe::core::featurize::SingularPredicateEncoding;
+    let db = small_db(3_000, 5);
+    let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+    let enc = SingularPredicateEncoding::new(space);
+    let col = ColumnRef::new(TableId(0), ColumnId(0));
+    let tight = Query::single_table(
+        TableId(0),
+        vec![CompoundPredicate::conjunction(
+            col,
+            vec![
+                SimplePredicate::new(CmpOp::Ge, 10),
+                SimplePredicate::new(CmpOp::Le, 12),
+            ],
+        )],
+    );
+    let loose = Query::single_table(
+        TableId(0),
+        vec![CompoundPredicate::conjunction(
+            col,
+            vec![SimplePredicate::new(CmpOp::Ge, 10)],
+        )],
+    );
+    assert_eq!(
+        enc.featurize(&tight).unwrap(),
+        enc.featurize(&loose).unwrap(),
+        "identical feature vectors…"
+    );
+    assert_ne!(
+        true_cardinality(&db, &tight).unwrap(),
+        true_cardinality(&db, &loose).unwrap(),
+        "…for queries with different results: no inversion function can exist"
+    );
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the ML substrate: shape/finiteness guarantees
+//! and algebraic identities of the matrix kernels, plus model-level
+//! invariants (determinism, prediction bounds under the label scaler).
+
+use proptest::prelude::*;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::ml::matrix::Matrix;
+use qfe::ml::scaling::LogScaler;
+use qfe::ml::train::Regressor;
+
+fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_shapes_and_associativity_with_identity(m in arb_matrix(8, 8)) {
+        // m · I = m
+        let n = m.cols();
+        let mut identity = Matrix::zeros(n, n);
+        for i in 0..n {
+            identity.set(i, i, 1.0);
+        }
+        let prod = m.matmul(&identity);
+        prop_assert_eq!(&prod, &m);
+    }
+
+    #[test]
+    fn matmul_transpose_b_agrees_with_matmul(
+        (a, b) in (1usize..6, 1usize..6, 1usize..5).prop_flat_map(|(ra, rb, c)| {
+            (
+                prop::collection::vec(-10.0f32..10.0, ra * c)
+                    .prop_map(move |d| Matrix::from_vec(ra, c, d)),
+                prop::collection::vec(-10.0f32..10.0, rb * c)
+                    .prop_map(move |d| Matrix::from_vec(rb, c, d)),
+            )
+        }),
+    ) {
+        // a · bᵀ computed directly vs via an explicit transpose.
+        let direct = a.matmul_transpose_b(&b);
+        let mut bt = Matrix::zeros(b.cols(), b.rows());
+        for r in 0..b.rows() {
+            for c in 0..b.cols() {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        let explicit = a.matmul(&bt);
+        prop_assert_eq!(direct.rows(), explicit.rows());
+        prop_assert_eq!(direct.cols(), explicit.cols());
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn transpose_a_matmul_agrees_with_matmul(
+        (a, b) in (1usize..6, 1usize..5, 1usize..5).prop_flat_map(|(r, ca, cb)| {
+            (
+                prop::collection::vec(-10.0f32..10.0, r * ca)
+                    .prop_map(move |d| Matrix::from_vec(r, ca, d)),
+                prop::collection::vec(-10.0f32..10.0, r * cb)
+                    .prop_map(move |d| Matrix::from_vec(r, cb, d)),
+            )
+        }),
+    ) {
+        let direct = a.transpose_a_matmul(&b);
+        let mut at = Matrix::zeros(a.cols(), a.rows());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        let explicit = at.matmul(&b);
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn scaler_round_trip_and_monotonicity(
+        mut cards in prop::collection::vec(1.0f64..1e9, 2..40),
+        probe in 1.0f64..1e9,
+    ) {
+        let scaler = LogScaler::fit(&cards);
+        // Round trip within the fitted range.
+        cards.sort_by(f64::total_cmp);
+        let (lo, hi) = (cards[0], *cards.last().unwrap());
+        if probe >= lo && probe <= hi {
+            let back = scaler.inverse(scaler.transform(probe));
+            let rel = (back - probe).abs() / probe;
+            prop_assert!(rel < 1e-2, "{} -> {}", probe, back);
+        }
+        // Monotone transform.
+        let (a, b) = (lo, hi);
+        if a < b {
+            prop_assert!(scaler.transform(a) <= scaler.transform(b));
+        }
+        // Inverse is always >= 1 and finite.
+        for y in [-1.0f32, 0.0, 0.5, 1.0, 2.0] {
+            let v = scaler.inverse(y);
+            prop_assert!(v >= 1.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn gbdt_predictions_are_finite_and_bounded_by_label_range(
+        labels in prop::collection::vec(0.0f32..1.0, 30..80),
+        probes in prop::collection::vec(-5.0f32..5.0, 1..10),
+    ) {
+        // One feature equal to the label index: the tree can always fit.
+        let x = Matrix::from_rows(
+            &(0..labels.len()).map(|i| vec![i as f32]).collect::<Vec<_>>(),
+        );
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 10,
+            min_samples_leaf: 2,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &labels);
+        let lo = labels.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = labels.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let span = (hi - lo).max(0.1);
+        for &p in &probes {
+            let y = gb.predict(&[p]);
+            prop_assert!(y.is_finite());
+            // Trees cannot extrapolate beyond the label range (plus slack
+            // for the shrinkage/base interaction).
+            prop_assert!(
+                y >= lo - span && y <= hi + span,
+                "prediction {} outside [{}, {}] ± {}", y, lo, hi, span
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate pipeline tests beyond the core paper path: CSV ingestion,
+//! MSCN end-to-end, grouped estimation, drift behaviour, and model
+//! serialization through the facade API.
+
+use qfe::core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+use qfe::core::metrics::{q_error, ErrorSummary};
+use qfe::core::{parse_single_table_query, CardinalityEstimator, TableId};
+use qfe::data::csv::{parse_csv, CsvType};
+use qfe::data::forest::{generate_forest, ForestConfig};
+use qfe::data::table::Database;
+use qfe::estimators::labels::{label_queries, LabeledQueries};
+use qfe::estimators::LearnedEstimator;
+use qfe::exec::true_cardinality;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::ml::{gbdt_from_bytes, gbdt_to_bytes};
+use qfe::workload::{generate_conjunctive_with_data, ConjunctiveConfig};
+
+#[test]
+fn csv_ingestion_feeds_the_full_pipeline() {
+    // CSV → Database → parser → oracle → featurize → train → estimate.
+    let mut csv = String::from("a,b,label\n");
+    for i in 0..2000 {
+        let a = i % 50;
+        let b = (i / 50) % 40;
+        csv.push_str(&format!("{a},{b},{}\n", if a < 25 { "x" } else { "y" }));
+    }
+    let table = parse_csv(
+        "t",
+        csv.as_bytes(),
+        &[CsvType::Int, CsvType::Int, CsvType::Str],
+        true,
+    )
+    .unwrap();
+    let db = Database::new(vec![table], &[]);
+    let q = parse_single_table_query(db.catalog(), TableId(0), "a < 25 AND b >= 10").unwrap();
+    let truth = true_cardinality(&db, &q).unwrap();
+    assert_eq!(truth, 25 * 30); // a in 0..25, b in 10..40
+
+    // Train a tiny estimator over the CSV-derived catalog.
+    let train = label_queries(
+        &db,
+        generate_conjunctive_with_data(&db, &ConjunctiveConfig::new(TableId(0), 1200, 5)),
+    );
+    let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+    let mut est = LearnedEstimator::new(
+        Box::new(UniversalConjunctionEncoding::new(space, 16)),
+        Box::new(Gbdt::new(GbdtConfig {
+            n_trees: 60,
+            min_samples_leaf: 3,
+            ..GbdtConfig::default()
+        })),
+    );
+    est.fit(&train).unwrap();
+    let e = est.estimate(&q);
+    assert!(
+        q_error(truth as f64, e) < 2.0,
+        "csv-trained estimate {e} vs truth {truth}"
+    );
+}
+
+#[test]
+fn mscn_estimator_full_pipeline_on_forest() {
+    use qfe::core::featurize::mscn::PredicateMode;
+    use qfe::estimators::MscnEstimator;
+    use qfe::ml::mscn::MscnConfig;
+
+    let db = generate_forest(&ForestConfig {
+        rows: 6_000,
+        quantitative_only: true,
+        seed: 77,
+    });
+    let train = label_queries(
+        &db,
+        generate_conjunctive_with_data(&db, &ConjunctiveConfig::new(TableId(0), 2_500, 78)),
+    );
+    let test = label_queries(
+        &db,
+        generate_conjunctive_with_data(&db, &ConjunctiveConfig::new(TableId(0), 400, 79)),
+    );
+    let mut est = MscnEstimator::new(
+        db.catalog(),
+        PredicateMode::PerAttribute {
+            max_buckets: 16,
+            attr_sel: true,
+        },
+        MscnConfig {
+            hidden: 24,
+            epochs: 40,
+            batch_size: 32,
+            learning_rate: 2e-3,
+            seed: 5,
+        },
+    );
+    est.fit(&train).unwrap();
+    let errors: Vec<f64> = test
+        .queries
+        .iter()
+        .zip(&test.cardinalities)
+        .map(|(q, &c)| q_error(c, est.estimate(q)))
+        .collect();
+    let s = ErrorSummary::from_errors(&errors);
+    assert!(s.median < 4.0, "MSCN median {}", s.median);
+}
+
+#[test]
+fn drift_split_changes_output_distribution() {
+    // The paper's motivation for §5.5.1: low-dimensional training queries
+    // have much larger result sizes than high-dimensional test queries.
+    use qfe::workload::drift::drift_split;
+    let db = generate_forest(&ForestConfig {
+        rows: 6_000,
+        quantitative_only: true,
+        seed: 80,
+    });
+    let labeled = label_queries(
+        &db,
+        generate_conjunctive_with_data(&db, &ConjunctiveConfig::new(TableId(0), 3_000, 81)),
+    );
+    let (low, high) = drift_split(&labeled.queries, 2);
+    let mean = |idx: &[usize]| {
+        idx.iter().map(|&i| labeled.cardinalities[i]).sum::<f64>() / idx.len().max(1) as f64
+    };
+    let (m_low, m_high) = (mean(&low), mean(&high));
+    assert!(
+        m_low > m_high * 1.5,
+        "low-dim queries should have larger results: {m_low} vs {m_high}"
+    );
+}
+
+#[test]
+fn serialized_gbdt_survives_the_estimator_round_trip() {
+    let db = generate_forest(&ForestConfig {
+        rows: 4_000,
+        quantitative_only: true,
+        seed: 83,
+    });
+    let labeled: LabeledQueries = label_queries(
+        &db,
+        generate_conjunctive_with_data(&db, &ConjunctiveConfig::new(TableId(0), 1_500, 84)),
+    );
+    let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+    let enc = UniversalConjunctionEncoding::new(space, 16);
+
+    // Train a raw GBDT on the featurized workload.
+    let mut est = LearnedEstimator::new(
+        Box::new(enc.clone()),
+        Box::new(Gbdt::new(GbdtConfig {
+            n_trees: 40,
+            min_samples_leaf: 3,
+            ..GbdtConfig::default()
+        })),
+    );
+    est.fit(&labeled).unwrap();
+    let x = est.featurize_matrix(&labeled.queries).unwrap();
+
+    // Round-trip just the model through bytes and compare raw outputs.
+    let mut gb = Gbdt::new(GbdtConfig {
+        n_trees: 40,
+        min_samples_leaf: 3,
+        ..GbdtConfig::default()
+    });
+    use qfe::ml::scaling::LogScaler;
+    use qfe::ml::train::Regressor;
+    let scaler = LogScaler::fit(&labeled.cardinalities);
+    gb.fit(&x, &scaler.transform_batch(&labeled.cardinalities));
+    let restored = gbdt_from_bytes(&gbdt_to_bytes(&gb)).unwrap();
+    assert_eq!(gb.predict_batch(&x), restored.predict_batch(&x));
+}
