@@ -43,7 +43,9 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
     report.heading("Ablation: ternary ½-marks vs. binary buckets (GB + conj)");
     for ternary in [true, false] {
         let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
-        let enc = UniversalConjunctionEncoding::new(space, scale.buckets).with_ternary(ternary);
+        let enc = UniversalConjunctionEncoding::new(space, scale.buckets)
+            .expect("valid featurizer config")
+            .with_ternary(ternary);
         let mut est = LearnedEstimator::new(
             Box::new(enc),
             Box::new(Gbdt::new(GbdtConfig {
@@ -65,7 +67,8 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
     report.heading("Ablation: log-label transform vs. raw counts (GB + conj)");
     {
         let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
-        let enc = UniversalConjunctionEncoding::new(space, scale.buckets);
+        let enc = UniversalConjunctionEncoding::new(space, scale.buckets)
+            .expect("valid featurizer config");
         let x_train = featurize_all(&enc, &env.conj_train.queries);
         let x_test = featurize_all(&enc, &env.conj_test.queries);
         // Raw labels, normalized only by the max to keep f32 range sane.
@@ -112,7 +115,10 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
     for (trees, depth) in [(10usize, 4usize), (40, 4), (40, 8), (160, 8)] {
         let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
         let mut est = LearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(space, scale.buckets)),
+            Box::new(
+                UniversalConjunctionEncoding::new(space, scale.buckets)
+                    .expect("valid featurizer config"),
+            ),
             Box::new(Gbdt::new(GbdtConfig {
                 n_trees: trees,
                 max_depth: depth,
@@ -139,10 +145,10 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
             }))
         };
         let mut equal_width = LearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(
-                space.clone(),
-                scale.buckets,
-            )),
+            Box::new(
+                UniversalConjunctionEncoding::new(space.clone(), scale.buckets)
+                    .expect("valid featurizer config"),
+            ),
             gbdt(),
         );
         equal_width.fit(&env.conj_train).expect("training");
@@ -184,10 +190,10 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
     {
         let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
         let mut complex = LearnedEstimator::new(
-            Box::new(LimitedDisjunctionEncoding::new(
-                space.clone(),
-                scale.buckets,
-            )),
+            Box::new(
+                LimitedDisjunctionEncoding::new(space.clone(), scale.buckets)
+                    .expect("valid featurizer config"),
+            ),
             Box::new(Gbdt::new(GbdtConfig {
                 n_trees: scale.gbdt_trees,
                 min_samples_leaf: 5,
@@ -203,7 +209,10 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
         // IEP over a conj-only model: train on the conjunctive workload,
         // answer mixed queries by inclusion-exclusion.
         let mut conj = LearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(space, scale.buckets)),
+            Box::new(
+                UniversalConjunctionEncoding::new(space, scale.buckets)
+                    .expect("valid featurizer config"),
+            ),
             Box::new(Gbdt::new(GbdtConfig {
                 n_trees: scale.gbdt_trees,
                 min_samples_leaf: 5,

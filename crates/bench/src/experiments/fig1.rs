@@ -76,7 +76,8 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
         } else {
             (&env.conj_train, &env.conj_test)
         };
-        let mut est = MscnEstimator::new(env.db.catalog(), mode, mscn_cfg.clone());
+        let mut est = MscnEstimator::new(env.db.catalog(), mode, mscn_cfg.clone())
+            .expect("valid featurizer config");
         est.fit(train).expect("MSCN training");
         let errors = q_errors(&est, test);
         report.boxplot(label, &errors);

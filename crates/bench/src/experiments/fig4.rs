@@ -53,7 +53,8 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
             learning_rate: 1e-3,
             seed: 6,
         },
-    );
+    )
+    .expect("valid featurizer config");
     mscn.fit(&env.conj_train).expect("MSCN training");
     for k in ATTR_GROUPS {
         let group = by_attribute_count(&env.conj_test, k);

@@ -43,7 +43,8 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
 
     // Phase 2: featurization.
     let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
-    let qft = LimitedDisjunctionEncoding::new(space, scale.buckets);
+    let qft =
+        LimitedDisjunctionEncoding::new(space, scale.buckets).expect("valid featurizer config");
     let t = Instant::now();
     let mut rows = Vec::with_capacity(labeled.len());
     for q in &labeled.queries {
@@ -58,7 +59,8 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
 
     // Phase 3: training, per model family.
     let x = qfe_ml::matrix::Matrix::from_rows(&rows);
-    let scaler = qfe_ml::scaling::LogScaler::fit(&labeled.cardinalities);
+    let scaler =
+        qfe_ml::scaling::LogScaler::fit(&labeled.cardinalities).expect("valid featurizer config");
     let y = scaler.transform_batch(&labeled.cardinalities);
     for kind in [ModelKind::Gb, ModelKind::Nn] {
         let mut model = make_model(kind, scale, 0);
@@ -83,7 +85,8 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
             learning_rate: 1e-3,
             seed: 2,
         },
-    );
+    )
+    .expect("valid featurizer config");
     let t = Instant::now();
     mscn.fit(&labeled).expect("MSCN training");
     report.line(format!("train MSCN  : {:.2}s", t.elapsed().as_secs_f64()));

@@ -50,10 +50,10 @@ fn group_by_part(env: &ForestEnv, scale: &Scale, report: &mut Report) {
         ),
     );
     let mut est = GroupedLearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(
-            space.clone(),
-            scale.buckets,
-        )),
+        Box::new(
+            UniversalConjunctionEncoding::new(space.clone(), scale.buckets)
+                .expect("valid featurizer config"),
+        ),
         space,
         gbdt(scale),
     );
@@ -134,7 +134,10 @@ fn string_predicate_part(scale: &Scale, report: &mut Report) {
     let train = label_queries(&db, queries);
     let space = AttributeSpace::for_table(db.catalog(), table);
     let mut est = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space, scale.buckets)),
+        Box::new(
+            UniversalConjunctionEncoding::new(space, scale.buckets)
+                .expect("valid featurizer config"),
+        ),
         gbdt(scale),
     );
     est.fit(&train).expect("training");

@@ -29,7 +29,8 @@ pub fn run(env: &ImdbEnv, scale: &Scale) -> String {
         env.db.catalog(),
         PredicateMode::PerPredicate,
         mscn_cfg.clone(),
-    );
+    )
+    .expect("valid featurizer config");
     original.fit(&env.train).expect("MSCN training");
     report.table_row("MSCN w/o mods (global)", &q_errors(&original, &env.suite));
 
@@ -40,7 +41,8 @@ pub fn run(env: &ImdbEnv, scale: &Scale) -> String {
             attr_sel: true,
         },
         mscn_cfg,
-    );
+    )
+    .expect("valid featurizer config");
     modded.fit(&env.train).expect("MSCN training");
     report.table_row("MSCN + conj (global)", &q_errors(&modded, &env.suite));
 

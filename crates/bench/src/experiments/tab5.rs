@@ -39,7 +39,7 @@ pub fn run(env: &ImdbEnv, scale: &Scale) -> String {
         // Footprint of a feature vector over the full catalog space (the
         // widest local model input).
         let space = AttributeSpace::for_catalog(env.db.catalog());
-        let probe = UniversalConjunctionEncoding::new(space, n);
+        let probe = UniversalConjunctionEncoding::new(space, n).expect("valid featurizer config");
         let bytes = probe.dim() * std::mem::size_of::<f32>();
         let est = train_local_models(
             env.db.catalog(),

@@ -78,22 +78,26 @@ pub fn make_featurizer(
     space: AttributeSpace,
     buckets: usize,
     attr_sel: bool,
-) -> Box<dyn Featurizer> {
+) -> Box<dyn Featurizer + Send + Sync> {
     match kind {
         QftKind::Simple => Box::new(SingularPredicateEncoding::new(space)),
         QftKind::Range => Box::new(RangePredicateEncoding::new(space)),
-        QftKind::Conjunctive => {
-            Box::new(UniversalConjunctionEncoding::new(space, buckets).with_attr_sel(attr_sel))
-        }
-        QftKind::Complex => {
-            Box::new(LimitedDisjunctionEncoding::new(space, buckets).with_attr_sel(attr_sel))
-        }
+        QftKind::Conjunctive => Box::new(
+            UniversalConjunctionEncoding::new(space, buckets)
+                .expect("valid featurizer config")
+                .with_attr_sel(attr_sel),
+        ),
+        QftKind::Complex => Box::new(
+            LimitedDisjunctionEncoding::new(space, buckets)
+                .expect("valid featurizer config")
+                .with_attr_sel(attr_sel),
+        ),
     }
 }
 
 /// Build a model of the given kind at the configured scale. `seed` keeps
 /// repeated trainings in one experiment independent yet reproducible.
-pub fn make_model(kind: ModelKind, scale: &Scale, seed: u64) -> Box<dyn Regressor> {
+pub fn make_model(kind: ModelKind, scale: &Scale, seed: u64) -> Box<dyn Regressor + Send + Sync> {
     match kind {
         ModelKind::Gb => Box::new(Gbdt::new(GbdtConfig {
             n_trees: scale.gbdt_trees,

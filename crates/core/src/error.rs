@@ -19,6 +19,12 @@ pub enum QfeError {
     InvalidQuery(String),
     /// A model or estimator was asked to work on inputs of the wrong shape.
     ShapeMismatch { expected: usize, actual: usize },
+    /// A component was constructed with invalid parameters (e.g. zero
+    /// histogram buckets). Replaces the panicking constructor asserts.
+    InvalidConfig(String),
+    /// A model-lifecycle failure: training aborted (empty or non-finite
+    /// labels, diverging loss) or inference was requested before training.
+    Training(String),
 }
 
 impl fmt::Display for QfeError {
@@ -32,11 +38,150 @@ impl fmt::Display for QfeError {
             QfeError::ShapeMismatch { expected, actual } => {
                 write!(f, "shape mismatch: expected {expected}, got {actual}")
             }
+            QfeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            QfeError::Training(msg) => write!(f, "training failure: {msg}"),
         }
     }
 }
 
 impl std::error::Error for QfeError {}
+
+/// Typed failure taxonomy of [`crate::estimator::CardinalityEstimator::try_estimate`].
+///
+/// The paper's evaluation protocol requires every estimator to return a
+/// finite estimate `>= 1` for *any* query (the q-error is undefined
+/// otherwise). `EstimateError` classifies every way an estimator can fail
+/// to meet that contract, so callers — in particular a fallback chain —
+/// can decide per class whether to retry, fall through, or surface the
+/// error. Layered on [`QfeError`] via [`From`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// The estimator (or its underlying model) has not been trained yet.
+    Untrained { estimator: String },
+    /// The query references a table unknown to the estimator's catalog.
+    UnknownTable(String),
+    /// The query references a column unknown to the estimator's catalog.
+    UnknownColumn(String),
+    /// A predicate literal falls outside the attribute's domain or type.
+    OutOfDomain(String),
+    /// The query is outside the estimator's supported class (e.g.
+    /// disjunctions under Universal Conjunction Encoding).
+    UnsupportedQuery(String),
+    /// The estimator produced a non-finite or out-of-protocol value
+    /// (NaN, ±∞, or < 1 where the protocol demands `>= 1`).
+    NonFinite { estimator: String, value: f64 },
+    /// An internal fault (injected chaos, poisoned state, IO corruption).
+    Internal { estimator: String, message: String },
+}
+
+/// Coarse classification of an [`EstimateError`], used for per-stage
+/// fallback statistics. Indexable via [`EstimateErrorKind::as_index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateErrorKind {
+    Untrained,
+    UnknownSchema,
+    OutOfDomain,
+    UnsupportedQuery,
+    NonFinite,
+    Internal,
+}
+
+impl EstimateErrorKind {
+    /// Number of kinds (size of a per-kind counter array).
+    pub const COUNT: usize = 6;
+
+    /// Every kind, in [`as_index`](Self::as_index) order.
+    pub const ALL: [EstimateErrorKind; EstimateErrorKind::COUNT] = [
+        EstimateErrorKind::Untrained,
+        EstimateErrorKind::UnknownSchema,
+        EstimateErrorKind::OutOfDomain,
+        EstimateErrorKind::UnsupportedQuery,
+        EstimateErrorKind::NonFinite,
+        EstimateErrorKind::Internal,
+    ];
+
+    /// Stable index of this kind in `0..COUNT`.
+    pub fn as_index(self) -> usize {
+        match self {
+            EstimateErrorKind::Untrained => 0,
+            EstimateErrorKind::UnknownSchema => 1,
+            EstimateErrorKind::OutOfDomain => 2,
+            EstimateErrorKind::UnsupportedQuery => 3,
+            EstimateErrorKind::NonFinite => 4,
+            EstimateErrorKind::Internal => 5,
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimateErrorKind::Untrained => "untrained",
+            EstimateErrorKind::UnknownSchema => "unknown-schema",
+            EstimateErrorKind::OutOfDomain => "out-of-domain",
+            EstimateErrorKind::UnsupportedQuery => "unsupported-query",
+            EstimateErrorKind::NonFinite => "non-finite",
+            EstimateErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl EstimateError {
+    /// The coarse class of this error.
+    pub fn kind(&self) -> EstimateErrorKind {
+        match self {
+            EstimateError::Untrained { .. } => EstimateErrorKind::Untrained,
+            EstimateError::UnknownTable(_) | EstimateError::UnknownColumn(_) => {
+                EstimateErrorKind::UnknownSchema
+            }
+            EstimateError::OutOfDomain(_) => EstimateErrorKind::OutOfDomain,
+            EstimateError::UnsupportedQuery(_) => EstimateErrorKind::UnsupportedQuery,
+            EstimateError::NonFinite { .. } => EstimateErrorKind::NonFinite,
+            EstimateError::Internal { .. } => EstimateErrorKind::Internal,
+        }
+    }
+}
+
+impl From<QfeError> for EstimateError {
+    fn from(e: QfeError) -> Self {
+        match e {
+            QfeError::UnknownTable(name) => EstimateError::UnknownTable(name),
+            QfeError::UnknownColumn(name) => EstimateError::UnknownColumn(name),
+            QfeError::InvalidLiteral(msg) => EstimateError::OutOfDomain(msg),
+            QfeError::UnsupportedQuery(msg) | QfeError::InvalidQuery(msg) => {
+                EstimateError::UnsupportedQuery(msg)
+            }
+            QfeError::Training(msg) => EstimateError::Untrained { estimator: msg },
+            other @ (QfeError::ShapeMismatch { .. } | QfeError::InvalidConfig(_)) => {
+                EstimateError::Internal {
+                    estimator: String::new(),
+                    message: other.to_string(),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::Untrained { estimator } => {
+                write!(f, "estimator not trained: {estimator}")
+            }
+            EstimateError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            EstimateError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            EstimateError::OutOfDomain(msg) => write!(f, "out-of-domain literal: {msg}"),
+            EstimateError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
+            EstimateError::NonFinite { estimator, value } => {
+                write!(f, "estimator {estimator} produced invalid value {value}")
+            }
+            EstimateError::Internal { estimator, message } => {
+                write!(f, "internal estimator fault ({estimator}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
 
 #[cfg(test)]
 mod tests {
@@ -52,6 +197,65 @@ mod tests {
         };
         assert!(e.to_string().contains("expected 4"));
         assert!(e.to_string().contains("got 7"));
+    }
+
+    #[test]
+    fn estimate_error_classifies_qfe_errors() {
+        let cases = [
+            (
+                QfeError::UnknownTable("t".into()),
+                EstimateErrorKind::UnknownSchema,
+            ),
+            (
+                QfeError::UnknownColumn("c".into()),
+                EstimateErrorKind::UnknownSchema,
+            ),
+            (
+                QfeError::InvalidLiteral("x".into()),
+                EstimateErrorKind::OutOfDomain,
+            ),
+            (
+                QfeError::UnsupportedQuery("or".into()),
+                EstimateErrorKind::UnsupportedQuery,
+            ),
+            (
+                QfeError::InvalidQuery("bad".into()),
+                EstimateErrorKind::UnsupportedQuery,
+            ),
+            (
+                QfeError::Training("untrained".into()),
+                EstimateErrorKind::Untrained,
+            ),
+            (
+                QfeError::InvalidConfig("0 buckets".into()),
+                EstimateErrorKind::Internal,
+            ),
+        ];
+        for (qfe, kind) in cases {
+            let est: EstimateError = qfe.clone().into();
+            assert_eq!(est.kind(), kind, "{qfe:?}");
+        }
+    }
+
+    #[test]
+    fn kind_indices_are_distinct_and_in_range() {
+        let kinds = [
+            EstimateErrorKind::Untrained,
+            EstimateErrorKind::UnknownSchema,
+            EstimateErrorKind::OutOfDomain,
+            EstimateErrorKind::UnsupportedQuery,
+            EstimateErrorKind::NonFinite,
+            EstimateErrorKind::Internal,
+        ];
+        let mut seen = [false; EstimateErrorKind::COUNT];
+        for k in kinds {
+            let i = k.as_index();
+            assert!(i < EstimateErrorKind::COUNT);
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+            assert!(!k.label().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -4,7 +4,42 @@
 //! optimizer consumes estimates) and the estimator implementations (which
 //! need the executor for training labels) can depend on it without a cycle.
 
+use crate::error::EstimateError;
 use crate::query::Query;
+
+/// A cardinality estimate together with its provenance.
+///
+/// Provenance matters in a fault-tolerant pipeline: when estimators are
+/// composed into fallback chains, experiment reports must attribute each
+/// estimate to the stage that actually produced it (a learned model that
+/// silently degrades to a histogram would otherwise corrupt per-estimator
+/// q-error statistics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// The estimated cardinality — always finite and `>= 1`.
+    pub value: f64,
+    /// `name()` of the estimator that produced the value.
+    pub estimator: String,
+    /// How many fallback stages were exhausted before this estimate:
+    /// `0` means the primary estimator answered.
+    pub fallback_depth: usize,
+}
+
+impl Estimate {
+    /// An estimate produced by the primary (depth-0) estimator.
+    pub fn primary(value: f64, estimator: impl Into<String>) -> Self {
+        Estimate {
+            value,
+            estimator: estimator.into(),
+            fallback_depth: 0,
+        }
+    }
+
+    /// True if any fallback stage fired to produce this estimate.
+    pub fn fell_back(&self) -> bool {
+        self.fallback_depth > 0
+    }
+}
 
 /// A cardinality estimator: maps a count query to an estimated result
 /// cardinality.
@@ -18,6 +53,28 @@ pub trait CardinalityEstimator {
 
     /// Estimate the result cardinality of `query`.
     fn estimate(&self, query: &Query) -> f64;
+
+    /// Fallible estimation with provenance.
+    ///
+    /// Where [`estimate`](Self::estimate) must always produce *some*
+    /// number, `try_estimate` surfaces failure as a typed
+    /// [`EstimateError`] so callers (fallback chains, experiment
+    /// harnesses) can react per failure class. Implementations should
+    /// override this when they can classify their own failures; the
+    /// default delegates to `estimate` and converts protocol violations
+    /// (non-finite or `< 1` values) into [`EstimateError::NonFinite`].
+    ///
+    /// Contract: an `Ok` result always carries a finite value `>= 1`.
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let value = self.estimate(query);
+        if !value.is_finite() || value < 1.0 {
+            return Err(EstimateError::NonFinite {
+                estimator: self.name(),
+                value,
+            });
+        }
+        Ok(Estimate::primary(value, self.name()))
+    }
 
     /// Approximate memory footprint of the estimator state in bytes
     /// (Section 5.7 compares estimator sizes).
@@ -34,6 +91,30 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
 
     fn estimate(&self, query: &Query) -> f64 {
         (**self).estimate(query)
+    }
+
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        (**self).try_estimate(query)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+/// Blanket implementation for boxed estimators, so fallback chains can own
+/// heterogeneous stages as `Box<dyn CardinalityEstimator>`.
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        (**self).estimate(query)
+    }
+
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        (**self).try_estimate(query)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -72,5 +153,32 @@ mod tests {
             e.estimate(&Query::single_table(TableId(0), vec![]))
         }
         assert_eq!(takes_estimator(&c), 42.0);
+    }
+
+    #[test]
+    fn default_try_estimate_validates_output() {
+        let q = Query::single_table(TableId(0), vec![]);
+        let ok = Constant(42.0).try_estimate(&q).unwrap();
+        assert_eq!(ok.value, 42.0);
+        assert_eq!(ok.estimator, "constant");
+        assert_eq!(ok.fallback_depth, 0);
+        assert!(!ok.fell_back());
+
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.5, -3.0] {
+            let err = Constant(bad).try_estimate(&q).unwrap_err();
+            assert!(
+                matches!(err, crate::error::EstimateError::NonFinite { .. }),
+                "{bad} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn boxed_estimator_forwards() {
+        let q = Query::single_table(TableId(0), vec![]);
+        let boxed: Box<dyn CardinalityEstimator> = Box::new(Constant(7.0));
+        assert_eq!(boxed.estimate(&q), 7.0);
+        assert_eq!(boxed.try_estimate(&q).unwrap().value, 7.0);
+        assert_eq!(boxed.name(), "constant");
     }
 }

@@ -38,14 +38,22 @@ pub struct LimitedDisjunctionEncoding {
 impl LimitedDisjunctionEncoding {
     /// Build over `space` with at most `max_buckets` entries per attribute
     /// and per-attribute selectivity entries enabled.
-    pub fn new(space: AttributeSpace, max_buckets: usize) -> Self {
-        assert!(max_buckets >= 1, "need at least one bucket per attribute");
-        LimitedDisjunctionEncoding {
+    ///
+    /// # Errors
+    /// [`QfeError::InvalidConfig`] if `max_buckets` is zero — every
+    /// attribute needs at least one bucket.
+    pub fn new(space: AttributeSpace, max_buckets: usize) -> Result<Self, QfeError> {
+        if max_buckets < 1 {
+            return Err(QfeError::InvalidConfig(
+                "complex QFT needs at least one bucket per attribute".into(),
+            ));
+        }
+        Ok(LimitedDisjunctionEncoding {
             space,
             max_buckets,
             attr_sel: true,
             ternary: true,
-        }
+        })
     }
 
     /// Enable/disable the per-attribute selectivity entries.
@@ -172,7 +180,9 @@ mod tests {
     /// A: 0 ½ 1 ½ 1 1 1 ½ 0 0 ½ 1   B: 0 0 0 0 ½ 1 1 1 1 1 1 1   C: 1 1
     #[test]
     fn paper_example_merged_vector() {
-        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12).with_attr_sel(false);
+        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12)
+            .unwrap()
+            .with_attr_sel(false);
         let q = Query::single_table(
             TableId(0),
             vec![
@@ -204,8 +214,8 @@ mod tests {
         // JOB-light contains no disjunctions, hence the paper notes the
         // feature vectors of `complex` and `conjunctive` coincide there.
         let space = paper_space();
-        let complex = LimitedDisjunctionEncoding::new(space.clone(), 12);
-        let conj = UniversalConjunctionEncoding::new(space, 12);
+        let complex = LimitedDisjunctionEncoding::new(space.clone(), 12).unwrap();
+        let conj = UniversalConjunctionEncoding::new(space, 12).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![
@@ -229,7 +239,9 @@ mod tests {
         // Adding a disjunct makes the query less selective: every entry is
         // monotonically non-decreasing in the number of disjuncts.
         let space = paper_space();
-        let enc = LimitedDisjunctionEncoding::new(space, 12).with_attr_sel(false);
+        let enc = LimitedDisjunctionEncoding::new(space, 12)
+            .unwrap()
+            .with_attr_sel(false);
         let disjuncts = [
             PredicateExpr::And(vec![
                 PredicateExpr::leaf(CmpOp::Ge, 0),
@@ -264,7 +276,7 @@ mod tests {
     fn union_selectivity_entry_does_not_double_count() {
         // Two disjuncts covering the identical range: selectivity of the
         // union equals that of a single disjunct.
-        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12);
+        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12).unwrap();
         let range = |lo: i64, hi: i64| {
             PredicateExpr::And(vec![
                 PredicateExpr::leaf(CmpOp::Ge, lo),
@@ -294,7 +306,9 @@ mod tests {
     fn non_dnf_trees_are_normalized() {
         // ((a OR b) AND c) is not in DNF; Algorithm 2 still applies after
         // normalization.
-        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12).with_attr_sel(false);
+        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12)
+            .unwrap()
+            .with_attr_sel(false);
         let nested = Query::single_table(
             TableId(0),
             vec![CompoundPredicate {
@@ -332,7 +346,7 @@ mod tests {
 
     #[test]
     fn no_predicate_attribute_is_all_ones() {
-        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12);
+        let enc = LimitedDisjunctionEncoding::new(paper_space(), 12).unwrap();
         let q = Query::single_table(TableId(0), vec![]);
         let f = enc.featurize(&q).unwrap();
         assert!(f.0.iter().all(|&e| e == 1.0));

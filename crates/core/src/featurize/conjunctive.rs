@@ -43,14 +43,22 @@ impl UniversalConjunctionEncoding {
     /// Build over `space` with at most `max_buckets` entries per attribute
     /// (the paper's `n`; 32–64 is recommended, cf. Section 5.4) and
     /// per-attribute selectivity entries enabled.
-    pub fn new(space: AttributeSpace, max_buckets: usize) -> Self {
-        assert!(max_buckets >= 1, "need at least one bucket per attribute");
-        UniversalConjunctionEncoding {
+    ///
+    /// # Errors
+    /// [`QfeError::InvalidConfig`] if `max_buckets` is zero — every
+    /// attribute needs at least one bucket.
+    pub fn new(space: AttributeSpace, max_buckets: usize) -> Result<Self, QfeError> {
+        if max_buckets < 1 {
+            return Err(QfeError::InvalidConfig(
+                "conjunctive QFT needs at least one bucket per attribute".into(),
+            ));
+        }
+        Ok(UniversalConjunctionEncoding {
             space,
             max_buckets,
             attr_sel: true,
             ternary: true,
-        }
+        })
     }
 
     /// Enable/disable the per-attribute selectivity entries (Table 3
@@ -296,7 +304,9 @@ mod tests {
     /// A: 1 1 1 ½ 0 0 0 0 0 0 0 0   B: 0 0 0 ½ 1 1 ½ 1 1 1 ½ 0   C: 1 1
     #[test]
     fn paper_example_feature_vector() {
-        let enc = UniversalConjunctionEncoding::new(paper_space(), 12).with_attr_sel(false);
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12)
+            .unwrap()
+            .with_attr_sel(false);
         let q = Query::single_table(
             TableId(0),
             vec![
@@ -325,7 +335,7 @@ mod tests {
     /// ~0.48 for B (70/116, the paper rounds to .48); C gets 1.0.
     #[test]
     fn paper_example_selectivity_entries() {
-        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![
@@ -415,7 +425,7 @@ mod tests {
 
     #[test]
     fn no_predicate_attribute_is_all_ones() {
-        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12).unwrap();
         let q = Query::single_table(TableId(0), vec![]);
         let f = enc.featurize(&q).unwrap();
         assert!(f.0.iter().all(|&e| e == 1.0));
@@ -425,7 +435,7 @@ mod tests {
     fn empty_disjunction_is_unsatisfiable_not_unrestricted() {
         // An `Or([])` (e.g. a prefix predicate matching no dictionary
         // entry) must zero its attribute's buckets, not leave them all-one.
-        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![CompoundPredicate {
@@ -443,7 +453,7 @@ mod tests {
 
     #[test]
     fn disjunction_is_rejected() {
-        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![CompoundPredicate {
@@ -462,7 +472,7 @@ mod tests {
 
     #[test]
     fn raw_string_literal_is_rejected() {
-        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![CompoundPredicate::conjunction(
@@ -478,7 +488,7 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let enc = UniversalConjunctionEncoding::new(paper_space(), 32);
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 32).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![CompoundPredicate::conjunction(
@@ -494,7 +504,7 @@ mod tests {
 
     #[test]
     fn offsets_are_consistent_with_dim() {
-        let enc = UniversalConjunctionEncoding::new(paper_space(), 12);
+        let enc = UniversalConjunctionEncoding::new(paper_space(), 12).unwrap();
         let last = enc.space().len() - 1;
         assert_eq!(enc.attr_offset(last) + enc.buckets_of(last) + 1, enc.dim());
     }

@@ -184,8 +184,9 @@ mod tests {
         assert_ne!(f2, f8, "equi-depth buckets separate 2 from 8");
         // Equal-width with the same bucket count cannot: both fall in
         // bucket 0 of 8 over [0, 1000].
-        let ew =
-            crate::featurize::UniversalConjunctionEncoding::new(space(), 8).with_attr_sel(false);
+        let ew = crate::featurize::UniversalConjunctionEncoding::new(space(), 8)
+            .unwrap()
+            .with_attr_sel(false);
         assert_eq!(ew.featurize(&q(2)).unwrap(), ew.featurize(&q(8)).unwrap());
     }
 

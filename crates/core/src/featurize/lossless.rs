@@ -208,7 +208,7 @@ mod tests {
     fn exact_mode_inversion_reproduces_membership() {
         // Lemma 3.2 limit: n >= domain size makes the featurization
         // lossless — the inverted query accepts exactly the same values.
-        let enc = UniversalConjunctionEncoding::new(small_space(), 16);
+        let enc = UniversalConjunctionEncoding::new(small_space(), 16).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![
@@ -262,7 +262,7 @@ mod tests {
         // With coarse buckets the Subset inversion accepts a subset of the
         // original's values and the Superset inversion a superset.
         let space = AttributeSpace::new(vec![(col(0), AttributeDomain::integers(0, 99))]);
-        let enc = UniversalConjunctionEncoding::new(space, 8);
+        let enc = UniversalConjunctionEncoding::new(space, 8).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![CompoundPredicate::conjunction(
@@ -293,7 +293,7 @@ mod tests {
 
     #[test]
     fn unrestricted_attributes_produce_no_predicate() {
-        let enc = UniversalConjunctionEncoding::new(small_space(), 16);
+        let enc = UniversalConjunctionEncoding::new(small_space(), 16).unwrap();
         let q = Query::single_table(TableId(0), vec![]);
         let f = enc.featurize(&q).unwrap();
         let inv = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Subset).unwrap();
@@ -302,7 +302,7 @@ mod tests {
 
     #[test]
     fn empty_selection_inverts_to_unsatisfiable() {
-        let enc = UniversalConjunctionEncoding::new(small_space(), 16);
+        let enc = UniversalConjunctionEncoding::new(small_space(), 16).unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![CompoundPredicate::conjunction(
@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_is_rejected() {
-        let enc = UniversalConjunctionEncoding::new(small_space(), 16);
+        let enc = UniversalConjunctionEncoding::new(small_space(), 16).unwrap();
         let bad = FeatureVec(vec![1.0; 3]);
         assert!(matches!(
             invert_conjunctive(&enc, &bad, TableId(0), InversionMode::Subset),

@@ -78,8 +78,9 @@ pub trait Featurizer: Send + Sync {
 }
 
 /// Boxed featurizers are featurizers, so composite encodings
-/// ([`GroupByEncoding`], [`GlobalTableEncoding`]) can wrap trait objects.
-impl Featurizer for Box<dyn Featurizer> {
+/// ([`GroupByEncoding`], [`GlobalTableEncoding`]) can wrap trait objects
+/// (with or without `Send + Sync` bounds).
+impl<F: Featurizer + ?Sized> Featurizer for Box<F> {
     fn name(&self) -> &'static str {
         self.as_ref().name()
     }

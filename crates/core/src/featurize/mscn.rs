@@ -73,16 +73,24 @@ pub struct MscnFeaturizer {
 
 impl MscnFeaturizer {
     /// Build over all tables/columns/FK-edges of the catalog.
-    pub fn new(catalog: &Catalog, mode: PredicateMode) -> Self {
+    ///
+    /// # Errors
+    /// [`QfeError::InvalidConfig`] if the per-attribute mode is configured
+    /// with zero buckets.
+    pub fn new(catalog: &Catalog, mode: PredicateMode) -> Result<Self, QfeError> {
         if let PredicateMode::PerAttribute { max_buckets, .. } = mode {
-            assert!(max_buckets >= 1, "need at least one bucket per attribute");
+            if max_buckets < 1 {
+                return Err(QfeError::InvalidConfig(
+                    "MSCN per-attribute mode needs at least one bucket per attribute".into(),
+                ));
+            }
         }
-        MscnFeaturizer {
+        Ok(MscnFeaturizer {
             table_count: catalog.table_count(),
             edge_count: catalog.fk_edges().len(),
             space: AttributeSpace::for_catalog(catalog),
             mode,
-        }
+        })
     }
 
     /// Dimension of each table vector.
@@ -338,7 +346,7 @@ mod tests {
     #[test]
     fn per_predicate_sets() {
         let cat = catalog();
-        let enc = MscnFeaturizer::new(&cat, PredicateMode::PerPredicate);
+        let enc = MscnFeaturizer::new(&cat, PredicateMode::PerPredicate).unwrap();
         let sets = enc.featurize(&join_query(), &cat).unwrap();
         assert_eq!(sets.tables.len(), 2);
         assert_eq!(sets.tables[0], vec![1.0, 0.0]);
@@ -364,7 +372,8 @@ mod tests {
                 max_buckets: 8,
                 attr_sel: true,
             },
-        );
+        )
+        .unwrap();
         let sets = enc.featurize(&join_query(), &cat).unwrap();
         // Two predicates on one attribute => a single per-attribute vector.
         assert_eq!(sets.predicates.len(), 1);
@@ -385,7 +394,7 @@ mod tests {
                 ]),
             }],
         );
-        let original = MscnFeaturizer::new(&cat, PredicateMode::PerPredicate);
+        let original = MscnFeaturizer::new(&cat, PredicateMode::PerPredicate).unwrap();
         assert!(matches!(
             original.featurize(&q, &cat),
             Err(QfeError::UnsupportedQuery(_))
@@ -396,14 +405,15 @@ mod tests {
                 max_buckets: 8,
                 attr_sel: true,
             },
-        );
+        )
+        .unwrap();
         assert!(modified.featurize(&q, &cat).is_ok());
     }
 
     #[test]
     fn per_attribute_range_mode() {
         let cat = catalog();
-        let enc = MscnFeaturizer::new(&cat, PredicateMode::PerAttributeRange);
+        let enc = MscnFeaturizer::new(&cat, PredicateMode::PerAttributeRange).unwrap();
         let sets = enc.featurize(&join_query(), &cat).unwrap();
         assert_eq!(sets.predicates.len(), 1);
         assert_eq!(enc.predicate_dim(), 3 + 2);
@@ -431,7 +441,8 @@ mod tests {
                 max_buckets: 8,
                 attr_sel: false,
             },
-        );
+        )
+        .unwrap();
         let q = Query::single_table(
             TableId(0),
             vec![CompoundPredicate::conjunction(
@@ -451,7 +462,7 @@ mod tests {
     #[test]
     fn single_table_query_has_empty_join_set() {
         let cat = catalog();
-        let enc = MscnFeaturizer::new(&cat, PredicateMode::PerPredicate);
+        let enc = MscnFeaturizer::new(&cat, PredicateMode::PerPredicate).unwrap();
         let q = Query::single_table(TableId(0), vec![]);
         let sets = enc.featurize(&q, &cat).unwrap();
         assert!(sets.joins.is_empty());
@@ -462,7 +473,7 @@ mod tests {
     #[test]
     fn non_fk_join_is_rejected() {
         let cat = catalog();
-        let enc = MscnFeaturizer::new(&cat, PredicateMode::PerPredicate);
+        let enc = MscnFeaturizer::new(&cat, PredicateMode::PerPredicate).unwrap();
         let mut q = join_query();
         q.joins[0].right = ColumnRef::new(TableId(0), ColumnId(1));
         assert!(matches!(

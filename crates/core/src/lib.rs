@@ -46,8 +46,8 @@ pub mod query;
 pub mod schema;
 pub mod value;
 
-pub use error::QfeError;
-pub use estimator::CardinalityEstimator;
+pub use error::{EstimateError, EstimateErrorKind, QfeError};
+pub use estimator::{CardinalityEstimator, Estimate};
 pub use parse::{parse_single_table_query, parse_where};
 pub use predicate::{CmpOp, CompoundPredicate, PredicateExpr, SimplePredicate};
 pub use query::{ColumnRef, JoinPredicate, Query, SubSchema};

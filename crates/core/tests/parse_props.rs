@@ -1,0 +1,90 @@
+//! Property test: `parse_where` is total — any input string either parses
+//! into predicates or returns a typed [`QfeError`]; it must never panic,
+//! whatever byte soup a user (or a fuzzer) feeds it.
+
+use proptest::prelude::*;
+use qfe_core::{parse_where, AttributeDomain, Catalog, ColumnMeta, TableId, TableMeta};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableMeta {
+        name: "orders".into(),
+        columns: vec![
+            ColumnMeta {
+                name: "price".into(),
+                domain: AttributeDomain::integers(0, 1000),
+            },
+            ColumnMeta {
+                name: "qty".into(),
+                domain: AttributeDomain::integers(0, 10),
+            },
+        ],
+        row_count: 100,
+    });
+    cat
+}
+
+/// Arbitrary printable-ASCII strings (plus tabs/newlines) up to 64 chars.
+fn arb_ascii() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => 32u8..127u8,
+            1 => Just(b'\t'),
+            1 => Just(b'\n'),
+        ],
+        0..64,
+    )
+    .prop_map(|bytes| String::from_utf8(bytes).expect("ascii is utf8"))
+}
+
+/// Strings assembled from WHERE-clause fragments — syntactically *almost*
+/// right, which probes far deeper into the parser than uniform noise.
+fn arb_fragments() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("price".to_string()),
+        Just("qty".to_string()),
+        Just("nosuchcol".to_string()),
+        Just("<".to_string()),
+        Just("<=".to_string()),
+        Just(">".to_string()),
+        Just(">=".to_string()),
+        Just("=".to_string()),
+        Just("<>".to_string()),
+        Just("AND".to_string()),
+        Just("OR".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        (-2000i64..2000).prop_map(|n| n.to_string()),
+        Just("''".to_string()),
+        Just("'x".to_string()), // unterminated string literal
+    ];
+    proptest::collection::vec(fragment, 0..16).prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(512))]
+
+    #[test]
+    fn parse_where_never_panics_on_ascii(input in arb_ascii()) {
+        let cat = catalog();
+        // Totality is the property: Ok or typed Err, never a panic.
+        let _ = parse_where(&cat, TableId(0), &input);
+    }
+
+    #[test]
+    fn parse_where_never_panics_on_fragment_soup(input in arb_fragments()) {
+        let cat = catalog();
+        let _ = parse_where(&cat, TableId(0), &input);
+    }
+
+    #[test]
+    fn parsed_predicates_reference_known_columns(input in arb_fragments()) {
+        let cat = catalog();
+        if let Ok(preds) = parse_where(&cat, TableId(0), &input) {
+            for p in preds {
+                prop_assert_eq!(p.column.table, TableId(0));
+                prop_assert!(p.column.column.0 < 2, "column out of catalog range");
+            }
+        }
+    }
+}

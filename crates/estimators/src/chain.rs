@@ -1,0 +1,407 @@
+//! Fault-tolerant estimator composition: the fallback chain and the
+//! deterministic fault-injection wrapper used to test it.
+//!
+//! A production optimizer cannot tolerate an estimator that panics or
+//! emits NaN — a single bad estimate poisons the plan search. The
+//! [`FallbackChain`] makes the degradation path explicit: stages are
+//! tried in order (typically learned model → histogram baseline →
+//! sampling → constant floor), the first stage that produces a valid
+//! estimate wins, and every estimate carries provenance
+//! ([`Estimate::fallback_depth`] + the producing stage's name). The chain
+//! itself upholds the hard guarantee: **always `Ok`, always finite,
+//! always `>= 1`, never a panic** — even when a stage violates its own
+//! contract, because the chain re-validates every stage output instead of
+//! trusting it.
+//!
+//! Per-stage hit counters and per-[`EstimateErrorKind`] failure counters
+//! make degradation observable: a deployment where the learned stage
+//! silently answers 2 % of queries with the histogram baseline is a
+//! drifted model, and the counters are how you notice.
+//!
+//! [`ChaosEstimator`] is the adversary: a wrapper that deterministically
+//! (seeded, replayable) makes its inner estimator fail in each of the
+//! ways a real estimator can — typed errors, NaN outputs, and
+//! contract-violating garbage values. The `fault_injection` integration
+//! test drives a chain of chaos-wrapped stages over generated workloads
+//! to check the guarantee holds under any failure combination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qfe_core::error::{EstimateError, EstimateErrorKind};
+use qfe_core::estimator::{CardinalityEstimator, Estimate};
+use qfe_core::Query;
+
+/// Composes estimators into an ordered fallback sequence with an implicit
+/// constant floor (see the module docs).
+pub struct FallbackChain<'a> {
+    stages: Vec<Box<dyn CardinalityEstimator + 'a>>,
+    floor: f64,
+    /// Hits per stage, plus one trailing slot for the floor.
+    stage_hits: Vec<AtomicU64>,
+    /// Stage failures bucketed by [`EstimateErrorKind`].
+    error_counts: [AtomicU64; EstimateErrorKind::COUNT],
+}
+
+impl<'a> FallbackChain<'a> {
+    /// Build a chain over `stages`, tried in order. The implicit final
+    /// stage is a constant floor of `1.0` (the most conservative legal
+    /// estimate), so the chain as a whole is total.
+    pub fn new(stages: Vec<Box<dyn CardinalityEstimator + 'a>>) -> Self {
+        let n = stages.len();
+        FallbackChain {
+            stages,
+            floor: 1.0,
+            stage_hits: (0..=n).map(|_| AtomicU64::new(0)).collect(),
+            error_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Replace the constant floor (clamped to `>= 1` to keep the chain's
+    /// output contract intact).
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        self.floor = if floor.is_finite() {
+            floor.max(1.0)
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Number of estimator stages (excluding the implicit floor).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// How many estimates each stage produced; the final entry is the
+    /// constant floor.
+    pub fn stage_hits(&self) -> Vec<u64> {
+        self.stage_hits
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// How many estimates required at least one fallback (i.e. were not
+    /// answered by the first stage).
+    pub fn fallback_count(&self) -> u64 {
+        self.stage_hits[1..]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Stage failures observed so far, labelled by error class.
+    pub fn error_counts(&self) -> Vec<(&'static str, u64)> {
+        EstimateErrorKind::ALL
+            .iter()
+            .map(|k| {
+                (
+                    k.label(),
+                    self.error_counts[k.as_index()].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    fn record_error(&self, kind: EstimateErrorKind) {
+        self.error_counts[kind.as_index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl CardinalityEstimator for FallbackChain<'_> {
+    fn name(&self) -> String {
+        let mut parts: Vec<String> = self.stages.iter().map(|s| s.name()).collect();
+        parts.push("floor".into());
+        format!("fallback({})", parts.join(" → "))
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        match self.try_estimate(query) {
+            Ok(e) => e.value,
+            // Unreachable: the floor makes the chain total. Still, the
+            // infallible contract must hold even if that invariant is
+            // broken by a future edit.
+            Err(_) => self.floor,
+        }
+    }
+
+    /// Never returns `Err`: the constant floor answers when every real
+    /// stage has failed. The `Result` signature is kept so the chain
+    /// composes as a stage of an outer chain.
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        for (depth, stage) in self.stages.iter().enumerate() {
+            match stage.try_estimate(query) {
+                Ok(est) => {
+                    // Defense in depth: an `Ok` is only trusted after
+                    // re-validation — a buggy (or chaos-injected) stage
+                    // may hand back NaN wrapped in `Ok`.
+                    if est.value.is_finite() && est.value >= 1.0 {
+                        self.stage_hits[depth].fetch_add(1, Ordering::Relaxed);
+                        // Provenance names the *stage* as this chain sees
+                        // it (e.g. `chaos(postgres)`), not whatever label
+                        // the stage put on its own answer — the chain's
+                        // observability story is about its own stages.
+                        return Ok(Estimate {
+                            value: est.value,
+                            estimator: stage.name(),
+                            fallback_depth: depth,
+                        });
+                    }
+                    self.record_error(EstimateErrorKind::NonFinite);
+                }
+                Err(e) => self.record_error(e.kind()),
+            }
+        }
+        let depth = self.stages.len();
+        self.stage_hits[depth].fetch_add(1, Ordering::Relaxed);
+        Ok(Estimate {
+            value: self.floor,
+            estimator: "floor".into(),
+            fallback_depth: depth,
+        })
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.memory_bytes()).sum()
+    }
+}
+
+/// The failure modes [`ChaosEstimator`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorFault {
+    /// `try_estimate` returns a typed [`EstimateError::Internal`].
+    Error,
+    /// The estimator "succeeds" with a NaN value — a contract violation
+    /// that downstream consumers must catch.
+    Nan,
+    /// The estimator "succeeds" with finite garbage below the legal
+    /// minimum (negative cardinality).
+    Garbage,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic fault-injection wrapper around any estimator.
+///
+/// Each call fails independently with probability `rate`; whether call
+/// `n` fails — and with which of the configured faults — is a pure
+/// function of `(seed, n)`, so any failing test case replays exactly.
+pub struct ChaosEstimator<E> {
+    inner: E,
+    faults: Vec<EstimatorFault>,
+    rate: f64,
+    seed: u64,
+    calls: AtomicU64,
+}
+
+impl<E: CardinalityEstimator> ChaosEstimator<E> {
+    /// Wrap `inner`, injecting one of `faults` (chosen deterministically
+    /// per call) with probability `rate` per call. An empty `faults` list
+    /// disables injection.
+    pub fn new(inner: E, faults: Vec<EstimatorFault>, rate: f64, seed: u64) -> Self {
+        ChaosEstimator {
+            inner,
+            faults,
+            rate: rate.clamp(0.0, 1.0),
+            seed,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped estimator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The fault for the next call, if one fires.
+    fn next_fault(&self) -> Option<EstimatorFault> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.faults.is_empty() {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ call.wrapping_mul(0x85EB_CA6B));
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if unit < self.rate {
+            Some(self.faults[(splitmix64(h) % self.faults.len() as u64) as usize])
+        } else {
+            None
+        }
+    }
+}
+
+impl<E: CardinalityEstimator> CardinalityEstimator for ChaosEstimator<E> {
+    fn name(&self) -> String {
+        format!("chaos({})", self.inner.name())
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        match self.next_fault() {
+            None => self.inner.estimate(query),
+            Some(EstimatorFault::Error) | Some(EstimatorFault::Nan) => f64::NAN,
+            Some(EstimatorFault::Garbage) => -1e9,
+        }
+    }
+
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        match self.next_fault() {
+            None => self.inner.try_estimate(query),
+            Some(EstimatorFault::Error) => Err(EstimateError::Internal {
+                estimator: self.name(),
+                message: "injected fault".into(),
+            }),
+            // Nan and Garbage deliberately violate the Ok contract — this
+            // is what a buggy estimator looks like from the outside, and
+            // exactly what the chain's re-validation must absorb.
+            Some(EstimatorFault::Nan) => Ok(Estimate::primary(f64::NAN, self.name())),
+            Some(EstimatorFault::Garbage) => Ok(Estimate::primary(-1e9, self.name())),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::TableId;
+
+    struct Constant(f64);
+
+    impl CardinalityEstimator for Constant {
+        fn name(&self) -> String {
+            "constant".into()
+        }
+
+        fn estimate(&self, _query: &Query) -> f64 {
+            self.0
+        }
+    }
+
+    fn q() -> Query {
+        Query::single_table(TableId(0), vec![])
+    }
+
+    #[test]
+    fn first_valid_stage_wins() {
+        let chain = FallbackChain::new(vec![Box::new(Constant(100.0)), Box::new(Constant(5.0))]);
+        let e = chain.try_estimate(&q()).unwrap();
+        assert_eq!(e.value, 100.0);
+        assert_eq!(e.fallback_depth, 0);
+        assert!(!e.fell_back());
+        assert_eq!(chain.stage_hits(), vec![1, 0, 0]);
+        assert_eq!(chain.fallback_count(), 0);
+    }
+
+    #[test]
+    fn invalid_primary_falls_through_with_provenance() {
+        let chain = FallbackChain::new(vec![
+            Box::new(Constant(f64::NAN)),
+            Box::new(Constant(0.0)), // < 1: also invalid
+            Box::new(Constant(7.0)),
+        ]);
+        let e = chain.try_estimate(&q()).unwrap();
+        assert_eq!(e.value, 7.0);
+        assert_eq!(e.estimator, "constant");
+        assert_eq!(e.fallback_depth, 2);
+        assert!(e.fell_back());
+        assert_eq!(chain.stage_hits(), vec![0, 0, 1, 0]);
+        assert_eq!(chain.fallback_count(), 1);
+        let nonfinite = chain
+            .error_counts()
+            .into_iter()
+            .find(|(label, _)| *label == "non-finite")
+            .map(|(_, n)| n);
+        assert_eq!(nonfinite, Some(2));
+    }
+
+    #[test]
+    fn floor_answers_when_everything_fails() {
+        let chain = FallbackChain::new(vec![Box::new(Constant(f64::NAN))]).with_floor(3.0);
+        let e = chain.try_estimate(&q()).unwrap();
+        assert_eq!(e.value, 3.0);
+        assert_eq!(e.estimator, "floor");
+        assert_eq!(e.fallback_depth, 1);
+        assert_eq!(chain.estimate(&q()), 3.0);
+        // An empty chain is just the floor.
+        let empty = FallbackChain::new(vec![]);
+        assert_eq!(empty.try_estimate(&q()).unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn floor_is_clamped_to_legal_range() {
+        let chain = FallbackChain::new(vec![]).with_floor(0.25);
+        assert_eq!(chain.try_estimate(&q()).unwrap().value, 1.0);
+        let chain = FallbackChain::new(vec![]).with_floor(f64::NAN);
+        assert_eq!(chain.try_estimate(&q()).unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn name_spells_out_the_chain() {
+        let chain = FallbackChain::new(vec![Box::new(Constant(2.0))]);
+        assert_eq!(chain.name(), "fallback(constant → floor)");
+    }
+
+    #[test]
+    fn chaos_zero_rate_is_transparent() {
+        let chaos = ChaosEstimator::new(Constant(42.0), vec![EstimatorFault::Nan], 0.0, 1);
+        for _ in 0..50 {
+            assert_eq!(chaos.try_estimate(&q()).unwrap().value, 42.0);
+        }
+    }
+
+    #[test]
+    fn chaos_full_rate_always_faults() {
+        let chaos = ChaosEstimator::new(Constant(42.0), vec![EstimatorFault::Error], 1.0, 1);
+        for _ in 0..20 {
+            let err = chaos.try_estimate(&q()).unwrap_err();
+            assert_eq!(err.kind(), EstimateErrorKind::Internal);
+        }
+    }
+
+    #[test]
+    fn chaos_is_deterministic_in_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let chaos = ChaosEstimator::new(
+                Constant(42.0),
+                vec![EstimatorFault::Error, EstimatorFault::Nan],
+                0.5,
+                seed,
+            );
+            (0..64).map(|_| chaos.try_estimate(&q()).is_err()).collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn chain_over_chaos_upholds_the_guarantee() {
+        let chain = FallbackChain::new(vec![
+            Box::new(ChaosEstimator::new(
+                Constant(50.0),
+                vec![
+                    EstimatorFault::Error,
+                    EstimatorFault::Nan,
+                    EstimatorFault::Garbage,
+                ],
+                0.9,
+                13,
+            )),
+            Box::new(Constant(5.0)),
+        ]);
+        for _ in 0..200 {
+            let e = chain.try_estimate(&q()).unwrap();
+            assert!(e.value.is_finite() && e.value >= 1.0, "{e:?}");
+        }
+        let hits = chain.stage_hits();
+        assert!(hits[0] > 0, "chaos stage sometimes answers: {hits:?}");
+        assert!(hits[1] > 0, "fallback sometimes fires: {hits:?}");
+        assert_eq!(hits[2], 0, "floor never needed: {hits:?}");
+    }
+}

@@ -132,11 +132,12 @@ fn count_sampled(
 ) -> u64 {
     // Children maps keyed by join value.
     let t = db.table(table);
-    let rows = &sampled
-        .iter()
-        .find(|(tt, _)| *tt == table)
-        .expect("table sampled")
-        .1;
+    // A table missing from the sample set contributes no rows — an empty
+    // count, not a panic (the caller samples every query table, so this
+    // is defensive).
+    let Some((_, rows)) = sampled.iter().find(|(tt, _)| *tt == table) else {
+        return 0;
+    };
     let mut children: Vec<(ColumnId, HashMap<i64, u64>)> = Vec::new();
     for j in &query.joins {
         let (my_col, other) = if j.left.table == table && !visited.contains(&j.right.table) {
@@ -176,11 +177,10 @@ fn count_sampled_map(
     visited: &mut Vec<TableId>,
 ) -> HashMap<i64, u64> {
     let t = db.table(table);
-    let rows = &sampled
-        .iter()
-        .find(|(tt, _)| *tt == table)
-        .expect("table sampled")
-        .1;
+    // Defensive, as in `count_sampled`: missing table → empty map.
+    let Some((_, rows)) = sampled.iter().find(|(tt, _)| *tt == table) else {
+        return HashMap::new();
+    };
     let mut children: Vec<(ColumnId, HashMap<i64, u64>)> = Vec::new();
     for j in &query.joins {
         let (my_col, other) = if j.left.table == table && !visited.contains(&j.right.table) {

@@ -30,11 +30,11 @@ impl GlobalLearnedEstimator {
     /// Wrap `featurizer` (defined over the full catalog attribute space)
     /// with the table-presence encoding and pair it with `model`.
     pub fn new(
-        featurizer: Box<dyn Featurizer>,
-        model: Box<dyn Regressor>,
+        featurizer: Box<dyn Featurizer + Send + Sync>,
+        model: Box<dyn Regressor + Send + Sync>,
         catalog: &Catalog,
     ) -> Self {
-        struct BoxedFeaturizer(Box<dyn Featurizer>);
+        struct BoxedFeaturizer(Box<dyn Featurizer + Send + Sync>);
         impl Featurizer for BoxedFeaturizer {
             fn name(&self) -> &'static str {
                 self.0.name()
@@ -86,21 +86,29 @@ pub struct MscnEstimator {
 
 impl MscnEstimator {
     /// Build an untrained MSCN estimator over `catalog`.
-    pub fn new(catalog: &Catalog, mode: PredicateMode, config: MscnConfig) -> Self {
-        let featurizer = MscnFeaturizer::new(catalog, mode);
+    ///
+    /// # Errors
+    /// [`QfeError::InvalidConfig`] if `mode` is invalid (e.g. a
+    /// per-attribute bucket count of zero).
+    pub fn new(
+        catalog: &Catalog,
+        mode: PredicateMode,
+        config: MscnConfig,
+    ) -> Result<Self, QfeError> {
+        let featurizer = MscnFeaturizer::new(catalog, mode)?;
         let model = Mscn::new(
             config,
             featurizer.table_dim(),
             featurizer.join_dim(),
             featurizer.predicate_dim(),
         );
-        MscnEstimator {
+        Ok(MscnEstimator {
             featurizer,
             catalog: catalog.clone(),
             model,
             scaler: None,
             mode,
-        }
+        })
     }
 
     fn featurize_all(&self, queries: &[Query]) -> Result<Vec<MscnSets>, QfeError> {
@@ -114,7 +122,7 @@ impl MscnEstimator {
     pub fn fit(&mut self, data: &LabeledQueries) -> Result<(), QfeError> {
         assert!(!data.is_empty(), "cannot train on an empty workload");
         let sets = self.featurize_all(&data.queries)?;
-        let scaler = LogScaler::fit(&data.cardinalities);
+        let scaler = LogScaler::fit(&data.cardinalities)?;
         let y = scaler.transform_batch(&data.cardinalities);
         self.model.fit(&sets, &y);
         self.scaler = Some(scaler);
@@ -221,7 +229,7 @@ mod tests {
         let data = workload(&db);
         let space = AttributeSpace::for_catalog(db.catalog());
         let mut est = GlobalLearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(space, 16)),
+            Box::new(UniversalConjunctionEncoding::new(space, 16).unwrap()),
             Box::new(Gbdt::new(GbdtConfig {
                 n_trees: 60,
                 min_samples_leaf: 2,
@@ -258,7 +266,8 @@ mod tests {
                 learning_rate: 3e-3,
                 seed: 1,
             },
-        );
+        )
+        .unwrap();
         est.fit(&data).unwrap();
         let mut errors = Vec::new();
         for lo in [5, 20, 40] {
@@ -280,7 +289,8 @@ mod tests {
             db.catalog(),
             PredicateMode::PerPredicate,
             MscnConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(est.name(), "MSCN w/o mods (global)");
         // Untrained estimates default to 1.
         assert_eq!(est.estimate(&single_table_query(5)), 1.0);
@@ -293,7 +303,8 @@ mod tests {
             db.catalog(),
             PredicateMode::PerPredicate,
             MscnConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(est.memory_bytes() > 0);
     }
 }

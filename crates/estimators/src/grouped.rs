@@ -51,17 +51,17 @@ pub fn label_grouped_queries(db: &Database, queries: Vec<GroupedQuery>) -> Label
 
 /// A grouped-query cardinality estimator: QFT + grouping bits + model.
 pub struct GroupedLearnedEstimator {
-    encoding: GroupByEncoding<Box<dyn Featurizer>>,
-    model: Box<dyn Regressor>,
+    encoding: GroupByEncoding<Box<dyn Featurizer + Send + Sync>>,
+    model: Box<dyn Regressor + Send + Sync>,
     scaler: Option<LogScaler>,
 }
 
 impl GroupedLearnedEstimator {
     /// Pair a selection featurizer (over `space`) with a model.
     pub fn new(
-        featurizer: Box<dyn Featurizer>,
+        featurizer: Box<dyn Featurizer + Send + Sync>,
         space: AttributeSpace,
-        model: Box<dyn Regressor>,
+        model: Box<dyn Regressor + Send + Sync>,
     ) -> Self {
         GroupedLearnedEstimator {
             encoding: GroupByEncoding::new(featurizer, space),
@@ -82,7 +82,7 @@ impl GroupedLearnedEstimator {
     pub fn fit(&mut self, data: &LabeledGroupedQueries) -> Result<(), QfeError> {
         assert!(!data.is_empty(), "cannot train on an empty workload");
         let x = self.featurize_matrix(&data.queries)?;
-        let scaler = LogScaler::fit(&data.group_counts);
+        let scaler = LogScaler::fit(&data.group_counts)?;
         let y = scaler.transform_batch(&data.group_counts);
         self.model.fit(&x, &y);
         self.scaler = Some(scaler);
@@ -135,7 +135,7 @@ mod tests {
         );
         assert!(train.len() > 800, "train size {}", train.len());
         let mut est = GroupedLearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(space.clone(), 16)),
+            Box::new(UniversalConjunctionEncoding::new(space.clone(), 16).unwrap()),
             space,
             Box::new(Gbdt::new(GbdtConfig {
                 n_trees: 80,
@@ -171,7 +171,7 @@ mod tests {
             generate_grouped(db.catalog(), &GroupedConfig::new(table, 2_000, 45)),
         );
         let mut est = GroupedLearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(space.clone(), 16)),
+            Box::new(UniversalConjunctionEncoding::new(space.clone(), 16).unwrap()),
             space,
             Box::new(Gbdt::new(GbdtConfig {
                 n_trees: 60,
@@ -207,7 +207,7 @@ mod tests {
         });
         let space = AttributeSpace::for_table(db.catalog(), TableId(0));
         let est = GroupedLearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(space.clone(), 8)),
+            Box::new(UniversalConjunctionEncoding::new(space.clone(), 8).unwrap()),
             space,
             Box::new(Gbdt::new(GbdtConfig::default())),
         );

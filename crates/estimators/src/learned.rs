@@ -5,9 +5,11 @@
 //! model). The featurizer is the plug-in layer of Section 4 — swapping it
 //! requires no change to the model beyond the input width.
 
-use qfe_core::estimator::CardinalityEstimator;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qfe_core::estimator::{CardinalityEstimator, Estimate};
 use qfe_core::featurize::Featurizer;
-use qfe_core::{QfeError, Query};
+use qfe_core::{EstimateError, QfeError, Query};
 use qfe_ml::matrix::Matrix;
 use qfe_ml::scaling::LogScaler;
 use qfe_ml::train::Regressor;
@@ -16,18 +18,28 @@ use crate::labels::LabeledQueries;
 
 /// A trained (or trainable) QFT × model cardinality estimator.
 pub struct LearnedEstimator {
-    featurizer: Box<dyn Featurizer>,
-    model: Box<dyn Regressor>,
+    featurizer: Box<dyn Featurizer + Send + Sync>,
+    model: Box<dyn Regressor + Send + Sync>,
     scaler: Option<LogScaler>,
+    /// Times [`estimate`](CardinalityEstimator::estimate) degraded to the
+    /// conservative `1.0` instead of a model prediction. The silent part
+    /// of that fallback is the dangerous part — this counter makes it
+    /// observable, and [`try_estimate`](CardinalityEstimator::try_estimate)
+    /// makes it typed.
+    fallbacks: AtomicU64,
 }
 
 impl LearnedEstimator {
     /// Pair a featurizer with an (untrained) model.
-    pub fn new(featurizer: Box<dyn Featurizer>, model: Box<dyn Regressor>) -> Self {
+    pub fn new(
+        featurizer: Box<dyn Featurizer + Send + Sync>,
+        model: Box<dyn Regressor + Send + Sync>,
+    ) -> Self {
         LearnedEstimator {
             featurizer,
             model,
             scaler: None,
+            fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -48,7 +60,7 @@ impl LearnedEstimator {
     pub fn fit(&mut self, data: &LabeledQueries) -> Result<(), QfeError> {
         assert!(!data.is_empty(), "cannot train on an empty workload");
         let x = self.featurize_matrix(&data.queries)?;
-        let scaler = LogScaler::fit(&data.cardinalities);
+        let scaler = LogScaler::fit(&data.cardinalities)?;
         let y = scaler.transform_batch(&data.cardinalities);
         self.model.fit(&x, &y);
         self.scaler = Some(scaler);
@@ -57,11 +69,16 @@ impl LearnedEstimator {
 
     /// Estimate a batch of queries at once (faster than per-query calls
     /// for NN models).
+    ///
+    /// # Errors
+    /// [`QfeError::Training`] if called before [`fit`](Self::fit);
+    /// featurization errors propagate per the configured QFT.
     pub fn estimate_batch(&self, queries: &[Query]) -> Result<Vec<f64>, QfeError> {
-        let scaler = self
-            .scaler
-            .as_ref()
-            .expect("estimate called before fit — train the estimator first");
+        let Some(scaler) = self.scaler.as_ref() else {
+            return Err(QfeError::Training(
+                "estimate called before fit — train the estimator first".into(),
+            ));
+        };
         let x = self.featurize_matrix(queries)?;
         Ok(self
             .model
@@ -80,6 +97,13 @@ impl LearnedEstimator {
     pub fn is_trained(&self) -> bool {
         self.scaler.is_some()
     }
+
+    /// How many times [`estimate`](CardinalityEstimator::estimate) has
+    /// degraded to the conservative `1.0` fallback (untrained model,
+    /// unsupported query, or non-finite model output).
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
 }
 
 impl CardinalityEstimator for LearnedEstimator {
@@ -88,15 +112,37 @@ impl CardinalityEstimator for LearnedEstimator {
     }
 
     fn estimate(&self, query: &Query) -> f64 {
-        let Some(scaler) = &self.scaler else {
-            return 1.0;
-        };
-        match self.featurizer.featurize(query) {
-            Ok(f) => scaler.inverse(self.model.predict(f.as_slice())),
-            // A query outside the QFT's supported class: the defined
-            // behaviour is the most conservative legal estimate.
-            Err(_) => 1.0,
+        // The infallible path is defined as "try, and degrade to the most
+        // conservative legal estimate on any typed failure" — same
+        // classification as `try_estimate`, but the degradation is
+        // counted rather than silent.
+        match self.try_estimate(query) {
+            Ok(est) => est.value,
+            Err(_) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                1.0
+            }
         }
+    }
+
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let Some(scaler) = &self.scaler else {
+            return Err(EstimateError::Untrained {
+                estimator: self.name(),
+            });
+        };
+        let features = self
+            .featurizer
+            .featurize(query)
+            .map_err(EstimateError::from)?;
+        let value = scaler.inverse(self.model.predict(features.as_slice()));
+        if !value.is_finite() || value < 1.0 {
+            return Err(EstimateError::NonFinite {
+                estimator: self.name(),
+                value,
+            });
+        }
+        Ok(Estimate::primary(value, self.name()))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -145,7 +191,7 @@ mod tests {
     fn trained_estimator(db: &Database) -> LearnedEstimator {
         let space = AttributeSpace::for_table(db.catalog(), TableId(0));
         let mut est = LearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(space, 32)),
+            Box::new(UniversalConjunctionEncoding::new(space, 32).unwrap()),
             Box::new(Gbdt::new(GbdtConfig {
                 n_trees: 60,
                 min_samples_leaf: 2,
@@ -221,10 +267,84 @@ mod tests {
         let db = db();
         let space = AttributeSpace::for_table(db.catalog(), TableId(0));
         let est = LearnedEstimator::new(
-            Box::new(UniversalConjunctionEncoding::new(space, 8)),
+            Box::new(UniversalConjunctionEncoding::new(space, 8).unwrap()),
             Box::new(Gbdt::new(GbdtConfig::default())),
         );
         assert_eq!(est.estimate(&range_query(0, 10)), 1.0);
         assert!(!est.is_trained());
+    }
+
+    fn disjunctive_query() -> Query {
+        Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: ColumnRef::new(TableId(0), ColumnId(0)),
+                expr: qfe_core::PredicateExpr::Or(vec![
+                    qfe_core::PredicateExpr::leaf(CmpOp::Eq, 1),
+                    qfe_core::PredicateExpr::leaf(CmpOp::Eq, 2),
+                ]),
+            }],
+        )
+    }
+
+    #[test]
+    fn try_estimate_classifies_untrained() {
+        let db = db();
+        let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+        let est = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, 8).unwrap()),
+            Box::new(Gbdt::new(GbdtConfig::default())),
+        );
+        let err = est.try_estimate(&range_query(0, 10)).unwrap_err();
+        assert!(
+            matches!(err, qfe_core::EstimateError::Untrained { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn try_estimate_classifies_unsupported_query() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let err = est.try_estimate(&disjunctive_query()).unwrap_err();
+        assert_eq!(
+            err.kind(),
+            qfe_core::error::EstimateErrorKind::UnsupportedQuery,
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn try_estimate_success_carries_provenance() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let e = est.try_estimate(&range_query(5, 20)).unwrap();
+        assert!(e.value.is_finite() && e.value >= 1.0);
+        assert_eq!(e.estimator, "GB + conjunctive");
+        assert!(!e.fell_back());
+    }
+
+    #[test]
+    fn fallbacks_are_counted_not_silent() {
+        let db = db();
+        let est = trained_estimator(&db);
+        assert_eq!(est.fallback_count(), 0);
+        let _ = est.estimate(&range_query(5, 20)); // model answers: no fallback
+        assert_eq!(est.fallback_count(), 0);
+        assert_eq!(est.estimate(&disjunctive_query()), 1.0);
+        assert_eq!(est.estimate(&disjunctive_query()), 1.0);
+        assert_eq!(est.fallback_count(), 2);
+    }
+
+    #[test]
+    fn estimate_batch_before_fit_is_a_typed_error() {
+        let db = db();
+        let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+        let est = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, 8).unwrap()),
+            Box::new(Gbdt::new(GbdtConfig::default())),
+        );
+        let err = est.estimate_batch(&[range_query(0, 10)]).unwrap_err();
+        assert!(matches!(err, QfeError::Training(_)), "{err:?}");
     }
 }

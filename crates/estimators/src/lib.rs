@@ -23,7 +23,16 @@
 //! * [`iep`] — inclusion-exclusion estimation of disjunctions (the
 //!   Section 6 strawman: `2^m − 1` sub-estimates per query).
 //! * [`labels`] — labeling utilities (run the oracle over a workload).
+//! * [`chain`] — fault-tolerant composition: [`chain::FallbackChain`]
+//!   (e.g. learned → histogram → sampling → constant floor) with
+//!   per-stage observability, plus the seeded [`chain::ChaosEstimator`]
+//!   fault injector that the robustness tests drive it with.
 
+// Library code must fail with typed errors, never a panic: `unwrap`/`expect`
+// are confined to tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod chain;
 pub mod correlated;
 pub mod global;
 pub mod grouped;
@@ -35,6 +44,7 @@ pub mod postgres;
 pub mod sampling;
 pub mod truth;
 
+pub use chain::{ChaosEstimator, EstimatorFault, FallbackChain};
 pub use correlated::CorrelatedSamplingEstimator;
 pub use global::{GlobalLearnedEstimator, MscnEstimator};
 pub use grouped::GroupedLearnedEstimator;

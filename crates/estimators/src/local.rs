@@ -92,8 +92,8 @@ impl LocalModelEstimator {
         catalog: &Catalog,
         data: &LabeledQueries,
         min_queries: usize,
-        featurizer_factory: &dyn Fn(AttributeSpace) -> Box<dyn Featurizer>,
-        model_factory: &dyn Fn() -> Box<dyn Regressor>,
+        featurizer_factory: &dyn Fn(AttributeSpace) -> Box<dyn Featurizer + Send + Sync>,
+        model_factory: &dyn Fn() -> Box<dyn Regressor + Send + Sync>,
     ) -> Result<Self, QfeError> {
         // Group by sub-schema.
         let mut groups: HashMap<SubSchema, LabeledQueries> = HashMap::new();

@@ -113,11 +113,12 @@ impl SamplingEstimator<'_> {
         visited: &mut Vec<qfe_core::TableId>,
     ) -> u64 {
         let t = self.db.table(table);
-        let rows = &sampled
-            .iter()
-            .find(|(tt, _)| *tt == table)
-            .expect("table sampled")
-            .1;
+        // A table missing from the sample set contributes no rows — an
+        // empty count, not a panic (the caller samples every query table,
+        // so this is defensive).
+        let Some((_, rows)) = sampled.iter().find(|(tt, _)| *tt == table) else {
+            return 0;
+        };
         // Children maps: key → combination count.
         let mut children: Vec<(qfe_core::ColumnId, std::collections::HashMap<i64, u64>)> =
             Vec::new();
@@ -161,11 +162,10 @@ impl SamplingEstimator<'_> {
         visited: &mut Vec<qfe_core::TableId>,
     ) -> std::collections::HashMap<i64, u64> {
         let t = self.db.table(table);
-        let rows = &sampled
-            .iter()
-            .find(|(tt, _)| *tt == table)
-            .expect("table sampled")
-            .1;
+        // Defensive, as in `count_sampled`: missing table → empty map.
+        let Some((_, rows)) = sampled.iter().find(|(tt, _)| *tt == table) else {
+            return std::collections::HashMap::new();
+        };
         let mut children: Vec<(qfe_core::ColumnId, std::collections::HashMap<i64, u64>)> =
             Vec::new();
         for j in &query.joins {

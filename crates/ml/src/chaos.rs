@@ -1,0 +1,196 @@
+//! Deterministic fault injection for regressors.
+//!
+//! [`ChaosRegressor`] wraps any [`Regressor`] and corrupts a seeded,
+//! reproducible subset of its predictions — NaN, ±∞, or absurd garbage
+//! magnitudes. It exists to *test* the robustness layer: the guards in
+//! [`Regressor::try_predict_batch`] and the estimator-level fallback chain
+//! must turn every injected fault into a typed error or a sane fallback,
+//! never a panic and never a silently-wrong estimate.
+//!
+//! Injection is a pure function of `(seed, call index, output index)`, so
+//! a failing test case replays exactly. Nothing here is conditionally
+//! compiled away: chaos wrappers are ordinary estimators, usable from
+//! integration tests and benchmarks alike.
+
+use crate::matrix::Matrix;
+use crate::train::{Regressor, TrainError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The corruption a [`ChaosRegressor`] injects into predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressorFault {
+    /// Replace the prediction with NaN.
+    Nan,
+    /// Replace the prediction with +∞.
+    Infinity,
+    /// Replace the prediction with a finite but absurd magnitude
+    /// (±1e30) — the kind of silent garbage a divergent model emits.
+    Garbage,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in [0, 1) from a hash of the identifying indices.
+fn unit(seed: u64, call: u64, index: u64) -> f64 {
+    let h = splitmix64(seed ^ call.wrapping_mul(0x9E37_79B9) ^ index.wrapping_mul(0x85EB_CA6B));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A [`Regressor`] wrapper that deterministically corrupts a fraction of
+/// predictions (see the module docs).
+#[derive(Debug)]
+pub struct ChaosRegressor<M> {
+    inner: M,
+    fault: RegressorFault,
+    rate: f64,
+    seed: u64,
+    calls: AtomicU64,
+}
+
+impl<M: Regressor> ChaosRegressor<M> {
+    /// Wrap `inner`, corrupting each prediction independently with
+    /// probability `rate` (clamped to [0, 1]), deterministically in `seed`.
+    pub fn new(inner: M, fault: RegressorFault, rate: f64, seed: u64) -> Self {
+        ChaosRegressor {
+            inner,
+            fault,
+            rate: rate.clamp(0.0, 1.0),
+            seed,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped regressor.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    fn corrupted(&self, original: f32) -> f32 {
+        match self.fault {
+            RegressorFault::Nan => f32::NAN,
+            RegressorFault::Infinity => f32::INFINITY,
+            RegressorFault::Garbage => {
+                if original >= 0.0 {
+                    1e30
+                } else {
+                    -1e30
+                }
+            }
+        }
+    }
+}
+
+impl<M: Regressor> Regressor for ChaosRegressor<M> {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        self.inner.fit(x, y);
+    }
+
+    fn try_fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrainError> {
+        self.inner.try_fit(x, y)
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut out = self.inner.predict_batch(x);
+        for (i, v) in out.iter_mut().enumerate() {
+            if unit(self.seed, call, i as u64) < self.rate {
+                *v = self.corrupted(*v);
+            }
+        }
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn model_name(&self) -> &'static str {
+        "chaos"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinearRegression;
+
+    fn fitted_linreg() -> LinearRegression {
+        let x = Matrix::from_rows(&(0..32).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let y: Vec<f32> = (0..32).map(|i| i as f32 * 0.5).collect();
+        let mut m = LinearRegression::new(0);
+        m.fit(&x, &y);
+        m
+    }
+
+    fn probe() -> Matrix {
+        Matrix::from_rows(&(0..64).map(|i| vec![i as f32]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let m = fitted_linreg();
+        let clean = m.predict_batch(&probe());
+        let chaos = ChaosRegressor::new(fitted_linreg(), RegressorFault::Nan, 0.0, 1);
+        assert_eq!(chaos.predict_batch(&probe()), clean);
+    }
+
+    #[test]
+    fn full_rate_corrupts_everything() {
+        let chaos = ChaosRegressor::new(fitted_linreg(), RegressorFault::Nan, 1.0, 1);
+        assert!(chaos.predict_batch(&probe()).iter().all(|v| v.is_nan()));
+        let chaos = ChaosRegressor::new(fitted_linreg(), RegressorFault::Infinity, 1.0, 1);
+        assert!(chaos
+            .predict_batch(&probe())
+            .iter()
+            .all(|v| *v == f32::INFINITY));
+        let chaos = ChaosRegressor::new(fitted_linreg(), RegressorFault::Garbage, 1.0, 1);
+        assert!(chaos
+            .predict_batch(&probe())
+            .iter()
+            .all(|v| v.is_finite() && v.abs() >= 1e29));
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let a = ChaosRegressor::new(fitted_linreg(), RegressorFault::Nan, 0.3, 42);
+        let b = ChaosRegressor::new(fitted_linreg(), RegressorFault::Nan, 0.3, 42);
+        let pa = a.predict_batch(&probe());
+        let pb = b.predict_batch(&probe());
+        let mask_a: Vec<bool> = pa.iter().map(|v| v.is_nan()).collect();
+        let mask_b: Vec<bool> = pb.iter().map(|v| v.is_nan()).collect();
+        assert_eq!(mask_a, mask_b);
+        assert!(mask_a.iter().any(|&m| m), "rate 0.3 over 64 outputs");
+        assert!(!mask_a.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn different_calls_fault_different_positions() {
+        let chaos = ChaosRegressor::new(fitted_linreg(), RegressorFault::Nan, 0.3, 7);
+        let m1: Vec<bool> = chaos
+            .predict_batch(&probe())
+            .iter()
+            .map(|v| v.is_nan())
+            .collect();
+        let m2: Vec<bool> = chaos
+            .predict_batch(&probe())
+            .iter()
+            .map(|v| v.is_nan())
+            .collect();
+        assert_ne!(m1, m2, "fault pattern should vary across calls");
+    }
+
+    #[test]
+    fn try_predict_surfaces_injected_fault_as_typed_error() {
+        let chaos = ChaosRegressor::new(fitted_linreg(), RegressorFault::Nan, 1.0, 3);
+        let err = chaos.try_predict_batch(&probe()).unwrap_err();
+        assert!(
+            matches!(err, TrainError::NonFinitePrediction { .. }),
+            "{err:?}"
+        );
+    }
+}

@@ -315,11 +315,10 @@ impl Gbdt {
 }
 
 impl Gbdt {
-    /// Encode the trained model into the `QFEGB001` byte format (see
-    /// [`crate::serialize`]).
+    /// Encode the trained model into the `QFEGB002` payload (everything
+    /// after the magic + checksum frame; see [`crate::serialize`]).
     pub(crate) fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(24 + self.trees.len() * 64);
-        out.extend_from_slice(crate::serialize::MAGIC);
+        let mut out = Vec::with_capacity(16 + self.trees.len() * 64);
         out.extend_from_slice(&self.base.to_le_bytes());
         out.extend_from_slice(&(self.input_dim as u32).to_le_bytes());
         out.extend_from_slice(&self.config.learning_rate.to_le_bytes());
@@ -350,18 +349,20 @@ impl Gbdt {
         out
     }
 
-    /// Decode a model from the `QFEGB001` byte format. The returned model
-    /// predicts identically to the encoded one; training-only state
-    /// (bins, histograms) is not serialized, so refitting starts fresh.
+    /// Decode a model from the `QFEGB002` payload (the caller —
+    /// [`crate::serialize::gbdt_from_bytes`] — has already verified the
+    /// magic and checksum). The returned model predicts identically to the
+    /// encoded one; training-only state (bins, histograms) is not
+    /// serialized, so refitting starts fresh.
     pub(crate) fn decode(bytes: &[u8]) -> Result<Self, crate::serialize::DecodeError> {
-        use crate::serialize::{DecodeError, Reader, MAGIC};
+        use crate::serialize::{DecodeError, Reader};
         let mut r = Reader::new(bytes);
-        if r.bytes(MAGIC.len())? != MAGIC {
-            return Err(DecodeError::BadMagic);
-        }
         let base = r.f32()?;
         let input_dim = r.u32()? as usize;
         let learning_rate = r.f32()?;
+        if !base.is_finite() || !learning_rate.is_finite() {
+            return Err(DecodeError::Corrupt("non-finite model parameter"));
+        }
         let n_trees = r.u32()? as usize;
         if n_trees == 0 || n_trees > 1_000_000 {
             return Err(DecodeError::Corrupt("implausible tree count"));
@@ -375,7 +376,13 @@ impl Gbdt {
             let mut nodes = Vec::with_capacity(n_nodes);
             for _ in 0..n_nodes {
                 match r.u8()? {
-                    0 => nodes.push(Node::Leaf(r.f32()?)),
+                    0 => {
+                        let v = r.f32()?;
+                        if !v.is_finite() {
+                            return Err(DecodeError::Corrupt("non-finite leaf value"));
+                        }
+                        nodes.push(Node::Leaf(v));
+                    }
                     1 => {
                         let feature = r.u32()?;
                         let threshold = r.f32()?;
@@ -383,6 +390,9 @@ impl Gbdt {
                         let right = r.u32()?;
                         if feature as usize >= input_dim.max(1) {
                             return Err(DecodeError::Corrupt("split feature out of range"));
+                        }
+                        if !threshold.is_finite() {
+                            return Err(DecodeError::Corrupt("non-finite split threshold"));
                         }
                         nodes.push(Node::Split {
                             feature,
@@ -420,10 +430,16 @@ impl Gbdt {
     }
 }
 
-impl Regressor for Gbdt {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
-        assert!(x.rows() > 0, "cannot fit on zero samples");
+impl Gbdt {
+    /// The boosting loop shared by [`Regressor::fit`] (check = false,
+    /// infallible) and [`Regressor::try_fit`] (check = true: the per-round
+    /// squared loss is verified finite and divergence aborts training).
+    fn fit_impl(
+        &mut self,
+        x: &Matrix,
+        y: &[f32],
+        check: bool,
+    ) -> Result<(), crate::train::TrainError> {
         self.input_dim = x.cols();
         self.trees.clear();
         self.base = y.iter().sum::<f32>() / y.len() as f32;
@@ -438,9 +454,14 @@ impl Regressor for Gbdt {
         let n_sampled =
             ((x.cols() as f64 * self.config.colsample).ceil() as usize).clamp(1, x.cols());
 
-        for _ in 0..self.config.n_trees {
+        for round in 0..self.config.n_trees {
+            let mut loss = 0.0f64;
             for i in 0..n {
                 residuals[i] = y[i] - pred[i];
+                loss += (residuals[i] as f64).powi(2);
+            }
+            if check && !loss.is_finite() {
+                return Err(crate::train::TrainError::NonFiniteLoss { round });
             }
             let features: Vec<u32> = if n_sampled == x.cols() {
                 all_features.clone()
@@ -457,6 +478,25 @@ impl Regressor for Gbdt {
             }
             self.trees.push(tree);
         }
+        Ok(())
+    }
+}
+
+impl Regressor for Gbdt {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "cannot fit on zero samples");
+        let _ = self.fit_impl(x, y, false); // check = false: cannot fail
+    }
+
+    fn try_fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), crate::train::TrainError> {
+        crate::train::validate_training_set(x, y)?;
+        // Train a candidate so a mid-training abort cannot leave `self`
+        // half-boosted (provably: `self` is only written on success).
+        let mut candidate = self.clone();
+        candidate.fit_impl(x, y, true)?;
+        *self = candidate;
+        Ok(())
     }
 
     fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
@@ -646,5 +686,50 @@ mod tests {
     fn predict_before_fit_panics() {
         let gb = Gbdt::new(GbdtConfig::default());
         let _ = gb.predict_batch(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn try_fit_matches_fit_on_clean_data() {
+        let (x, y) = toy_problem(300);
+        let cfg = GbdtConfig {
+            n_trees: 10,
+            ..GbdtConfig::default()
+        };
+        let mut a = Gbdt::new(cfg.clone());
+        let mut b = Gbdt::new(cfg);
+        a.fit(&x, &y);
+        b.try_fit(&x, &y).unwrap();
+        assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
+    }
+
+    #[test]
+    fn try_fit_aborts_on_divergence_without_poisoning_state() {
+        // All-f32::MAX labels overflow the base mean to ∞, so the round-0
+        // residuals (and loss) are non-finite.
+        let x = Matrix::from_rows(&(0..4).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let y = vec![f32::MAX; 4];
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 3,
+            min_samples_leaf: 1,
+            ..GbdtConfig::default()
+        });
+        let err = gb.try_fit(&x, &y).unwrap_err();
+        assert!(
+            matches!(err, crate::train::TrainError::NonFiniteLoss { round: 0 }),
+            "{err:?}"
+        );
+        // The model must be untouched — still untrained.
+        assert_eq!(gb.tree_count(), 0);
+    }
+
+    #[test]
+    fn try_fit_rejects_non_finite_features() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![f32::NAN]]);
+        let mut gb = Gbdt::new(GbdtConfig::default());
+        let err = gb.try_fit(&x, &[1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::train::TrainError::NonFiniteFeature { row: 1, col: 0 }
+        );
     }
 }

@@ -19,6 +19,11 @@
 //! deterministic given their seed — a hard requirement, since featurization
 //! + training must satisfy the determinism property of Eq. 4 in the paper.
 
+// Library code must fail with typed errors, never a panic: `unwrap`/`expect`
+// are confined to tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod chaos;
 pub mod gbdt;
 pub mod linreg;
 pub mod matrix;
@@ -28,11 +33,12 @@ pub mod scaling;
 pub mod serialize;
 pub mod train;
 
+pub use chaos::{ChaosRegressor, RegressorFault};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use linreg::LinearRegression;
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};
 pub use mscn::{Mscn, MscnConfig};
 pub use scaling::LogScaler;
-pub use serialize::{gbdt_from_bytes, gbdt_to_bytes};
-pub use train::Regressor;
+pub use serialize::{gbdt_from_bytes, gbdt_to_bytes, DecodeError};
+pub use train::{Regressor, TrainError};

@@ -78,10 +78,11 @@ impl Regressor for LinearRegression {
     }
 
     fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
-        let layer = self
-            .layer
-            .as_ref()
-            .expect("predict called before fit — linear regression has no weights yet");
+        let Some(layer) = self.layer.as_ref() else {
+            // Untrained: emit NaN so `try_predict_batch` surfaces a typed
+            // `NonFinitePrediction` instead of the library panicking.
+            return vec![f32::NAN; x.rows()];
+        };
         assert_eq!(x.cols(), self.input_dim, "input dimension mismatch");
         let out = layer.forward(x);
         (0..out.rows()).map(|r| out.get(r, 0)).collect()
@@ -153,9 +154,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_before_fit_panics() {
+    fn predict_before_fit_is_a_typed_error_not_a_panic() {
         let lr = LinearRegression::new(0);
-        let _ = lr.predict_batch(&Matrix::zeros(1, 1));
+        // The raw path signals "untrained" with NaN...
+        assert!(lr.predict_batch(&Matrix::zeros(1, 1))[0].is_nan());
+        // ...which the checked path converts into a typed error.
+        let err = lr.try_predict_batch(&Matrix::zeros(1, 1)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::train::TrainError::NonFinitePrediction { index: 0 }
+            ),
+            "{err:?}"
+        );
     }
 }

@@ -165,23 +165,27 @@ impl Mlp {
     fn forward_cached(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
         let mut pre = Vec::with_capacity(self.layers.len());
         let mut act = Vec::with_capacity(self.layers.len() + 1);
-        act.push(x.clone());
+        let mut cur = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward(act.last().unwrap());
+            let z = layer.forward(&cur);
             pre.push(z.clone());
+            act.push(cur);
             let mut a = z;
             if i + 1 < self.layers.len() {
                 relu(&mut a);
             }
-            act.push(a);
+            cur = a;
         }
+        act.push(cur);
         (pre, act)
     }
 
     fn train_batch(&mut self, x: &Matrix, y: &[f32]) -> f64 {
         let n = x.rows();
         let (pre, act) = self.forward_cached(x);
-        let output = act.last().unwrap();
+        let Some(output) = act.last() else {
+            return 0.0; // defensive: `forward_cached` always yields >= 1 entry
+        };
         // dL/dZ_last for MSE: 2 (ŷ − y) / n.
         let mut grad = Matrix::zeros(n, 1);
         let mut loss = 0.0f64;
@@ -215,10 +219,16 @@ impl Mlp {
     }
 }
 
-impl Regressor for Mlp {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
-        assert!(x.rows() > 0, "cannot fit on zero samples");
+impl Mlp {
+    /// The optimization loop shared by [`Regressor::fit`] (check = false,
+    /// infallible) and [`Regressor::try_fit`] (check = true: every
+    /// mini-batch loss is verified finite; Adam divergence aborts).
+    fn fit_impl(
+        &mut self,
+        x: &Matrix,
+        y: &[f32],
+        check: bool,
+    ) -> Result<(), crate::train::TrainError> {
         self.build(x.cols());
         let n = x.rows();
         let bs = self.config.batch_size.clamp(1, n);
@@ -230,9 +240,31 @@ impl Regressor for Mlp {
             for chunk in order.chunks(bs) {
                 let bx = x.gather_rows(chunk);
                 let by: Vec<f32> = chunk.iter().map(|&i| y[i]).collect();
-                self.train_batch(&bx, &by);
+                let loss = self.train_batch(&bx, &by);
+                if check && !loss.is_finite() {
+                    return Err(crate::train::TrainError::NonFiniteLoss { round: epoch });
+                }
             }
         }
+        Ok(())
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "cannot fit on zero samples");
+        let _ = self.fit_impl(x, y, false); // check = false: cannot fail
+    }
+
+    fn try_fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), crate::train::TrainError> {
+        crate::train::validate_training_set(x, y)?;
+        // Train a candidate so divergence cannot leave `self` with
+        // NaN-poisoned weights.
+        let mut candidate = self.clone();
+        candidate.fit_impl(x, y, true)?;
+        *self = candidate;
+        Ok(())
     }
 
     fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
@@ -379,6 +411,43 @@ mod tests {
     fn predict_before_fit_panics() {
         let mlp = Mlp::new(MlpConfig::default());
         let _ = mlp.predict_batch(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn try_fit_aborts_on_divergence_without_poisoning_state() {
+        // f32::MAX labels overflow the MSE gradient to ∞; Adam turns that
+        // into NaN weights, so a later batch's loss goes non-finite.
+        let x = Matrix::from_rows(&(0..8).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let y = vec![f32::MAX; 8];
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: vec![4],
+            epochs: 4,
+            batch_size: 4,
+            learning_rate: 1.0,
+            seed: 1,
+        });
+        let err = mlp.try_fit(&x, &y).unwrap_err();
+        assert!(
+            matches!(err, crate::train::TrainError::NonFiniteLoss { .. }),
+            "{err:?}"
+        );
+        // The model must be untouched — still untrained (no layers).
+        assert_eq!(mlp.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn try_fit_matches_fit_on_clean_data() {
+        let (x, y) = toy_problem(64);
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 5,
+            ..MlpConfig::default()
+        };
+        let mut a = Mlp::new(cfg.clone());
+        let mut b = Mlp::new(cfg);
+        a.fit(&x, &y);
+        b.try_fit(&x, &y).unwrap();
+        assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! transformed back and clamped to `>= 1` (the paper's evaluation protocol
 //! guarantees estimates `>= 1`).
 
+use qfe_core::QfeError;
+
 /// Fitted log + min-max transform of cardinality labels.
 #[derive(Debug, Clone)]
 pub struct LogScaler {
@@ -13,13 +15,22 @@ pub struct LogScaler {
 impl LogScaler {
     /// Fit on training cardinalities.
     ///
-    /// # Panics
-    /// Panics on an empty slice.
-    pub fn fit(cardinalities: &[f64]) -> Self {
-        assert!(!cardinalities.is_empty(), "cannot fit scaler on no labels");
+    /// # Errors
+    /// [`QfeError::Training`] on an empty slice (nothing to calibrate
+    /// against) or on non-finite labels (a NaN/∞ label would silently
+    /// poison the normalization range and with it every later estimate).
+    pub fn fit(cardinalities: &[f64]) -> Result<Self, QfeError> {
+        if cardinalities.is_empty() {
+            return Err(QfeError::Training("cannot fit scaler on no labels".into()));
+        }
         let mut log_min = f64::INFINITY;
         let mut log_max = f64::NEG_INFINITY;
-        for &c in cardinalities {
+        for (i, &c) in cardinalities.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(QfeError::Training(format!(
+                    "non-finite cardinality label {c} at index {i}"
+                )));
+            }
             let l = (1.0 + c.max(0.0)).ln();
             log_min = log_min.min(l);
             log_max = log_max.max(l);
@@ -27,7 +38,7 @@ impl LogScaler {
         if log_max <= log_min {
             log_max = log_min + 1.0; // degenerate constant labels
         }
-        LogScaler { log_min, log_max }
+        Ok(LogScaler { log_min, log_max })
     }
 
     /// Transform a cardinality into the normalized log space.
@@ -56,7 +67,7 @@ mod tests {
 
     #[test]
     fn round_trip_within_range() {
-        let scaler = LogScaler::fit(&[1.0, 10.0, 100.0, 100_000.0]);
+        let scaler = LogScaler::fit(&[1.0, 10.0, 100.0, 100_000.0]).unwrap();
         for &c in &[1.0, 5.0, 42.0, 9_999.0, 100_000.0] {
             let back = scaler.inverse(scaler.transform(c));
             let rel = (back - c).abs() / c;
@@ -66,7 +77,7 @@ mod tests {
 
     #[test]
     fn transform_is_monotone() {
-        let scaler = LogScaler::fit(&[1.0, 1_000_000.0]);
+        let scaler = LogScaler::fit(&[1.0, 1_000_000.0]).unwrap();
         let mut prev = f32::NEG_INFINITY;
         for &c in &[1.0, 2.0, 10.0, 500.0, 123_456.0] {
             let t = scaler.transform(c);
@@ -77,26 +88,26 @@ mod tests {
 
     #[test]
     fn training_range_maps_to_unit_interval() {
-        let scaler = LogScaler::fit(&[3.0, 30_000.0]);
+        let scaler = LogScaler::fit(&[3.0, 30_000.0]).unwrap();
         assert_eq!(scaler.transform(3.0), 0.0);
         assert_eq!(scaler.transform(30_000.0), 1.0);
     }
 
     #[test]
     fn inverse_clamps_to_one() {
-        let scaler = LogScaler::fit(&[1.0, 100.0]);
+        let scaler = LogScaler::fit(&[1.0, 100.0]).unwrap();
         assert_eq!(scaler.inverse(-5.0), 1.0);
     }
 
     #[test]
     fn extreme_outputs_do_not_overflow() {
-        let scaler = LogScaler::fit(&[1.0, 100.0]);
+        let scaler = LogScaler::fit(&[1.0, 100.0]).unwrap();
         assert!(scaler.inverse(1e9).is_finite());
     }
 
     #[test]
     fn constant_labels_do_not_divide_by_zero() {
-        let scaler = LogScaler::fit(&[7.0, 7.0, 7.0]);
+        let scaler = LogScaler::fit(&[7.0, 7.0, 7.0]).unwrap();
         let t = scaler.transform(7.0);
         assert!(t.is_finite());
         let back = scaler.inverse(t);
@@ -105,8 +116,23 @@ mod tests {
 
     #[test]
     fn batch_matches_scalar() {
-        let scaler = LogScaler::fit(&[1.0, 1000.0]);
+        let scaler = LogScaler::fit(&[1.0, 1000.0]).unwrap();
         let batch = scaler.transform_batch(&[1.0, 10.0, 1000.0]);
         assert_eq!(batch[1], scaler.transform(10.0));
+    }
+
+    #[test]
+    fn empty_labels_are_a_typed_error() {
+        let err = LogScaler::fit(&[]).unwrap_err();
+        assert!(matches!(err, QfeError::Training(_)), "{err:?}");
+    }
+
+    #[test]
+    fn non_finite_labels_are_a_typed_error() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = LogScaler::fit(&[1.0, bad, 3.0]).unwrap_err();
+            assert!(matches!(err, QfeError::Training(_)), "{bad}: {err:?}");
+            assert!(err.to_string().contains("index 1"), "{err}");
+        }
     }
 }

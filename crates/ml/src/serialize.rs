@@ -3,22 +3,34 @@
 //! A trained cardinality estimator must survive a process restart — the
 //! paper's deployment story (Section 5.5.2) reconstructs models on data
 //! drift but reuses them between drifts. The format is a small
-//! little-endian layout with a magic header and explicit versioning; no
-//! external serialization crate is needed.
+//! little-endian layout with a magic header, explicit versioning, and an
+//! FNV-1a content checksum; no external serialization crate is needed.
 //!
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic  "QFEGB001"                     8 bytes
-//! base   f32                            4
-//! input_dim u32                         4
-//! learning_rate f32                     4
-//! n_trees u32                           4
-//! per tree: n_nodes u32, then per node:
-//!   tag u8 (0 = leaf, 1 = split)
-//!   leaf:  value f32
-//!   split: feature u32, threshold f32, left u32, right u32
+//! magic     "QFEGB002"                   8 bytes
+//! checksum  FNV-1a-64 of the payload     8
+//! payload:
+//!   base   f32                           4
+//!   input_dim u32                        4
+//!   learning_rate f32                    4
+//!   n_trees u32                          4
+//!   per tree: n_nodes u32, then per node:
+//!     tag u8 (0 = leaf, 1 = split)
+//!     leaf:  value f32
+//!     split: feature u32, threshold f32, left u32, right u32
 //! ```
+//!
+//! The checksum is verified **before** any structural parsing, so a
+//! bit-flipped or truncated payload is rejected up front — every
+//! single-bit corruption of a serialized model yields a typed
+//! [`DecodeError`], never a mis-parsed model: a flip in the magic is
+//! [`DecodeError::BadMagic`], a flip in the checksum or payload is
+//! [`DecodeError::ChecksumMismatch`]. Structural validation (node tags,
+//! child indices, finiteness of every `f32`) still runs afterwards to
+//! catch hand-crafted or wrongly-assembled inputs whose checksum is
+//! self-consistent.
 
 use crate::gbdt::Gbdt;
 
@@ -29,15 +41,22 @@ pub enum DecodeError {
     BadMagic,
     /// Input ended before the declared structure was complete.
     Truncated,
-    /// A structurally invalid entry (unknown node tag, out-of-range child).
+    /// The stored FNV-1a checksum does not match the payload — the bytes
+    /// were corrupted (bit flip, partial write) after encoding.
+    ChecksumMismatch,
+    /// A structurally invalid entry (unknown node tag, out-of-range child,
+    /// non-finite parameter).
     Corrupt(&'static str),
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::BadMagic => write!(f, "not a QFEGB001 model"),
+            DecodeError::BadMagic => write!(f, "not a QFEGB002 model"),
             DecodeError::Truncated => write!(f, "model bytes truncated"),
+            DecodeError::ChecksumMismatch => {
+                write!(f, "model bytes corrupted (checksum mismatch)")
+            }
             DecodeError::Corrupt(what) => write!(f, "corrupt model: {what}"),
         }
     }
@@ -45,7 +64,19 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-pub(crate) const MAGIC: &[u8; 8] = b"QFEGB001";
+pub(crate) const MAGIC: &[u8; 8] = b"QFEGB002";
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and guaranteed to change
+/// under any single-bit flip of the input (xor-then-multiply by an odd
+/// prime is injective per step).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Cursor helpers shared by the `gbdt` module's encode/decode impls.
 pub(crate) struct Reader<'a> {
@@ -73,11 +104,13 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     pub(crate) fn f32(&mut self) -> Result<f32, DecodeError> {
-        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        let b = self.bytes(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     pub(crate) fn finished(&self) -> bool {
@@ -87,12 +120,35 @@ impl<'a> Reader<'a> {
 
 /// Serialize a trained model; see the module docs for the layout.
 pub fn gbdt_to_bytes(model: &Gbdt) -> Vec<u8> {
-    model.encode()
+    let payload = model.encode();
+    let mut out = Vec::with_capacity(MAGIC.len() + 8 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
 }
 
 /// Deserialize a model previously produced by [`gbdt_to_bytes`].
+///
+/// # Errors
+/// Any corruption of the byte stream — truncation at any offset, any
+/// single-bit flip, trailing garbage — returns a typed [`DecodeError`];
+/// this function never panics and never returns a silently-wrong model.
 pub fn gbdt_from_bytes(bytes: &[u8]) -> Result<Gbdt, DecodeError> {
-    Gbdt::decode(bytes)
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let frame = MAGIC.len() + 8;
+    if bytes.len() < frame {
+        return Err(DecodeError::Truncated);
+    }
+    let c = &bytes[MAGIC.len()..frame];
+    let stored = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+    let payload = &bytes[frame..];
+    if fnv1a64(payload) != stored {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    Gbdt::decode(payload)
 }
 
 #[cfg(test)]
@@ -118,6 +174,16 @@ mod tests {
         });
         gb.fit(&x, &y);
         (gb, x)
+    }
+
+    /// Wrap a hand-crafted payload in a valid magic + checksum frame, so
+    /// tests can exercise the structural validation behind the checksum.
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
     }
 
     #[test]
@@ -154,7 +220,7 @@ mod tests {
     fn truncation_rejected() {
         let (gb, _) = trained();
         let bytes = gbdt_to_bytes(&gb);
-        for cut in [9, bytes.len() / 2, bytes.len() - 1] {
+        for cut in [4, 9, 15, bytes.len() / 2, bytes.len() - 1] {
             assert!(
                 gbdt_from_bytes(&bytes[..cut]).is_err(),
                 "cut at {cut} must fail"
@@ -167,30 +233,65 @@ mod tests {
         let (gb, _) = trained();
         let mut bytes = gbdt_to_bytes(&gb);
         bytes.push(0);
+        // The appended byte is part of the checksummed region, so the
+        // mismatch is caught before parsing.
         assert_eq!(
             gbdt_from_bytes(&bytes).unwrap_err(),
-            DecodeError::Corrupt("trailing bytes")
+            DecodeError::ChecksumMismatch
         );
+    }
+
+    #[test]
+    fn payload_bit_flip_is_checksum_mismatch() {
+        let (gb, _) = trained();
+        let clean = gbdt_to_bytes(&gb);
+        // One flip in the checksum field, one early and one late in the
+        // payload; the exhaustive sweep lives in the corrupt_model
+        // property tests.
+        for pos in [8, 16, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x10;
+            assert_eq!(
+                gbdt_from_bytes(&bytes).unwrap_err(),
+                DecodeError::ChecksumMismatch,
+                "flip at byte {pos}"
+            );
+        }
     }
 
     #[test]
     fn corrupt_child_index_rejected() {
         // Hand-craft a model with a split pointing past the node table.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&0.0f32.to_le_bytes()); // base
-        bytes.extend_from_slice(&1u32.to_le_bytes()); // input_dim
-        bytes.extend_from_slice(&0.1f32.to_le_bytes()); // lr
-        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_trees
-        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_nodes
-        bytes.push(1); // split
-        bytes.extend_from_slice(&0u32.to_le_bytes()); // feature
-        bytes.extend_from_slice(&0.5f32.to_le_bytes()); // threshold
-        bytes.extend_from_slice(&7u32.to_le_bytes()); // left (out of range)
-        bytes.extend_from_slice(&8u32.to_le_bytes()); // right
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0.0f32.to_le_bytes()); // base
+        payload.extend_from_slice(&1u32.to_le_bytes()); // input_dim
+        payload.extend_from_slice(&0.1f32.to_le_bytes()); // lr
+        payload.extend_from_slice(&1u32.to_le_bytes()); // n_trees
+        payload.extend_from_slice(&1u32.to_le_bytes()); // n_nodes
+        payload.push(1); // split
+        payload.extend_from_slice(&0u32.to_le_bytes()); // feature
+        payload.extend_from_slice(&0.5f32.to_le_bytes()); // threshold
+        payload.extend_from_slice(&7u32.to_le_bytes()); // left (out of range)
+        payload.extend_from_slice(&8u32.to_le_bytes()); // right
         assert!(matches!(
-            gbdt_from_bytes(&bytes),
+            gbdt_from_bytes(&frame(&payload)),
             Err(DecodeError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn non_finite_leaf_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0.0f32.to_le_bytes()); // base
+        payload.extend_from_slice(&1u32.to_le_bytes()); // input_dim
+        payload.extend_from_slice(&0.1f32.to_le_bytes()); // lr
+        payload.extend_from_slice(&1u32.to_le_bytes()); // n_trees
+        payload.extend_from_slice(&1u32.to_le_bytes()); // n_nodes
+        payload.push(0); // leaf
+        payload.extend_from_slice(&f32::NAN.to_le_bytes());
+        assert_eq!(
+            gbdt_from_bytes(&frame(&payload)).unwrap_err(),
+            DecodeError::Corrupt("non-finite leaf value")
+        );
     }
 }

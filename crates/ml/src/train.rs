@@ -6,6 +6,82 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::matrix::Matrix;
+use qfe_core::QfeError;
+
+/// Typed training/inference failures.
+///
+/// Every variant names the exact sample (or boosting round) that broke, so
+/// a failed training run on a 100k-query workload is debuggable without a
+/// debugger. `try_fit` guarantees that on `Err` the model is left exactly
+/// as it was before the call — no half-trained state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The training set has zero samples.
+    EmptyTrainingSet,
+    /// Feature row count and label count disagree.
+    ShapeMismatch { rows: usize, labels: usize },
+    /// A feature value is NaN or ±∞.
+    NonFiniteFeature { row: usize, col: usize },
+    /// A target value is NaN or ±∞.
+    NonFiniteLabel { row: usize },
+    /// The training loss went NaN/∞ mid-optimization (diverged).
+    NonFiniteLoss { round: usize },
+    /// A trained model produced a NaN/∞ prediction.
+    NonFinitePrediction { index: usize },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "cannot train on an empty workload"),
+            TrainError::ShapeMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            TrainError::NonFiniteFeature { row, col } => {
+                write!(f, "non-finite feature at row {row}, column {col}")
+            }
+            TrainError::NonFiniteLabel { row } => write!(f, "non-finite label at row {row}"),
+            TrainError::NonFiniteLoss { round } => {
+                write!(f, "training loss went non-finite at round {round}")
+            }
+            TrainError::NonFinitePrediction { index } => {
+                write!(f, "model produced a non-finite prediction at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<TrainError> for QfeError {
+    fn from(e: TrainError) -> Self {
+        QfeError::Training(e.to_string())
+    }
+}
+
+/// Shared input validation for [`Regressor::try_fit`].
+pub fn validate_training_set(x: &Matrix, y: &[f32]) -> Result<(), TrainError> {
+    if x.rows() == 0 {
+        return Err(TrainError::EmptyTrainingSet);
+    }
+    if x.rows() != y.len() {
+        return Err(TrainError::ShapeMismatch {
+            rows: x.rows(),
+            labels: y.len(),
+        });
+    }
+    for row in 0..x.rows() {
+        for (col, &v) in x.row(row).iter().enumerate() {
+            if !v.is_finite() {
+                return Err(TrainError::NonFiniteFeature { row, col });
+            }
+        }
+    }
+    if let Some(row) = y.iter().position(|v| !v.is_finite()) {
+        return Err(TrainError::NonFiniteLabel { row });
+    }
+    Ok(())
+}
 
 /// A trainable regression model over dense feature matrices.
 ///
@@ -25,6 +101,29 @@ pub trait Regressor {
     /// Predict a single sample.
     fn predict(&self, x: &[f32]) -> f32 {
         self.predict_batch(&Matrix::from_rows(&[x.to_vec()]))[0]
+    }
+
+    /// Fallible training: validates shape and finiteness of the inputs
+    /// before fitting, and returns a typed [`TrainError`] instead of
+    /// panicking or silently absorbing NaNs into the weights.
+    ///
+    /// On `Err` the model is unchanged (validation happens before any
+    /// mutation). Models with iterative optimizers override this to also
+    /// abort on mid-training divergence ([`TrainError::NonFiniteLoss`]).
+    fn try_fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrainError> {
+        validate_training_set(x, y)?;
+        self.fit(x, y);
+        Ok(())
+    }
+
+    /// Fallible batch prediction: every output is checked finite, a NaN/∞
+    /// surfaces as [`TrainError::NonFinitePrediction`] naming the sample.
+    fn try_predict_batch(&self, x: &Matrix) -> Result<Vec<f32>, TrainError> {
+        let out = self.predict_batch(x);
+        if let Some(index) = out.iter().position(|v| !v.is_finite()) {
+            return Err(TrainError::NonFinitePrediction { index });
+        }
+        Ok(out)
     }
 
     /// Approximate model size in bytes (Section 5.7 compares footprints).
@@ -98,5 +197,49 @@ mod tests {
     #[should_panic]
     fn mse_rejects_mismatched_lengths() {
         let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn validation_catches_each_failure_mode() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(
+            validate_training_set(&Matrix::zeros(0, 2), &[]),
+            Err(TrainError::EmptyTrainingSet)
+        );
+        assert_eq!(
+            validate_training_set(&x, &[1.0]),
+            Err(TrainError::ShapeMismatch { rows: 2, labels: 1 })
+        );
+        let bad_x = Matrix::from_rows(&[vec![1.0, f32::NAN], vec![3.0, 4.0]]);
+        assert_eq!(
+            validate_training_set(&bad_x, &[1.0, 2.0]),
+            Err(TrainError::NonFiniteFeature { row: 0, col: 1 })
+        );
+        assert_eq!(
+            validate_training_set(&x, &[1.0, f32::INFINITY]),
+            Err(TrainError::NonFiniteLabel { row: 1 })
+        );
+        assert_eq!(validate_training_set(&x, &[1.0, 2.0]), Ok(()));
+    }
+
+    #[test]
+    fn try_fit_rejects_bad_input_without_touching_the_model() {
+        let mut m = crate::linreg::LinearRegression::new(0);
+        let bad_x = Matrix::from_rows(&[vec![f32::NAN]]);
+        assert!(m.try_fit(&bad_x, &[1.0]).is_err());
+        // The model must still be untrained: predict should panic exactly
+        // as it would on a freshly-constructed model.
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert!(m.try_fit(&x, &[1.0, 2.0]).is_ok());
+        assert!(m.try_predict_batch(&x).is_ok());
+    }
+
+    #[test]
+    fn train_error_converts_to_qfe_training_error() {
+        let e: QfeError = TrainError::NonFiniteLoss { round: 7 }.into();
+        assert!(
+            matches!(e, QfeError::Training(ref m) if m.contains("round 7")),
+            "{e:?}"
+        );
     }
 }

@@ -1,0 +1,104 @@
+//! Corruption tests for the GBDT serialization format: **every**
+//! truncation and **every** single-bit flip of a serialized model must be
+//! rejected with a typed [`DecodeError`] — never a panic, never a
+//! silently mis-parsed model. The checksum-before-parse design makes this
+//! provable by exhaustion on a small model, and a property test layers
+//! random multi-byte corruption on top.
+
+use proptest::prelude::*;
+use qfe_ml::gbdt::{Gbdt, GbdtConfig};
+use qfe_ml::matrix::Matrix;
+use qfe_ml::serialize::{gbdt_from_bytes, gbdt_to_bytes};
+use qfe_ml::train::Regressor;
+use std::sync::OnceLock;
+
+/// A small trained model, serialized — shared across cases so the
+/// exhaustive sweeps stay fast.
+fn model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![(i % 17) as f32, (i % 5) as f32])
+            .collect();
+        let y: Vec<f32> = rows.iter().map(|r| r[0] * 0.3 + r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 5,
+            max_depth: 3,
+            max_leaves: 4,
+            min_samples_leaf: 5,
+            ..GbdtConfig::default()
+        });
+        gb.fit(&x, &y);
+        gbdt_to_bytes(&gb)
+    })
+}
+
+#[test]
+fn clean_bytes_round_trip() {
+    assert!(gbdt_from_bytes(model_bytes()).is_ok());
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let bytes = model_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            gbdt_from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} of {} bytes must fail",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let bytes = model_bytes();
+    let mut copy = bytes.to_vec();
+    for byte in 0..bytes.len() {
+        for bit in 0..8u8 {
+            copy[byte] ^= 1 << bit;
+            assert!(
+                gbdt_from_bytes(&copy).is_err(),
+                "bit {bit} of byte {byte} flipped: must fail"
+            );
+            copy[byte] ^= 1 << bit; // restore
+        }
+    }
+    // The restore discipline held: the buffer decodes again.
+    assert_eq!(copy, bytes);
+    assert!(gbdt_from_bytes(&copy).is_ok());
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(256))]
+
+    #[test]
+    fn random_multi_byte_corruption_is_rejected(
+        edits in proptest::collection::vec((0usize..4096, 0u8..255), 1..8)
+    ) {
+        let bytes = model_bytes();
+        let mut copy = bytes.to_vec();
+        let mut changed = false;
+        for (pos, val) in edits {
+            let pos = pos % copy.len();
+            changed |= copy[pos] != val;
+            copy[pos] = val;
+        }
+        prop_assume!(changed);
+        // Decoding must not panic; corruption after the frame must be
+        // detected. (A corrupted byte can never produce a panic, and only
+        // an exact checksum-preserving rewrite could decode — which a
+        // byte-level overwrite of the checksummed payload cannot be,
+        // since FNV-1a is collision-free under these few-byte edits only
+        // with negligible probability; assert Err outright.)
+        prop_assert!(gbdt_from_bytes(&copy).is_err());
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        garbage in proptest::collection::vec(0u8..255, 0..256)
+    ) {
+        let _ = gbdt_from_bytes(&garbage);
+    }
+}

@@ -46,12 +46,14 @@ fn main() {
     // Learned estimators: GB + conj and NN + conj.
     let space = AttributeSpace::for_table(db.catalog(), table);
     let mut gb = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space.clone(), 32)),
+        Box::new(
+            UniversalConjunctionEncoding::new(space.clone(), 32).expect("valid featurizer config"),
+        ),
         Box::new(Gbdt::new(GbdtConfig::default())),
     );
     gb.fit(&train).expect("GB training");
     let mut nn = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space, 32)),
+        Box::new(UniversalConjunctionEncoding::new(space, 32).expect("valid featurizer config")),
         Box::new(Mlp::new(MlpConfig {
             hidden: vec![64, 64],
             epochs: 30,

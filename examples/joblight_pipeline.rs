@@ -47,7 +47,9 @@ fn main() {
         db.catalog(),
         &train,
         20,
-        &|space: AttributeSpace| Box::new(UniversalConjunctionEncoding::new(space, 32)),
+        &|space: AttributeSpace| {
+            Box::new(UniversalConjunctionEncoding::new(space, 32).expect("valid featurizer config"))
+        },
         &|| Box::new(Gbdt::new(GbdtConfig::default())),
     )
     .expect("local training");

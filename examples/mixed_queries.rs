@@ -116,7 +116,7 @@ fn main() {
     let labeled = label_queries(&db, workload);
     println!("labeled {} non-empty training queries", labeled.len());
     let space = AttributeSpace::for_table(catalog, t);
-    let qft = LimitedDisjunctionEncoding::new(space, 48);
+    let qft = LimitedDisjunctionEncoding::new(space, 48).expect("valid featurizer config");
     println!("feature vector dimension: {}", qft.dim());
     let mut learned =
         LearnedEstimator::new(Box::new(qft), Box::new(Gbdt::new(GbdtConfig::default())));

@@ -73,8 +73,12 @@ fn main() {
     let qfts: Vec<Box<dyn Featurizer>> = vec![
         Box::new(SingularPredicateEncoding::new(space.clone())),
         Box::new(RangePredicateEncoding::new(space.clone())),
-        Box::new(UniversalConjunctionEncoding::new(space.clone(), 32)),
-        Box::new(LimitedDisjunctionEncoding::new(space.clone(), 32)),
+        Box::new(
+            UniversalConjunctionEncoding::new(space.clone(), 32).expect("valid featurizer config"),
+        ),
+        Box::new(
+            LimitedDisjunctionEncoding::new(space.clone(), 32).expect("valid featurizer config"),
+        ),
     ];
     println!();
     for qft in &qfts {
@@ -90,7 +94,7 @@ fn main() {
     let workload = generate_conjunctive(catalog, &ConjunctiveConfig::new(table, 3_000, 7));
     let labeled = label_queries(&db, workload);
     let mut estimator = LearnedEstimator::new(
-        Box::new(LimitedDisjunctionEncoding::new(space, 32)),
+        Box::new(LimitedDisjunctionEncoding::new(space, 32).expect("valid featurizer config")),
         Box::new(Gbdt::new(GbdtConfig::default())),
     );
     estimator.fit(&labeled).expect("training succeeds");

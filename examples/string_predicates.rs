@@ -110,7 +110,7 @@ fn main() {
     let labeled = label_queries(&db, queries);
     let space = AttributeSpace::for_table(db.catalog(), table);
     let mut est = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space, 32)),
+        Box::new(UniversalConjunctionEncoding::new(space, 32).expect("valid featurizer config")),
         Box::new(Gbdt::new(GbdtConfig::default())),
     );
     est.fit(&labeled).expect("training");

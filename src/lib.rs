@@ -29,7 +29,7 @@
 //! // A small forest-covertype-shaped dataset and its catalog.
 //! let dataset = generate_forest(&ForestConfig { rows: 1_000, quantitative_only: true, seed: 7 });
 //! let space = AttributeSpace::for_table(dataset.catalog(), TableId(0));
-//! let qft = UniversalConjunctionEncoding::new(space, 32);
+//! let qft = UniversalConjunctionEncoding::new(space, 32).expect("valid featurizer config");
 //!
 //! // SELECT count(*) FROM forest WHERE a0 BETWEEN 50 AND 150
 //! let col = qfe::core::ColumnRef::new(TableId(0), qfe::core::ColumnId(0));

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1de84e3be9b43b50.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1de84e3be9b43b50: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

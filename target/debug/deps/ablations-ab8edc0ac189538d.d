@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ab8edc0ac189538d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-ab8edc0ac189538d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corrupt_model-59b935718ba78b71.d: crates/ml/tests/corrupt_model.rs
+
+/root/repo/target/debug/deps/corrupt_model-59b935718ba78b71: crates/ml/tests/corrupt_model.rs
+
+crates/ml/tests/corrupt_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corrupt_model-f7d2d61d75110928.d: crates/ml/tests/corrupt_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrupt_model-f7d2d61d75110928.rmeta: crates/ml/tests/corrupt_model.rs Cargo.toml
+
+crates/ml/tests/corrupt_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b8f0cbd38897f2a7.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b8f0cbd38897f2a7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_props-047fe6fed5136caa.d: tests/exec_props.rs
+
+/root/repo/target/debug/deps/exec_props-047fe6fed5136caa: tests/exec_props.rs
+
+tests/exec_props.rs:

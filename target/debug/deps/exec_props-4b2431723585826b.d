@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_props-4b2431723585826b.d: tests/exec_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_props-4b2431723585826b.rmeta: tests/exec_props.rs Cargo.toml
+
+tests/exec_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

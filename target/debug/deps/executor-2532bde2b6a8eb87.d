@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor-2532bde2b6a8eb87.d: crates/bench/benches/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor-2532bde2b6a8eb87.rmeta: crates/bench/benches/executor.rs Cargo.toml
+
+crates/bench/benches/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-11ebf6d5d7ac1b7f.d: crates/bench/benches/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-11ebf6d5d7ac1b7f.rmeta: crates/bench/benches/experiments.rs Cargo.toml
+
+crates/bench/benches/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-4eae4fa5dc00b33d.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-4eae4fa5dc00b33d: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/featurization_props-b6d422f339c4a8e5.d: tests/featurization_props.rs
+
+/root/repo/target/debug/deps/featurization_props-b6d422f339c4a8e5: tests/featurization_props.rs
+
+tests/featurization_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/featurization_props-d9cade8c0f5c54d3.d: tests/featurization_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeaturization_props-d9cade8c0f5c54d3.rmeta: tests/featurization_props.rs Cargo.toml
+
+tests/featurization_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/featurize-dca2cb12c6863646.d: crates/bench/benches/featurize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeaturize-dca2cb12c6863646.rmeta: crates/bench/benches/featurize.rs Cargo.toml
+
+crates/bench/benches/featurize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_qft_model_matrix-877994fca7c4b551.d: crates/bench/src/bin/fig1_qft_model_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_qft_model_matrix-877994fca7c4b551.rmeta: crates/bench/src/bin/fig1_qft_model_matrix.rs Cargo.toml
+
+crates/bench/src/bin/fig1_qft_model_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_qft_model_matrix-c2801ba293ed653b.d: crates/bench/src/bin/fig1_qft_model_matrix.rs
+
+/root/repo/target/debug/deps/fig1_qft_model_matrix-c2801ba293ed653b: crates/bench/src/bin/fig1_qft_model_matrix.rs
+
+crates/bench/src/bin/fig1_qft_model_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_qft_model_matrix-d4b36f9e4a8d0d2b.d: crates/bench/src/bin/fig1_qft_model_matrix.rs
+
+/root/repo/target/debug/deps/fig1_qft_model_matrix-d4b36f9e4a8d0d2b: crates/bench/src/bin/fig1_qft_model_matrix.rs
+
+crates/bench/src/bin/fig1_qft_model_matrix.rs:

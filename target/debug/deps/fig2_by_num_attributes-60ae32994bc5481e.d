@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_by_num_attributes-60ae32994bc5481e.d: crates/bench/src/bin/fig2_by_num_attributes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_by_num_attributes-60ae32994bc5481e.rmeta: crates/bench/src/bin/fig2_by_num_attributes.rs Cargo.toml
+
+crates/bench/src/bin/fig2_by_num_attributes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_by_num_attributes-6a3a0a8b88e1ee4a.d: crates/bench/src/bin/fig2_by_num_attributes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_by_num_attributes-6a3a0a8b88e1ee4a.rmeta: crates/bench/src/bin/fig2_by_num_attributes.rs Cargo.toml
+
+crates/bench/src/bin/fig2_by_num_attributes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_by_num_attributes-77ab1d2749c63d13.d: crates/bench/src/bin/fig2_by_num_attributes.rs
+
+/root/repo/target/debug/deps/fig2_by_num_attributes-77ab1d2749c63d13: crates/bench/src/bin/fig2_by_num_attributes.rs
+
+crates/bench/src/bin/fig2_by_num_attributes.rs:

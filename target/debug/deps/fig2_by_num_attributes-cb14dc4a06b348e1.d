@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_by_num_attributes-cb14dc4a06b348e1.d: crates/bench/src/bin/fig2_by_num_attributes.rs
+
+/root/repo/target/debug/deps/fig2_by_num_attributes-cb14dc4a06b348e1: crates/bench/src/bin/fig2_by_num_attributes.rs
+
+crates/bench/src/bin/fig2_by_num_attributes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_by_num_predicates-8913c8bbaa7d574d.d: crates/bench/src/bin/fig3_by_num_predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_by_num_predicates-8913c8bbaa7d574d.rmeta: crates/bench/src/bin/fig3_by_num_predicates.rs Cargo.toml
+
+crates/bench/src/bin/fig3_by_num_predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_by_num_predicates-bd7dd9d7f2184020.d: crates/bench/src/bin/fig3_by_num_predicates.rs
+
+/root/repo/target/debug/deps/fig3_by_num_predicates-bd7dd9d7f2184020: crates/bench/src/bin/fig3_by_num_predicates.rs
+
+crates/bench/src/bin/fig3_by_num_predicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_by_num_predicates-d84a385e3943b009.d: crates/bench/src/bin/fig3_by_num_predicates.rs
+
+/root/repo/target/debug/deps/fig3_by_num_predicates-d84a385e3943b009: crates/bench/src/bin/fig3_by_num_predicates.rs
+
+crates/bench/src/bin/fig3_by_num_predicates.rs:

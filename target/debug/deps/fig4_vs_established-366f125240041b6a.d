@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_vs_established-366f125240041b6a.d: crates/bench/src/bin/fig4_vs_established.rs
+
+/root/repo/target/debug/deps/fig4_vs_established-366f125240041b6a: crates/bench/src/bin/fig4_vs_established.rs
+
+crates/bench/src/bin/fig4_vs_established.rs:

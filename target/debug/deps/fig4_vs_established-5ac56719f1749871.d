@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_vs_established-5ac56719f1749871.d: crates/bench/src/bin/fig4_vs_established.rs
+
+/root/repo/target/debug/deps/fig4_vs_established-5ac56719f1749871: crates/bench/src/bin/fig4_vs_established.rs
+
+crates/bench/src/bin/fig4_vs_established.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_vs_established-f0083a4682c4d13d.d: crates/bench/src/bin/fig4_vs_established.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_vs_established-f0083a4682c4d13d.rmeta: crates/bench/src/bin/fig4_vs_established.rs Cargo.toml
+
+crates/bench/src/bin/fig4_vs_established.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

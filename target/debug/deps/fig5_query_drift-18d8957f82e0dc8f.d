@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_query_drift-18d8957f82e0dc8f.d: crates/bench/src/bin/fig5_query_drift.rs
+
+/root/repo/target/debug/deps/fig5_query_drift-18d8957f82e0dc8f: crates/bench/src/bin/fig5_query_drift.rs
+
+crates/bench/src/bin/fig5_query_drift.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_query_drift-2c43fdca82af7c36.d: crates/bench/src/bin/fig5_query_drift.rs
+
+/root/repo/target/debug/deps/fig5_query_drift-2c43fdca82af7c36: crates/bench/src/bin/fig5_query_drift.rs
+
+crates/bench/src/bin/fig5_query_drift.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_query_drift-8ca14ccc639e0699.d: crates/bench/src/bin/fig5_query_drift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_query_drift-8ca14ccc639e0699.rmeta: crates/bench/src/bin/fig5_query_drift.rs Cargo.toml
+
+crates/bench/src/bin/fig5_query_drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/join_pipeline-65728ce4c5e14f0b.d: tests/join_pipeline.rs
+
+/root/repo/target/debug/deps/join_pipeline-65728ce4c5e14f0b: tests/join_pipeline.rs
+
+tests/join_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/join_pipeline-a9042ae9eff86558.d: tests/join_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjoin_pipeline-a9042ae9eff86558.rmeta: tests/join_pipeline.rs Cargo.toml
+
+tests/join_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

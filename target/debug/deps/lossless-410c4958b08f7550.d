@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossless-410c4958b08f7550.d: tests/lossless.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossless-410c4958b08f7550.rmeta: tests/lossless.rs Cargo.toml
+
+tests/lossless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

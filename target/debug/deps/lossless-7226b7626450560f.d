@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossless-7226b7626450560f.d: tests/lossless.rs
+
+/root/repo/target/debug/deps/lossless-7226b7626450560f: tests/lossless.rs
+
+tests/lossless.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ml_props-33c461f80cf466b7.d: tests/ml_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libml_props-33c461f80cf466b7.rmeta: tests/ml_props.rs Cargo.toml
+
+tests/ml_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

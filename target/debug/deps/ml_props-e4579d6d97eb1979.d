@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ml_props-e4579d6d97eb1979.d: tests/ml_props.rs
+
+/root/repo/target/debug/deps/ml_props-e4579d6d97eb1979: tests/ml_props.rs
+
+tests/ml_props.rs:

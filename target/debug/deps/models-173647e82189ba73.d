@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/models-173647e82189ba73.d: crates/bench/benches/models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels-173647e82189ba73.rmeta: crates/bench/benches/models.rs Cargo.toml
+
+crates/bench/benches/models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

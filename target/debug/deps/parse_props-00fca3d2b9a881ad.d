@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parse_props-00fca3d2b9a881ad.d: crates/core/tests/parse_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparse_props-00fca3d2b9a881ad.rmeta: crates/core/tests/parse_props.rs Cargo.toml
+
+crates/core/tests/parse_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parse_props-c8e1710e4ebf220d.d: crates/core/tests/parse_props.rs
+
+/root/repo/target/debug/deps/parse_props-c8e1710e4ebf220d: crates/core/tests/parse_props.rs
+
+crates/core/tests/parse_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipelines-69600eef9fda1780.d: tests/pipelines.rs
+
+/root/repo/target/debug/deps/pipelines-69600eef9fda1780: tests/pipelines.rs
+
+tests/pipelines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipelines-b2fd2f8aa276a736.d: tests/pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipelines-b2fd2f8aa276a736.rmeta: tests/pipelines.rs Cargo.toml
+
+tests/pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

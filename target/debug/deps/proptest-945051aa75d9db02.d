@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-945051aa75d9db02.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-945051aa75d9db02: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-b028891b92a85252.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b028891b92a85252.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b028891b92a85252.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qfe-420d585889bb4892.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqfe-420d585889bb4892.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqfe-420d585889bb4892.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qfe-66328f5c90d02a32.d: src/lib.rs
+
+/root/repo/target/debug/deps/qfe-66328f5c90d02a32: src/lib.rs
+
+src/lib.rs:

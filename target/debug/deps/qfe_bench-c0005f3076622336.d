@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/qfe_bench-c0005f3076622336.d: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/sec552.rs crates/bench/src/experiments/sec6.rs crates/bench/src/experiments/tab1.rs crates/bench/src/experiments/tab2.rs crates/bench/src/experiments/tab3.rs crates/bench/src/experiments/tab4.rs crates/bench/src/experiments/tab5.rs crates/bench/src/experiments/tab6.rs crates/bench/src/experiments/tab7.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/trainers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqfe_bench-c0005f3076622336.rmeta: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/sec552.rs crates/bench/src/experiments/sec6.rs crates/bench/src/experiments/tab1.rs crates/bench/src/experiments/tab2.rs crates/bench/src/experiments/tab3.rs crates/bench/src/experiments/tab4.rs crates/bench/src/experiments/tab5.rs crates/bench/src/experiments/tab6.rs crates/bench/src/experiments/tab7.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/trainers.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/envs.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/fig1.rs:
+crates/bench/src/experiments/fig2.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/sec552.rs:
+crates/bench/src/experiments/sec6.rs:
+crates/bench/src/experiments/tab1.rs:
+crates/bench/src/experiments/tab2.rs:
+crates/bench/src/experiments/tab3.rs:
+crates/bench/src/experiments/tab4.rs:
+crates/bench/src/experiments/tab5.rs:
+crates/bench/src/experiments/tab6.rs:
+crates/bench/src/experiments/tab7.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/trainers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

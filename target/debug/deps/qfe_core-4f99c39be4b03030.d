@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/qfe_core-4f99c39be4b03030.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/estimator.rs crates/core/src/featurize/mod.rs crates/core/src/featurize/complex.rs crates/core/src/featurize/conjunctive.rs crates/core/src/featurize/equidepth.rs crates/core/src/featurize/groupby.rs crates/core/src/featurize/join.rs crates/core/src/featurize/lossless.rs crates/core/src/featurize/mscn.rs crates/core/src/featurize/range.rs crates/core/src/featurize/simple.rs crates/core/src/featurize/space.rs crates/core/src/interval.rs crates/core/src/metrics.rs crates/core/src/parse.rs crates/core/src/predicate.rs crates/core/src/query.rs crates/core/src/schema.rs crates/core/src/value.rs
+
+/root/repo/target/debug/deps/libqfe_core-4f99c39be4b03030.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/estimator.rs crates/core/src/featurize/mod.rs crates/core/src/featurize/complex.rs crates/core/src/featurize/conjunctive.rs crates/core/src/featurize/equidepth.rs crates/core/src/featurize/groupby.rs crates/core/src/featurize/join.rs crates/core/src/featurize/lossless.rs crates/core/src/featurize/mscn.rs crates/core/src/featurize/range.rs crates/core/src/featurize/simple.rs crates/core/src/featurize/space.rs crates/core/src/interval.rs crates/core/src/metrics.rs crates/core/src/parse.rs crates/core/src/predicate.rs crates/core/src/query.rs crates/core/src/schema.rs crates/core/src/value.rs
+
+/root/repo/target/debug/deps/libqfe_core-4f99c39be4b03030.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/estimator.rs crates/core/src/featurize/mod.rs crates/core/src/featurize/complex.rs crates/core/src/featurize/conjunctive.rs crates/core/src/featurize/equidepth.rs crates/core/src/featurize/groupby.rs crates/core/src/featurize/join.rs crates/core/src/featurize/lossless.rs crates/core/src/featurize/mscn.rs crates/core/src/featurize/range.rs crates/core/src/featurize/simple.rs crates/core/src/featurize/space.rs crates/core/src/interval.rs crates/core/src/metrics.rs crates/core/src/parse.rs crates/core/src/predicate.rs crates/core/src/query.rs crates/core/src/schema.rs crates/core/src/value.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/estimator.rs:
+crates/core/src/featurize/mod.rs:
+crates/core/src/featurize/complex.rs:
+crates/core/src/featurize/conjunctive.rs:
+crates/core/src/featurize/equidepth.rs:
+crates/core/src/featurize/groupby.rs:
+crates/core/src/featurize/join.rs:
+crates/core/src/featurize/lossless.rs:
+crates/core/src/featurize/mscn.rs:
+crates/core/src/featurize/range.rs:
+crates/core/src/featurize/simple.rs:
+crates/core/src/featurize/space.rs:
+crates/core/src/interval.rs:
+crates/core/src/metrics.rs:
+crates/core/src/parse.rs:
+crates/core/src/predicate.rs:
+crates/core/src/query.rs:
+crates/core/src/schema.rs:
+crates/core/src/value.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qfe_data-1a8374468aba29f7.d: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs
+
+/root/repo/target/debug/deps/libqfe_data-1a8374468aba29f7.rlib: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs
+
+/root/repo/target/debug/deps/libqfe_data-1a8374468aba29f7.rmeta: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs
+
+crates/data/src/lib.rs:
+crates/data/src/column.rs:
+crates/data/src/csv.rs:
+crates/data/src/dictionary.rs:
+crates/data/src/forest.rs:
+crates/data/src/generator.rs:
+crates/data/src/histogram.rs:
+crates/data/src/imdb.rs:
+crates/data/src/sample.rs:
+crates/data/src/table.rs:
+crates/data/src/voptimal.rs:

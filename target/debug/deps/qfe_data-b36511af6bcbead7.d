@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qfe_data-b36511af6bcbead7.d: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqfe_data-b36511af6bcbead7.rmeta: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/column.rs:
+crates/data/src/csv.rs:
+crates/data/src/dictionary.rs:
+crates/data/src/forest.rs:
+crates/data/src/generator.rs:
+crates/data/src/histogram.rs:
+crates/data/src/imdb.rs:
+crates/data/src/sample.rs:
+crates/data/src/table.rs:
+crates/data/src/voptimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

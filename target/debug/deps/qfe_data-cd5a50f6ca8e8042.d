@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qfe_data-cd5a50f6ca8e8042.d: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs
+
+/root/repo/target/debug/deps/qfe_data-cd5a50f6ca8e8042: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs
+
+crates/data/src/lib.rs:
+crates/data/src/column.rs:
+crates/data/src/csv.rs:
+crates/data/src/dictionary.rs:
+crates/data/src/forest.rs:
+crates/data/src/generator.rs:
+crates/data/src/histogram.rs:
+crates/data/src/imdb.rs:
+crates/data/src/sample.rs:
+crates/data/src/table.rs:
+crates/data/src/voptimal.rs:

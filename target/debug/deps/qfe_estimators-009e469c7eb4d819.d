@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/qfe_estimators-009e469c7eb4d819.d: crates/estimators/src/lib.rs crates/estimators/src/chain.rs crates/estimators/src/correlated.rs crates/estimators/src/global.rs crates/estimators/src/grouped.rs crates/estimators/src/iep.rs crates/estimators/src/labels.rs crates/estimators/src/learned.rs crates/estimators/src/local.rs crates/estimators/src/postgres.rs crates/estimators/src/sampling.rs crates/estimators/src/truth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqfe_estimators-009e469c7eb4d819.rmeta: crates/estimators/src/lib.rs crates/estimators/src/chain.rs crates/estimators/src/correlated.rs crates/estimators/src/global.rs crates/estimators/src/grouped.rs crates/estimators/src/iep.rs crates/estimators/src/labels.rs crates/estimators/src/learned.rs crates/estimators/src/local.rs crates/estimators/src/postgres.rs crates/estimators/src/sampling.rs crates/estimators/src/truth.rs Cargo.toml
+
+crates/estimators/src/lib.rs:
+crates/estimators/src/chain.rs:
+crates/estimators/src/correlated.rs:
+crates/estimators/src/global.rs:
+crates/estimators/src/grouped.rs:
+crates/estimators/src/iep.rs:
+crates/estimators/src/labels.rs:
+crates/estimators/src/learned.rs:
+crates/estimators/src/local.rs:
+crates/estimators/src/postgres.rs:
+crates/estimators/src/sampling.rs:
+crates/estimators/src/truth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qfe_estimators-d4ddcd64c6922e01.d: crates/estimators/src/lib.rs crates/estimators/src/chain.rs crates/estimators/src/correlated.rs crates/estimators/src/global.rs crates/estimators/src/grouped.rs crates/estimators/src/iep.rs crates/estimators/src/labels.rs crates/estimators/src/learned.rs crates/estimators/src/local.rs crates/estimators/src/postgres.rs crates/estimators/src/sampling.rs crates/estimators/src/truth.rs
+
+/root/repo/target/debug/deps/qfe_estimators-d4ddcd64c6922e01: crates/estimators/src/lib.rs crates/estimators/src/chain.rs crates/estimators/src/correlated.rs crates/estimators/src/global.rs crates/estimators/src/grouped.rs crates/estimators/src/iep.rs crates/estimators/src/labels.rs crates/estimators/src/learned.rs crates/estimators/src/local.rs crates/estimators/src/postgres.rs crates/estimators/src/sampling.rs crates/estimators/src/truth.rs
+
+crates/estimators/src/lib.rs:
+crates/estimators/src/chain.rs:
+crates/estimators/src/correlated.rs:
+crates/estimators/src/global.rs:
+crates/estimators/src/grouped.rs:
+crates/estimators/src/iep.rs:
+crates/estimators/src/labels.rs:
+crates/estimators/src/learned.rs:
+crates/estimators/src/local.rs:
+crates/estimators/src/postgres.rs:
+crates/estimators/src/sampling.rs:
+crates/estimators/src/truth.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qfe_exec-07dbebd1c367952e.d: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs
+
+/root/repo/target/debug/deps/libqfe_exec-07dbebd1c367952e.rlib: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs
+
+/root/repo/target/debug/deps/libqfe_exec-07dbebd1c367952e.rmeta: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/bitmap.rs:
+crates/exec/src/count.rs:
+crates/exec/src/eval.rs:
+crates/exec/src/executor.rs:
+crates/exec/src/join.rs:
+crates/exec/src/optimizer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qfe_exec-dc5fedf061ccf304.d: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqfe_exec-dc5fedf061ccf304.rmeta: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/bitmap.rs:
+crates/exec/src/count.rs:
+crates/exec/src/eval.rs:
+crates/exec/src/executor.rs:
+crates/exec/src/join.rs:
+crates/exec/src/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qfe_exec-de533008f8a56c32.d: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs
+
+/root/repo/target/debug/deps/qfe_exec-de533008f8a56c32: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/bitmap.rs:
+crates/exec/src/count.rs:
+crates/exec/src/eval.rs:
+crates/exec/src/executor.rs:
+crates/exec/src/join.rs:
+crates/exec/src/optimizer.rs:

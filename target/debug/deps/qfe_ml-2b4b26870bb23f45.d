@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qfe_ml-2b4b26870bb23f45.d: crates/ml/src/lib.rs crates/ml/src/chaos.rs crates/ml/src/gbdt.rs crates/ml/src/linreg.rs crates/ml/src/matrix.rs crates/ml/src/mlp.rs crates/ml/src/mscn.rs crates/ml/src/scaling.rs crates/ml/src/serialize.rs crates/ml/src/train.rs
+
+/root/repo/target/debug/deps/libqfe_ml-2b4b26870bb23f45.rlib: crates/ml/src/lib.rs crates/ml/src/chaos.rs crates/ml/src/gbdt.rs crates/ml/src/linreg.rs crates/ml/src/matrix.rs crates/ml/src/mlp.rs crates/ml/src/mscn.rs crates/ml/src/scaling.rs crates/ml/src/serialize.rs crates/ml/src/train.rs
+
+/root/repo/target/debug/deps/libqfe_ml-2b4b26870bb23f45.rmeta: crates/ml/src/lib.rs crates/ml/src/chaos.rs crates/ml/src/gbdt.rs crates/ml/src/linreg.rs crates/ml/src/matrix.rs crates/ml/src/mlp.rs crates/ml/src/mscn.rs crates/ml/src/scaling.rs crates/ml/src/serialize.rs crates/ml/src/train.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/chaos.rs:
+crates/ml/src/gbdt.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/matrix.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/mscn.rs:
+crates/ml/src/scaling.rs:
+crates/ml/src/serialize.rs:
+crates/ml/src/train.rs:

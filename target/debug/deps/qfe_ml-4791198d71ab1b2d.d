@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qfe_ml-4791198d71ab1b2d.d: crates/ml/src/lib.rs crates/ml/src/chaos.rs crates/ml/src/gbdt.rs crates/ml/src/linreg.rs crates/ml/src/matrix.rs crates/ml/src/mlp.rs crates/ml/src/mscn.rs crates/ml/src/scaling.rs crates/ml/src/serialize.rs crates/ml/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqfe_ml-4791198d71ab1b2d.rmeta: crates/ml/src/lib.rs crates/ml/src/chaos.rs crates/ml/src/gbdt.rs crates/ml/src/linreg.rs crates/ml/src/matrix.rs crates/ml/src/mlp.rs crates/ml/src/mscn.rs crates/ml/src/scaling.rs crates/ml/src/serialize.rs crates/ml/src/train.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/chaos.rs:
+crates/ml/src/gbdt.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/matrix.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/mscn.rs:
+crates/ml/src/scaling.rs:
+crates/ml/src/serialize.rs:
+crates/ml/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

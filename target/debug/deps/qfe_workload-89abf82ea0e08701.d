@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qfe_workload-89abf82ea0e08701.d: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs
+
+/root/repo/target/debug/deps/libqfe_workload-89abf82ea0e08701.rlib: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs
+
+/root/repo/target/debug/deps/libqfe_workload-89abf82ea0e08701.rmeta: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/conjunctive.rs:
+crates/workload/src/drift.rs:
+crates/workload/src/grouped.rs:
+crates/workload/src/job_light.rs:
+crates/workload/src/mixed.rs:

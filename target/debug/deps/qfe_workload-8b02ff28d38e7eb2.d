@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qfe_workload-8b02ff28d38e7eb2.d: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs
+
+/root/repo/target/debug/deps/qfe_workload-8b02ff28d38e7eb2: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/conjunctive.rs:
+crates/workload/src/drift.rs:
+crates/workload/src/grouped.rs:
+crates/workload/src/job_light.rs:
+crates/workload/src/mixed.rs:

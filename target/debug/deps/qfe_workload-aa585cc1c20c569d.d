@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qfe_workload-aa585cc1c20c569d.d: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqfe_workload-aa585cc1c20c569d.rmeta: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/conjunctive.rs:
+crates/workload/src/drift.rs:
+crates/workload/src/grouped.rs:
+crates/workload/src/job_light.rs:
+crates/workload/src/mixed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

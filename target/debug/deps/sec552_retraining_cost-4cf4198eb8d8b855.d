@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec552_retraining_cost-4cf4198eb8d8b855.d: crates/bench/src/bin/sec552_retraining_cost.rs
+
+/root/repo/target/debug/deps/sec552_retraining_cost-4cf4198eb8d8b855: crates/bench/src/bin/sec552_retraining_cost.rs
+
+crates/bench/src/bin/sec552_retraining_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec552_retraining_cost-896711b7491230a3.d: crates/bench/src/bin/sec552_retraining_cost.rs
+
+/root/repo/target/debug/deps/sec552_retraining_cost-896711b7491230a3: crates/bench/src/bin/sec552_retraining_cost.rs
+
+crates/bench/src/bin/sec552_retraining_cost.rs:

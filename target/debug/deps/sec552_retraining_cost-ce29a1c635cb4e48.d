@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec552_retraining_cost-ce29a1c635cb4e48.d: crates/bench/src/bin/sec552_retraining_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec552_retraining_cost-ce29a1c635cb4e48.rmeta: crates/bench/src/bin/sec552_retraining_cost.rs Cargo.toml
+
+crates/bench/src/bin/sec552_retraining_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec552_retraining_cost-dc47ab3c60e1575f.d: crates/bench/src/bin/sec552_retraining_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec552_retraining_cost-dc47ab3c60e1575f.rmeta: crates/bench/src/bin/sec552_retraining_cost.rs Cargo.toml
+
+crates/bench/src/bin/sec552_retraining_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec6_extensions-61b9b1a948105ff5.d: crates/bench/src/bin/sec6_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec6_extensions-61b9b1a948105ff5.rmeta: crates/bench/src/bin/sec6_extensions.rs Cargo.toml
+
+crates/bench/src/bin/sec6_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

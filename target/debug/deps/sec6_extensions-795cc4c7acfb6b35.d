@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_extensions-795cc4c7acfb6b35.d: crates/bench/src/bin/sec6_extensions.rs
+
+/root/repo/target/debug/deps/sec6_extensions-795cc4c7acfb6b35: crates/bench/src/bin/sec6_extensions.rs
+
+crates/bench/src/bin/sec6_extensions.rs:

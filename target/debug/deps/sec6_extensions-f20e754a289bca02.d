@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_extensions-f20e754a289bca02.d: crates/bench/src/bin/sec6_extensions.rs
+
+/root/repo/target/debug/deps/sec6_extensions-f20e754a289bca02: crates/bench/src/bin/sec6_extensions.rs
+
+crates/bench/src/bin/sec6_extensions.rs:

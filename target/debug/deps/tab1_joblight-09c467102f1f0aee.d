@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab1_joblight-09c467102f1f0aee.d: crates/bench/src/bin/tab1_joblight.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab1_joblight-09c467102f1f0aee.rmeta: crates/bench/src/bin/tab1_joblight.rs Cargo.toml
+
+crates/bench/src/bin/tab1_joblight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

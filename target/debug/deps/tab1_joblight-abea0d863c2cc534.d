@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab1_joblight-abea0d863c2cc534.d: crates/bench/src/bin/tab1_joblight.rs
+
+/root/repo/target/debug/deps/tab1_joblight-abea0d863c2cc534: crates/bench/src/bin/tab1_joblight.rs
+
+crates/bench/src/bin/tab1_joblight.rs:

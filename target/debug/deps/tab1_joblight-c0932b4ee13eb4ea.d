@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab1_joblight-c0932b4ee13eb4ea.d: crates/bench/src/bin/tab1_joblight.rs
+
+/root/repo/target/debug/deps/tab1_joblight-c0932b4ee13eb4ea: crates/bench/src/bin/tab1_joblight.rs
+
+crates/bench/src/bin/tab1_joblight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab2_local_vs_global-06cb7195de7ee554.d: crates/bench/src/bin/tab2_local_vs_global.rs
+
+/root/repo/target/debug/deps/tab2_local_vs_global-06cb7195de7ee554: crates/bench/src/bin/tab2_local_vs_global.rs
+
+crates/bench/src/bin/tab2_local_vs_global.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab2_local_vs_global-4c74f68909f91a9d.d: crates/bench/src/bin/tab2_local_vs_global.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab2_local_vs_global-4c74f68909f91a9d.rmeta: crates/bench/src/bin/tab2_local_vs_global.rs Cargo.toml
+
+crates/bench/src/bin/tab2_local_vs_global.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

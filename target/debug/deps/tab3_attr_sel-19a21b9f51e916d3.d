@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_attr_sel-19a21b9f51e916d3.d: crates/bench/src/bin/tab3_attr_sel.rs
+
+/root/repo/target/debug/deps/tab3_attr_sel-19a21b9f51e916d3: crates/bench/src/bin/tab3_attr_sel.rs
+
+crates/bench/src/bin/tab3_attr_sel.rs:

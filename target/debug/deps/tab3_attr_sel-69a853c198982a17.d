@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_attr_sel-69a853c198982a17.d: crates/bench/src/bin/tab3_attr_sel.rs
+
+/root/repo/target/debug/deps/tab3_attr_sel-69a853c198982a17: crates/bench/src/bin/tab3_attr_sel.rs
+
+crates/bench/src/bin/tab3_attr_sel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab3_attr_sel-bcd00a82f934d922.d: crates/bench/src/bin/tab3_attr_sel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab3_attr_sel-bcd00a82f934d922.rmeta: crates/bench/src/bin/tab3_attr_sel.rs Cargo.toml
+
+crates/bench/src/bin/tab3_attr_sel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_end_to_end-a9071f57daf3ea91.d: crates/bench/src/bin/tab4_end_to_end.rs
+
+/root/repo/target/debug/deps/tab4_end_to_end-a9071f57daf3ea91: crates/bench/src/bin/tab4_end_to_end.rs
+
+crates/bench/src/bin/tab4_end_to_end.rs:

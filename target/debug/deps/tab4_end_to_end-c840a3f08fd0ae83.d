@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab4_end_to_end-c840a3f08fd0ae83.d: crates/bench/src/bin/tab4_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab4_end_to_end-c840a3f08fd0ae83.rmeta: crates/bench/src/bin/tab4_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/tab4_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

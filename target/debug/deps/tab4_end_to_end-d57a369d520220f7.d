@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab4_end_to_end-d57a369d520220f7.d: crates/bench/src/bin/tab4_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab4_end_to_end-d57a369d520220f7.rmeta: crates/bench/src/bin/tab4_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/tab4_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_end_to_end-e6d18b680617c61b.d: crates/bench/src/bin/tab4_end_to_end.rs
+
+/root/repo/target/debug/deps/tab4_end_to_end-e6d18b680617c61b: crates/bench/src/bin/tab4_end_to_end.rs
+
+crates/bench/src/bin/tab4_end_to_end.rs:

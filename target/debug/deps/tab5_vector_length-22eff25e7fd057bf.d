@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_vector_length-22eff25e7fd057bf.d: crates/bench/src/bin/tab5_vector_length.rs
+
+/root/repo/target/debug/deps/tab5_vector_length-22eff25e7fd057bf: crates/bench/src/bin/tab5_vector_length.rs
+
+crates/bench/src/bin/tab5_vector_length.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_vector_length-5acd327f977a6d18.d: crates/bench/src/bin/tab5_vector_length.rs
+
+/root/repo/target/debug/deps/tab5_vector_length-5acd327f977a6d18: crates/bench/src/bin/tab5_vector_length.rs
+
+crates/bench/src/bin/tab5_vector_length.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab5_vector_length-6eefab92475e8189.d: crates/bench/src/bin/tab5_vector_length.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab5_vector_length-6eefab92475e8189.rmeta: crates/bench/src/bin/tab5_vector_length.rs Cargo.toml
+
+crates/bench/src/bin/tab5_vector_length.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab6_convergence-1c08630e9d95b433.d: crates/bench/src/bin/tab6_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab6_convergence-1c08630e9d95b433.rmeta: crates/bench/src/bin/tab6_convergence.rs Cargo.toml
+
+crates/bench/src/bin/tab6_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab6_convergence-3270c187d9002ac6.d: crates/bench/src/bin/tab6_convergence.rs
+
+/root/repo/target/debug/deps/tab6_convergence-3270c187d9002ac6: crates/bench/src/bin/tab6_convergence.rs
+
+crates/bench/src/bin/tab6_convergence.rs:

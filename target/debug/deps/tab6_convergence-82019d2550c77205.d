@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab6_convergence-82019d2550c77205.d: crates/bench/src/bin/tab6_convergence.rs
+
+/root/repo/target/debug/deps/tab6_convergence-82019d2550c77205: crates/bench/src/bin/tab6_convergence.rs
+
+crates/bench/src/bin/tab6_convergence.rs:

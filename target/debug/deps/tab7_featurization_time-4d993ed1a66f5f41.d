@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab7_featurization_time-4d993ed1a66f5f41.d: crates/bench/src/bin/tab7_featurization_time.rs
+
+/root/repo/target/debug/deps/tab7_featurization_time-4d993ed1a66f5f41: crates/bench/src/bin/tab7_featurization_time.rs
+
+crates/bench/src/bin/tab7_featurization_time.rs:

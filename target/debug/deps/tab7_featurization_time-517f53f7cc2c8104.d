@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab7_featurization_time-517f53f7cc2c8104.d: crates/bench/src/bin/tab7_featurization_time.rs
+
+/root/repo/target/debug/deps/tab7_featurization_time-517f53f7cc2c8104: crates/bench/src/bin/tab7_featurization_time.rs
+
+crates/bench/src/bin/tab7_featurization_time.rs:

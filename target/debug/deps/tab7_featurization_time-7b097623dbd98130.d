@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab7_featurization_time-7b097623dbd98130.d: crates/bench/src/bin/tab7_featurization_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab7_featurization_time-7b097623dbd98130.rmeta: crates/bench/src/bin/tab7_featurization_time.rs Cargo.toml
+
+crates/bench/src/bin/tab7_featurization_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

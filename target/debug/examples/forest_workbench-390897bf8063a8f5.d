@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forest_workbench-390897bf8063a8f5.d: examples/forest_workbench.rs
+
+/root/repo/target/debug/examples/forest_workbench-390897bf8063a8f5: examples/forest_workbench.rs
+
+examples/forest_workbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/forest_workbench-8dbe86206435d0a2.d: examples/forest_workbench.rs Cargo.toml
+
+/root/repo/target/debug/examples/libforest_workbench-8dbe86206435d0a2.rmeta: examples/forest_workbench.rs Cargo.toml
+
+examples/forest_workbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

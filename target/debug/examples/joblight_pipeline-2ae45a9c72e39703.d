@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/joblight_pipeline-2ae45a9c72e39703.d: examples/joblight_pipeline.rs
+
+/root/repo/target/debug/examples/joblight_pipeline-2ae45a9c72e39703: examples/joblight_pipeline.rs
+
+examples/joblight_pipeline.rs:

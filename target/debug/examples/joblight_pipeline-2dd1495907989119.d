@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/joblight_pipeline-2dd1495907989119.d: examples/joblight_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjoblight_pipeline-2dd1495907989119.rmeta: examples/joblight_pipeline.rs Cargo.toml
+
+examples/joblight_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mixed_queries-213c5a9a6d9c0b89.d: examples/mixed_queries.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmixed_queries-213c5a9a6d9c0b89.rmeta: examples/mixed_queries.rs Cargo.toml
+
+examples/mixed_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

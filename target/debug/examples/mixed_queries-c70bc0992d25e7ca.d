@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_queries-c70bc0992d25e7ca.d: examples/mixed_queries.rs
+
+/root/repo/target/debug/examples/mixed_queries-c70bc0992d25e7ca: examples/mixed_queries.rs
+
+examples/mixed_queries.rs:

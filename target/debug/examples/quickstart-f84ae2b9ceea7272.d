@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f84ae2b9ceea7272.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f84ae2b9ceea7272: examples/quickstart.rs
+
+examples/quickstart.rs:

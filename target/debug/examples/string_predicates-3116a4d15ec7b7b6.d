@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/string_predicates-3116a4d15ec7b7b6.d: examples/string_predicates.rs
+
+/root/repo/target/debug/examples/string_predicates-3116a4d15ec7b7b6: examples/string_predicates.rs
+
+examples/string_predicates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/string_predicates-9f8aa56d5db017e6.d: examples/string_predicates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstring_predicates-9f8aa56d5db017e6.rmeta: examples/string_predicates.rs Cargo.toml
+
+examples/string_predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-6018d30b1062e9f7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6018d30b1062e9f7.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6018d30b1062e9f7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

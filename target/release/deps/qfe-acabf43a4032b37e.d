@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qfe-acabf43a4032b37e.d: src/lib.rs
+
+/root/repo/target/release/deps/libqfe-acabf43a4032b37e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqfe-acabf43a4032b37e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/qfe_data-93141a5e2eee391c.d: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs
+
+/root/repo/target/release/deps/libqfe_data-93141a5e2eee391c.rlib: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs
+
+/root/repo/target/release/deps/libqfe_data-93141a5e2eee391c.rmeta: crates/data/src/lib.rs crates/data/src/column.rs crates/data/src/csv.rs crates/data/src/dictionary.rs crates/data/src/forest.rs crates/data/src/generator.rs crates/data/src/histogram.rs crates/data/src/imdb.rs crates/data/src/sample.rs crates/data/src/table.rs crates/data/src/voptimal.rs
+
+crates/data/src/lib.rs:
+crates/data/src/column.rs:
+crates/data/src/csv.rs:
+crates/data/src/dictionary.rs:
+crates/data/src/forest.rs:
+crates/data/src/generator.rs:
+crates/data/src/histogram.rs:
+crates/data/src/imdb.rs:
+crates/data/src/sample.rs:
+crates/data/src/table.rs:
+crates/data/src/voptimal.rs:

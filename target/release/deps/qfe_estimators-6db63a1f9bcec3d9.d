@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/qfe_estimators-6db63a1f9bcec3d9.d: crates/estimators/src/lib.rs crates/estimators/src/chain.rs crates/estimators/src/correlated.rs crates/estimators/src/global.rs crates/estimators/src/grouped.rs crates/estimators/src/iep.rs crates/estimators/src/labels.rs crates/estimators/src/learned.rs crates/estimators/src/local.rs crates/estimators/src/postgres.rs crates/estimators/src/sampling.rs crates/estimators/src/truth.rs
+
+/root/repo/target/release/deps/libqfe_estimators-6db63a1f9bcec3d9.rlib: crates/estimators/src/lib.rs crates/estimators/src/chain.rs crates/estimators/src/correlated.rs crates/estimators/src/global.rs crates/estimators/src/grouped.rs crates/estimators/src/iep.rs crates/estimators/src/labels.rs crates/estimators/src/learned.rs crates/estimators/src/local.rs crates/estimators/src/postgres.rs crates/estimators/src/sampling.rs crates/estimators/src/truth.rs
+
+/root/repo/target/release/deps/libqfe_estimators-6db63a1f9bcec3d9.rmeta: crates/estimators/src/lib.rs crates/estimators/src/chain.rs crates/estimators/src/correlated.rs crates/estimators/src/global.rs crates/estimators/src/grouped.rs crates/estimators/src/iep.rs crates/estimators/src/labels.rs crates/estimators/src/learned.rs crates/estimators/src/local.rs crates/estimators/src/postgres.rs crates/estimators/src/sampling.rs crates/estimators/src/truth.rs
+
+crates/estimators/src/lib.rs:
+crates/estimators/src/chain.rs:
+crates/estimators/src/correlated.rs:
+crates/estimators/src/global.rs:
+crates/estimators/src/grouped.rs:
+crates/estimators/src/iep.rs:
+crates/estimators/src/labels.rs:
+crates/estimators/src/learned.rs:
+crates/estimators/src/local.rs:
+crates/estimators/src/postgres.rs:
+crates/estimators/src/sampling.rs:
+crates/estimators/src/truth.rs:

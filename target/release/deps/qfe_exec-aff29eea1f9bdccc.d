@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qfe_exec-aff29eea1f9bdccc.d: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs
+
+/root/repo/target/release/deps/libqfe_exec-aff29eea1f9bdccc.rlib: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs
+
+/root/repo/target/release/deps/libqfe_exec-aff29eea1f9bdccc.rmeta: crates/exec/src/lib.rs crates/exec/src/bitmap.rs crates/exec/src/count.rs crates/exec/src/eval.rs crates/exec/src/executor.rs crates/exec/src/join.rs crates/exec/src/optimizer.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/bitmap.rs:
+crates/exec/src/count.rs:
+crates/exec/src/eval.rs:
+crates/exec/src/executor.rs:
+crates/exec/src/join.rs:
+crates/exec/src/optimizer.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qfe_ml-c02cbcce64046c0d.d: crates/ml/src/lib.rs crates/ml/src/chaos.rs crates/ml/src/gbdt.rs crates/ml/src/linreg.rs crates/ml/src/matrix.rs crates/ml/src/mlp.rs crates/ml/src/mscn.rs crates/ml/src/scaling.rs crates/ml/src/serialize.rs crates/ml/src/train.rs
+
+/root/repo/target/release/deps/libqfe_ml-c02cbcce64046c0d.rlib: crates/ml/src/lib.rs crates/ml/src/chaos.rs crates/ml/src/gbdt.rs crates/ml/src/linreg.rs crates/ml/src/matrix.rs crates/ml/src/mlp.rs crates/ml/src/mscn.rs crates/ml/src/scaling.rs crates/ml/src/serialize.rs crates/ml/src/train.rs
+
+/root/repo/target/release/deps/libqfe_ml-c02cbcce64046c0d.rmeta: crates/ml/src/lib.rs crates/ml/src/chaos.rs crates/ml/src/gbdt.rs crates/ml/src/linreg.rs crates/ml/src/matrix.rs crates/ml/src/mlp.rs crates/ml/src/mscn.rs crates/ml/src/scaling.rs crates/ml/src/serialize.rs crates/ml/src/train.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/chaos.rs:
+crates/ml/src/gbdt.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/matrix.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/mscn.rs:
+crates/ml/src/scaling.rs:
+crates/ml/src/serialize.rs:
+crates/ml/src/train.rs:

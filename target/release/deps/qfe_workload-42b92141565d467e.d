@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qfe_workload-42b92141565d467e.d: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs
+
+/root/repo/target/release/deps/libqfe_workload-42b92141565d467e.rlib: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs
+
+/root/repo/target/release/deps/libqfe_workload-42b92141565d467e.rmeta: crates/workload/src/lib.rs crates/workload/src/conjunctive.rs crates/workload/src/drift.rs crates/workload/src/grouped.rs crates/workload/src/job_light.rs crates/workload/src/mixed.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/conjunctive.rs:
+crates/workload/src/drift.rs:
+crates/workload/src/grouped.rs:
+crates/workload/src/job_light.rs:
+crates/workload/src/mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerance-a9e4b6c3cc0dfc42.d: examples/fault_tolerance.rs
+
+/root/repo/target/release/examples/fault_tolerance-a9e4b6c3cc0dfc42: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

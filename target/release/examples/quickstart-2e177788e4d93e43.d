@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2e177788e4d93e43.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2e177788e4d93e43: examples/quickstart.rs
+
+examples/quickstart.rs:

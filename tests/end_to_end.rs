@@ -57,7 +57,9 @@ fn gb_conj_beats_gb_simple_and_converges_with_data() {
         }))
     };
     let mut conj = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space.clone(), 24)),
+        Box::new(
+            UniversalConjunctionEncoding::new(space.clone(), 24).expect("valid featurizer config"),
+        ),
         gbdt(),
     );
     conj.fit(&train).unwrap();
@@ -82,7 +84,7 @@ fn gb_conj_beats_gb_simple_and_converges_with_data() {
     // worse on the mean than the full model.
     let (small_train, _) = train.clone().split_at(300);
     let mut starved = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space, 24)),
+        Box::new(UniversalConjunctionEncoding::new(space, 24).expect("valid featurizer config")),
         gbdt(),
     );
     starved.fit(&small_train).unwrap();
@@ -110,7 +112,7 @@ fn complex_encoding_handles_the_mixed_workload() {
     );
     let space = AttributeSpace::for_table(db.catalog(), table);
     let mut gb = LearnedEstimator::new(
-        Box::new(LimitedDisjunctionEncoding::new(space, 24)),
+        Box::new(LimitedDisjunctionEncoding::new(space, 24).expect("valid featurizer config")),
         Box::new(Gbdt::new(GbdtConfig {
             n_trees: 80,
             ..GbdtConfig::default()
@@ -148,12 +150,14 @@ fn linear_regression_is_clearly_worse() {
     );
     let space = AttributeSpace::for_table(db.catalog(), table);
     let mut gb = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space.clone(), 24)),
+        Box::new(
+            UniversalConjunctionEncoding::new(space.clone(), 24).expect("valid featurizer config"),
+        ),
         Box::new(Gbdt::new(GbdtConfig::default())),
     );
     gb.fit(&train).unwrap();
     let mut lin = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space, 24)),
+        Box::new(UniversalConjunctionEncoding::new(space, 24).expect("valid featurizer config")),
         Box::new(LinearRegression::new(0)),
     );
     lin.fit(&train).unwrap();
@@ -175,7 +179,7 @@ fn estimates_are_always_at_least_one() {
     );
     let space = AttributeSpace::for_table(db.catalog(), table);
     let mut gb = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space, 16)),
+        Box::new(UniversalConjunctionEncoding::new(space, 16).expect("valid featurizer config")),
         Box::new(Gbdt::new(GbdtConfig {
             n_trees: 20,
             ..GbdtConfig::default()

@@ -1,0 +1,175 @@
+//! The tentpole robustness property: a [`FallbackChain`] whose stages are
+//! wrapped in seeded [`ChaosEstimator`]s — injecting typed errors, NaNs,
+//! and contract-violating garbage — must, over generated conjunctive AND
+//! mixed workloads, for every fault pattern:
+//!
+//! * never panic,
+//! * always produce a finite estimate `>= 1`,
+//! * attribute every estimate to the stage that actually produced it.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+use qfe::core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+use qfe::core::{CardinalityEstimator, Query, TableId};
+use qfe::data::forest::{generate_forest, ForestConfig};
+use qfe::data::Database;
+use qfe::estimators::chain::{ChaosEstimator, EstimatorFault, FallbackChain};
+use qfe::estimators::labels::label_queries;
+use qfe::estimators::{LearnedEstimator, PostgresEstimator, SamplingEstimator};
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::workload::{generate_conjunctive, generate_mixed, ConjunctiveConfig, MixedConfig};
+
+const TABLE: TableId = TableId(0);
+
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        generate_forest(&ForestConfig {
+            rows: 2_000,
+            quantitative_only: true,
+            seed: 17,
+        })
+    })
+}
+
+fn learned() -> &'static LearnedEstimator {
+    static EST: OnceLock<LearnedEstimator> = OnceLock::new();
+    EST.get_or_init(|| {
+        let db = db();
+        let space = AttributeSpace::for_table(db.catalog(), TABLE);
+        let mut est = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, 8).expect("valid config")),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: 20,
+                max_leaves: 8,
+                min_samples_leaf: 4,
+                ..GbdtConfig::default()
+            })),
+        );
+        let train = label_queries(
+            db,
+            generate_conjunctive(db.catalog(), &ConjunctiveConfig::new(TABLE, 300, 23)),
+        );
+        est.fit(&train).expect("training the chain's primary stage");
+        est
+    })
+}
+
+fn postgres() -> &'static PostgresEstimator {
+    static EST: OnceLock<PostgresEstimator> = OnceLock::new();
+    EST.get_or_init(|| PostgresEstimator::analyze_default(db()))
+}
+
+/// Conjunctive + mixed workload for one generator seed.
+fn workload(seed: u64) -> Vec<Query> {
+    let catalog = db().catalog();
+    let mut queries = generate_conjunctive(catalog, &ConjunctiveConfig::new(TABLE, 8, seed));
+    queries.extend(generate_mixed(
+        catalog,
+        &MixedConfig::new(TABLE, 8, seed ^ 0x5EED),
+    ));
+    queries
+}
+
+const ALL_FAULTS: [EstimatorFault; 3] = [
+    EstimatorFault::Error,
+    EstimatorFault::Nan,
+    EstimatorFault::Garbage,
+];
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(48))]
+
+    /// The acceptance property from the issue: chain over chaos-wrapped
+    /// learned → postgres → sampling stages, any fault rate, any seed.
+    #[test]
+    fn chain_survives_chaos_with_correct_provenance(
+        chaos_seed in 0u64..u64::MAX / 2,
+        workload_seed in 0u64..1u64 << 16,
+        rate in 0.0f64..1.0,
+    ) {
+        let chaos_learned = ChaosEstimator::new(learned(), ALL_FAULTS.to_vec(), rate, chaos_seed);
+        let chaos_pg = ChaosEstimator::new(postgres(), ALL_FAULTS.to_vec(), rate, chaos_seed ^ 1);
+        let chaos_sampling = ChaosEstimator::new(
+            SamplingEstimator::new(db(), 0.05, 7),
+            ALL_FAULTS.to_vec(),
+            rate,
+            chaos_seed ^ 2,
+        );
+        let stage_names = [chaos_learned.name(), chaos_pg.name(), chaos_sampling.name()];
+        let chain = FallbackChain::new(vec![
+            Box::new(chaos_learned),
+            Box::new(chaos_pg),
+            Box::new(chaos_sampling),
+        ]);
+
+        let queries = workload(workload_seed);
+        let n = queries.len() as u64;
+        for q in &queries {
+            let est = chain.try_estimate(q).expect("the chain is total");
+            prop_assert!(
+                est.value.is_finite() && est.value >= 1.0,
+                "illegal estimate {est:?}"
+            );
+            prop_assert!(est.fallback_depth <= 3, "{est:?}");
+            // Provenance identifies the producing stage.
+            if est.fallback_depth < 3 {
+                prop_assert_eq!(&est.estimator, &stage_names[est.fallback_depth]);
+            } else {
+                prop_assert_eq!(est.estimator.as_str(), "floor");
+            }
+            // The infallible entry point agrees with the guarantee too.
+            let v = chain.estimate(q);
+            prop_assert!(v.is_finite() && v >= 1.0, "estimate() produced {v}");
+        }
+
+        // Counter bookkeeping: every try_estimate + estimate call landed
+        // in exactly one stage-hit bucket.
+        let hits: u64 = chain.stage_hits().iter().sum();
+        prop_assert_eq!(hits, 2 * n);
+    }
+
+    /// With injection disabled the primary stage answers everything.
+    #[test]
+    fn zero_rate_chain_never_falls_back(workload_seed in 0u64..1u64 << 16) {
+        let chain = FallbackChain::new(vec![
+            Box::new(ChaosEstimator::new(learned(), ALL_FAULTS.to_vec(), 0.0, 1)),
+            Box::new(postgres() as &dyn CardinalityEstimator),
+        ]);
+        for q in &workload(workload_seed) {
+            let est = chain.try_estimate(q).expect("total");
+            // The trained learned stage answers every supported query; an
+            // unsupported one (mixed query under the conjunctive QFT) may
+            // legitimately fall through to postgres — but never deeper.
+            prop_assert!(est.fallback_depth <= 1, "{est:?}");
+            prop_assert!(est.value.is_finite() && est.value >= 1.0);
+        }
+        prop_assert_eq!(chain.fallback_count(), chain.stage_hits()[1]);
+    }
+
+    /// Full-rate chaos on every stage: the floor answers every query and
+    /// the error counters account for every stage failure.
+    #[test]
+    fn full_rate_chaos_always_reaches_the_floor(
+        chaos_seed in 0u64..u64::MAX / 2,
+        workload_seed in 0u64..1u64 << 16,
+    ) {
+        let chain = FallbackChain::new(vec![
+            Box::new(ChaosEstimator::new(learned(), ALL_FAULTS.to_vec(), 1.0, chaos_seed)),
+            Box::new(ChaosEstimator::new(postgres(), ALL_FAULTS.to_vec(), 1.0, chaos_seed ^ 1)),
+        ]);
+        let queries = workload(workload_seed);
+        for q in &queries {
+            let est = chain.try_estimate(q).expect("total");
+            prop_assert_eq!(est.value, 1.0);
+            prop_assert_eq!(est.estimator.as_str(), "floor");
+            prop_assert_eq!(est.fallback_depth, 2);
+        }
+        let n = queries.len() as u64;
+        prop_assert_eq!(chain.stage_hits(), vec![0, 0, n]);
+        // Two stages failed for each of n queries.
+        let errors: u64 = chain.error_counts().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(errors, 2 * n);
+    }
+}

@@ -138,8 +138,8 @@ proptest! {
         let featurizers: Vec<Box<dyn Featurizer>> = vec![
             Box::new(SingularPredicateEncoding::new(space())),
             Box::new(RangePredicateEncoding::new(space())),
-            Box::new(UniversalConjunctionEncoding::new(space(), 16)),
-            Box::new(LimitedDisjunctionEncoding::new(space(), 16)),
+            Box::new(UniversalConjunctionEncoding::new(space(), 16).expect("valid featurizer config")),
+            Box::new(LimitedDisjunctionEncoding::new(space(), 16).expect("valid featurizer config")),
         ];
         for f in &featurizers {
             let a = f.featurize(&q).unwrap();
@@ -154,8 +154,8 @@ proptest! {
 
     #[test]
     fn complex_equals_conjunctive_on_conjunctions(q in arb_conjunctive_query()) {
-        let conj = UniversalConjunctionEncoding::new(space(), 16);
-        let comp = LimitedDisjunctionEncoding::new(space(), 16);
+        let conj = UniversalConjunctionEncoding::new(space(), 16).expect("valid featurizer config");
+        let comp = LimitedDisjunctionEncoding::new(space(), 16).expect("valid featurizer config");
         prop_assert_eq!(conj.featurize(&q).unwrap(), comp.featurize(&q).unwrap());
     }
 
@@ -164,7 +164,7 @@ proptest! {
         preds in arb_conjunct(0),
         extra in arb_pred(0),
     ) {
-        let enc = UniversalConjunctionEncoding::new(space(), 16).with_attr_sel(false);
+        let enc = UniversalConjunctionEncoding::new(space(), 16).expect("valid featurizer config").with_attr_sel(false);
         let col = ColumnRef::new(TableId(0), ColumnId(0));
         let base = Query::single_table(
             TableId(0),
@@ -188,7 +188,7 @@ proptest! {
         disjuncts in prop::collection::vec(arb_conjunct(0), 1..3),
         extra in arb_conjunct(0),
     ) {
-        let enc = LimitedDisjunctionEncoding::new(space(), 16).with_attr_sel(false);
+        let enc = LimitedDisjunctionEncoding::new(space(), 16).expect("valid featurizer config").with_attr_sel(false);
         let col = ColumnRef::new(TableId(0), ColumnId(0));
         let or_of = |ds: &[Vec<SimplePredicate>]| {
             Query::single_table(
@@ -214,7 +214,7 @@ proptest! {
 
     #[test]
     fn mixed_queries_featurize_without_error(q in arb_mixed_query()) {
-        let enc = LimitedDisjunctionEncoding::new(space(), 16);
+        let enc = LimitedDisjunctionEncoding::new(space(), 16).expect("valid featurizer config");
         let f = enc.featurize(&q).unwrap();
         prop_assert_eq!(f.dim(), enc.dim());
     }

@@ -77,7 +77,9 @@ fn local_models_beat_postgres_on_joblight() {
         db.catalog(),
         &train,
         15,
-        &|space: AttributeSpace| Box::new(UniversalConjunctionEncoding::new(space, 16)),
+        &|space: AttributeSpace| {
+            Box::new(UniversalConjunctionEncoding::new(space, 16).expect("valid featurizer config"))
+        },
         &|| {
             Box::new(Gbdt::new(GbdtConfig {
                 n_trees: 60,

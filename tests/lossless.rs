@@ -60,7 +60,7 @@ fn exact_mode_inversion_preserves_cardinality() {
     // actual data.
     let db = small_db(3_000, 1);
     let space = AttributeSpace::for_table(db.catalog(), TableId(0));
-    let enc = UniversalConjunctionEncoding::new(space, 32); // both domains <= 32
+    let enc = UniversalConjunctionEncoding::new(space, 32).expect("valid featurizer config"); // both domains <= 32
     let mut rng = StdRng::seed_from_u64(2);
     for _ in 0..100 {
         let q = random_conjunctive_query(&mut rng);
@@ -91,7 +91,8 @@ fn coarse_mode_inversion_brackets_cardinality() {
         let truth = true_cardinality(&db, &q).unwrap();
         let mut prev_gap = u64::MAX;
         for n in [4usize, 8, 16, 32] {
-            let enc = UniversalConjunctionEncoding::new(space.clone(), n);
+            let enc = UniversalConjunctionEncoding::new(space.clone(), n)
+                .expect("valid featurizer config");
             let f = enc.featurize(&q).unwrap();
             let sub = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Subset).unwrap();
             let sup = invert_conjunctive(&enc, &f, TableId(0), InversionMode::Superset).unwrap();

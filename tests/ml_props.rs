@@ -86,7 +86,7 @@ proptest! {
         mut cards in prop::collection::vec(1.0f64..1e9, 2..40),
         probe in 1.0f64..1e9,
     ) {
-        let scaler = LogScaler::fit(&cards);
+        let scaler = LogScaler::fit(&cards).expect("valid featurizer config");
         // Round trip within the fitted range.
         cards.sort_by(f64::total_cmp);
         let (lo, hi) = (cards[0], *cards.last().unwrap());

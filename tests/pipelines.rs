@@ -43,7 +43,7 @@ fn csv_ingestion_feeds_the_full_pipeline() {
     );
     let space = AttributeSpace::for_table(db.catalog(), TableId(0));
     let mut est = LearnedEstimator::new(
-        Box::new(UniversalConjunctionEncoding::new(space, 16)),
+        Box::new(UniversalConjunctionEncoding::new(space, 16).expect("valid featurizer config")),
         Box::new(Gbdt::new(GbdtConfig {
             n_trees: 60,
             min_samples_leaf: 3,
@@ -90,7 +90,8 @@ fn mscn_estimator_full_pipeline_on_forest() {
             learning_rate: 2e-3,
             seed: 5,
         },
-    );
+    )
+    .expect("valid featurizer config");
     est.fit(&train).unwrap();
     let errors: Vec<f64> = test
         .queries
@@ -139,7 +140,7 @@ fn serialized_gbdt_survives_the_estimator_round_trip() {
         generate_conjunctive_with_data(&db, &ConjunctiveConfig::new(TableId(0), 1_500, 84)),
     );
     let space = AttributeSpace::for_table(db.catalog(), TableId(0));
-    let enc = UniversalConjunctionEncoding::new(space, 16);
+    let enc = UniversalConjunctionEncoding::new(space, 16).expect("valid featurizer config");
 
     // Train a raw GBDT on the featurized workload.
     let mut est = LearnedEstimator::new(
@@ -161,7 +162,7 @@ fn serialized_gbdt_survives_the_estimator_round_trip() {
     });
     use qfe::ml::scaling::LogScaler;
     use qfe::ml::train::Regressor;
-    let scaler = LogScaler::fit(&labeled.cardinalities);
+    let scaler = LogScaler::fit(&labeled.cardinalities).expect("valid featurizer config");
     gb.fit(&x, &scaler.transform_batch(&labeled.cardinalities));
     let restored = gbdt_from_bytes(&gbdt_to_bytes(&gb)).unwrap();
     assert_eq!(gb.predict_batch(&x), restored.predict_batch(&x));

@@ -1,0 +1,527 @@
+//! Offline shim of the `proptest` crate — the API subset this workspace
+//! uses (see `vendor/README.md` for why the workspace vendors shims).
+//!
+//! This is a deterministic random-testing harness, not a full property
+//! testing framework: inputs are generated from seeded strategies and
+//! assertions panic on failure, but there is **no shrinking** and no
+//! failure persistence (`*.proptest-regressions` files are ignored).
+//! Each test case `i` runs with an RNG seeded as `base_seed + i`, so a
+//! failing case prints its case index and can be replayed exactly.
+//!
+//! Implemented surface: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_oneof!`, [`strategy::Strategy`] (`prop_map`, `prop_flat_map`,
+//! `prop_recursive`, `boxed`), [`strategy::Just`], ranges over numeric
+//! types as strategies, tuple strategies, [`collection::vec`], and
+//! [`test_runner::Config`] (re-exported as `ProptestConfig`).
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use std::sync::Arc;
+
+    /// A generator of random values of one type.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy simply produces a value from an RNG.
+    pub trait Strategy: 'static {
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived
+        /// from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2 + 'static,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive strategies: `self` is the leaf case, `recurse`
+        /// builds one additional level from the strategy for the level
+        /// below. Depth is capped at `depth`; the `_desired_size` and
+        /// `_expected_branch_size` parameters exist for signature
+        /// compatibility and are ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            R: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(cur).boxed();
+                // 1/3 leaf, 2/3 recurse at every level keeps generated
+                // trees small but deep enough to exercise nesting.
+                cur = union(vec![(1, leaf.clone()), (2, branch)]);
+            }
+            cur
+        }
+
+        /// Type-erase (and make cheaply clonable via `Arc`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait StrategyDyn<T> {
+        fn generate_dyn(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> StrategyDyn<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn StrategyDyn<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + 'static,
+        O: 'static,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2 + 'static,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Weighted union of strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+                total_weight: self.total_weight,
+            }
+        }
+    }
+
+    /// Build a weighted union; weights must sum to a positive value.
+    pub fn union<T>(options: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union {
+            options,
+            total_weight,
+        }
+        .boxed()
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (w, s) in &self.options {
+                if pick < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            // Unreachable: pick < total_weight by construction.
+            self.options[0].1.generate(rng)
+        }
+    }
+
+    macro_rules! strategy_for_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! strategy_for_float_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    strategy_for_float_ranges!(f32, f64);
+
+    macro_rules! strategy_for_tuples {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    strategy_for_tuples!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Sizes accepted by [`vec`]: an exact `usize` or a range.
+    pub trait SizeRange: Clone + 'static {
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S, impl SizeRange> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Test-run configuration (subset of proptest's `Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per property.
+        pub cases: u32,
+        /// Base RNG seed; case `i` uses `rng_seed + i`.
+        pub rng_seed: u64,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 128,
+                rng_seed: 0x5EED,
+            }
+        }
+    }
+}
+
+/// Drive one property: run `body` for each seeded case.
+///
+/// Called by the `proptest!` macro; public so the macro expansion can
+/// reach it from other crates.
+pub fn run_property(config: test_runner::Config, body: impl Fn(&mut rand::rngs::StdRng)) {
+    use rand::SeedableRng;
+    for case in 0..config.cases {
+        let seed = config.rng_seed + u64::from(case);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest shim: case {case}/{} failed (rng seed {seed}); \
+                 re-run with ProptestConfig {{ cases: 1, rng_seed: {seed} }} to replay",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn name(x in strat) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::run_property(config, |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Assert inside a property (no shrinking: equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (equivalent to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (equivalent to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip a case when its inputs don't satisfy a precondition.
+///
+/// The shim cannot resample, so it simply returns from the case body —
+/// statistically equivalent to discarding the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Union of strategies, optionally weighted: `prop_oneof![a, b]` or
+/// `prop_oneof![2 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+pub mod prelude {
+    /// `prop::collection::vec(...)` etc., as in upstream proptest.
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let strat = (0i64..10, 5usize..=6).prop_map(|(a, b)| (a, b));
+        for _ in 0..100 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((5..=6).contains(&b));
+        }
+        let vs = prop::collection::vec(-1.0f32..1.0, 3..7);
+        for _ in 0..50 {
+            let v = vs.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_all_arms_and_weights_skew() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [0u32; 4];
+        for _ in 0..300 {
+            seen[s.generate(&mut rng) as usize] += 1;
+        }
+        assert!(seen[1] > 0 && seen[2] > 0 && seen[3] > 0);
+        let weighted = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| weighted.generate(&mut rng)).count();
+        assert!(trues > 800, "{trues}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use rand::SeedableRng;
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum T {
+            Leaf(i64),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..5)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                prop::collection::vec(inner, 1..3).prop_map(T::Node)
+            });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.generate(&mut rng)));
+        }
+        assert!(max_depth >= 1, "recursion never fired");
+        assert!(max_depth <= 3, "depth cap violated: {max_depth}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_asserts(a in 0i64..100, b in 0i64..100) {
+            prop_assert!(a + b <= 198);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_skips(a in 0i64..10) {
+            prop_assume!(a != 3);
+            prop_assert_ne!(a, 3);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline shim of the `rand` crate — the API subset this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a minimal, deterministic, API-compatible
+//! implementation (see `vendor/README.md`). The generator is
+//! xoshiro256** seeded via splitmix64 — high-quality and fast; all
+//! consumers in this workspace seed explicitly, so there is no OS
+//! entropy path at all (and none is provided: `thread_rng`/
+//! `from_entropy` are deliberately absent to keep every experiment
+//! reproducible).
+//!
+//! Implemented surface:
+//! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`]
+//! * [`Rng`]: `gen`, `gen_range`, `gen_bool`, `fill` (u8 slices)
+//! * [`seq::SliceRandom`]: `shuffle`, `choose`
+//!
+//! The streams differ from upstream `rand` (different generator), but
+//! every property the workspace relies on — determinism given a seed,
+//! uniformity, independence across seeds — holds.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from one `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for rand's
+    /// `StdRng`; different stream, same contract).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 of any
+            // seed cannot produce four zeros, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (rand's `Standard` distribution).
+pub trait Standard01: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard01 for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard01 for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard01 for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard01 for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types uniformly samplable from a half-open or closed range (rand's
+/// `SampleUniform`).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_closed<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_closed<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let unit = <$t as crate::Standard01>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+            fn sample_closed<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let unit = <$t as crate::Standard01>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Ranges usable with [`Rng::gen_range`] (rand's `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range in gen_range");
+        T::sample_closed(start, end, rng)
+    }
+}
+
+/// The user-facing random-value interface.
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard01>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniformly random value in `range`.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_from(self)
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling/choosing (subset of rand's `SliceRandom`).
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let f: f32 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(0..5usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+            let f = rng.gen_range(2.0f64..4.0);
+            assert!((2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_hits_all() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted);
+        let opts = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*opts.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn fill_fills_all_bytes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
