@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-421c8770a6762d84.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-421c8770a6762d84: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:
