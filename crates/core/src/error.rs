@@ -72,6 +72,13 @@ pub enum EstimateError {
     NonFinite { estimator: String, value: f64 },
     /// An internal fault (injected chaos, poisoned state, IO corruption).
     Internal { estimator: String, message: String },
+    /// The request's time budget ran out before (or while) this estimator
+    /// was answering. Deadline-aware callers abandon the stage and spend
+    /// the remaining budget on cheaper fallbacks.
+    DeadlineExceeded { estimator: String },
+    /// The estimator's circuit breaker is open: it failed repeatedly and
+    /// is being skipped until its cooldown elapses (half-open probe).
+    CircuitOpen { estimator: String },
 }
 
 /// Coarse classification of an [`EstimateError`], used for per-stage
@@ -84,11 +91,13 @@ pub enum EstimateErrorKind {
     UnsupportedQuery,
     NonFinite,
     Internal,
+    DeadlineExceeded,
+    CircuitOpen,
 }
 
 impl EstimateErrorKind {
     /// Number of kinds (size of a per-kind counter array).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// Every kind, in [`as_index`](Self::as_index) order.
     pub const ALL: [EstimateErrorKind; EstimateErrorKind::COUNT] = [
@@ -98,6 +107,8 @@ impl EstimateErrorKind {
         EstimateErrorKind::UnsupportedQuery,
         EstimateErrorKind::NonFinite,
         EstimateErrorKind::Internal,
+        EstimateErrorKind::DeadlineExceeded,
+        EstimateErrorKind::CircuitOpen,
     ];
 
     /// Stable index of this kind in `0..COUNT`.
@@ -109,6 +120,8 @@ impl EstimateErrorKind {
             EstimateErrorKind::UnsupportedQuery => 3,
             EstimateErrorKind::NonFinite => 4,
             EstimateErrorKind::Internal => 5,
+            EstimateErrorKind::DeadlineExceeded => 6,
+            EstimateErrorKind::CircuitOpen => 7,
         }
     }
 
@@ -121,6 +134,8 @@ impl EstimateErrorKind {
             EstimateErrorKind::UnsupportedQuery => "unsupported-query",
             EstimateErrorKind::NonFinite => "non-finite",
             EstimateErrorKind::Internal => "internal",
+            EstimateErrorKind::DeadlineExceeded => "deadline-exceeded",
+            EstimateErrorKind::CircuitOpen => "circuit-open",
         }
     }
 }
@@ -137,6 +152,8 @@ impl EstimateError {
             EstimateError::UnsupportedQuery(_) => EstimateErrorKind::UnsupportedQuery,
             EstimateError::NonFinite { .. } => EstimateErrorKind::NonFinite,
             EstimateError::Internal { .. } => EstimateErrorKind::Internal,
+            EstimateError::DeadlineExceeded { .. } => EstimateErrorKind::DeadlineExceeded,
+            EstimateError::CircuitOpen { .. } => EstimateErrorKind::CircuitOpen,
         }
     }
 }
@@ -176,6 +193,15 @@ impl fmt::Display for EstimateError {
             }
             EstimateError::Internal { estimator, message } => {
                 write!(f, "internal estimator fault ({estimator}): {message}")
+            }
+            EstimateError::DeadlineExceeded { estimator } => {
+                write!(f, "deadline exceeded while waiting on {estimator}")
+            }
+            EstimateError::CircuitOpen { estimator } => {
+                write!(
+                    f,
+                    "circuit open: {estimator} is being skipped until its cooldown"
+                )
             }
         }
     }
@@ -239,16 +265,8 @@ mod tests {
 
     #[test]
     fn kind_indices_are_distinct_and_in_range() {
-        let kinds = [
-            EstimateErrorKind::Untrained,
-            EstimateErrorKind::UnknownSchema,
-            EstimateErrorKind::OutOfDomain,
-            EstimateErrorKind::UnsupportedQuery,
-            EstimateErrorKind::NonFinite,
-            EstimateErrorKind::Internal,
-        ];
         let mut seen = [false; EstimateErrorKind::COUNT];
-        for k in kinds {
+        for k in EstimateErrorKind::ALL {
             let i = k.as_index();
             assert!(i < EstimateErrorKind::COUNT);
             assert!(!seen[i], "duplicate index {i}");
@@ -256,6 +274,20 @@ mod tests {
             assert!(!k.label().is_empty());
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn serving_errors_classify_and_display() {
+        let d = EstimateError::DeadlineExceeded {
+            estimator: "GB + conj".into(),
+        };
+        assert_eq!(d.kind(), EstimateErrorKind::DeadlineExceeded);
+        assert!(d.to_string().contains("deadline"));
+        let c = EstimateError::CircuitOpen {
+            estimator: "GB + conj".into(),
+        };
+        assert_eq!(c.kind(), EstimateErrorKind::CircuitOpen);
+        assert!(c.to_string().contains("circuit open"));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! networks, gradient boosting, or MSCN-style set models (see the `qfe-ml`
 //! and `qfe-estimators` crates).
 
+pub mod deadline;
 pub mod error;
 pub mod estimator;
 pub mod featurize;
@@ -46,6 +47,7 @@ pub mod query;
 pub mod schema;
 pub mod value;
 
+pub use deadline::Deadline;
 pub use error::{EstimateError, EstimateErrorKind, QfeError};
 pub use estimator::{CardinalityEstimator, Estimate};
 pub use parse::{parse_single_table_query, parse_where};

@@ -26,10 +26,52 @@
 //! to check the guarantee holds under any failure combination.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use qfe_core::error::{EstimateError, EstimateErrorKind};
 use qfe_core::estimator::{CardinalityEstimator, Estimate};
 use qfe_core::Query;
+
+/// One consistent snapshot of a [`FallbackChain`]'s counters.
+///
+/// Tests and dashboards should read counters through this instead of
+/// stitching together individual relaxed atomic loads: a single snapshot
+/// keeps related numbers (stage hits, floor hits, fallback count, error
+/// buckets) from being sampled at different points of a concurrent run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Estimates produced per real stage, in chain order.
+    pub stage_hits: Vec<u64>,
+    /// Estimates answered by the implicit constant floor.
+    pub floor_hits: u64,
+    /// Estimates that required at least one fallback (any answer not
+    /// produced by stage 0, floor included).
+    pub fallback_count: u64,
+    /// Stage failures bucketed by [`EstimateErrorKind`] label, in
+    /// [`EstimateErrorKind::ALL`] order.
+    pub error_counts: Vec<(&'static str, u64)>,
+}
+
+impl ChainStats {
+    /// The count recorded for one error-kind label (0 if absent).
+    pub fn errors_of(&self, label: &str) -> u64 {
+        self.error_counts
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Total failures across all error kinds.
+    pub fn total_errors(&self) -> u64 {
+        self.error_counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total answers produced (stages + floor).
+    pub fn total_hits(&self) -> u64 {
+        self.stage_hits.iter().sum::<u64>() + self.floor_hits
+    }
+}
 
 /// Composes estimators into an ordered fallback sequence with an implicit
 /// constant floor (see the module docs).
@@ -72,8 +114,36 @@ impl<'a> FallbackChain<'a> {
         self.stages.len()
     }
 
+    /// One snapshot of every chain counter — stage hits, floor hits,
+    /// fallback count, and per-kind error buckets. Prefer this over
+    /// loading individual counters: under concurrency it yields one
+    /// coherent view instead of counters sampled at different times.
+    pub fn stage_stats(&self) -> ChainStats {
+        let all: Vec<u64> = self
+            .stage_hits
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let (stage_hits, floor) = all.split_at(self.stages.len());
+        ChainStats {
+            stage_hits: stage_hits.to_vec(),
+            floor_hits: floor[0],
+            fallback_count: all[1..].iter().sum(),
+            error_counts: EstimateErrorKind::ALL
+                .iter()
+                .map(|k| {
+                    (
+                        k.label(),
+                        self.error_counts[k.as_index()].load(Ordering::Relaxed),
+                    )
+                })
+                .collect(),
+        }
+    }
+
     /// How many estimates each stage produced; the final entry is the
-    /// constant floor.
+    /// constant floor. Prefer [`stage_stats`](Self::stage_stats) for a
+    /// coherent multi-counter view.
     pub fn stage_hits(&self) -> Vec<u64> {
         self.stage_hits
             .iter()
@@ -84,23 +154,12 @@ impl<'a> FallbackChain<'a> {
     /// How many estimates required at least one fallback (i.e. were not
     /// answered by the first stage).
     pub fn fallback_count(&self) -> u64 {
-        self.stage_hits[1..]
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum()
+        self.stage_stats().fallback_count
     }
 
     /// Stage failures observed so far, labelled by error class.
     pub fn error_counts(&self) -> Vec<(&'static str, u64)> {
-        EstimateErrorKind::ALL
-            .iter()
-            .map(|k| {
-                (
-                    k.label(),
-                    self.error_counts[k.as_index()].load(Ordering::Relaxed),
-                )
-            })
-            .collect()
+        self.stage_stats().error_counts
     }
 
     fn record_error(&self, kind: EstimateErrorKind) {
@@ -177,6 +236,17 @@ pub enum EstimatorFault {
     /// The estimator "succeeds" with finite garbage below the legal
     /// minimum (negative cardinality).
     Garbage,
+    /// The call sleeps for the wrapper's configured latency
+    /// ([`ChaosEstimator::with_latency`]) and then answers correctly — an
+    /// inference-latency spike, the fault deadlines and breakers exist
+    /// for. Which calls stall is seeded and replayable like every other
+    /// fault; the stall duration itself is fixed, not random, so timeout
+    /// assertions stay deterministic.
+    Latency,
+    /// The call panics — the fault `catch_unwind` isolation exists for.
+    /// The panic payload is [`ChaosEstimator::PANIC_MSG`], so test panic
+    /// hooks can tell injected panics from real assertion failures.
+    Panic,
 }
 
 fn splitmix64(mut z: u64) -> u64 {
@@ -196,10 +266,14 @@ pub struct ChaosEstimator<E> {
     faults: Vec<EstimatorFault>,
     rate: f64,
     seed: u64,
+    latency: Duration,
     calls: AtomicU64,
 }
 
 impl<E: CardinalityEstimator> ChaosEstimator<E> {
+    /// Panic payload of [`EstimatorFault::Panic`].
+    pub const PANIC_MSG: &'static str = "chaos: injected estimator panic";
+
     /// Wrap `inner`, injecting one of `faults` (chosen deterministically
     /// per call) with probability `rate` per call. An empty `faults` list
     /// disables injection.
@@ -209,8 +283,16 @@ impl<E: CardinalityEstimator> ChaosEstimator<E> {
             faults,
             rate: rate.clamp(0.0, 1.0),
             seed,
+            latency: Duration::from_millis(25),
             calls: AtomicU64::new(0),
         }
+    }
+
+    /// Set the stall duration injected by [`EstimatorFault::Latency`]
+    /// (default 25 ms).
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
     }
 
     /// The wrapped estimator.
@@ -244,6 +326,11 @@ impl<E: CardinalityEstimator> CardinalityEstimator for ChaosEstimator<E> {
             None => self.inner.estimate(query),
             Some(EstimatorFault::Error) | Some(EstimatorFault::Nan) => f64::NAN,
             Some(EstimatorFault::Garbage) => -1e9,
+            Some(EstimatorFault::Latency) => {
+                std::thread::sleep(self.latency);
+                self.inner.estimate(query)
+            }
+            Some(EstimatorFault::Panic) => panic!("{}", Self::PANIC_MSG),
         }
     }
 
@@ -259,6 +346,13 @@ impl<E: CardinalityEstimator> CardinalityEstimator for ChaosEstimator<E> {
             // exactly what the chain's re-validation must absorb.
             Some(EstimatorFault::Nan) => Ok(Estimate::primary(f64::NAN, self.name())),
             Some(EstimatorFault::Garbage) => Ok(Estimate::primary(-1e9, self.name())),
+            // A stall, then a *correct* answer: slow is its own failure
+            // mode, distinct from wrong.
+            Some(EstimatorFault::Latency) => {
+                std::thread::sleep(self.latency);
+                self.inner.try_estimate(query)
+            }
+            Some(EstimatorFault::Panic) => panic!("{}", Self::PANIC_MSG),
         }
     }
 
@@ -295,8 +389,11 @@ mod tests {
         assert_eq!(e.value, 100.0);
         assert_eq!(e.fallback_depth, 0);
         assert!(!e.fell_back());
-        assert_eq!(chain.stage_hits(), vec![1, 0, 0]);
-        assert_eq!(chain.fallback_count(), 0);
+        let stats = chain.stage_stats();
+        assert_eq!(stats.stage_hits, vec![1, 0]);
+        assert_eq!(stats.floor_hits, 0);
+        assert_eq!(stats.fallback_count, 0);
+        assert_eq!(stats.total_hits(), 1);
     }
 
     #[test]
@@ -311,14 +408,12 @@ mod tests {
         assert_eq!(e.estimator, "constant");
         assert_eq!(e.fallback_depth, 2);
         assert!(e.fell_back());
-        assert_eq!(chain.stage_hits(), vec![0, 0, 1, 0]);
-        assert_eq!(chain.fallback_count(), 1);
-        let nonfinite = chain
-            .error_counts()
-            .into_iter()
-            .find(|(label, _)| *label == "non-finite")
-            .map(|(_, n)| n);
-        assert_eq!(nonfinite, Some(2));
+        let stats = chain.stage_stats();
+        assert_eq!(stats.stage_hits, vec![0, 0, 1]);
+        assert_eq!(stats.floor_hits, 0);
+        assert_eq!(stats.fallback_count, 1);
+        assert_eq!(stats.errors_of("non-finite"), 2);
+        assert_eq!(stats.total_errors(), 2);
     }
 
     #[test]
@@ -329,9 +424,14 @@ mod tests {
         assert_eq!(e.estimator, "floor");
         assert_eq!(e.fallback_depth, 1);
         assert_eq!(chain.estimate(&q()), 3.0);
+        let stats = chain.stage_stats();
+        assert_eq!(stats.stage_hits, vec![0]);
+        assert_eq!(stats.floor_hits, 2);
+        assert_eq!(stats.fallback_count, 2);
         // An empty chain is just the floor.
         let empty = FallbackChain::new(vec![]);
         assert_eq!(empty.try_estimate(&q()).unwrap().value, 1.0);
+        assert_eq!(empty.stage_stats().floor_hits, 1);
     }
 
     #[test]
@@ -399,9 +499,48 @@ mod tests {
             let e = chain.try_estimate(&q()).unwrap();
             assert!(e.value.is_finite() && e.value >= 1.0, "{e:?}");
         }
-        let hits = chain.stage_hits();
-        assert!(hits[0] > 0, "chaos stage sometimes answers: {hits:?}");
-        assert!(hits[1] > 0, "fallback sometimes fires: {hits:?}");
-        assert_eq!(hits[2], 0, "floor never needed: {hits:?}");
+        let stats = chain.stage_stats();
+        assert!(
+            stats.stage_hits[0] > 0,
+            "chaos stage sometimes answers: {stats:?}"
+        );
+        assert!(
+            stats.stage_hits[1] > 0,
+            "fallback sometimes fires: {stats:?}"
+        );
+        assert_eq!(stats.floor_hits, 0, "floor never needed: {stats:?}");
+        assert_eq!(stats.total_hits(), 200);
+    }
+
+    #[test]
+    fn latency_fault_stalls_then_answers_correctly() {
+        let chaos = ChaosEstimator::new(Constant(42.0), vec![EstimatorFault::Latency], 1.0, 1)
+            .with_latency(Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        let e = chaos.try_estimate(&q()).unwrap();
+        assert_eq!(e.value, 42.0, "latency fault must not corrupt the value");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "the injected stall must be observable"
+        );
+        // Seeded like every other fault: a rate-0.5 wrapper stalls the
+        // same calls on every run.
+        let stalls = |seed: u64| -> Vec<bool> {
+            let c = ChaosEstimator::new(Constant(1.0), vec![EstimatorFault::Latency], 0.5, seed)
+                .with_latency(Duration::ZERO);
+            (0..32).map(|_| c.next_fault().is_some()).collect()
+        };
+        assert_eq!(stalls(3), stalls(3));
+        assert_ne!(stalls(3), stalls(4));
+    }
+
+    #[test]
+    fn panic_fault_panics_with_the_documented_payload() {
+        let chaos = ChaosEstimator::new(Constant(1.0), vec![EstimatorFault::Panic], 1.0, 1);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| chaos.try_estimate(&q())))
+                .unwrap_err();
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, ChaosEstimator::<Constant>::PANIC_MSG);
     }
 }

@@ -27,11 +27,17 @@
 //!   (e.g. learned → histogram → sampling → constant floor) with
 //!   per-stage observability, plus the seeded [`chain::ChaosEstimator`]
 //!   fault injector that the robustness tests drive it with.
+//! * [`breaker`] — per-stage circuit breaking: [`breaker::CircuitBreaker`]
+//!   (closed → open → half-open with exponential cooldown) and the
+//!   [`breaker::BreakerStage`] wrapper that lets a chain skip a
+//!   persistently failing stage instead of paying for its failure on
+//!   every query.
 
 // Library code must fail with typed errors, never a panic: `unwrap`/`expect`
 // are confined to tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod breaker;
 pub mod chain;
 pub mod correlated;
 pub mod global;
@@ -44,7 +50,8 @@ pub mod postgres;
 pub mod sampling;
 pub mod truth;
 
-pub use chain::{ChaosEstimator, EstimatorFault, FallbackChain};
+pub use breaker::{BreakerConfig, BreakerStage, BreakerState, BreakerStats, CircuitBreaker};
+pub use chain::{ChainStats, ChaosEstimator, EstimatorFault, FallbackChain};
 pub use correlated::CorrelatedSamplingEstimator;
 pub use global::{GlobalLearnedEstimator, MscnEstimator};
 pub use grouped::GroupedLearnedEstimator;

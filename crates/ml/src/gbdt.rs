@@ -434,11 +434,15 @@ impl Gbdt {
     /// The boosting loop shared by [`Regressor::fit`] (check = false,
     /// infallible) and [`Regressor::try_fit`] (check = true: the per-round
     /// squared loss is verified finite and divergence aborts training).
+    /// `should_continue`, when present, is polled before every round so an
+    /// external deadline can abort training between trees
+    /// ([`Regressor::try_fit_within`]).
     fn fit_impl(
         &mut self,
         x: &Matrix,
         y: &[f32],
         check: bool,
+        mut should_continue: Option<&mut dyn FnMut() -> bool>,
     ) -> Result<(), crate::train::TrainError> {
         self.input_dim = x.cols();
         self.trees.clear();
@@ -455,6 +459,11 @@ impl Gbdt {
             ((x.cols() as f64 * self.config.colsample).ceil() as usize).clamp(1, x.cols());
 
         for round in 0..self.config.n_trees {
+            if let Some(go_on) = should_continue.as_deref_mut() {
+                if !go_on() {
+                    return Err(crate::train::TrainError::Interrupted { round });
+                }
+            }
             let mut loss = 0.0f64;
             for i in 0..n {
                 residuals[i] = y[i] - pred[i];
@@ -486,7 +495,7 @@ impl Regressor for Gbdt {
     fn fit(&mut self, x: &Matrix, y: &[f32]) {
         assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
         assert!(x.rows() > 0, "cannot fit on zero samples");
-        let _ = self.fit_impl(x, y, false); // check = false: cannot fail
+        let _ = self.fit_impl(x, y, false, None); // check = false: cannot fail
     }
 
     fn try_fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), crate::train::TrainError> {
@@ -494,7 +503,22 @@ impl Regressor for Gbdt {
         // Train a candidate so a mid-training abort cannot leave `self`
         // half-boosted (provably: `self` is only written on success).
         let mut candidate = self.clone();
-        candidate.fit_impl(x, y, true)?;
+        candidate.fit_impl(x, y, true, None)?;
+        *self = candidate;
+        Ok(())
+    }
+
+    fn try_fit_within(
+        &mut self,
+        x: &Matrix,
+        y: &[f32],
+        should_continue: &mut dyn FnMut() -> bool,
+    ) -> Result<(), crate::train::TrainError> {
+        crate::train::validate_training_set(x, y)?;
+        // Same candidate-then-commit discipline as `try_fit`: an
+        // interrupt between rounds leaves `self` exactly as it was.
+        let mut candidate = self.clone();
+        candidate.fit_impl(x, y, true, Some(should_continue))?;
         *self = candidate;
         Ok(())
     }
@@ -720,6 +744,59 @@ mod tests {
         );
         // The model must be untouched — still untrained.
         assert_eq!(gb.tree_count(), 0);
+    }
+
+    #[test]
+    fn try_fit_within_interrupts_between_rounds_without_poisoning() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<f32>> = (0..64).map(|_| vec![rng.gen::<f32>()]).collect();
+        let y: Vec<f32> = rows.iter().map(|r| r[0] * 2.0).collect();
+        let x = Matrix::from_rows(&rows);
+
+        let mut gb = Gbdt::new(GbdtConfig {
+            n_trees: 10,
+            ..GbdtConfig::default()
+        });
+        gb.try_fit(&x, &y).unwrap();
+        let before = gbdt_snapshot(&gb, &x);
+
+        // Allow exactly 3 round checks, then pull the plug.
+        let mut budget = 3u32;
+        let err = gb
+            .try_fit_within(&x, &y, &mut || {
+                let go = budget > 0;
+                budget = budget.saturating_sub(1);
+                go
+            })
+            .unwrap_err();
+        assert_eq!(err, crate::train::TrainError::Interrupted { round: 3 });
+        assert_eq!(gbdt_snapshot(&gb, &x), before, "model must be unchanged");
+
+        // With an always-true check, training completes normally.
+        gb.try_fit_within(&x, &y, &mut || true).unwrap();
+        assert_eq!(gb.tree_count(), 10);
+    }
+
+    fn gbdt_snapshot(gb: &Gbdt, x: &Matrix) -> (usize, Vec<f32>) {
+        (gb.tree_count(), gb.predict_batch(x))
+    }
+
+    #[test]
+    fn validate_probe_accepts_trained_and_rejects_nan_emitters() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let rows: Vec<Vec<f32>> = (0..64).map(|_| vec![rng.gen::<f32>()]).collect();
+        let y: Vec<f32> = rows.iter().map(|r| r[0] + 1.0).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut gb = Gbdt::new(GbdtConfig::default());
+        gb.try_fit(&x, &y).unwrap();
+        gb.validate_probe(&x).unwrap();
+
+        let chaos =
+            crate::chaos::ChaosRegressor::new(gb, crate::chaos::RegressorFault::Nan, 1.0, 9);
+        assert!(matches!(
+            chaos.validate_probe(&x).unwrap_err(),
+            crate::train::TrainError::NonFinitePrediction { .. }
+        ));
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub enum TrainError {
     NonFiniteLoss { round: usize },
     /// A trained model produced a NaN/∞ prediction.
     NonFinitePrediction { index: usize },
+    /// Training was interrupted by the caller's continuation check (e.g.
+    /// a retraining deadline expired) before the given boosting round /
+    /// epoch. The model is unchanged — same no-poisoning guarantee as
+    /// every other `try_fit` failure.
+    Interrupted { round: usize },
 }
 
 impl std::fmt::Display for TrainError {
@@ -46,6 +51,9 @@ impl std::fmt::Display for TrainError {
             }
             TrainError::NonFinitePrediction { index } => {
                 write!(f, "model produced a non-finite prediction at index {index}")
+            }
+            TrainError::Interrupted { round } => {
+                write!(f, "training interrupted by the caller before round {round}")
             }
         }
     }
@@ -124,6 +132,36 @@ pub trait Regressor {
             return Err(TrainError::NonFinitePrediction { index });
         }
         Ok(out)
+    }
+
+    /// Interruptible training: `should_continue` is polled at safe points
+    /// (between boosting rounds / epochs for iterative models); returning
+    /// `false` aborts with [`TrainError::Interrupted`] and leaves the
+    /// model unchanged. This is how a deadline-aware retraining loop
+    /// bounds its own latency without killing the process.
+    ///
+    /// The default checks once up front and then trains to completion —
+    /// correct for non-iterative models (closed-form linear regression),
+    /// overridden by the boosted/gradient models.
+    fn try_fit_within(
+        &mut self,
+        x: &Matrix,
+        y: &[f32],
+        should_continue: &mut dyn FnMut() -> bool,
+    ) -> Result<(), TrainError> {
+        if !should_continue() {
+            return Err(TrainError::Interrupted { round: 0 });
+        }
+        self.try_fit(x, y)
+    }
+
+    /// Probe-workload validation of a trained model: every prediction on
+    /// `probe` must be finite. This is the acceptance gate a serving
+    /// layer runs before hot-swapping a freshly trained (or freshly
+    /// deserialized) model into the request path — a model that emits
+    /// NaN on a known-good probe set must never be published.
+    fn validate_probe(&self, probe: &Matrix) -> Result<(), TrainError> {
+        self.try_predict_batch(probe).map(|_| ())
     }
 
     /// Approximate model size in bytes (Section 5.7 compares footprints).

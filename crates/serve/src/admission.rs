@@ -1,0 +1,366 @@
+//! Bounded admission with load shedding.
+//!
+//! The service runs at most `max_concurrency` requests at once; up to
+//! `queue_capacity` more may wait. Beyond that the service *sheds load*
+//! instead of queueing unboundedly — an unbounded queue converts overload
+//! into unbounded latency, which for a deadline-bearing workload means
+//! every queued request eventually times out anyway (serving none of them)
+//! while memory grows. The two policies ([`ShedPolicy`]) pick *which*
+//! request eats the typed [`ServeError::Overloaded`]: the newest arrival
+//! (FIFO-fair) or the oldest waiter (freshest-first — the oldest waiter
+//! has burned the most budget and is the most likely to miss its deadline
+//! regardless).
+//!
+//! Implementation: a mutex-guarded counter + FIFO of per-request tickets,
+//! each ticket a tiny `Mutex<TicketState>` + `Condvar`. A finishing
+//! request hands its slot directly to the head of the queue (no thundering
+//! herd, no barging: admission order is queue order). Waiters time out on
+//! their own [`Deadline`] and withdraw, so a dead request never occupies a
+//! queue slot.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use qfe_core::Deadline;
+
+use crate::error::{OverloadKind, ServeError, ShedPolicy};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TicketState {
+    Waiting,
+    Admitted,
+    Shed,
+}
+
+struct Ticket {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    running: usize,
+    waiting: VecDeque<Arc<Ticket>>,
+}
+
+/// Counter snapshot of admission activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests currently executing.
+    pub running: usize,
+    /// Requests currently queued.
+    pub queued: usize,
+    /// Lifetime admissions.
+    pub admitted: u64,
+    /// Requests rejected on arrival (`RejectNew` with a full queue).
+    pub rejected: u64,
+    /// Queued requests evicted by a newer arrival (`ShedOldest`).
+    pub shed: u64,
+    /// Waiters that withdrew because their deadline expired in the queue.
+    pub queue_timeouts: u64,
+}
+
+pub(crate) struct AdmissionQueue {
+    max_concurrency: usize,
+    capacity: usize,
+    policy: ShedPolicy,
+    state: Mutex<QueueState>,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    queue_timeouts: AtomicU64,
+}
+
+/// An admitted request's slot; releasing it (on drop) admits the next
+/// queued request if any.
+pub(crate) struct Permit<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl std::fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.queue.release();
+    }
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(max_concurrency: usize, capacity: usize, policy: ShedPolicy) -> Self {
+        AdmissionQueue {
+            max_concurrency: max_concurrency.max(1),
+            capacity,
+            policy,
+            state: Mutex::new(QueueState {
+                running: 0,
+                waiting: VecDeque::new(),
+            }),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Mutex recovery: the critical sections below cannot panic, but a
+    /// poisoned admission queue must never brick the service — the
+    /// guarded state is plain data either way.
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn lock_ticket<'t>(ticket: &'t Ticket) -> MutexGuard<'t, TicketState> {
+        match ticket.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Block until admitted, shed, or the deadline expires in the queue.
+    pub(crate) fn acquire(&self, deadline: &Deadline) -> Result<Permit<'_>, ServeError> {
+        let ticket = {
+            let mut st = self.lock();
+            if st.running < self.max_concurrency {
+                st.running += 1;
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                return Ok(Permit { queue: self });
+            }
+            if st.waiting.len() >= self.capacity {
+                match self.policy {
+                    ShedPolicy::RejectNew => {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Overloaded {
+                            kind: OverloadKind::RejectedAtAdmission,
+                            policy: self.policy,
+                            queue_len: st.waiting.len(),
+                            capacity: self.capacity,
+                        });
+                    }
+                    ShedPolicy::ShedOldest => {
+                        if let Some(victim) = st.waiting.pop_front() {
+                            *Self::lock_ticket(&victim) = TicketState::Shed;
+                            victim.cv.notify_all();
+                            self.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            // A zero-capacity queue under ShedOldest degenerates to
+            // rejection: there is no queue to displace anyone from.
+            if self.capacity == 0 {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    kind: OverloadKind::RejectedAtAdmission,
+                    policy: self.policy,
+                    queue_len: 0,
+                    capacity: 0,
+                });
+            }
+            let ticket = Arc::new(Ticket {
+                state: Mutex::new(TicketState::Waiting),
+                cv: Condvar::new(),
+            });
+            st.waiting.push_back(Arc::clone(&ticket));
+            ticket
+        };
+        self.wait_on(ticket, deadline)
+    }
+
+    fn wait_on(&self, ticket: Arc<Ticket>, deadline: &Deadline) -> Result<Permit<'_>, ServeError> {
+        let mut state = Self::lock_ticket(&ticket);
+        loop {
+            match *state {
+                TicketState::Admitted => {
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Permit { queue: self });
+                }
+                TicketState::Shed => {
+                    let st = self.lock();
+                    return Err(ServeError::Overloaded {
+                        kind: OverloadKind::ShedWhileQueued,
+                        policy: self.policy,
+                        queue_len: st.waiting.len(),
+                        capacity: self.capacity,
+                    });
+                }
+                TicketState::Waiting => {
+                    let remaining = deadline.remaining();
+                    if remaining.is_zero() {
+                        // Withdraw — but only if we are still queued. If
+                        // the ticket is gone from the queue, an admit or
+                        // shed is racing us: re-check the state (the
+                        // resolver sets it right after popping).
+                        drop(state);
+                        let mut st = self.lock();
+                        if let Some(pos) = st.waiting.iter().position(|t| Arc::ptr_eq(t, &ticket)) {
+                            st.waiting.remove(pos);
+                            drop(st);
+                            self.queue_timeouts.fetch_add(1, Ordering::Relaxed);
+                            return Err(ServeError::DeadlineExceeded {
+                                budget: deadline.budget(),
+                                elapsed: deadline.elapsed(),
+                                stages_tried: 0,
+                                admitted: false,
+                            });
+                        }
+                        drop(st);
+                        state = Self::lock_ticket(&ticket);
+                        if *state == TicketState::Waiting {
+                            // Popped but not yet resolved: the resolver
+                            // holds no locks we need — yield briefly.
+                            let (g, _) = ticket
+                                .cv
+                                .wait_timeout(state, Duration::from_millis(1))
+                                .unwrap_or_else(|p| p.into_inner());
+                            state = g;
+                        }
+                        continue;
+                    }
+                    let (g, _) = ticket
+                        .cv
+                        .wait_timeout(state, remaining)
+                        .unwrap_or_else(|p| p.into_inner());
+                    state = g;
+                }
+            }
+        }
+    }
+
+    /// Hand the slot to the next waiter, or free it.
+    fn release(&self) {
+        let mut st = self.lock();
+        if let Some(next) = st.waiting.pop_front() {
+            *Self::lock_ticket(&next) = TicketState::Admitted;
+            next.cv.notify_all();
+            // `running` is unchanged: the slot transfers directly.
+        } else {
+            st.running = st.running.saturating_sub(1);
+        }
+    }
+
+    pub(crate) fn stats(&self) -> AdmissionStats {
+        let st = self.lock();
+        AdmissionStats {
+            running: st.running,
+            queued: st.waiting.len(),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_timeouts: self.queue_timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn admits_up_to_concurrency_then_queues() {
+        let q = Arc::new(AdmissionQueue::new(2, 4, ShedPolicy::RejectNew));
+        let d = Deadline::unbounded();
+        let p1 = q.acquire(&d).unwrap();
+        let _p2 = q.acquire(&d).unwrap();
+        assert_eq!(q.stats().running, 2);
+
+        // Third request must wait until a permit is released.
+        let entered = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let entered = Arc::clone(&entered);
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let _p = q.acquire(&Deadline::unbounded()).unwrap();
+                entered.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        while q.stats().queued == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(entered.load(Ordering::SeqCst), 0, "must be queued");
+        drop(p1);
+        handle.join().unwrap();
+        assert_eq!(entered.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reject_new_rejects_when_queue_is_full() {
+        let q = AdmissionQueue::new(1, 0, ShedPolicy::RejectNew);
+        let d = Deadline::unbounded();
+        let _p = q.acquire(&d).unwrap();
+        let err = q.acquire(&d).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Overloaded {
+                kind: OverloadKind::RejectedAtAdmission,
+                policy: ShedPolicy::RejectNew,
+                ..
+            }
+        ));
+        assert_eq!(q.stats().rejected, 1);
+    }
+
+    #[test]
+    fn deadline_expires_in_queue() {
+        let q = AdmissionQueue::new(1, 4, ShedPolicy::RejectNew);
+        let _p = q.acquire(&Deadline::unbounded()).unwrap();
+        let err = q
+            .acquire(&Deadline::within(Duration::from_millis(20)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::DeadlineExceeded {
+                admitted: false,
+                stages_tried: 0,
+                ..
+            }
+        ));
+        let s = q.stats();
+        assert_eq!((s.queue_timeouts, s.queued), (1, 0), "waiter withdrew");
+    }
+
+    #[test]
+    fn shed_oldest_evicts_the_head_of_the_queue() {
+        let q = Arc::new(AdmissionQueue::new(1, 1, ShedPolicy::ShedOldest));
+        let _p = q.acquire(&Deadline::unbounded()).unwrap();
+
+        // First waiter fills the queue...
+        let first = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.acquire(&Deadline::unbounded()).map(|_| ()))
+        };
+        while q.stats().queued == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        // ...second arrival sheds it and takes its place.
+        let second = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.acquire(&Deadline::within(Duration::from_millis(200)))
+                    .map(|_| ())
+            })
+        };
+        let first_result = first.join().unwrap();
+        assert!(matches!(
+            first_result,
+            Err(ServeError::Overloaded {
+                kind: OverloadKind::ShedWhileQueued,
+                policy: ShedPolicy::ShedOldest,
+                ..
+            })
+        ));
+        assert_eq!(q.stats().shed, 1);
+        // Releasing the permit admits the second waiter.
+        drop(_p);
+        assert!(second.join().unwrap().is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Service-level error taxonomy.
+//!
+//! Stage-level failures (a model erroring, timing out, or tripping its
+//! breaker) are [`qfe_core::EstimateError`]s and stay *inside* the
+//! service's stage loop — they drive fallback, not the response. What a
+//! caller of [`crate::EstimatorService`] can actually see is narrower and
+//! typed here: either the request never got capacity ([`ServeError::Overloaded`])
+//! or its time budget ran out ([`ServeError::DeadlineExceeded`]). Both
+//! carry provenance: *where* in the request lifecycle the failure
+//! happened and what the service state looked like, so an operator can
+//! tell a queue-sizing problem from a slow-stage problem from a log line.
+
+use std::fmt;
+use std::time::Duration;
+
+/// What to do with a new request when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Reject the incoming request; queued requests keep their place.
+    /// Favors requests already waiting (FIFO fairness).
+    RejectNew,
+    /// Shed the oldest queued request to make room for the new one.
+    /// Favors fresh requests — the oldest waiter is the most likely to
+    /// blow its deadline anyway.
+    ShedOldest,
+}
+
+impl fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedPolicy::RejectNew => write!(f, "reject-new"),
+            ShedPolicy::ShedOldest => write!(f, "shed-oldest"),
+        }
+    }
+}
+
+/// How an overloaded request was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadKind {
+    /// Rejected on arrival: the queue was full under
+    /// [`ShedPolicy::RejectNew`].
+    RejectedAtAdmission,
+    /// Admitted to the queue, then evicted by a newer arrival under
+    /// [`ShedPolicy::ShedOldest`].
+    ShedWhileQueued,
+}
+
+/// Failures a service caller can observe. Everything else degrades
+/// internally (fallback stages, the floor) and still yields an estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service is at capacity and this request was turned away.
+    Overloaded {
+        /// How the request was turned away (provenance).
+        kind: OverloadKind,
+        /// The policy in force when it happened.
+        policy: ShedPolicy,
+        /// Waiting requests at the moment of the decision.
+        queue_len: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's budget ran out before any stage produced an answer.
+    DeadlineExceeded {
+        /// The budget the request arrived with.
+        budget: Duration,
+        /// Time actually spent before giving up.
+        elapsed: Duration,
+        /// Stages invoked (not skipped) before expiry. `0` with
+        /// `admitted == false` means the budget died in the queue.
+        stages_tried: usize,
+        /// Whether the request made it past admission.
+        admitted: bool,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                kind,
+                policy,
+                queue_len,
+                capacity,
+            } => {
+                let how = match kind {
+                    OverloadKind::RejectedAtAdmission => "rejected at admission",
+                    OverloadKind::ShedWhileQueued => "shed while queued",
+                };
+                write!(
+                    f,
+                    "overloaded ({how}, policy {policy}, queue {queue_len}/{capacity})"
+                )
+            }
+            ServeError::DeadlineExceeded {
+                budget,
+                elapsed,
+                stages_tried,
+                admitted,
+            } => write!(
+                f,
+                "deadline exceeded after {elapsed:?} of a {budget:?} budget \
+                 ({stages_tried} stages tried, admitted: {admitted})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_provenance() {
+        let e = ServeError::Overloaded {
+            kind: OverloadKind::ShedWhileQueued,
+            policy: ShedPolicy::ShedOldest,
+            queue_len: 4,
+            capacity: 4,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("shed while queued") && s.contains("shed-oldest"),
+            "{s}"
+        );
+        assert!(s.contains("4/4"), "{s}");
+
+        let e = ServeError::DeadlineExceeded {
+            budget: Duration::from_millis(10),
+            elapsed: Duration::from_millis(12),
+            stages_tried: 2,
+            admitted: true,
+        };
+        assert!(e.to_string().contains("2 stages tried"), "{e}");
+    }
+}

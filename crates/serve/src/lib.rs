@@ -1,0 +1,61 @@
+//! `qfe-serve` — deadline-aware, fault-isolated serving front end.
+//!
+//! The estimator crates answer "how do we estimate a cardinality?"; this
+//! crate answers "how do we keep answering when things go wrong, under
+//! concurrency, on a clock?". The entry point is
+//! [`EstimatorService`](service::EstimatorService), which layers, outermost
+//! first:
+//!
+//! - **admission + load shedding** ([`admission`], [`error::ShedPolicy`]) —
+//!   bounded concurrency and a bounded queue; overload becomes a typed
+//!   [`ServeError::Overloaded`], not unbounded latency;
+//! - **deadlines** ([`qfe_core::Deadline`]) — the per-request budget rides
+//!   through the stage loop; slow stages are abandoned and the remaining
+//!   budget flows to the fallbacks;
+//! - **panic isolation** — every stage call is wrapped in `catch_unwind`;
+//! - **circuit breaking** ([`qfe_estimators::breaker`]) — chronically
+//!   failing stages are skipped and probed back in;
+//! - **validated hot swap** ([`slot::ModelSlot`]) — retrained models are
+//!   published atomically, and only after passing a checksum gate and a
+//!   probe workload.
+//!
+//! The crate deliberately contains no estimation logic: it composes any
+//! [`qfe_core::CardinalityEstimator`] stack.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+pub mod admission;
+pub mod error;
+pub mod service;
+pub mod slot;
+
+pub use admission::AdmissionStats;
+pub use error::{OverloadKind, ServeError, ShedPolicy};
+pub use service::{EstimatorService, ServiceConfig, ServiceStats, StageServiceStats};
+pub use slot::{decode_validated, ModelSlot, SharedEstimator, SwapError};
+
+/// Install a panic hook that silences panics whose payload matches one of
+/// `quiet` — chaos-injected panics, in practice — while delegating
+/// everything else to the previously installed hook.
+///
+/// The service *contains* injected panics, but Rust's default hook prints
+/// each one to stderr before `catch_unwind` sees it; a chaos stress run
+/// would drown real failures in thousands of expected backtraces. Call
+/// this once at the start of such a run (tests, demos). Process-global.
+pub fn install_quiet_panic_hook(quiet: Vec<String>) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned());
+        if let Some(msg) = payload {
+            if quiet.contains(&msg) {
+                return;
+            }
+        }
+        previous(info);
+    }));
+}

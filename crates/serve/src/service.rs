@@ -1,0 +1,557 @@
+//! The deadline-aware estimation front end.
+//!
+//! [`EstimatorService`] wraps an ordered stack of estimator stages
+//! (typically: hot-swappable learned model → histogram baseline →
+//! sampling) behind one thread-safe request surface with four layers of
+//! protection, outermost first:
+//!
+//! 1. **Admission** ([`crate::admission`]): at most `max_concurrency`
+//!    requests run at once; a bounded queue absorbs bursts and sheds load
+//!    beyond it with a typed [`ServeError::Overloaded`].
+//! 2. **Deadline** ([`qfe_core::Deadline`]): every request carries a time
+//!    budget through the stage loop. Each stage gets a *fair share* of the
+//!    remaining budget (`remaining / stages_left`), so a stalled learned
+//!    stage is abandoned mid-chain and the leftover budget flows to the
+//!    cheap fallbacks instead of dying with the stall.
+//! 3. **Panic isolation**: every stage call runs under `catch_unwind`
+//!    (on a watchdog thread when a real budget applies); a panicking model
+//!    becomes a per-stage failure that falls through — it never crosses
+//!    the service boundary and never poisons another request.
+//! 4. **Circuit breaking** ([`qfe_estimators::breaker`]): consecutive
+//!    failures open a per-stage breaker, so a corrupt or drifted model is
+//!    *skipped* (fast typed `CircuitOpen`) instead of burning every
+//!    request's budget, and probed back in after an exponential cooldown.
+//!
+//! The response contract mirrors the chain's, hardened for concurrency:
+//! every request gets a finite [`Estimate`] `>= 1` (a real stage or the
+//! constant floor) or a typed [`ServeError`] — never a panic, never NaN,
+//! under any interleaving of failures.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use qfe_core::error::EstimateErrorKind;
+use qfe_core::estimator::Estimate;
+use qfe_core::{Deadline, Query};
+use qfe_estimators::breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
+
+use crate::admission::{AdmissionQueue, AdmissionStats};
+use crate::error::{ServeError, ShedPolicy};
+use crate::slot::SharedEstimator;
+
+/// Tuning for an [`EstimatorService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Requests executing concurrently; more wait in the queue.
+    pub max_concurrency: usize,
+    /// Waiting requests beyond which the service sheds load.
+    pub queue_capacity: usize,
+    /// Who eats the `Overloaded` error when the queue is full.
+    pub shed_policy: ShedPolicy,
+    /// Budget used by [`EstimatorService::estimate`] when the caller does
+    /// not bring a deadline of their own.
+    pub default_budget: Duration,
+    /// Breaker tuning applied to every stage.
+    pub breaker: BreakerConfig,
+    /// The constant answered when every stage fails within budget
+    /// (clamped finite and `>= 1`).
+    pub floor: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrency: 8,
+            queue_capacity: 16,
+            shed_policy: ShedPolicy::RejectNew,
+            default_budget: Duration::from_millis(100),
+            breaker: BreakerConfig::default(),
+            floor: 1.0,
+        }
+    }
+}
+
+/// Budgets at or above this are treated as "no real deadline": the stage
+/// runs inline (still panic-isolated) instead of on a watchdog thread.
+const INLINE_BUDGET: Duration = Duration::from_secs(60 * 60);
+
+/// How one stage call ended, from the service's point of view.
+enum Outcome {
+    /// A valid (finite, `>= 1`) estimate.
+    Answer(f64),
+    /// A typed failure (including an `Ok` wrapping an illegal value,
+    /// which the service converts to `NonFinite`).
+    Fail(EstimateErrorKind),
+    /// The stage did not answer within its share of the budget and was
+    /// abandoned (the call may still be running on its watchdog thread).
+    Timeout,
+    /// The stage panicked; the panic was contained.
+    Panicked,
+}
+
+struct StageSlot {
+    est: SharedEstimator,
+    /// Captured at construction; hot-swapped inner models keep the
+    /// stage's label for provenance (the *slot* answered).
+    name: String,
+    breaker: CircuitBreaker,
+    hits: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+    skipped_open: AtomicU64,
+    errors: [AtomicU64; EstimateErrorKind::COUNT],
+}
+
+impl StageSlot {
+    fn record_error(&self, kind: EstimateErrorKind) {
+        self.errors[kind.as_index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-stage serving counters, one coherent snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageServiceStats {
+    /// Stage label (`name()` at construction).
+    pub name: String,
+    /// Requests this stage answered.
+    pub hits: u64,
+    /// Stage calls abandoned on their budget share.
+    pub timeouts: u64,
+    /// Stage calls that panicked (contained).
+    pub panics: u64,
+    /// Requests that skipped the stage because its breaker was open.
+    pub skipped_open: u64,
+    /// All stage failures bucketed by [`EstimateErrorKind`] label.
+    pub errors: Vec<(&'static str, u64)>,
+    /// Breaker state and transition counters.
+    pub breaker: BreakerStats,
+}
+
+/// Service-wide counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered with an estimate (stage or floor).
+    pub answered: u64,
+    /// Of those, answered by the constant floor.
+    pub floor_answers: u64,
+    /// Requests that returned [`ServeError::DeadlineExceeded`] after
+    /// admission.
+    pub deadline_exceeded: u64,
+    /// Admission-layer counters (running, queued, shed, rejected, …).
+    pub admission: AdmissionStats,
+    /// Per-stage counters in stage order.
+    pub stages: Vec<StageServiceStats>,
+}
+
+/// A thread-safe, deadline-aware front end over a stack of estimators
+/// (see the module docs).
+pub struct EstimatorService {
+    stages: Vec<StageSlot>,
+    admission: AdmissionQueue,
+    floor: f64,
+    default_budget: Duration,
+    answered: AtomicU64,
+    floor_answers: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+impl EstimatorService {
+    /// Build a service over `stages`, tried in order per request.
+    pub fn new(stages: Vec<SharedEstimator>, cfg: ServiceConfig) -> Self {
+        let floor = if cfg.floor.is_finite() {
+            cfg.floor.max(1.0)
+        } else {
+            1.0
+        };
+        EstimatorService {
+            stages: stages
+                .into_iter()
+                .map(|est| StageSlot {
+                    name: est.name(),
+                    breaker: CircuitBreaker::new(cfg.breaker.clone()),
+                    est,
+                    hits: AtomicU64::new(0),
+                    timeouts: AtomicU64::new(0),
+                    panics: AtomicU64::new(0),
+                    skipped_open: AtomicU64::new(0),
+                    errors: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+            admission: AdmissionQueue::new(
+                cfg.max_concurrency,
+                cfg.queue_capacity,
+                cfg.shed_policy,
+            ),
+            floor,
+            default_budget: cfg.default_budget,
+            answered: AtomicU64::new(0),
+            floor_answers: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+        }
+    }
+
+    /// Serve one request under the configured default budget.
+    pub fn estimate(&self, query: &Query) -> Result<Estimate, ServeError> {
+        self.estimate_within(query, Deadline::within(self.default_budget))
+    }
+
+    /// Serve one request under the caller's deadline.
+    ///
+    /// Returns a finite estimate `>= 1` (with stage provenance, the floor
+    /// included as the deepest stage), or a typed [`ServeError`] when the
+    /// request was shed or its budget ran out. Never panics, never NaN.
+    pub fn estimate_within(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<Estimate, ServeError> {
+        let _permit = self.admission.acquire(&deadline)?;
+        let mut tried = 0usize;
+        for (depth, stage) in self.stages.iter().enumerate() {
+            if deadline.expired() {
+                return Err(self.give_up(deadline, tried));
+            }
+            if !stage.breaker.admit() {
+                stage.skipped_open.fetch_add(1, Ordering::Relaxed);
+                stage.record_error(EstimateErrorKind::CircuitOpen);
+                continue;
+            }
+            tried += 1;
+            // Fair-share budgeting: this stage may use its fraction of
+            // what is left; later stages inherit whatever it leaves
+            // behind (all of it, if the stage fails fast).
+            let stages_left = (self.stages.len() - depth) as u32;
+            let share = deadline.remaining() / stages_left;
+            match Self::run_stage(stage, query, share) {
+                Outcome::Answer(value) => {
+                    stage.breaker.record_success();
+                    stage.hits.fetch_add(1, Ordering::Relaxed);
+                    self.answered.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Estimate {
+                        value,
+                        estimator: stage.name.clone(),
+                        fallback_depth: depth,
+                    });
+                }
+                Outcome::Fail(kind) => {
+                    stage.breaker.record_failure();
+                    stage.record_error(kind);
+                }
+                Outcome::Timeout => {
+                    stage.breaker.record_failure();
+                    stage.timeouts.fetch_add(1, Ordering::Relaxed);
+                    stage.record_error(EstimateErrorKind::DeadlineExceeded);
+                }
+                Outcome::Panicked => {
+                    stage.breaker.record_failure();
+                    stage.panics.fetch_add(1, Ordering::Relaxed);
+                    stage.record_error(EstimateErrorKind::Internal);
+                }
+            }
+        }
+        if deadline.expired() {
+            return Err(self.give_up(deadline, tried));
+        }
+        // Every stage failed or was skipped, within budget: the floor
+        // upholds the "always an estimate" half of the contract.
+        self.answered.fetch_add(1, Ordering::Relaxed);
+        self.floor_answers.fetch_add(1, Ordering::Relaxed);
+        Ok(Estimate {
+            value: self.floor,
+            estimator: "floor".into(),
+            fallback_depth: self.stages.len(),
+        })
+    }
+
+    fn give_up(&self, deadline: Deadline, tried: usize) -> ServeError {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        ServeError::DeadlineExceeded {
+            budget: deadline.budget(),
+            elapsed: deadline.elapsed(),
+            stages_tried: tried,
+            admitted: true,
+        }
+    }
+
+    /// One stage call, panic-isolated and bounded by `share`.
+    fn run_stage(stage: &StageSlot, query: &Query, share: Duration) -> Outcome {
+        if share >= INLINE_BUDGET {
+            // No meaningful deadline: skip the watchdog thread, keep the
+            // panic isolation.
+            let caught = catch_unwind(AssertUnwindSafe(|| stage.est.try_estimate(query)));
+            return match caught {
+                Ok(result) => Self::classify(result),
+                Err(_) => Outcome::Panicked,
+            };
+        }
+        if share.is_zero() {
+            return Outcome::Timeout;
+        }
+        // Watchdog pattern: the call runs on its own thread; we wait at
+        // most `share`. On timeout the thread is abandoned — it finishes
+        // (or panics) in the background and its result is discarded. The
+        // breaker is what keeps a chronically slow stage from accumulating
+        // abandoned threads: after `failure_threshold` timeouts the stage
+        // stops being invoked at all.
+        let est = SharedEstimator::clone(&stage.est);
+        let q = query.clone();
+        let (tx, rx) = mpsc::sync_channel(1);
+        let spawned = std::thread::Builder::new()
+            .name("qfe-serve-stage".into())
+            .spawn(move || {
+                let caught = catch_unwind(AssertUnwindSafe(|| est.try_estimate(&q)));
+                let _ = tx.send(caught);
+            });
+        if spawned.is_err() {
+            // Cannot even spawn (resource exhaustion): count it against
+            // the stage and fall through to cheaper fallbacks.
+            return Outcome::Fail(EstimateErrorKind::Internal);
+        }
+        match rx.recv_timeout(share) {
+            Ok(Ok(result)) => Self::classify(result),
+            Ok(Err(_)) => Outcome::Panicked,
+            Err(_) => Outcome::Timeout,
+        }
+    }
+
+    fn classify(result: Result<Estimate, qfe_core::EstimateError>) -> Outcome {
+        match result {
+            // Defense in depth, same as the chain: an Ok is only trusted
+            // after re-validation.
+            Ok(est) if est.value.is_finite() && est.value >= 1.0 => Outcome::Answer(est.value),
+            Ok(_) => Outcome::Fail(EstimateErrorKind::NonFinite),
+            Err(e) => Outcome::Fail(e.kind()),
+        }
+    }
+
+    /// Number of configured stages (the floor is implicit).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// One coherent snapshot of every service counter.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            answered: self.answered.load(Ordering::Relaxed),
+            floor_answers: self.floor_answers.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            admission: self.admission.stats(),
+            stages: self
+                .stages
+                .iter()
+                .map(|s| StageServiceStats {
+                    name: s.name.clone(),
+                    hits: s.hits.load(Ordering::Relaxed),
+                    timeouts: s.timeouts.load(Ordering::Relaxed),
+                    panics: s.panics.load(Ordering::Relaxed),
+                    skipped_open: s.skipped_open.load(Ordering::Relaxed),
+                    errors: EstimateErrorKind::ALL
+                        .iter()
+                        .map(|k| (k.label(), s.errors[k.as_index()].load(Ordering::Relaxed)))
+                        .collect(),
+                    breaker: s.breaker.stats(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::estimator::CardinalityEstimator;
+    use qfe_core::TableId;
+    use qfe_estimators::chain::{ChaosEstimator, EstimatorFault};
+    use std::sync::Arc;
+
+    struct Constant(f64);
+    impl CardinalityEstimator for Constant {
+        fn name(&self) -> String {
+            "constant".into()
+        }
+        fn estimate(&self, _q: &Query) -> f64 {
+            self.0
+        }
+    }
+
+    struct Slow {
+        delay: Duration,
+        value: f64,
+    }
+    impl CardinalityEstimator for Slow {
+        fn name(&self) -> String {
+            "slow".into()
+        }
+        fn estimate(&self, _q: &Query) -> f64 {
+            std::thread::sleep(self.delay);
+            self.value
+        }
+    }
+
+    struct Panicky;
+    impl CardinalityEstimator for Panicky {
+        fn name(&self) -> String {
+            "panicky".into()
+        }
+        fn estimate(&self, _q: &Query) -> f64 {
+            panic!("stage bug")
+        }
+    }
+
+    fn q() -> Query {
+        Query::single_table(TableId(0), vec![])
+    }
+
+    fn lenient_breaker() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 1_000_000,
+            ..BreakerConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_primary_answers_with_provenance() {
+        let svc = EstimatorService::new(
+            vec![Arc::new(Constant(123.0)), Arc::new(Constant(5.0))],
+            ServiceConfig::default(),
+        );
+        let e = svc.estimate(&q()).unwrap();
+        assert_eq!((e.value, e.fallback_depth), (123.0, 0));
+        assert_eq!(e.estimator, "constant");
+        let stats = svc.stats();
+        assert_eq!(stats.answered, 1);
+        assert_eq!(stats.stages[0].hits, 1);
+        assert_eq!(stats.stages[1].hits, 0);
+    }
+
+    #[test]
+    fn slow_stage_is_abandoned_and_fallback_answers_in_budget() {
+        let svc = EstimatorService::new(
+            vec![
+                Arc::new(Slow {
+                    delay: Duration::from_secs(5),
+                    value: 99.0,
+                }),
+                Arc::new(Constant(7.0)),
+            ],
+            ServiceConfig {
+                breaker: lenient_breaker(),
+                ..ServiceConfig::default()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let e = svc
+            .estimate_within(&q(), Deadline::within(Duration::from_millis(100)))
+            .unwrap();
+        assert_eq!(e.value, 7.0);
+        assert_eq!(e.fallback_depth, 1);
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "the 5s stall must not be waited out: {:?}",
+            t0.elapsed()
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.stages[0].timeouts, 1);
+        assert_eq!(stats.stages[1].hits, 1);
+    }
+
+    #[test]
+    fn panicking_stage_is_contained() {
+        let svc = EstimatorService::new(
+            vec![Arc::new(Panicky), Arc::new(Constant(3.0))],
+            ServiceConfig {
+                breaker: lenient_breaker(),
+                ..ServiceConfig::default()
+            },
+        );
+        for _ in 0..5 {
+            let e = svc.estimate(&q()).unwrap();
+            assert_eq!(e.value, 3.0);
+        }
+        assert_eq!(svc.stats().stages[0].panics, 5);
+    }
+
+    #[test]
+    fn breaker_stops_invoking_a_dead_stage_then_recovers_by_probe() {
+        let svc = EstimatorService::new(
+            vec![
+                Arc::new(ChaosEstimator::new(
+                    Constant(50.0),
+                    vec![EstimatorFault::Error],
+                    1.0,
+                    1,
+                )),
+                Arc::new(Constant(9.0)),
+            ],
+            ServiceConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown: Duration::from_millis(40),
+                    max_cooldown: Duration::from_millis(40),
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            assert_eq!(svc.estimate(&q()).unwrap().value, 9.0);
+        }
+        let stats = svc.stats();
+        // 3 failures trip the breaker; the remaining 7 requests skip.
+        assert_eq!(stats.stages[0].breaker.opened, 1);
+        assert_eq!(stats.stages[0].skipped_open, 7);
+        // After the cooldown a probe is admitted (and fails again here,
+        // re-opening the breaker).
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(svc.estimate(&q()).unwrap().value, 9.0);
+        let stats = svc.stats();
+        assert_eq!(stats.stages[0].breaker.probes, 1);
+        assert_eq!(stats.stages[0].breaker.opened, 2);
+    }
+
+    #[test]
+    fn zero_budget_is_a_typed_deadline_error() {
+        let svc = EstimatorService::new(vec![Arc::new(Constant(2.0))], ServiceConfig::default());
+        let err = svc
+            .estimate_within(&q(), Deadline::within(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::DeadlineExceeded {
+                stages_tried: 0,
+                admitted: true,
+                ..
+            }
+        ));
+        assert_eq!(svc.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn all_stages_failing_within_budget_lands_on_the_floor() {
+        let svc = EstimatorService::new(
+            vec![Arc::new(Constant(f64::NAN))],
+            ServiceConfig {
+                floor: 4.0,
+                breaker: lenient_breaker(),
+                ..ServiceConfig::default()
+            },
+        );
+        let e = svc.estimate(&q()).unwrap();
+        assert_eq!((e.value, e.fallback_depth), (4.0, 1));
+        assert_eq!(e.estimator, "floor");
+        let stats = svc.stats();
+        assert_eq!(stats.floor_answers, 1);
+        assert_eq!(
+            stats.stages[0].errors[EstimateErrorKind::NonFinite.as_index()].1,
+            1
+        );
+    }
+
+    #[test]
+    fn unbounded_budget_runs_inline() {
+        let svc = EstimatorService::new(vec![Arc::new(Constant(11.0))], ServiceConfig::default());
+        let e = svc.estimate_within(&q(), Deadline::unbounded()).unwrap();
+        assert_eq!(e.value, 11.0);
+    }
+}

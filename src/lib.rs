@@ -16,6 +16,9 @@
 //!   MSCN, linear regression.
 //! * [`estimators`] — cardinality estimators: Postgres-style independence,
 //!   Bernoulli sampling, and learned local/global models.
+//! * [`serve`] — deadline-aware serving front end: admission control and
+//!   load shedding, per-stage circuit breakers, panic isolation, and
+//!   validated hot model swap.
 //! * [`workload`] — query generators: conjunctive, mixed, JOB-light-like
 //!   join workloads, and drift splits.
 //!
@@ -52,4 +55,5 @@ pub use qfe_data as data;
 pub use qfe_estimators as estimators;
 pub use qfe_exec as exec;
 pub use qfe_ml as ml;
+pub use qfe_serve as serve;
 pub use qfe_workload as workload;

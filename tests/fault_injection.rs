@@ -125,9 +125,9 @@ proptest! {
         }
 
         // Counter bookkeeping: every try_estimate + estimate call landed
-        // in exactly one stage-hit bucket.
-        let hits: u64 = chain.stage_hits().iter().sum();
-        prop_assert_eq!(hits, 2 * n);
+        // in exactly one stage-hit bucket (floor included), read as one
+        // coherent snapshot.
+        prop_assert_eq!(chain.stage_stats().total_hits(), 2 * n);
     }
 
     /// With injection disabled the primary stage answers everything.
@@ -145,7 +145,9 @@ proptest! {
             prop_assert!(est.fallback_depth <= 1, "{est:?}");
             prop_assert!(est.value.is_finite() && est.value >= 1.0);
         }
-        prop_assert_eq!(chain.fallback_count(), chain.stage_hits()[1]);
+        let stats = chain.stage_stats();
+        prop_assert_eq!(stats.fallback_count, stats.stage_hits[1] + stats.floor_hits);
+        prop_assert_eq!(stats.floor_hits, 0);
     }
 
     /// Full-rate chaos on every stage: the floor answers every query and
@@ -167,9 +169,10 @@ proptest! {
             prop_assert_eq!(est.fallback_depth, 2);
         }
         let n = queries.len() as u64;
-        prop_assert_eq!(chain.stage_hits(), vec![0, 0, n]);
+        let stats = chain.stage_stats();
+        prop_assert_eq!(stats.stage_hits, vec![0, 0]);
+        prop_assert_eq!(stats.floor_hits, n);
         // Two stages failed for each of n queries.
-        let errors: u64 = chain.error_counts().iter().map(|(_, c)| c).sum();
-        prop_assert_eq!(errors, 2 * n);
+        prop_assert_eq!(stats.total_errors(), 2 * n);
     }
 }

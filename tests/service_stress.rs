@@ -1,0 +1,316 @@
+//! Concurrency stress for the serving front end: 8 threads hammer an
+//! [`EstimatorService`] whose stages panic, emit NaN, error, and stall —
+//! while a background thread hot-swaps the primary model (including
+//! deliberately invalid candidates).
+//!
+//! The acceptance contract under all of that:
+//!
+//! - no panic ever escapes the service (worker threads join cleanly);
+//! - every response is a finite estimate `>= 1` or a typed
+//!   [`ServeError`] (`Overloaded` / `DeadlineExceeded`) — nothing else;
+//! - breaker counters stay internally consistent (reclose requires a
+//!   probe, a probe requires an open, skips match the typed skip errors);
+//! - the hot-swap slot never serves a candidate that failed validation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qfe::core::{CardinalityEstimator, Deadline, Query, TableId};
+use qfe::estimators::chain::{ChaosEstimator, EstimatorFault};
+use qfe::estimators::BreakerConfig;
+use qfe::serve::{
+    install_quiet_panic_hook, EstimatorService, ModelSlot, ServeError, ServiceConfig,
+    SharedEstimator, ShedPolicy, SwapError,
+};
+
+struct Fixed(f64);
+
+impl CardinalityEstimator for Fixed {
+    fn name(&self) -> String {
+        "fixed".into()
+    }
+    fn estimate(&self, _q: &Query) -> f64 {
+        self.0
+    }
+}
+
+/// Adapter: a shared [`ModelSlot`] as an owned chaos-wrappable stage.
+struct SlotStage(Arc<ModelSlot>);
+
+impl CardinalityEstimator for SlotStage {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn estimate(&self, q: &Query) -> f64 {
+        self.0.estimate(q)
+    }
+    fn try_estimate(&self, q: &Query) -> Result<qfe::core::Estimate, qfe::core::EstimateError> {
+        self.0.try_estimate(q)
+    }
+}
+
+struct Stalling {
+    delay: Duration,
+}
+
+impl CardinalityEstimator for Stalling {
+    fn name(&self) -> String {
+        "stalling".into()
+    }
+    fn estimate(&self, _q: &Query) -> f64 {
+        std::thread::sleep(self.delay);
+        33.0
+    }
+}
+
+fn query() -> Query {
+    Query::single_table(TableId(0), vec![])
+}
+
+/// Values the swap thread successfully publishes; anything else coming
+/// out of the slot stage is a validation hole.
+const INITIAL: f64 = 100.0;
+const REPLACEMENT: f64 = 42.0;
+
+#[test]
+fn chaos_stress_upholds_the_response_contract() {
+    install_quiet_panic_hook(vec![ChaosEstimator::<Fixed>::PANIC_MSG.to_owned()]);
+
+    let slot = Arc::new(ModelSlot::new(Arc::new(Fixed(INITIAL))));
+    let stages: Vec<SharedEstimator> = vec![
+        // Primary: the hot-swap slot, behind chaos that panics, NaNs, and
+        // errors on 40% of calls.
+        Arc::new(ChaosEstimator::new(
+            SlotStage(Arc::clone(&slot)),
+            vec![
+                EstimatorFault::Panic,
+                EstimatorFault::Nan,
+                EstimatorFault::Error,
+            ],
+            0.4,
+            7,
+        )),
+        // Secondary: correct but sometimes slow (8ms stalls on 30% of
+        // calls, against a 40ms request budget shared fairly).
+        Arc::new(
+            ChaosEstimator::new(Fixed(60.0), vec![EstimatorFault::Latency], 0.3, 11)
+                .with_latency(Duration::from_millis(8)),
+        ),
+        // Tertiary: boring and reliable.
+        Arc::new(Fixed(25.0)),
+    ];
+    let svc = Arc::new(EstimatorService::new(
+        stages,
+        ServiceConfig {
+            max_concurrency: 4,
+            queue_capacity: 2,
+            shed_policy: ShedPolicy::RejectNew,
+            default_budget: Duration::from_millis(40),
+            breaker: BreakerConfig {
+                failure_threshold: 4,
+                cooldown: Duration::from_millis(5),
+                max_cooldown: Duration::from_millis(50),
+            },
+            floor: 1.0,
+        },
+    ));
+
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 60;
+    let ok = Arc::new(AtomicU64::new(0));
+    let deadline_errs = Arc::new(AtomicU64::new(0));
+    let overload_errs = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let ok = Arc::clone(&ok);
+            let deadline_errs = Arc::clone(&deadline_errs);
+            let overload_errs = Arc::clone(&overload_errs);
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    match svc.estimate_within(&query(), Deadline::within(Duration::from_millis(40)))
+                    {
+                        Ok(est) => {
+                            assert!(
+                                est.value.is_finite() && est.value >= 1.0,
+                                "illegal estimate escaped the service: {est:?}"
+                            );
+                            if est.fallback_depth == 0 {
+                                // The slot answered: only validated models
+                                // may ever speak through it.
+                                assert!(
+                                    est.value == INITIAL || est.value == REPLACEMENT,
+                                    "unvalidated model served: {est:?}"
+                                );
+                            }
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::DeadlineExceeded { .. }) => {
+                            deadline_errs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Overloaded { .. }) => {
+                            overload_errs.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Mid-stress hot swapping: invalid candidates must bounce, valid ones
+    // must land, and neither may disturb in-flight requests.
+    let swapper = {
+        let slot = Arc::clone(&slot);
+        std::thread::spawn(move || {
+            let probe: Vec<Query> = (0..4).map(|_| query()).collect();
+            let mut published = 0u64;
+            for _ in 0..20 {
+                let nan = slot.try_publish(Arc::new(Fixed(f64::NAN)), &probe);
+                assert!(matches!(nan, Err(SwapError::ProbeFailed { .. })), "{nan:?}");
+                let low = slot.try_publish(Arc::new(Fixed(0.5)), &probe);
+                assert!(matches!(low, Err(SwapError::ProbeFailed { .. })), "{low:?}");
+                slot.try_publish(Arc::new(Fixed(REPLACEMENT)), &probe)
+                    .expect("valid candidate must publish");
+                published += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            published
+        })
+    };
+
+    // "No panic escapes" is literal: a panic crossing the service
+    // boundary would fail these joins.
+    for w in workers {
+        w.join().expect("worker thread must not see a panic");
+    }
+    let published = swapper.join().expect("swap thread must not panic");
+
+    // Every request is accounted for, exactly once, with a typed outcome.
+    let total = (THREADS as u64) * PER_THREAD;
+    let (ok, deadline_errs, overload_errs) = (
+        ok.load(Ordering::Relaxed),
+        deadline_errs.load(Ordering::Relaxed),
+        overload_errs.load(Ordering::Relaxed),
+    );
+    assert_eq!(ok + deadline_errs + overload_errs, total);
+    assert!(ok > 0, "chaos at 40% must not starve the service entirely");
+
+    let stats = svc.stats();
+    assert_eq!(stats.answered, ok, "service counted every success");
+    assert_eq!(
+        stats.deadline_exceeded + stats.admission.queue_timeouts,
+        deadline_errs,
+        "deadline errors come from the stage loop or the queue, nowhere else"
+    );
+    assert_eq!(
+        stats.admission.rejected + stats.admission.shed,
+        overload_errs,
+        "overload errors come from admission, nowhere else"
+    );
+    assert_eq!(stats.admission.running, 0, "all permits released");
+    assert_eq!(stats.admission.queued, 0, "queue drained");
+
+    // Breaker bookkeeping must be internally consistent per stage.
+    let mut stage_hits = 0;
+    for stage in &stats.stages {
+        let b = &stage.breaker;
+        assert!(
+            b.reclosed <= b.probes && b.probes <= b.opened,
+            "close needs a probe, a probe needs an open: {b:?} on {}",
+            stage.name
+        );
+        let skip_errors = stage
+            .errors
+            .iter()
+            .find(|(label, _)| *label == "circuit-open")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert_eq!(
+            stage.skipped_open, skip_errors,
+            "every breaker skip is recorded as a typed circuit-open error"
+        );
+        stage_hits += stage.hits;
+    }
+    assert_eq!(
+        stage_hits + stats.floor_answers,
+        stats.answered,
+        "every answer came from a stage or the floor"
+    );
+    // The primary stage fails 40% of the time with threshold 4: the
+    // breaker must have actually opened (and therefore skipped calls).
+    assert!(
+        stats.stages[0].breaker.opened > 0,
+        "chaos must trip the primary's breaker: {:?}",
+        stats.stages[0]
+    );
+
+    // The swap thread's view and the slot's view agree.
+    let (published_count, rejected_count) = slot.swap_counts();
+    assert_eq!(published_count, published);
+    assert_eq!(rejected_count, 2 * published);
+    assert_eq!(slot.generation(), published);
+}
+
+#[test]
+fn sustained_overload_sheds_with_typed_provenance() {
+    // One slot, no queue to speak of, and a stage that holds its permit
+    // for 20ms: most of the burst must be turned away, every rejection
+    // typed, and the service must recover to idle afterwards.
+    let svc = Arc::new(EstimatorService::new(
+        vec![Arc::new(Stalling {
+            delay: Duration::from_millis(20),
+        }) as SharedEstimator],
+        ServiceConfig {
+            max_concurrency: 1,
+            queue_capacity: 1,
+            shed_policy: ShedPolicy::ShedOldest,
+            breaker: BreakerConfig {
+                failure_threshold: u32::MAX,
+                ..BreakerConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    ));
+
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.estimate_within(&query(), Deadline::within(Duration::from_millis(250)))
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic under overload"))
+        .collect();
+
+    let ok = outcomes.iter().filter(|r| r.is_ok()).count();
+    let shed = outcomes
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Overloaded { .. })))
+        .count();
+    let deadline = outcomes
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::DeadlineExceeded { .. })))
+        .count();
+    assert_eq!(ok + shed + deadline, 6, "only typed outcomes");
+    assert!(ok >= 1, "the slot holder and queue survivors finish");
+    for r in outcomes.iter().flatten() {
+        assert_eq!(r.value, 33.0);
+    }
+    // Shed requests carry provenance naming the policy that shed them.
+    if let Some(Err(e)) = outcomes
+        .iter()
+        .find(|r| matches!(r, Err(ServeError::Overloaded { .. })))
+    {
+        let msg = e.to_string();
+        assert!(msg.contains("shed-oldest"), "{msg}");
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.admission.running, 0);
+    assert_eq!(stats.admission.queued, 0);
+    assert_eq!(stats.admission.shed + stats.admission.rejected, shed as u64);
+}
