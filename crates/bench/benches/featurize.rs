@@ -1,13 +1,16 @@
 //! Criterion micro-benchmark of featurization latency per QFT — the
 //! precise version of the paper's Table 7 (µs per query).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use qfe_bench::envs::ForestEnv;
 use qfe_bench::trainers::{make_featurizer, QftKind};
 use qfe_bench::Scale;
-use qfe_core::featurize::AttributeSpace;
+use qfe_core::featurize::{AttributeSpace, Featurizer};
 use qfe_core::TableId;
+use qfe_obs::{NoopRecorder, ObservedFeaturizer};
 
 fn bench_featurization(c: &mut Criterion) {
     let scale = Scale::smoke();
@@ -32,5 +35,39 @@ fn bench_featurization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_featurization);
+/// The acceptance bar for the observability layer: wrapping a featurizer
+/// in [`ObservedFeaturizer`] with the no-op recorder must not measurably
+/// change featurization latency (the per-call cost is one virtual call
+/// into empty method bodies).
+fn bench_noop_recorder_overhead(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let env = ForestEnv::build(&scale);
+    let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+    let queries = &env.conj_test.queries;
+    let mut group = c.benchmark_group("featurize-observed");
+    let bare = make_featurizer(QftKind::Conjunctive, space.clone(), 64, true);
+    group.bench_function("bare", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(bare.featurize(q).unwrap())
+        });
+    });
+    let observed = ObservedFeaturizer::new(
+        make_featurizer(QftKind::Conjunctive, space, 64, true),
+        Arc::new(NoopRecorder),
+    );
+    group.bench_function("noop-observed", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(observed.featurize(q).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_featurization, bench_noop_recorder_overhead);
 criterion_main!(benches);

@@ -37,6 +37,24 @@ pub struct UniversalConjunctionEncoding {
     max_buckets: usize,
     attr_sel: bool,
     ternary: bool,
+    /// Cumulative layout: `offsets[pos]` is where attribute `pos` starts in
+    /// the feature vector; `offsets[space.len()]` is the total dimension.
+    /// Precomputed whenever the layout changes — summing the prefix on
+    /// every `attr_offset` call made per-attribute loops O(n²).
+    offsets: Vec<usize>,
+}
+
+/// Cumulative offsets for a per-attribute layout: one entry per attribute
+/// plus a final entry holding the total width.
+pub(crate) fn layout_offsets(count: usize, width_of: impl Fn(usize) -> usize) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(count + 1);
+    let mut total = 0;
+    offsets.push(0);
+    for pos in 0..count {
+        total += width_of(pos);
+        offsets.push(total);
+    }
+    offsets
 }
 
 impl UniversalConjunctionEncoding {
@@ -53,18 +71,26 @@ impl UniversalConjunctionEncoding {
                 "conjunctive QFT needs at least one bucket per attribute".into(),
             ));
         }
-        Ok(UniversalConjunctionEncoding {
+        let mut enc = UniversalConjunctionEncoding {
             space,
             max_buckets,
             attr_sel: true,
             ternary: true,
-        })
+            offsets: Vec::new(),
+        };
+        enc.recompute_offsets();
+        Ok(enc)
+    }
+
+    fn recompute_offsets(&mut self) {
+        self.offsets = layout_offsets(self.space.len(), |pos| self.attr_width(pos));
     }
 
     /// Enable/disable the per-attribute selectivity entries (Table 3
     /// ablates them).
     pub fn with_attr_sel(mut self, attr_sel: bool) -> Self {
         self.attr_sel = attr_sel;
+        self.recompute_offsets();
         self
     }
 
@@ -102,9 +128,10 @@ impl UniversalConjunctionEncoding {
         self.buckets_of(pos) + usize::from(self.attr_sel)
     }
 
-    /// Offset of attribute `pos` inside the feature vector.
+    /// Offset of attribute `pos` inside the feature vector. O(1): the
+    /// layout is precomputed at construction.
     pub fn attr_offset(&self, pos: usize) -> usize {
-        (0..pos).map(|p| self.attr_width(p)).sum()
+        self.offsets[pos]
     }
 }
 
@@ -212,7 +239,7 @@ impl Featurizer for UniversalConjunctionEncoding {
     }
 
     fn dim(&self) -> usize {
-        (0..self.space.len()).map(|p| self.attr_width(p)).sum()
+        self.offsets[self.space.len()]
     }
 
     fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
@@ -507,5 +534,42 @@ mod tests {
         let enc = UniversalConjunctionEncoding::new(paper_space(), 12).unwrap();
         let last = enc.space().len() - 1;
         assert_eq!(enc.attr_offset(last) + enc.buckets_of(last) + 1, enc.dim());
+    }
+
+    /// Layout regression: the precomputed offsets must equal the prefix
+    /// sums of the per-attribute widths under every layout-affecting
+    /// configuration (attrSel on/off; ternary does not affect layout).
+    #[test]
+    fn precomputed_offsets_match_prefix_sums() {
+        for attr_sel in [true, false] {
+            for ternary in [true, false] {
+                let enc = UniversalConjunctionEncoding::new(paper_space(), 12)
+                    .unwrap()
+                    .with_attr_sel(attr_sel)
+                    .with_ternary(ternary);
+                let mut expected = 0;
+                for pos in 0..enc.space().len() {
+                    assert_eq!(
+                        enc.attr_offset(pos),
+                        expected,
+                        "attrSel={attr_sel} ternary={ternary} pos={pos}"
+                    );
+                    expected += enc.buckets_of(pos) + usize::from(attr_sel);
+                }
+                assert_eq!(enc.dim(), expected);
+            }
+        }
+    }
+
+    /// Toggling attrSel after construction must rebuild the layout, not
+    /// keep stale offsets.
+    #[test]
+    fn with_attr_sel_rebuilds_offsets() {
+        let with_sel = UniversalConjunctionEncoding::new(paper_space(), 12).unwrap();
+        let without = with_sel.clone().with_attr_sel(false);
+        // Each of the 3 attributes loses exactly its one selectivity slot.
+        assert_eq!(with_sel.attr_offset(1), without.attr_offset(1) + 1);
+        assert_eq!(with_sel.attr_offset(2), without.attr_offset(2) + 2);
+        assert_eq!(with_sel.dim(), without.dim() + 3);
     }
 }

@@ -30,6 +30,12 @@ pub struct EquiDepthConjunctionEncoding {
     space: AttributeSpace,
     edges: Vec<Vec<f64>>,
     attr_sel: bool,
+    /// Cumulative layout (see [`UniversalConjunctionEncoding`]'s twin
+    /// field): `offsets[pos]` is attribute `pos`'s start, the last entry
+    /// is the total dimension. Precomputed on every layout change.
+    ///
+    /// [`UniversalConjunctionEncoding`]: crate::featurize::UniversalConjunctionEncoding
+    offsets: Vec<usize>,
 }
 
 impl EquiDepthConjunctionEncoding {
@@ -52,22 +58,37 @@ impl EquiDepthConjunctionEncoding {
                 "bucket edges must be sorted"
             );
         }
-        EquiDepthConjunctionEncoding {
+        let mut enc = EquiDepthConjunctionEncoding {
             space,
             edges,
             attr_sel: true,
-        }
+            offsets: Vec::new(),
+        };
+        enc.recompute_offsets();
+        enc
+    }
+
+    fn recompute_offsets(&mut self) {
+        self.offsets =
+            super::conjunctive::layout_offsets(self.space.len(), |pos| self.attr_width(pos));
     }
 
     /// Enable/disable the per-attribute selectivity entries.
     pub fn with_attr_sel(mut self, attr_sel: bool) -> Self {
         self.attr_sel = attr_sel;
+        self.recompute_offsets();
         self
     }
 
     /// Buckets of attribute `pos`.
     pub fn buckets_of(&self, pos: usize) -> usize {
         self.edges[pos].len() + 1
+    }
+
+    /// Offset of attribute `pos` inside the feature vector. O(1): the
+    /// layout is precomputed at construction.
+    pub fn attr_offset(&self, pos: usize) -> usize {
+        self.offsets[pos]
     }
 
     /// The attribute space.
@@ -86,7 +107,7 @@ impl Featurizer for EquiDepthConjunctionEncoding {
     }
 
     fn dim(&self) -> usize {
-        (0..self.space.len()).map(|p| self.attr_width(p)).sum()
+        self.offsets[self.space.len()]
     }
 
     fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
@@ -245,5 +266,41 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn unsorted_edges_rejected() {
         let _ = EquiDepthConjunctionEncoding::new(space(), vec![vec![5.0, 1.0]]);
+    }
+
+    /// Layout regression for the precomputed offsets, over attributes of
+    /// *different* widths (3, 1, and 5 buckets), with and without the
+    /// selectivity entry.
+    #[test]
+    fn precomputed_offsets_match_prefix_sums() {
+        let space = AttributeSpace::new(vec![
+            (
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                AttributeDomain::integers(0, 100),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(1)),
+                AttributeDomain::integers(0, 100),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(2)),
+                AttributeDomain::integers(0, 100),
+            ),
+        ]);
+        let edges = vec![vec![10.0, 20.0], vec![], vec![5.0, 10.0, 20.0, 40.0]];
+        for attr_sel in [true, false] {
+            let enc = EquiDepthConjunctionEncoding::new(space.clone(), edges.clone())
+                .with_attr_sel(attr_sel);
+            let mut expected = 0;
+            for pos in 0..enc.space().len() {
+                assert_eq!(
+                    enc.attr_offset(pos),
+                    expected,
+                    "attrSel={attr_sel} pos={pos}"
+                );
+                expected += enc.buckets_of(pos) + usize::from(attr_sel);
+            }
+            assert_eq!(enc.dim(), expected);
+        }
     }
 }

@@ -50,6 +50,7 @@ pub mod value;
 pub use deadline::Deadline;
 pub use error::{EstimateError, EstimateErrorKind, QfeError};
 pub use estimator::{CardinalityEstimator, Estimate};
+pub use metrics::{q_error, ErrorSummary, SummaryError};
 pub use parse::{parse_single_table_query, parse_where};
 pub use predicate::{CmpOp, CompoundPredicate, PredicateExpr, SimplePredicate};
 pub use query::{ColumnRef, JoinPredicate, Query, SubSchema};

@@ -16,6 +16,52 @@ pub fn q_error(truth: f64, estimate: f64) -> f64 {
     (x / e).max(e / x)
 }
 
+/// Why a set of errors could not be summarized.
+///
+/// `f64::total_cmp` sorts NaN *after* every finite value, so before this
+/// guard existed a single NaN in the input silently became the reported
+/// `max` and poisoned `mean` — the summary looked plausible while being
+/// garbage. Non-finite inputs are now rejected up front, matching the
+/// non-finite guards the training and estimation paths already enforce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryError {
+    /// No samples were provided; every statistic would be undefined.
+    Empty,
+    /// A sample was NaN or ±∞.
+    NonFinite {
+        /// Position of the offending sample in the input slice.
+        index: usize,
+        /// The offending value (NaN or ±∞).
+        value: f64,
+    },
+    /// Paired truth/estimate slices have different lengths.
+    LengthMismatch {
+        /// Length of the truths slice.
+        truths: usize,
+        /// Length of the estimates slice.
+        estimates: usize,
+    },
+}
+
+impl std::fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummaryError::Empty => write!(f, "cannot summarize zero errors"),
+            SummaryError::NonFinite { index, value } => {
+                write!(f, "non-finite error {value} at index {index}")
+            }
+            SummaryError::LengthMismatch { truths, estimates } => {
+                write!(
+                    f,
+                    "paired slices required: {truths} truths vs {estimates} estimates"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
 /// Distribution summary of a set of errors: the statistics used in the
 /// paper's box plots (1 %, 25 %, 50 %, 75 %, 99 % quantiles) and tables
 /// (mean, median, 99 %, max).
@@ -46,16 +92,20 @@ pub struct ErrorSummary {
 }
 
 impl ErrorSummary {
-    /// Summarize a non-empty slice of errors.
+    /// Summarize a non-empty slice of finite errors.
     ///
-    /// # Panics
-    /// Panics if `errors` is empty.
-    pub fn from_errors(errors: &[f64]) -> Self {
-        assert!(!errors.is_empty(), "cannot summarize zero errors");
+    /// Rejects empty input and any NaN/±∞ sample (see [`SummaryError`]).
+    pub fn try_from_errors(errors: &[f64]) -> Result<Self, SummaryError> {
+        if errors.is_empty() {
+            return Err(SummaryError::Empty);
+        }
+        if let Some((index, &value)) = errors.iter().enumerate().find(|(_, e)| !e.is_finite()) {
+            return Err(SummaryError::NonFinite { index, value });
+        }
         let mut sorted = errors.to_vec();
         sorted.sort_by(f64::total_cmp);
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        ErrorSummary {
+        Ok(ErrorSummary {
             count: sorted.len(),
             mean,
             p01: quantile(&sorted, 0.01),
@@ -65,23 +115,52 @@ impl ErrorSummary {
             p90: quantile(&sorted, 0.90),
             p95: quantile(&sorted, 0.95),
             p99: quantile(&sorted, 0.99),
-            max: *sorted.last().unwrap(),
+            max: sorted[sorted.len() - 1],
             min: sorted[0],
+        })
+    }
+
+    /// Summarize q-errors of paired (truth, estimate) slices, rejecting
+    /// empty, mismatched, or non-finite input (see [`SummaryError`]).
+    pub fn try_from_estimates(truths: &[f64], estimates: &[f64]) -> Result<Self, SummaryError> {
+        if truths.len() != estimates.len() {
+            return Err(SummaryError::LengthMismatch {
+                truths: truths.len(),
+                estimates: estimates.len(),
+            });
+        }
+        let errors: Vec<f64> = truths
+            .iter()
+            .zip(estimates)
+            .map(|(&t, &e)| q_error(t, e))
+            .collect();
+        ErrorSummary::try_from_errors(&errors)
+    }
+
+    /// Summarize a non-empty slice of errors.
+    ///
+    /// # Panics
+    /// Panics if `errors` is empty or contains a non-finite value; use
+    /// [`try_from_errors`](Self::try_from_errors) to handle those cases.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        match Self::try_from_errors(errors) {
+            Ok(summary) => summary,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Summarize q-errors of paired (truth, estimate) slices.
     ///
     /// # Panics
-    /// Panics if the slices have different lengths or are empty.
+    /// Panics if the slices have different lengths, are empty, or yield a
+    /// non-finite q-error; use
+    /// [`try_from_estimates`](Self::try_from_estimates) instead to handle
+    /// those cases.
     pub fn from_estimates(truths: &[f64], estimates: &[f64]) -> Self {
-        assert_eq!(truths.len(), estimates.len(), "paired slices required");
-        let errors: Vec<f64> = truths
-            .iter()
-            .zip(estimates)
-            .map(|(&t, &e)| q_error(t, e))
-            .collect();
-        ErrorSummary::from_errors(&errors)
+        match Self::try_from_estimates(truths, estimates) {
+            Ok(summary) => summary,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// One-line rendering used by the experiment harness tables.
@@ -203,6 +282,72 @@ mod tests {
     #[should_panic(expected = "cannot summarize zero errors")]
     fn summary_rejects_empty_input() {
         let _ = ErrorSummary::from_errors(&[]);
+    }
+
+    #[test]
+    fn try_summary_rejects_empty_input() {
+        assert_eq!(ErrorSummary::try_from_errors(&[]), Err(SummaryError::Empty));
+    }
+
+    #[test]
+    fn try_summary_rejects_non_finite_input() {
+        // Regression: a NaN sorted last by total_cmp used to become `max`
+        // and poison `mean` without any signal.
+        let err = ErrorSummary::try_from_errors(&[1.0, f64::NAN, 3.0]).unwrap_err();
+        match err {
+            SummaryError::NonFinite { index, value } => {
+                assert_eq!(index, 1);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        let err = ErrorSummary::try_from_errors(&[f64::INFINITY]).unwrap_err();
+        assert!(matches!(err, SummaryError::NonFinite { index: 0, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite error")]
+    fn summary_panics_on_nan_instead_of_poisoning() {
+        let _ = ErrorSummary::from_errors(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn try_summary_rejects_mismatched_pairs() {
+        let err = ErrorSummary::try_from_estimates(&[1.0, 2.0], &[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SummaryError::LengthMismatch {
+                truths: 2,
+                estimates: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn try_summary_matches_panicking_path_on_valid_input() {
+        let errors = [1.0, 2.0, 4.0, 8.0];
+        assert_eq!(
+            ErrorSummary::try_from_errors(&errors).unwrap(),
+            ErrorSummary::from_errors(&errors)
+        );
+    }
+
+    #[test]
+    fn summary_error_displays() {
+        assert_eq!(
+            SummaryError::Empty.to_string(),
+            "cannot summarize zero errors"
+        );
+        let nf = SummaryError::NonFinite {
+            index: 3,
+            value: f64::NEG_INFINITY,
+        };
+        assert!(nf.to_string().contains("index 3"));
+        let lm = SummaryError::LengthMismatch {
+            truths: 2,
+            estimates: 5,
+        };
+        assert!(lm.to_string().contains("2 truths"));
     }
 
     #[test]

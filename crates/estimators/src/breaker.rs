@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 use qfe_core::error::EstimateError;
 use qfe_core::estimator::{CardinalityEstimator, Estimate};
 use qfe_core::Query;
+use qfe_obs::Recorder;
 
 /// Breaker tuning knobs.
 #[derive(Debug, Clone)]
@@ -92,6 +93,16 @@ pub struct BreakerStats {
 /// Monotonic time source; injectable for deterministic tests.
 type Clock = Arc<dyn Fn() -> Duration + Send + Sync>;
 
+/// A recorder plus precomputed metric names, so emitting a transition
+/// event never allocates on the request path.
+struct BreakerEvents {
+    recorder: Arc<dyn Recorder>,
+    opened: String,
+    probes: String,
+    reclosed: String,
+    rejected: String,
+}
+
 struct Inner {
     state: BreakerState,
     consecutive_failures: u32,
@@ -113,6 +124,7 @@ pub struct CircuitBreaker {
     probes: AtomicU64,
     reclosed: AtomicU64,
     rejected: AtomicU64,
+    events: Option<BreakerEvents>,
 }
 
 impl CircuitBreaker {
@@ -143,7 +155,24 @@ impl CircuitBreaker {
             probes: AtomicU64::new(0),
             reclosed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            events: None,
         }
+    }
+
+    /// Additionally publish state-transition events to `recorder` as
+    /// counters named `<prefix>.opened`, `<prefix>.probes`,
+    /// `<prefix>.reclosed`, and `<prefix>.rejected`. The names are
+    /// precomputed here so the transition path never allocates. The
+    /// internal [`BreakerStats`] counters keep working either way.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>, prefix: &str) -> Self {
+        self.events = Some(BreakerEvents {
+            recorder,
+            opened: format!("{prefix}.opened"),
+            probes: format!("{prefix}.probes"),
+            reclosed: format!("{prefix}.reclosed"),
+            rejected: format!("{prefix}.rejected"),
+        });
+        self
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -168,9 +197,15 @@ impl CircuitBreaker {
                 if now >= inner.open_until {
                     inner.state = BreakerState::HalfOpen;
                     self.probes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(ev) = &self.events {
+                        ev.recorder.incr(&ev.probes);
+                    }
                     true
                 } else {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    if let Some(ev) = &self.events {
+                        ev.recorder.incr(&ev.rejected);
+                    }
                     false
                 }
             }
@@ -178,6 +213,9 @@ impl CircuitBreaker {
             // falling through until it resolves.
             BreakerState::HalfOpen => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(ev) = &self.events {
+                    ev.recorder.incr(&ev.rejected);
+                }
                 false
             }
         }
@@ -188,6 +226,9 @@ impl CircuitBreaker {
         let mut inner = self.lock();
         if inner.state == BreakerState::HalfOpen {
             self.reclosed.fetch_add(1, Ordering::Relaxed);
+            if let Some(ev) = &self.events {
+                ev.recorder.incr(&ev.reclosed);
+            }
         }
         inner.state = BreakerState::Closed;
         inner.consecutive_failures = 0;
@@ -225,6 +266,9 @@ impl CircuitBreaker {
         inner.open_until = now.saturating_add(cooldown);
         inner.consecutive_failures = 0;
         self.opened.fetch_add(1, Ordering::Relaxed);
+        if let Some(ev) = &self.events {
+            ev.recorder.incr(&ev.opened);
+        }
     }
 
     /// Current state (racy by nature — for observability, not control
@@ -437,6 +481,30 @@ mod tests {
             b.record_failure();
         }
         assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn transitions_are_published_to_the_recorder() {
+        let recorder = Arc::new(qfe_obs::MetricsRecorder::new());
+        let (tick, clock) = manual_clock();
+        let b = CircuitBreaker::with_clock(cfg(), clock)
+            .with_recorder(recorder.clone(), "test.breaker");
+        // Trip the breaker, reject once, probe, and re-close.
+        for _ in 0..3 {
+            b.admit();
+            b.record_failure();
+        }
+        assert!(!b.admit()); // rejected while open
+        tick.store(100, Ordering::Relaxed);
+        assert!(b.admit()); // probe
+        b.record_success(); // re-close
+        assert_eq!(recorder.counter("test.breaker.opened"), 1);
+        assert_eq!(recorder.counter("test.breaker.rejected"), 1);
+        assert_eq!(recorder.counter("test.breaker.probes"), 1);
+        assert_eq!(recorder.counter("test.breaker.reclosed"), 1);
+        // The recorder mirrors the internal stats exactly.
+        let s = b.stats();
+        assert_eq!((s.opened, s.probes, s.reclosed, s.rejected), (1, 1, 1, 1));
     }
 
     #[test]

@@ -26,11 +26,13 @@
 //! to check the guarantee holds under any failure combination.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use qfe_core::error::{EstimateError, EstimateErrorKind};
 use qfe_core::estimator::{CardinalityEstimator, Estimate};
 use qfe_core::Query;
+use qfe_obs::Recorder;
 
 /// One consistent snapshot of a [`FallbackChain`]'s counters.
 ///
@@ -73,6 +75,24 @@ impl ChainStats {
     }
 }
 
+/// Precomputed metric names for one chain stage, so the per-call
+/// recording path never formats or allocates.
+struct StageMetricNames {
+    attempts: String,
+    hits: String,
+    latency: String,
+    /// One counter name per [`EstimateErrorKind`], indexed by
+    /// [`EstimateErrorKind::as_index`].
+    errors: [String; EstimateErrorKind::COUNT],
+}
+
+/// Recorder plus the precomputed name table for every stage.
+struct ChainMetrics {
+    recorder: Arc<dyn Recorder>,
+    stages: Vec<StageMetricNames>,
+    floor_hits: String,
+}
+
 /// Composes estimators into an ordered fallback sequence with an implicit
 /// constant floor (see the module docs).
 pub struct FallbackChain<'a> {
@@ -82,6 +102,7 @@ pub struct FallbackChain<'a> {
     stage_hits: Vec<AtomicU64>,
     /// Stage failures bucketed by [`EstimateErrorKind`].
     error_counts: [AtomicU64; EstimateErrorKind::COUNT],
+    metrics: Option<ChainMetrics>,
 }
 
 impl<'a> FallbackChain<'a> {
@@ -95,7 +116,36 @@ impl<'a> FallbackChain<'a> {
             floor: 1.0,
             stage_hits: (0..=n).map(|_| AtomicU64::new(0)).collect(),
             error_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            metrics: None,
         }
+    }
+
+    /// Additionally publish per-stage attempt/hit/error counters and a
+    /// per-stage latency histogram to `recorder`, under
+    /// `<prefix>.stage<i>.{attempts,hits,latency,errors.<kind>}` plus
+    /// `<prefix>.floor.hits`. All names are precomputed here; the
+    /// per-call recording path never allocates. The internal
+    /// [`ChainStats`] counters keep working either way.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>, prefix: &str) -> Self {
+        let stages = (0..self.stages.len())
+            .map(|i| StageMetricNames {
+                attempts: format!("{prefix}.stage{i}.attempts"),
+                hits: format!("{prefix}.stage{i}.hits"),
+                latency: format!("{prefix}.stage{i}.latency"),
+                errors: std::array::from_fn(|k| {
+                    format!(
+                        "{prefix}.stage{i}.errors.{}",
+                        EstimateErrorKind::ALL[k].label()
+                    )
+                }),
+            })
+            .collect();
+        self.metrics = Some(ChainMetrics {
+            recorder,
+            stages,
+            floor_hits: format!("{prefix}.floor.hits"),
+        });
+        self
     }
 
     /// Replace the constant floor (clamped to `>= 1` to keep the chain's
@@ -189,13 +239,28 @@ impl CardinalityEstimator for FallbackChain<'_> {
     /// composes as a stage of an outer chain.
     fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
         for (depth, stage) in self.stages.iter().enumerate() {
-            match stage.try_estimate(query) {
+            let names = self
+                .metrics
+                .as_ref()
+                .map(|m| (&m.recorder, &m.stages[depth]));
+            if let Some((recorder, names)) = names {
+                recorder.incr(&names.attempts);
+            }
+            let started = Instant::now();
+            let outcome = stage.try_estimate(query);
+            if let Some((recorder, names)) = names {
+                recorder.record(&names.latency, started.elapsed());
+            }
+            match outcome {
                 Ok(est) => {
                     // Defense in depth: an `Ok` is only trusted after
                     // re-validation — a buggy (or chaos-injected) stage
                     // may hand back NaN wrapped in `Ok`.
                     if est.value.is_finite() && est.value >= 1.0 {
                         self.stage_hits[depth].fetch_add(1, Ordering::Relaxed);
+                        if let Some((recorder, names)) = names {
+                            recorder.incr(&names.hits);
+                        }
                         // Provenance names the *stage* as this chain sees
                         // it (e.g. `chaos(postgres)`), not whatever label
                         // the stage put on its own answer — the chain's
@@ -207,12 +272,23 @@ impl CardinalityEstimator for FallbackChain<'_> {
                         });
                     }
                     self.record_error(EstimateErrorKind::NonFinite);
+                    if let Some((recorder, names)) = names {
+                        recorder.incr(&names.errors[EstimateErrorKind::NonFinite.as_index()]);
+                    }
                 }
-                Err(e) => self.record_error(e.kind()),
+                Err(e) => {
+                    self.record_error(e.kind());
+                    if let Some((recorder, names)) = names {
+                        recorder.incr(&names.errors[e.kind().as_index()]);
+                    }
+                }
             }
         }
         let depth = self.stages.len();
         self.stage_hits[depth].fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.recorder.incr(&m.floor_hits);
+        }
         Ok(Estimate {
             value: self.floor,
             estimator: "floor".into(),
@@ -446,6 +522,36 @@ mod tests {
     fn name_spells_out_the_chain() {
         let chain = FallbackChain::new(vec![Box::new(Constant(2.0))]);
         assert_eq!(chain.name(), "fallback(constant → floor)");
+    }
+
+    #[test]
+    fn recorder_sees_per_stage_attempts_hits_errors_and_latency() {
+        let recorder = Arc::new(qfe_obs::MetricsRecorder::new());
+        let chain = FallbackChain::new(vec![Box::new(Constant(f64::NAN)), Box::new(Constant(9.0))])
+            .with_recorder(recorder.clone(), "chain");
+        for _ in 0..4 {
+            assert_eq!(chain.try_estimate(&q()).unwrap().value, 9.0);
+        }
+        assert_eq!(recorder.counter("chain.stage0.attempts"), 4);
+        assert_eq!(recorder.counter("chain.stage0.hits"), 0);
+        assert_eq!(recorder.counter("chain.stage0.errors.non-finite"), 4);
+        assert_eq!(recorder.counter("chain.stage1.attempts"), 4);
+        assert_eq!(recorder.counter("chain.stage1.hits"), 4);
+        assert_eq!(recorder.counter("chain.floor.hits"), 0);
+        let snap = recorder.snapshot();
+        let h = snap
+            .histogram("chain.stage1.latency")
+            .expect("latency histogram");
+        assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn recorder_counts_the_floor() {
+        let recorder = Arc::new(qfe_obs::MetricsRecorder::new());
+        let chain = FallbackChain::new(vec![Box::new(Constant(f64::NAN))])
+            .with_recorder(recorder.clone(), "c");
+        let _ = chain.try_estimate(&q()).unwrap();
+        assert_eq!(recorder.counter("c.floor.hits"), 1);
     }
 
     #[test]

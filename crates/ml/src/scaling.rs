@@ -3,13 +3,44 @@
 //! transformed back and clamped to `>= 1` (the paper's evaluation protocol
 //! guarantees estimates `>= 1`).
 
+use std::sync::Arc;
+
 use qfe_core::QfeError;
+use qfe_obs::{NoopRecorder, Recorder};
+
+/// Normalized log values are clamped into `[0, SATURATION_CEILING]`: some
+/// headroom above the trained `[0, 1]` range lets a model see *that* a
+/// label is beyond its calibration, but everything past the ceiling
+/// aliases to one feature value.
+const SATURATION_CEILING: f64 = 2.0;
+
+/// Counter incremented whenever a transform clamps (see
+/// [`LogScaler::with_recorder`]).
+pub const SATURATION_METRIC: &str = "scaler.transform.saturated";
 
 /// Fitted log + min-max transform of cardinality labels.
-#[derive(Debug, Clone)]
+///
+/// Transforms clamp into `[0, 2]`. Under workload drift, cardinalities
+/// beyond ~2× the trained log-range therefore alias to one feature value —
+/// previously invisible. [`LogScaler::transform_checked`] reports the
+/// clamping per call, and a recorder attached via
+/// [`LogScaler::with_recorder`] counts every saturated transform under
+/// [`SATURATION_METRIC`], so drifted workloads show up in the metrics
+/// snapshot instead of silently degrading estimates.
+#[derive(Clone)]
 pub struct LogScaler {
     log_min: f64,
     log_max: f64,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for LogScaler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogScaler")
+            .field("log_min", &self.log_min)
+            .field("log_max", &self.log_max)
+            .finish_non_exhaustive()
+    }
 }
 
 impl LogScaler {
@@ -38,13 +69,39 @@ impl LogScaler {
         if log_max <= log_min {
             log_max = log_min + 1.0; // degenerate constant labels
         }
-        Ok(LogScaler { log_min, log_max })
+        Ok(LogScaler {
+            log_min,
+            log_max,
+            recorder: Arc::new(NoopRecorder),
+        })
     }
 
-    /// Transform a cardinality into the normalized log space.
-    pub fn transform(&self, cardinality: f64) -> f32 {
+    /// Report saturated transforms to `recorder` under
+    /// [`SATURATION_METRIC`]. The default recorder is a no-op.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Transform a cardinality into the normalized log space, reporting
+    /// whether the value saturated (fell outside the `[0, 2]` clamp range,
+    /// i.e. lies beyond the scaler's calibration).
+    pub fn transform_checked(&self, cardinality: f64) -> (f32, bool) {
         let l = (1.0 + cardinality.max(0.0)).ln();
-        (((l - self.log_min) / (self.log_max - self.log_min)).clamp(0.0, 2.0)) as f32
+        let normalized = (l - self.log_min) / (self.log_max - self.log_min);
+        let saturated = !(0.0..=SATURATION_CEILING).contains(&normalized);
+        if saturated {
+            self.recorder.incr(SATURATION_METRIC);
+        }
+        (normalized.clamp(0.0, SATURATION_CEILING) as f32, saturated)
+    }
+
+    /// Transform a cardinality into the normalized log space. Saturation
+    /// is counted on the attached recorder but not returned; use
+    /// [`transform_checked`](Self::transform_checked) to observe it per
+    /// call.
+    pub fn transform(&self, cardinality: f64) -> f32 {
+        self.transform_checked(cardinality).0
     }
 
     /// Transform a batch.
@@ -64,6 +121,7 @@ impl LogScaler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qfe_obs::MetricsRecorder;
 
     #[test]
     fn round_trip_within_range() {
@@ -134,5 +192,54 @@ mod tests {
             assert!(matches!(err, QfeError::Training(_)), "{bad}: {err:?}");
             assert!(err.to_string().contains("index 1"), "{err}");
         }
+    }
+
+    /// Regression for the silent clamp: a drift-workload cardinality far
+    /// beyond the trained range must be reported as saturated, not
+    /// silently aliased to the ceiling value.
+    #[test]
+    fn out_of_range_labels_saturate_visibly() {
+        // Trained on [1, 100]: log range ~[0.69, 4.6]. A cardinality of
+        // 1e9 maps to normalized ~4.9 -> saturates past the 2.0 ceiling.
+        let scaler = LogScaler::fit(&[1.0, 100.0]).unwrap();
+        let (t, saturated) = scaler.transform_checked(1e9);
+        assert!(saturated);
+        assert_eq!(t, 2.0);
+        // Different drifted cardinalities alias to the same feature value
+        // — exactly the information loss the saturation flag surfaces.
+        assert_eq!(scaler.transform(1e9), scaler.transform(1e12));
+        // In-range values do not saturate.
+        let (t, saturated) = scaler.transform_checked(50.0);
+        assert!(!saturated);
+        assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn saturation_is_counted_on_the_recorder() {
+        let recorder = Arc::new(MetricsRecorder::new());
+        let scaler = LogScaler::fit(&[1.0, 100.0])
+            .unwrap()
+            .with_recorder(recorder.clone());
+        scaler.transform(50.0); // in range: no count
+        scaler.transform(1e9); // saturates
+        let _ = scaler.transform_batch(&[2.0, 1e10, 1e11]); // two more
+        assert_eq!(recorder.counter(SATURATION_METRIC), 3);
+    }
+
+    #[test]
+    fn values_between_one_and_two_x_range_do_not_saturate() {
+        // The headroom band (normalized in (1, 2]) is in-calibration by
+        // design: the model sees a distinct, unclamped feature value.
+        let scaler = LogScaler::fit(&[1.0, 100.0]).unwrap();
+        let (t, saturated) = scaler.transform_checked(5_000.0);
+        assert!(!saturated, "t = {t}");
+        assert!(t > 1.0 && t < 2.0);
+    }
+
+    #[test]
+    fn debug_does_not_require_recorder_debug() {
+        let scaler = LogScaler::fit(&[1.0, 100.0]).unwrap();
+        let dbg = format!("{scaler:?}");
+        assert!(dbg.contains("log_min"));
     }
 }

@@ -1,0 +1,248 @@
+//! Lock-free log₂-bucketed latency histograms.
+//!
+//! A latency distribution spanning nanoseconds (a no-op stage skip) to
+//! seconds (a stalled model) cannot be captured by linear buckets of any
+//! fixed width. Powers of two give constant relative resolution (~a factor
+//! of 2 per bucket, enough to tell 10 µs from 100 µs from 1 ms), a fixed
+//! memory footprint, and an O(1) branch-free bucket index —
+//! `64 - leading_zeros(nanos)` — so recording is two relaxed atomic adds
+//! and one atomic max. No allocation, no lock, no floating point on the
+//! hot path; p50/p90/p99 are *derived from the bucket counts* at snapshot
+//! time instead of being maintained online.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: one per possible bit length of a u64 nanosecond
+/// count, plus bucket 0 for zero.
+pub const BUCKETS: usize = 65;
+
+/// Index of the bucket covering `nanos`: 0 for 0, otherwise the bit
+/// length of the value (bucket `i` covers `[2^(i-1), 2^i)`).
+#[inline]
+fn bucket_of(nanos: u64) -> usize {
+    (u64::BITS - nanos.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrent latency histogram with log₂ buckets (see module docs).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Lock-free; safe from any thread.
+    pub fn record(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state. The copy is taken counter-by-counter with
+    /// relaxed loads, so under concurrent writes it is approximately (not
+    /// transactionally) consistent — fine for observability.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], with quantile
+/// derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`buckets[i]` covers
+    /// `[2^(i-1), 2^i)` nanoseconds; bucket 0 is exactly zero).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations in nanoseconds (exact).
+    pub sum_nanos: u64,
+    /// Largest observation in nanoseconds (exact).
+    pub max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile in nanoseconds, derived
+    /// from the bucket counts: the inclusive upper edge of the bucket
+    /// containing the rank-`⌈q·count⌉` observation (exact `max` is used
+    /// for the top bucket). Returns 0 when empty.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Median upper bound (see [`quantile_nanos`](Self::quantile_nanos)).
+    pub fn p50_nanos(&self) -> u64 {
+        self.quantile_nanos(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90_nanos(&self) -> u64 {
+        self.quantile_nanos(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99_nanos(&self) -> u64 {
+        self.quantile_nanos(0.99)
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs — the compact
+    /// form used by the JSON rendering.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_edges_partition_the_range() {
+        // Every value lands in exactly the bucket whose upper bound is the
+        // smallest one >= the value.
+        for v in [0u64, 1, 2, 7, 8, 100, 1_000_000, 1 << 40] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_upper(i), "{v} above its bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "{v} fits a lower bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let h = LatencyHistogram::new();
+        for micros in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max_nanos, 5_000_000);
+        // Mean: (9*10_000 + 5_000_000) / 10 = 509_000 ns.
+        assert_eq!(s.mean_nanos(), 509_000);
+        // p50 falls in the 10µs bucket: upper bound 2^14 - 1 = 16383 ns.
+        assert_eq!(s.p50_nanos(), 16_383);
+        // p99 = rank 10 = the 5ms outlier's bucket, clamped to exact max.
+        assert_eq!(s.p99_nanos(), 5_000_000);
+        assert!(s.p50_nanos() <= s.p90_nanos() && s.p90_nanos() <= s.p99_nanos());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_nanos(), 0);
+        assert_eq!(s.quantile_nanos(0.99), 0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_value_within_a_factor_of_two() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let s = h.snapshot();
+        let p50 = s.p50_nanos();
+        // True median 500µs; the log2 upper bound may overshoot by < 2x.
+        assert!((500_000..1_048_576).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99_nanos();
+        assert!((990_000..2_000_000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_nanos(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+    }
+}

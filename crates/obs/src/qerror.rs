@@ -1,0 +1,156 @@
+//! Online q-error tracking over a sliding window.
+//!
+//! Cardinality-estimation accuracy is not a training-time constant: the
+//! CardEst benchmark study evaluates estimators under *workload drift*,
+//! where accuracy decays as the data distribution moves away from the
+//! training snapshot. [`QErrorWindow`] makes that decay observable at
+//! runtime: whenever ground truth becomes available (e.g. after the query
+//! actually executes), feed the (truth, estimate) pair and read back a
+//! streaming [`ErrorSummary`] over the most recent `capacity`
+//! observations. Non-finite inputs are counted and dropped instead of
+//! poisoning the window — the exact failure `SummaryError` guards
+//! against.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use qfe_core::metrics::{q_error, ErrorSummary};
+
+/// Sliding window of recent q-errors with atomic feed counters.
+///
+/// `observe` takes a short mutex on the window deque; it is called once
+/// per *ground-truth arrival* (orders of magnitude rarer than estimates),
+/// not on the estimation hot path.
+#[derive(Debug)]
+pub struct QErrorWindow {
+    window: Mutex<VecDeque<f64>>,
+    capacity: usize,
+    observed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl QErrorWindow {
+    /// A window retaining the `capacity` most recent q-errors
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        QErrorWindow {
+            window: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            observed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Feed one (truth, estimate) pair. Non-finite inputs are rejected
+    /// (counted, not recorded). Returns whether the pair was recorded.
+    pub fn observe(&self, truth: f64, estimate: f64) -> bool {
+        if !truth.is_finite() || !estimate.is_finite() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let q = q_error(truth, estimate);
+        let mut window = self.window.lock().unwrap_or_else(|e| e.into_inner());
+        if window.len() == self.capacity {
+            window.pop_front();
+        }
+        window.push_back(q);
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Pairs recorded since construction (including ones that have since
+    /// slid out of the window).
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// Non-finite pairs rejected since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Number of q-errors currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no q-error has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Summary of the q-errors currently in the window, or `None` while
+    /// empty. Window contents are finite by construction, so the only
+    /// possible `SummaryError` is emptiness.
+    pub fn summary(&self) -> Option<ErrorSummary> {
+        let window = self.window.lock().unwrap_or_else(|e| e.into_inner());
+        let (front, back) = window.as_slices();
+        let samples: Vec<f64> = front.iter().chain(back).copied().collect();
+        drop(window);
+        ErrorSummary::try_from_errors(&samples).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_has_no_summary() {
+        let w = QErrorWindow::new(10);
+        assert!(w.is_empty());
+        assert!(w.summary().is_none());
+    }
+
+    #[test]
+    fn summarizes_observed_pairs() {
+        let w = QErrorWindow::new(10);
+        assert!(w.observe(100.0, 100.0)); // q = 1
+        assert!(w.observe(100.0, 10.0)); // q = 10
+        let s = w.summary().expect("non-empty");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(w.observed(), 2);
+        assert_eq!(w.rejected(), 0);
+    }
+
+    #[test]
+    fn window_slides_at_capacity() {
+        let w = QErrorWindow::new(3);
+        // q-errors 10, 1, 1, 1: the first (the only q=10) must slide out.
+        w.observe(100.0, 10.0);
+        for _ in 0..3 {
+            w.observe(5.0, 5.0);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.observed(), 4);
+        let s = w.summary().expect("non-empty");
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_not_recorded() {
+        let w = QErrorWindow::new(10);
+        assert!(!w.observe(f64::NAN, 5.0));
+        assert!(!w.observe(5.0, f64::INFINITY));
+        assert!(!w.observe(f64::NEG_INFINITY, f64::NAN));
+        assert_eq!(w.rejected(), 3);
+        assert_eq!(w.observed(), 0);
+        assert!(w.summary().is_none());
+        // A later valid pair still works — the window was not poisoned.
+        assert!(w.observe(10.0, 20.0));
+        assert_eq!(w.summary().expect("non-empty").max, 2.0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let w = QErrorWindow::new(0);
+        w.observe(2.0, 2.0);
+        w.observe(8.0, 2.0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.summary().expect("non-empty").max, 4.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The [`Recorder`] trait instrumented code talks to, plus the two
+//! implementations: [`NoopRecorder`] (observability off, near-zero cost)
+//! and [`MetricsRecorder`] (the real name-keyed metric registry).
+//!
+//! Metric names are `&str` at the call boundary; instrumented components
+//! precompute their names as owned `String`s at construction time, so the
+//! per-observation path never formats or allocates. `MetricsRecorder`
+//! resolves a name to its atomic through a `RwLock<BTreeMap>` — after the
+//! first observation of a name this is an uncontended read-lock plus
+//! relaxed atomic ops. The write lock is taken only when a name is seen
+//! for the first time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use crate::hist::LatencyHistogram;
+use crate::snapshot::MetricsSnapshot;
+
+/// Sink for instrumentation events.
+///
+/// Implementations must be cheap and infallible: instrumented code calls
+/// these on hot paths and never inspects a result.
+pub trait Recorder: Send + Sync {
+    /// Add `delta` to the counter named `name`.
+    fn add(&self, name: &str, delta: u64);
+
+    /// Record one latency observation under `name`.
+    fn record(&self, name: &str, elapsed: Duration);
+
+    /// Set the gauge named `name` to `value` (last write wins).
+    fn set_gauge(&self, name: &str, value: u64);
+
+    /// Increment the counter named `name` by one.
+    fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+}
+
+/// A recorder that drops everything. The default when observability is
+/// off: every method is an empty body, so instrumentation costs one
+/// virtual call and nothing else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn add(&self, _name: &str, _delta: u64) {}
+
+    fn record(&self, _name: &str, _elapsed: Duration) {}
+
+    fn set_gauge(&self, _name: &str, _value: u64) {}
+}
+
+/// Name-keyed registries of atomics. `BTreeMap` keeps keys sorted, which
+/// is what makes snapshot renderings stable without a sort pass.
+#[derive(Debug, Default)]
+struct Registries {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<LatencyHistogram>>>,
+}
+
+/// Resolve `name` in a registry, registering it on first use. Fast path
+/// is a read-lock; the write lock is only taken for unseen names. Lock
+/// poisoning is survived by adopting the inner map, matching the
+/// recovery idiom used across the workspace (observability must never
+/// take the serving path down).
+fn resolve<T, F: FnOnce() -> T>(
+    registry: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    init: F,
+) -> Arc<T> {
+    {
+        let map = registry.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = map.get(name) {
+            return Arc::clone(entry);
+        }
+    }
+    let mut map = registry.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(
+        map.entry(name.to_owned())
+            .or_insert_with(|| Arc::new(init())),
+    )
+}
+
+/// The real metric sink: lock-free counters, gauges, and
+/// [`LatencyHistogram`]s, each addressable by name, snapshottable as a
+/// whole via [`MetricsRecorder::snapshot`].
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    registries: Registries,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    /// Current value of the counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        let map = self
+            .registries
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        map.get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Current value of the gauge `name` (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        let map = self
+            .registries
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        map.get(name).map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+
+    /// The histogram registered under `name`, if any observation was ever
+    /// recorded there.
+    pub fn histogram(&self, name: &str) -> Option<Arc<LatencyHistogram>> {
+        let map = self
+            .registries
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        map.get(name).map(Arc::clone)
+    }
+
+    /// Copy every metric into a [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = {
+            let map = self
+                .registries
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect()
+        };
+        let gauges = {
+            let map = self
+                .registries
+                .gauges
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect()
+        };
+        let histograms = {
+            let map = self
+                .registries
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+        };
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            qerror: None,
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn add(&self, name: &str, delta: u64) {
+        resolve(&self.registries.counters, name, || AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn record(&self, name: &str, elapsed: Duration) {
+        resolve(&self.registries.histograms, name, LatencyHistogram::new).record(elapsed);
+    }
+
+    fn set_gauge(&self, name: &str, value: u64) {
+        resolve(&self.registries.gauges, name, || AtomicU64::new(0))
+            .store(value, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRecorder::new();
+        r.incr("a");
+        r.add("a", 4);
+        r.incr("b");
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        assert_eq!(r.counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_take_last_write() {
+        let r = MetricsRecorder::new();
+        r.set_gauge("depth", 7);
+        r.set_gauge("depth", 3);
+        assert_eq!(r.gauge("depth"), 3);
+        assert_eq!(r.gauge("never"), 0);
+    }
+
+    #[test]
+    fn histograms_register_on_first_observation() {
+        let r = MetricsRecorder::new();
+        assert!(r.histogram("lat").is_none());
+        r.record("lat", Duration::from_micros(5));
+        r.record("lat", Duration::from_micros(7));
+        let h = r.histogram("lat").expect("registered");
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_copies_everything() {
+        let r = MetricsRecorder::new();
+        r.add("hits", 10);
+        r.set_gauge("depth", 2);
+        r.record("lat", Duration::from_millis(1));
+        let s = r.snapshot();
+        assert_eq!(s.counters.get("hits"), Some(&10));
+        assert_eq!(s.gauges.get("depth"), Some(&2));
+        assert_eq!(s.histograms.get("lat").map(|h| h.count), Some(1));
+        // The snapshot is detached: later writes don't affect it.
+        r.add("hits", 1);
+        assert_eq!(s.counters.get("hits"), Some(&10));
+    }
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let r = NoopRecorder;
+        r.incr("x");
+        r.add("x", 100);
+        r.record("x", Duration::from_secs(1));
+        r.set_gauge("x", 1);
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing() {
+        let r = Arc::new(MetricsRecorder::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.incr("shared");
+                        r.record("lat", Duration::from_nanos(50));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("shared"), 8000);
+        assert_eq!(r.histogram("lat").expect("registered").count(), 8000);
+    }
+}

@@ -21,9 +21,10 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qfe_core::Deadline;
+use qfe_obs::Recorder;
 
 use crate::error::{OverloadKind, ServeError, ShedPolicy};
 
@@ -37,6 +38,20 @@ enum TicketState {
 struct Ticket {
     state: Mutex<TicketState>,
     cv: Condvar,
+    /// When the ticket entered the queue; the time-in-queue histogram
+    /// records the span from here to whichever way the wait resolves
+    /// (admitted, shed, or withdrawn).
+    enqueued_at: Instant,
+}
+
+/// Recorder plus precomputed metric names (no allocation on the
+/// admission path).
+struct AdmissionMetrics {
+    recorder: Arc<dyn Recorder>,
+    /// Gauge: current queue length, updated on every queue mutation.
+    depth: String,
+    /// Histogram: time spent queued, recorded when a wait resolves.
+    wait: String,
 }
 
 struct QueueState {
@@ -70,6 +85,7 @@ pub(crate) struct AdmissionQueue {
     rejected: AtomicU64,
     shed: AtomicU64,
     queue_timeouts: AtomicU64,
+    metrics: Option<AdmissionMetrics>,
 }
 
 /// An admitted request's slot; releasing it (on drop) admits the next
@@ -104,6 +120,33 @@ impl AdmissionQueue {
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             queue_timeouts: AtomicU64::new(0),
+            metrics: None,
+        }
+    }
+
+    /// Additionally publish a queue-depth gauge (`<prefix>.depth`) and a
+    /// time-in-queue histogram (`<prefix>.wait`) to `recorder`. The
+    /// lifetime counters stay on [`AdmissionStats`]; the service merges
+    /// them into its metrics snapshot, so they are deliberately not
+    /// double-recorded here.
+    pub(crate) fn with_recorder(mut self, recorder: Arc<dyn Recorder>, prefix: &str) -> Self {
+        self.metrics = Some(AdmissionMetrics {
+            recorder,
+            depth: format!("{prefix}.depth"),
+            wait: format!("{prefix}.wait"),
+        });
+        self
+    }
+
+    fn set_depth_gauge(&self, depth: usize) {
+        if let Some(m) = &self.metrics {
+            m.recorder.set_gauge(&m.depth, depth as u64);
+        }
+    }
+
+    fn record_wait(&self, ticket: &Ticket) {
+        if let Some(m) = &self.metrics {
+            m.recorder.record(&m.wait, ticket.enqueued_at.elapsed());
         }
     }
 
@@ -146,6 +189,7 @@ impl AdmissionQueue {
                     }
                     ShedPolicy::ShedOldest => {
                         if let Some(victim) = st.waiting.pop_front() {
+                            self.set_depth_gauge(st.waiting.len());
                             *Self::lock_ticket(&victim) = TicketState::Shed;
                             victim.cv.notify_all();
                             self.shed.fetch_add(1, Ordering::Relaxed);
@@ -167,8 +211,10 @@ impl AdmissionQueue {
             let ticket = Arc::new(Ticket {
                 state: Mutex::new(TicketState::Waiting),
                 cv: Condvar::new(),
+                enqueued_at: Instant::now(),
             });
             st.waiting.push_back(Arc::clone(&ticket));
+            self.set_depth_gauge(st.waiting.len());
             ticket
         };
         self.wait_on(ticket, deadline)
@@ -180,9 +226,11 @@ impl AdmissionQueue {
             match *state {
                 TicketState::Admitted => {
                     self.admitted.fetch_add(1, Ordering::Relaxed);
+                    self.record_wait(&ticket);
                     return Ok(Permit { queue: self });
                 }
                 TicketState::Shed => {
+                    self.record_wait(&ticket);
                     let st = self.lock();
                     return Err(ServeError::Overloaded {
                         kind: OverloadKind::ShedWhileQueued,
@@ -202,8 +250,10 @@ impl AdmissionQueue {
                         let mut st = self.lock();
                         if let Some(pos) = st.waiting.iter().position(|t| Arc::ptr_eq(t, &ticket)) {
                             st.waiting.remove(pos);
+                            self.set_depth_gauge(st.waiting.len());
                             drop(st);
                             self.queue_timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.record_wait(&ticket);
                             return Err(ServeError::DeadlineExceeded {
                                 budget: deadline.budget(),
                                 elapsed: deadline.elapsed(),
@@ -238,6 +288,7 @@ impl AdmissionQueue {
     fn release(&self) {
         let mut st = self.lock();
         if let Some(next) = st.waiting.pop_front() {
+            self.set_depth_gauge(st.waiting.len());
             *Self::lock_ticket(&next) = TicketState::Admitted;
             next.cv.notify_all();
             // `running` is unchanged: the slot transfers directly.
@@ -326,6 +377,34 @@ mod tests {
         ));
         let s = q.stats();
         assert_eq!((s.queue_timeouts, s.queued), (1, 0), "waiter withdrew");
+    }
+
+    #[test]
+    fn recorder_sees_queue_depth_and_wait_time() {
+        let recorder = Arc::new(qfe_obs::MetricsRecorder::new());
+        let q = Arc::new(
+            AdmissionQueue::new(1, 4, ShedPolicy::RejectNew)
+                .with_recorder(recorder.clone(), "serve.queue"),
+        );
+        let p = q.acquire(&Deadline::unbounded()).unwrap();
+        // A second request queues; the gauge reflects the depth.
+        let handle = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.acquire(&Deadline::unbounded()).map(|_| ()))
+        };
+        while q.stats().queued == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(recorder.gauge("serve.queue.depth"), 1);
+        drop(p);
+        handle.join().unwrap().unwrap();
+        assert_eq!(recorder.gauge("serve.queue.depth"), 0);
+        // The queued request's wait shows up in the histogram; the
+        // immediately admitted one is not recorded (it never queued).
+        let snap = recorder.snapshot();
+        let wait = snap.histogram("serve.queue.wait").expect("wait histogram");
+        assert_eq!(wait.count, 1);
+        assert!(wait.sum_nanos > 0);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod slot;
 
 pub use admission::AdmissionStats;
 pub use error::{OverloadKind, ServeError, ShedPolicy};
-pub use service::{EstimatorService, ServiceConfig, ServiceStats, StageServiceStats};
+pub use service::{
+    EstimatorService, ServiceConfig, ServiceStats, StageServiceStats, REQUEST_LATENCY_METRIC,
+};
 pub use slot::{decode_validated, ModelSlot, SharedEstimator, SwapError};
 
 /// Install a panic hook that silences panics whose payload matches one of

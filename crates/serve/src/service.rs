@@ -29,13 +29,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use qfe_core::error::EstimateErrorKind;
 use qfe_core::estimator::Estimate;
 use qfe_core::{Deadline, Query};
 use qfe_estimators::breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
+use qfe_obs::{MetricsRecorder, MetricsSnapshot, QErrorWindow, Recorder};
 
 use crate::admission::{AdmissionQueue, AdmissionStats};
 use crate::error::{ServeError, ShedPolicy};
@@ -58,6 +59,9 @@ pub struct ServiceConfig {
     /// The constant answered when every stage fails within budget
     /// (clamped finite and `>= 1`).
     pub floor: f64,
+    /// Sliding-window size of the online q-error tracker fed by
+    /// [`EstimatorService::observe_truth`] (clamped to `>= 1`).
+    pub qerror_window: usize,
 }
 
 impl Default for ServiceConfig {
@@ -69,9 +73,13 @@ impl Default for ServiceConfig {
             default_budget: Duration::from_millis(100),
             breaker: BreakerConfig::default(),
             floor: 1.0,
+            qerror_window: 1024,
         }
     }
 }
+
+/// End-to-end request latency histogram name (admission wait included).
+pub const REQUEST_LATENCY_METRIC: &str = "serve.request.latency";
 
 /// Budgets at or above this are treated as "no real deadline": the stage
 /// runs inline (still panic-isolated) instead of on a watchdog thread.
@@ -102,6 +110,8 @@ struct StageSlot {
     panics: AtomicU64,
     skipped_open: AtomicU64,
     errors: [AtomicU64; EstimateErrorKind::COUNT],
+    /// Precomputed `serve.stage<i>.latency` histogram name.
+    latency_metric: String,
 }
 
 impl StageSlot {
@@ -155,6 +165,8 @@ pub struct EstimatorService {
     answered: AtomicU64,
     floor_answers: AtomicU64,
     deadline_exceeded: AtomicU64,
+    recorder: Arc<MetricsRecorder>,
+    qerror: QErrorWindow,
 }
 
 impl EstimatorService {
@@ -165,30 +177,39 @@ impl EstimatorService {
         } else {
             1.0
         };
+        let recorder = Arc::new(MetricsRecorder::new());
         EstimatorService {
             stages: stages
                 .into_iter()
-                .map(|est| StageSlot {
+                .enumerate()
+                .map(|(i, est)| StageSlot {
                     name: est.name(),
-                    breaker: CircuitBreaker::new(cfg.breaker.clone()),
+                    breaker: CircuitBreaker::new(cfg.breaker.clone()).with_recorder(
+                        Arc::clone(&recorder) as Arc<dyn Recorder>,
+                        &format!("serve.stage{i}.breaker"),
+                    ),
                     est,
                     hits: AtomicU64::new(0),
                     timeouts: AtomicU64::new(0),
                     panics: AtomicU64::new(0),
                     skipped_open: AtomicU64::new(0),
                     errors: std::array::from_fn(|_| AtomicU64::new(0)),
+                    latency_metric: format!("serve.stage{i}.latency"),
                 })
                 .collect(),
             admission: AdmissionQueue::new(
                 cfg.max_concurrency,
                 cfg.queue_capacity,
                 cfg.shed_policy,
-            ),
+            )
+            .with_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>, "serve.queue"),
             floor,
             default_budget: cfg.default_budget,
             answered: AtomicU64::new(0),
             floor_answers: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            recorder,
+            qerror: QErrorWindow::new(cfg.qerror_window),
         }
     }
 
@@ -207,6 +228,16 @@ impl EstimatorService {
         query: &Query,
         deadline: Deadline,
     ) -> Result<Estimate, ServeError> {
+        // End-to-end latency covers everything the caller waited for —
+        // admission queueing included — for every outcome, errors too.
+        let started = Instant::now();
+        let result = self.estimate_guarded(query, deadline);
+        self.recorder
+            .record(REQUEST_LATENCY_METRIC, started.elapsed());
+        result
+    }
+
+    fn estimate_guarded(&self, query: &Query, deadline: Deadline) -> Result<Estimate, ServeError> {
         let _permit = self.admission.acquire(&deadline)?;
         let mut tried = 0usize;
         for (depth, stage) in self.stages.iter().enumerate() {
@@ -224,7 +255,11 @@ impl EstimatorService {
             // behind (all of it, if the stage fails fast).
             let stages_left = (self.stages.len() - depth) as u32;
             let share = deadline.remaining() / stages_left;
-            match Self::run_stage(stage, query, share) {
+            let stage_started = Instant::now();
+            let outcome = Self::run_stage(stage, query, share);
+            self.recorder
+                .record(&stage.latency_metric, stage_started.elapsed());
+            match outcome {
                 Outcome::Answer(value) => {
                     stage.breaker.record_success();
                     stage.hits.fetch_add(1, Ordering::Relaxed);
@@ -329,6 +364,48 @@ impl EstimatorService {
     /// Number of configured stages (the floor is implicit).
     pub fn stage_count(&self) -> usize {
         self.stages.len()
+    }
+
+    /// Feed the online q-error tracker with a ground-truth cardinality
+    /// and the estimate the service produced for it. Returns `false` if
+    /// the pair was rejected (non-finite input). The tracker summarizes
+    /// the most recent `qerror_window` observations in
+    /// [`metrics`](Self::metrics).
+    pub fn observe_truth(&self, truth: f64, estimate: f64) -> bool {
+        self.qerror.observe(truth, estimate)
+    }
+
+    /// One [`MetricsSnapshot`] over the whole pipeline: request/stage
+    /// latency histograms, queue depth gauge and wait histogram, breaker
+    /// transition counters (recorded live), plus the service's own
+    /// counters merged in under `serve.*` names, and the sliding-window
+    /// q-error summary when ground truth has been observed.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.recorder.snapshot();
+        let stats = self.stats();
+        snap.merge_counter("serve.answered", stats.answered);
+        snap.merge_counter("serve.floor.answers", stats.floor_answers);
+        snap.merge_counter("serve.deadline_exceeded", stats.deadline_exceeded);
+        snap.merge_counter("serve.queue.admitted", stats.admission.admitted);
+        snap.merge_counter("serve.queue.rejected", stats.admission.rejected);
+        snap.merge_counter("serve.queue.shed", stats.admission.shed);
+        snap.merge_counter("serve.queue.timeouts", stats.admission.queue_timeouts);
+        for (i, stage) in stats.stages.iter().enumerate() {
+            snap.merge_counter(&format!("serve.stage{i}.hits"), stage.hits);
+            snap.merge_counter(&format!("serve.stage{i}.timeouts"), stage.timeouts);
+            snap.merge_counter(&format!("serve.stage{i}.panics"), stage.panics);
+            snap.merge_counter(&format!("serve.stage{i}.skipped_open"), stage.skipped_open);
+            for (label, n) in &stage.errors {
+                if *n > 0 {
+                    snap.merge_counter(&format!("serve.stage{i}.errors.{label}"), *n);
+                }
+            }
+            // Breaker transitions are recorded live by the breaker's own
+            // recorder hook — merging `stage.breaker` here would double
+            // count them.
+        }
+        snap.qerror = self.qerror.summary();
+        snap
     }
 
     /// One coherent snapshot of every service counter.
@@ -546,6 +623,70 @@ mod tests {
             stats.stages[0].errors[EstimateErrorKind::NonFinite.as_index()].1,
             1
         );
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_latency_stages_breakers_and_qerror() {
+        let svc = EstimatorService::new(
+            vec![
+                Arc::new(ChaosEstimator::new(
+                    Constant(50.0),
+                    vec![EstimatorFault::Error],
+                    1.0,
+                    1,
+                )),
+                Arc::new(Constant(9.0)),
+            ],
+            ServiceConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown: Duration::from_secs(60),
+                    max_cooldown: Duration::from_secs(60),
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            let e = svc.estimate(&q()).unwrap();
+            assert!(svc.observe_truth(10.0, e.value));
+        }
+        let m = svc.metrics();
+        // End-to-end and per-stage latency histograms are populated.
+        let e2e = m.histogram(REQUEST_LATENCY_METRIC).expect("e2e histogram");
+        assert_eq!(e2e.count, 10);
+        assert!(e2e.sum_nanos > 0, "non-zero end-to-end latency");
+        assert_eq!(
+            m.histogram("serve.stage1.latency").expect("stage").count,
+            10
+        );
+        // Per-stage counters merged from the service atomics.
+        assert_eq!(m.counter("serve.stage0.errors.internal"), 3);
+        assert_eq!(m.counter("serve.stage0.skipped_open"), 7);
+        assert_eq!(m.counter("serve.stage1.hits"), 10);
+        assert_eq!(m.counter("serve.answered"), 10);
+        assert_eq!(m.counter("serve.queue.admitted"), 10);
+        // Breaker transitions recorded live (no double counting).
+        assert_eq!(m.counter("serve.stage0.breaker.opened"), 1);
+        // The q-error summary reflects the observed truths: all answers
+        // were 9.0 against truth 10.0.
+        let qe = m.qerror.as_ref().expect("qerror summary");
+        assert!(
+            (qe.median - 10.0 / 9.0).abs() < 1e-9,
+            "median {}",
+            qe.median
+        );
+        // JSON rendering includes the new names.
+        let json = m.to_json();
+        assert!(json.contains("\"serve.request.latency\""), "{json}");
+        assert!(json.contains("\"qerror\":{"), "{json}");
+    }
+
+    #[test]
+    fn observe_truth_rejects_non_finite_pairs() {
+        let svc = EstimatorService::new(vec![Arc::new(Constant(2.0))], ServiceConfig::default());
+        assert!(!svc.observe_truth(f64::NAN, 2.0));
+        assert!(!svc.observe_truth(10.0, f64::INFINITY));
+        assert!(svc.metrics().qerror.is_none());
     }
 
     #[test]

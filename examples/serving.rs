@@ -105,6 +105,7 @@ fn main() {
                 max_cooldown: Duration::from_millis(100),
             },
             floor: 1.0,
+            ..ServiceConfig::default()
         },
     ));
     println!("── serving stack ──");
@@ -153,22 +154,32 @@ fn main() {
     );
 
     // ── 3. Four threads of traffic + a mid-flight swap ─────────────────
-    let queries = {
+    // Label the serving workload up front so every answered request can
+    // feed the service's online q-error tracker.
+    let labeled = {
         let mut qs = generate_conjunctive(catalog, &ConjunctiveConfig::new(table, 200, 21));
         qs.extend(generate_mixed(catalog, &MixedConfig::new(table, 200, 22)));
-        Arc::new(qs)
+        Arc::new(label_queries(&db, qs))
     };
+    let queries = &labeled.queries;
     let probe: Vec<_> = queries.iter().take(16).cloned().collect();
     let workers: Vec<_> = (0..4)
         .map(|t| {
             let svc = Arc::clone(&svc);
-            let queries = Arc::clone(&queries);
+            let labeled = Arc::clone(&labeled);
             std::thread::spawn(move || {
                 let (mut ok, mut deadline, mut overload) = (0u64, 0u64, 0u64);
-                for q in queries.iter().skip(t).step_by(4) {
+                for (q, &truth) in labeled
+                    .queries
+                    .iter()
+                    .zip(labeled.cardinalities.iter())
+                    .skip(t)
+                    .step_by(4)
+                {
                     match svc.estimate_within(q, Deadline::within(Duration::from_millis(20))) {
                         Ok(est) => {
                             assert!(est.value.is_finite() && est.value >= 1.0);
+                            svc.observe_truth(truth, est.value);
                             ok += 1;
                         }
                         Err(ServeError::DeadlineExceeded { .. }) => deadline += 1,
@@ -240,4 +251,20 @@ fn main() {
         rejected,
         slot.name()
     );
+
+    // ── 5. The metrics snapshot ────────────────────────────────────────
+    // One `MetricsSnapshot` over the whole pipeline: end-to-end and
+    // per-stage latency histograms, queue depth/wait, live breaker
+    // transitions, and the sliding-window q-error over the ground truth
+    // the workers fed back.
+    let metrics = svc.metrics();
+    println!("\n── metrics snapshot ──");
+    print!("{}", metrics.render_text());
+    if let Ok(path) = std::env::var("QFE_METRICS_JSON") {
+        let path = std::path::PathBuf::from(path);
+        metrics
+            .write_json_to(&path)
+            .expect("metrics JSON must be writable");
+        println!("\nmetrics JSON written to {}", path.display());
+    }
 }

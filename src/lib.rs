@@ -16,6 +16,9 @@
 //!   MSCN, linear regression.
 //! * [`estimators`] — cardinality estimators: Postgres-style independence,
 //!   Bernoulli sampling, and learned local/global models.
+//! * [`obs`] — pipeline observability: lock-free counters, log₂ latency
+//!   histograms, metric snapshots with stable JSON, online q-error
+//!   tracking.
 //! * [`serve`] — deadline-aware serving front end: admission control and
 //!   load shedding, per-stage circuit breakers, panic isolation, and
 //!   validated hot model swap.
@@ -55,5 +58,6 @@ pub use qfe_data as data;
 pub use qfe_estimators as estimators;
 pub use qfe_exec as exec;
 pub use qfe_ml as ml;
+pub use qfe_obs as obs;
 pub use qfe_serve as serve;
 pub use qfe_workload as workload;

@@ -68,6 +68,17 @@ fn query() -> Query {
     Query::single_table(TableId(0), vec![])
 }
 
+/// Stress volume: `(threads, requests_per_thread)`, scaled down by the
+/// `QFE_SCALE` env var (`smoke` in CI keeps the wall-clock short; the
+/// default exercises the full load).
+fn stress_scale() -> (usize, u64) {
+    match std::env::var("QFE_SCALE").as_deref() {
+        Ok("smoke") => (4, 15),
+        Ok("small") => (6, 30),
+        _ => (8, 60),
+    }
+}
+
 /// Values the swap thread successfully publishes; anything else coming
 /// out of the slot stage is a validation hole.
 const INITIAL: f64 = 100.0;
@@ -113,23 +124,23 @@ fn chaos_stress_upholds_the_response_contract() {
                 max_cooldown: Duration::from_millis(50),
             },
             floor: 1.0,
+            ..ServiceConfig::default()
         },
     ));
 
-    const THREADS: usize = 8;
-    const PER_THREAD: u64 = 60;
+    let (threads, per_thread) = stress_scale();
     let ok = Arc::new(AtomicU64::new(0));
     let deadline_errs = Arc::new(AtomicU64::new(0));
     let overload_errs = Arc::new(AtomicU64::new(0));
 
-    let workers: Vec<_> = (0..THREADS)
+    let workers: Vec<_> = (0..threads)
         .map(|_| {
             let svc = Arc::clone(&svc);
             let ok = Arc::clone(&ok);
             let deadline_errs = Arc::clone(&deadline_errs);
             let overload_errs = Arc::clone(&overload_errs);
             std::thread::spawn(move || {
-                for _ in 0..PER_THREAD {
+                for _ in 0..per_thread {
                     match svc.estimate_within(&query(), Deadline::within(Duration::from_millis(40)))
                     {
                         Ok(est) => {
@@ -145,6 +156,10 @@ fn chaos_stress_upholds_the_response_contract() {
                                     "unvalidated model served: {est:?}"
                                 );
                             }
+                            // Feed the online q-error tracker; the
+                            // "truth" is synthetic but finite, which is
+                            // all the tracker contract needs.
+                            assert!(svc.observe_truth(50.0, est.value));
                             ok.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(ServeError::DeadlineExceeded { .. }) => {
@@ -188,7 +203,7 @@ fn chaos_stress_upholds_the_response_contract() {
     let published = swapper.join().expect("swap thread must not panic");
 
     // Every request is accounted for, exactly once, with a typed outcome.
-    let total = (THREADS as u64) * PER_THREAD;
+    let total = (threads as u64) * per_thread;
     let (ok, deadline_errs, overload_errs) = (
         ok.load(Ordering::Relaxed),
         deadline_errs.load(Ordering::Relaxed),
@@ -251,6 +266,46 @@ fn chaos_stress_upholds_the_response_contract() {
     assert_eq!(published_count, published);
     assert_eq!(rejected_count, 2 * published);
     assert_eq!(slot.generation(), published);
+
+    // ── Metrics snapshot over the same run ─────────────────────────────
+    let m = svc.metrics();
+    // Every request — successes and typed errors alike — shows up in the
+    // end-to-end latency histogram, with real (non-zero) latency.
+    let e2e = m
+        .histogram(qfe::serve::REQUEST_LATENCY_METRIC)
+        .expect("end-to-end latency histogram");
+    assert_eq!(e2e.count, total);
+    assert!(e2e.sum_nanos > 0, "non-zero end-to-end latency");
+    assert!(e2e.p99_nanos() >= e2e.p50_nanos());
+    assert!(e2e.max_nanos >= e2e.p99_nanos());
+    // The merged counters agree with the stats() view of the same run.
+    assert_eq!(m.counter("serve.answered"), stats.answered);
+    assert_eq!(m.counter("serve.floor.answers"), stats.floor_answers);
+    assert_eq!(m.counter("serve.queue.admitted"), stats.admission.admitted);
+    for (i, stage) in stats.stages.iter().enumerate() {
+        assert_eq!(m.counter(&format!("serve.stage{i}.hits")), stage.hits);
+        // Breaker transitions were recorded live at transition time; they
+        // must mirror the breaker's own counters, not double them.
+        assert_eq!(
+            m.counter(&format!("serve.stage{i}.breaker.opened")),
+            stage.breaker.opened
+        );
+        assert_eq!(
+            m.counter(&format!("serve.stage{i}.breaker.reclosed")),
+            stage.breaker.reclosed
+        );
+    }
+    assert!(
+        m.counter("serve.stage0.breaker.opened") > 0,
+        "breaker transitions visible in the snapshot"
+    );
+    // The q-error tracker summarized the observed (truth, estimate) pairs.
+    let qe = m.qerror.as_ref().expect("q-error summary after stress");
+    assert!(qe.median.is_finite() && qe.median >= 1.0);
+    // The JSON rendering carries the whole pipeline's metrics.
+    let json = m.to_json();
+    assert!(json.contains("\"serve.request.latency\""), "{json}");
+    assert!(json.contains("\"qerror\":{"), "{json}");
 }
 
 #[test]
