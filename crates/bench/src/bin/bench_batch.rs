@@ -1,0 +1,177 @@
+//! Throughput record for the batched execution path: singleton vs
+//! batched execution at batch size 64 on the forest conjunctive
+//! workload, measured at the three layers that grew a batch fast path
+//! (featurization arena, learned-estimator batch forward, batched
+//! service walk). Writes the machine-readable record to
+//! `BENCH_batch.json` (override with `QFE_BENCH_JSON`), prints the same
+//! numbers as text, and exits non-zero if any batched layer is *slower*
+//! than its singleton equivalent — the CI regression gate for this
+//! path. Scale via `QFE_SCALE=smoke|small|full`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qfe_bench::envs::ForestEnv;
+use qfe_bench::trainers::{make_featurizer, train_single_table, ModelKind, QftKind};
+use qfe_core::featurize::{AttributeSpace, FeatureMatrix};
+use qfe_core::{CardinalityEstimator, Deadline, Query, TableId};
+use qfe_serve::{EstimatorService, ServiceConfig, SharedEstimator};
+
+const BATCH: usize = 64;
+
+/// One measured comparison: microseconds per query down each path.
+struct Layer {
+    name: &'static str,
+    singleton_us: f64,
+    batched_us: f64,
+}
+
+impl Layer {
+    fn speedup(&self) -> f64 {
+        self.singleton_us / self.batched_us
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"singleton_us_per_query\":{:.3},\"batched_us_per_query\":{:.3},\"speedup\":{:.2}}}",
+            self.singleton_us,
+            self.batched_us,
+            self.speedup()
+        )
+    }
+}
+
+/// Run `f` (which processes `per_iter` queries) repeatedly for at least
+/// `budget`, after one warmup call; returns microseconds per query.
+fn measure(per_iter: usize, budget: Duration, mut f: impl FnMut()) -> f64 {
+    f();
+    let started = Instant::now();
+    let mut iters = 0u64;
+    while started.elapsed() < budget {
+        f();
+        iters += 1;
+    }
+    let total = started.elapsed().as_secs_f64() * 1e6;
+    total / (iters as f64 * per_iter as f64)
+}
+
+fn main() {
+    let scale = qfe_bench::Scale::from_env();
+    eprintln!("building forest environment at scale '{}'…", scale.label);
+    let env = ForestEnv::build(&scale);
+    let budget = Duration::from_millis(300);
+    let batch: Vec<Query> = (0..BATCH)
+        .map(|i| env.conj_test.queries[i % env.conj_test.queries.len()].clone())
+        .collect();
+
+    // Layer 1: featurization — per-query allocation vs the arena.
+    let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+    let featurizer = make_featurizer(QftKind::Conjunctive, space, 64, true);
+    let feat = Layer {
+        name: "featurize",
+        singleton_us: measure(BATCH, budget, || {
+            for q in &batch {
+                std::hint::black_box(featurizer.featurize(q).unwrap());
+            }
+        }),
+        batched_us: measure(BATCH, budget, || {
+            let m = FeatureMatrix::build(featurizer.as_ref(), &batch);
+            assert_eq!(m.ok_rows(), BATCH);
+            std::hint::black_box(m);
+        }),
+    };
+
+    // Layer 2: the learned estimator — try_estimate vs estimate_batch.
+    eprintln!("training GB × conjunctive on the forest workload…");
+    let est = train_single_table(
+        env.db.catalog(),
+        TableId(0),
+        &env.conj_train,
+        QftKind::Conjunctive,
+        ModelKind::Gb,
+        &scale,
+        true,
+    );
+    let estimator = Layer {
+        name: "estimator",
+        singleton_us: measure(BATCH, budget, || {
+            for q in &batch {
+                std::hint::black_box(est.try_estimate(q).unwrap());
+            }
+        }),
+        batched_us: measure(BATCH, budget, || {
+            let rows = est.estimate_batch(&batch);
+            assert_eq!(rows.len(), BATCH);
+            std::hint::black_box(rows);
+        }),
+    };
+
+    // Layer 3: the serving front end — one admission + deadline walk +
+    // watchdog per query vs one per batch.
+    let svc = EstimatorService::new(
+        vec![Arc::new(est) as SharedEstimator],
+        ServiceConfig::default(),
+    );
+    let req_budget = Duration::from_millis(100);
+    let serve = Layer {
+        name: "serve",
+        singleton_us: measure(BATCH, budget, || {
+            for q in &batch {
+                std::hint::black_box(
+                    svc.estimate_within(q, Deadline::within(req_budget))
+                        .unwrap(),
+                );
+            }
+        }),
+        batched_us: measure(BATCH, budget, || {
+            let rows = svc.estimate_batch_within(&batch, Deadline::within(req_budget));
+            assert_eq!(rows.len(), BATCH);
+            std::hint::black_box(rows);
+        }),
+    };
+
+    let layers = [feat, estimator, serve];
+    println!(
+        "batched execution at batch {BATCH}, forest conjunctive workload ({}):",
+        scale.label
+    );
+    for l in &layers {
+        println!(
+            "  {:<10} singleton {:>9.2} µs/query   batched {:>9.2} µs/query   speedup {:>5.2}×",
+            l.name,
+            l.singleton_us,
+            l.batched_us,
+            l.speedup()
+        );
+    }
+    // The headline number is the end-to-end serving layer: that is what
+    // the micro-batcher amortizes per request.
+    let headline = layers[2].speedup();
+    let json = format!(
+        "{{\"workload\":\"forest-conjunctive\",\"scale\":\"{}\",\"batch_size\":{},\"featurize\":{},\"estimator\":{},\"serve\":{},\"speedup\":{:.2}}}\n",
+        scale.label,
+        BATCH,
+        layers[0].to_json(),
+        layers[1].to_json(),
+        layers[2].to_json(),
+        headline
+    );
+    let path = std::env::var("QFE_BENCH_JSON").unwrap_or_else(|_| "BENCH_batch.json".into());
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+
+    let mut failed = false;
+    for l in &layers {
+        if l.speedup() < 1.0 {
+            eprintln!(
+                "REGRESSION: batched {} path is slower than singleton ({:.2}×)",
+                l.name,
+                l.speedup()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

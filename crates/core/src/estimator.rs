@@ -76,6 +76,22 @@ pub trait CardinalityEstimator {
         Ok(Estimate::primary(value, self.name()))
     }
 
+    /// Estimate a batch of queries in one call.
+    ///
+    /// The result has exactly one entry per input query, in input order;
+    /// each entry upholds the [`try_estimate`](Self::try_estimate)
+    /// contract (an `Ok` carries a finite value `>= 1`). Failures are
+    /// per-row: one rejected query never poisons its batch-mates.
+    ///
+    /// The default loops over `try_estimate`. Estimators with a cheaper
+    /// amortized path (shared featurization arena, one model forward pass)
+    /// override this; overrides must stay row-for-row equivalent to the
+    /// singleton path — batching is a throughput optimization, never a
+    /// semantic change.
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        queries.iter().map(|q| self.try_estimate(q)).collect()
+    }
+
     /// Approximate memory footprint of the estimator state in bytes
     /// (Section 5.7 compares estimator sizes).
     fn memory_bytes(&self) -> usize {
@@ -97,6 +113,10 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
         (**self).try_estimate(query)
     }
 
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        (**self).estimate_batch(queries)
+    }
+
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
     }
@@ -115,6 +135,10 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
 
     fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
         (**self).try_estimate(query)
+    }
+
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        (**self).estimate_batch(queries)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -171,6 +195,22 @@ mod tests {
                 "{bad} should be rejected, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn default_estimate_batch_is_map_of_try_estimate() {
+        let q = Query::single_table(TableId(0), vec![]);
+        let c = Constant(9.0);
+        let batch = c.estimate_batch(&[q.clone(), q.clone(), q.clone()]);
+        assert_eq!(batch.len(), 3);
+        for (got, want) in batch.iter().zip(std::iter::repeat(c.try_estimate(&q))) {
+            assert_eq!(*got, want);
+        }
+        assert!(c.estimate_batch(&[]).is_empty());
+        // Per-row failures do not poison the batch result shape.
+        let bad = Constant(f64::NAN).estimate_batch(&[q.clone(), q]);
+        assert_eq!(bad.len(), 2);
+        assert!(bad.iter().all(Result::is_err));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! count overlaps.
 
 use crate::error::QfeError;
-use crate::featurize::conjunctive::featurize_conjunct;
+use crate::featurize::conjunctive::featurize_conjunct_into;
 use crate::featurize::space::AttributeSpace;
 use crate::featurize::{group_by_column, FeatureVec, Featurizer};
 use crate::interval::RegionSet;
@@ -33,6 +33,11 @@ pub struct LimitedDisjunctionEncoding {
     max_buckets: usize,
     attr_sel: bool,
     ternary: bool,
+    /// Cumulative layout (see [`super::UniversalConjunctionEncoding`]'s
+    /// twin field): `offsets[pos]` is attribute `pos`'s start, the last
+    /// entry is the total dimension. Precomputed on every layout change so
+    /// `dim()` and the in-place encoder are O(1) per lookup.
+    offsets: Vec<usize>,
 }
 
 impl LimitedDisjunctionEncoding {
@@ -48,17 +53,26 @@ impl LimitedDisjunctionEncoding {
                 "complex QFT needs at least one bucket per attribute".into(),
             ));
         }
-        Ok(LimitedDisjunctionEncoding {
+        let mut enc = LimitedDisjunctionEncoding {
             space,
             max_buckets,
             attr_sel: true,
             ternary: true,
-        })
+            offsets: Vec::new(),
+        };
+        enc.recompute_offsets();
+        Ok(enc)
+    }
+
+    fn recompute_offsets(&mut self) {
+        self.offsets =
+            super::conjunctive::layout_offsets(self.space.len(), |pos| self.attr_width(pos));
     }
 
     /// Enable/disable the per-attribute selectivity entries.
     pub fn with_attr_sel(mut self, attr_sel: bool) -> Self {
         self.attr_sel = attr_sel;
+        self.recompute_offsets();
         self
     }
 
@@ -82,21 +96,16 @@ impl LimitedDisjunctionEncoding {
     fn attr_width(&self, pos: usize) -> usize {
         self.space.domain(pos).bucket_count(self.max_buckets) + usize::from(self.attr_sel)
     }
-}
 
-impl Featurizer for LimitedDisjunctionEncoding {
-    fn name(&self) -> &'static str {
-        "complex"
-    }
-
-    fn dim(&self) -> usize {
-        (0..self.space.len()).map(|p| self.attr_width(p)).sum()
-    }
-
-    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
-        let grouped = group_by_column(query);
-        let mut per_attr: Vec<Option<(Vec<f32>, f64)>> = vec![None; self.space.len()];
-        for (col, expr) in grouped {
+    /// Encoding core shared by the allocating and in-place paths: fills
+    /// `out` (length `dim()`) via the precomputed offsets. The first
+    /// disjunct of each attribute encodes straight into the output slot;
+    /// only additional disjuncts touch the (call-local, reused) scratch
+    /// buffer for the entry-wise max merge of Algorithm 2.
+    fn encode_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        out.fill(1.0);
+        let mut scratch: Vec<f32> = Vec::new();
+        for (col, expr) in group_by_column(query) {
             let Some(pos) = self.space.position(col) else {
                 return Err(QfeError::InvalidQuery(format!(
                     "predicate on attribute outside the featurizer's space: table {} column {}",
@@ -105,42 +114,56 @@ impl Featurizer for LimitedDisjunctionEncoding {
             };
             let domain = self.space.domain(pos);
             let n_a = domain.bucket_count(self.max_buckets);
+            let start = self.offsets[pos];
             // Algorithm 2 line 3: start from an all-zero vector V …
-            let mut merged = vec![0.0f32; n_a];
+            let slot = &mut out[start..start + n_a];
+            slot.fill(0.0);
             let mut regions = Vec::new();
             // … line 4: for each disjunct d of the compound predicate …
             for conjunct in expr.to_dnf()? {
-                // … line 5: featurize d with Algorithm 1 …
-                let (v, region) = featurize_conjunct(&conjunct, domain, n_a, self.ternary)?;
-                // … line 6: merge by entry-wise max.
-                for (m, e) in merged.iter_mut().zip(&v) {
-                    *m = m.max(*e);
-                }
-                regions.push(region);
-            }
-            let sel = RegionSet::new(regions).selectivity(domain);
-            per_attr[pos] = Some((merged, sel));
-        }
-        let mut out = Vec::with_capacity(self.dim());
-        for (pos, slot) in per_attr.iter().enumerate() {
-            let n_a = self.space.domain(pos).bucket_count(self.max_buckets);
-            match slot {
-                Some((buckets, sel)) => {
-                    out.extend_from_slice(buckets);
-                    if self.attr_sel {
-                        out.push(*sel as f32);
+                // … line 5: featurize d with Algorithm 1, line 6: merge by
+                // entry-wise max (the first disjunct writes directly: its
+                // entries are all >= 0, the slot's starting value).
+                if regions.is_empty() {
+                    let region = featurize_conjunct_into(&conjunct, domain, slot, self.ternary)?;
+                    regions.push(region);
+                } else {
+                    scratch.resize(n_a, 0.0);
+                    let scratch = &mut scratch[..n_a];
+                    let region = featurize_conjunct_into(&conjunct, domain, scratch, self.ternary)?;
+                    for (m, e) in slot.iter_mut().zip(scratch.iter()) {
+                        *m = m.max(*e);
                     }
-                }
-                None => {
-                    out.extend(std::iter::repeat_n(1.0, n_a));
-                    if self.attr_sel {
-                        out.push(1.0);
-                    }
+                    regions.push(region);
                 }
             }
+            if self.attr_sel {
+                let sel = RegionSet::new(regions).selectivity(domain);
+                out[start + n_a] = sel as f32;
+            }
         }
-        debug_assert_eq!(out.len(), self.dim());
+        Ok(())
+    }
+}
+
+impl Featurizer for LimitedDisjunctionEncoding {
+    fn name(&self) -> &'static str {
+        "complex"
+    }
+
+    fn dim(&self) -> usize {
+        self.offsets[self.space.len()]
+    }
+
+    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+        let mut out = vec![0.0f32; self.dim()];
+        self.encode_into(query, &mut out)?;
         Ok(FeatureVec(out))
+    }
+
+    fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        crate::featurize::check_out_len(self.dim(), out.len())?;
+        self.encode_into(query, out)
     }
 }
 

@@ -133,6 +133,53 @@ impl UniversalConjunctionEncoding {
     pub fn attr_offset(&self, pos: usize) -> usize {
         self.offsets[pos]
     }
+
+    /// Encoding core shared by the allocating and in-place paths: fills
+    /// `out` (length `dim()`) directly via the precomputed layout offsets,
+    /// allocating nothing beyond what DNF expansion itself needs.
+    fn encode_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        // Default per attribute: all-one buckets and selectivity 1 ("no
+        // restriction"); predicated attributes overwrite their slot below
+        // (group_by_column yields each attribute at most once).
+        out.fill(1.0);
+        for (col, expr) in group_by_column(query) {
+            let Some(pos) = self.space.position(col) else {
+                return Err(QfeError::InvalidQuery(format!(
+                    "predicate on attribute outside the featurizer's space: table {} column {}",
+                    col.table.0, col.column.0
+                )));
+            };
+            if !expr.is_conjunctive() {
+                return Err(QfeError::UnsupportedQuery(
+                    "Universal Conjunction Encoding cannot featurize disjunctions; \
+                     use Limited Disjunction Encoding"
+                        .into(),
+                ));
+            }
+            let domain = self.space.domain(pos);
+            let n_a = domain.bucket_count(self.max_buckets);
+            let start = self.offsets[pos];
+            let buckets = &mut out[start..start + n_a];
+            match expr.to_dnf()?.into_iter().next() {
+                Some(preds) => {
+                    let region = featurize_conjunct_into(&preds, domain, buckets, self.ternary)?;
+                    if self.attr_sel {
+                        let sel = RegionSet::new(vec![region]).selectivity(domain);
+                        out[start + n_a] = sel as f32;
+                    }
+                }
+                // An empty disjunction is unsatisfiable (e.g. a prefix
+                // predicate matching nothing): no bucket qualifies.
+                None => {
+                    buckets.fill(0.0);
+                    if self.attr_sel {
+                        out[start + n_a] = 0.0;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Featurize one attribute's conjunction of simple predicates into `n_a`
@@ -146,26 +193,43 @@ pub(crate) fn featurize_conjunct(
     n_a: usize,
     ternary: bool,
 ) -> Result<(Vec<f32>, Region), QfeError> {
+    let mut v = vec![1.0f32; n_a];
+    let region = featurize_conjunct_into(preds, domain, &mut v, ternary)?;
+    Ok((v, region))
+}
+
+/// In-place variant of [`featurize_conjunct`]: encodes into `out` (whose
+/// length is the attribute's bucket count `n_a`) without allocating the
+/// bucket vector. Used by the batched arena path.
+pub(crate) fn featurize_conjunct_into(
+    preds: &[SimplePredicate],
+    domain: &AttributeDomain,
+    out: &mut [f32],
+    ternary: bool,
+) -> Result<Region, QfeError> {
+    let n_a = out.len();
     let exact = domain.exact_buckets(n_a);
-    let v = featurize_conjunct_buckets(preds, n_a, exact, ternary, &|val| {
+    featurize_conjunct_buckets_into(preds, out, exact, ternary, &|val| {
         domain.bucket_of(val, n_a)
     })?;
-    let region = Region::from_conjunct(preds, domain);
-    Ok((v, region))
+    Ok(Region::from_conjunct(preds, domain))
 }
 
 /// The bucket-update core of Algorithm 1, generic over the bucket mapping
 /// (equal-width per the paper, or data-driven equi-depth via
 /// [`super::EquiDepthConjunctionEncoding`]). `bucket_of` must be monotone
-/// non-decreasing in its argument.
-pub(crate) fn featurize_conjunct_buckets(
+/// non-decreasing in its argument. Operates in place: `v` (length = the
+/// bucket count `n_a`) is reset to all-ones and then updated, so batch
+/// callers can point it straight into their feature arena.
+pub(crate) fn featurize_conjunct_buckets_into(
     preds: &[SimplePredicate],
-    n_a: usize,
+    v: &mut [f32],
     exact: bool,
     ternary: bool,
     bucket_of: &dyn Fn(f64) -> usize,
-) -> Result<Vec<f32>, QfeError> {
-    let mut v = vec![1.0f32; n_a];
+) -> Result<(), QfeError> {
+    let n_a = v.len();
+    v.fill(1.0);
     for p in preds {
         let val = p.value.as_f64().ok_or_else(|| {
             QfeError::InvalidLiteral(format!(
@@ -187,7 +251,7 @@ pub(crate) fn featurize_conjunct_buckets(
         match p.op {
             CmpOp::Eq => {
                 if !exact {
-                    mark_partial(&mut v, idx);
+                    mark_partial(v, idx);
                 }
                 for (i, entry) in v.iter_mut().enumerate() {
                     if i != idx {
@@ -198,26 +262,26 @@ pub(crate) fn featurize_conjunct_buckets(
             CmpOp::Gt => {
                 let zero_to = if exact { idx + 1 } else { idx };
                 if !exact {
-                    mark_partial(&mut v, idx);
+                    mark_partial(v, idx);
                 }
                 v[..zero_to.min(n_a)].fill(0.0);
             }
             CmpOp::Ge => {
                 if !exact {
-                    mark_partial(&mut v, idx);
+                    mark_partial(v, idx);
                 }
                 v[..idx].fill(0.0);
             }
             CmpOp::Lt => {
                 let zero_from = if exact { idx } else { idx + 1 };
                 if !exact {
-                    mark_partial(&mut v, idx);
+                    mark_partial(v, idx);
                 }
                 v[zero_from..].fill(0.0);
             }
             CmpOp::Le => {
                 if !exact {
-                    mark_partial(&mut v, idx);
+                    mark_partial(v, idx);
                 }
                 v[idx + 1..].fill(0.0);
             }
@@ -225,12 +289,12 @@ pub(crate) fn featurize_conjunct_buckets(
                 if exact {
                     v[idx] = 0.0;
                 } else {
-                    mark_partial(&mut v, idx);
+                    mark_partial(v, idx);
                 }
             }
         }
     }
-    Ok(v)
+    Ok(())
 }
 
 impl Featurizer for UniversalConjunctionEncoding {
@@ -243,56 +307,14 @@ impl Featurizer for UniversalConjunctionEncoding {
     }
 
     fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
-        let grouped = group_by_column(query);
-        // Per-attribute slots default to "no predicate": all-one buckets,
-        // selectivity 1.
-        let mut per_attr: Vec<Option<(Vec<f32>, f64)>> = vec![None; self.space.len()];
-        for (col, expr) in grouped {
-            let Some(pos) = self.space.position(col) else {
-                return Err(QfeError::InvalidQuery(format!(
-                    "predicate on attribute outside the featurizer's space: table {} column {}",
-                    col.table.0, col.column.0
-                )));
-            };
-            if !expr.is_conjunctive() {
-                return Err(QfeError::UnsupportedQuery(
-                    "Universal Conjunction Encoding cannot featurize disjunctions; \
-                     use Limited Disjunction Encoding"
-                        .into(),
-                ));
-            }
-            let domain = self.space.domain(pos);
-            let n_a = domain.bucket_count(self.max_buckets);
-            match expr.to_dnf()?.into_iter().next() {
-                Some(preds) => {
-                    let (buckets, region) = featurize_conjunct(&preds, domain, n_a, self.ternary)?;
-                    let sel = RegionSet::new(vec![region]).selectivity(domain);
-                    per_attr[pos] = Some((buckets, sel));
-                }
-                // An empty disjunction is unsatisfiable (e.g. a prefix
-                // predicate matching nothing): no bucket qualifies.
-                None => per_attr[pos] = Some((vec![0.0; n_a], 0.0)),
-            }
-        }
-        let mut out = Vec::with_capacity(self.dim());
-        for (pos, slot) in per_attr.iter().enumerate() {
-            match slot {
-                Some((buckets, sel)) => {
-                    out.extend_from_slice(buckets);
-                    if self.attr_sel {
-                        out.push(*sel as f32);
-                    }
-                }
-                None => {
-                    out.extend(std::iter::repeat_n(1.0, self.buckets_of(pos)));
-                    if self.attr_sel {
-                        out.push(1.0);
-                    }
-                }
-            }
-        }
-        debug_assert_eq!(out.len(), self.dim());
+        let mut out = vec![0.0f32; self.dim()];
+        self.encode_into(query, &mut out)?;
         Ok(FeatureVec(out))
+    }
+
+    fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        crate::featurize::check_out_len(self.dim(), out.len())?;
+        self.encode_into(query, out)
     }
 }
 

@@ -14,7 +14,7 @@
 //! equal-width scheme on the skewed forest attributes.
 
 use crate::error::QfeError;
-use crate::featurize::conjunctive::featurize_conjunct_buckets;
+use crate::featurize::conjunctive::featurize_conjunct_buckets_into;
 use crate::featurize::space::AttributeSpace;
 use crate::featurize::{group_by_column, FeatureVec, Featurizer};
 use crate::interval::{Region, RegionSet};
@@ -99,6 +99,53 @@ impl EquiDepthConjunctionEncoding {
     fn attr_width(&self, pos: usize) -> usize {
         self.buckets_of(pos) + usize::from(self.attr_sel)
     }
+
+    /// Encoding core shared by the allocating and in-place paths: fills
+    /// `out` (length `dim()`) via the precomputed offsets. The first
+    /// disjunct of each attribute encodes straight into the output slot;
+    /// only additional disjuncts touch the (call-local, reused) scratch
+    /// buffer for the entry-wise max merge of Algorithm 2.
+    fn encode_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        out.fill(1.0);
+        let mut scratch: Vec<f32> = Vec::new();
+        for (col, expr) in group_by_column(query) {
+            let Some(pos) = self.space.position(col) else {
+                return Err(QfeError::InvalidQuery(format!(
+                    "predicate on attribute outside the featurizer's space: table {} column {}",
+                    col.table.0, col.column.0
+                )));
+            };
+            let domain = self.space.domain(pos);
+            let edges = &self.edges[pos];
+            let n_a = edges.len() + 1;
+            let bucket_of = |v: f64| edges.partition_point(|&e| e < v);
+            let start = self.offsets[pos];
+            // Merge disjuncts by entry-wise max (Algorithm 2); a pure
+            // conjunction is the single-disjunct special case. An empty
+            // DNF (unsatisfiable) leaves every bucket at 0.
+            let slot = &mut out[start..start + n_a];
+            slot.fill(0.0);
+            let mut regions = Vec::new();
+            for conjunct in expr.to_dnf()? {
+                if regions.is_empty() {
+                    featurize_conjunct_buckets_into(&conjunct, slot, false, true, &bucket_of)?;
+                } else {
+                    scratch.resize(n_a, 0.0);
+                    let scratch = &mut scratch[..n_a];
+                    featurize_conjunct_buckets_into(&conjunct, scratch, false, true, &bucket_of)?;
+                    for (m, e) in slot.iter_mut().zip(scratch.iter()) {
+                        *m = m.max(*e);
+                    }
+                }
+                regions.push(Region::from_conjunct(&conjunct, domain));
+            }
+            if self.attr_sel {
+                let sel = RegionSet::new(regions).selectivity(domain);
+                out[start + n_a] = sel as f32;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Featurizer for EquiDepthConjunctionEncoding {
@@ -111,52 +158,14 @@ impl Featurizer for EquiDepthConjunctionEncoding {
     }
 
     fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
-        let grouped = group_by_column(query);
-        let mut per_attr: Vec<Option<(Vec<f32>, f64)>> = vec![None; self.space.len()];
-        for (col, expr) in grouped {
-            let Some(pos) = self.space.position(col) else {
-                return Err(QfeError::InvalidQuery(format!(
-                    "predicate on attribute outside the featurizer's space: table {} column {}",
-                    col.table.0, col.column.0
-                )));
-            };
-            let domain = self.space.domain(pos);
-            let edges = &self.edges[pos];
-            let n_a = edges.len() + 1;
-            let bucket_of = |v: f64| edges.partition_point(|&e| e < v);
-            // Merge disjuncts by entry-wise max (Algorithm 2); a pure
-            // conjunction is the single-disjunct special case.
-            let mut merged = vec![0.0f32; n_a];
-            let mut regions = Vec::new();
-            for conjunct in expr.to_dnf()? {
-                let v = featurize_conjunct_buckets(&conjunct, n_a, false, true, &bucket_of)?;
-                for (m, e) in merged.iter_mut().zip(&v) {
-                    *m = m.max(*e);
-                }
-                regions.push(Region::from_conjunct(&conjunct, domain));
-            }
-            let sel = RegionSet::new(regions).selectivity(domain);
-            per_attr[pos] = Some((merged, sel));
-        }
-        let mut out = Vec::with_capacity(self.dim());
-        for (pos, slot) in per_attr.iter().enumerate() {
-            match slot {
-                Some((buckets, sel)) => {
-                    out.extend_from_slice(buckets);
-                    if self.attr_sel {
-                        out.push(*sel as f32);
-                    }
-                }
-                None => {
-                    out.extend(std::iter::repeat_n(1.0, self.buckets_of(pos)));
-                    if self.attr_sel {
-                        out.push(1.0);
-                    }
-                }
-            }
-        }
-        debug_assert_eq!(out.len(), self.dim());
+        let mut out = vec![0.0f32; self.dim()];
+        self.encode_into(query, &mut out)?;
         Ok(FeatureVec(out))
+    }
+
+    fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        crate::featurize::check_out_len(self.dim(), out.len())?;
+        self.encode_into(query, out)
     }
 }
 

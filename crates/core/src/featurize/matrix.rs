@@ -1,0 +1,200 @@
+//! Row-major feature arena for batched featurization.
+//!
+//! [`FeatureMatrix`] featurizes a `&[Query]` into **one** contiguous
+//! `Vec<f32>` through [`Featurizer::featurize_into`], so a batch of `n`
+//! queries costs a single allocation instead of `n` [`FeatureVec`]s plus a
+//! row-pointer table. Each row has an error slot: a query the featurizer
+//! rejects poisons only its own row (the slot records the [`QfeError`], the
+//! row data is zeroed so the arena stays finite), and the batch carries on.
+//!
+//! The arena's shape is exactly what `qfe-ml::Matrix::from_vec` expects
+//! (row-major `rows × cols`), so converting costs nothing:
+//! [`FeatureMatrix::into_raw`] hands over the backing vector without
+//! copying.
+
+use crate::error::QfeError;
+use crate::query::Query;
+
+use super::Featurizer;
+
+/// A batch of featurized queries in one contiguous row-major arena, with
+/// per-row error slots.
+#[derive(Debug)]
+pub struct FeatureMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+    errors: Vec<Option<QfeError>>,
+}
+
+impl FeatureMatrix {
+    /// Featurize every query in `queries` into a fresh arena.
+    ///
+    /// Rows the featurizer rejects are zero-filled and their error is
+    /// recorded in the row's error slot — the remaining rows are still
+    /// usable, and the arena as a whole stays finite (zero rows are valid
+    /// model input; their predictions are simply discarded by callers).
+    pub fn build<F: Featurizer + ?Sized>(featurizer: &F, queries: &[Query]) -> Self {
+        let cols = featurizer.dim();
+        let rows = queries.len();
+        let mut data = vec![0.0f32; rows * cols];
+        let mut errors = Vec::with_capacity(rows);
+        for (query, out) in queries.iter().zip(data.chunks_exact_mut(cols.max(1))) {
+            match featurizer.featurize_into(query, &mut out[..cols]) {
+                Ok(()) => errors.push(None),
+                Err(e) => {
+                    out[..cols].fill(0.0);
+                    errors.push(Some(e));
+                }
+            }
+        }
+        // `chunks_exact_mut` requires a non-zero chunk size; a zero-dim
+        // featurizer yields an empty arena but must still visit every row
+        // so the error slots line up.
+        if cols == 0 {
+            errors.clear();
+            for query in queries {
+                errors.push(featurizer.featurize_into(query, &mut []).err());
+            }
+        }
+        FeatureMatrix {
+            rows,
+            cols,
+            data,
+            errors,
+        }
+    }
+
+    /// Number of rows (== number of queries passed to [`build`](Self::build)).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature dimension (== the featurizer's `dim()`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `r`-th feature row. Zero-filled if the row errored.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The error recorded for row `r`, if featurization rejected it.
+    pub fn row_error(&self, r: usize) -> Option<&QfeError> {
+        self.errors[r].as_ref()
+    }
+
+    /// Number of rows that featurized successfully.
+    pub fn ok_rows(&self) -> usize {
+        self.errors.iter().filter(|e| e.is_none()).count()
+    }
+
+    /// The whole arena as one row-major slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Decompose into `(rows, cols, arena, per-row errors)` without copying.
+    ///
+    /// The arena vector has length `rows * cols` and is laid out row-major —
+    /// exactly the contract of `qfe-ml::Matrix::from_vec`.
+    pub fn into_raw(self) -> (usize, usize, Vec<f32>, Vec<Option<QfeError>>) {
+        (self.rows, self.cols, self.data, self.errors)
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.data.len() * std::mem::size_of::<f32>()
+            + self.errors.len() * std::mem::size_of::<Option<QfeError>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::FeatureVec;
+    use crate::schema::TableId;
+
+    /// Featurizer that rejects queries with an odd number of predicates.
+    struct Picky;
+
+    impl Featurizer for Picky {
+        fn name(&self) -> &'static str {
+            "picky"
+        }
+
+        fn dim(&self) -> usize {
+            2
+        }
+
+        fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+            if query.predicates.len() % 2 == 1 {
+                return Err(QfeError::UnsupportedQuery("odd".into()));
+            }
+            let n = query.predicates.len() as f32;
+            Ok(FeatureVec(vec![n, n + 0.5]))
+        }
+    }
+
+    fn q(n_preds: usize) -> Query {
+        use crate::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+        use crate::query::ColumnRef;
+        use crate::schema::ColumnId;
+        let preds = (0..n_preds)
+            .map(|i| {
+                CompoundPredicate::conjunction(
+                    ColumnRef::new(TableId(0), ColumnId(i)),
+                    vec![SimplePredicate::new(CmpOp::Eq, 1)],
+                )
+            })
+            .collect();
+        Query::single_table(TableId(0), preds)
+    }
+
+    #[test]
+    fn arena_is_contiguous_and_rows_match_featurize() {
+        let f = Picky;
+        let queries = [q(0), q(2), q(4)];
+        let m = FeatureMatrix::build(&f, &queries);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.ok_rows(), 3);
+        assert_eq!(m.as_slice().len(), 6);
+        for (i, query) in queries.iter().enumerate() {
+            assert_eq!(m.row(i), f.featurize(query).unwrap().as_slice());
+            assert!(m.row_error(i).is_none());
+        }
+    }
+
+    #[test]
+    fn failed_rows_are_zeroed_and_carry_their_error() {
+        let m = FeatureMatrix::build(&Picky, &[q(2), q(1), q(0)]);
+        assert_eq!(m.ok_rows(), 2);
+        assert!(m.row_error(0).is_none());
+        assert!(matches!(
+            m.row_error(1),
+            Some(QfeError::UnsupportedQuery(_))
+        ));
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+        assert!(m.row_error(2).is_none());
+    }
+
+    #[test]
+    fn into_raw_is_the_whole_arena() {
+        let m = FeatureMatrix::build(&Picky, &[q(0), q(2)]);
+        let (rows, cols, data, errors) = m.into_raw();
+        assert_eq!((rows, cols), (2, 2));
+        assert_eq!(data.len(), 4);
+        assert_eq!(errors, vec![None, None]);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_arena() {
+        let m = FeatureMatrix::build(&Picky, &[]);
+        assert_eq!((m.rows(), m.cols()), (0, 2));
+        assert!(m.as_slice().is_empty());
+        assert_eq!(m.ok_rows(), 0);
+        assert!(m.memory_bytes() >= std::mem::size_of::<FeatureMatrix>());
+    }
+}

@@ -19,6 +19,7 @@ mod equidepth;
 pub mod groupby;
 pub mod join;
 pub mod lossless;
+mod matrix;
 pub mod mscn;
 mod range;
 mod simple;
@@ -29,6 +30,7 @@ pub use conjunctive::UniversalConjunctionEncoding;
 pub use equidepth::EquiDepthConjunctionEncoding;
 pub use groupby::{GroupByEncoding, GroupedQuery};
 pub use join::GlobalTableEncoding;
+pub use matrix::FeatureMatrix;
 pub use range::RangePredicateEncoding;
 pub use simple::SingularPredicateEncoding;
 pub use space::AttributeSpace;
@@ -75,6 +77,35 @@ pub trait Featurizer: Send + Sync {
 
     /// Encode `query` into a feature vector of length [`Featurizer::dim`].
     fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError>;
+
+    /// Encode `query` into a caller-provided buffer of length
+    /// [`Featurizer::dim`] without allocating an output vector.
+    ///
+    /// The batch path ([`FeatureMatrix`]) featurizes rows directly into one
+    /// contiguous arena through this method. The default delegates to
+    /// [`featurize`](Self::featurize) and copies; the built-in QFTs override
+    /// it with in-place encoders that produce bit-identical output.
+    ///
+    /// On error the contents of `out` are unspecified; callers must treat
+    /// the row as poisoned. Passing a buffer whose length differs from
+    /// `dim()` is a caller bug and surfaces as [`QfeError::ShapeMismatch`].
+    fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        check_out_len(self.dim(), out.len())?;
+        let v = self.featurize(query)?;
+        out.copy_from_slice(&v.0);
+        Ok(())
+    }
+}
+
+/// Shared guard for [`Featurizer::featurize_into`] buffer lengths.
+pub(crate) fn check_out_len(dim: usize, got: usize) -> Result<(), QfeError> {
+    if dim != got {
+        return Err(QfeError::ShapeMismatch {
+            expected: dim,
+            actual: got,
+        });
+    }
+    Ok(())
 }
 
 /// Boxed featurizers are featurizers, so composite encodings
@@ -91,6 +122,10 @@ impl<F: Featurizer + ?Sized> Featurizer for Box<F> {
 
     fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
         self.as_ref().featurize(query)
+    }
+
+    fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        self.as_ref().featurize_into(query, out)
     }
 }
 

@@ -39,25 +39,15 @@ impl RangePredicateEncoding {
     pub fn space(&self) -> &AttributeSpace {
         &self.space
     }
-}
 
-impl Featurizer for RangePredicateEncoding {
-    fn name(&self) -> &'static str {
-        "range"
-    }
-
-    fn dim(&self) -> usize {
-        self.space.len() * SLOT
-    }
-
-    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+    /// Encoding core shared by the allocating and in-place paths: fills
+    /// `out` (length `dim()`) in place without allocating the output.
+    fn encode_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
         // Default: the full range [0, 1] for attributes without predicates,
         // which is exactly the lossless encoding of "no restriction".
-        let mut out = Vec::with_capacity(self.dim());
-        for pos in 0..self.space.len() {
-            let _ = pos;
-            out.push(0.0);
-            out.push(1.0);
+        for slot in out.chunks_exact_mut(SLOT) {
+            slot[0] = 0.0;
+            slot[1] = 1.0;
         }
         for (col, expr) in group_by_column(query) {
             let Some(pos) = self.space.position(col) else {
@@ -98,7 +88,28 @@ impl Featurizer for RangePredicateEncoding {
             out[pos * SLOT] = lo as f32;
             out[pos * SLOT + 1] = hi as f32;
         }
+        Ok(())
+    }
+}
+
+impl Featurizer for RangePredicateEncoding {
+    fn name(&self) -> &'static str {
+        "range"
+    }
+
+    fn dim(&self) -> usize {
+        self.space.len() * SLOT
+    }
+
+    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+        let mut out = vec![0.0f32; self.dim()];
+        self.encode_into(query, &mut out)?;
         Ok(FeatureVec(out))
+    }
+
+    fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        crate::featurize::check_out_len(self.dim(), out.len())?;
+        self.encode_into(query, out)
     }
 }
 

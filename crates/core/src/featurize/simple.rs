@@ -50,19 +50,11 @@ impl SingularPredicateEncoding {
             CmpOp::Ne => [0.0, 1.0, 1.0],
         }
     }
-}
 
-impl Featurizer for SingularPredicateEncoding {
-    fn name(&self) -> &'static str {
-        "simple"
-    }
-
-    fn dim(&self) -> usize {
-        self.space.len() * SLOT
-    }
-
-    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
-        let mut out = vec![0.0f32; self.dim()];
+    /// Encoding core shared by the allocating and in-place paths: fills
+    /// `out` (length `dim()`) in place without allocating the output.
+    fn encode_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        out.fill(0.0);
         for (col, expr) in group_by_column(query) {
             let Some(pos) = self.space.position(col) else {
                 return Err(QfeError::InvalidQuery(format!(
@@ -92,7 +84,28 @@ impl Featurizer for SingularPredicateEncoding {
             slot[..3].copy_from_slice(&Self::op_bits(first.op));
             slot[3] = domain.normalize(value) as f32;
         }
+        Ok(())
+    }
+}
+
+impl Featurizer for SingularPredicateEncoding {
+    fn name(&self) -> &'static str {
+        "simple"
+    }
+
+    fn dim(&self) -> usize {
+        self.space.len() * SLOT
+    }
+
+    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+        let mut out = vec![0.0f32; self.dim()];
+        self.encode_into(query, &mut out)?;
         Ok(FeatureVec(out))
+    }
+
+    fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        crate::featurize::check_out_len(self.dim(), out.len())?;
+        self.encode_into(query, out)
     }
 }
 

@@ -296,6 +296,99 @@ impl CardinalityEstimator for FallbackChain<'_> {
         })
     }
 
+    /// Batched chain traversal: each stage sees **one**
+    /// [`estimate_batch`](CardinalityEstimator::estimate_batch) call
+    /// covering every query still unanswered at its depth, so a
+    /// batch-aware first stage (the learned estimator) amortizes its
+    /// featurize-and-forward across the whole batch while only the
+    /// per-row failures are routed down the fallback stages. Counters
+    /// and provenance match the singleton path exactly: a query answered
+    /// at depth `d` bumps the same stage-hit and error buckets it would
+    /// have under [`try_estimate`](CardinalityEstimator::try_estimate).
+    /// Per-stage latency is recorded amortized (batch elapsed ÷ rows
+    /// attempted, once per row), so histogram counts stay comparable
+    /// with the singleton path while the sum reflects wall time.
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        let floor_depth = self.stages.len();
+        let mut results: Vec<Option<Estimate>> = vec![None; queries.len()];
+        let mut pending: Vec<usize> = (0..queries.len()).collect();
+        for (depth, stage) in self.stages.iter().enumerate() {
+            if pending.is_empty() {
+                break;
+            }
+            let names = self
+                .metrics
+                .as_ref()
+                .map(|m| (&m.recorder, &m.stages[depth]));
+            if let Some((recorder, names)) = names {
+                recorder.add(&names.attempts, pending.len() as u64);
+            }
+            let sub: Vec<Query> = pending.iter().map(|&i| queries[i].clone()).collect();
+            let started = Instant::now();
+            let outcomes = stage.estimate_batch(&sub);
+            if let Some((recorder, names)) = names {
+                let amortized = started.elapsed() / pending.len() as u32;
+                for _ in &pending {
+                    recorder.record(&names.latency, amortized);
+                }
+            }
+            let mut still_pending = Vec::with_capacity(pending.len());
+            // `zip` also absorbs a contract-violating stage that returns
+            // the wrong number of outcomes: rows left over either way
+            // stay unanswered and fall through to the floor.
+            for (&i, outcome) in pending.iter().zip(outcomes) {
+                match outcome {
+                    // Same defense-in-depth re-validation as the
+                    // singleton path: `Ok` is only trusted when finite
+                    // and `>= 1`.
+                    Ok(est) if est.value.is_finite() && est.value >= 1.0 => {
+                        self.stage_hits[depth].fetch_add(1, Ordering::Relaxed);
+                        if let Some((recorder, names)) = names {
+                            recorder.incr(&names.hits);
+                        }
+                        results[i] = Some(Estimate {
+                            value: est.value,
+                            estimator: stage.name(),
+                            fallback_depth: depth,
+                        });
+                    }
+                    Ok(_) => {
+                        self.record_error(EstimateErrorKind::NonFinite);
+                        if let Some((recorder, names)) = names {
+                            recorder.incr(&names.errors[EstimateErrorKind::NonFinite.as_index()]);
+                        }
+                        still_pending.push(i);
+                    }
+                    Err(e) => {
+                        self.record_error(e.kind());
+                        if let Some((recorder, names)) = names {
+                            recorder.incr(&names.errors[e.kind().as_index()]);
+                        }
+                        still_pending.push(i);
+                    }
+                }
+            }
+            pending = still_pending;
+        }
+        results
+            .into_iter()
+            .map(|slot| match slot {
+                Some(est) => Ok(est),
+                None => {
+                    self.stage_hits[floor_depth].fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metrics {
+                        m.recorder.incr(&m.floor_hits);
+                    }
+                    Ok(Estimate {
+                        value: self.floor,
+                        estimator: "floor".into(),
+                        fallback_depth: floor_depth,
+                    })
+                }
+            })
+            .collect()
+    }
+
     fn memory_bytes(&self) -> usize {
         self.stages.iter().map(|s| s.memory_bytes()).sum()
     }
@@ -430,6 +523,15 @@ impl<E: CardinalityEstimator> CardinalityEstimator for ChaosEstimator<E> {
             }
             Some(EstimatorFault::Panic) => panic!("{}", Self::PANIC_MSG),
         }
+    }
+
+    /// Identical to the trait default, pinned here on purpose: faults
+    /// are drawn **per row in row order**, so a batch of `n` fails
+    /// exactly the calls that `n` singleton calls would have failed.
+    /// Replayability of seeded test cases depends on this — do not
+    /// "optimize" it into one draw per batch.
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        queries.iter().map(|q| self.try_estimate(q)).collect()
     }
 
     fn memory_bytes(&self) -> usize {
@@ -638,6 +740,120 @@ mod tests {
         };
         assert_eq!(stalls(3), stalls(3));
         assert_ne!(stalls(3), stalls(4));
+    }
+
+    /// Counts how many `estimate_batch` calls reach it, to prove the
+    /// chain batches a stage instead of looping `try_estimate`.
+    struct CountingStage {
+        value: f64,
+        batch_calls: Arc<AtomicU64>,
+    }
+
+    impl CardinalityEstimator for CountingStage {
+        fn name(&self) -> String {
+            "counting".into()
+        }
+
+        fn estimate(&self, _query: &Query) -> f64 {
+            self.value
+        }
+
+        fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+            self.batch_calls.fetch_add(1, Ordering::Relaxed);
+            queries.iter().map(|q| self.try_estimate(q)).collect()
+        }
+    }
+
+    #[test]
+    fn batched_chain_matches_singleton_results_and_counters() {
+        let faults = vec![
+            EstimatorFault::Error,
+            EstimatorFault::Nan,
+            EstimatorFault::Garbage,
+        ];
+        let make = || {
+            FallbackChain::new(vec![
+                Box::new(ChaosEstimator::new(Constant(50.0), faults.clone(), 0.5, 21))
+                    as Box<dyn CardinalityEstimator>,
+                Box::new(ChaosEstimator::new(Constant(5.0), faults.clone(), 0.4, 9)),
+            ])
+        };
+        let singleton = make();
+        let batched = make();
+        let queries: Vec<Query> = (0..64).map(|_| q()).collect();
+        let solo: Vec<Estimate> = queries
+            .iter()
+            .map(|qq| singleton.try_estimate(qq).unwrap())
+            .collect();
+        let batch: Vec<Estimate> = batched
+            .estimate_batch(&queries)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        // Same answers, same provenance, same depth — and the same
+        // counter state afterwards: per-row fault draws keep the two
+        // execution shapes replay-identical.
+        assert_eq!(solo, batch);
+        assert_eq!(singleton.stage_stats(), batched.stage_stats());
+        assert!(
+            batched.stage_stats().floor_hits > 0,
+            "fault rates chosen so some rows reach the floor: {:?}",
+            batched.stage_stats()
+        );
+    }
+
+    #[test]
+    fn chain_batches_each_stage_once() {
+        let batch_calls = Arc::new(AtomicU64::new(0));
+        let chain = FallbackChain::new(vec![
+            Box::new(Constant(f64::NAN)) as Box<dyn CardinalityEstimator>,
+            Box::new(CountingStage {
+                value: 9.0,
+                batch_calls: batch_calls.clone(),
+            }),
+        ]);
+        let queries: Vec<Query> = (0..16).map(|_| q()).collect();
+        let out = chain.estimate_batch(&queries);
+        assert_eq!(out.len(), 16);
+        for r in &out {
+            assert_eq!(r.as_ref().unwrap().value, 9.0);
+            assert_eq!(r.as_ref().unwrap().fallback_depth, 1);
+        }
+        // Stage 1 saw the 16 stage-0 failures as ONE batched call.
+        assert_eq!(batch_calls.load(Ordering::Relaxed), 1);
+        let stats = chain.stage_stats();
+        assert_eq!(stats.stage_hits, vec![0, 16]);
+        assert_eq!(stats.errors_of("non-finite"), 16);
+    }
+
+    #[test]
+    fn batched_chain_records_stage_metrics_like_singleton() {
+        let recorder = Arc::new(qfe_obs::MetricsRecorder::new());
+        let chain = FallbackChain::new(vec![Box::new(Constant(f64::NAN)), Box::new(Constant(9.0))])
+            .with_recorder(recorder.clone(), "chain");
+        let queries: Vec<Query> = (0..4).map(|_| q()).collect();
+        for r in chain.estimate_batch(&queries) {
+            assert_eq!(r.unwrap().value, 9.0);
+        }
+        assert_eq!(recorder.counter("chain.stage0.attempts"), 4);
+        assert_eq!(recorder.counter("chain.stage0.errors.non-finite"), 4);
+        assert_eq!(recorder.counter("chain.stage1.attempts"), 4);
+        assert_eq!(recorder.counter("chain.stage1.hits"), 4);
+        assert_eq!(recorder.counter("chain.floor.hits"), 0);
+        // Amortized per-row recording keeps histogram counts aligned
+        // with attempts, exactly as in the singleton path.
+        let snap = recorder.snapshot();
+        let h = snap
+            .histogram("chain.stage1.latency")
+            .expect("latency histogram");
+        assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn empty_batch_through_the_chain_is_empty() {
+        let chain = FallbackChain::new(vec![Box::new(Constant(2.0))]);
+        assert!(chain.estimate_batch(&[]).is_empty());
+        assert_eq!(chain.stage_stats().total_hits(), 0);
     }
 
     #[test]

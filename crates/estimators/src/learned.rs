@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use qfe_core::estimator::{CardinalityEstimator, Estimate};
-use qfe_core::featurize::Featurizer;
+use qfe_core::featurize::{FeatureMatrix, Featurizer};
 use qfe_core::{EstimateError, QfeError, Query};
 use qfe_ml::matrix::Matrix;
 use qfe_ml::scaling::LogScaler;
@@ -44,12 +44,19 @@ impl LearnedEstimator {
     }
 
     /// Featurize a workload into a dense matrix.
+    ///
+    /// Built through the zero-copy [`FeatureMatrix`] arena: one
+    /// allocation for the whole workload, handed to [`Matrix`] without a
+    /// row-by-row copy. All-or-nothing: the first featurization failure
+    /// aborts the build (use the batched estimation path for per-row
+    /// error tolerance).
     pub fn featurize_matrix(&self, queries: &[Query]) -> Result<Matrix, QfeError> {
-        let mut rows = Vec::with_capacity(queries.len());
-        for q in queries {
-            rows.push(self.featurizer.featurize(q)?.0);
+        let (rows, cols, data, errors) =
+            FeatureMatrix::build(self.featurizer.as_ref(), queries).into_raw();
+        if let Some(e) = errors.into_iter().flatten().next() {
+            return Err(e);
         }
-        Ok(Matrix::from_rows(&rows))
+        Ok(Matrix::from_vec(rows, cols, data))
     }
 
     /// Train on labeled queries.
@@ -65,27 +72,6 @@ impl LearnedEstimator {
         self.model.fit(&x, &y);
         self.scaler = Some(scaler);
         Ok(())
-    }
-
-    /// Estimate a batch of queries at once (faster than per-query calls
-    /// for NN models).
-    ///
-    /// # Errors
-    /// [`QfeError::Training`] if called before [`fit`](Self::fit);
-    /// featurization errors propagate per the configured QFT.
-    pub fn estimate_batch(&self, queries: &[Query]) -> Result<Vec<f64>, QfeError> {
-        let Some(scaler) = self.scaler.as_ref() else {
-            return Err(QfeError::Training(
-                "estimate called before fit — train the estimator first".into(),
-            ));
-        };
-        let x = self.featurize_matrix(queries)?;
-        Ok(self
-            .model
-            .predict_batch(&x)
-            .into_iter()
-            .map(|y| scaler.inverse(y))
-            .collect())
     }
 
     /// The underlying featurizer.
@@ -143,6 +129,51 @@ impl CardinalityEstimator for LearnedEstimator {
             });
         }
         Ok(Estimate::primary(value, self.name()))
+    }
+
+    /// One featurization pass into a contiguous [`FeatureMatrix`] arena,
+    /// one model forward over the whole batch — this is the win the
+    /// batched execution path exists for. Rows that fail to featurize
+    /// stay zero-filled so the arena converts to a [`Matrix`] without
+    /// copying; their predictions are computed and discarded, which is
+    /// cheaper than compacting the matrix in the common all-ok case.
+    /// Row-for-row equivalent to [`try_estimate`](Self::try_estimate):
+    /// same errors, bit-identical values.
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        let Some(scaler) = &self.scaler else {
+            return queries
+                .iter()
+                .map(|_| {
+                    Err(EstimateError::Untrained {
+                        estimator: self.name(),
+                    })
+                })
+                .collect();
+        };
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let (rows, cols, data, errors) =
+            FeatureMatrix::build(self.featurizer.as_ref(), queries).into_raw();
+        let x = Matrix::from_vec(rows, cols, data);
+        let preds = self.model.predict_batch(&x);
+        errors
+            .into_iter()
+            .zip(preds)
+            .map(|(err, y)| {
+                if let Some(e) = err {
+                    return Err(EstimateError::from(e));
+                }
+                let value = scaler.inverse(y);
+                if !value.is_finite() || value < 1.0 {
+                    return Err(EstimateError::NonFinite {
+                        estimator: self.name(),
+                        value,
+                    });
+                }
+                Ok(Estimate::primary(value, self.name()))
+            })
+            .collect()
     }
 
     fn memory_bytes(&self) -> usize {
@@ -240,9 +271,32 @@ mod tests {
         let db = db();
         let est = trained_estimator(&db);
         let queries = vec![range_query(5, 20), range_query(50, 90)];
-        let batch = est.estimate_batch(&queries).unwrap();
-        assert_eq!(batch[0], est.estimate(&queries[0]));
-        assert_eq!(batch[1], est.estimate(&queries[1]));
+        let batch = est.estimate_batch(&queries);
+        for (q, r) in queries.iter().zip(&batch) {
+            let e = r.as_ref().unwrap();
+            assert_eq!(e.value, est.estimate(q), "batch diverged from singleton");
+            assert_eq!(e.estimator, est.name());
+            assert!(!e.fell_back());
+        }
+    }
+
+    #[test]
+    fn batch_failures_are_per_row_not_poisonous() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let queries = vec![range_query(5, 20), disjunctive_query(), range_query(50, 90)];
+        let batch = est.estimate_batch(&queries);
+        assert_eq!(
+            batch[1].as_ref().unwrap_err().kind(),
+            qfe_core::error::EstimateErrorKind::UnsupportedQuery,
+            "{:?}",
+            batch[1]
+        );
+        // The bad row must not disturb its batch-mates.
+        assert_eq!(batch[0].as_ref().unwrap().value, est.estimate(&queries[0]));
+        assert_eq!(batch[2].as_ref().unwrap().value, est.estimate(&queries[2]));
+        // And the empty batch stays empty.
+        assert!(est.estimate_batch(&[]).is_empty());
     }
 
     #[test]
@@ -344,7 +398,20 @@ mod tests {
             Box::new(UniversalConjunctionEncoding::new(space, 8).unwrap()),
             Box::new(Gbdt::new(GbdtConfig::default())),
         );
-        let err = est.estimate_batch(&[range_query(0, 10)]).unwrap_err();
-        assert!(matches!(err, QfeError::Training(_)), "{err:?}");
+        let batch = est.estimate_batch(&[range_query(0, 10), range_query(5, 20)]);
+        assert_eq!(batch.len(), 2);
+        for r in &batch {
+            assert!(matches!(r, Err(EstimateError::Untrained { .. })), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn featurize_matrix_is_all_or_nothing() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let err = est
+            .featurize_matrix(&[range_query(0, 10), disjunctive_query()])
+            .unwrap_err();
+        assert!(matches!(err, QfeError::UnsupportedQuery(_)), "{err:?}");
     }
 }

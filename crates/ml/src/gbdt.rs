@@ -318,7 +318,28 @@ impl Gbdt {
     /// Encode the trained model into the `QFEGB002` payload (everything
     /// after the magic + checksum frame; see [`crate::serialize`]).
     pub(crate) fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.trees.len() * 64);
+        // Exact payload size: 16-byte header (base, input_dim, lr, tree
+        // count), then per tree a 4-byte node count plus 5 bytes per leaf
+        // (tag + value) and 17 per split (tag + feature + threshold +
+        // children). The old `trees.len() * 64` guess undershot by an
+        // order of magnitude for real trees (~31 leaves ≈ 700+ bytes),
+        // forcing several reallocations of a buffer we can size exactly.
+        let payload = 16
+            + self
+                .trees
+                .iter()
+                .map(|t| {
+                    4 + t
+                        .nodes
+                        .iter()
+                        .map(|n| match n {
+                            Node::Leaf(_) => 5,
+                            Node::Split { .. } => 17,
+                        })
+                        .sum::<usize>()
+                })
+                .sum::<usize>();
+        let mut out = Vec::with_capacity(payload);
         out.extend_from_slice(&self.base.to_le_bytes());
         out.extend_from_slice(&(self.input_dim as u32).to_le_bytes());
         out.extend_from_slice(&self.config.learning_rate.to_le_bytes());
@@ -346,6 +367,7 @@ impl Gbdt {
                 }
             }
         }
+        debug_assert_eq!(out.len(), payload, "encode capacity estimate drifted");
         out
     }
 
@@ -528,6 +550,12 @@ impl Regressor for Gbdt {
             !self.trees.is_empty(),
             "predict called before fit — the GBDT has no trees yet"
         );
+        // Empty-batch contract: 0 rows → 0 predictions, before the width
+        // check (a `0×0` from `Matrix::from_rows(&[])` carries no width to
+        // check against).
+        if x.rows() == 0 {
+            return Vec::new();
+        }
         assert_eq!(
             x.cols(),
             self.input_dim,
@@ -536,12 +564,19 @@ impl Regressor for Gbdt {
             self.input_dim
         );
         let lr = self.config.learning_rate;
-        (0..x.rows())
-            .map(|r| {
-                let row = x.row(r);
-                self.base + lr * self.trees.iter().map(|t| t.predict(row)).sum::<f32>()
-            })
-            .collect()
+        // Trees-outer / rows-inner: each tree's flat node array stays hot
+        // in cache while the whole batch streams through its iterative
+        // index-chasing walk, instead of re-faulting every tree per row.
+        // Each accumulator receives the per-tree contributions in tree
+        // order, so the f32 summation order — and therefore the result —
+        // is bit-identical to the rows-outer singleton path.
+        let mut acc = vec![0.0f32; x.rows()];
+        for tree in &self.trees {
+            for (r, a) in acc.iter_mut().enumerate() {
+                *a += tree.predict(x.row(r));
+            }
+        }
+        acc.iter().map(|&sum| self.base + lr * sum).collect()
     }
 
     fn memory_bytes(&self) -> usize {

@@ -83,6 +83,11 @@ impl Regressor for LinearRegression {
             // `NonFinitePrediction` instead of the library panicking.
             return vec![f32::NAN; x.rows()];
         };
+        // Empty-batch contract: 0 rows → 0 predictions, before the width
+        // check (a `0×0` from `Matrix::from_rows(&[])` has no width).
+        if x.rows() == 0 {
+            return Vec::new();
+        }
         assert_eq!(x.cols(), self.input_dim, "input dimension mismatch");
         let out = layer.forward(x);
         (0..out.rows()).map(|r| out.get(r, 0)).collect()

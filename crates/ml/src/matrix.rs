@@ -30,6 +30,13 @@ impl Matrix {
     }
 
     /// Build from row slices.
+    ///
+    /// With no rows the column count is unknowable, so `from_rows(&[])`
+    /// yields the degenerate `0×0` matrix. That shape fails the input-dim
+    /// assertions of trained models; callers that may hold an empty batch
+    /// but know the width should use [`Matrix::empty`] instead. (Every
+    /// `predict_batch` impl maps 0 rows to an empty prediction vector —
+    /// see the `Regressor` docs.)
     pub fn from_rows(rows: &[Vec<f32>]) -> Self {
         let cols = rows.first().map_or(0, Vec::len);
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -42,6 +49,31 @@ impl Matrix {
             cols,
             data,
         }
+    }
+
+    /// The canonical empty batch: `0×cols`, no data. Unlike
+    /// `from_rows(&[])` this keeps the feature width, so shape checks
+    /// against a trained model still line up.
+    pub fn empty(cols: usize) -> Self {
+        Matrix {
+            rows: 0,
+            cols,
+            data: Vec::new(),
+        }
+    }
+
+    /// Reshape `self` into the single row `row` (`1×row.len()`), reusing
+    /// the existing allocation when capacity suffices.
+    ///
+    /// This is the buffer-recycling primitive behind the `Regressor::
+    /// predict` default: a thread-local `Matrix` is reshaped per call, so
+    /// single-row prediction stops allocating once the buffer has warmed
+    /// up.
+    pub fn copy_from_row(&mut self, row: &[f32]) {
+        self.rows = 1;
+        self.cols = row.len();
+        self.data.clear();
+        self.data.extend_from_slice(row);
     }
 
     /// Number of rows.
@@ -188,6 +220,35 @@ mod tests {
     fn from_rows_round_trip() {
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(m, Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn from_rows_of_nothing_is_zero_by_zero() {
+        // Documented degenerate shape: no rows means the width is unknown.
+        let m = Matrix::from_rows(&[]);
+        assert_eq!((m.rows(), m.cols()), (0, 0));
+        assert!(m.data().is_empty());
+    }
+
+    #[test]
+    fn empty_keeps_the_width() {
+        let m = Matrix::empty(7);
+        assert_eq!((m.rows(), m.cols()), (0, 7));
+        assert!(m.data().is_empty());
+    }
+
+    #[test]
+    fn copy_from_row_reshapes_and_reuses() {
+        let mut m = Matrix::zeros(4, 8);
+        let cap_before = m.data.capacity();
+        m.copy_from_row(&[1.0, 2.0, 3.0]);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        // The 4×8 allocation is recycled, not reallocated.
+        assert_eq!(m.data.capacity(), cap_before);
+        m.copy_from_row(&[9.0]);
+        assert_eq!((m.rows(), m.cols()), (1, 1));
+        assert_eq!(m.get(0, 0), 9.0);
     }
 
     #[test]

@@ -272,6 +272,11 @@ impl Regressor for Mlp {
             !self.layers.is_empty(),
             "predict called before fit — the MLP has no weights yet"
         );
+        // Empty-batch contract: 0 rows → 0 predictions, before the width
+        // check (a `0×0` from `Matrix::from_rows(&[])` has no width).
+        if x.rows() == 0 {
+            return Vec::new();
+        }
         assert_eq!(
             x.cols(),
             self.input_dim,

@@ -104,11 +104,29 @@ pub trait Regressor {
     fn fit(&mut self, x: &Matrix, y: &[f32]);
 
     /// Predict targets for a batch.
+    ///
+    /// Contract: the output has exactly `x.rows()` entries; a 0-row input
+    /// yields an empty vector (models must not trip their input-dimension
+    /// assertions on the degenerate `0×0` of `Matrix::from_rows(&[])`).
     fn predict_batch(&self, x: &Matrix) -> Vec<f32>;
 
     /// Predict a single sample.
+    ///
+    /// The default reshapes a thread-local `1×n` buffer around `x` and
+    /// calls [`predict_batch`](Self::predict_batch) — after the buffer has
+    /// warmed up, the only allocation left on this hot serving path is the
+    /// one-element output vector (previously: the row clone *and* the
+    /// matrix body, two heap allocations per call).
     fn predict(&self, x: &[f32]) -> f32 {
-        self.predict_batch(&Matrix::from_rows(&[x.to_vec()]))[0]
+        use std::cell::RefCell;
+        thread_local! {
+            static SINGLE_ROW: RefCell<Matrix> = RefCell::new(Matrix::empty(0));
+        }
+        SINGLE_ROW.with(|slot| {
+            let mut m = slot.borrow_mut();
+            m.copy_from_row(x);
+            self.predict_batch(&m)[0]
+        })
     }
 
     /// Fallible training: validates shape and finiteness of the inputs

@@ -1,0 +1,84 @@
+//! The empty-batch contract: every `predict_batch` maps 0 rows to 0
+//! predictions — by contract, not by accident — including the degenerate
+//! `0×0` that `Matrix::from_rows(&[])` produces. Also pins the
+//! `Regressor::predict` default (thread-local reshaped buffer) to the
+//! batch path it amortizes.
+
+use qfe_ml::train::Regressor;
+use qfe_ml::{Gbdt, GbdtConfig, LinearRegression, Matrix, Mlp, MlpConfig};
+
+fn toy_problem() -> (Matrix, Vec<f32>) {
+    let rows: Vec<Vec<f32>> = (0..64)
+        .map(|i| vec![i as f32 / 64.0, (63 - i) as f32 / 64.0])
+        .collect();
+    let y: Vec<f32> = rows.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+    (Matrix::from_rows(&rows), y)
+}
+
+fn fitted_models() -> Vec<Box<dyn Regressor>> {
+    let (x, y) = toy_problem();
+    let mut gb = Gbdt::new(GbdtConfig {
+        n_trees: 8,
+        ..GbdtConfig::default()
+    });
+    gb.fit(&x, &y);
+    let mut mlp = Mlp::new(MlpConfig {
+        hidden: vec![4],
+        epochs: 2,
+        batch_size: 16,
+        learning_rate: 1e-3,
+        seed: 1,
+    });
+    mlp.fit(&x, &y);
+    let mut lr = LinearRegression::new(0);
+    lr.fit(&x, &y);
+    vec![Box::new(gb), Box::new(mlp), Box::new(lr)]
+}
+
+#[test]
+fn zero_rows_yield_zero_predictions() {
+    for model in fitted_models() {
+        // The canonical empty batch: width preserved.
+        assert!(
+            model.predict_batch(&Matrix::empty(2)).is_empty(),
+            "{}: empty(cols) must predict to an empty vector",
+            model.model_name()
+        );
+        // The degenerate 0×0 from `from_rows(&[])`: no width to check, so
+        // the input-dim assertion must not fire.
+        assert!(
+            model.predict_batch(&Matrix::from_rows(&[])).is_empty(),
+            "{}: from_rows(&[]) must predict to an empty vector",
+            model.model_name()
+        );
+        assert_eq!(model.try_predict_batch(&Matrix::empty(2)), Ok(vec![]));
+    }
+}
+
+#[test]
+fn predict_default_matches_batch_path() {
+    let (x, _) = toy_problem();
+    for model in fitted_models() {
+        let batch = model.predict_batch(&x);
+        for (r, &expected) in batch.iter().enumerate() {
+            assert_eq!(
+                model.predict(x.row(r)),
+                expected,
+                "{}: single-row predict diverged from the batch path at row {r}",
+                model.model_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn untrained_linreg_stays_nan_for_nonempty_and_empty_batches() {
+    let lr = LinearRegression::new(0);
+    // Untrained + rows: NaN per row (surfaced as a typed error upstream).
+    assert!(lr
+        .predict_batch(&Matrix::zeros(3, 2))
+        .iter()
+        .all(|v| v.is_nan()));
+    // Untrained + empty: still an empty vector, not a panic.
+    assert!(lr.predict_batch(&Matrix::empty(2)).is_empty());
+}

@@ -17,7 +17,12 @@
 //!   failing stages are skipped and probed back in;
 //! - **validated hot swap** ([`slot::ModelSlot`]) — retrained models are
 //!   published atomically, and only after passing a checksum gate and a
-//!   probe workload.
+//!   probe workload;
+//! - **micro-batching** ([`batch::MicroBatcher`]) — singleton arrivals
+//!   are coalesced by a worker pool into batched stage calls
+//!   ([`EstimatorService::estimate_batch`](service::EstimatorService::estimate_batch)),
+//!   amortizing featurization and model forwards across the batch while
+//!   keeping per-request deadlines and per-row failure routing.
 //!
 //! The crate deliberately contains no estimation logic: it composes any
 //! [`qfe_core::CardinalityEstimator`] stack.
@@ -26,14 +31,17 @@
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod batch;
 pub mod error;
 pub mod service;
 pub mod slot;
 
 pub use admission::AdmissionStats;
+pub use batch::{BatcherStats, MicroBatcher};
 pub use error::{OverloadKind, ServeError, ShedPolicy};
 pub use service::{
-    EstimatorService, ServiceConfig, ServiceStats, StageServiceStats, REQUEST_LATENCY_METRIC,
+    EstimatorService, ServiceConfig, ServiceStats, StageServiceStats, BATCH_SIZE_METRIC,
+    REQUEST_LATENCY_METRIC,
 };
 pub use slot::{decode_validated, ModelSlot, SharedEstimator, SwapError};
 

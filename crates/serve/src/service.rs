@@ -62,6 +62,15 @@ pub struct ServiceConfig {
     /// Sliding-window size of the online q-error tracker fed by
     /// [`EstimatorService::observe_truth`] (clamped to `>= 1`).
     pub qerror_window: usize,
+    /// Worker threads a [`crate::batch::MicroBatcher`] runs over this
+    /// service (clamped to `>= 1` when a batcher is started).
+    pub workers: usize,
+    /// Most requests a micro-batch worker coalesces into one batched
+    /// dispatch (clamped to `>= 1`).
+    pub max_batch_size: usize,
+    /// How long a draining worker waits for more requests before
+    /// dispatching a partial batch.
+    pub max_batch_wait: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -74,12 +83,21 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             floor: 1.0,
             qerror_window: 1024,
+            workers: 2,
+            max_batch_size: 32,
+            max_batch_wait: Duration::from_millis(1),
         }
     }
 }
 
 /// End-to-end request latency histogram name (admission wait included).
 pub const REQUEST_LATENCY_METRIC: &str = "serve.request.latency";
+
+/// Batch-size histogram name. Sizes are recorded on the histogram's
+/// nanosecond scale (a 32-row batch records as 32 ns), so `count` is the
+/// number of drains, `sum` the total rows, and the percentiles read
+/// directly as batch sizes.
+pub const BATCH_SIZE_METRIC: &str = "serve.batch.size";
 
 /// Budgets at or above this are treated as "no real deadline": the stage
 /// runs inline (still panic-isolated) instead of on a watchdog thread.
@@ -99,6 +117,19 @@ enum Outcome {
     Panicked,
 }
 
+/// How one *batched* stage call ended. Mirrors [`Outcome`] with per-row
+/// results in the success case.
+enum BatchOutcome {
+    /// The stage returned; rows classify individually.
+    Rows(Vec<Result<Estimate, qfe_core::EstimateError>>),
+    /// The whole batched call was abandoned on its budget share.
+    Timeout,
+    /// The stage panicked mid-batch; every pending row falls through.
+    Panicked,
+    /// The watchdog thread could not be spawned (resource exhaustion).
+    SpawnFailed,
+}
+
 struct StageSlot {
     est: SharedEstimator,
     /// Captured at construction; hot-swapped inner models keep the
@@ -116,7 +147,11 @@ struct StageSlot {
 
 impl StageSlot {
     fn record_error(&self, kind: EstimateErrorKind) {
-        self.errors[kind.as_index()].fetch_add(1, Ordering::Relaxed);
+        self.record_error_n(kind, 1);
+    }
+
+    fn record_error_n(&self, kind: EstimateErrorKind, n: u64) {
+        self.errors[kind.as_index()].fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +186,13 @@ pub struct ServiceStats {
     pub deadline_exceeded: u64,
     /// Admission-layer counters (running, queued, shed, rejected, …).
     pub admission: AdmissionStats,
+    /// Batched dispatches through
+    /// [`estimate_batch`](EstimatorService::estimate_batch) (each batch
+    /// counts once).
+    pub batch_drains: u64,
+    /// Requests served through the batched path (each row counts once;
+    /// these requests also count in `answered`/`deadline_exceeded`).
+    pub batched_requests: u64,
     /// Per-stage counters in stage order.
     pub stages: Vec<StageServiceStats>,
 }
@@ -165,8 +207,12 @@ pub struct EstimatorService {
     answered: AtomicU64,
     floor_answers: AtomicU64,
     deadline_exceeded: AtomicU64,
+    batch_drains: AtomicU64,
+    batched_requests: AtomicU64,
     recorder: Arc<MetricsRecorder>,
     qerror: QErrorWindow,
+    /// Retained so a [`crate::batch::MicroBatcher`] can read its tuning.
+    cfg: ServiceConfig,
 }
 
 impl EstimatorService {
@@ -208,9 +254,24 @@ impl EstimatorService {
             answered: AtomicU64::new(0),
             floor_answers: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            batch_drains: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
             recorder,
             qerror: QErrorWindow::new(cfg.qerror_window),
+            cfg,
         }
+    }
+
+    /// The configuration this service was built with.
+    pub(crate) fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The service's live recorder, for crate-internal components (the
+    /// micro-batcher) that publish their own counters into the same
+    /// snapshot.
+    pub(crate) fn recorder(&self) -> &Arc<MetricsRecorder> {
+        &self.recorder
     }
 
     /// Serve one request under the configured default budget.
@@ -235,6 +296,169 @@ impl EstimatorService {
         self.recorder
             .record(REQUEST_LATENCY_METRIC, started.elapsed());
         result
+    }
+
+    /// Serve a caller-held batch under the configured default budget.
+    /// See [`estimate_batch_within`](Self::estimate_batch_within).
+    pub fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, ServeError>> {
+        self.estimate_batch_within(queries, Deadline::within(self.default_budget))
+    }
+
+    /// Serve a caller-held batch of queries under one shared deadline.
+    ///
+    /// The batch is admitted as **one** unit of concurrency and walks the
+    /// stage stack once: each stage receives a single
+    /// [`estimate_batch`](qfe_core::CardinalityEstimator::estimate_batch)
+    /// call covering every row still unanswered at its depth, under the
+    /// same fair-share budgeting, breaker gating, and panic isolation as
+    /// the singleton path. Per-row failures fall through to the next
+    /// stage individually; rows still unanswered when the stack is
+    /// exhausted get the floor, and rows unanswered at deadline expiry
+    /// get a per-row [`ServeError::DeadlineExceeded`]. An admission
+    /// rejection reports the same [`ServeError`] on every row.
+    ///
+    /// End-to-end and per-stage latency are recorded amortized (elapsed ÷
+    /// rows, once per row), so histogram counts stay comparable with the
+    /// singleton path; [`BATCH_SIZE_METRIC`] records each drain's size.
+    pub fn estimate_batch_within(
+        &self,
+        queries: &[Query],
+        deadline: Deadline,
+    ) -> Vec<Result<Estimate, ServeError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        let results = self.estimate_batch_guarded(queries, deadline);
+        let amortized = started.elapsed() / queries.len() as u32;
+        for _ in queries {
+            self.recorder.record(REQUEST_LATENCY_METRIC, amortized);
+        }
+        results
+    }
+
+    fn estimate_batch_guarded(
+        &self,
+        queries: &[Query],
+        deadline: Deadline,
+    ) -> Vec<Result<Estimate, ServeError>> {
+        let _permit = match self.admission.acquire(&deadline) {
+            Ok(p) => p,
+            Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
+        };
+        self.batch_drains.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.recorder.record(
+            BATCH_SIZE_METRIC,
+            Duration::from_nanos(queries.len() as u64),
+        );
+        let mut results: Vec<Option<Estimate>> = vec![None; queries.len()];
+        let mut pending: Vec<usize> = (0..queries.len()).collect();
+        let mut tried = 0usize;
+        for (depth, stage) in self.stages.iter().enumerate() {
+            if pending.is_empty() || deadline.expired() {
+                break;
+            }
+            if !stage.breaker.admit() {
+                // Counter granularity is per request, as in the
+                // singleton path: a skipped stage skips every pending
+                // row.
+                stage
+                    .skipped_open
+                    .fetch_add(pending.len() as u64, Ordering::Relaxed);
+                stage.record_error_n(EstimateErrorKind::CircuitOpen, pending.len() as u64);
+                continue;
+            }
+            tried += 1;
+            let stages_left = (self.stages.len() - depth) as u32;
+            let share = deadline.remaining() / stages_left;
+            let sub: Vec<Query> = pending.iter().map(|&i| queries[i].clone()).collect();
+            let stage_started = Instant::now();
+            let outcome = Self::run_stage_batch(stage, sub, share);
+            let amortized = stage_started.elapsed() / pending.len() as u32;
+            for _ in &pending {
+                self.recorder.record(&stage.latency_metric, amortized);
+            }
+            match outcome {
+                BatchOutcome::Rows(rows) => {
+                    let mut still = Vec::with_capacity(pending.len());
+                    let mut answered_any = false;
+                    // `zip` also absorbs a contract-violating stage that
+                    // returns the wrong number of rows: leftovers stay
+                    // pending and fall through.
+                    for (&i, row) in pending.iter().zip(rows) {
+                        match Self::classify(row) {
+                            Outcome::Answer(value) => {
+                                answered_any = true;
+                                stage.hits.fetch_add(1, Ordering::Relaxed);
+                                self.answered.fetch_add(1, Ordering::Relaxed);
+                                results[i] = Some(Estimate {
+                                    value,
+                                    estimator: stage.name.clone(),
+                                    fallback_depth: depth,
+                                });
+                            }
+                            Outcome::Fail(kind) => {
+                                stage.record_error(kind);
+                                still.push(i);
+                            }
+                            // `classify` never produces these.
+                            Outcome::Timeout | Outcome::Panicked => still.push(i),
+                        }
+                    }
+                    // Breaker at batch granularity: the invocation counts
+                    // as a success if any row got a valid answer, as one
+                    // failure if none did — a drifted model failing whole
+                    // batches trips it on the same schedule as failing
+                    // whole requests.
+                    if answered_any {
+                        stage.breaker.record_success();
+                    } else {
+                        stage.breaker.record_failure();
+                    }
+                    pending = still;
+                }
+                BatchOutcome::Timeout => {
+                    stage.breaker.record_failure();
+                    stage
+                        .timeouts
+                        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+                    stage.record_error_n(EstimateErrorKind::DeadlineExceeded, pending.len() as u64);
+                }
+                BatchOutcome::Panicked => {
+                    stage.breaker.record_failure();
+                    stage
+                        .panics
+                        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+                    stage.record_error_n(EstimateErrorKind::Internal, pending.len() as u64);
+                }
+                BatchOutcome::SpawnFailed => {
+                    stage.breaker.record_failure();
+                    stage.record_error_n(EstimateErrorKind::Internal, pending.len() as u64);
+                }
+            }
+        }
+        let expired = deadline.expired();
+        results
+            .into_iter()
+            .map(|slot| match slot {
+                Some(est) => Ok(est),
+                // Per-row accounting mirrors the singleton path: every
+                // unanswered row is one deadline error or one floor
+                // answer.
+                None if expired => Err(self.give_up(deadline, tried)),
+                None => {
+                    self.answered.fetch_add(1, Ordering::Relaxed);
+                    self.floor_answers.fetch_add(1, Ordering::Relaxed);
+                    Ok(Estimate {
+                        value: self.floor,
+                        estimator: "floor".into(),
+                        fallback_depth: self.stages.len(),
+                    })
+                }
+            })
+            .collect()
     }
 
     fn estimate_guarded(&self, query: &Query, deadline: Deadline) -> Result<Estimate, ServeError> {
@@ -351,6 +575,40 @@ impl EstimatorService {
         }
     }
 
+    /// One batched stage call, panic-isolated and bounded by `share` —
+    /// the batch analogue of [`run_stage`](Self::run_stage). The whole
+    /// batch shares one watchdog thread and one timeout: a stage that
+    /// stalls mid-batch is abandoned wholesale and every pending row
+    /// falls through to the next stage.
+    fn run_stage_batch(stage: &StageSlot, queries: Vec<Query>, share: Duration) -> BatchOutcome {
+        if share >= INLINE_BUDGET {
+            let caught = catch_unwind(AssertUnwindSafe(|| stage.est.estimate_batch(&queries)));
+            return match caught {
+                Ok(rows) => BatchOutcome::Rows(rows),
+                Err(_) => BatchOutcome::Panicked,
+            };
+        }
+        if share.is_zero() {
+            return BatchOutcome::Timeout;
+        }
+        let est = SharedEstimator::clone(&stage.est);
+        let (tx, rx) = mpsc::sync_channel(1);
+        let spawned = std::thread::Builder::new()
+            .name("qfe-serve-batch-stage".into())
+            .spawn(move || {
+                let caught = catch_unwind(AssertUnwindSafe(|| est.estimate_batch(&queries)));
+                let _ = tx.send(caught);
+            });
+        if spawned.is_err() {
+            return BatchOutcome::SpawnFailed;
+        }
+        match rx.recv_timeout(share) {
+            Ok(Ok(rows)) => BatchOutcome::Rows(rows),
+            Ok(Err(_)) => BatchOutcome::Panicked,
+            Err(_) => BatchOutcome::Timeout,
+        }
+    }
+
     fn classify(result: Result<Estimate, qfe_core::EstimateError>) -> Outcome {
         match result {
             // Defense in depth, same as the chain: an Ok is only trusted
@@ -390,6 +648,8 @@ impl EstimatorService {
         snap.merge_counter("serve.queue.rejected", stats.admission.rejected);
         snap.merge_counter("serve.queue.shed", stats.admission.shed);
         snap.merge_counter("serve.queue.timeouts", stats.admission.queue_timeouts);
+        snap.merge_counter("serve.batch.drains", stats.batch_drains);
+        snap.merge_counter("serve.batched_requests", stats.batched_requests);
         for (i, stage) in stats.stages.iter().enumerate() {
             snap.merge_counter(&format!("serve.stage{i}.hits"), stage.hits);
             snap.merge_counter(&format!("serve.stage{i}.timeouts"), stage.timeouts);
@@ -415,6 +675,8 @@ impl EstimatorService {
             floor_answers: self.floor_answers.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             admission: self.admission.stats(),
+            batch_drains: self.batch_drains.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
             stages: self
                 .stages
                 .iter()
@@ -694,5 +956,154 @@ mod tests {
         let svc = EstimatorService::new(vec![Arc::new(Constant(11.0))], ServiceConfig::default());
         let e = svc.estimate_within(&q(), Deadline::unbounded()).unwrap();
         assert_eq!(e.value, 11.0);
+    }
+
+    /// Fails rows whose index in the batch call sequence is odd — used
+    /// to prove per-row failure routing. Stateless across rows: whether
+    /// a row fails depends only on its own query (predicate count).
+    struct FailsNonEmpty(f64);
+    impl CardinalityEstimator for FailsNonEmpty {
+        fn name(&self) -> String {
+            "picky".into()
+        }
+        fn estimate(&self, query: &Query) -> f64 {
+            if query.predicates.is_empty() {
+                self.0
+            } else {
+                f64::NAN
+            }
+        }
+    }
+
+    fn q_with_pred() -> Query {
+        use qfe_core::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+        use qfe_core::query::ColumnRef;
+        Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(0), qfe_core::ColumnId(0)),
+                vec![SimplePredicate::new(CmpOp::Eq, 1)],
+            )],
+        )
+    }
+
+    #[test]
+    fn batch_matches_singleton_row_for_row() {
+        let mk = || {
+            EstimatorService::new(
+                vec![
+                    Arc::new(FailsNonEmpty(123.0)) as SharedEstimator,
+                    Arc::new(Constant(5.0)),
+                ],
+                ServiceConfig {
+                    breaker: lenient_breaker(),
+                    ..ServiceConfig::default()
+                },
+            )
+        };
+        let singleton = mk();
+        let batched = mk();
+        let queries = vec![q(), q_with_pred(), q(), q_with_pred()];
+        let solo: Vec<_> = queries
+            .iter()
+            .map(|qq| singleton.estimate(qq).unwrap())
+            .collect();
+        let batch: Vec<_> = batched
+            .estimate_batch(&queries)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(solo, batch, "batched answers must match singleton");
+        // Mixed routing: empty queries answered at depth 0, the rest fell
+        // through to the constant at depth 1.
+        assert_eq!(batch[0].fallback_depth, 0);
+        assert_eq!(batch[1].fallback_depth, 1);
+        // Stage counters agree between the two execution shapes.
+        let s1 = singleton.stats();
+        let s2 = batched.stats();
+        assert_eq!(s1.answered, s2.answered);
+        assert_eq!(s1.stages[0].hits, s2.stages[0].hits);
+        assert_eq!(s1.stages[1].hits, s2.stages[1].hits);
+        // Batched-vs-singleton provenance counters.
+        assert_eq!(s1.batched_requests, 0);
+        assert_eq!((s2.batch_drains, s2.batched_requests), (1, 4));
+        let m = batched.metrics();
+        assert_eq!(m.counter("serve.batch.drains"), 1);
+        assert_eq!(m.counter("serve.batched_requests"), 4);
+        let sizes = m.histogram(BATCH_SIZE_METRIC).expect("batch size hist");
+        assert_eq!((sizes.count, sizes.sum_nanos), (1, 4));
+        // Amortized per-item latency: one end-to-end entry per row.
+        assert_eq!(m.histogram(REQUEST_LATENCY_METRIC).expect("e2e").count, 4);
+    }
+
+    #[test]
+    fn batch_deadline_expiry_is_reported_per_row() {
+        let svc = EstimatorService::new(
+            vec![Arc::new(Slow {
+                delay: Duration::from_secs(5),
+                value: 9.0,
+            })],
+            ServiceConfig {
+                breaker: lenient_breaker(),
+                ..ServiceConfig::default()
+            },
+        );
+        let queries = vec![q(), q(), q()];
+        let out = svc.estimate_batch_within(&queries, Deadline::within(Duration::from_millis(50)));
+        assert_eq!(out.len(), 3);
+        for r in &out {
+            assert!(
+                matches!(
+                    r,
+                    Err(ServeError::DeadlineExceeded {
+                        admitted: true,
+                        stages_tried: 1,
+                        ..
+                    })
+                ),
+                "{r:?}"
+            );
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.deadline_exceeded, 3);
+        assert_eq!(stats.stages[0].timeouts, 3);
+        assert_eq!(stats.batched_requests, 3);
+    }
+
+    #[test]
+    fn batch_floor_and_panic_isolation() {
+        let svc = EstimatorService::new(
+            vec![
+                Arc::new(Panicky) as SharedEstimator,
+                Arc::new(Constant(f64::NAN)),
+            ],
+            ServiceConfig {
+                floor: 2.0,
+                breaker: lenient_breaker(),
+                ..ServiceConfig::default()
+            },
+        );
+        let queries = vec![q(), q()];
+        for r in svc.estimate_batch(&queries) {
+            let e = r.unwrap();
+            assert_eq!((e.value, e.fallback_depth), (2.0, 2));
+            assert_eq!(e.estimator, "floor");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.floor_answers, 2);
+        assert_eq!(stats.stages[0].panics, 2);
+        assert_eq!(
+            stats.stages[1].errors[EstimateErrorKind::NonFinite.as_index()].1,
+            2
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let svc = EstimatorService::new(vec![Arc::new(Constant(2.0))], ServiceConfig::default());
+        assert!(svc.estimate_batch(&[]).is_empty());
+        let stats = svc.stats();
+        assert_eq!((stats.batch_drains, stats.batched_requests), (0, 0));
+        assert_eq!(stats.admission.admitted, 0);
     }
 }

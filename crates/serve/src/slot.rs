@@ -209,6 +209,13 @@ impl CardinalityEstimator for ModelSlot {
         self.read().try_estimate(query)
     }
 
+    /// A single `read()` pins one published generation for the whole
+    /// batch: a hot swap landing mid-batch cannot split the batch across
+    /// two models.
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        self.read().estimate_batch(queries)
+    }
+
     fn memory_bytes(&self) -> usize {
         self.read().memory_bytes()
     }

@@ -1,0 +1,285 @@
+//! Batched execution must be *semantically invisible*: for every layer
+//! that grew an `estimate_batch` fast path — [`LearnedEstimator`],
+//! [`FallbackChain`], [`EstimatorService`] — a batch of N queries must
+//! produce exactly the N results the singleton path produces, row for
+//! row, including mixed per-row failures and deadline expiry mid-batch.
+//!
+//! [`LearnedEstimator`]: qfe::estimators::LearnedEstimator
+//! [`FallbackChain`]: qfe::estimators::chain::FallbackChain
+//! [`EstimatorService`]: qfe::serve::EstimatorService
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qfe::core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+use qfe::core::{
+    AttributeDomain, CardinalityEstimator, CmpOp, ColumnId, ColumnRef, CompoundPredicate, Deadline,
+    EstimateError, PredicateExpr, Query, SimplePredicate, TableId,
+};
+use qfe::estimators::chain::{ChaosEstimator, EstimatorFault, FallbackChain};
+use qfe::estimators::labels::LabeledQueries;
+use qfe::estimators::{BreakerConfig, LearnedEstimator};
+use qfe::ml::linreg::LinearRegression;
+use qfe::serve::{EstimatorService, ServeError, ServiceConfig, SharedEstimator};
+
+fn space() -> AttributeSpace {
+    AttributeSpace::new(vec![
+        (
+            ColumnRef::new(TableId(0), ColumnId(0)),
+            AttributeDomain::integers(0, 19),
+        ),
+        (
+            ColumnRef::new(TableId(0), ColumnId(1)),
+            AttributeDomain::integers(0, 9),
+        ),
+    ])
+}
+
+fn le_query(col: usize, v: i64) -> Query {
+    Query::single_table(
+        TableId(0),
+        vec![CompoundPredicate::conjunction(
+            ColumnRef::new(TableId(0), ColumnId(col)),
+            vec![SimplePredicate::new(CmpOp::Le, v)],
+        )],
+    )
+}
+
+/// A query with a disjunction — rejected by the conjunctive QFT.
+fn or_query() -> Query {
+    Query::single_table(
+        TableId(0),
+        vec![CompoundPredicate {
+            column: ColumnRef::new(TableId(0), ColumnId(0)),
+            expr: PredicateExpr::Or(vec![
+                PredicateExpr::all_of(vec![SimplePredicate::new(CmpOp::Le, 3)]),
+                PredicateExpr::all_of(vec![SimplePredicate::new(CmpOp::Ge, 15)]),
+            ]),
+        }],
+    )
+}
+
+fn trained_estimator() -> LearnedEstimator {
+    let featurizer = UniversalConjunctionEncoding::new(space(), 8)
+        .expect("valid featurizer config")
+        .with_attr_sel(true);
+    let mut est = LearnedEstimator::new(Box::new(featurizer), Box::new(LinearRegression::new(0)));
+    let queries: Vec<Query> = (0..40).map(|i| le_query(i % 2, (i % 20) as i64)).collect();
+    let cardinalities: Vec<f64> = (0..40).map(|i| ((i % 20) + 1) as f64 * 25.0).collect();
+    est.fit(&LabeledQueries {
+        queries,
+        cardinalities,
+    })
+    .expect("training a conjunctive workload must succeed");
+    est
+}
+
+#[test]
+fn learned_estimator_batch_equals_singleton_with_mixed_failures() {
+    let est = trained_estimator();
+    // Rows 1 and 4 carry disjunctions the conjunctive QFT rejects: the
+    // batch must fail exactly those rows and answer the rest identically.
+    let batch = vec![
+        le_query(0, 7),
+        or_query(),
+        le_query(1, 3),
+        le_query(0, 18),
+        or_query(),
+    ];
+    let batched = est.estimate_batch(&batch);
+    assert_eq!(batched.len(), batch.len());
+    for (q, row) in batch.iter().zip(&batched) {
+        let solo = est.try_estimate(q);
+        match (row, solo) {
+            (Ok(b), Ok(s)) => assert_eq!(b, &s, "batched row diverged from singleton"),
+            (Err(b), Err(s)) => assert_eq!(b.kind(), s.kind(), "error kinds diverged"),
+            (b, s) => panic!("outcome shape diverged: batch {b:?} vs solo {s:?}"),
+        }
+    }
+    assert!(matches!(
+        batched[1],
+        Err(EstimateError::UnsupportedQuery(_))
+    ));
+    assert!(batched[3].is_ok());
+}
+
+#[test]
+fn fallback_chain_batch_replays_the_singleton_walk() {
+    // Two *identical* chains (same chaos seeds): walking queries one by
+    // one through the first must be indistinguishable — results and
+    // per-stage counters — from one batched walk through the second,
+    // because per-row fault draws happen in the same order either way.
+    let make_chain = || {
+        FallbackChain::new(vec![
+            Box::new(ChaosEstimator::new(
+                Fixed(50.0),
+                vec![EstimatorFault::Nan, EstimatorFault::Error],
+                0.5,
+                17,
+            )) as Box<dyn CardinalityEstimator>,
+            Box::new(ChaosEstimator::new(
+                Fixed(8.0),
+                vec![EstimatorFault::Error],
+                0.3,
+                23,
+            )),
+        ])
+        .with_floor(2.0)
+    };
+    let queries: Vec<Query> = (0..48).map(|i| le_query(i % 2, (i % 20) as i64)).collect();
+
+    let solo_chain = make_chain();
+    let solo: Vec<_> = queries
+        .iter()
+        .map(|q| solo_chain.try_estimate(q).expect("chain always answers"))
+        .collect();
+
+    let batch_chain = make_chain();
+    let batched: Vec<_> = batch_chain
+        .estimate_batch(&queries)
+        .into_iter()
+        .map(|r| r.expect("chain always answers"))
+        .collect();
+
+    assert_eq!(
+        solo, batched,
+        "batched chain must replay the singleton walk"
+    );
+    assert_eq!(
+        solo_chain.stage_stats(),
+        batch_chain.stage_stats(),
+        "per-stage accounting must match the singleton walk"
+    );
+    assert!(
+        batched.iter().any(|e| e.fell_back()),
+        "chaos at 50% must push some rows down the chain"
+    );
+}
+
+struct Fixed(f64);
+impl CardinalityEstimator for Fixed {
+    fn name(&self) -> String {
+        "fixed".into()
+    }
+    fn estimate(&self, _q: &Query) -> f64 {
+        self.0
+    }
+}
+
+/// Answers queries without predicates, NaNs the rest — a deterministic
+/// per-row failure pattern for routing tests.
+struct Picky(f64);
+impl CardinalityEstimator for Picky {
+    fn name(&self) -> String {
+        "picky".into()
+    }
+    fn estimate(&self, q: &Query) -> f64 {
+        if q.predicates.is_empty() {
+            self.0
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+struct Stall {
+    delay: Duration,
+}
+impl CardinalityEstimator for Stall {
+    fn name(&self) -> String {
+        "stall".into()
+    }
+    fn estimate(&self, _q: &Query) -> f64 {
+        std::thread::sleep(self.delay);
+        9.0
+    }
+}
+
+fn plain_query() -> Query {
+    Query::single_table(TableId(0), vec![])
+}
+
+fn lenient() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: 1_000_000,
+        ..BreakerConfig::default()
+    }
+}
+
+#[test]
+fn service_batch_equals_singleton_with_per_row_routing() {
+    let make_svc = || {
+        EstimatorService::new(
+            vec![
+                Arc::new(Picky(123.0)) as SharedEstimator,
+                Arc::new(Fixed(6.0)),
+            ],
+            ServiceConfig {
+                breaker: lenient(),
+                ..ServiceConfig::default()
+            },
+        )
+    };
+    let queries = vec![plain_query(), le_query(0, 4), plain_query(), le_query(1, 2)];
+    let singleton = make_svc();
+    let solo: Vec<_> = queries
+        .iter()
+        .map(|q| singleton.estimate(q).expect("always answers"))
+        .collect();
+    let batched_svc = make_svc();
+    let batched: Vec<_> = batched_svc
+        .estimate_batch(&queries)
+        .into_iter()
+        .map(|r| r.expect("always answers"))
+        .collect();
+    assert_eq!(solo, batched, "service batch must match the singleton path");
+    // Routing actually mixed: depth 0 for predicate-free rows, depth 1
+    // for the rows the picky stage NaN'd.
+    assert_eq!(batched[0].fallback_depth, 0);
+    assert_eq!(batched[1].fallback_depth, 1);
+    let s1 = singleton.stats();
+    let s2 = batched_svc.stats();
+    assert_eq!(s1.answered, s2.answered);
+    assert_eq!(s1.stages[0].hits, s2.stages[0].hits);
+    assert_eq!(s1.stages[1].hits, s2.stages[1].hits);
+}
+
+#[test]
+fn deadline_expiring_mid_batch_fails_only_the_unanswered_rows() {
+    // Stage 0 answers predicate-free rows instantly; stage 1 stalls past
+    // the budget. Rows answered at depth 0 must keep their estimates even
+    // though the deadline dies while their batch-mates wait on stage 1.
+    let svc = EstimatorService::new(
+        vec![
+            Arc::new(Picky(77.0)) as SharedEstimator,
+            Arc::new(Stall {
+                delay: Duration::from_secs(5),
+            }),
+        ],
+        ServiceConfig {
+            breaker: lenient(),
+            ..ServiceConfig::default()
+        },
+    );
+    let queries = vec![plain_query(), le_query(0, 3), plain_query(), le_query(1, 1)];
+    let out = svc.estimate_batch_within(&queries, Deadline::within(Duration::from_millis(60)));
+    assert_eq!(out.len(), 4);
+    for (i, row) in out.iter().enumerate() {
+        if queries[i].predicates.is_empty() {
+            let est = row.as_ref().expect("depth-0 rows keep their answers");
+            assert_eq!((est.value, est.fallback_depth), (77.0, 0));
+        } else {
+            assert!(
+                matches!(
+                    row,
+                    Err(ServeError::DeadlineExceeded { admitted: true, .. })
+                ),
+                "unanswered row must fail with the deadline, got {row:?}"
+            );
+        }
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.answered, 2);
+    assert_eq!(stats.deadline_exceeded, 2);
+    assert_eq!(stats.batched_requests, 4);
+}

@@ -11,12 +11,13 @@
 
 use proptest::prelude::*;
 use qfe::core::featurize::{
-    AttributeSpace, Featurizer, LimitedDisjunctionEncoding, RangePredicateEncoding,
-    SingularPredicateEncoding, UniversalConjunctionEncoding,
+    AttributeSpace, EquiDepthConjunctionEncoding, FeatureMatrix, Featurizer,
+    LimitedDisjunctionEncoding, RangePredicateEncoding, SingularPredicateEncoding,
+    UniversalConjunctionEncoding,
 };
 use qfe::core::interval::{Region, RegionSet};
 use qfe::core::{
-    AttributeDomain, CmpOp, ColumnId, ColumnRef, CompoundPredicate, PredicateExpr, Query,
+    AttributeDomain, CmpOp, ColumnId, ColumnRef, CompoundPredicate, PredicateExpr, QfeError, Query,
     SimplePredicate, TableId,
 };
 
@@ -130,8 +131,124 @@ fn arb_mixed_query() -> impl Strategy<Value = Query> {
     })
 }
 
+/// All five QFTs. The equi-depth encoder needs explicit per-attribute
+/// bucket edges (production edges come from
+/// `qfe_data::histogram::equi_depth_edges`); these are deliberately
+/// uneven to exercise non-uniform bucket widths.
+fn all_featurizers() -> Vec<Box<dyn Featurizer>> {
+    vec![
+        Box::new(SingularPredicateEncoding::new(space())),
+        Box::new(RangePredicateEncoding::new(space())),
+        Box::new(UniversalConjunctionEncoding::new(space(), 16).expect("valid featurizer config")),
+        Box::new(EquiDepthConjunctionEncoding::new(
+            space(),
+            vec![
+                vec![-20.0, 0.0, 30.0, 80.0, 120.0],
+                vec![1.0, 3.0, 5.0],
+                vec![0.1, 0.5, 0.9],
+            ],
+        )),
+        Box::new(LimitedDisjunctionEncoding::new(space(), 16).expect("valid featurizer config")),
+    ]
+}
+
+/// `featurize_into` must write exactly what `featurize` allocates — same
+/// bits, every slot. The buffer is poisoned first so a skipped slot (a
+/// layout-offset bug) cannot masquerade as a correct zero.
+fn assert_into_matches(f: &dyn Featurizer, q: &Query) {
+    let alloc = f.featurize(q).unwrap();
+    let mut out = vec![0.625f32; f.dim()];
+    f.featurize_into(q, &mut out).unwrap();
+    assert_eq!(
+        alloc.as_slice().len(),
+        out.len(),
+        "{} dim mismatch",
+        f.name()
+    );
+    for (i, (a, b)) in alloc.as_slice().iter().zip(&out).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{} entry {} differs: {} vs {}",
+            f.name(),
+            i,
+            a,
+            b
+        );
+    }
+}
+
+#[test]
+fn featurize_into_rejects_a_wrong_size_buffer() {
+    for f in all_featurizers() {
+        let q = Query::single_table(TableId(0), vec![]);
+        let mut long = vec![0.0f32; f.dim() + 1];
+        let err = f.featurize_into(&q, &mut long).unwrap_err();
+        assert!(
+            matches!(err, QfeError::ShapeMismatch { .. }),
+            "{}: {err:?}",
+            f.name()
+        );
+        if f.dim() > 0 {
+            let mut short = vec![0.0f32; f.dim() - 1];
+            let err = f.featurize_into(&q, &mut short).unwrap_err();
+            assert!(
+                matches!(err, QfeError::ShapeMismatch { .. }),
+                "{}: {err:?}",
+                f.name()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn featurize_into_is_bit_identical_to_featurize(q in arb_conjunctive_query()) {
+        for f in &all_featurizers() {
+            assert_into_matches(f.as_ref(), &q);
+        }
+    }
+
+    #[test]
+    fn featurize_into_matches_on_mixed_queries(q in arb_mixed_query()) {
+        // Only the limited-disjunction QFT accepts arbitrary mixed
+        // queries; the others must fail `featurize_into` exactly when
+        // they fail `featurize`.
+        for f in &all_featurizers() {
+            match f.featurize(&q) {
+                Ok(_) => assert_into_matches(f.as_ref(), &q),
+                Err(_) => {
+                    let mut out = vec![0.0f32; f.dim()];
+                    prop_assert!(
+                        f.featurize_into(&q, &mut out).is_err(),
+                        "{} accepted via featurize_into what featurize rejected",
+                        f.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_matrix_rows_match_per_query_featurization(
+        qs in prop::collection::vec(arb_conjunctive_query(), 0..6),
+    ) {
+        for f in &all_featurizers() {
+            let m = FeatureMatrix::build(f.as_ref(), &qs);
+            prop_assert_eq!(m.rows(), qs.len());
+            prop_assert_eq!(m.cols(), f.dim());
+            prop_assert_eq!(m.ok_rows(), qs.len(), "{}", f.name());
+            for (i, q) in qs.iter().enumerate() {
+                prop_assert!(m.row_error(i).is_none());
+                let single = f.featurize(q).unwrap();
+                for (a, b) in single.as_slice().iter().zip(m.row(i)) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{} row {}", f.name(), i);
+                }
+            }
+        }
+    }
 
     #[test]
     fn all_featurizers_are_deterministic_and_dimension_stable(q in arb_conjunctive_query()) {

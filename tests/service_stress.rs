@@ -20,7 +20,7 @@ use qfe::core::{CardinalityEstimator, Deadline, Query, TableId};
 use qfe::estimators::chain::{ChaosEstimator, EstimatorFault};
 use qfe::estimators::BreakerConfig;
 use qfe::serve::{
-    install_quiet_panic_hook, EstimatorService, ModelSlot, ServeError, ServiceConfig,
+    install_quiet_panic_hook, EstimatorService, MicroBatcher, ModelSlot, ServeError, ServiceConfig,
     SharedEstimator, ShedPolicy, SwapError,
 };
 
@@ -306,6 +306,121 @@ fn chaos_stress_upholds_the_response_contract() {
     let json = m.to_json();
     assert!(json.contains("\"serve.request.latency\""), "{json}");
     assert!(json.contains("\"qerror\":{"), "{json}");
+}
+
+#[test]
+fn micro_batcher_stress_keeps_every_counter_coherent() {
+    // Many threads submit singletons through the batcher; every tenth
+    // submission arrives with an already-dead budget and must be
+    // withdrawn before dispatch. The acceptance contract: every
+    // submission is shed, expired, or dispatched (exactly once), the
+    // service's batched-path counters agree with the batcher's, and the
+    // batch metrics surface in both renderings of the snapshot.
+    let svc = Arc::new(EstimatorService::new(
+        vec![Arc::new(Fixed(77.0)) as SharedEstimator],
+        ServiceConfig {
+            max_concurrency: 4,
+            queue_capacity: 256,
+            workers: 3,
+            max_batch_size: 8,
+            max_batch_wait: Duration::from_millis(2),
+            default_budget: Duration::from_secs(5),
+            ..ServiceConfig::default()
+        },
+    ));
+    let batcher = Arc::new(MicroBatcher::new(Arc::clone(&svc)));
+    let (threads, per_thread) = stress_scale();
+    let ok = Arc::new(AtomicU64::new(0));
+    let expired = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let batcher = Arc::clone(&batcher);
+            let ok = Arc::clone(&ok);
+            let expired = Arc::clone(&expired);
+            std::thread::spawn(move || {
+                for j in 0..per_thread {
+                    if j % 10 == 9 {
+                        let err = batcher
+                            .submit_within(&query(), Deadline::within(Duration::ZERO))
+                            .expect_err("a dead budget cannot be answered");
+                        assert!(
+                            matches!(
+                                err,
+                                ServeError::DeadlineExceeded {
+                                    stages_tried: 0,
+                                    admitted: false,
+                                    ..
+                                }
+                            ),
+                            "{err:?}"
+                        );
+                        expired.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let est = batcher.submit(&query()).expect("queue is large enough");
+                        assert_eq!((est.value, est.fallback_depth), (77.0, 0));
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("submitter must not see a panic");
+    }
+
+    let total = (threads as u64) * per_thread;
+    let (ok, expired) = (ok.load(Ordering::Relaxed), expired.load(Ordering::Relaxed));
+    assert_eq!(ok + expired, total);
+
+    // Batcher-side conservation: submitted = shed + expired + dispatched.
+    let bs = batcher.stats();
+    assert_eq!(bs.submitted, total);
+    assert_eq!(bs.queued, 0, "all submitters returned, queue drained");
+    assert_eq!(bs.submitted, bs.shed + bs.expired + bs.dispatched);
+    assert_eq!(bs.shed, 0, "the 256-slot queue never fills at this load");
+    assert_eq!(bs.expired, expired);
+    assert_eq!(bs.dispatched, ok);
+
+    // Service-side agreement: every dispatched row (and only those)
+    // went through the batched path and was answered.
+    let stats = svc.stats();
+    assert_eq!(stats.batched_requests, bs.dispatched);
+    assert_eq!(stats.answered, ok);
+    assert!(
+        stats.batch_drains >= 1 && stats.batch_drains <= bs.dispatched,
+        "drains bounded by rows: {stats:?}"
+    );
+
+    // The snapshot carries the same numbers under the serve.batch.* names
+    // and renders them in both output formats.
+    let m = svc.metrics();
+    assert_eq!(m.counter("serve.batch.submitted"), bs.submitted);
+    assert_eq!(m.counter("serve.batch.shed"), bs.shed);
+    assert_eq!(m.counter("serve.batch.expired"), bs.expired);
+    assert_eq!(m.counter("serve.batch.drains"), stats.batch_drains);
+    assert_eq!(m.counter("serve.batched_requests"), stats.batched_requests);
+    let sizes = m
+        .histogram(qfe::serve::BATCH_SIZE_METRIC)
+        .expect("batch size histogram");
+    assert_eq!(sizes.count, stats.batch_drains);
+    assert_eq!(sizes.sum_nanos, stats.batched_requests);
+    assert!(
+        sizes.max_nanos <= 8,
+        "no batch may exceed max_batch_size: {sizes:?}"
+    );
+    // Amortized end-to-end latency: one histogram entry per batched row.
+    let e2e = m
+        .histogram(qfe::serve::REQUEST_LATENCY_METRIC)
+        .expect("e2e latency histogram");
+    assert_eq!(e2e.count, stats.batched_requests);
+    let json = m.to_json();
+    assert!(json.contains("\"serve.batch.size\""), "{json}");
+    assert!(json.contains("\"serve.batched_requests\""), "{json}");
+    assert!(json.contains("\"serve.batch.drains\""), "{json}");
+    let text = m.render_text();
+    assert!(text.contains("serve.batch.size"), "{text}");
+    assert!(text.contains("serve.batch.submitted"), "{text}");
 }
 
 #[test]
