@@ -1,0 +1,140 @@
+//! Scaling record for the parallel execution layer: GBDT training on
+//! the forest conjunctive workload at smoke scale, timed on pools of
+//! 1/2/4/8 threads via the `qfe_core::parallel::with_pool` override.
+//! Writes the machine-readable record to `BENCH_parallel.json` (override
+//! with `QFE_BENCH_JSON`).
+//!
+//! Two gates, one hard and one environmental:
+//!
+//! * **Determinism (hard):** the serialized model bytes must be
+//!   identical at every thread count. Any mismatch is a violation of the
+//!   determinism contract (fixed chunk boundaries, chunk-order
+//!   reduction) and exits non-zero regardless of hardware.
+//! * **Scaling (environmental):** the 4-thread speedup is recorded, and
+//!   enforced (≥ `QFE_MIN_SPEEDUP`, default 2.0) only when the machine
+//!   actually has ≥ 4 cores — on a 1-core container the pool degrades to
+//!   inline execution and a speedup is physically impossible, so the
+//!   record stays honest (`cores` is part of the JSON) without failing.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qfe_bench::envs::ForestEnv;
+use qfe_bench::trainers::{make_featurizer, QftKind};
+use qfe_bench::Scale;
+use qfe_core::featurize::{AttributeSpace, FeatureMatrix};
+use qfe_core::parallel::{with_pool, ThreadPool};
+use qfe_core::TableId;
+use qfe_ml::{gbdt_to_bytes, Gbdt, GbdtConfig, Matrix, Regressor};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("building forest environment at scale '{}'…", scale.label);
+    let env = ForestEnv::build(&scale);
+
+    let space = AttributeSpace::for_table(env.db.catalog(), TableId(0));
+    let featurizer = make_featurizer(QftKind::Conjunctive, space, scale.buckets, true);
+    let fm = FeatureMatrix::build(featurizer.as_ref(), &env.conj_train.queries);
+    let (rows, cols, data, _errors) = fm.into_raw();
+    let x = Matrix::from_vec(rows, cols, data);
+    let y: Vec<f32> = env
+        .conj_train
+        .cardinalities
+        .iter()
+        .map(|&c| (1.0 + c).ln() as f32)
+        .collect();
+    let cfg = GbdtConfig {
+        n_trees: scale.gbdt_trees,
+        min_samples_leaf: 3,
+        max_leaves: 64,
+        seed: 0,
+        ..GbdtConfig::default()
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "GBDT training scaling, forest conjunctive at scale '{}' ({rows} rows × {cols} features, {} trees, {cores} core(s)):",
+        scale.label, cfg.n_trees
+    );
+
+    let mut runs: Vec<(usize, f64, Vec<u8>)> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let (secs, bytes) = with_pool(&pool, || {
+            // Warmup run so page faults / lazy allocs don't bill the
+            // first timed config.
+            let mut warm = Gbdt::new(cfg.clone());
+            warm.fit(&x, &y);
+            let mut gb = Gbdt::new(cfg.clone());
+            let t0 = Instant::now();
+            gb.fit(&x, &y);
+            (t0.elapsed().as_secs_f64(), gbdt_to_bytes(&gb))
+        });
+        runs.push((threads, secs, bytes));
+    }
+
+    let base = runs[0].1;
+    let mut identical = true;
+    for (threads, secs, bytes) in &runs {
+        let same = *bytes == runs[0].2;
+        identical &= same;
+        println!(
+            "  {threads} thread(s): {:>7.3} s   speedup {:>5.2}×   model bytes {}",
+            secs,
+            base / secs,
+            if same { "identical" } else { "DIVERGED" }
+        );
+    }
+
+    let speedup_at = |t: usize| {
+        runs.iter()
+            .find(|(threads, _, _)| *threads == t)
+            .map(|(_, secs, _)| base / secs)
+            .unwrap_or(0.0)
+    };
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|(threads, secs, _)| {
+            format!(
+                "{{\"threads\":{threads},\"seconds\":{:.4},\"speedup\":{:.3}}}",
+                secs,
+                base / secs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"workload\":\"forest-conjunctive\",\"scale\":\"{}\",\"rows\":{rows},\"features\":{cols},\"trees\":{},\"cores\":{cores},\"identical_models\":{identical},\"runs\":[{}],\"speedup_4t\":{:.3}}}\n",
+        scale.label,
+        cfg.n_trees,
+        entries.join(","),
+        speedup_at(4)
+    );
+    let path = std::env::var("QFE_BENCH_JSON").unwrap_or_else(|_| "BENCH_parallel.json".into());
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+
+    if !identical {
+        eprintln!("DETERMINISM VIOLATION: model bytes differ across thread counts");
+        std::process::exit(1);
+    }
+    let min_speedup: f64 = std::env::var("QFE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    if cores >= 4 && speedup_at(4) < min_speedup {
+        eprintln!(
+            "SCALING REGRESSION: {:.2}× at 4 threads on a {cores}-core machine (need ≥ {min_speedup:.1}×)",
+            speedup_at(4)
+        );
+        std::process::exit(1);
+    }
+    if cores < 4 {
+        eprintln!(
+            "note: {cores} core(s) available — scaling gate skipped, determinism gate enforced"
+        );
+    }
+}

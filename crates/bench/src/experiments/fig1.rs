@@ -26,17 +26,42 @@ pub fn run(env: &ForestEnv, scale: &Scale) -> String {
         env.mixed_test.len()
     ));
 
-    for model in [ModelKind::Gb, ModelKind::Nn] {
-        for qft in QftKind::ALL {
-            let (train, test) = match qft {
-                QftKind::Complex => (&env.mixed_train, &env.mixed_test),
-                _ => (&env.conj_train, &env.conj_test),
-            };
-            let est =
-                train_single_table(env.db.catalog(), TableId(0), train, qft, model, scale, true);
-            let errors = q_errors(&est, test);
-            report.boxplot(&format!("{} + {}", model.label(), qft.label()), &errors);
-        }
+    // The QFT × model grid cells are independent training runs, so they
+    // fan out on the shared pool; each cell's training nests further
+    // pool-parallel work (GBDT split search, MLP minibatches), which the
+    // caller-runs pool design supports without deadlock. Cells are
+    // collected in task order, so the report is byte-identical to the
+    // old serial double loop at any thread count.
+    let cells: Vec<(ModelKind, QftKind)> = [ModelKind::Gb, ModelKind::Nn]
+        .into_iter()
+        .flat_map(|model| QftKind::ALL.into_iter().map(move |qft| (model, qft)))
+        .collect();
+    let pool = qfe_core::parallel::current();
+    let results = pool.scoped(
+        cells
+            .iter()
+            .map(|&(model, qft)| {
+                move || {
+                    let (train, test) = match qft {
+                        QftKind::Complex => (&env.mixed_train, &env.mixed_test),
+                        _ => (&env.conj_train, &env.conj_test),
+                    };
+                    let est = train_single_table(
+                        env.db.catalog(),
+                        TableId(0),
+                        train,
+                        qft,
+                        model,
+                        scale,
+                        true,
+                    );
+                    q_errors(&est, test)
+                }
+            })
+            .collect(),
+    );
+    for ((model, qft), errors) in cells.into_iter().zip(results) {
+        report.boxplot(&format!("{} + {}", model.label(), qft.label()), &errors);
     }
 
     // MSCN rows: per-predicate mode is MSCN × simple (the original

@@ -28,7 +28,15 @@ pub struct FeatureMatrix {
 }
 
 impl FeatureMatrix {
-    /// Featurize every query in `queries` into a fresh arena.
+    /// Rows per parallel featurization chunk. Fixed (never derived from
+    /// the thread count) so the arena is bit-identical at any
+    /// `QFE_THREADS` — see the determinism contract in
+    /// [`crate::parallel`]. Rows are independent, so this constant only
+    /// shapes scheduling granularity, not results.
+    const ROW_CHUNK: usize = 64;
+
+    /// Featurize every query in `queries` into a fresh arena,
+    /// row-parallel on the shared [`crate::parallel`] pool.
     ///
     /// Rows the featurizer rejects are zero-filled and their error is
     /// recorded in the row's error slot — the remaining rows are still
@@ -38,25 +46,52 @@ impl FeatureMatrix {
         let cols = featurizer.dim();
         let rows = queries.len();
         let mut data = vec![0.0f32; rows * cols];
-        let mut errors = Vec::with_capacity(rows);
-        for (query, out) in queries.iter().zip(data.chunks_exact_mut(cols.max(1))) {
-            match featurizer.featurize_into(query, &mut out[..cols]) {
-                Ok(()) => errors.push(None),
-                Err(e) => {
-                    out[..cols].fill(0.0);
-                    errors.push(Some(e));
-                }
-            }
-        }
-        // `chunks_exact_mut` requires a non-zero chunk size; a zero-dim
-        // featurizer yields an empty arena but must still visit every row
-        // so the error slots line up.
+        // A zero-dim featurizer yields an empty arena but must still
+        // visit every row so the error slots line up.
         if cols == 0 {
-            errors.clear();
-            for query in queries {
-                errors.push(featurizer.featurize_into(query, &mut []).err());
-            }
+            let errors = queries
+                .iter()
+                .map(|query| featurizer.featurize_into(query, &mut []).err())
+                .collect();
+            return FeatureMatrix {
+                rows,
+                cols,
+                data,
+                errors,
+            };
         }
+        let featurize_rows = |queries: &[Query], arena: &mut [f32]| {
+            queries
+                .iter()
+                .zip(arena.chunks_exact_mut(cols))
+                .map(|(query, out)| match featurizer.featurize_into(query, out) {
+                    Ok(()) => None,
+                    Err(e) => {
+                        out.fill(0.0);
+                        Some(e)
+                    }
+                })
+                .collect::<Vec<Option<QfeError>>>()
+        };
+        let errors = if rows <= Self::ROW_CHUNK {
+            featurize_rows(queries, &mut data)
+        } else {
+            let pool = crate::parallel::current();
+            let chunks: Vec<(&[Query], &mut [f32])> = queries
+                .chunks(Self::ROW_CHUNK)
+                .zip(data.chunks_mut(Self::ROW_CHUNK * cols))
+                .collect();
+            let featurize_rows = &featurize_rows;
+            pool.scoped(
+                chunks
+                    .into_iter()
+                    .map(|(qs, arena)| move || featurize_rows(qs, arena))
+                    .collect(),
+            )
+            .into_iter()
+            .flatten()
+            .collect()
+        };
         FeatureMatrix {
             rows,
             cols,

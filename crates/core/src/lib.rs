@@ -41,6 +41,7 @@ pub mod estimator;
 pub mod featurize;
 pub mod interval;
 pub mod metrics;
+pub mod parallel;
 pub mod parse;
 pub mod predicate;
 pub mod query;
@@ -51,6 +52,7 @@ pub use deadline::Deadline;
 pub use error::{EstimateError, EstimateErrorKind, QfeError};
 pub use estimator::{CardinalityEstimator, Estimate};
 pub use metrics::{q_error, ErrorSummary, SummaryError};
+pub use parallel::ThreadPool;
 pub use parse::{parse_single_table_query, parse_where};
 pub use predicate::{CmpOp, CompoundPredicate, PredicateExpr, SimplePredicate};
 pub use query::{ColumnRef, JoinPredicate, Query, SubSchema};

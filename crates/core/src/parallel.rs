@@ -1,0 +1,577 @@
+//! Bounded work pool with a deterministic fixed-chunk scheduler.
+//!
+//! Every hot loop in the workspace — GBDT split finding, MLP minibatch
+//! gradients, batched featurization, the experiment grid — parallelizes
+//! through this module, and all of them share one hard contract:
+//! **thread count never changes results**. Training with `QFE_THREADS=1`
+//! and `QFE_THREADS=8` must produce bit-identical models.
+//!
+//! Two rules make that hold for floating-point work:
+//!
+//! 1. **Fixed chunk boundaries.** Work is split into chunks whose
+//!    boundaries depend only on the input size (call sites use
+//!    constants), never on how many threads happen to be available.
+//!    A thread picks up whole chunks; it never subdivides one.
+//! 2. **Ordered reduction.** Per-chunk partial results are returned to
+//!    the caller in chunk order ([`ThreadPool::scoped`] and
+//!    [`ThreadPool::par_chunks`] index results by chunk, not by
+//!    completion time), and the caller folds them in that order. A
+//!    `Σ chunk₀ + Σ chunk₁ + …` sum therefore rounds identically no
+//!    matter which thread computed which partial.
+//!
+//! Scheduling itself is free to be nondeterministic — chunks migrate
+//! between workers under load — because no observable value depends on
+//! placement, only on the (fixed) chunking and (ordered) reduction.
+//!
+//! The pool is **nested-parallelism safe**: a task running on a worker
+//! may itself call [`ThreadPool::scoped`]. Waiting threads execute
+//! queued jobs instead of blocking ("caller runs"), so a pool of any
+//! size makes progress even when every worker is parked inside a nested
+//! wait.
+//!
+//! Sizing: [`default_threads`] honours the `QFE_THREADS` environment
+//! variable and falls back to [`std::thread::available_parallelism`].
+//! With one thread the pool spawns no workers at all and every scoped
+//! call runs inline — `QFE_THREADS=1` is a genuinely serial process.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A lifetime-erased unit of work. Jobs never unwind: every task body is
+/// wrapped in `catch_unwind` by the scope that enqueued it, and the
+/// panic payload is re-raised on the *calling* thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    /// Signalled on every push and on shutdown.
+    cv: Condvar,
+}
+
+impl Queue {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        // Jobs cannot unwind while holding this lock (task panics are
+        // caught inside the job body), but stay total anyway: a poisoned
+        // queue must not wedge the whole process.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push(&self, jobs: impl IntoIterator<Item = Job>) {
+        let mut st = self.lock();
+        for job in jobs {
+            st.jobs.push_back(job);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.lock().jobs.pop_front()
+    }
+}
+
+/// A bounded pool of worker threads with deterministic chunked
+/// scheduling (see the [module docs](self) for the determinism
+/// contract).
+pub struct ThreadPool {
+    queue: Arc<Queue>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Create a pool that uses `threads` threads in total, **including
+    /// the calling thread**: `threads - 1` workers are spawned, and the
+    /// thread invoking [`scoped`](Self::scoped) participates while it
+    /// waits. `threads == 1` spawns nothing and runs everything inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue = Arc::new(Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..threads.saturating_sub(1))
+            .filter_map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("qfe-pool-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .ok()
+                // A failed spawn (resource exhaustion) just means fewer
+                // workers; `scoped` callers drain the queue themselves,
+                // so the pool stays correct at any worker count ≥ 0.
+            })
+            .collect();
+        ThreadPool {
+            queue,
+            threads,
+            workers,
+        }
+    }
+
+    /// Total threads this pool uses (workers + the participating caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every task on the pool and return their results **in task
+    /// order** (never completion order — that is what keeps ordered
+    /// reductions deterministic).
+    ///
+    /// Tasks may borrow from the caller's stack: `scoped` does not
+    /// return until every task has finished. The calling thread
+    /// participates — while waiting it pops and runs queued jobs (its
+    /// own or a nested scope's), which is what makes nested
+    /// `scoped`-inside-`scoped` deadlock-free at any pool size.
+    ///
+    /// # Panics
+    /// If a task panics, the first panic payload (in task order) is
+    /// re-raised on the calling thread after *all* tasks have settled —
+    /// no detached worker is left borrowing freed stack data, and the
+    /// pool remains usable afterwards.
+    pub fn scoped<'scope, T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'scope,
+        F: FnOnce() -> T + Send + 'scope,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            // Inline fast path: identical results by the module contract
+            // (fixed chunks + ordered reduction make placement, including
+            // "all on the caller", unobservable).
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+
+        struct Scope<T> {
+            results: Vec<Mutex<Option<std::thread::Result<T>>>>,
+            pending: Mutex<usize>,
+            done: Condvar,
+        }
+        let scope = Scope::<T> {
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            pending: Mutex::new(n),
+            done: Condvar::new(),
+        };
+        // A `Send`-able pointer to the stack-pinned scope. Jobs reach the
+        // result slots through it without borrowing `scope` for `'scope`
+        // (which would outlive this function body as far as the borrow
+        // checker is concerned).
+        struct ScopePtr<T>(*const Scope<T>);
+        unsafe impl<T: Send> Send for ScopePtr<T> {}
+        impl<T> Clone for ScopePtr<T> {
+            fn clone(&self) -> Self {
+                ScopePtr(self.0)
+            }
+        }
+        impl<T> ScopePtr<T> {
+            /// # Safety
+            /// The pointed-to scope must still be alive — guaranteed here
+            /// because `scoped` blocks until every job has run.
+            /// (A method receiver also forces the closure to capture the
+            /// whole `Send` wrapper, not the raw pointer field.)
+            unsafe fn get(&self) -> &Scope<T> {
+                &*self.0
+            }
+        }
+
+        {
+            let scope_ptr = ScopePtr(&scope as *const Scope<T>);
+            let jobs: Vec<Job> = tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, task)| {
+                    let scope_ptr = scope_ptr.clone();
+                    let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                        // SAFETY: `scope` is alive until `scoped` returns,
+                        // and `scoped` does not return (or move `scope`'s
+                        // fields) before every job has run — see the wait
+                        // loop below.
+                        let scope_ref: &Scope<T> = unsafe { scope_ptr.get() };
+                        let result = catch_unwind(AssertUnwindSafe(task));
+                        *scope_ref.results[i]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner) = Some(result);
+                        let mut pending = scope_ref
+                            .pending
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        *pending -= 1;
+                        if *pending == 0 {
+                            scope_ref.done.notify_all();
+                        }
+                    });
+                    // SAFETY: the job borrows `scope` and the task's
+                    // captures, all of which outlive `'scope`. We erase
+                    // the lifetime to put the job on the 'static queue,
+                    // but never return from this function before
+                    // `pending == 0`, i.e. before every job has run to
+                    // completion (panics included — `catch_unwind`
+                    // guarantees the decrement). No job can access the
+                    // borrows after `scoped` returns.
+                    unsafe {
+                        std::mem::transmute::<
+                            Box<dyn FnOnce() + Send + 'scope>,
+                            Box<dyn FnOnce() + Send + 'static>,
+                        >(job)
+                    }
+                })
+                .collect();
+            self.queue.push(jobs);
+
+            // Caller-runs wait: drain the queue (our jobs or anyone
+            // else's) and only sleep when there is nothing to run. The
+            // timeout re-polls the queue so a nested scope's jobs,
+            // enqueued after we went to sleep, still find a helper.
+            loop {
+                while let Some(job) = self.queue.try_pop() {
+                    job();
+                }
+                let pending = scope.pending.lock().unwrap_or_else(PoisonError::into_inner);
+                if *pending == 0 {
+                    break;
+                }
+                let _unused = scope
+                    .done
+                    .wait_timeout(pending, Duration::from_millis(1))
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for slot in scope.results {
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(Ok(v)) => out.push(v),
+                Some(Err(payload)) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+                None => unreachable!("scoped returned before a task settled"),
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        out
+    }
+
+    /// Apply `f` to fixed-size chunks of `items` in parallel, returning
+    /// the per-chunk results **in chunk order**.
+    ///
+    /// `chunk_len` is the determinism knob: call sites must derive it
+    /// from the input only (a constant, or a function of `items.len()`),
+    /// never from the thread count. `f` receives `(chunk_index, chunk)`.
+    pub fn par_chunks<'scope, T, R, F>(&self, items: &'scope [T], chunk_len: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send + 'scope,
+        F: Fn(usize, &'scope [T]) -> R + Sync + 'scope,
+    {
+        let chunk_len = chunk_len.max(1);
+        let f = &f;
+        let tasks: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(i, chunk)| move || f(i, chunk))
+            .collect();
+        self.scoped(tasks)
+    }
+
+    /// Like [`par_chunks`](Self::par_chunks) but over disjoint mutable
+    /// chunks: `f(chunk_index, chunk)` may write its chunk in place.
+    /// Same determinism contract: fixed `chunk_len`, results in chunk
+    /// order.
+    pub fn par_chunks_mut<'scope, T, R, F>(
+        &self,
+        items: &'scope mut [T],
+        chunk_len: usize,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send + 'scope,
+        F: Fn(usize, &mut [T]) -> R + Sync + 'scope,
+    {
+        let chunk_len = chunk_len.max(1);
+        let f = &f;
+        let tasks: Vec<_> = items
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(i, chunk)| move || f(i, chunk))
+            .collect();
+        self.scoped(tasks)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.queue.lock().shutdown = true;
+        self.queue.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut st = queue.lock();
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = queue.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// The thread count the global pool is built with: the `QFE_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if even that is unknown).
+pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("QFE_THREADS") {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("ignoring invalid QFE_THREADS='{raw}' (want a positive integer)"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+static GLOBAL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+
+/// The process-wide shared pool, built lazily from [`default_threads`].
+/// All library call sites reach it through [`current`], so tests (and
+/// the scaling bench) can substitute an explicit pool with
+/// [`with_pool`].
+pub fn global() -> &'static Arc<ThreadPool> {
+    GLOBAL.get_or_init(|| Arc::new(ThreadPool::new(default_threads())))
+}
+
+thread_local! {
+    static OVERRIDE: std::cell::RefCell<Vec<Arc<ThreadPool>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with `pool` as the [`current`] pool on this thread.
+///
+/// This is how the determinism tests and the scaling bench pin an exact
+/// thread count in-process instead of re-execing with a different
+/// `QFE_THREADS`. Overrides nest; the previous pool is restored when
+/// `f` returns (or unwinds).
+pub fn with_pool<R>(pool: &Arc<ThreadPool>, f: impl FnOnce() -> R) -> R {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    OVERRIDE.with(|stack| stack.borrow_mut().push(Arc::clone(pool)));
+    let _restore = Restore;
+    f()
+}
+
+/// The pool parallel call sites should use on this thread: the innermost
+/// [`with_pool`] override, or the [`global`] pool.
+///
+/// Resolve this **once** at the top of a parallel operation and pass the
+/// pool down — tasks already running on pool workers do not inherit the
+/// caller's thread-local override.
+pub fn current() -> Arc<ThreadPool> {
+    OVERRIDE
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(|| Arc::clone(global()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_returns_results_in_task_order() {
+        let pool = ThreadPool::new(4);
+        let results = pool.scoped(
+            (0..64)
+                .map(|i| {
+                    move || {
+                        if i % 7 == 0 {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        i * i
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_and_spawns_nothing() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.workers.is_empty());
+        let tid = std::thread::current().id();
+        let results = pool.scoped(vec![move || std::thread::current().id() == tid; 3]);
+        assert_eq!(results, vec![true, true, true]);
+    }
+
+    #[test]
+    fn par_chunks_is_bit_identical_across_thread_counts() {
+        // Partial sums reduced in chunk order must not depend on the
+        // number of threads — the core of the determinism contract.
+        let data: Vec<f32> = (0..10_000).map(|i| (i as f32).sin()).collect();
+        let sum = |pool: &ThreadPool| -> f32 {
+            pool.par_chunks(&data, 128, |_, chunk| chunk.iter().sum::<f32>())
+                .into_iter()
+                .sum()
+        };
+        let serial = sum(&ThreadPool::new(1));
+        for threads in [2, 3, 8] {
+            let parallel = sum(&ThreadPool::new(threads));
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u32; 1000];
+        let counts = pool.par_chunks_mut(&mut data, 64, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u32;
+            }
+            chunk.len()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        for (j, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (j / 64) as u32, "index {j}");
+        }
+    }
+
+    #[test]
+    fn nested_scopes_make_progress_on_a_small_pool() {
+        // Every outer task immediately waits on an inner scope. With
+        // blocking waits this deadlocks on a 2-thread pool; caller-runs
+        // waiting must complete it.
+        let pool = ThreadPool::new(2);
+        let total: usize = pool
+            .scoped(
+                (0..8)
+                    .map(|i| {
+                        let pool = &pool;
+                        move || {
+                            pool.scoped((0..8).map(|j| move || i * j).collect::<Vec<_>>())
+                                .into_iter()
+                                .sum::<usize>()
+                        }
+                    })
+                    .collect(),
+            )
+            .into_iter()
+            .sum();
+        assert_eq!(total, (0..8).map(|i| i * (0..8).sum::<usize>()).sum());
+    }
+
+    #[test]
+    fn panicking_task_propagates_without_hanging_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(
+                (0..16)
+                    .map(|i| {
+                        let ran = &ran;
+                        move || {
+                            ran.fetch_add(1, Ordering::Relaxed);
+                            if i == 5 {
+                                panic!("worker closure boom");
+                            }
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        let payload = result.expect_err("panic must propagate to the scoped caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker closure boom");
+        // Every task settled before the panic was re-raised (no detached
+        // borrower), and the pool is still usable afterwards.
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
+        let alive = pool.scoped(vec![|| 7usize; 4]);
+        assert_eq!(alive, vec![7; 4]);
+        // Drop must join cleanly: no worker is wedged on the dead scope.
+        drop(pool);
+    }
+
+    #[test]
+    fn with_pool_overrides_current_and_restores_on_unwind() {
+        let small = Arc::new(ThreadPool::new(1));
+        let big = Arc::new(ThreadPool::new(3));
+        let outer_threads = current().threads();
+        with_pool(&big, || {
+            assert_eq!(current().threads(), 3);
+            with_pool(&small, || assert_eq!(current().threads(), 1));
+            assert_eq!(current().threads(), 3);
+        });
+        assert_eq!(current().threads(), outer_threads);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_pool(&small, || panic!("unwind through the override"))
+        }));
+        assert_eq!(
+            current().threads(),
+            outer_threads,
+            "override must pop on unwind"
+        );
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u8> = pool.scoped(Vec::<fn() -> u8>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the `qfe_core::parallel` determinism
+//! contract: for arbitrary inputs, chunk sizes, and pool widths, every
+//! parallel operation must return exactly what the serial evaluation
+//! returns — same values, same order, bit-for-bit.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use qfe_core::parallel::{with_pool, ThreadPool};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `par_chunks` must visit fixed chunk boundaries and return results
+    /// in chunk order, independent of pool width.
+    #[test]
+    fn par_chunks_matches_serial_chunking(
+        items in prop::collection::vec(-1.0e6f64..1.0e6, 0..200),
+        chunk_len in 1usize..17,
+        threads in 1usize..9,
+    ) {
+        // The serial reference: same chunk boundaries, same in-chunk
+        // fold, evaluated inline in order.
+        let expected: Vec<(usize, f64)> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(ci, chunk)| (ci, chunk.iter().sum::<f64>()))
+            .collect();
+        let pool = Arc::new(ThreadPool::new(threads));
+        let got = pool.par_chunks(&items, chunk_len, |ci, chunk| {
+            (ci, chunk.iter().sum::<f64>())
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A chunk-ordered reduction of floating-point partial sums must be
+    /// bit-identical across every pool width (the grouping is fixed by
+    /// the chunk boundaries, not by scheduling).
+    #[test]
+    fn chunked_float_reduction_is_thread_count_invariant(
+        items in prop::collection::vec(-1.0e3f64..1.0e3, 1..300),
+        chunk_len in 1usize..33,
+    ) {
+        let reduce = |threads: usize| -> f64 {
+            let pool = Arc::new(ThreadPool::new(threads));
+            pool.par_chunks(&items, chunk_len, |_, chunk| chunk.iter().sum::<f64>())
+                .into_iter()
+                .sum()
+        };
+        let reference = reduce(1);
+        for threads in [2, 3, 8] {
+            let sum = reduce(threads);
+            prop_assert_eq!(
+                sum.to_bits(),
+                reference.to_bits(),
+                "{} threads diverged: {} vs {}", threads, sum, reference
+            );
+        }
+    }
+
+    /// `scoped` returns results positionally regardless of the order in
+    /// which workers finish the tasks.
+    #[test]
+    fn scoped_results_are_positional(
+        values in prop::collection::vec(0u64..1000, 0..64),
+        threads in 1usize..9,
+    ) {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let tasks: Vec<_> = values
+            .iter()
+            .map(|&v| move || v.wrapping_mul(3).wrapping_add(1))
+            .collect();
+        let got = pool.scoped(tasks);
+        let expected: Vec<u64> = values.iter().map(|&v| v.wrapping_mul(3).wrapping_add(1)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `with_pool` scopes the override to the closure: `current()` inside
+    /// resolves to the override, and the previous pool is restored after.
+    #[test]
+    fn with_pool_override_is_scoped(threads in 1usize..9) {
+        let before = qfe_core::parallel::current().threads();
+        let pool = Arc::new(ThreadPool::new(threads));
+        let inside = with_pool(&pool, || qfe_core::parallel::current().threads());
+        prop_assert_eq!(inside, threads);
+        prop_assert_eq!(qfe_core::parallel::current().threads(), before);
+    }
+}

@@ -30,7 +30,7 @@
 //! [`BreakerStage`] packages a breaker with an estimator as a drop-in
 //! [`CardinalityEstimator`], so a [`crate::FallbackChain`] can hold
 //! breaker-wrapped stages without knowing about breaking at all: an open
-//! breaker surfaces as a fast typed [`EstimateError::CircuitOpen`], which
+//! breaker surfaces as a fast typed [`qfe_core::error::EstimateError::CircuitOpen`], which
 //! the chain counts and falls through exactly like any other stage error.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -290,9 +290,9 @@ impl CircuitBreaker {
 }
 
 /// An estimator wrapped with a [`CircuitBreaker`]: a drop-in stage for a
-/// [`crate::FallbackChain`]. Failures of any [`EstimateErrorKind`] count
+/// [`crate::FallbackChain`]. Failures of any [`qfe_core::EstimateErrorKind`] count
 /// against the breaker; an open breaker answers with a fast
-/// [`EstimateError::CircuitOpen`] instead of invoking the inner
+/// [`qfe_core::error::EstimateError::CircuitOpen`] instead of invoking the inner
 /// estimator.
 pub struct BreakerStage<E> {
     inner: E,

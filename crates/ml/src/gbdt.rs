@@ -15,8 +15,27 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use qfe_core::parallel::ThreadPool;
+
 use crate::matrix::Matrix;
 use crate::train::Regressor;
+
+/// Feature columns per parallel split-gain chunk. Fixed — never derived
+/// from the thread count — so split finding is bit-identical at any
+/// `QFE_THREADS` (see `qfe_core::parallel` for the contract: fixed chunk
+/// boundaries + chunk-order reduction).
+const FEATURE_CHUNK: usize = 8;
+/// Rows per parallel residual / prediction-update chunk. Also fixed; the
+/// per-round loss is reduced from per-chunk partial sums in chunk order.
+const ROW_CHUNK: usize = 2048;
+/// `rows × features` below which split finding stays inline — the gate is
+/// a function of the data only, so both the serial and the chunked path
+/// are taken identically at every thread count (and they compute the
+/// same bits anyway: per-feature histograms are independent).
+const SPLIT_PAR_MIN_WORK: usize = 1 << 13;
+/// Rows below which `predict_batch` stays inline. Per-row sums always
+/// accumulate in tree order, so this gate cannot change results either.
+const PREDICT_PAR_MIN_ROWS: usize = 256;
 
 /// GBDT hyperparameters.
 #[derive(Debug, Clone)]
@@ -101,6 +120,17 @@ impl Tree {
     }
 }
 
+/// Shared read-only inputs to one node's split search (the per-node
+/// sums are computed once and reused by every feature chunk).
+struct SplitCtx<'a> {
+    rows: &'a [u32],
+    residuals: &'a [f32],
+    bins: &'a [Vec<u8>],
+    cuts: &'a [Vec<f32>],
+    total_sum: f64,
+    parent_score: f64,
+}
+
 /// A leaf-wise growth candidate.
 struct Candidate {
     node_slot: usize,
@@ -139,71 +169,82 @@ impl Gbdt {
         self.trees.len()
     }
 
-    /// Per-feature quantile cut points.
-    fn build_cuts(&self, x: &Matrix) -> Vec<Vec<f32>> {
+    /// Quantile cut points for one feature column.
+    fn cuts_for_feature(&self, x: &Matrix, f: usize) -> Vec<f32> {
         let n = x.rows();
-        let mut cuts = Vec::with_capacity(x.cols());
-        for f in 0..x.cols() {
-            let mut vals: Vec<f32> = (0..n).map(|r| x.get(r, f)).collect();
-            vals.sort_by(f32::total_cmp);
-            vals.dedup();
-            let want = self.config.max_bins - 1;
-            let mut c: Vec<f32> = if vals.len() <= want {
-                // Few distinct values: cut between every pair.
-                vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
-            } else {
-                (1..=want)
-                    .map(|i| vals[i * (vals.len() - 1) / want])
-                    .collect()
-            };
-            c.dedup();
-            cuts.push(c);
-        }
-        cuts
+        let mut vals: Vec<f32> = (0..n).map(|r| x.get(r, f)).collect();
+        vals.sort_by(f32::total_cmp);
+        vals.dedup();
+        let want = self.config.max_bins - 1;
+        let mut c: Vec<f32> = if vals.len() <= want {
+            // Few distinct values: cut between every pair.
+            vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+        } else {
+            (1..=want)
+                .map(|i| vals[i * (vals.len() - 1) / want])
+                .collect()
+        };
+        c.dedup();
+        c
     }
 
-    /// Column-major binned features: `bins[f][row]`.
-    fn bin_features(x: &Matrix, cuts: &[Vec<f32>]) -> Vec<Vec<u8>> {
-        let n = x.rows();
-        cuts.iter()
-            .enumerate()
-            .map(|(f, c)| {
-                (0..n)
-                    .map(|r| c.partition_point(|&edge| edge < x.get(r, f)) as u8)
-                    .collect()
-            })
-            .collect()
+    /// Per-feature quantile cut points, feature-parallel. Each feature's
+    /// cuts depend only on its own column, so placement cannot change
+    /// results; chunk-order collection keeps the output layout fixed.
+    fn build_cuts(&self, pool: &ThreadPool, x: &Matrix) -> Vec<Vec<f32>> {
+        let cols: Vec<usize> = (0..x.cols()).collect();
+        pool.par_chunks(&cols, FEATURE_CHUNK, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&f| self.cuts_for_feature(x, f))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
-    /// Find the best split of `rows` over `features`, returning
-    /// `(gain, feature, threshold_bin)`.
-    fn best_split(
-        &self,
-        rows: &[u32],
-        residuals: &[f32],
-        bins: &[Vec<u8>],
-        cuts: &[Vec<f32>],
-        features: &[u32],
-    ) -> Option<(f64, u32, u8)> {
+    /// Column-major binned features: `bins[f][row]`, feature-parallel.
+    fn bin_features(pool: &ThreadPool, x: &Matrix, cuts: &[Vec<f32>]) -> Vec<Vec<u8>> {
+        let n = x.rows();
+        let cols: Vec<usize> = (0..x.cols()).collect();
+        pool.par_chunks(&cols, FEATURE_CHUNK, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&f| {
+                    let c = &cuts[f];
+                    (0..n)
+                        .map(|r| c.partition_point(|&edge| edge < x.get(r, f)) as u8)
+                        .collect::<Vec<u8>>()
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// The histogram scan of [`best_split`](Self::best_split) over one
+    /// slice of candidate features. Ties keep the earliest feature in
+    /// slice order (strict `>`), which the chunk-order reduction in
+    /// `best_split` extends across chunks.
+    fn best_split_over(&self, ctx: &SplitCtx<'_>, features: &[u32]) -> Option<(f64, u32, u8)> {
         let lambda = self.config.lambda as f64;
         let min_child = self.config.min_samples_leaf;
-        let total_sum: f64 = rows.iter().map(|&r| residuals[r as usize] as f64).sum();
-        let total_n = rows.len() as f64;
-        let parent_score = total_sum * total_sum / (total_n + lambda);
         let mut best: Option<(f64, u32, u8)> = None;
         let mut hist_sum = [0.0f64; 256];
         let mut hist_cnt = [0u32; 256];
         for &f in features {
-            let n_bins = cuts[f as usize].len() + 1;
+            let n_bins = ctx.cuts[f as usize].len() + 1;
             if n_bins < 2 {
                 continue; // constant feature
             }
             hist_sum[..n_bins].fill(0.0);
             hist_cnt[..n_bins].fill(0);
-            let fb = &bins[f as usize];
-            for &r in rows {
+            let fb = &ctx.bins[f as usize];
+            for &r in ctx.rows {
                 let b = fb[r as usize] as usize;
-                hist_sum[b] += residuals[r as usize] as f64;
+                hist_sum[b] += ctx.residuals[r as usize] as f64;
                 hist_cnt[b] += 1;
             }
             let mut left_sum = 0.0f64;
@@ -211,20 +252,65 @@ impl Gbdt {
             for t in 0..n_bins - 1 {
                 left_sum += hist_sum[t];
                 left_cnt += hist_cnt[t];
-                let right_cnt = rows.len() as u32 - left_cnt;
+                let right_cnt = ctx.rows.len() as u32 - left_cnt;
                 if (left_cnt as usize) < min_child || (right_cnt as usize) < min_child {
                     continue;
                 }
-                let right_sum = total_sum - left_sum;
+                let right_sum = ctx.total_sum - left_sum;
                 let score = left_sum * left_sum / (left_cnt as f64 + lambda)
                     + right_sum * right_sum / (right_cnt as f64 + lambda);
-                let gain = score - parent_score;
+                let gain = score - ctx.parent_score;
                 if gain > 1e-9 && best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
                     best = Some((gain, f, t as u8));
                 }
             }
         }
         best
+    }
+
+    /// Find the best split of `rows` over `features`, returning
+    /// `(gain, feature, threshold_bin)`.
+    ///
+    /// Split-gain evaluation fans out over fixed feature chunks; each
+    /// chunk's histograms are independent, and the chunk bests are
+    /// reduced in chunk order with a strict `>` so ties resolve to the
+    /// earliest feature exactly as the serial scan would. The result is
+    /// bit-identical at every thread count.
+    fn best_split(
+        &self,
+        pool: &ThreadPool,
+        rows: &[u32],
+        residuals: &[f32],
+        bins: &[Vec<u8>],
+        cuts: &[Vec<f32>],
+        features: &[u32],
+    ) -> Option<(f64, u32, u8)> {
+        let lambda = self.config.lambda as f64;
+        let total_sum: f64 = rows.iter().map(|&r| residuals[r as usize] as f64).sum();
+        let total_n = rows.len() as f64;
+        let ctx = SplitCtx {
+            rows,
+            residuals,
+            bins,
+            cuts,
+            total_sum,
+            parent_score: total_sum * total_sum / (total_n + lambda),
+        };
+        if rows.len().saturating_mul(features.len()) < SPLIT_PAR_MIN_WORK {
+            return self.best_split_over(&ctx, features);
+        }
+        pool.par_chunks(features, FEATURE_CHUNK, |_, chunk| {
+            self.best_split_over(&ctx, chunk)
+        })
+        .into_iter()
+        .flatten()
+        .fold(None, |best: Option<(f64, u32, u8)>, cand| {
+            if best.as_ref().is_none_or(|(g, _, _)| cand.0 > *g) {
+                Some(cand)
+            } else {
+                best
+            }
+        })
     }
 
     fn leaf_value(&self, rows: &[u32], residuals: &[f32]) -> f32 {
@@ -235,6 +321,7 @@ impl Gbdt {
     /// Grow one tree on the residuals, leaf-wise.
     fn grow_tree(
         &self,
+        pool: &ThreadPool,
         residuals: &[f32],
         bins: &[Vec<u8>],
         cuts: &[Vec<f32>],
@@ -245,7 +332,7 @@ impl Gbdt {
         let all_rows: Vec<u32> = (0..n as u32).collect();
         let mut frontier: Vec<Candidate> = Vec::new();
         if let Some((gain, feature, tbin)) =
-            self.best_split(&all_rows, residuals, bins, cuts, features)
+            self.best_split(pool, &all_rows, residuals, bins, cuts, features)
         {
             frontier.push(Candidate {
                 node_slot: 0,
@@ -290,22 +377,36 @@ impl Gbdt {
             };
             leaves += 1;
 
-            // Enqueue children if they can still split.
+            // Enqueue children if they can still split. Both children's
+            // split searches are independent, so evaluate them as one
+            // scoped pair; results come back in task order (left, right),
+            // matching the serial loop exactly.
             if cand.depth + 1 < self.config.max_depth {
-                for (slot, rows) in [(left_slot, left_rows), (right_slot, right_rows)] {
-                    if rows.len() >= 2 * self.config.min_samples_leaf {
-                        if let Some((gain, feature, tbin)) =
-                            self.best_split(&rows, residuals, bins, cuts, features)
-                        {
-                            frontier.push(Candidate {
-                                node_slot: slot,
-                                rows,
-                                depth: cand.depth + 1,
-                                gain,
-                                feature,
-                                threshold_bin: tbin,
-                            });
-                        }
+                let children = [(left_slot, left_rows), (right_slot, right_rows)];
+                let splits = pool.scoped(
+                    children
+                        .iter()
+                        .map(|(_, rows)| {
+                            move || {
+                                if rows.len() >= 2 * self.config.min_samples_leaf {
+                                    self.best_split(pool, rows, residuals, bins, cuts, features)
+                                } else {
+                                    None
+                                }
+                            }
+                        })
+                        .collect(),
+                );
+                for ((slot, rows), split) in children.into_iter().zip(splits) {
+                    if let Some((gain, feature, tbin)) = split {
+                        frontier.push(Candidate {
+                            node_slot: slot,
+                            rows,
+                            depth: cand.depth + 1,
+                            gain,
+                            feature,
+                            threshold_bin: tbin,
+                        });
                     }
                 }
             }
@@ -470,8 +571,12 @@ impl Gbdt {
         self.trees.clear();
         self.base = y.iter().sum::<f32>() / y.len() as f32;
 
-        let cuts = self.build_cuts(x);
-        let bins = Self::bin_features(x, &cuts);
+        // Resolve the pool once: worker threads do not inherit the
+        // caller's thread-local override, so every parallel op below
+        // must use this handle rather than re-resolving `current()`.
+        let pool = qfe_core::parallel::current();
+        let cuts = self.build_cuts(&pool, x);
+        let bins = Self::bin_features(&pool, x, &cuts);
         let n = x.rows();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut pred = vec![self.base; n];
@@ -486,11 +591,33 @@ impl Gbdt {
                     return Err(crate::train::TrainError::Interrupted { round });
                 }
             }
-            let mut loss = 0.0f64;
-            for i in 0..n {
-                residuals[i] = y[i] - pred[i];
-                loss += (residuals[i] as f64).powi(2);
-            }
+            // Residual refresh + loss, row-parallel over fixed chunks.
+            // Each chunk's partial loss is an independent f64 sum; the
+            // partials are folded in chunk order, so the total is the
+            // same at every thread count (though its grouping differs
+            // from a single flat serial sum — the contract is
+            // thread-count invariance, not equality with old bits).
+            let loss: f64 = if n <= ROW_CHUNK {
+                let mut loss = 0.0f64;
+                for i in 0..n {
+                    residuals[i] = y[i] - pred[i];
+                    loss += (residuals[i] as f64).powi(2);
+                }
+                loss
+            } else {
+                pool.par_chunks_mut(&mut residuals, ROW_CHUNK, |ci, chunk| {
+                    let base = ci * ROW_CHUNK;
+                    let mut partial = 0.0f64;
+                    for (j, r) in chunk.iter_mut().enumerate() {
+                        let i = base + j;
+                        *r = y[i] - pred[i];
+                        partial += (*r as f64).powi(2);
+                    }
+                    partial
+                })
+                .into_iter()
+                .sum()
+            };
             if check && !loss.is_finite() {
                 return Err(crate::train::TrainError::NonFiniteLoss { round });
             }
@@ -502,10 +629,22 @@ impl Gbdt {
                 fs.truncate(n_sampled);
                 fs
             };
-            let tree = self.grow_tree(&residuals, &bins, &cuts, &features, n);
+            let tree = self.grow_tree(&pool, &residuals, &bins, &cuts, &features, n);
             let lr = self.config.learning_rate;
-            for (i, p) in pred.iter_mut().enumerate() {
-                *p += lr * tree.predict(x.row(i));
+            // Prediction update is per-row independent: chunking only
+            // changes scheduling, never the arithmetic on any row.
+            if n <= ROW_CHUNK {
+                for (i, p) in pred.iter_mut().enumerate() {
+                    *p += lr * tree.predict(x.row(i));
+                }
+            } else {
+                let tree_ref = &tree;
+                pool.par_chunks_mut(&mut pred, ROW_CHUNK, |ci, chunk| {
+                    let base = ci * ROW_CHUNK;
+                    for (j, p) in chunk.iter_mut().enumerate() {
+                        *p += lr * tree_ref.predict(x.row(base + j));
+                    }
+                });
             }
             self.trees.push(tree);
         }
@@ -569,12 +708,28 @@ impl Regressor for Gbdt {
         // index-chasing walk, instead of re-faulting every tree per row.
         // Each accumulator receives the per-tree contributions in tree
         // order, so the f32 summation order — and therefore the result —
-        // is bit-identical to the rows-outer singleton path.
+        // is bit-identical to the rows-outer singleton path. Large
+        // batches split into fixed row chunks; within each chunk the
+        // trees-outer order is preserved, so every row's sum is still
+        // accumulated in tree order and the output is bit-identical to
+        // the serial path at any thread count.
         let mut acc = vec![0.0f32; x.rows()];
-        for tree in &self.trees {
-            for (r, a) in acc.iter_mut().enumerate() {
-                *a += tree.predict(x.row(r));
+        if x.rows() < PREDICT_PAR_MIN_ROWS {
+            for tree in &self.trees {
+                for (r, a) in acc.iter_mut().enumerate() {
+                    *a += tree.predict(x.row(r));
+                }
             }
+        } else {
+            let pool = qfe_core::parallel::current();
+            pool.par_chunks_mut(&mut acc, ROW_CHUNK, |ci, chunk| {
+                let base = ci * ROW_CHUNK;
+                for tree in &self.trees {
+                    for (j, a) in chunk.iter_mut().enumerate() {
+                        *a += tree.predict(x.row(base + j));
+                    }
+                }
+            });
         }
         acc.iter().map(|&sum| self.base + lr * sum).collect()
     }

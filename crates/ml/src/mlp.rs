@@ -2,11 +2,19 @@
 //! al. \[32\]): a ReLU multi-layer perceptron trained with Adam on mini
 //! batches, manual backpropagation, MSE loss on scaled log-cardinalities.
 
+use qfe_core::parallel::ThreadPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
 use crate::train::{shuffled_indices, Regressor};
+
+/// Rows per intra-minibatch gradient chunk. Fixed (never derived from
+/// the thread count) so chunk boundaries — and therefore the
+/// floating-point grouping of the gradient reduction — are identical at
+/// any `QFE_THREADS`; see the determinism contract in
+/// `qfe_core::parallel`.
+const GRAD_CHUNK: usize = 32;
 
 /// One fully-connected layer with Adam state.
 #[derive(Debug, Clone)]
@@ -180,25 +188,43 @@ impl Mlp {
         (pre, act)
     }
 
-    fn train_batch(&mut self, x: &Matrix, y: &[f32]) -> f64 {
-        let n = x.rows();
-        let (pre, act) = self.forward_cached(x);
+    /// Forward + backward over the minibatch rows `[start, start+len)`,
+    /// against the *current* (frozen) weights. Returns the chunk's
+    /// unnormalized squared-error sum and its per-layer weight/bias
+    /// gradient contributions (indexed first-layer-first).
+    ///
+    /// The MSE gradient `2 (ŷ − y) / n` divides by the **whole**
+    /// minibatch size `n_total`, so summing the chunk contributions
+    /// reconstructs the full-batch gradient exactly (row-separable
+    /// backprop: `dW = Σ_rows actᵀ·grad` splits over any row partition).
+    fn chunk_gradients(
+        &self,
+        x: &Matrix,
+        y: &[f32],
+        start: usize,
+        len: usize,
+        n_total: usize,
+    ) -> (f64, Vec<Matrix>, Vec<Vec<f32>>) {
+        let cols = x.cols();
+        let bx = Matrix::from_vec(
+            len,
+            cols,
+            x.data()[start * cols..(start + len) * cols].to_vec(),
+        );
+        let (pre, act) = self.forward_cached(&bx);
         let Some(output) = act.last() else {
-            return 0.0; // defensive: `forward_cached` always yields >= 1 entry
+            // Defensive: `forward_cached` always yields >= 1 entry.
+            return (0.0, Vec::new(), Vec::new());
         };
-        // dL/dZ_last for MSE: 2 (ŷ − y) / n.
-        let mut grad = Matrix::zeros(n, 1);
+        let mut grad = Matrix::zeros(len, 1);
         let mut loss = 0.0f64;
-        for (i, &target) in y.iter().enumerate() {
-            let diff = output.get(i, 0) - target;
+        for i in 0..len {
+            let diff = output.get(i, 0) - y[start + i];
             loss += (diff as f64).powi(2);
-            grad.set(i, 0, 2.0 * diff / n as f32);
+            grad.set(i, 0, 2.0 * diff / n_total as f32);
         }
-        loss /= n as f64;
-
-        self.adam_t += 1;
-        let t = self.adam_t;
-        let lr = self.config.learning_rate;
+        let mut dws = Vec::with_capacity(self.layers.len());
+        let mut dbs = Vec::with_capacity(self.layers.len());
         for l in (0..self.layers.len()).rev() {
             let dw = act[l].transpose_a_matmul(&grad);
             let mut db = vec![0.0f32; grad.cols()];
@@ -207,13 +233,74 @@ impl Mlp {
                     *acc += g;
                 }
             }
-            // Propagate before updating weights.
             if l > 0 {
                 let mut next = grad.matmul_transpose_b(&self.layers[l].w);
                 relu_backward(&mut next, &pre[l - 1]);
                 grad = next;
             }
-            self.layers[l].adam_step(&dw, &db, lr, t);
+            dws.push(dw);
+            dbs.push(db);
+        }
+        dws.reverse();
+        dbs.reverse();
+        (loss, dws, dbs)
+    }
+
+    /// One Adam step on a minibatch. The forward/backward fans out over
+    /// fixed row chunks of [`GRAD_CHUNK`]; chunk gradients are reduced
+    /// **in chunk order** into one full-batch gradient before a single
+    /// `adam_step` per layer, so the update is bit-identical at any
+    /// thread count (weights are frozen while chunks run — backprop only
+    /// reads them).
+    fn train_batch(&mut self, pool: &ThreadPool, x: &Matrix, y: &[f32]) -> f64 {
+        let n = x.rows();
+        let parts = if n <= GRAD_CHUNK {
+            vec![self.chunk_gradients(x, y, 0, n, n)]
+        } else {
+            let this = &*self;
+            let ranges: Vec<(usize, usize)> = (0..n)
+                .step_by(GRAD_CHUNK)
+                .map(|start| (start, GRAD_CHUNK.min(n - start)))
+                .collect();
+            pool.scoped(
+                ranges
+                    .into_iter()
+                    .map(|(start, len)| move || this.chunk_gradients(x, y, start, len, n))
+                    .collect(),
+            )
+        };
+
+        let mut loss = 0.0f64;
+        let mut dws: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+            .collect();
+        let mut dbs: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0f32; l.b.len()])
+            .collect();
+        for (chunk_loss, chunk_dws, chunk_dbs) in parts {
+            loss += chunk_loss;
+            for (acc, d) in dws.iter_mut().zip(&chunk_dws) {
+                for (a, &g) in acc.data_mut().iter_mut().zip(d.data()) {
+                    *a += g;
+                }
+            }
+            for (acc, d) in dbs.iter_mut().zip(&chunk_dbs) {
+                for (a, &g) in acc.iter_mut().zip(d) {
+                    *a += g;
+                }
+            }
+        }
+        loss /= n as f64;
+
+        self.adam_t += 1;
+        let t = self.adam_t;
+        let lr = self.config.learning_rate;
+        for (layer, (dw, db)) in self.layers.iter_mut().zip(dws.iter().zip(&dbs)) {
+            layer.adam_step(dw, db, lr, t);
         }
         loss
     }
@@ -232,6 +319,10 @@ impl Mlp {
         self.build(x.cols());
         let n = x.rows();
         let bs = self.config.batch_size.clamp(1, n);
+        // Resolve the pool once: worker threads do not inherit the
+        // caller's thread-local override, so every minibatch below must
+        // use this handle rather than re-resolving `current()`.
+        let pool = qfe_core::parallel::current();
         for epoch in 0..self.config.epochs {
             let order = shuffled_indices(
                 n,
@@ -240,7 +331,7 @@ impl Mlp {
             for chunk in order.chunks(bs) {
                 let bx = x.gather_rows(chunk);
                 let by: Vec<f32> = chunk.iter().map(|&i| y[i]).collect();
-                let loss = self.train_batch(&bx, &by);
+                let loss = self.train_batch(&pool, &bx, &by);
                 if check && !loss.is_finite() {
                     return Err(crate::train::TrainError::NonFiniteLoss { round: epoch });
                 }

@@ -197,9 +197,14 @@ pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
 }
 
 /// Split `n` samples into train/validation index sets with the given
-/// validation fraction (deterministic).
+/// validation fraction (deterministic). The closed endpoints are valid
+/// degenerate splits: `0.0` puts every sample in train, `1.0` every
+/// sample in validation.
 pub fn train_val_split(n: usize, val_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..1.0).contains(&val_fraction));
+    assert!(
+        (0.0..=1.0).contains(&val_fraction),
+        "val_fraction {val_fraction} outside [0, 1]"
+    );
     let idx = shuffled_indices(n, seed);
     let val_n = ((n as f64) * val_fraction).round() as usize;
     let (val, train) = idx.split_at(val_n);
@@ -240,6 +245,43 @@ mod tests {
         let mut all: Vec<usize> = train.iter().chain(&val).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_edge_cases() {
+        assert!(shuffled_indices(0, 7).is_empty());
+        assert_eq!(shuffled_indices(1, 7), vec![0]);
+    }
+
+    #[test]
+    fn split_edge_cases() {
+        // n = 0: both sides empty at any fraction.
+        for frac in [0.0, 0.5, 1.0] {
+            let (train, val) = train_val_split(0, frac, 3);
+            assert!(train.is_empty() && val.is_empty(), "frac {frac}");
+        }
+        // n = 1: the single sample lands on exactly one side.
+        let (train, val) = train_val_split(1, 0.0, 3);
+        assert_eq!((train.len(), val.len()), (1, 0));
+        let (train, val) = train_val_split(1, 1.0, 3);
+        assert_eq!((train.len(), val.len()), (0, 1));
+        // Closed endpoints: degenerate but valid full splits.
+        let (train, val) = train_val_split(10, 0.0, 3);
+        assert_eq!((train.len(), val.len()), (10, 0));
+        let (train, val) = train_val_split(10, 1.0, 3);
+        assert_eq!((train.len(), val.len()), (0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn split_rejects_fraction_above_one() {
+        let _ = train_val_split(10, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn split_rejects_negative_fraction() {
+        let _ = train_val_split(10, -0.1, 0);
     }
 
     #[test]

@@ -106,9 +106,17 @@ impl MicroBatcher {
     /// [`ServiceConfig`](crate::ServiceConfig). Workers run until the
     /// batcher is dropped; requests still queued at drop are served
     /// before the workers exit.
+    ///
+    /// The worker count is additionally capped at the shared
+    /// [`qfe_core::parallel`] pool width (`QFE_THREADS` /
+    /// `available_parallelism`): batcher workers drive featurization and
+    /// model inference, so spawning more of them than the machine has
+    /// cores only adds queueing jitter — oversized `cfg.workers` configs
+    /// degrade gracefully to the pool size instead.
     pub fn new(svc: Arc<EstimatorService>) -> Self {
         let cfg = svc.config();
-        let workers_n = cfg.workers.max(1);
+        let pool_width = qfe_core::parallel::current().threads();
+        let workers_n = cfg.workers.max(1).min(pool_width.max(1));
         let max_batch = cfg.max_batch_size.max(1);
         let max_wait = cfg.max_batch_wait;
         let capacity = cfg.queue_capacity.max(max_batch);

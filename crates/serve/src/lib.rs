@@ -3,7 +3,7 @@
 //! The estimator crates answer "how do we estimate a cardinality?"; this
 //! crate answers "how do we keep answering when things go wrong, under
 //! concurrency, on a clock?". The entry point is
-//! [`EstimatorService`](service::EstimatorService), which layers, outermost
+//! [`EstimatorService`], which layers, outermost
 //! first:
 //!
 //! - **admission + load shedding** ([`admission`], [`error::ShedPolicy`]) —

@@ -1,0 +1,140 @@
+//! The tentpole's hard contract, end to end: training and featurizing
+//! with a 1-thread pool and an 8-thread pool must produce **bit-identical**
+//! artifacts — serialized GBDT bytes, MLP predictions, and the
+//! featurization arena. Thread counts are pinned in-process via
+//! `parallel::with_pool` (the same mechanism `QFE_THREADS` feeds); the
+//! cross-process variant of this check is CI's `bench_accuracy` byte
+//! diff.
+
+use std::sync::Arc;
+
+use qfe::core::featurize::{AttributeSpace, FeatureMatrix, UniversalConjunctionEncoding};
+use qfe::core::parallel::{with_pool, ThreadPool};
+use qfe::core::TableId;
+use qfe::data::forest::{generate_forest, ForestConfig};
+use qfe::estimators::labels::label_queries;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::ml::matrix::Matrix;
+use qfe::ml::mlp::{Mlp, MlpConfig};
+use qfe::ml::serialize::gbdt_to_bytes;
+use qfe::ml::train::Regressor;
+use qfe::workload::conjunctive::{generate_conjunctive_with_data, ConjunctiveConfig};
+
+fn forest_db(rows: usize) -> qfe::data::Database {
+    generate_forest(&ForestConfig {
+        rows,
+        quantitative_only: true,
+        seed: 0xF0_4E57,
+    })
+}
+
+/// Shared fixture: a featurized forest workload big enough that every
+/// parallel path (row chunks, feature chunks, minibatch grad chunks)
+/// actually fans out rather than falling back to its inline path.
+fn fixture() -> (Matrix, Vec<f32>) {
+    let db = forest_db(1500);
+    let queries = generate_conjunctive_with_data(&db, &ConjunctiveConfig::new(TableId(0), 600, 11));
+    let labeled = label_queries(&db, queries);
+    let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+    let featurizer = UniversalConjunctionEncoding::new(space, 16)
+        .expect("valid featurizer config")
+        .with_attr_sel(true);
+    let fm = FeatureMatrix::build(&featurizer, &labeled.queries);
+    assert_eq!(fm.ok_rows(), fm.rows(), "fixture queries must featurize");
+    let (rows, cols, data, _) = fm.into_raw();
+    let y: Vec<f32> = labeled
+        .cardinalities
+        .iter()
+        .map(|&c| (1.0 + c).ln() as f32)
+        .collect();
+    (Matrix::from_vec(rows, cols, data), y)
+}
+
+fn at_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let pool = Arc::new(ThreadPool::new(threads));
+    with_pool(&pool, f)
+}
+
+#[test]
+fn gbdt_bytes_identical_across_thread_counts() {
+    let (x, y) = fixture();
+    let train = |threads: usize| {
+        at_threads(threads, || {
+            let mut gb = Gbdt::new(GbdtConfig {
+                n_trees: 12,
+                min_samples_leaf: 3,
+                max_leaves: 32,
+                seed: 5,
+                ..GbdtConfig::default()
+            });
+            gb.fit(&x, &y);
+            gbdt_to_bytes(&gb)
+        })
+    };
+    let reference = train(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            train(threads),
+            reference,
+            "GBDT bytes diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn mlp_predictions_identical_across_thread_counts() {
+    let (x, y) = fixture();
+    let train = |threads: usize| {
+        at_threads(threads, || {
+            let mut nn = Mlp::new(MlpConfig {
+                hidden: vec![32, 32],
+                epochs: 3,
+                batch_size: 128,
+                learning_rate: 1e-3,
+                seed: 9,
+            });
+            nn.fit(&x, &y);
+            // Compare raw prediction bits, not just values: NaN-safe and
+            // strict about the last ulp.
+            nn.predict_batch(&x)
+                .into_iter()
+                .map(f32::to_bits)
+                .collect::<Vec<u32>>()
+        })
+    };
+    let reference = train(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            train(threads),
+            reference,
+            "MLP predictions diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn feature_arena_identical_across_thread_counts() {
+    let db = forest_db(800);
+    let queries = generate_conjunctive_with_data(&db, &ConjunctiveConfig::new(TableId(0), 400, 23));
+    let build = |threads: usize| {
+        at_threads(threads, || {
+            let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+            let featurizer = UniversalConjunctionEncoding::new(space, 16)
+                .expect("valid featurizer config")
+                .with_attr_sel(true);
+            let fm = FeatureMatrix::build(&featurizer, &queries);
+            fm.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u32>>()
+        })
+    };
+    let reference = build(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            build(threads),
+            reference,
+            "feature arena diverged at {threads} threads"
+        );
+    }
+}

@@ -264,7 +264,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`]: an exact `usize` or a range.
+    /// Sizes accepted by [`vec()`]: an exact `usize` or a range.
     pub trait SizeRange: Clone + 'static {
         fn pick(&self, rng: &mut StdRng) -> usize;
     }
@@ -293,7 +293,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, Z> {
         element: S,
