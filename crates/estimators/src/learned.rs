@@ -74,6 +74,35 @@ impl LearnedEstimator {
         Ok(())
     }
 
+    /// Interruptible training: like [`fit`](Self::fit), but the model's
+    /// [`try_fit_within`](Regressor::try_fit_within) is used, so
+    /// `should_continue` is polled at the model's safe points (between
+    /// boosting rounds / epochs) and a `false` aborts with
+    /// [`qfe_ml::train::TrainError::Interrupted`] — the estimator is left
+    /// exactly as it was (an already-trained model keeps serving its old
+    /// weights, an untrained one stays untrained). This is the entry
+    /// point a budgeted background-retraining loop calls: the budget
+    /// closure bounds training latency without poisoning the estimator.
+    pub fn fit_within(
+        &mut self,
+        data: &LabeledQueries,
+        should_continue: &mut dyn FnMut() -> bool,
+    ) -> Result<(), QfeError> {
+        if data.is_empty() {
+            return Err(qfe_ml::train::TrainError::EmptyTrainingSet.into());
+        }
+        let x = self.featurize_matrix(&data.queries)?;
+        let scaler = LogScaler::fit(&data.cardinalities)?;
+        let y = scaler.transform_batch(&data.cardinalities);
+        self.model
+            .try_fit_within(&x, &y, should_continue)
+            .map_err(QfeError::from)?;
+        // Only publish the scaler once the model actually trained — on an
+        // interrupted run the estimator must be byte-for-byte unchanged.
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
     /// The underlying featurizer.
     pub fn featurizer(&self) -> &dyn Featurizer {
         self.featurizer.as_ref()
@@ -403,6 +432,30 @@ mod tests {
         for r in &batch {
             assert!(matches!(r, Err(EstimateError::Untrained { .. })), "{r:?}");
         }
+    }
+
+    #[test]
+    fn fit_within_interruption_leaves_the_estimator_unchanged() {
+        let db = db();
+        let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+        let mut est = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, 8).unwrap()),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: 10,
+                ..GbdtConfig::default()
+            })),
+        );
+        let data = label_queries(&db, (0..40).map(|i| range_query(i, i + 10)).collect());
+        // A budget that expires immediately: the estimator must stay
+        // untrained (no scaler published, typed Untrained on estimate).
+        let err = est.fit_within(&data, &mut || false).unwrap_err();
+        assert!(matches!(err, QfeError::Training(_)), "{err:?}");
+        assert!(!est.is_trained());
+        assert!(est.try_estimate(&range_query(0, 10)).is_err());
+        // An unconstrained budget trains to completion.
+        est.fit_within(&data, &mut || true).unwrap();
+        assert!(est.is_trained());
+        assert!(est.try_estimate(&range_query(0, 10)).is_ok());
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub enum RegressorFault {
     /// Replace the prediction with a finite but absurd magnitude
     /// (±1e30) — the kind of silent garbage a divergent model emits.
     Garbage,
+    /// Training rounds that never finish: `try_fit_within` spins forever,
+    /// polling `should_continue` between (optionally real-time-stalled)
+    /// virtual rounds, and only the caller's budget saying "stop" ends it
+    /// with [`TrainError::Interrupted`]. This is the fault a budgeted
+    /// retraining loop exists for — a test that survives it has proven
+    /// its budget is actually enforced, because nothing else terminates
+    /// the call. Predictions and the unbudgeted `fit`/`try_fit` paths
+    /// pass through untouched.
+    SlowTrain,
 }
 
 fn splitmix64(mut z: u64) -> u64 {
@@ -50,6 +59,7 @@ pub struct ChaosRegressor<M> {
     rate: f64,
     seed: u64,
     calls: AtomicU64,
+    stall: std::time::Duration,
 }
 
 impl<M: Regressor> ChaosRegressor<M> {
@@ -62,7 +72,19 @@ impl<M: Regressor> ChaosRegressor<M> {
             rate: rate.clamp(0.0, 1.0),
             seed,
             calls: AtomicU64::new(0),
+            stall: std::time::Duration::ZERO,
         }
+    }
+
+    /// Real time burned per virtual [`RegressorFault::SlowTrain`] round
+    /// (default: none). Tests on an injected, auto-advancing clock keep
+    /// this at zero so the stall is purely virtual and the test is
+    /// instant; wall-clock stress runs set a small real stall so the
+    /// budget enforcement is exercised against a genuinely blocked
+    /// thread.
+    pub fn with_stall(mut self, stall: std::time::Duration) -> Self {
+        self.stall = stall;
+        self
     }
 
     /// The wrapped regressor.
@@ -81,7 +103,17 @@ impl<M: Regressor> ChaosRegressor<M> {
                     -1e30
                 }
             }
+            // SlowTrain is a training-path fault; predictions flow
+            // through untouched even when it fires.
+            RegressorFault::SlowTrain => original,
         }
+    }
+
+    /// Whether the per-call fault fires for the call numbered by the
+    /// shared counter (pure in `(seed, call)`, like every other chaos
+    /// draw in this workspace).
+    fn call_fires(&self, call: u64) -> bool {
+        unit(self.seed, call, u64::MAX) < self.rate
     }
 }
 
@@ -92,6 +124,35 @@ impl<M: Regressor> Regressor for ChaosRegressor<M> {
 
     fn try_fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrainError> {
         self.inner.try_fit(x, y)
+    }
+
+    /// Budgeted training with the [`RegressorFault::SlowTrain`] hook: when
+    /// the fault fires for this call, the method never finishes on its
+    /// own — it spins through virtual rounds (each optionally burning
+    /// [`with_stall`](ChaosRegressor::with_stall) of real time), polling
+    /// `should_continue` between rounds, until the budget aborts it with
+    /// [`TrainError::Interrupted`]. The model is left untouched, honoring
+    /// the no-poisoning contract.
+    fn try_fit_within(
+        &mut self,
+        x: &Matrix,
+        y: &[f32],
+        should_continue: &mut dyn FnMut() -> bool,
+    ) -> Result<(), TrainError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.fault == RegressorFault::SlowTrain && self.call_fires(call) {
+            let mut round = 0usize;
+            loop {
+                if !should_continue() {
+                    return Err(TrainError::Interrupted { round });
+                }
+                if !self.stall.is_zero() {
+                    std::thread::sleep(self.stall);
+                }
+                round = round.saturating_add(1);
+            }
+        }
+        self.inner.try_fit_within(x, y, should_continue)
     }
 
     fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
@@ -182,6 +243,49 @@ mod tests {
             .map(|v| v.is_nan())
             .collect();
         assert_ne!(m1, m2, "fault pattern should vary across calls");
+    }
+
+    #[test]
+    fn slow_train_spins_until_the_budget_says_stop() {
+        let mut chaos =
+            ChaosRegressor::new(LinearRegression::new(0), RegressorFault::SlowTrain, 1.0, 5);
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let y = [1.0, 2.0];
+        // A virtual budget of 100 polls: training must end via
+        // Interrupted, not by completing.
+        let mut polls = 0u32;
+        let err = chaos
+            .try_fit_within(&x, &y, &mut || {
+                polls += 1;
+                polls <= 100
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, TrainError::Interrupted { round: 100 }),
+            "{err:?}"
+        );
+        assert_eq!(polls, 101, "one poll per round plus the aborting one");
+        // The model was never touched (no-poisoning): fitting now works
+        // exactly like on a fresh model.
+        assert!(chaos.try_fit(&x, &y).is_ok());
+    }
+
+    #[test]
+    fn slow_train_at_rate_zero_trains_normally_and_predicts_cleanly() {
+        let mut chaos =
+            ChaosRegressor::new(LinearRegression::new(0), RegressorFault::SlowTrain, 0.0, 5);
+        let x = Matrix::from_rows(&(0..16).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let y: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        chaos
+            .try_fit_within(&x, &y, &mut || true)
+            .expect("rate 0 never stalls");
+        // SlowTrain is a training fault only: predictions pass through
+        // even at rate 1.0.
+        let always = ChaosRegressor::new(fitted_linreg(), RegressorFault::SlowTrain, 1.0, 5);
+        assert_eq!(
+            always.predict_batch(&probe()),
+            fitted_linreg().predict_batch(&probe())
+        );
     }
 
     #[test]

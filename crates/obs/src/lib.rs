@@ -27,19 +27,24 @@
 //!
 //! [`QErrorWindow`] adds the accuracy axis: a sliding window of q-errors
 //! fed whenever ground truth becomes available, so model drift is visible
-//! at runtime. [`ObservedFeaturizer`] wraps any
+//! at runtime. [`PageHinkley`] turns that feed into a *decision* signal —
+//! a deterministic cumulative test that latches when the mean q-error
+//! shifts upward, which is what the serving layer's adaptation controller
+//! keys retraining off. [`ObservedFeaturizer`] wraps any
 //! [`qfe_core::featurize::Featurizer`] with per-QFT encode-latency
 //! recording.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
+pub mod drift;
 pub mod hist;
 pub mod observed;
 pub mod qerror;
 pub mod recorder;
 pub mod snapshot;
 
+pub use drift::{PageHinkley, PageHinkleyConfig, PageHinkleyStats};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use observed::ObservedFeaturizer;
 pub use qerror::QErrorWindow;

@@ -153,4 +153,67 @@ mod tests {
         assert_eq!(w.len(), 1);
         assert_eq!(w.summary().expect("non-empty").max, 4.0);
     }
+
+    /// A single sample must yield a full summary where every percentile
+    /// equals that sample — no NaN, no panic from degenerate indexing.
+    #[test]
+    fn single_sample_percentiles_are_that_sample() {
+        let w = QErrorWindow::new(16);
+        assert!(w.observe(100.0, 50.0)); // q = 2
+        let s = w.summary().expect("one sample is summarizable");
+        assert_eq!(s.count, 1);
+        for v in [s.mean, s.median, s.p90, s.p95, s.p99, s.min, s.max] {
+            assert_eq!(v, 2.0, "{s:?}");
+        }
+    }
+
+    /// All-identical samples: percentile derivation must not divide by a
+    /// zero spread or produce NaN anywhere in the summary.
+    #[test]
+    fn all_identical_samples_summarize_cleanly() {
+        let w = QErrorWindow::new(8);
+        for _ in 0..8 {
+            assert!(w.observe(10.0, 10.0)); // q = 1 exactly, 8 times
+        }
+        let s = w.summary().expect("non-empty");
+        assert_eq!(s.count, 8);
+        for v in [s.mean, s.median, s.p90, s.p95, s.p99, s.min, s.max] {
+            assert!(v.is_finite(), "{s:?}");
+            assert_eq!(v, 1.0, "{s:?}");
+        }
+    }
+
+    /// Wrap the ring several times over: the deque's two internal slices
+    /// (`as_slices`) must both be summarized, and the summary must cover
+    /// exactly the last `capacity` observations.
+    #[test]
+    fn window_wrap_around_keeps_exactly_the_most_recent() {
+        let w = QErrorWindow::new(4);
+        // 3 full wraps plus a partial one; q-errors are 1, 2, 3, ... 14.
+        for q in 1..=14u32 {
+            assert!(w.observe(q as f64, 1.0));
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.observed(), 14);
+        let s = w.summary().expect("non-empty");
+        // Only {11, 12, 13, 14} remain.
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 11.0);
+        assert_eq!(s.max, 14.0);
+        assert_eq!(s.median, 12.5);
+        assert!(s.mean.is_finite() && (s.mean - 12.5).abs() < 1e-12);
+    }
+
+    /// Zero and negative truths are *accepted* here (q_error clamps both
+    /// sides to >= 1), which is exactly why the serving layer's
+    /// `observe_truth` guard rejects them before they reach the window: a
+    /// zero-truth query against a large estimate would otherwise inject a
+    /// huge, meaningless q-error into the percentiles.
+    #[test]
+    fn clamped_inputs_document_the_service_level_guard() {
+        let w = QErrorWindow::new(4);
+        assert!(w.observe(0.0, 1e9));
+        let s = w.summary().expect("non-empty");
+        assert_eq!(s.max, 1e9, "clamping makes garbage look like signal");
+    }
 }

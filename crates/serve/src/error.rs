@@ -108,6 +108,47 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Why a ground-truth observation was rejected by
+/// [`crate::EstimatorService::observe_truth`] before reaching the q-error
+/// window or the adaptation feedback loop.
+///
+/// The underlying [`qfe_core::metrics::q_error`] clamps both sides to
+/// ≥ 1, so a zero or negative truth would not error — it would silently
+/// turn into an enormous, meaningless q-error and poison both the drift
+/// detector and any model retrained on it. This guard exists so garbage
+/// is *named and counted* (`obs.truth.rejected`) instead of laundered
+/// into signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackError {
+    /// The reported truth was NaN or ±∞.
+    NonFiniteTruth,
+    /// The reported truth was zero or negative — cardinalities are
+    /// counts; a non-positive one is an upstream bug, not a small value.
+    NonPositiveTruth,
+    /// The reported truth was finite but absurdly large (> 1e18, beyond
+    /// any real row count) — the signature of an overflowed or corrupted
+    /// counter upstream.
+    AbsurdTruth,
+    /// The paired estimate was NaN or ±∞; the pair is dropped whole so a
+    /// broken estimate cannot fabricate a q-error against a valid truth.
+    NonFiniteEstimate,
+}
+
+impl fmt::Display for FeedbackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedbackError::NonFiniteTruth => write!(f, "truth is non-finite"),
+            FeedbackError::NonPositiveTruth => write!(f, "truth is zero or negative"),
+            FeedbackError::AbsurdTruth => {
+                write!(f, "truth exceeds any plausible cardinality (> 1e18)")
+            }
+            FeedbackError::NonFiniteEstimate => write!(f, "paired estimate is non-finite"),
+        }
+    }
+}
+
+impl std::error::Error for FeedbackError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,11 @@
 //! - **validated hot swap** ([`slot::ModelSlot`]) — retrained models are
 //!   published atomically, and only after passing a checksum gate and a
 //!   probe workload;
+//! - **closed-loop adaptation** ([`adapt::AdaptController`]) — ground
+//!   truth fed back through the service drives Page-Hinkley drift
+//!   detection, budgeted retraining, shadow validation, and probationary
+//!   swaps with automatic rollback — accuracy self-heals without a
+//!   restart, and a broken trainer can never take serving down;
 //! - **micro-batching** ([`batch::MicroBatcher`]) — singleton arrivals
 //!   are coalesced by a worker pool into batched stage calls
 //!   ([`EstimatorService::estimate_batch`](service::EstimatorService::estimate_batch)),
@@ -30,15 +35,20 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
+pub mod adapt;
 pub mod admission;
 pub mod batch;
 pub mod error;
 pub mod service;
 pub mod slot;
 
+pub use adapt::{
+    spawn_adaptation, AdaptConfig, AdaptController, AdaptHandle, AdaptPhase, AdaptStats,
+    CandidateTrainer, FeedbackSink, StepReport,
+};
 pub use admission::AdmissionStats;
 pub use batch::{BatcherStats, MicroBatcher};
-pub use error::{OverloadKind, ServeError, ShedPolicy};
+pub use error::{FeedbackError, OverloadKind, ServeError, ShedPolicy};
 pub use service::{
     EstimatorService, ServiceConfig, ServiceStats, StageServiceStats, BATCH_SIZE_METRIC,
     REQUEST_LATENCY_METRIC,

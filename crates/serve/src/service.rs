@@ -29,7 +29,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use qfe_core::error::EstimateErrorKind;
@@ -38,9 +38,14 @@ use qfe_core::{Deadline, Query};
 use qfe_estimators::breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
 use qfe_obs::{MetricsRecorder, MetricsSnapshot, QErrorWindow, Recorder};
 
+use crate::adapt::FeedbackSink;
 use crate::admission::{AdmissionQueue, AdmissionStats};
-use crate::error::{ServeError, ShedPolicy};
+use crate::error::{FeedbackError, ServeError, ShedPolicy};
 use crate::slot::SharedEstimator;
+
+/// Truths above this are treated as corrupted upstream counters (no real
+/// table has 10^18 rows) and rejected as [`FeedbackError::AbsurdTruth`].
+const ABSURD_TRUTH: f64 = 1e18;
 
 /// Tuning for an [`EstimatorService`].
 #[derive(Debug, Clone)]
@@ -211,6 +216,12 @@ pub struct EstimatorService {
     batched_requests: AtomicU64,
     recorder: Arc<MetricsRecorder>,
     qerror: QErrorWindow,
+    truth_rejected: AtomicU64,
+    /// Optional downstream consumer of sanitized (query, truth) pairs —
+    /// the adaptation controller. Behind a lock because it is attached
+    /// once at wiring time and read rarely (per ground-truth arrival,
+    /// not per estimate).
+    feedback: RwLock<Option<Arc<dyn FeedbackSink>>>,
     /// Retained so a [`crate::batch::MicroBatcher`] can read its tuning.
     cfg: ServiceConfig,
 }
@@ -258,6 +269,8 @@ impl EstimatorService {
             batched_requests: AtomicU64::new(0),
             recorder,
             qerror: QErrorWindow::new(cfg.qerror_window),
+            truth_rejected: AtomicU64::new(0),
+            feedback: RwLock::new(None),
             cfg,
         }
     }
@@ -625,12 +638,84 @@ impl EstimatorService {
     }
 
     /// Feed the online q-error tracker with a ground-truth cardinality
-    /// and the estimate the service produced for it. Returns `false` if
-    /// the pair was rejected (non-finite input). The tracker summarizes
-    /// the most recent `qerror_window` observations in
+    /// and the estimate the service produced for it.
+    ///
+    /// Pairs are *validated before* they reach the window: a NaN, zero,
+    /// negative, or absurdly large truth (or a non-finite estimate) is
+    /// rejected with a typed [`FeedbackError`] and counted under
+    /// `obs.truth.rejected` — never recorded. The underlying q-error
+    /// clamps both sides to ≥ 1, so without this gate a zero truth
+    /// against a large estimate would masquerade as a catastrophic (but
+    /// fictional) accuracy collapse and could trip drift detection or
+    /// poison retraining. The tracker summarizes the most recent
+    /// `qerror_window` accepted observations in
     /// [`metrics`](Self::metrics).
-    pub fn observe_truth(&self, truth: f64, estimate: f64) -> bool {
-        self.qerror.observe(truth, estimate)
+    pub fn observe_truth(&self, truth: f64, estimate: f64) -> Result<(), FeedbackError> {
+        if let Err(e) = Self::validate_truth(truth, estimate) {
+            self.truth_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        self.qerror.observe(truth, estimate);
+        Ok(())
+    }
+
+    /// [`observe_truth`](Self::observe_truth) plus feedback routing: on
+    /// acceptance the sanitized `(query, truth, estimate)` triple is also
+    /// forwarded to the attached [`FeedbackSink`] (the adaptation
+    /// controller), which is how retraining data and drift evidence
+    /// accumulate. Rejected pairs are counted and never forwarded — the
+    /// sink only ever sees sanitized labels.
+    pub fn observe_labeled(
+        &self,
+        query: &Query,
+        truth: f64,
+        estimate: f64,
+    ) -> Result<(), FeedbackError> {
+        self.observe_truth(truth, estimate)?;
+        let sink = {
+            let guard = self.feedback.read().unwrap_or_else(|e| e.into_inner());
+            guard.as_ref().map(Arc::clone)
+        };
+        if let Some(sink) = sink {
+            sink.feedback(query, truth, estimate);
+        }
+        Ok(())
+    }
+
+    /// Wire an adaptation controller into this service in one call: the
+    /// controller becomes the feedback sink for
+    /// [`observe_labeled`](Self::observe_labeled), and its `adapt.*`
+    /// lifecycle metrics (plus the underlying slot's `slot.*` swap
+    /// events) are routed into this service's recorder, so
+    /// [`metrics`](Self::metrics) shows the whole control loop.
+    pub fn attach_adaptation(&self, controller: &Arc<crate::adapt::AdaptController>) {
+        controller.set_recorder(Arc::clone(&self.recorder) as Arc<dyn Recorder>, "adapt");
+        self.attach_feedback(Arc::clone(controller) as Arc<dyn FeedbackSink>);
+    }
+
+    /// Attach the consumer of sanitized ground-truth labels (one sink;
+    /// a second attach replaces the first).
+    pub fn attach_feedback(&self, sink: Arc<dyn FeedbackSink>) {
+        match self.feedback.write() {
+            Ok(mut g) => *g = Some(sink),
+            Err(poisoned) => *poisoned.into_inner() = Some(sink),
+        }
+    }
+
+    fn validate_truth(truth: f64, estimate: f64) -> Result<(), FeedbackError> {
+        if !truth.is_finite() {
+            return Err(FeedbackError::NonFiniteTruth);
+        }
+        if truth <= 0.0 {
+            return Err(FeedbackError::NonPositiveTruth);
+        }
+        if truth > ABSURD_TRUTH {
+            return Err(FeedbackError::AbsurdTruth);
+        }
+        if !estimate.is_finite() {
+            return Err(FeedbackError::NonFiniteEstimate);
+        }
+        Ok(())
     }
 
     /// One [`MetricsSnapshot`] over the whole pipeline: request/stage
@@ -650,6 +735,10 @@ impl EstimatorService {
         snap.merge_counter("serve.queue.timeouts", stats.admission.queue_timeouts);
         snap.merge_counter("serve.batch.drains", stats.batch_drains);
         snap.merge_counter("serve.batched_requests", stats.batched_requests);
+        snap.merge_counter(
+            "obs.truth.rejected",
+            self.truth_rejected.load(Ordering::Relaxed),
+        );
         for (i, stage) in stats.stages.iter().enumerate() {
             snap.merge_counter(&format!("serve.stage{i}.hits"), stage.hits);
             snap.merge_counter(&format!("serve.stage{i}.timeouts"), stage.timeouts);
@@ -910,7 +999,7 @@ mod tests {
         );
         for _ in 0..10 {
             let e = svc.estimate(&q()).unwrap();
-            assert!(svc.observe_truth(10.0, e.value));
+            svc.observe_truth(10.0, e.value).unwrap();
         }
         let m = svc.metrics();
         // End-to-end and per-stage latency histograms are populated.
@@ -944,11 +1033,78 @@ mod tests {
     }
 
     #[test]
-    fn observe_truth_rejects_non_finite_pairs() {
+    fn observe_truth_rejects_garbage_with_typed_errors_and_counts_it() {
         let svc = EstimatorService::new(vec![Arc::new(Constant(2.0))], ServiceConfig::default());
-        assert!(!svc.observe_truth(f64::NAN, 2.0));
-        assert!(!svc.observe_truth(10.0, f64::INFINITY));
-        assert!(svc.metrics().qerror.is_none());
+        assert_eq!(
+            svc.observe_truth(f64::NAN, 2.0),
+            Err(FeedbackError::NonFiniteTruth)
+        );
+        assert_eq!(
+            svc.observe_truth(f64::INFINITY, 2.0),
+            Err(FeedbackError::NonFiniteTruth)
+        );
+        assert_eq!(
+            svc.observe_truth(0.0, 2.0),
+            Err(FeedbackError::NonPositiveTruth)
+        );
+        assert_eq!(
+            svc.observe_truth(-5.0, 2.0),
+            Err(FeedbackError::NonPositiveTruth)
+        );
+        assert_eq!(
+            svc.observe_truth(1e19, 2.0),
+            Err(FeedbackError::AbsurdTruth)
+        );
+        assert_eq!(
+            svc.observe_truth(10.0, f64::INFINITY),
+            Err(FeedbackError::NonFiniteEstimate)
+        );
+        assert_eq!(
+            svc.observe_truth(10.0, f64::NAN),
+            Err(FeedbackError::NonFiniteEstimate)
+        );
+        let m = svc.metrics();
+        assert_eq!(m.counter("obs.truth.rejected"), 7);
+        assert!(m.qerror.is_none(), "nothing garbage reached the window");
+        // Boundary values are legitimate and accepted.
+        svc.observe_truth(1e18, 2.0).unwrap();
+        svc.observe_truth(f64::MIN_POSITIVE, 2.0).unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.counter("obs.truth.rejected"), 7);
+        assert_eq!(m.qerror.as_ref().map(|s| s.count), Some(2));
+    }
+
+    #[test]
+    fn observe_labeled_forwards_only_sanitized_pairs_to_the_sink() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<(f64, f64)>>);
+        impl FeedbackSink for Capture {
+            fn feedback(&self, _query: &Query, truth: f64, estimate: f64) {
+                self.0
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((truth, estimate));
+            }
+        }
+        let svc = EstimatorService::new(vec![Arc::new(Constant(2.0))], ServiceConfig::default());
+        let sink = Arc::new(Capture::default());
+        svc.attach_feedback(Arc::clone(&sink) as Arc<dyn FeedbackSink>);
+
+        svc.observe_labeled(&q(), 10.0, 2.0).unwrap();
+        assert_eq!(
+            svc.observe_labeled(&q(), 0.0, 2.0),
+            Err(FeedbackError::NonPositiveTruth)
+        );
+        assert_eq!(
+            svc.observe_labeled(&q(), f64::NAN, 2.0),
+            Err(FeedbackError::NonFiniteTruth)
+        );
+        svc.observe_labeled(&q(), 20.0, 4.0).unwrap();
+
+        let seen = sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        assert_eq!(seen, vec![(10.0, 2.0), (20.0, 4.0)]);
+        assert_eq!(svc.metrics().counter("obs.truth.rejected"), 2);
     }
 
     #[test]

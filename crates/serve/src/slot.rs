@@ -27,6 +27,7 @@ use qfe_ml::gbdt::Gbdt;
 use qfe_ml::matrix::Matrix;
 use qfe_ml::serialize::{gbdt_from_bytes, DecodeError};
 use qfe_ml::train::Regressor;
+use qfe_obs::Recorder;
 
 /// Why a candidate model was refused publication.
 #[derive(Debug, PartialEq)]
@@ -96,6 +97,19 @@ pub struct ModelSlot {
     generation: AtomicU64,
     published: AtomicU64,
     rejected: AtomicU64,
+    rolled_back: AtomicU64,
+    events: RwLock<Option<SlotEvents>>,
+}
+
+/// Precomputed metric names + sink for slot lifecycle events. Names are
+/// built once in [`ModelSlot::set_recorder`] so the swap path never
+/// allocates for metrics.
+struct SlotEvents {
+    recorder: Arc<dyn Recorder>,
+    accepted: String,
+    rejected: String,
+    rolled_back: String,
+    generation: String,
 }
 
 impl ModelSlot {
@@ -106,6 +120,40 @@ impl ModelSlot {
             generation: AtomicU64::new(0),
             published: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            rolled_back: AtomicU64::new(0),
+            events: RwLock::new(None),
+        }
+    }
+
+    /// Route slot lifecycle events to `recorder` under `prefix`:
+    /// `{prefix}.swap.accepted`, `{prefix}.swap.rejected`,
+    /// `{prefix}.swap.rolled_back` (counters) and `{prefix}.generation`
+    /// (gauge, set on every publication). The gauge is also set once
+    /// here so a slot that never swaps still reports its generation.
+    pub fn set_recorder(&self, recorder: Arc<dyn Recorder>, prefix: &str) {
+        let events = SlotEvents {
+            accepted: format!("{prefix}.swap.accepted"),
+            rejected: format!("{prefix}.swap.rejected"),
+            rolled_back: format!("{prefix}.swap.rolled_back"),
+            generation: format!("{prefix}.generation"),
+            recorder,
+        };
+        events
+            .recorder
+            .set_gauge(&events.generation, self.generation());
+        match self.events.write() {
+            Ok(mut g) => *g = Some(events),
+            Err(poisoned) => *poisoned.into_inner() = Some(events),
+        }
+    }
+
+    fn emit<F: Fn(&SlotEvents)>(&self, f: F) {
+        let guard = match self.events.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(events) = guard.as_ref() {
+            f(events);
         }
     }
 
@@ -128,12 +176,18 @@ impl ModelSlot {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// `(published, rejected)` swap attempts so far.
+    /// `(published, rejected)` swap attempts so far. Publications made by
+    /// [`try_rollback`](ModelSlot::try_rollback) count in `published`.
     pub fn swap_counts(&self) -> (u64, u64) {
         (
             self.published.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
         )
+    }
+
+    /// Publications that were rollbacks to a previously pinned model.
+    pub fn rollback_count(&self) -> u64 {
+        self.rolled_back.load(Ordering::Relaxed)
     }
 
     /// Validate `candidate` on `probe` and, if it passes, publish it
@@ -154,13 +208,34 @@ impl ModelSlot {
                     Err(poisoned) => *poisoned.into_inner() = candidate,
                 }
                 self.published.fetch_add(1, Ordering::Relaxed);
-                Ok(self.generation.fetch_add(1, Ordering::AcqRel) + 1)
+                let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+                self.emit(|ev| {
+                    ev.recorder.incr(&ev.accepted);
+                    ev.recorder.set_gauge(&ev.generation, generation);
+                });
+                Ok(generation)
             }
             Err(e) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.emit(|ev| ev.recorder.incr(&ev.rejected));
                 Err(e)
             }
         }
+    }
+
+    /// Re-publish a previously pinned model — the rollback half of the
+    /// probation protocol. The pinned model goes through the *same* probe
+    /// gate as any candidate (a model that was healthy a generation ago
+    /// is not automatically healthy now), and the publication bumps the
+    /// generation forward: rollback is a new generation serving an old
+    /// model, never a rewind of the counter. Counted separately in
+    /// [`rollback_count`](ModelSlot::rollback_count) and the
+    /// `{prefix}.swap.rolled_back` metric.
+    pub fn try_rollback(&self, pinned: SharedEstimator, probe: &[Query]) -> Result<u64, SwapError> {
+        let generation = self.try_publish(pinned, probe)?;
+        self.rolled_back.fetch_add(1, Ordering::Relaxed);
+        self.emit(|ev| ev.recorder.incr(&ev.rolled_back));
+        Ok(generation)
     }
 
     fn validate(candidate: &SharedEstimator, probe: &[Query]) -> Result<(), SwapError> {
@@ -297,6 +372,44 @@ mod tests {
             .unwrap();
         assert_eq!(pinned.estimate(&probe()[0]), 10.0, "old Arc still alive");
         assert_eq!(slot.estimate(&probe()[0]), 20.0, "slot serves the new one");
+    }
+
+    #[test]
+    fn rollback_republishes_the_pinned_model_as_a_new_generation() {
+        let slot = ModelSlot::new(Arc::new(Constant(10.0)));
+        let pinned = slot.load();
+        slot.try_publish(Arc::new(Constant(20.0)), &probe())
+            .unwrap();
+        let g = slot.try_rollback(pinned, &probe()).unwrap();
+        assert_eq!(g, 2, "rollback moves the generation forward, never back");
+        assert_eq!(slot.estimate(&probe()[0]), 10.0, "old model serves again");
+        assert_eq!(slot.rollback_count(), 1);
+        assert_eq!(slot.swap_counts(), (2, 0), "rollback is also a publication");
+        // A rollback to a now-broken model is refused like any candidate.
+        let bad = slot.try_rollback(Arc::new(Panicky), &probe());
+        assert!(matches!(bad, Err(SwapError::ProbeFailed { .. })), "{bad:?}");
+        assert_eq!(slot.rollback_count(), 1);
+        assert_eq!(slot.estimate(&probe()[0]), 10.0);
+    }
+
+    #[test]
+    fn recorder_sees_swap_lifecycle_events() {
+        use qfe_obs::MetricsRecorder;
+        let slot = ModelSlot::new(Arc::new(Constant(10.0)));
+        let rec = Arc::new(MetricsRecorder::new());
+        slot.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>, "slot");
+        assert_eq!(rec.gauge("slot.generation"), 0, "gauge primed on attach");
+
+        let pinned = slot.load();
+        slot.try_publish(Arc::new(Constant(20.0)), &probe())
+            .unwrap();
+        let _ = slot.try_publish(Arc::new(Constant(f64::NAN)), &probe());
+        slot.try_rollback(pinned, &probe()).unwrap();
+
+        assert_eq!(rec.counter("slot.swap.accepted"), 2);
+        assert_eq!(rec.counter("slot.swap.rejected"), 1);
+        assert_eq!(rec.counter("slot.swap.rolled_back"), 1);
+        assert_eq!(rec.gauge("slot.generation"), 2);
     }
 
     #[test]

@@ -179,7 +179,7 @@ fn main() {
                     match svc.estimate_within(q, Deadline::within(Duration::from_millis(20))) {
                         Ok(est) => {
                             assert!(est.value.is_finite() && est.value >= 1.0);
-                            svc.observe_truth(truth, est.value);
+                            let _ = svc.observe_truth(truth, est.value);
                             ok += 1;
                         }
                         Err(ServeError::DeadlineExceeded { .. }) => deadline += 1,

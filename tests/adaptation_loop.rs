@@ -1,0 +1,639 @@
+//! End-to-end adaptation loop: the serving stack heals its own accuracy.
+//!
+//! These tests wire a real [`EstimatorService`] (learned GBDT behind a
+//! [`ModelSlot`]) to an [`AdaptController`] and drive ground truth through
+//! `observe_labeled`, exactly as production feedback would flow. Every
+//! scenario is deterministic: seeded data, seeded workloads, and an
+//! injectable auto-advancing clock instead of wall time.
+//!
+//! Covered arcs of the state machine:
+//! - sustained drift → suspicion → confirmation → retrain → shadow accept
+//!   → swap, with post-swap accuracy measurably better than no adaptation;
+//! - a worse candidate bounces off shadow scoring and the live model keeps
+//!   serving untouched;
+//! - a post-swap regression during probation rolls back to the pinned
+//!   previous generation;
+//! - a panicking trainer and a chaos-stalled trainer (`SlowTrain`) are
+//!   contained by `catch_unwind` and the clock budget while concurrent
+//!   requests keep being answered;
+//! - the conservation invariant
+//!   `retrain_triggered == shadow_accepted + shadow_rejected +
+//!   shadow_inconclusive + retrain_aborted` holds across mixed outcomes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qfe::core::featurize::{AttributeSpace, UniversalConjunctionEncoding};
+use qfe::core::metrics::q_error;
+use qfe::core::{CardinalityEstimator, Deadline, Query, TableId};
+use qfe::data::forest::{generate_forest, ForestConfig};
+use qfe::data::table::Database;
+use qfe::estimators::labels::{label_queries, LabeledQueries};
+use qfe::estimators::LearnedEstimator;
+use qfe::ml::chaos::{ChaosRegressor, RegressorFault};
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::obs::PageHinkleyConfig;
+use qfe::serve::{
+    install_quiet_panic_hook, AdaptConfig, AdaptController, CandidateTrainer, EstimatorService,
+    FeedbackError, FeedbackSink, ModelSlot, ServiceConfig, SharedEstimator, StepReport,
+};
+use qfe::workload::{generate_conjunctive, ConjunctiveConfig};
+
+const TABLE: TableId = TableId(0);
+const BUDGET: Duration = Duration::from_secs(5);
+
+/// Auto-advancing virtual clock: every read moves `step_ms` of virtual
+/// time, so budget-polling loops terminate without real sleeping.
+fn auto_clock(step_ms: u64) -> Arc<dyn Fn() -> Duration + Send + Sync> {
+    let ticks = AtomicU64::new(0);
+    Arc::new(move || {
+        let t = ticks.fetch_add(1, Ordering::Relaxed);
+        Duration::from_millis(t * step_ms)
+    })
+}
+
+struct Constant(f64);
+impl CardinalityEstimator for Constant {
+    fn name(&self) -> String {
+        "constant".into()
+    }
+    fn estimate(&self, _q: &Query) -> f64 {
+        self.0
+    }
+}
+
+fn fresh_learned(db: &Database, n_trees: usize) -> LearnedEstimator {
+    let space = AttributeSpace::for_table(db.catalog(), TABLE);
+    LearnedEstimator::new(
+        Box::new(UniversalConjunctionEncoding::new(space, 8).expect("valid featurizer config")),
+        Box::new(Gbdt::new(GbdtConfig {
+            n_trees,
+            ..GbdtConfig::default()
+        })),
+    )
+}
+
+/// A real retraining trainer: fits a fresh GBDT on the reservoir pairs,
+/// honoring the controller's budget via `fit_within`.
+fn gbdt_trainer(db: Arc<Database>) -> Arc<dyn CandidateTrainer> {
+    Arc::new(
+        move |data: &[(Query, f64)],
+              sc: &mut dyn FnMut() -> bool|
+              -> Result<SharedEstimator, Box<dyn std::error::Error + Send + Sync>> {
+            let labeled = LabeledQueries {
+                queries: data.iter().map(|(q, _)| q.clone()).collect(),
+                cardinalities: data.iter().map(|(_, t)| *t).collect(),
+            };
+            let mut model = fresh_learned(&db, 10);
+            model.fit_within(&labeled, sc).map_err(|e| e.to_string())?;
+            Ok(Arc::new(model) as SharedEstimator)
+        },
+    )
+}
+
+/// Everything one scenario needs: a service over a slot-fronted learned
+/// model, a labeled seeded workload, and the database.
+struct Harness {
+    db: Arc<Database>,
+    labeled: LabeledQueries,
+    slot: Arc<ModelSlot>,
+    svc: Arc<EstimatorService>,
+}
+
+fn harness() -> Harness {
+    let db = Arc::new(generate_forest(&ForestConfig {
+        rows: 2_000,
+        quantitative_only: true,
+        seed: 11,
+    }));
+    // Labeling drops empty-result queries, so over-generate and trim to a
+    // fixed 240 so every scenario's index ranges are stable.
+    let mut labeled = label_queries(
+        &db,
+        generate_conjunctive(db.catalog(), &ConjunctiveConfig::new(TABLE, 700, 23)),
+    );
+    assert!(
+        labeled.len() >= 240,
+        "workload too small: {}",
+        labeled.len()
+    );
+    labeled.queries.truncate(240);
+    labeled.cardinalities.truncate(240);
+    let mut live = fresh_learned(&db, 10);
+    let train = LabeledQueries {
+        queries: labeled.queries[..60].to_vec(),
+        cardinalities: labeled.cardinalities[..60].to_vec(),
+    };
+    live.fit(&train).expect("seed training");
+    let slot = Arc::new(ModelSlot::new(Arc::new(live) as SharedEstimator));
+    let svc = Arc::new(EstimatorService::new(
+        vec![Arc::clone(&slot) as SharedEstimator],
+        ServiceConfig {
+            max_concurrency: 8,
+            queue_capacity: 64,
+            default_budget: BUDGET,
+            ..ServiceConfig::default()
+        },
+    ));
+    Harness {
+        db,
+        labeled,
+        slot,
+        svc,
+    }
+}
+
+fn adapt_cfg() -> AdaptConfig {
+    AdaptConfig {
+        // Small enough that the drifted phase fully displaces the healthy
+        // pairs before retraining sees the reservoir.
+        reservoir_capacity: 96,
+        detector: PageHinkleyConfig {
+            delta: 0.05,
+            lambda: 3.0,
+            min_samples: 20,
+        },
+        confirm_window: 10,
+        cooldown: Duration::ZERO,
+        train_budget: Duration::from_secs(2),
+        min_train_samples: 32,
+        holdout_fraction: 0.25,
+        min_holdout: 8,
+        shadow_z: 1.0,
+        min_improvement: 0.95,
+        probation_samples: 16,
+        rollback_ratio: 4.0,
+    }
+}
+
+/// Answer `queries[range]` through the service and feed each back with
+/// `truth × drift`, as if the underlying data grew by that factor.
+fn serve_and_feed(
+    h: &Harness,
+    range: std::ops::Range<usize>,
+    drift: f64,
+) -> Vec<Result<(), FeedbackError>> {
+    range
+        .map(|i| {
+            let query = &h.labeled.queries[i];
+            let est = h
+                .svc
+                .estimate_within(query, Deadline::within(BUDGET))
+                .expect("service answers within a generous budget");
+            h.svc
+                .observe_labeled(query, h.labeled.cardinalities[i] * drift, est.value)
+        })
+        .collect()
+}
+
+/// Feed drifted chunks and step the controller until `stop` matches a
+/// report (or the range is exhausted); returns every report seen.
+fn drive_until(
+    h: &Harness,
+    ctl: &AdaptController,
+    range: std::ops::Range<usize>,
+    drift: f64,
+    stop: impl Fn(&StepReport) -> bool,
+) -> Vec<StepReport> {
+    let mut reports = Vec::new();
+    let (start, end) = (range.start, range.end);
+    let mut i = start;
+    while i < end {
+        let next = (i + 10).min(end);
+        for r in serve_and_feed(h, i..next, drift) {
+            r.expect("drifted truths are finite and positive");
+        }
+        i = next;
+        let report = ctl.step();
+        let done = stop(&report);
+        reports.push(report);
+        if done {
+            return reports;
+        }
+    }
+    panic!("controller never reached the expected report; saw {reports:?}");
+}
+
+fn median_q(h: &Harness, range: std::ops::Range<usize>, drift: f64) -> f64 {
+    let mut qs: Vec<f64> = range
+        .map(|i| {
+            let est = h
+                .svc
+                .estimate_within(&h.labeled.queries[i], Deadline::within(BUDGET))
+                .expect("service answers");
+            q_error(h.labeled.cardinalities[i] * drift, est.value)
+        })
+        .collect();
+    qs.sort_by(|a, b| a.partial_cmp(b).expect("finite q-errors"));
+    qs[qs.len() / 2]
+}
+
+#[test]
+fn drift_triggers_retrain_swap_and_measurably_better_accuracy() {
+    let h = harness();
+    let ctl = Arc::new(AdaptController::with_clock(
+        Arc::clone(&h.slot),
+        gbdt_trainer(Arc::clone(&h.db)),
+        adapt_cfg(),
+        auto_clock(1),
+    ));
+    h.svc.attach_adaptation(&ctl);
+
+    // Healthy regime: the live model scores its own training mix.
+    for r in serve_and_feed(&h, 0..60, 1.0) {
+        r.expect("healthy truths accepted");
+    }
+    assert_eq!(ctl.stats().drift_confirmed, 0, "no drift yet");
+    let baseline = median_q(&h, 200..240, 64.0);
+
+    // The world shifts: every cardinality grows 64×. The loop must
+    // suspect, confirm, retrain on the drifted reservoir, win the shadow
+    // comparison, and swap.
+    let reports = drive_until(&h, &ctl, 60..200, 64.0, |r| {
+        matches!(r, StepReport::SwapAccepted { .. })
+    });
+    assert!(
+        reports.contains(&StepReport::Suspected),
+        "suspicion precedes the swap: {reports:?}"
+    );
+    // Early retrains may see a reservoir still mixed with healthy pairs
+    // and come back inconclusive; the loop must keep trying until a
+    // candidate wins. Exactly one swap, one or more confirmed attempts.
+    let stats = ctl.stats();
+    assert!(stats.drift_confirmed >= 1, "{stats:?}");
+    assert_eq!(stats.retrain_triggered, stats.drift_confirmed);
+    assert_eq!(stats.shadow_accepted, 1);
+    assert_eq!(
+        stats.retrain_triggered,
+        stats.shadow_accepted
+            + stats.shadow_rejected
+            + stats.shadow_inconclusive
+            + stats.retrain_aborted,
+        "conservation: {stats:?}"
+    );
+    assert!(h.slot.generation() >= 1, "candidate published");
+
+    // Post-swap accuracy on held-back queries must beat the
+    // no-adaptation baseline decisively.
+    let healed = median_q(&h, 200..240, 64.0);
+    assert!(
+        healed * 4.0 < baseline,
+        "adaptation must heal accuracy: median q {healed:.2} vs baseline {baseline:.2}"
+    );
+
+    // The whole loop is visible in one metrics snapshot.
+    let snap = h.svc.metrics();
+    assert_eq!(snap.counter("adapt.drift.confirmed"), stats.drift_confirmed);
+    assert_eq!(
+        snap.counter("adapt.retrain.triggered"),
+        stats.retrain_triggered
+    );
+    assert_eq!(snap.counter("adapt.shadow.accepted"), 1);
+    assert_eq!(snap.counter("slot.swap.accepted"), 1);
+    assert_eq!(snap.gauge("slot.generation"), h.slot.generation());
+}
+
+#[test]
+fn worse_candidate_is_rejected_and_the_live_model_keeps_serving() {
+    let h = harness();
+    // The "retrained" candidate is a constant, catastrophically worse
+    // than the live model on drifted truths.
+    let trainer: Arc<dyn CandidateTrainer> = Arc::new(
+        |_data: &[(Query, f64)],
+         _sc: &mut dyn FnMut() -> bool|
+         -> Result<SharedEstimator, Box<dyn std::error::Error + Send + Sync>> {
+            Ok(Arc::new(Constant(1.0)) as SharedEstimator)
+        },
+    );
+    let ctl = Arc::new(AdaptController::with_clock(
+        Arc::clone(&h.slot),
+        trainer,
+        adapt_cfg(),
+        auto_clock(1),
+    ));
+    h.svc.attach_adaptation(&ctl);
+
+    for r in serve_and_feed(&h, 0..60, 1.0) {
+        r.expect("healthy truths accepted");
+    }
+    let before: Vec<f64> = (200..205)
+        .map(|i| {
+            h.svc
+                .estimate_within(&h.labeled.queries[i], Deadline::within(BUDGET))
+                .expect("service answers")
+                .value
+        })
+        .collect();
+
+    drive_until(&h, &ctl, 60..200, 64.0, |r| {
+        *r == StepReport::ShadowRejected
+    });
+
+    assert_eq!(h.slot.generation(), 0, "no swap happened");
+    let after: Vec<f64> = (200..205)
+        .map(|i| {
+            h.svc
+                .estimate_within(&h.labeled.queries[i], Deadline::within(BUDGET))
+                .expect("service answers")
+                .value
+        })
+        .collect();
+    assert_eq!(before, after, "live model serves identically");
+    let stats = ctl.stats();
+    assert_eq!(stats.shadow_rejected, 1);
+    assert_eq!(
+        stats.retrain_triggered,
+        stats.shadow_accepted
+            + stats.shadow_rejected
+            + stats.shadow_inconclusive
+            + stats.retrain_aborted,
+        "conservation: {stats:?}"
+    );
+}
+
+#[test]
+fn post_swap_regression_rolls_back_to_the_pinned_generation() {
+    let h = harness();
+    let cfg = AdaptConfig {
+        rollback_ratio: 1.5,
+        ..adapt_cfg()
+    };
+    let ctl = Arc::new(AdaptController::with_clock(
+        Arc::clone(&h.slot),
+        gbdt_trainer(Arc::clone(&h.db)),
+        cfg,
+        auto_clock(1),
+    ));
+    h.svc.attach_adaptation(&ctl);
+
+    for r in serve_and_feed(&h, 0..60, 1.0) {
+        r.expect("healthy truths accepted");
+    }
+    let pre_swap: f64 = h
+        .svc
+        .estimate_within(&h.labeled.queries[0], Deadline::within(BUDGET))
+        .expect("service answers")
+        .value;
+    drive_until(&h, &ctl, 60..200, 64.0, |r| {
+        matches!(r, StepReport::SwapAccepted { .. })
+    });
+    let swapped_generation = h.slot.generation();
+
+    // During probation the world lurches again — the fresh candidate is
+    // now as wrong as the old model was, so the swap bought nothing and
+    // must be undone.
+    let mut rolled_back = false;
+    for start in (200..240).step_by(10) {
+        for r in serve_and_feed(&h, start..start + 10, 16_384.0) {
+            r.expect("regressed truths are still finite");
+        }
+        match ctl.step() {
+            StepReport::RolledBack { generation } => {
+                assert_eq!(generation, swapped_generation + 1, "rollback is forward");
+                rolled_back = true;
+                break;
+            }
+            StepReport::Idle => continue,
+            other => panic!("unexpected report during probation: {other:?}"),
+        }
+    }
+    assert!(rolled_back, "probation must end in a rollback");
+
+    // The pinned model is the exact pre-swap object: estimates match.
+    let restored: f64 = h
+        .svc
+        .estimate_within(&h.labeled.queries[0], Deadline::within(BUDGET))
+        .expect("service answers")
+        .value;
+    assert_eq!(restored, pre_swap, "pre-swap model restored verbatim");
+    assert_eq!(h.slot.rollback_count(), 1);
+    let snap = h.svc.metrics();
+    assert_eq!(snap.counter("adapt.probation.rolled_back"), 1);
+    assert_eq!(snap.counter("slot.swap.rolled_back"), 1);
+}
+
+#[test]
+fn broken_trainers_never_interrupt_serving() {
+    install_quiet_panic_hook(vec!["trainer exploded".into()]);
+    let h = harness();
+    // Trainer 1: panics outright. Trainer 2 (fresh controller): a chaos
+    // GBDT whose SlowTrain fault stalls every fit until the clock budget
+    // cuts it off. Neither may disturb the serving path.
+    let panicking: Arc<dyn CandidateTrainer> = Arc::new(
+        |_data: &[(Query, f64)],
+         _sc: &mut dyn FnMut() -> bool|
+         -> Result<SharedEstimator, Box<dyn std::error::Error + Send + Sync>> {
+            panic!("trainer exploded")
+        },
+    );
+    let ctl = Arc::new(AdaptController::with_clock(
+        Arc::clone(&h.slot),
+        panicking,
+        adapt_cfg(),
+        auto_clock(1),
+    ));
+    h.svc.attach_adaptation(&ctl);
+
+    // Concurrent traffic hammers the service while the trainer blows up.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|t| {
+            let svc = Arc::clone(&h.svc);
+            let queries = h.labeled.queries.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut answered = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for q in queries.iter().skip(t).step_by(7).take(20) {
+                        svc.estimate_within(q, Deadline::within(BUDGET))
+                            .expect("serving survives trainer failures");
+                        answered += 1;
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    for r in serve_and_feed(&h, 0..60, 1.0) {
+        r.expect("healthy truths accepted");
+    }
+    let reports = drive_until(&h, &ctl, 60..200, 64.0, |r| {
+        *r == StepReport::RetrainAborted { panicked: true }
+    });
+    assert!(!reports.is_empty());
+
+    // Round 2 on a fresh controller: the chaos-stalled trainer. The
+    // virtual clock advances 10ms per read against a 100ms budget, so
+    // the stall is cut off after ~10 polls — deterministically.
+    let db = Arc::clone(&h.db);
+    let stalling: Arc<dyn CandidateTrainer> = Arc::new(
+        move |data: &[(Query, f64)],
+              sc: &mut dyn FnMut() -> bool|
+              -> Result<SharedEstimator, Box<dyn std::error::Error + Send + Sync>> {
+            let labeled = LabeledQueries {
+                queries: data.iter().map(|(q, _)| q.clone()).collect(),
+                cardinalities: data.iter().map(|(_, t)| *t).collect(),
+            };
+            let space = AttributeSpace::for_table(db.catalog(), TABLE);
+            let mut model = LearnedEstimator::new(
+                Box::new(
+                    UniversalConjunctionEncoding::new(space, 8).expect("valid featurizer config"),
+                ),
+                Box::new(
+                    ChaosRegressor::new(
+                        Gbdt::new(GbdtConfig::default()),
+                        RegressorFault::SlowTrain,
+                        1.0,
+                        9,
+                    )
+                    .with_stall(Duration::from_micros(50)),
+                ),
+            );
+            model.fit_within(&labeled, sc).map_err(|e| e.to_string())?;
+            Ok(Arc::new(model) as SharedEstimator)
+        },
+    );
+    let cfg = AdaptConfig {
+        train_budget: Duration::from_millis(100),
+        ..adapt_cfg()
+    };
+    let ctl2 = Arc::new(AdaptController::with_clock(
+        Arc::clone(&h.slot),
+        stalling,
+        cfg,
+        auto_clock(10),
+    ));
+    h.svc.attach_adaptation(&ctl2);
+    for r in serve_and_feed(&h, 0..60, 1.0) {
+        r.expect("healthy truths accepted");
+    }
+    drive_until(&h, &ctl2, 60..200, 64.0, |r| {
+        *r == StepReport::RetrainAborted { panicked: false }
+    });
+
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        let answered = w.join().expect("no panic escapes into traffic threads");
+        assert!(answered > 0, "traffic actually flowed");
+    }
+
+    assert_eq!(h.slot.generation(), 0, "no broken candidate was published");
+    for ctl in [&ctl, &ctl2] {
+        let s = ctl.stats();
+        assert_eq!(
+            s.retrain_triggered,
+            s.shadow_accepted + s.shadow_rejected + s.shadow_inconclusive + s.retrain_aborted,
+            "conservation: {s:?}"
+        );
+    }
+    let s1 = ctl.stats();
+    assert_eq!((s1.retrain_aborted, s1.retrain_panicked), (1, 1));
+    let s2 = ctl2.stats();
+    assert_eq!((s2.retrain_aborted, s2.retrain_panicked), (1, 0));
+    // Both controllers routed their events into the same service
+    // recorder under the `adapt.` prefix: one panic abort + one stall
+    // abort, of which exactly one was a panic.
+    let snap = h.svc.metrics();
+    assert_eq!(snap.counter("adapt.retrain.aborted"), 2);
+    assert_eq!(snap.counter("adapt.retrain.panicked"), 1);
+}
+
+#[test]
+fn garbage_truths_are_rejected_before_they_reach_the_loop() {
+    let h = harness();
+    let ctl = Arc::new(AdaptController::with_clock(
+        Arc::clone(&h.slot),
+        gbdt_trainer(Arc::clone(&h.db)),
+        adapt_cfg(),
+        auto_clock(1),
+    ));
+    h.svc.attach_adaptation(&ctl);
+
+    let query = &h.labeled.queries[0];
+    assert_eq!(
+        h.svc.observe_labeled(query, f64::NAN, 10.0),
+        Err(FeedbackError::NonFiniteTruth)
+    );
+    assert_eq!(
+        h.svc.observe_labeled(query, 0.0, 10.0),
+        Err(FeedbackError::NonPositiveTruth)
+    );
+    assert_eq!(
+        h.svc.observe_labeled(query, 10.0, f64::INFINITY),
+        Err(FeedbackError::NonFiniteEstimate)
+    );
+    assert_eq!(
+        ctl.stats().feedback_accepted,
+        0,
+        "nothing garbage reached the reservoir"
+    );
+    h.svc
+        .observe_labeled(query, 10.0, 12.0)
+        .expect("clean pair accepted");
+    assert_eq!(ctl.stats().feedback_accepted, 1);
+    assert_eq!(h.svc.metrics().counter("obs.truth.rejected"), 3);
+}
+
+#[test]
+fn concurrent_feedback_racing_the_stepper_stays_coherent() {
+    let h = harness();
+    let ctl = Arc::new(AdaptController::with_clock(
+        Arc::clone(&h.slot),
+        gbdt_trainer(Arc::clone(&h.db)),
+        adapt_cfg(),
+        auto_clock(1),
+    ));
+    h.svc.attach_adaptation(&ctl);
+
+    // Four threads pour drifted feedback straight into the sink while the
+    // main thread steps as fast as it can — retrains race live feeds.
+    let feeders: Vec<_> = (0..4)
+        .map(|t| {
+            let ctl = Arc::clone(&ctl);
+            let labeled = LabeledQueries {
+                queries: h.labeled.queries.clone(),
+                cardinalities: h.labeled.cardinalities.clone(),
+            };
+            std::thread::spawn(move || {
+                for (q, truth) in labeled
+                    .queries
+                    .iter()
+                    .zip(labeled.cardinalities.iter())
+                    .skip(t)
+                    .step_by(4)
+                {
+                    ctl.feedback(q, truth * 64.0, truth.max(1.0));
+                }
+            })
+        })
+        .collect();
+    let mut reports = Vec::new();
+    for _ in 0..50 {
+        reports.push(ctl.step());
+    }
+    for f in feeders {
+        f.join().expect("feeder threads never panic");
+    }
+    // Quiesce: keep stepping until the controller settles.
+    for _ in 0..10 {
+        reports.push(ctl.step());
+    }
+
+    let s = ctl.stats();
+    assert_eq!(s.feedback_accepted, 240);
+    assert_eq!(
+        s.retrain_triggered,
+        s.shadow_accepted + s.shadow_rejected + s.shadow_inconclusive + s.retrain_aborted,
+        "conservation under concurrency: {s:?}"
+    );
+    assert!(
+        s.reservoir_len <= 96,
+        "capacity bound holds under racing feeds"
+    );
+    // And the service still answers.
+    h.svc
+        .estimate_within(&h.labeled.queries[0], Deadline::within(BUDGET))
+        .expect("service alive after the race");
+}

@@ -159,7 +159,7 @@ fn chaos_stress_upholds_the_response_contract() {
                             // Feed the online q-error tracker; the
                             // "truth" is synthetic but finite, which is
                             // all the tracker contract needs.
-                            assert!(svc.observe_truth(50.0, est.value));
+                            svc.observe_truth(50.0, est.value).expect("finite pair");
                             ok.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(ServeError::DeadlineExceeded { .. }) => {
