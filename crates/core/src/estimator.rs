@@ -97,6 +97,20 @@ pub trait CardinalityEstimator {
     fn memory_bytes(&self) -> usize {
         0
     }
+
+    /// Serialize the estimator's trained state into an opaque,
+    /// self-validating byte snapshot a checkpoint store can persist.
+    ///
+    /// `None` means this estimator has no durable form — statistics-only
+    /// estimators (histogram, sampling) rebuild from data, and untrained
+    /// learned estimators have nothing worth keeping. Persistence layers
+    /// treat `None` as "skip and count", never as an error. The byte
+    /// format is owned by the implementing estimator; the only contract
+    /// is that the estimator's own restore path accepts exactly these
+    /// bytes and rejects any corruption of them with a typed error.
+    fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Blanket implementation for references.
@@ -119,6 +133,10 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
 
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
+    }
+
+    fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        (**self).snapshot_bytes()
     }
 }
 
@@ -143,6 +161,10 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
 
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
+    }
+
+    fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        (**self).snapshot_bytes()
     }
 }
 

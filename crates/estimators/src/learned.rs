@@ -16,6 +16,10 @@ use qfe_ml::train::Regressor;
 
 use crate::labels::LabeledQueries;
 
+/// Magic header of the learned-estimator snapshot frame (see
+/// [`LearnedEstimator::snapshot_bytes`]).
+const SNAPSHOT_MAGIC: &[u8; 8] = b"QFELE001";
+
 /// A trained (or trainable) QFT × model cardinality estimator.
 pub struct LearnedEstimator {
     featurizer: Box<dyn Featurizer + Send + Sync>,
@@ -119,6 +123,81 @@ impl LearnedEstimator {
     pub fn fallback_count(&self) -> u64 {
         self.fallbacks.load(Ordering::Relaxed)
     }
+
+    /// Rebuild a trained estimator from a snapshot produced by
+    /// [`snapshot_bytes`](CardinalityEstimator::snapshot_bytes), pairing
+    /// the restored model + scaler with a freshly constructed featurizer.
+    ///
+    /// The featurizer itself is deterministic configuration (an attribute
+    /// space and a budget), so it is *not* serialized — the caller
+    /// reconstructs it from the catalog exactly as at first training. The
+    /// snapshot records the featurizer's name and this constructor
+    /// rejects a mismatch, so a checkpoint written under one QFT can
+    /// never be silently served through another.
+    ///
+    /// # Errors
+    /// [`QfeError::Training`] on any corruption of the snapshot frame
+    /// (bad magic, checksum mismatch, truncation, structurally invalid
+    /// model bytes) and [`QfeError::InvalidConfig`] when the provided
+    /// featurizer does not match the one the snapshot was taken under.
+    pub fn from_snapshot(
+        featurizer: Box<dyn Featurizer + Send + Sync>,
+        bytes: &[u8],
+    ) -> Result<Self, QfeError> {
+        use qfe_ml::serialize::{fnv1a64, Reader};
+        let corrupt =
+            |what: &str| QfeError::Training(format!("corrupt estimator snapshot: {what}"));
+        if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let frame = SNAPSHOT_MAGIC.len() + 8;
+        if bytes.len() < frame {
+            return Err(corrupt("truncated checksum"));
+        }
+        let c = &bytes[SNAPSHOT_MAGIC.len()..frame];
+        let stored = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        let payload = &bytes[frame..];
+        if fnv1a64(payload) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut r = Reader::new(payload);
+        let name_len = r.u32().map_err(|_| corrupt("truncated"))? as usize;
+        if name_len > 4096 {
+            return Err(corrupt("implausible featurizer name length"));
+        }
+        let name_bytes = r.bytes(name_len).map_err(|_| corrupt("truncated"))?;
+        let qft = std::str::from_utf8(name_bytes).map_err(|_| corrupt("non-utf8 QFT name"))?;
+        if qft != featurizer.name() {
+            return Err(QfeError::InvalidConfig(format!(
+                "snapshot was taken under QFT '{}' but '{}' was provided",
+                qft,
+                featurizer.name()
+            )));
+        }
+        let dim = r.u32().map_err(|_| corrupt("truncated"))? as usize;
+        if dim != featurizer.dim() {
+            return Err(QfeError::ShapeMismatch {
+                expected: dim,
+                actual: featurizer.dim(),
+            });
+        }
+        let log_min = r.f64().map_err(|_| corrupt("truncated"))?;
+        let log_max = r.f64().map_err(|_| corrupt("truncated"))?;
+        let scaler = LogScaler::from_parts(log_min, log_max)?;
+        let model_len = r.u32().map_err(|_| corrupt("truncated"))? as usize;
+        let model_bytes = r.bytes(model_len).map_err(|_| corrupt("truncated"))?;
+        if !r.finished() {
+            return Err(corrupt("trailing bytes"));
+        }
+        let model = qfe_ml::serialize::regressor_from_bytes(model_bytes)
+            .map_err(|e| QfeError::Training(format!("corrupt estimator snapshot: {e}")))?;
+        Ok(LearnedEstimator {
+            featurizer,
+            model,
+            scaler: Some(scaler),
+            fallbacks: AtomicU64::new(0),
+        })
+    }
 }
 
 impl CardinalityEstimator for LearnedEstimator {
@@ -207,6 +286,41 @@ impl CardinalityEstimator for LearnedEstimator {
 
     fn memory_bytes(&self) -> usize {
         self.model.memory_bytes()
+    }
+
+    /// Snapshot layout, decodable by
+    /// [`LearnedEstimator::from_snapshot`] (little-endian):
+    ///
+    /// ```text
+    /// magic     "QFELE001"                8 bytes
+    /// checksum  FNV-1a-64 of the payload  8
+    /// payload:
+    ///   qft name: len u32 + utf8 bytes
+    ///   feature dim u32
+    ///   scaler log_min f64, log_max f64
+    ///   model: len u32 + checksummed model frame (QFEGB002/QFENN001)
+    /// ```
+    ///
+    /// `None` until trained, or when the model family has no serializer
+    /// (see [`Regressor::to_bytes`]).
+    fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        let scaler = self.scaler.as_ref()?;
+        let model = self.model.to_bytes()?;
+        let qft = self.featurizer.name();
+        let (log_min, log_max) = scaler.to_parts();
+        let mut payload = Vec::with_capacity(4 + qft.len() + 4 + 16 + 4 + model.len());
+        payload.extend_from_slice(&(qft.len() as u32).to_le_bytes());
+        payload.extend_from_slice(qft.as_bytes());
+        payload.extend_from_slice(&(self.featurizer.dim() as u32).to_le_bytes());
+        payload.extend_from_slice(&log_min.to_le_bytes());
+        payload.extend_from_slice(&log_max.to_le_bytes());
+        payload.extend_from_slice(&(model.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&model);
+        let mut out = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 8 + payload.len());
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&qfe_ml::serialize::fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Some(out)
     }
 }
 
@@ -456,6 +570,80 @@ mod tests {
         est.fit_within(&data, &mut || true).unwrap();
         assert!(est.is_trained());
         assert!(est.try_estimate(&range_query(0, 10)).is_ok());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_estimates() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let bytes = est.snapshot_bytes().expect("trained estimator snapshots");
+        let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+        let restored = LearnedEstimator::from_snapshot(
+            Box::new(UniversalConjunctionEncoding::new(space, 32).unwrap()),
+            &bytes,
+        )
+        .unwrap();
+        assert!(restored.is_trained());
+        assert_eq!(restored.name(), est.name());
+        for (lo, hi) in [(5, 20), (30, 35), (10, 70), (0, 99)] {
+            let q = range_query(lo, hi);
+            assert_eq!(restored.estimate(&q), est.estimate(&q), "({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn snapshot_corruption_is_rejected() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let clean = est.snapshot_bytes().unwrap();
+        let fresh_qft = || {
+            let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+            Box::new(UniversalConjunctionEncoding::new(space, 32).unwrap())
+        };
+        // Truncation at stride across the whole frame.
+        for cut in (0..clean.len()).step_by(97) {
+            assert!(
+                LearnedEstimator::from_snapshot(fresh_qft(), &clean[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Bit flips at stride.
+        for pos in (0..clean.len()).step_by(61) {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x20;
+            assert!(
+                LearnedEstimator::from_snapshot(fresh_qft(), &bytes).is_err(),
+                "flip at byte {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_featurizer() {
+        let db = db();
+        let est = trained_estimator(&db);
+        let bytes = est.snapshot_bytes().unwrap();
+        // Same QFT family, different budget → different dim: typed
+        // ShapeMismatch, not a panic at serving time.
+        let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+        match LearnedEstimator::from_snapshot(
+            Box::new(UniversalConjunctionEncoding::new(space, 8).unwrap()),
+            &bytes,
+        ) {
+            Err(err) => assert!(matches!(err, QfeError::ShapeMismatch { .. }), "{err:?}"),
+            Ok(_) => panic!("mismatched featurizer dim must be rejected"),
+        }
+    }
+
+    #[test]
+    fn untrained_estimator_has_no_snapshot() {
+        let db = db();
+        let space = AttributeSpace::for_table(db.catalog(), TableId(0));
+        let est = LearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, 8).unwrap()),
+            Box::new(Gbdt::new(GbdtConfig::default())),
+        );
+        assert!(est.snapshot_bytes().is_none());
     }
 
     #[test]

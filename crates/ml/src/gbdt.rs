@@ -741,6 +741,13 @@ impl Regressor for Gbdt {
     fn model_name(&self) -> &'static str {
         "GB"
     }
+
+    fn to_bytes(&self) -> Option<Vec<u8>> {
+        if self.trees.is_empty() {
+            return None; // untrained: nothing durable to persist
+        }
+        Some(crate::serialize::gbdt_to_bytes(self))
+    }
 }
 
 #[cfg(test)]

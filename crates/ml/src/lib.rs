@@ -40,5 +40,8 @@ pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};
 pub use mscn::{Mscn, MscnConfig};
 pub use scaling::LogScaler;
-pub use serialize::{gbdt_from_bytes, gbdt_to_bytes, DecodeError};
+pub use serialize::{
+    fnv1a64, gbdt_from_bytes, gbdt_to_bytes, mlp_from_bytes, mlp_to_bytes, regressor_from_bytes,
+    DecodeError,
+};
 pub use train::{Regressor, TrainError};

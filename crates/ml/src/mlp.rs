@@ -341,6 +341,129 @@ impl Mlp {
     }
 }
 
+impl Mlp {
+    /// Encode the trained network into the `QFENN001` payload (everything
+    /// after the magic + checksum frame; see [`crate::serialize`]).
+    /// Returns an empty payload for an untrained network (no layers).
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        if self.layers.is_empty() {
+            return Vec::new();
+        }
+        // Exact payload size: 32-byte header, then per layer 8 bytes of
+        // shape plus 4 bytes per weight and bias.
+        let payload = 32
+            + self
+                .layers
+                .iter()
+                .map(|l| 8 + (l.w.rows() * l.w.cols() + l.b.len()) * 4)
+                .sum::<usize>();
+        let mut out = Vec::with_capacity(payload);
+        out.extend_from_slice(&(self.input_dim as u32).to_le_bytes());
+        out.extend_from_slice(&self.config.learning_rate.to_le_bytes());
+        out.extend_from_slice(&self.config.seed.to_le_bytes());
+        out.extend_from_slice(&(self.config.epochs as u32).to_le_bytes());
+        out.extend_from_slice(&(self.config.batch_size as u32).to_le_bytes());
+        out.extend_from_slice(&(self.adam_t as u32).to_le_bytes());
+        out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        for layer in &self.layers {
+            out.extend_from_slice(&(layer.w.rows() as u32).to_le_bytes());
+            out.extend_from_slice(&(layer.w.cols() as u32).to_le_bytes());
+            for &w in layer.w.data() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            for &b in &layer.b {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        debug_assert_eq!(out.len(), payload, "encode capacity estimate drifted");
+        out
+    }
+
+    /// Decode a network from the `QFENN001` payload (the caller —
+    /// [`crate::serialize::mlp_from_bytes`] — has already verified the
+    /// magic and checksum). The returned model predicts identically to
+    /// the encoded one; Adam moments are training-only state and start
+    /// zeroed, so refitting restarts the optimizer fresh.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, crate::serialize::DecodeError> {
+        use crate::serialize::{DecodeError, Reader};
+        let mut r = Reader::new(bytes);
+        let input_dim = r.u32()? as usize;
+        let learning_rate = r.f32()?;
+        if !learning_rate.is_finite() {
+            return Err(DecodeError::Corrupt("non-finite learning rate"));
+        }
+        let seed = r.u64()?;
+        let epochs = r.u32()? as usize;
+        let batch_size = r.u32()? as usize;
+        let adam_t = r.u32()?;
+        if adam_t > i32::MAX as u32 {
+            return Err(DecodeError::Corrupt("implausible Adam step count"));
+        }
+        let n_layers = r.u32()? as usize;
+        // A trained network is hidden layers + the width-1 output layer.
+        if !(2..=1024).contains(&n_layers) {
+            return Err(DecodeError::Corrupt("implausible layer count"));
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut expect_in = input_dim;
+        for l in 0..n_layers {
+            let rows = r.u32()? as usize;
+            let cols = r.u32()? as usize;
+            if rows == 0 || cols == 0 || rows.saturating_mul(cols) > 100_000_000 {
+                return Err(DecodeError::Corrupt("implausible layer shape"));
+            }
+            if rows != expect_in {
+                return Err(DecodeError::Corrupt("layer shapes do not chain"));
+            }
+            let mut w = Matrix::zeros(rows, cols);
+            for v in w.data_mut() {
+                let x = r.f32()?;
+                if !x.is_finite() {
+                    return Err(DecodeError::Corrupt("non-finite weight"));
+                }
+                *v = x;
+            }
+            let mut b = vec![0.0f32; cols];
+            for v in &mut b {
+                let x = r.f32()?;
+                if !x.is_finite() {
+                    return Err(DecodeError::Corrupt("non-finite bias"));
+                }
+                *v = x;
+            }
+            let is_last = l + 1 == n_layers;
+            if is_last && cols != 1 {
+                return Err(DecodeError::Corrupt("output layer width must be 1"));
+            }
+            expect_in = cols;
+            layers.push(Linear {
+                w,
+                b,
+                mw: Matrix::zeros(rows, cols),
+                vw: Matrix::zeros(rows, cols),
+                mb: vec![0.0; cols],
+                vb: vec![0.0; cols],
+            });
+        }
+        if !r.finished() {
+            return Err(DecodeError::Corrupt("trailing bytes"));
+        }
+        let hidden: Vec<usize> = layers[..n_layers - 1].iter().map(|l| l.w.cols()).collect();
+        Ok(Mlp {
+            config: MlpConfig {
+                hidden,
+                epochs,
+                batch_size,
+                learning_rate,
+                seed,
+            },
+            layers,
+            input_dim,
+            adam_t: adam_t as i32,
+        })
+    }
+}
+
 impl Regressor for Mlp {
     fn fit(&mut self, x: &Matrix, y: &[f32]) {
         assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
@@ -391,6 +514,13 @@ impl Regressor for Mlp {
 
     fn model_name(&self) -> &'static str {
         "NN"
+    }
+
+    fn to_bytes(&self) -> Option<Vec<u8>> {
+        if self.layers.is_empty() {
+            return None; // untrained: nothing durable to persist
+        }
+        Some(crate::serialize::mlp_to_bytes(self))
     }
 }
 

@@ -83,6 +83,35 @@ impl LogScaler {
         self
     }
 
+    /// The fitted `(log_min, log_max)` calibration range, for
+    /// serialization: together with [`LogScaler::from_parts`] this lets a
+    /// checkpoint store persist and restore the exact transform without
+    /// re-fitting on the original labels.
+    pub fn to_parts(&self) -> (f64, f64) {
+        (self.log_min, self.log_max)
+    }
+
+    /// Rebuild a scaler from a previously fitted `(log_min, log_max)`
+    /// pair (see [`LogScaler::to_parts`]). The recorder starts as a
+    /// no-op; reattach one via [`LogScaler::with_recorder`].
+    ///
+    /// # Errors
+    /// [`QfeError::Training`] unless both parts are finite and
+    /// `log_max > log_min` — the invariant `fit` establishes; anything
+    /// else would divide by zero or poison every later estimate.
+    pub fn from_parts(log_min: f64, log_max: f64) -> Result<Self, QfeError> {
+        if !log_min.is_finite() || !log_max.is_finite() || log_max <= log_min {
+            return Err(QfeError::Training(format!(
+                "invalid scaler calibration range [{log_min}, {log_max}]"
+            )));
+        }
+        Ok(LogScaler {
+            log_min,
+            log_max,
+            recorder: Arc::new(NoopRecorder),
+        })
+    }
+
     /// Transform a cardinality into the normalized log space, reporting
     /// whether the value saturated (fell outside the `[0, 2]` clamp range,
     /// i.e. lies beyond the scaler's calibration).

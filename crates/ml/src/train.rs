@@ -187,6 +187,17 @@ pub trait Regressor {
 
     /// Model label for experiment output (`GB`, `NN`, `MSCN`, `linreg`).
     fn model_name(&self) -> &'static str;
+
+    /// Serialize the trained model into its checksummed byte format
+    /// (decodable by [`crate::serialize::regressor_from_bytes`]).
+    ///
+    /// `None` means this model has no durable form — either the family
+    /// has no serializer yet (MSCN, linreg) or the model is untrained.
+    /// A checkpoint store treats `None` as "skip, and count it", never
+    /// as an error: durability is best-effort per model family.
+    fn to_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Deterministically shuffled sample indices.

@@ -27,7 +27,12 @@
 //!   are coalesced by a worker pool into batched stage calls
 //!   ([`EstimatorService::estimate_batch`](service::EstimatorService::estimate_batch)),
 //!   amortizing featurization and model forwards across the batch while
-//!   keeping per-request deadlines and per-row failure routing.
+//!   keeping per-request deadlines and per-row failure routing;
+//! - **durability** ([`persist`]) — published models checkpoint to a
+//!   crash-safe [`qfe_store::CheckpointStore`] off the hot path, and
+//!   [`EstimatorService::warm_restart`](service::EstimatorService::warm_restart)
+//!   rebuilds the newest valid checkpoint through the slot's probe gate
+//!   on startup, so adapted accuracy survives a process death.
 //!
 //! The crate deliberately contains no estimation logic: it composes any
 //! [`qfe_core::CardinalityEstimator`] stack.
@@ -39,6 +44,7 @@ pub mod adapt;
 pub mod admission;
 pub mod batch;
 pub mod error;
+pub mod persist;
 pub mod service;
 pub mod slot;
 
@@ -49,11 +55,12 @@ pub use adapt::{
 pub use admission::AdmissionStats;
 pub use batch::{BatcherStats, MicroBatcher};
 pub use error::{FeedbackError, OverloadKind, ServeError, ShedPolicy};
+pub use persist::{AsyncCheckpointer, RestoreOutcome, WarmRestartReport};
 pub use service::{
     EstimatorService, ServiceConfig, ServiceStats, StageServiceStats, BATCH_SIZE_METRIC,
     REQUEST_LATENCY_METRIC,
 };
-pub use slot::{decode_validated, ModelSlot, SharedEstimator, SwapError};
+pub use slot::{decode_validated, ModelPersister, ModelSlot, SharedEstimator, SwapError};
 
 /// Install a panic hook that silences panics whose payload matches one of
 /// `quiet` — chaos-injected panics, in practice — while delegating

@@ -65,7 +65,11 @@ pub struct ServiceConfig {
     /// (clamped finite and `>= 1`).
     pub floor: f64,
     /// Sliding-window size of the online q-error tracker fed by
-    /// [`EstimatorService::observe_truth`] (clamped to `>= 1`).
+    /// [`EstimatorService::observe_truth`]. The window *size* is clamped
+    /// to `>= 1`; observed pairs are never clamped on entry — an invalid
+    /// truth or estimate is rejected with a typed [`FeedbackError`]
+    /// instead. Accepted truths in `(0, 1)` (sub-row cardinalities) are
+    /// treated as 1 only inside the q-error computation itself.
     pub qerror_window: usize,
     /// Worker threads a [`crate::batch::MicroBatcher`] runs over this
     /// service (clamped to `>= 1` when a batcher is started).
@@ -1072,6 +1076,34 @@ mod tests {
         let m = svc.metrics();
         assert_eq!(m.counter("obs.truth.rejected"), 7);
         assert_eq!(m.qerror.as_ref().map(|s| s.count), Some(2));
+    }
+
+    #[test]
+    fn fractional_truth_is_accepted_not_clamped_away() {
+        // Truths in (0, 1) — e.g. average cardinalities below one row —
+        // are positive and finite: the guard accepts them (no typed
+        // rejection, no entry clamping). Only the q-error computation
+        // itself treats both sides as >= 1, so 0.5 vs an estimate of 2.0
+        // scores q = 2.0, not 4.0.
+        let svc = EstimatorService::new(vec![Arc::new(Constant(2.0))], ServiceConfig::default());
+        svc.observe_truth(0.5, 2.0).unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.counter("obs.truth.rejected"), 0);
+        let qe = m.qerror.as_ref().expect("pair reached the window");
+        assert_eq!(qe.count, 1);
+        assert!((qe.median - 2.0).abs() < 1e-12, "median {}", qe.median);
+
+        // The open-interval boundaries behave per the guard's contract:
+        // exactly 0 is rejected, anything strictly inside (0, 1) lands.
+        assert_eq!(
+            svc.observe_truth(0.0, 2.0),
+            Err(FeedbackError::NonPositiveTruth)
+        );
+        svc.observe_truth(0.999_999, 2.0).unwrap();
+        svc.observe_truth(1.0 - f64::EPSILON, 2.0).unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.counter("obs.truth.rejected"), 1);
+        assert_eq!(m.qerror.as_ref().map(|s| s.count), Some(3));
     }
 
     #[test]

@@ -86,6 +86,21 @@ pub fn decode_validated(bytes: &[u8], probe: &Matrix) -> Result<Gbdt, SwapError>
 /// thread-safe, and type-erased.
 pub type SharedEstimator = Arc<dyn CardinalityEstimator + Send + Sync>;
 
+/// Durability hook invoked after every successful publication (initial
+/// attach excluded): the just-published model and its slot generation.
+///
+/// Implementations must be non-blocking and infallible from the slot's
+/// point of view — the in-memory swap has already happened and stands
+/// whatever the persister does. [`crate::persist::AsyncCheckpointer`]
+/// implements this by snapshotting the model and handing the bytes to a
+/// background writer; the call itself is additionally panic-isolated, so
+/// a buggy persister can never take publication down.
+pub trait ModelPersister: Send + Sync {
+    /// Persist (or schedule persistence of) `model`, published as slot
+    /// generation `slot_generation`.
+    fn persist(&self, model: &SharedEstimator, slot_generation: u64);
+}
+
 /// An atomically swappable estimator slot (see the module docs).
 ///
 /// The slot itself implements [`CardinalityEstimator`], so it drops into
@@ -99,6 +114,7 @@ pub struct ModelSlot {
     rejected: AtomicU64,
     rolled_back: AtomicU64,
     events: RwLock<Option<SlotEvents>>,
+    persister: RwLock<Option<Arc<dyn ModelPersister>>>,
 }
 
 /// Precomputed metric names + sink for slot lifecycle events. Names are
@@ -122,6 +138,19 @@ impl ModelSlot {
             rejected: AtomicU64::new(0),
             rolled_back: AtomicU64::new(0),
             events: RwLock::new(None),
+            persister: RwLock::new(None),
+        }
+    }
+
+    /// Attach the durability hook called after each successful
+    /// publication (one persister; a second attach replaces the first).
+    /// Persistence is strictly after-the-fact: publication has already
+    /// committed in memory when the hook runs, and a failing or
+    /// panicking persister changes nothing about what serves.
+    pub fn set_persister(&self, persister: Arc<dyn ModelPersister>) {
+        match self.persister.write() {
+            Ok(mut g) => *g = Some(persister),
+            Err(poisoned) => *poisoned.into_inner() = Some(persister),
         }
     }
 
@@ -203,6 +232,7 @@ impl ModelSlot {
     ) -> Result<u64, SwapError> {
         match Self::validate(&candidate, probe) {
             Ok(()) => {
+                let published = SharedEstimator::clone(&candidate);
                 match self.current.write() {
                     Ok(mut g) => *g = candidate,
                     Err(poisoned) => *poisoned.into_inner() = candidate,
@@ -213,6 +243,18 @@ impl ModelSlot {
                     ev.recorder.incr(&ev.accepted);
                     ev.recorder.set_gauge(&ev.generation, generation);
                 });
+                let persister = {
+                    let guard = match self.persister.read() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.as_ref().map(Arc::clone)
+                };
+                if let Some(p) = persister {
+                    // The swap is already committed; a persister panic is
+                    // contained and cannot undo or block it.
+                    let _ = catch_unwind(AssertUnwindSafe(|| p.persist(&published, generation)));
+                }
                 Ok(generation)
             }
             Err(e) => {

@@ -1,0 +1,304 @@
+//! Deterministic filesystem fault injection.
+//!
+//! [`ChaosFs`] wraps any [`StoreFs`] and injects failures by *operation
+//! index*: every trait call the store makes increments a counter, and a
+//! [`FaultPlan`] maps indices to faults. Because the store's save
+//! protocol is a fixed sequence of operations (write-temp, fsync file,
+//! rename, fsync dir — plus recovery's reads and lists), planting a
+//! fault at index *i* reproduces exactly the same failure at exactly the
+//! same protocol step, every run. That turns "what if the disk died
+//! between rename and directory sync?" into a table-driven test.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::fs::StoreFs;
+
+/// A single injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A write persists only a prefix of the bytes and reports failure —
+    /// the classic torn write (power blinked mid-`write(2)`).
+    TornWrite,
+    /// A write persists only a prefix of the bytes and reports *success*
+    /// — the nastiest case: a short write the caller never noticed. Only
+    /// the checksum can catch this one later.
+    ShortWrite,
+    /// The device is full: the write persists a prefix and fails with
+    /// the raw `ENOSPC` OS error (`StorageFull` on toolchains that name
+    /// that kind; we stay on the raw code for MSRV 1.82).
+    Enospc,
+    /// `fsync` fails with an I/O error; the data must be assumed
+    /// non-durable.
+    FsyncFail,
+    /// The operation fails with [`io::ErrorKind::Interrupted`] this many
+    /// times, then succeeds — the retry-with-backoff path exists for
+    /// exactly this.
+    Transient(u32),
+    /// Simulated process death at this operation: it and every later
+    /// operation fail. The test then crashes the underlying
+    /// [`MemFs`](crate::MemFs) (or kills the process, for the real fs)
+    /// and runs recovery.
+    CrashPoint,
+}
+
+/// Operation index → fault. Indices count *logical* operations: the
+/// retries a [`Fault::Transient`] absorbs do not advance the index, so a
+/// plan stays aligned with the store's protocol steps regardless of the
+/// retry policy in front of it.
+pub type FaultPlan = BTreeMap<u64, Fault>;
+
+/// See the module docs.
+pub struct ChaosFs {
+    inner: Arc<dyn StoreFs>,
+    plan: Mutex<FaultPlan>,
+    next_op: AtomicU64,
+    crashed: AtomicBool,
+}
+
+/// `ENOSPC` as a raw OS error code (portable enough for the platforms
+/// CI runs on; `io::ErrorKind::StorageFull` is not nameable at MSRV).
+pub const ENOSPC: i32 = 28;
+
+/// How many bytes of a faulted write reach the underlying fs.
+fn torn_len(total: usize) -> usize {
+    total / 3
+}
+
+impl ChaosFs {
+    /// Wrap `inner`, injecting the faults in `plan`.
+    pub fn new(inner: Arc<dyn StoreFs>, plan: FaultPlan) -> Self {
+        ChaosFs {
+            inner,
+            plan: Mutex::new(plan),
+            next_op: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Index the next operation will get — lets tests discover protocol
+    /// lengths by dry-running a plan-free ChaosFs.
+    pub fn ops_seen(&self) -> u64 {
+        self.next_op.load(Ordering::SeqCst)
+    }
+
+    /// True once a [`Fault::CrashPoint`] has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Schedule `fault` at operation index `idx` (replacing any fault
+    /// already planned there) — lets a test dry-run a protocol to learn
+    /// its op count, then plant faults relative to the current index.
+    pub fn plant(&self, idx: u64, fault: Fault) {
+        self.plan
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(idx, fault);
+    }
+
+    fn crashed_err() -> io::Error {
+        io::Error::other("simulated crash: process is dead")
+    }
+
+    /// Fault lookup for the current op. Consumes the op index except when
+    /// a `Transient` absorbs the call (so its retry replays the same
+    /// index).
+    fn take_fault(&self) -> Result<Option<Fault>, io::Error> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(Self::crashed_err());
+        }
+        let mut plan = self.plan.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = self.next_op.load(Ordering::SeqCst);
+        match plan.get_mut(&idx) {
+            Some(Fault::Transient(n)) => {
+                if *n > 0 {
+                    *n -= 1;
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected transient fault",
+                    ));
+                }
+                plan.remove(&idx);
+                self.next_op.fetch_add(1, Ordering::SeqCst);
+                Ok(None)
+            }
+            Some(&mut fault) => {
+                plan.remove(&idx);
+                self.next_op.fetch_add(1, Ordering::SeqCst);
+                if fault == Fault::CrashPoint {
+                    self.crashed.store(true, Ordering::SeqCst);
+                    return Err(Self::crashed_err());
+                }
+                Ok(Some(fault))
+            }
+            None => {
+                self.next_op.fetch_add(1, Ordering::SeqCst);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Non-write operations can't tear; any write-shaped fault scheduled
+    /// on them degrades to a plain I/O error.
+    fn fault_to_error(fault: Fault) -> io::Error {
+        match fault {
+            Fault::Enospc => io::Error::from_raw_os_error(ENOSPC),
+            _ => io::Error::other("injected I/O fault"),
+        }
+    }
+}
+
+impl StoreFs for ChaosFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.take_fault()? {
+            None => self.inner.read(path),
+            Some(f) => Err(Self::fault_to_error(f)),
+        }
+    }
+
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.take_fault()? {
+            None => self.inner.write_all(path, bytes),
+            Some(Fault::TornWrite) => {
+                self.inner
+                    .write_all(path, &bytes[..torn_len(bytes.len())])?;
+                Err(io::Error::other("injected torn write"))
+            }
+            Some(Fault::ShortWrite) => {
+                // The silent one: partial data, successful return.
+                self.inner.write_all(path, &bytes[..torn_len(bytes.len())])
+            }
+            Some(Fault::Enospc) => {
+                self.inner
+                    .write_all(path, &bytes[..torn_len(bytes.len())])?;
+                Err(io::Error::from_raw_os_error(ENOSPC))
+            }
+            Some(f) => Err(Self::fault_to_error(f)),
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        match self.take_fault()? {
+            None => self.inner.sync_file(path),
+            Some(f) => Err(Self::fault_to_error(f)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.take_fault()? {
+            None => self.inner.rename(from, to),
+            Some(f) => Err(Self::fault_to_error(f)),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.take_fault()? {
+            None => self.inner.sync_dir(dir),
+            Some(f) => Err(Self::fault_to_error(f)),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        match self.take_fault()? {
+            None => self.inner.list(dir),
+            Some(f) => Err(Self::fault_to_error(f)),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        match self.take_fault()? {
+            None => self.inner.create_dir_all(dir),
+            Some(f) => Err(Self::fault_to_error(f)),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match self.take_fault()? {
+            None => self.inner.remove(path),
+            Some(f) => Err(Self::fault_to_error(f)),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Existence probes are metadata-only and not fault-injected (they
+        // don't move bytes and injecting here would desync op indices
+        // between plans that do and don't probe).
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemFs;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix_and_fails() {
+        let mem = Arc::new(MemFs::new());
+        let fs = ChaosFs::new(mem.clone(), FaultPlan::from([(0, Fault::TornWrite)]));
+        assert!(fs.write_all(&p("/d/a"), b"012345678").is_err());
+        assert_eq!(mem.read(&p("/d/a")).unwrap(), b"012");
+    }
+
+    #[test]
+    fn short_write_succeeds_silently_with_partial_data() {
+        let mem = Arc::new(MemFs::new());
+        let fs = ChaosFs::new(mem.clone(), FaultPlan::from([(0, Fault::ShortWrite)]));
+        fs.write_all(&p("/d/a"), b"012345678").unwrap();
+        assert_eq!(mem.read(&p("/d/a")).unwrap(), b"012");
+    }
+
+    #[test]
+    fn enospc_is_typed() {
+        let mem = Arc::new(MemFs::new());
+        let fs = ChaosFs::new(mem, FaultPlan::from([(0, Fault::Enospc)]));
+        let err = fs.write_all(&p("/d/a"), b"012345678").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(ENOSPC));
+    }
+
+    #[test]
+    fn transient_fault_absorbs_then_succeeds_at_same_index() {
+        let mem = Arc::new(MemFs::new());
+        let fs = ChaosFs::new(mem.clone(), FaultPlan::from([(0, Fault::Transient(2))]));
+        assert_eq!(
+            fs.write_all(&p("/d/a"), b"x").unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        assert_eq!(
+            fs.write_all(&p("/d/a"), b"x").unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        fs.write_all(&p("/d/a"), b"x").unwrap();
+        assert_eq!(fs.ops_seen(), 1, "retries must not consume op indices");
+    }
+
+    #[test]
+    fn crash_point_kills_every_later_operation() {
+        let mem = Arc::new(MemFs::new());
+        let fs = ChaosFs::new(mem.clone(), FaultPlan::from([(1, Fault::CrashPoint)]));
+        fs.write_all(&p("/d/a"), b"x").unwrap();
+        assert!(fs.sync_file(&p("/d/a")).is_err());
+        assert!(fs.is_crashed());
+        assert!(fs.read(&p("/d/a")).is_err());
+        assert!(fs.list(&p("/d")).is_err());
+    }
+
+    #[test]
+    fn fault_on_sync_degrades_to_io_error() {
+        let mem = Arc::new(MemFs::new());
+        let fs = ChaosFs::new(mem.clone(), FaultPlan::from([(1, Fault::FsyncFail)]));
+        fs.write_all(&p("/d/a"), b"x").unwrap();
+        assert!(fs.sync_file(&p("/d/a")).is_err());
+        // Not durable: a crash tears it.
+        mem.crash();
+        assert_eq!(mem.read(&p("/d/a")).unwrap(), b"");
+    }
+}

@@ -1,0 +1,312 @@
+//! The on-disk checkpoint format: a versioned manifest wrapping an
+//! opaque model snapshot, integrity-checked end to end.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic     "QFECKPT1"                      8 bytes
+//! version   u32 manifest version            4   ← outside the checksum
+//! checksum  FNV-1a-64 of the payload        8
+//! payload:
+//!   generation u64                          8
+//!   kind:  len u32 + utf8                   (estimator name, "GB + conjunctive")
+//!   qft:   len u32 + utf8                   (featurizer name, "conjunctive")
+//!   trained_at_unix_s u64                   8
+//!   sample_count u64                        8
+//!   note:  len u32 + utf8                   (free-form provenance)
+//!   model: len u32 + bytes                  (opaque, self-validating snapshot)
+//! ```
+//!
+//! The version field sits *outside* the checksummed payload on purpose: a
+//! checkpoint written by a future release with a different payload layout
+//! must still be recognizable as "valid but newer" rather than
+//! misparsed. Decoding checks magic → version → checksum → structure, so
+//! an unsupported-but-higher version is a typed
+//! [`FormatError::UnsupportedVersion`] (the file is left untouched for
+//! the newer binary that owns it), while any bit damage inside the
+//! supported format is caught by the checksum before structural parsing.
+//!
+//! The FNV-1a checksum is [`qfe_ml::serialize::fnv1a64`] — the same hash
+//! the model frames use, so one implementation guards every layer.
+
+use qfe_ml::serialize::{fnv1a64, Reader};
+
+/// Magic header of a checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"QFECKPT1";
+
+/// The manifest version this build reads and writes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Longest accepted string field (kind/qft/note), in bytes.
+const MAX_STRING: usize = 4096;
+
+/// Largest accepted model snapshot, in bytes (a hard sanity bound — the
+/// paper's models are kilobytes to low megabytes).
+const MAX_MODEL: usize = 256 * 1024 * 1024;
+
+/// Errors from decoding a checkpoint file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// Wrong or truncated magic header — not a checkpoint file.
+    BadMagic,
+    /// The file ended before the declared structure was complete.
+    Truncated,
+    /// The stored checksum does not match the payload: torn/short write
+    /// or bit rot. Recovery quarantines these.
+    ChecksumMismatch,
+    /// Structurally invalid (bad utf8, implausible length) despite a
+    /// self-consistent checksum.
+    Corrupt(&'static str),
+    /// Written by a newer build: recognizable, not readable. Recovery
+    /// skips (and counts) these without touching the file.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a QFECKPT1 checkpoint"),
+            FormatError::Truncated => write!(f, "checkpoint truncated"),
+            FormatError::ChecksumMismatch => {
+                write!(f, "checkpoint corrupted (checksum mismatch)")
+            }
+            FormatError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            FormatError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint manifest version {found} is newer than supported {supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// A decoded checkpoint: manifest metadata plus the opaque model
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Store-assigned generation — strictly increasing across saves,
+    /// never reused even across restarts.
+    pub generation: u64,
+    /// Estimator name, e.g. `GB + conjunctive` (provenance + a sanity
+    /// check at restore time).
+    pub kind: String,
+    /// Featurizer (QFT) name the model was trained under.
+    pub qft: String,
+    /// Wall-clock seconds since the Unix epoch when the model finished
+    /// training (0 when unknown).
+    pub trained_at_unix_s: u64,
+    /// Training-set size behind this model (0 when unknown).
+    pub sample_count: u64,
+    /// Free-form provenance note ("initial", "adapt swap", …).
+    pub note: String,
+    /// The opaque, self-validating model snapshot
+    /// (e.g. a `QFELE001` learned-estimator frame).
+    pub model: Vec<u8>,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader<'_>, what: &'static str) -> Result<String, FormatError> {
+    let len = r.u32().map_err(|_| FormatError::Truncated)? as usize;
+    if len > MAX_STRING {
+        return Err(FormatError::Corrupt(what));
+    }
+    let bytes = r.bytes(len).map_err(|_| FormatError::Truncated)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| FormatError::Corrupt(what))
+}
+
+impl Checkpoint {
+    /// Encode into the on-disk frame (see the module docs).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(
+            8 + 12 + self.kind.len() + self.qft.len() + self.note.len() + 16 + 4 + self.model.len(),
+        );
+        payload.extend_from_slice(&self.generation.to_le_bytes());
+        put_str(&mut payload, &self.kind);
+        put_str(&mut payload, &self.qft);
+        payload.extend_from_slice(&self.trained_at_unix_s.to_le_bytes());
+        payload.extend_from_slice(&self.sample_count.to_le_bytes());
+        put_str(&mut payload, &self.note);
+        payload.extend_from_slice(&(self.model.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&self.model);
+
+        let mut out = Vec::with_capacity(8 + 4 + 8 + payload.len());
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a checkpoint file.
+    ///
+    /// # Errors
+    /// Never panics: magic, version, checksum, and structure are checked
+    /// in that order, and each failure is a distinct [`FormatError`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, FormatError> {
+        if bytes.len() < CHECKPOINT_MAGIC.len() || &bytes[..8] != CHECKPOINT_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        if bytes.len() < 12 {
+            return Err(FormatError::Truncated);
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version > MANIFEST_VERSION {
+            return Err(FormatError::UnsupportedVersion {
+                found: version,
+                supported: MANIFEST_VERSION,
+            });
+        }
+        if version == 0 {
+            return Err(FormatError::Corrupt("manifest version 0"));
+        }
+        if bytes.len() < 20 {
+            return Err(FormatError::Truncated);
+        }
+        let stored = u64::from_le_bytes([
+            bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+        ]);
+        let payload = &bytes[20..];
+        if fnv1a64(payload) != stored {
+            return Err(FormatError::ChecksumMismatch);
+        }
+        let mut r = Reader::new(payload);
+        let generation = r.u64().map_err(|_| FormatError::Truncated)?;
+        let kind = get_str(&mut r, "kind")?;
+        let qft = get_str(&mut r, "qft")?;
+        let trained_at_unix_s = r.u64().map_err(|_| FormatError::Truncated)?;
+        let sample_count = r.u64().map_err(|_| FormatError::Truncated)?;
+        let note = get_str(&mut r, "note")?;
+        let model_len = r.u32().map_err(|_| FormatError::Truncated)? as usize;
+        if model_len > MAX_MODEL {
+            return Err(FormatError::Corrupt("implausible model size"));
+        }
+        let model = r
+            .bytes(model_len)
+            .map_err(|_| FormatError::Truncated)?
+            .to_vec();
+        if !r.finished() {
+            return Err(FormatError::Corrupt("trailing bytes"));
+        }
+        Ok(Checkpoint {
+            generation,
+            kind,
+            qft,
+            trained_at_unix_s,
+            sample_count,
+            note,
+            model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            generation: 42,
+            kind: "GB + conjunctive".into(),
+            qft: "conjunctive".into(),
+            trained_at_unix_s: 1_700_000_000,
+            sample_count: 1_500,
+            note: "adapt swap".into(),
+            model: (0u16..700).map(|i| (i % 251) as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let ck = sample();
+        assert_eq!(Checkpoint::decode(&ck.encode()).unwrap(), ck);
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Checkpoint::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_rejected() {
+        let clean = sample().encode();
+        for pos in (0..clean.len()).step_by(3) {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x40;
+            assert!(Checkpoint::decode(&bytes).is_err(), "flip at byte {pos}");
+        }
+    }
+
+    #[test]
+    fn higher_version_is_typed_not_fatal() {
+        let mut bytes = sample().encode();
+        bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&bytes).unwrap_err(),
+            FormatError::UnsupportedVersion {
+                found: 7,
+                supported: MANIFEST_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn version_zero_is_corrupt() {
+        let mut bytes = sample().encode();
+        bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&bytes).unwrap_err(),
+            FormatError::Corrupt("manifest version 0")
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(9);
+        assert_eq!(
+            Checkpoint::decode(&bytes).unwrap_err(),
+            FormatError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'Z';
+        assert_eq!(
+            Checkpoint::decode(&bytes).unwrap_err(),
+            FormatError::BadMagic
+        );
+        assert_eq!(Checkpoint::decode(b"").unwrap_err(), FormatError::BadMagic);
+    }
+
+    #[test]
+    fn empty_model_and_strings_round_trip() {
+        let ck = Checkpoint {
+            generation: 0,
+            kind: String::new(),
+            qft: String::new(),
+            trained_at_unix_s: 0,
+            sample_count: 0,
+            note: String::new(),
+            model: Vec::new(),
+        };
+        assert_eq!(Checkpoint::decode(&ck.encode()).unwrap(), ck);
+    }
+}

@@ -1,0 +1,153 @@
+//! The pluggable filesystem boundary.
+//!
+//! Every byte the checkpoint store moves goes through [`StoreFs`], so a
+//! test can swap the real filesystem for an in-memory one
+//! ([`crate::mem::MemFs`]) or a fault injector ([`crate::chaos::ChaosFs`])
+//! and exercise every failure mode — torn writes, failed fsyncs, crashes
+//! between any two steps — deterministically, without touching disk.
+//!
+//! The trait is deliberately narrow: exactly the operations the
+//! write-temp → fsync → rename → dir-sync protocol needs, with
+//! whole-file reads and writes (checkpoints are single-digit megabytes;
+//! streaming would buy nothing and cost fault-injection coverage).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Filesystem operations the checkpoint store depends on.
+///
+/// Durability contract implementations must honor:
+/// - [`write_all`](StoreFs::write_all) makes data *visible*, not durable.
+/// - [`sync_file`](StoreFs::sync_file) makes a file's *content* durable.
+/// - [`rename`](StoreFs::rename) atomically replaces the target name; the
+///   *name change* becomes durable only after
+///   [`sync_dir`](StoreFs::sync_dir) on the parent directory.
+///
+/// A crash may lose anything not yet durable: unsynced file content can
+/// come back absent, empty, or torn; an un-dir-synced rename can come
+/// back under either name. Recovery is written against exactly this
+/// model.
+pub trait StoreFs: Send + Sync {
+    /// Read the entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Create (or truncate) `path` and write all of `bytes`. Visible on
+    /// return, durable only after [`sync_file`](StoreFs::sync_file).
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// fsync the file's content (and metadata) to durable storage.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to`, replacing `to` if it exists.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// fsync the directory, making completed renames/creations in it
+    /// durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// List the files (not subdirectories) directly under `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Delete a file. Only retention GC calls this — recovery never
+    /// deletes anything, it quarantines via [`rename`](StoreFs::rename).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether a file or directory exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real filesystem, via `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl StoreFs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the portable
+        // POSIX idiom for making directory-entry updates durable.
+        fs::File::open(dir)?.sync_all()
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qfe-store-realfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn real_fs_round_trip() {
+        let fs = RealFs;
+        let dir = tmp_dir("rt");
+        fs.create_dir_all(&dir).unwrap();
+        let tmp = dir.join("a.tmp");
+        let fin = dir.join("a.bin");
+        fs.write_all(&tmp, b"hello").unwrap();
+        fs.sync_file(&tmp).unwrap();
+        fs.rename(&tmp, &fin).unwrap();
+        fs.sync_dir(&dir).unwrap();
+        assert!(!fs.exists(&tmp));
+        assert!(fs.exists(&fin));
+        assert_eq!(fs.read(&fin).unwrap(), b"hello");
+        assert_eq!(fs.list(&dir).unwrap(), vec![fin.clone()]);
+        fs.remove(&fin).unwrap();
+        assert!(fs.list(&dir).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn real_fs_read_missing_is_io_error() {
+        let fs = RealFs;
+        let dir = tmp_dir("missing");
+        assert!(fs.read(&dir.join("nope")).is_err());
+        assert!(!fs.exists(&dir.join("nope")));
+    }
+}

@@ -1,0 +1,39 @@
+//! Durable model store: crash-safe checkpointing and recovery for
+//! trained cardinality estimators.
+//!
+//! A serving process that adapts its model online (see `qfe-serve`) has
+//! state worth keeping: the currently-published estimator embodies
+//! training plus every accepted adaptation since. This crate persists
+//! that state so a restart resumes from the last accepted model instead
+//! of a cold baseline — and does so under a hostile-filesystem threat
+//! model: torn writes, short writes, ENOSPC, failed fsyncs, and crashes
+//! between any two syscalls.
+//!
+//! The pieces:
+//! - [`fs::StoreFs`] — the narrow filesystem boundary everything goes
+//!   through; [`fs::RealFs`] for production.
+//! - [`mem::MemFs`] — in-memory filesystem that models *durability*
+//!   (synced vs merely visible) and can simulate power loss.
+//! - [`chaos::ChaosFs`] — deterministic fault injector: plants torn
+//!   writes, transient errors, and crash points at exact protocol steps.
+//! - [`format::Checkpoint`] — the checksummed, versioned on-disk frame.
+//! - [`store::CheckpointStore`] — atomic save (write-temp → fsync →
+//!   rename → dir-sync), scavenging recovery that quarantines damage
+//!   and never deletes, retention GC with pinning, and retry-with-
+//!   backoff for transient errors. Emits `persist.*` metrics through
+//!   `qfe-obs`.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+pub mod chaos;
+pub mod format;
+pub mod fs;
+pub mod mem;
+pub mod store;
+
+pub use chaos::{ChaosFs, Fault, FaultPlan};
+pub use format::{Checkpoint, FormatError, CHECKPOINT_MAGIC, MANIFEST_VERSION};
+pub use fs::{RealFs, StoreFs};
+pub use mem::{CrashStyle, MemFs};
+pub use store::{CheckpointMeta, CheckpointStore, RecoveryReport, RetryPolicy, StoreConfig};

@@ -1,0 +1,298 @@
+//! An in-memory filesystem that models durability, not just storage.
+//!
+//! [`MemFs`] tracks, per file, both the *visible* content (what reads see
+//! now) and the *durable* content (what a power loss would preserve), and
+//! treats renames as durable only once their directory has been synced —
+//! the same contract [`StoreFs`] documents for the real filesystem. A
+//! test drives the store normally, then calls [`MemFs::crash`] to
+//! simulate pulling the plug: everything not yet durable is lost or torn,
+//! exactly as a disk would lose it, and recovery runs against the wreck.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::fs::StoreFs;
+
+/// How [`MemFs::crash_with`] treats state that was never made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashStyle {
+    /// Unsynced file content survives as a torn prefix (half the bytes) —
+    /// the classic partially-persisted write that recovery must detect by
+    /// checksum and quarantine. Un-dir-synced renames roll back.
+    TearUnsynced,
+    /// Unsynced files vanish entirely; un-dir-synced renames roll back.
+    /// Models a crash before the page cache wrote anything back.
+    DropUnsynced,
+    /// Unsynced file content tears, but renames *survive* even without a
+    /// directory sync — the other legal outcome of an un-synced rename
+    /// (the dir entry happened to reach disk first).
+    TearKeepRenames,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    dirs: BTreeSet<PathBuf>,
+    /// What reads and lists see right now.
+    visible: BTreeMap<PathBuf, Vec<u8>>,
+    /// Per current visible name: content guaranteed durable (synced).
+    synced: BTreeMap<PathBuf, Vec<u8>>,
+    /// Renames applied to `visible`/`synced` but not yet committed by a
+    /// directory sync, oldest first.
+    pending_renames: Vec<(PathBuf, PathBuf)>,
+}
+
+/// See the module docs.
+#[derive(Debug, Default)]
+pub struct MemFs {
+    inner: Mutex<Inner>,
+}
+
+impl MemFs {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        MemFs::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Simulate power loss with the worst-case default
+    /// ([`CrashStyle::TearUnsynced`]): visible state is rebuilt from what
+    /// was actually durable. After this, the filesystem is usable again —
+    /// run recovery against it.
+    pub fn crash(&self) {
+        self.crash_with(CrashStyle::TearUnsynced);
+    }
+
+    /// Simulate power loss with an explicit durability outcome for
+    /// unsynced state. Deterministic: the same pre-crash history always
+    /// yields the same post-crash filesystem.
+    pub fn crash_with(&self, style: CrashStyle) {
+        let mut inner = self.lock();
+        // 1. Un-dir-synced renames: roll back (or keep, per style).
+        if style != CrashStyle::TearKeepRenames {
+            let pending = std::mem::take(&mut inner.pending_renames);
+            for (from, to) in pending.into_iter().rev() {
+                if let Some(content) = inner.visible.remove(&to) {
+                    inner.visible.insert(from.clone(), content);
+                }
+                if let Some(content) = inner.synced.remove(&to) {
+                    inner.synced.insert(from, content);
+                }
+            }
+        } else {
+            inner.pending_renames.clear();
+        }
+        // 2. File content: only synced bytes survive intact; everything
+        // else tears or vanishes.
+        let survivors: BTreeMap<PathBuf, Vec<u8>> = inner
+            .visible
+            .iter()
+            .filter_map(|(path, content)| match inner.synced.get(path) {
+                Some(durable) => Some((path.clone(), durable.clone())),
+                None => match style {
+                    CrashStyle::DropUnsynced => None,
+                    CrashStyle::TearUnsynced | CrashStyle::TearKeepRenames => {
+                        let torn = content[..content.len() / 2].to_vec();
+                        Some((path.clone(), torn))
+                    }
+                },
+            })
+            .collect();
+        inner.visible = survivors.clone();
+        inner.synced = survivors;
+    }
+
+    /// Number of files currently visible (test helper).
+    pub fn file_count(&self) -> usize {
+        self.lock().visible.len()
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no such file: {}", path.display()),
+    )
+}
+
+impl StoreFs for MemFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.lock()
+            .visible
+            .get(path)
+            .cloned()
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.lock();
+        inner.visible.insert(path.to_path_buf(), bytes.to_vec());
+        // Overwriting invalidates any previous durability of this name.
+        inner.synced.remove(path);
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        let content = inner
+            .visible
+            .get(path)
+            .cloned()
+            .ok_or_else(|| not_found(path))?;
+        inner.synced.insert(path.to_path_buf(), content);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        let content = inner.visible.remove(from).ok_or_else(|| not_found(from))?;
+        inner.visible.insert(to.to_path_buf(), content);
+        if let Some(durable) = inner.synced.remove(from) {
+            inner.synced.insert(to.to_path_buf(), durable);
+        }
+        inner
+            .pending_renames
+            .push((from.to_path_buf(), to.to_path_buf()));
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        // Commit every pending rename whose names live in `dir`.
+        inner
+            .pending_renames
+            .retain(|(from, to)| from.parent() != Some(dir) && to.parent() != Some(dir));
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let inner = self.lock();
+        Ok(inner
+            .visible
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.lock().dirs.insert(dir.to_path_buf());
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        inner.visible.remove(path).ok_or_else(|| not_found(path))?;
+        inner.synced.remove(path);
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let inner = self.lock();
+        inner.visible.contains_key(path) || inner.dirs.contains(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn unsynced_write_tears_on_crash() {
+        let fs = MemFs::new();
+        fs.write_all(&p("/d/a"), b"0123456789").unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("/d/a")).unwrap(), b"01234", "torn to half");
+    }
+
+    #[test]
+    fn unsynced_write_vanishes_under_drop_style() {
+        let fs = MemFs::new();
+        fs.write_all(&p("/d/a"), b"0123456789").unwrap();
+        fs.crash_with(CrashStyle::DropUnsynced);
+        assert!(fs.read(&p("/d/a")).is_err());
+    }
+
+    #[test]
+    fn synced_write_survives_crash() {
+        let fs = MemFs::new();
+        fs.write_all(&p("/d/a"), b"payload").unwrap();
+        fs.sync_file(&p("/d/a")).unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("/d/a")).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn unsynced_rename_rolls_back_on_crash() {
+        let fs = MemFs::new();
+        fs.write_all(&p("/d/a.tmp"), b"payload").unwrap();
+        fs.sync_file(&p("/d/a.tmp")).unwrap();
+        fs.rename(&p("/d/a.tmp"), &p("/d/a")).unwrap();
+        // No sync_dir: the rename is not durable.
+        fs.crash();
+        assert!(fs.read(&p("/d/a")).is_err(), "rename rolled back");
+        assert_eq!(fs.read(&p("/d/a.tmp")).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn unsynced_rename_can_also_survive() {
+        let fs = MemFs::new();
+        fs.write_all(&p("/d/a.tmp"), b"payload").unwrap();
+        fs.sync_file(&p("/d/a.tmp")).unwrap();
+        fs.rename(&p("/d/a.tmp"), &p("/d/a")).unwrap();
+        fs.crash_with(CrashStyle::TearKeepRenames);
+        assert_eq!(fs.read(&p("/d/a")).unwrap(), b"payload");
+        assert!(fs.read(&p("/d/a.tmp")).is_err());
+    }
+
+    #[test]
+    fn dir_synced_rename_survives_crash() {
+        let fs = MemFs::new();
+        fs.create_dir_all(&p("/d")).unwrap();
+        fs.write_all(&p("/d/a.tmp"), b"payload").unwrap();
+        fs.sync_file(&p("/d/a.tmp")).unwrap();
+        fs.rename(&p("/d/a.tmp"), &p("/d/a")).unwrap();
+        fs.sync_dir(&p("/d")).unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("/d/a")).unwrap(), b"payload");
+        assert!(fs.read(&p("/d/a.tmp")).is_err());
+    }
+
+    #[test]
+    fn overwrite_invalidates_previous_durability() {
+        let fs = MemFs::new();
+        fs.write_all(&p("/d/a"), b"old-content").unwrap();
+        fs.sync_file(&p("/d/a")).unwrap();
+        fs.write_all(&p("/d/a"), b"new!").unwrap();
+        fs.crash();
+        // The overwrite was never synced: torn new content, not old.
+        assert_eq!(fs.read(&p("/d/a")).unwrap(), b"ne");
+    }
+
+    #[test]
+    fn list_scopes_to_directory() {
+        let fs = MemFs::new();
+        fs.write_all(&p("/d/a"), b"x").unwrap();
+        fs.write_all(&p("/d/sub/b"), b"y").unwrap();
+        fs.write_all(&p("/e/c"), b"z").unwrap();
+        assert_eq!(fs.list(&p("/d")).unwrap(), vec![p("/d/a")]);
+    }
+
+    #[test]
+    fn remove_and_exists() {
+        let fs = MemFs::new();
+        fs.write_all(&p("/d/a"), b"x").unwrap();
+        assert!(fs.exists(&p("/d/a")));
+        fs.remove(&p("/d/a")).unwrap();
+        assert!(!fs.exists(&p("/d/a")));
+        assert!(fs.remove(&p("/d/a")).is_err());
+    }
+}

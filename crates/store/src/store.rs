@@ -1,0 +1,710 @@
+//! The checkpoint store: atomic saves, scavenging recovery, retention GC.
+//!
+//! # Save protocol
+//!
+//! Every save runs the same four-step sequence against [`StoreFs`]:
+//!
+//! ```text
+//! 1. write_all  ckpt-<gen>.qfc.tmp      bytes visible, not durable
+//! 2. sync_file  ckpt-<gen>.qfc.tmp      bytes durable under the temp name
+//! 3. read       ckpt-<gen>.qfc.tmp      read-back verification
+//! 4. rename     .tmp → ckpt-<gen>.qfc   atomic publish
+//! 5. sync_dir   <dir>                   the *name* is durable
+//! ```
+//!
+//! A crash between any two steps leaves either no final file or a
+//! complete, checksummed one — never a live name with torn content. The
+//! read-back at step 3 closes the one hole fsync can't: a *silent short
+//! write* (the kernel persisting a prefix while reporting success) would
+//! otherwise be published as a corrupt checkpoint under a live name with
+//! `save` reporting durable success. Checkpoints are small, so the extra
+//! read costs microseconds and buys the invariant "save returned Ok ⇒
+//! the published file is byte-exact". Each step is retried under
+//! [`RetryPolicy`] for transient errors
+//! (`Interrupted`/`WouldBlock`/`TimedOut`); hard failures abort the save
+//! and leave any debris for recovery to classify.
+//!
+//! # Recovery
+//!
+//! [`CheckpointStore::recover`] scans the directory and sorts every file
+//! into exactly one bucket: valid checkpoint, quarantined (corrupt —
+//! renamed aside, **never deleted**), skipped (newer manifest version —
+//! left untouched), temp debris (crashed save — quarantined), or
+//! unreadable (I/O error even after retries — left in place). The newest
+//! valid generation wins. The buckets are conserved: every scanned file
+//! lands in exactly one, and [`RecoveryReport::conserved`] checks it.
+//!
+//! # Retention
+//!
+//! After each successful save, GC removes all but the newest
+//! [`StoreConfig::retain`] valid checkpoints — except a pinned
+//! generation (a rollback target) is always kept. Quarantined files are
+//! never GC'd; they are evidence.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use qfe_obs::{NoopRecorder, Recorder};
+
+use crate::format::{Checkpoint, FormatError};
+use crate::fs::StoreFs;
+
+/// File extension of a live checkpoint.
+const EXT: &str = ".qfc";
+/// Suffix of an in-flight (or crashed) save.
+const TMP_SUFFIX: &str = ".qfc.tmp";
+/// Suffix recovery renames damaged files to. Quarantined files keep
+/// their full original name in front of it, so provenance survives.
+const QUARANTINE_SUFFIX: &str = ".quarantined";
+
+/// Bounded exponential backoff for transient I/O errors.
+///
+/// Only `Interrupted`, `WouldBlock`, and `TimedOut` are retried — those
+/// are the kinds that mean "try again"; everything else (ENOSPC, bad fd,
+/// simulated crash) fails the operation immediately.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Configuration for a [`CheckpointStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the checkpoints (created on open).
+    pub dir: PathBuf,
+    /// Valid generations to keep after GC (minimum 1).
+    pub retain: usize,
+    /// Transient-error retry policy applied to every fs operation.
+    pub retry: RetryPolicy,
+}
+
+impl StoreConfig {
+    /// Defaults (retain 3, default retries) under `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            retain: 3,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Metadata recorded alongside a model snapshot; the store assigns the
+/// generation itself.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointMeta {
+    /// Estimator name (e.g. `GB + conjunctive`).
+    pub kind: String,
+    /// Featurizer (QFT) name the model was trained under.
+    pub qft: String,
+    /// Wall-clock training time, seconds since the Unix epoch (0 =
+    /// unknown).
+    pub trained_at_unix_s: u64,
+    /// Training-set size (0 = unknown).
+    pub sample_count: u64,
+    /// Free-form provenance ("initial", "adapt swap", …).
+    pub note: String,
+}
+
+/// What [`CheckpointStore::recover`] found, bucket by bucket.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// The newest valid checkpoint, if any exists.
+    pub latest: Option<Checkpoint>,
+    /// Files examined (previously-quarantined files are not re-examined
+    /// and not counted here).
+    pub scanned: usize,
+    /// Checksum-valid, structurally sound checkpoints found.
+    pub valid: usize,
+    /// Damaged files renamed aside this scan.
+    pub quarantined: usize,
+    /// Newer-manifest-version files left untouched for a newer binary.
+    pub skipped_version: usize,
+    /// Crashed-save temp files quarantined this scan.
+    pub tmp_debris: usize,
+    /// Files that could not be read even after retries; left in place.
+    pub unreadable: usize,
+}
+
+impl RecoveryReport {
+    /// Every scanned file must land in exactly one bucket. A `false`
+    /// here means the scan itself is buggy — tests assert on it.
+    pub fn conserved(&self) -> bool {
+        self.scanned
+            == self.valid
+                + self.quarantined
+                + self.skipped_version
+                + self.tmp_debris
+                + self.unreadable
+    }
+}
+
+/// Injectable sleep, so tests retry without wall-clock delay.
+type Sleeper = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// See the module docs.
+pub struct CheckpointStore {
+    fs: Arc<dyn StoreFs>,
+    cfg: StoreConfig,
+    /// Next generation to assign. Seeded past every name seen on open —
+    /// including corrupt and quarantined ones — so numbers are never
+    /// reused even across crash/restart cycles.
+    next_gen: AtomicU64,
+    pinned: Mutex<Option<u64>>,
+    recorder: Mutex<Arc<dyn Recorder>>,
+    sleeper: Sleeper,
+}
+
+/// Parse the generation out of `ckpt-<16 hex>.qfc[…]` file names; `None`
+/// for foreign files.
+fn parse_generation(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("ckpt-")?;
+    let hex = rest.get(..16)?;
+    match rest.get(16..17) {
+        Some(".") => u64::from_str_radix(hex, 16).ok(),
+        _ => None,
+    }
+}
+
+fn file_name(path: &Path) -> &str {
+    path.file_name().and_then(|n| n.to_str()).unwrap_or("")
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the store at `cfg.dir`.
+    ///
+    /// Scans existing names — valid, temp, and quarantined alike — to
+    /// seed the generation counter past anything ever written.
+    pub fn open(fs: Arc<dyn StoreFs>, cfg: StoreConfig) -> io::Result<Self> {
+        let store = CheckpointStore {
+            fs,
+            cfg,
+            next_gen: AtomicU64::new(0),
+            pinned: Mutex::new(None),
+            recorder: Mutex::new(Arc::new(NoopRecorder)),
+            sleeper: Arc::new(std::thread::sleep),
+        };
+        store.with_retry(|fs| fs.create_dir_all(&store.cfg.dir))?;
+        let names = store.with_retry(|fs| fs.list(&store.cfg.dir))?;
+        let max_seen = names
+            .iter()
+            .filter_map(|p| parse_generation(file_name(p)))
+            .max();
+        store
+            .next_gen
+            .store(max_seen.map_or(0, |g| g + 1), Ordering::SeqCst);
+        Ok(store)
+    }
+
+    /// Route `persist.*` metrics into `recorder` (defaults to a no-op).
+    pub fn set_recorder(&self, recorder: Arc<dyn Recorder>) {
+        *self.recorder.lock().unwrap_or_else(|e| e.into_inner()) = recorder;
+    }
+
+    /// Replace the backoff sleep (tests pass a no-op to retry without
+    /// wall-clock delay).
+    pub fn set_sleeper(&mut self, sleeper: Arc<dyn Fn(Duration) + Send + Sync>) {
+        self.sleeper = sleeper;
+    }
+
+    fn recorder(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.recorder.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Generation the next save will get.
+    pub fn next_generation(&self) -> u64 {
+        self.next_gen.load(Ordering::SeqCst)
+    }
+
+    /// Keep `generation` through GC (rollback target). One pin at a
+    /// time; pinning replaces the previous pin.
+    pub fn pin(&self, generation: u64) {
+        *self.pinned.lock().unwrap_or_else(|e| e.into_inner()) = Some(generation);
+    }
+
+    /// Clear the pin.
+    pub fn unpin(&self) {
+        *self.pinned.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    fn run_one<T>(&self, f: &dyn Fn(&dyn StoreFs) -> io::Result<T>) -> io::Result<T> {
+        f(self.fs.as_ref())
+    }
+
+    /// Run `f` with bounded exponential backoff on transient errors.
+    fn with_retry<T>(&self, f: impl Fn(&dyn StoreFs) -> io::Result<T>) -> io::Result<T> {
+        let rec = self.recorder();
+        let mut backoff = self.cfg.retry.initial_backoff;
+        let mut attempt = 0u32;
+        loop {
+            match self.run_one(&f) {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(e.kind()) && attempt < self.cfg.retry.max_retries => {
+                    attempt += 1;
+                    rec.incr("persist.retried");
+                    (self.sleeper)(backoff);
+                    backoff = (backoff * 2).min(self.cfg.retry.max_backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn final_path(&self, generation: u64) -> PathBuf {
+        self.cfg.dir.join(format!("ckpt-{generation:016x}{EXT}"))
+    }
+
+    fn tmp_path(&self, generation: u64) -> PathBuf {
+        self.cfg
+            .dir
+            .join(format!("ckpt-{generation:016x}{TMP_SUFFIX}"))
+    }
+
+    /// Durably persist `model` under a fresh generation; returns the
+    /// generation on success.
+    ///
+    /// On failure the generation number is burned (never reused) and any
+    /// temp debris is left for the next [`recover`](Self::recover) to
+    /// quarantine — this function never deletes.
+    pub fn save(&self, meta: &CheckpointMeta, model: Vec<u8>) -> io::Result<u64> {
+        let rec = self.recorder();
+        let started = Instant::now();
+        let generation = self.next_gen.fetch_add(1, Ordering::SeqCst);
+        let ck = Checkpoint {
+            generation,
+            kind: meta.kind.clone(),
+            qft: meta.qft.clone(),
+            trained_at_unix_s: meta.trained_at_unix_s,
+            sample_count: meta.sample_count,
+            note: meta.note.clone(),
+            model,
+        };
+        let bytes = ck.encode();
+        let tmp = self.tmp_path(generation);
+        let fin = self.final_path(generation);
+
+        let result = self
+            .with_retry(|fs| fs.write_all(&tmp, &bytes))
+            .and_then(|()| self.with_retry(|fs| fs.sync_file(&tmp)))
+            .and_then(|()| {
+                // Read-back verification: catches silent short writes
+                // that fsync happily made durable (see module docs).
+                let back = self.with_retry(|fs| fs.read(&tmp))?;
+                if back == bytes {
+                    Ok(())
+                } else {
+                    Err(io::Error::other(
+                        "read-back verification failed: short or corrupted write",
+                    ))
+                }
+            })
+            .and_then(|()| self.with_retry(|fs| fs.rename(&tmp, &fin)))
+            .and_then(|()| self.with_retry(|fs| fs.sync_dir(&self.cfg.dir)));
+
+        match result {
+            Ok(()) => {
+                rec.incr("persist.written");
+                rec.record("persist.save", started.elapsed());
+                self.gc();
+                Ok(generation)
+            }
+            Err(e) => {
+                rec.incr("persist.write_failed");
+                Err(e)
+            }
+        }
+    }
+
+    /// Rename a damaged file aside (append [`QUARANTINE_SUFFIX`]); a
+    /// best-effort dir sync makes the verdict durable. Never deletes.
+    fn quarantine(&self, path: &Path) -> bool {
+        let mut target = path.as_os_str().to_owned();
+        target.push(QUARANTINE_SUFFIX);
+        let target = PathBuf::from(target);
+        let ok = self.with_retry(|fs| fs.rename(path, &target)).is_ok();
+        if ok {
+            let _ = self.with_retry(|fs| fs.sync_dir(&self.cfg.dir));
+        }
+        ok
+    }
+
+    /// Scan the directory, classify every file, and return the newest
+    /// valid checkpoint (see the module docs for the buckets).
+    pub fn recover(&self) -> io::Result<RecoveryReport> {
+        let rec = self.recorder();
+        let started = Instant::now();
+        let mut report = RecoveryReport::default();
+        let paths = self.with_retry(|fs| fs.list(&self.cfg.dir))?;
+
+        let mut best: Option<Checkpoint> = None;
+        for path in paths {
+            let name = file_name(&path);
+            if name.ends_with(QUARANTINE_SUFFIX) {
+                continue; // already classified by an earlier scan
+            }
+            report.scanned += 1;
+            if name.ends_with(TMP_SUFFIX) {
+                // A save that never reached its rename. The content may
+                // even be intact, but the protocol never published it —
+                // treat it as debris and move it aside.
+                report.tmp_debris += 1;
+                rec.incr("persist.tmp_debris");
+                self.quarantine(&path);
+                continue;
+            }
+            if !name.ends_with(EXT) {
+                // Foreign file in our directory: not ours to touch, but
+                // it must land in a bucket. Count it as unreadable-by-us.
+                report.unreadable += 1;
+                rec.incr("persist.unreadable");
+                continue;
+            }
+            let bytes = match self.with_retry(|fs| fs.read(&path)) {
+                Ok(b) => b,
+                Err(_) => {
+                    report.unreadable += 1;
+                    rec.incr("persist.unreadable");
+                    continue;
+                }
+            };
+            match Checkpoint::decode(&bytes) {
+                Ok(ck) => {
+                    report.valid += 1;
+                    if best.as_ref().is_none_or(|b| ck.generation > b.generation) {
+                        best = Some(ck);
+                    }
+                }
+                Err(FormatError::UnsupportedVersion { .. }) => {
+                    // Recognizable, just newer than this build: leave the
+                    // file for the binary that owns it.
+                    report.skipped_version += 1;
+                    rec.incr("persist.skipped_version");
+                }
+                Err(_) => {
+                    report.quarantined += 1;
+                    rec.incr("persist.quarantined");
+                    self.quarantine(&path);
+                }
+            }
+        }
+
+        if let Some(ck) = &best {
+            rec.incr("persist.recovered");
+            rec.add("persist.recovered_generation", 0); // ensure key exists
+            rec.set_gauge("persist.recovered_generation", ck.generation);
+        }
+        rec.record("persist.recover", started.elapsed());
+        debug_assert!(report.conserved(), "recovery buckets must conserve");
+        report.latest = best;
+        Ok(report)
+    }
+
+    /// Remove valid checkpoints beyond the newest
+    /// [`StoreConfig::retain`], keeping a pinned generation
+    /// unconditionally. Best-effort: I/O errors leave files for the next
+    /// pass. Only files matching the live-checkpoint name pattern are
+    /// ever removed.
+    pub fn gc(&self) {
+        let rec = self.recorder();
+        let retain = self.cfg.retain.max(1);
+        let pinned = *self.pinned.lock().unwrap_or_else(|e| e.into_inner());
+        let Ok(paths) = self.with_retry(|fs| fs.list(&self.cfg.dir)) else {
+            return;
+        };
+        let mut live: Vec<(u64, PathBuf)> = paths
+            .into_iter()
+            .filter(|p| file_name(p).ends_with(EXT))
+            .filter_map(|p| parse_generation(file_name(&p)).map(|g| (g, p)))
+            .collect();
+        if live.len() <= retain {
+            return;
+        }
+        live.sort_by_key(|(g, _)| std::cmp::Reverse(*g));
+        for (generation, path) in live.into_iter().skip(retain) {
+            if Some(generation) == pinned {
+                continue;
+            }
+            if self.with_retry(|fs| fs.remove(&path)).is_ok() {
+                rec.incr("persist.gc_removed");
+            }
+        }
+        let _ = self.with_retry(|fs| fs.sync_dir(&self.cfg.dir));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosFs, Fault, FaultPlan};
+    use crate::mem::MemFs;
+    use qfe_obs::MetricsRecorder;
+
+    fn meta(note: &str) -> CheckpointMeta {
+        CheckpointMeta {
+            kind: "GB + conjunctive".into(),
+            qft: "conjunctive".into(),
+            trained_at_unix_s: 1_700_000_000,
+            sample_count: 100,
+            note: note.into(),
+        }
+    }
+
+    fn mem_store(mem: &Arc<MemFs>, retain: usize) -> CheckpointStore {
+        let mut cfg = StoreConfig::new("/store");
+        cfg.retain = retain;
+        let mut store = CheckpointStore::open(Arc::clone(mem) as Arc<dyn StoreFs>, cfg).unwrap();
+        store.set_sleeper(Arc::new(|_| {}));
+        store
+    }
+
+    #[test]
+    fn save_then_recover_round_trips() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 3);
+        let generation = store.save(&meta("initial"), vec![1, 2, 3]).unwrap();
+        let report = store.recover().unwrap();
+        assert!(report.conserved());
+        let ck = report.latest.unwrap();
+        assert_eq!(ck.generation, generation);
+        assert_eq!(ck.model, vec![1, 2, 3]);
+        assert_eq!(ck.note, "initial");
+    }
+
+    #[test]
+    fn newest_valid_generation_wins() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 5);
+        store.save(&meta("a"), vec![1]).unwrap();
+        store.save(&meta("b"), vec![2]).unwrap();
+        let last = store.save(&meta("c"), vec![3]).unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.valid, 3);
+        assert_eq!(report.latest.unwrap().generation, last);
+    }
+
+    #[test]
+    fn saved_checkpoint_survives_crash() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 3);
+        store.save(&meta("durable"), vec![7; 64]).unwrap();
+        mem.crash();
+        let store2 = mem_store(&mem, 3);
+        let report = store2.recover().unwrap();
+        assert_eq!(report.latest.unwrap().model, vec![7; 64]);
+    }
+
+    #[test]
+    fn torn_unsynced_write_is_quarantined_not_deleted() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 3);
+        store.save(&meta("good"), vec![1; 32]).unwrap();
+        // A bare write without the protocol: torn on crash.
+        mem.write_all(
+            &PathBuf::from("/store/ckpt-00000000000000ff.qfc"),
+            &[0u8; 100],
+        )
+        .unwrap();
+        mem.crash();
+        let store2 = mem_store(&mem, 3);
+        let report = store2.recover().unwrap();
+        assert!(report.conserved());
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.latest.unwrap().note, "good");
+        // The damaged file still exists, renamed aside.
+        assert!(mem.exists(&PathBuf::from(
+            "/store/ckpt-00000000000000ff.qfc.quarantined"
+        )));
+    }
+
+    #[test]
+    fn tmp_debris_is_counted_and_moved_aside() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 3);
+        mem.write_all(
+            &PathBuf::from("/store/ckpt-0000000000000001.qfc.tmp"),
+            b"junk",
+        )
+        .unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.tmp_debris, 1);
+        assert!(report.latest.is_none());
+        assert!(mem.exists(&PathBuf::from(
+            "/store/ckpt-0000000000000001.qfc.tmp.quarantined"
+        )));
+    }
+
+    #[test]
+    fn generations_never_reused_after_restart() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 5);
+        let g0 = store.save(&meta("a"), vec![1]).unwrap();
+        mem.crash();
+        let store2 = mem_store(&mem, 5);
+        let g1 = store2.save(&meta("b"), vec![2]).unwrap();
+        assert!(g1 > g0, "generation {g1} must be fresher than {g0}");
+    }
+
+    #[test]
+    fn retention_gc_keeps_newest_and_pinned() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 2);
+        let rec = Arc::new(MetricsRecorder::new());
+        store.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        let first = store.save(&meta("pin-me"), vec![0]).unwrap();
+        store.pin(first);
+        for i in 1..=4 {
+            store.save(&meta("later"), vec![i]).unwrap();
+        }
+        let report = store.recover().unwrap();
+        // Newest 2 + the pinned one.
+        assert_eq!(report.valid, 3);
+        assert!(rec.counter("persist.gc_removed") >= 2);
+        let gens: Vec<u64> = {
+            let mut g = Vec::new();
+            for p in mem.list(&PathBuf::from("/store")).unwrap() {
+                if let Some(gen) = parse_generation(file_name(&p)) {
+                    if file_name(&p).ends_with(EXT) {
+                        g.push(gen);
+                    }
+                }
+            }
+            g
+        };
+        assert!(gens.contains(&first), "pinned generation must survive GC");
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_counted() {
+        let mem = Arc::new(MemFs::new());
+        let chaos = Arc::new(ChaosFs::new(
+            Arc::clone(&mem) as Arc<dyn StoreFs>,
+            FaultPlan::new(),
+        ));
+        // open() consumes ops; plant transients on the save's first two
+        // steps after open.
+        let mut cfg = StoreConfig::new("/store");
+        cfg.retry.max_retries = 3;
+        let mut store = CheckpointStore::open(Arc::clone(&chaos) as Arc<dyn StoreFs>, cfg).unwrap();
+        store.set_sleeper(Arc::new(|_| {}));
+        let rec = Arc::new(MetricsRecorder::new());
+        store.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        let base = chaos.ops_seen();
+        chaos.plant(base, Fault::Transient(2));
+        chaos.plant(base + 1, Fault::Transient(1));
+        store.save(&meta("retried"), vec![9]).unwrap();
+        assert_eq!(rec.counter("persist.retried"), 3);
+        assert_eq!(rec.counter("persist.written"), 1);
+        let report = store.recover().unwrap();
+        assert_eq!(report.latest.unwrap().model, vec![9]);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_save() {
+        let mem = Arc::new(MemFs::new());
+        let chaos = Arc::new(ChaosFs::new(
+            Arc::clone(&mem) as Arc<dyn StoreFs>,
+            FaultPlan::new(),
+        ));
+        let mut cfg = StoreConfig::new("/store");
+        cfg.retry.max_retries = 2;
+        let mut store = CheckpointStore::open(Arc::clone(&chaos) as Arc<dyn StoreFs>, cfg).unwrap();
+        store.set_sleeper(Arc::new(|_| {}));
+        let rec = Arc::new(MetricsRecorder::new());
+        store.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        chaos.plant(chaos.ops_seen(), Fault::Transient(10));
+        assert!(store.save(&meta("doomed"), vec![1]).is_err());
+        assert_eq!(rec.counter("persist.write_failed"), 1);
+        assert_eq!(rec.counter("persist.retried"), 2);
+    }
+
+    #[test]
+    fn foreign_and_newer_version_files_left_untouched() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 3);
+        store.save(&meta("mine"), vec![1]).unwrap();
+        // A foreign file and a future-version checkpoint.
+        mem.write_all(&PathBuf::from("/store/README.txt"), b"hello")
+            .unwrap();
+        let mut future = Checkpoint {
+            generation: 9_999,
+            kind: String::new(),
+            qft: String::new(),
+            trained_at_unix_s: 0,
+            sample_count: 0,
+            note: String::new(),
+            model: vec![1, 2],
+        }
+        .encode();
+        future[8..12].copy_from_slice(&9u32.to_le_bytes());
+        mem.write_all(&PathBuf::from("/store/ckpt-000000000000270f.qfc"), &future)
+            .unwrap();
+        let report = store.recover().unwrap();
+        assert!(report.conserved());
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.skipped_version, 1);
+        assert_eq!(report.unreadable, 1, "foreign file counted, not touched");
+        assert_eq!(report.latest.unwrap().note, "mine");
+        assert!(mem.exists(&PathBuf::from("/store/README.txt")));
+        assert!(
+            mem.exists(&PathBuf::from("/store/ckpt-000000000000270f.qfc")),
+            "future-version file must not be quarantined or deleted"
+        );
+        // But its generation still seeds the counter on reopen.
+        let store2 = mem_store(&mem, 3);
+        assert!(store2.next_generation() > 0x270f);
+    }
+
+    #[test]
+    fn empty_store_recovers_to_none() {
+        let mem = Arc::new(MemFs::new());
+        let store = mem_store(&mem, 3);
+        let report = store.recover().unwrap();
+        assert!(report.latest.is_none());
+        assert!(report.conserved());
+        assert_eq!(report.scanned, 0);
+    }
+
+    #[test]
+    fn parse_generation_accepts_only_checkpoint_names() {
+        assert_eq!(parse_generation("ckpt-000000000000002a.qfc"), Some(42));
+        assert_eq!(parse_generation("ckpt-000000000000002a.qfc.tmp"), Some(42));
+        assert_eq!(
+            parse_generation("ckpt-000000000000002a.qfc.quarantined"),
+            Some(42)
+        );
+        assert_eq!(parse_generation("ckpt-zz.qfc"), None);
+        assert_eq!(parse_generation("other.bin"), None);
+        assert_eq!(parse_generation("ckpt-000000000000002a"), None);
+    }
+}

@@ -1,0 +1,366 @@
+//! Durability, end to end on a real disk: adapt, checkpoint, die
+//! mid-checkpoint, warm-restart with the adapted accuracy intact.
+//!
+//! ```sh
+//! cargo run --release --example persistence
+//! ```
+//!
+//! The run replays the drift-recovery arc of `examples/adaptation.rs`,
+//! but with the [`ModelSlot`] wired to an [`AsyncCheckpointer`] over a
+//! [`CheckpointStore`] on the real filesystem. After the adapted model is
+//! durably checkpointed, the run starts one more save through a
+//! [`ChaosFs`] with a planted crash point, so the process leaves exactly
+//! what a mid-checkpoint power loss would: a torn `.tmp` file next to a
+//! valid checkpoint. A warm restart then recovers, quarantines the
+//! debris, probe-validates the rebuilt model, and proves it still beats
+//! the no-adaptation baseline on unseen drifted queries.
+//!
+//! CI drives the same binary as a *two-process* crash test:
+//!
+//! - `QFE_PHASE=serve` — run phase 1, then SIGKILL itself mid-checkpoint
+//!   (no destructors, no flushes: a genuine kill);
+//! - `QFE_PHASE=restart` — a fresh process recovers from the same
+//!   `QFE_STORE_DIR` and asserts adapted accuracy survived.
+//!
+//! Set `QFE_PERSIST_JSON=/path/out.json` in the restart phase to dump the
+//! full metrics snapshot — `persist.*`, `slot.*`, `serve.*` — as an
+//! artifact.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qfe::core::featurize::{AttributeSpace, Featurizer, UniversalConjunctionEncoding};
+use qfe::core::metrics::q_error;
+use qfe::core::{Deadline, Query, TableId};
+use qfe::data::forest::{generate_forest, ForestConfig};
+use qfe::data::table::Database;
+use qfe::estimators::labels::{label_queries, LabeledQueries};
+use qfe::estimators::LearnedEstimator;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::obs::PageHinkleyConfig;
+use qfe::serve::{
+    AdaptConfig, AdaptController, AsyncCheckpointer, CandidateTrainer, EstimatorService,
+    ModelPersister, ModelSlot, RestoreOutcome, ServiceConfig, SharedEstimator, StepReport,
+};
+use qfe::store::{
+    ChaosFs, Checkpoint, CheckpointMeta, CheckpointStore, Fault, FaultPlan, RealFs, StoreConfig,
+    StoreFs,
+};
+use qfe::workload::{generate_conjunctive, ConjunctiveConfig};
+
+const TABLE: TableId = TableId(0);
+const BUDGET: Duration = Duration::from_secs(5);
+const DRIFT: f64 = 64.0;
+
+/// The seeded world both phases independently reconstruct: database,
+/// labeled workload, and the low-dimensional training slice.
+fn world() -> (Arc<Database>, LabeledQueries, LabeledQueries) {
+    let db = Arc::new(generate_forest(&ForestConfig {
+        rows: 2_000,
+        quantitative_only: true,
+        seed: 11,
+    }));
+    let mut labeled = label_queries(
+        &db,
+        generate_conjunctive(db.catalog(), &ConjunctiveConfig::new(TABLE, 700, 23)),
+    );
+    assert!(
+        labeled.len() >= 240,
+        "workload too small: {}",
+        labeled.len()
+    );
+    labeled.queries.truncate(240);
+    labeled.cardinalities.truncate(240);
+    let seed_slice = LabeledQueries {
+        queries: labeled.queries[..60].to_vec(),
+        cardinalities: labeled.cardinalities[..60].to_vec(),
+    };
+    (db, labeled, seed_slice)
+}
+
+fn featurizer(db: &Database) -> Box<dyn Featurizer + Send + Sync> {
+    let space = AttributeSpace::for_table(db.catalog(), TABLE);
+    Box::new(UniversalConjunctionEncoding::new(space, 8).expect("valid featurizer config"))
+}
+
+fn fresh_learned(db: &Database) -> LearnedEstimator {
+    LearnedEstimator::new(
+        featurizer(db),
+        Box::new(Gbdt::new(GbdtConfig {
+            n_trees: 10,
+            ..GbdtConfig::default()
+        })),
+    )
+}
+
+fn gbdt_trainer(db: Arc<Database>) -> Arc<dyn CandidateTrainer> {
+    Arc::new(
+        move |data: &[(Query, f64)],
+              sc: &mut dyn FnMut() -> bool|
+              -> Result<SharedEstimator, Box<dyn std::error::Error + Send + Sync>> {
+            let labeled = LabeledQueries {
+                queries: data.iter().map(|(q, _)| q.clone()).collect(),
+                cardinalities: data.iter().map(|(_, t)| *t).collect(),
+            };
+            let mut model = fresh_learned(&db);
+            model.fit_within(&labeled, sc).map_err(|e| e.to_string())?;
+            Ok(Arc::new(model) as SharedEstimator)
+        },
+    )
+}
+
+fn median_q(
+    svc: &EstimatorService,
+    labeled: &LabeledQueries,
+    range: std::ops::Range<usize>,
+) -> f64 {
+    let mut qs: Vec<f64> = range
+        .map(|i| {
+            let est = svc
+                .estimate_within(&labeled.queries[i], Deadline::within(BUDGET))
+                .expect("service answers");
+            q_error(labeled.cardinalities[i] * DRIFT, est.value)
+        })
+        .collect();
+    qs.sort_by(|a, b| a.partial_cmp(b).expect("finite q-errors"));
+    qs[qs.len() / 2]
+}
+
+/// Phase 1: serve, drift, adapt, checkpoint — then leave a torn
+/// mid-checkpoint write behind, exactly as a crash would.
+fn serve_phase(dir: &std::path::Path) {
+    let (db, labeled, seed_slice) = world();
+    let chaos = Arc::new(ChaosFs::new(
+        Arc::new(RealFs) as Arc<dyn StoreFs>,
+        FaultPlan::new(),
+    ));
+    let store = Arc::new(
+        CheckpointStore::open(
+            Arc::clone(&chaos) as Arc<dyn StoreFs>,
+            StoreConfig::new(dir),
+        )
+        .expect("store opens"),
+    );
+    let ckpt = Arc::new(AsyncCheckpointer::new(Arc::clone(&store), 8));
+
+    let mut live = fresh_learned(&db);
+    live.fit(&seed_slice).expect("seed training");
+    let slot = Arc::new(ModelSlot::new(Arc::new(live) as SharedEstimator));
+    slot.set_persister(Arc::clone(&ckpt) as Arc<dyn ModelPersister>);
+    let svc = Arc::new(EstimatorService::new(
+        vec![Arc::clone(&slot) as SharedEstimator],
+        ServiceConfig {
+            max_concurrency: 8,
+            queue_capacity: 64,
+            default_budget: BUDGET,
+            ..ServiceConfig::default()
+        },
+    ));
+    svc.attach_persistence(&ckpt);
+    let ctl = Arc::new(AdaptController::new(
+        Arc::clone(&slot),
+        gbdt_trainer(Arc::clone(&db)),
+        AdaptConfig {
+            reservoir_capacity: 96,
+            detector: PageHinkleyConfig {
+                delta: 0.05,
+                lambda: 3.0,
+                min_samples: 20,
+            },
+            confirm_window: 10,
+            cooldown: Duration::ZERO,
+            train_budget: Duration::from_secs(2),
+            min_train_samples: 32,
+            holdout_fraction: 0.25,
+            min_holdout: 8,
+            shadow_z: 1.0,
+            min_improvement: 0.95,
+            probation_samples: 16,
+            rollback_ratio: 4.0,
+        },
+    ));
+    svc.attach_adaptation(&ctl);
+
+    // Healthy regime, then drift: every cardinality grows 64×.
+    for i in 0..60 {
+        let q = &labeled.queries[i];
+        let est = svc
+            .estimate_within(q, Deadline::within(BUDGET))
+            .expect("service answers");
+        svc.observe_labeled(q, labeled.cardinalities[i], est.value)
+            .expect("healthy truths accepted");
+    }
+    let baseline = median_q(&svc, &labeled, 200..240);
+    println!("baseline (no adaptation) median q-error: {baseline:.2}");
+
+    let mut swapped = false;
+    let mut i = 60;
+    while i < 200 {
+        let next = (i + 10).min(200);
+        for j in i..next {
+            let q = &labeled.queries[j];
+            let est = svc
+                .estimate_within(q, Deadline::within(BUDGET))
+                .expect("service answers");
+            svc.observe_labeled(q, labeled.cardinalities[j] * DRIFT, est.value)
+                .expect("drifted truths accepted");
+        }
+        i = next;
+        if let StepReport::SwapAccepted { generation } = ctl.step() {
+            println!("adapted model swapped in as slot generation {generation}");
+            swapped = true;
+            break;
+        }
+    }
+    assert!(swapped, "drift must produce an accepted swap");
+    let healed = median_q(&svc, &labeled, 200..240);
+    println!("adapted median q-error: {healed:.2} (baseline {baseline:.2})");
+    assert!(healed < baseline, "adaptation must help before the crash");
+
+    // Quiesce the writer: the adapted checkpoint is now durable on disk.
+    ckpt.shutdown();
+    let snap = svc.metrics();
+    assert!(snap.counter("persist.written") >= 1, "checkpoint landed");
+    assert_eq!(snap.counter("persist.write_failed"), 0);
+
+    // Now die mid-checkpoint: plant a crash point two filesystem ops into
+    // the *next* save — the tmp file is written and synced, but the
+    // atomic rename never happens. This is the torn state recovery must
+    // cope with.
+    chaos.plant(chaos.ops_seen() + 2, Fault::CrashPoint);
+    let doomed = store.save(
+        &CheckpointMeta {
+            kind: "doomed".into(),
+            note: "in flight at crash".into(),
+            ..CheckpointMeta::default()
+        },
+        vec![0xEE; 4096],
+    );
+    assert!(doomed.is_err(), "the crash point cuts the save off");
+    println!("mid-checkpoint crash injected: torn tmp file left on disk");
+}
+
+/// Phase 2: a fresh process recovers from the same directory.
+fn restart_phase(dir: &std::path::Path) {
+    let (db, labeled, seed_slice) = world();
+    let store = Arc::new(
+        CheckpointStore::open(Arc::new(RealFs) as Arc<dyn StoreFs>, StoreConfig::new(dir))
+            .expect("store reopens"),
+    );
+    let decode_db = Arc::clone(&db);
+    let decode = move |ck: &Checkpoint| -> Option<SharedEstimator> {
+        LearnedEstimator::from_snapshot(featurizer(&decode_db), &ck.model)
+            .ok()
+            .map(|m| Arc::new(m) as SharedEstimator)
+    };
+    // The cold fallback is what a restart *without* a store would serve:
+    // the model trained before the drift.
+    let mut cold = fresh_learned(&db);
+    cold.fit(&seed_slice).expect("cold fallback trains");
+    let probe: Vec<Query> = labeled.queries[200..205].to_vec();
+    let (svc, slot, report) = EstimatorService::warm_restart(
+        &store,
+        &decode,
+        Arc::new(cold) as SharedEstimator,
+        &probe,
+        vec![],
+        ServiceConfig {
+            max_concurrency: 8,
+            queue_capacity: 64,
+            default_budget: BUDGET,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("store directory is readable");
+
+    println!(
+        "recovery: {} scanned, {} valid, {} quarantined, {} tmp debris, outcome {:?}",
+        report.recovery.scanned,
+        report.recovery.valid,
+        report.recovery.quarantined,
+        report.recovery.tmp_debris,
+        report.outcome
+    );
+    assert!(
+        matches!(report.outcome, RestoreOutcome::Restored(_)),
+        "the durable checkpoint must restore: {report:?}"
+    );
+    assert!(report.recovery.conserved(), "recovery accounting conserves");
+    assert!(
+        report.recovery.tmp_debris >= 1,
+        "the torn mid-checkpoint write must have been found and set aside"
+    );
+    assert_eq!(slot.generation(), 1, "restore is a probe-gated publication");
+
+    // The verdict: the restored generation serves with *adapted*
+    // accuracy, decisively better than the cold baseline it replaced.
+    let cold_baseline = {
+        let mut again = fresh_learned(&db);
+        again.fit(&seed_slice).expect("baseline trains");
+        let cold_slot = Arc::new(ModelSlot::new(Arc::new(again) as SharedEstimator));
+        let cold_svc = EstimatorService::new(
+            vec![Arc::clone(&cold_slot) as SharedEstimator],
+            ServiceConfig::default(),
+        );
+        median_q(&cold_svc, &labeled, 200..240)
+    };
+    let restored = median_q(&svc, &labeled, 200..240);
+    println!(
+        "median q-error on unseen drifted queries: cold restart {cold_baseline:.2} \
+         → warm restart {restored:.2}"
+    );
+    assert!(
+        restored < cold_baseline,
+        "warm restart must keep adapted accuracy: {restored:.2} vs cold {cold_baseline:.2}"
+    );
+
+    let metrics = svc.metrics();
+    assert!(metrics.counter("persist.restored") >= 1);
+    if let Ok(path) = std::env::var("QFE_PERSIST_JSON") {
+        let path = std::path::PathBuf::from(path);
+        metrics
+            .write_json_to(&path)
+            .expect("metrics JSON must be writable");
+        println!("persist metrics JSON written to {}", path.display());
+    } else {
+        print!("\n── metrics snapshot ──\n{}", metrics.render_text());
+    }
+    println!("\nwarm restart kept the adapted model through the crash ✓");
+}
+
+/// SIGKILL this process — no destructors, no flushes, no atexit. The
+/// closest a test can get to power loss without pulling a plug.
+fn kill_self() -> ! {
+    #[cfg(unix)]
+    {
+        let pid = std::process::id().to_string();
+        let _ = std::process::Command::new("kill")
+            .args(["-9", &pid])
+            .status();
+        // If `kill` somehow failed, fall through to abort below.
+    }
+    std::process::abort();
+}
+
+fn main() {
+    let dir = std::env::var("QFE_STORE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("target/persistence-demo"));
+    let phase = std::env::var("QFE_PHASE").unwrap_or_else(|_| "all".into());
+    match phase.as_str() {
+        "serve" => {
+            let _ = std::fs::remove_dir_all(&dir);
+            serve_phase(&dir);
+            println!("dying mid-checkpoint (SIGKILL)…");
+            kill_self();
+        }
+        "restart" => restart_phase(&dir),
+        "all" => {
+            let _ = std::fs::remove_dir_all(&dir);
+            serve_phase(&dir);
+            println!("(single-process run: skipping the SIGKILL, restarting in place)\n");
+            restart_phase(&dir);
+        }
+        other => panic!("unknown QFE_PHASE {other:?} (expected serve|restart|all)"),
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`serve`] — deadline-aware serving front end: admission control and
 //!   load shedding, per-stage circuit breakers, panic isolation, and
 //!   validated hot model swap.
+//! * [`store`] — durable model store: crash-safe checkpointing with
+//!   atomic writes, checksum-verified recovery, and deterministic
+//!   filesystem fault injection.
 //! * [`workload`] — query generators: conjunctive, mixed, JOB-light-like
 //!   join workloads, and drift splits.
 //!
@@ -60,4 +63,5 @@ pub use qfe_exec as exec;
 pub use qfe_ml as ml;
 pub use qfe_obs as obs;
 pub use qfe_serve as serve;
+pub use qfe_store as store;
 pub use qfe_workload as workload;

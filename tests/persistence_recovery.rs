@@ -1,0 +1,336 @@
+//! End-to-end durability: adapted accuracy survives a process death.
+//!
+//! The full arc, over one simulated filesystem:
+//!
+//! 1. a learned GBDT serves behind a [`ModelSlot`] wired to an
+//!    [`AsyncCheckpointer`] over a crash-safe [`CheckpointStore`];
+//! 2. the workload drifts; the [`AdaptController`] confirms it, retrains,
+//!    and swaps a better model in — which the slot checkpoints off the
+//!    hot path;
+//! 3. the process "dies": the in-memory filesystem tears all unsynced
+//!    state, exactly as power loss would;
+//! 4. [`EstimatorService::warm_restart`] recovers the newest valid
+//!    checkpoint, rebuilds the model through the probe gate, and serves —
+//!    with the *adapted* accuracy, not the cold baseline.
+//!
+//! Everything is deterministic: seeded data, seeded workloads, a virtual
+//! clock for training budgets, and `MemFs` for the disk.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qfe::core::featurize::{AttributeSpace, Featurizer, UniversalConjunctionEncoding};
+use qfe::core::metrics::q_error;
+use qfe::core::{Deadline, Query, TableId};
+use qfe::data::forest::{generate_forest, ForestConfig};
+use qfe::data::table::Database;
+use qfe::estimators::labels::{label_queries, LabeledQueries};
+use qfe::estimators::LearnedEstimator;
+use qfe::ml::gbdt::{Gbdt, GbdtConfig};
+use qfe::obs::PageHinkleyConfig;
+use qfe::serve::{
+    AdaptConfig, AdaptController, AsyncCheckpointer, CandidateTrainer, EstimatorService,
+    ModelPersister, ModelSlot, RestoreOutcome, ServiceConfig, SharedEstimator, StepReport,
+};
+use qfe::store::{Checkpoint, CheckpointStore, MemFs, StoreConfig, StoreFs};
+use qfe::workload::{generate_conjunctive, ConjunctiveConfig};
+
+const TABLE: TableId = TableId(0);
+const BUDGET: Duration = Duration::from_secs(5);
+const DRIFT: f64 = 64.0;
+
+fn auto_clock(step_ms: u64) -> Arc<dyn Fn() -> Duration + Send + Sync> {
+    let ticks = AtomicU64::new(0);
+    Arc::new(move || {
+        let t = ticks.fetch_add(1, Ordering::Relaxed);
+        Duration::from_millis(t * step_ms)
+    })
+}
+
+fn featurizer(db: &Database) -> Box<dyn Featurizer + Send + Sync> {
+    let space = AttributeSpace::for_table(db.catalog(), TABLE);
+    Box::new(UniversalConjunctionEncoding::new(space, 8).expect("valid featurizer config"))
+}
+
+fn fresh_learned(db: &Database) -> LearnedEstimator {
+    LearnedEstimator::new(
+        featurizer(db),
+        Box::new(Gbdt::new(GbdtConfig {
+            n_trees: 10,
+            ..GbdtConfig::default()
+        })),
+    )
+}
+
+fn gbdt_trainer(db: Arc<Database>) -> Arc<dyn CandidateTrainer> {
+    Arc::new(
+        move |data: &[(Query, f64)],
+              sc: &mut dyn FnMut() -> bool|
+              -> Result<SharedEstimator, Box<dyn std::error::Error + Send + Sync>> {
+            let labeled = LabeledQueries {
+                queries: data.iter().map(|(q, _)| q.clone()).collect(),
+                cardinalities: data.iter().map(|(_, t)| *t).collect(),
+            };
+            let mut model = fresh_learned(&db);
+            model.fit_within(&labeled, sc).map_err(|e| e.to_string())?;
+            Ok(Arc::new(model) as SharedEstimator)
+        },
+    )
+}
+
+fn open_store(mem: &Arc<MemFs>) -> Arc<CheckpointStore> {
+    let mut store = CheckpointStore::open(
+        Arc::clone(mem) as Arc<dyn StoreFs>,
+        StoreConfig::new("/var/qfe/checkpoints"),
+    )
+    .expect("store opens over MemFs");
+    store.set_sleeper(Arc::new(|_| {})); // no real backoff sleeps in tests
+    Arc::new(store)
+}
+
+fn service_over(slot: &Arc<ModelSlot>) -> Arc<EstimatorService> {
+    Arc::new(EstimatorService::new(
+        vec![Arc::clone(slot) as SharedEstimator],
+        ServiceConfig {
+            max_concurrency: 8,
+            queue_capacity: 64,
+            default_budget: BUDGET,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+fn median_q(
+    svc: &EstimatorService,
+    labeled: &LabeledQueries,
+    range: std::ops::Range<usize>,
+) -> f64 {
+    let mut qs: Vec<f64> = range
+        .map(|i| {
+            let est = svc
+                .estimate_within(&labeled.queries[i], Deadline::within(BUDGET))
+                .expect("service answers");
+            q_error(labeled.cardinalities[i] * DRIFT, est.value)
+        })
+        .collect();
+    qs.sort_by(|a, b| a.partial_cmp(b).expect("finite q-errors"));
+    qs[qs.len() / 2]
+}
+
+#[test]
+fn adapted_accuracy_survives_crash_and_warm_restart() {
+    // ── Phase 0: seeded world ──────────────────────────────────────────
+    let db = Arc::new(generate_forest(&ForestConfig {
+        rows: 2_000,
+        quantitative_only: true,
+        seed: 11,
+    }));
+    let mut labeled = label_queries(
+        &db,
+        generate_conjunctive(db.catalog(), &ConjunctiveConfig::new(TABLE, 700, 23)),
+    );
+    assert!(
+        labeled.len() >= 240,
+        "workload too small: {}",
+        labeled.len()
+    );
+    labeled.queries.truncate(240);
+    labeled.cardinalities.truncate(240);
+    let seed_slice = LabeledQueries {
+        queries: labeled.queries[..60].to_vec(),
+        cardinalities: labeled.cardinalities[..60].to_vec(),
+    };
+
+    // ── Phase 1: serve + adapt, checkpointing every accepted swap ──────
+    let mem = Arc::new(MemFs::new());
+    let store = open_store(&mem);
+    let ckpt = Arc::new(AsyncCheckpointer::new(Arc::clone(&store), 8));
+
+    let mut live = fresh_learned(&db);
+    live.fit(&seed_slice).expect("seed training");
+    let slot = Arc::new(ModelSlot::new(Arc::new(live) as SharedEstimator));
+    slot.set_persister(Arc::clone(&ckpt) as Arc<dyn ModelPersister>);
+    let svc = service_over(&slot);
+    svc.attach_persistence(&ckpt);
+
+    let ctl = Arc::new(AdaptController::with_clock(
+        Arc::clone(&slot),
+        gbdt_trainer(Arc::clone(&db)),
+        AdaptConfig {
+            reservoir_capacity: 96,
+            detector: PageHinkleyConfig {
+                delta: 0.05,
+                lambda: 3.0,
+                min_samples: 20,
+            },
+            confirm_window: 10,
+            cooldown: Duration::ZERO,
+            train_budget: Duration::from_secs(2),
+            min_train_samples: 32,
+            holdout_fraction: 0.25,
+            min_holdout: 8,
+            shadow_z: 1.0,
+            min_improvement: 0.95,
+            probation_samples: 16,
+            rollback_ratio: 4.0,
+        },
+        auto_clock(1),
+    ));
+    svc.attach_adaptation(&ctl);
+
+    // Healthy regime, then the drift: every truth grows 64×.
+    for i in 0..60 {
+        let q = &labeled.queries[i];
+        let est = svc
+            .estimate_within(q, Deadline::within(BUDGET))
+            .expect("service answers");
+        svc.observe_labeled(q, labeled.cardinalities[i], est.value)
+            .expect("healthy truths accepted");
+    }
+    let baseline = median_q(&svc, &labeled, 200..240);
+
+    let mut swapped = false;
+    let mut i = 60;
+    while i < 200 {
+        let next = (i + 10).min(200);
+        for j in i..next {
+            let q = &labeled.queries[j];
+            let est = svc
+                .estimate_within(q, Deadline::within(BUDGET))
+                .expect("service answers");
+            svc.observe_labeled(q, labeled.cardinalities[j] * DRIFT, est.value)
+                .expect("drifted truths accepted");
+        }
+        i = next;
+        if matches!(ctl.step(), StepReport::SwapAccepted { .. }) {
+            swapped = true;
+            break;
+        }
+    }
+    assert!(swapped, "drift must produce an accepted swap");
+    let healed = median_q(&svc, &labeled, 200..240);
+    assert!(
+        healed * 4.0 < baseline,
+        "adaptation must heal accuracy first: {healed:.2} vs {baseline:.2}"
+    );
+
+    // Quiesce the background writer so the accepted swap is durably on
+    // "disk", then verify nothing was dropped or skipped along the way.
+    ckpt.shutdown();
+    let (enqueued, dropped, skipped) = ckpt.stats();
+    assert!(enqueued >= 1, "the accepted swap was enqueued");
+    assert_eq!((dropped, skipped), (0, 0), "no checkpoint lost in flight");
+    let snap = svc.metrics();
+    assert_eq!(snap.counter("persist.written"), enqueued);
+    assert_eq!(snap.counter("persist.write_failed"), 0);
+
+    // ── Phase 2: the process dies ──────────────────────────────────────
+    // Power loss semantics: everything not fsynced tears. The store's
+    // save protocol synced the checkpoint, so it must survive.
+    mem.crash();
+    drop(svc);
+    drop(slot);
+    drop(ctl);
+
+    // ── Phase 3: warm restart over the same (torn) filesystem ──────────
+    let store2 = open_store(&mem);
+    let decode_db = Arc::clone(&db);
+    let decode = move |ck: &Checkpoint| -> Option<SharedEstimator> {
+        LearnedEstimator::from_snapshot(featurizer(&decode_db), &ck.model)
+            .ok()
+            .map(|m| Arc::new(m) as SharedEstimator)
+    };
+    let mut cold = fresh_learned(&db);
+    cold.fit(&seed_slice).expect("cold fallback trains");
+    let probe: Vec<Query> = labeled.queries[200..205].to_vec();
+    let (svc2, slot2, report) = EstimatorService::warm_restart(
+        &store2,
+        &decode,
+        Arc::new(cold) as SharedEstimator,
+        &probe,
+        vec![],
+        ServiceConfig {
+            max_concurrency: 8,
+            queue_capacity: 64,
+            default_budget: BUDGET,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("store directory is readable");
+
+    assert!(
+        matches!(report.outcome, RestoreOutcome::Restored(_)),
+        "the durable checkpoint must restore: {report:?}"
+    );
+    assert!(report.recovery.conserved(), "recovery accounting conserves");
+    assert_eq!(
+        slot2.generation(),
+        1,
+        "restore is a probe-gated publication"
+    );
+
+    // The restored service serves the *adapted* model: its accuracy on
+    // the held-back drifted slice matches what we measured pre-crash,
+    // and decisively beats a cold restart.
+    let restored = median_q(&svc2, &labeled, 200..240);
+    assert!(
+        (restored - healed).abs() <= healed * 1e-6,
+        "warm restart must serve the adapted model byte-for-byte: \
+         restored {restored:.4} vs pre-crash {healed:.4}"
+    );
+    assert!(
+        restored * 4.0 < baseline,
+        "warm restart must keep adapted accuracy, not cold baseline: \
+         {restored:.2} vs {baseline:.2}"
+    );
+
+    // The whole durability loop is visible in one snapshot.
+    let m = svc2.metrics();
+    assert_eq!(m.counter("persist.restored"), 1);
+    assert_eq!(m.counter("persist.restore_rejected"), 0);
+    assert_eq!(m.gauge("slot.generation"), 1);
+}
+
+#[test]
+fn warm_restart_on_virgin_disk_serves_the_cold_model() {
+    let db = Arc::new(generate_forest(&ForestConfig {
+        rows: 1_000,
+        quantitative_only: true,
+        seed: 7,
+    }));
+    let mut labeled = label_queries(
+        &db,
+        generate_conjunctive(db.catalog(), &ConjunctiveConfig::new(TABLE, 200, 13)),
+    );
+    assert!(labeled.len() >= 40, "workload too small: {}", labeled.len());
+    labeled.queries.truncate(40);
+    labeled.cardinalities.truncate(40);
+
+    let mem = Arc::new(MemFs::new());
+    let store = open_store(&mem);
+    let mut cold = fresh_learned(&db);
+    cold.fit(&labeled).expect("cold model trains");
+    let decode_db = Arc::clone(&db);
+    let decode = move |ck: &Checkpoint| -> Option<SharedEstimator> {
+        LearnedEstimator::from_snapshot(featurizer(&decode_db), &ck.model)
+            .ok()
+            .map(|m| Arc::new(m) as SharedEstimator)
+    };
+    let probe: Vec<Query> = labeled.queries[..3].to_vec();
+    let (svc, slot, report) = EstimatorService::warm_restart(
+        &store,
+        &decode,
+        Arc::new(cold) as SharedEstimator,
+        &probe,
+        vec![],
+        ServiceConfig::default(),
+    )
+    .expect("empty store is not an error");
+
+    assert_eq!(report.outcome, RestoreOutcome::NoCheckpoint);
+    assert_eq!(slot.generation(), 0, "nothing was published");
+    svc.estimate_within(&labeled.queries[0], Deadline::within(BUDGET))
+        .expect("cold model serves");
+    assert_eq!(svc.metrics().counter("persist.restored"), 0);
+}
