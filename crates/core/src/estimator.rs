@@ -113,6 +113,31 @@ pub trait CardinalityEstimator {
     }
 }
 
+/// A monotone generation counter identifying *which* model produced the
+/// estimates an estimate consumer may have cached.
+///
+/// Hot-swappable model holders (the serving layer's `ModelSlot`) bump
+/// their generation on every accepted swap; cross-call estimate caches
+/// capture the generation at fill time and drop every entry when it no
+/// longer matches, so a model swap atomically invalidates stale
+/// estimates. Lives in `qfe-core` for the same reason as
+/// [`CardinalityEstimator`]: the execution engine (cache owner) and the
+/// serving layer (generation producer) must share it without a
+/// dependency cycle.
+pub trait GenerationSource: Send + Sync {
+    /// The current model generation. Must never decrease; any change
+    /// means previously produced estimates may be stale.
+    fn generation(&self) -> u64;
+}
+
+/// A fixed generation — for estimators that never change underneath the
+/// cache (the cross-call scope then never invalidates).
+impl GenerationSource for u64 {
+    fn generation(&self) -> u64 {
+        *self
+    }
+}
+
 /// Blanket implementation for references.
 impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
     fn name(&self) -> String {

@@ -149,32 +149,49 @@ impl UniversalConjunctionEncoding {
                     col.table.0, col.column.0
                 )));
             };
-            if !expr.is_conjunctive() {
-                return Err(QfeError::UnsupportedQuery(
-                    "Universal Conjunction Encoding cannot featurize disjunctions; \
-                     use Limited Disjunction Encoding"
-                        .into(),
-                ));
-            }
-            let domain = self.space.domain(pos);
-            let n_a = domain.bucket_count(self.max_buckets);
-            let start = self.offsets[pos];
-            let buckets = &mut out[start..start + n_a];
-            match expr.to_dnf()?.into_iter().next() {
-                Some(preds) => {
-                    let region = featurize_conjunct_into(&preds, domain, buckets, self.ternary)?;
-                    if self.attr_sel {
-                        let sel = RegionSet::new(vec![region]).selectivity(domain);
-                        out[start + n_a] = sel as f32;
-                    }
+            self.encode_attr(
+                pos,
+                &expr,
+                &mut out[self.offsets[pos]..self.offsets[pos + 1]],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Encode one attribute's merged predicate expression into its segment
+    /// of the feature vector (`seg` has length `buckets_of(pos)` plus the
+    /// selectivity slot if enabled). This is the per-attribute unit of work
+    /// that [`super::MemoFeaturizer`] memoizes across sub-plan probes.
+    pub(crate) fn encode_attr(
+        &self,
+        pos: usize,
+        expr: &crate::predicate::PredicateExpr,
+        seg: &mut [f32],
+    ) -> Result<(), QfeError> {
+        if !expr.is_conjunctive() {
+            return Err(QfeError::UnsupportedQuery(
+                "Universal Conjunction Encoding cannot featurize disjunctions; \
+                 use Limited Disjunction Encoding"
+                    .into(),
+            ));
+        }
+        let domain = self.space.domain(pos);
+        let n_a = domain.bucket_count(self.max_buckets);
+        debug_assert_eq!(seg.len(), self.attr_width(pos));
+        let (buckets, sel_slot) = seg.split_at_mut(n_a);
+        match expr.to_dnf()?.into_iter().next() {
+            Some(preds) => {
+                let region = featurize_conjunct_into(&preds, domain, buckets, self.ternary)?;
+                if self.attr_sel {
+                    sel_slot[0] = RegionSet::new(vec![region]).selectivity(domain) as f32;
                 }
-                // An empty disjunction is unsatisfiable (e.g. a prefix
-                // predicate matching nothing): no bucket qualifies.
-                None => {
-                    buckets.fill(0.0);
-                    if self.attr_sel {
-                        out[start + n_a] = 0.0;
-                    }
+            }
+            // An empty disjunction is unsatisfiable (e.g. a prefix
+            // predicate matching nothing): no bucket qualifies.
+            None => {
+                buckets.fill(0.0);
+                if self.attr_sel {
+                    sel_slot[0] = 0.0;
                 }
             }
         }

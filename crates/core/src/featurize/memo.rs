@@ -1,0 +1,398 @@
+//! Memoized per-attribute featurization for sub-plan enumeration.
+//!
+//! A join-order optimizer probing a learned estimator featurizes the same
+//! attributes over and over: every candidate sub-plan containing table `t`
+//! re-encodes `t`'s predicates from scratch, even though the per-attribute
+//! segment of the feature vector depends only on the attribute and its
+//! (merged) predicate expression — not on which other tables the sub-plan
+//! joins in. [`MemoFeaturizer`] exploits exactly that: it caches each
+//! attribute's encoded segment under the attribute plus the canonical
+//! fingerprint of its expression ([`crate::fingerprint::expr_fingerprint`]),
+//! so repeated attributes across candidate sub-plans featurize once per
+//! `optimize()` call instead of once per subset.
+//!
+//! Memoization is a pure replay: a hit copies the bytes the inner encoder
+//! produced on the miss, so memo-on and memo-off featurization are
+//! bit-identical. Keying on the *canonical* expression fingerprint also
+//! collapses reordered conjunctions (`a>=1 AND a<=9` vs `a<=9 AND a>=1`);
+//! that is sound for the segment encoders because a conjunction's bucket
+//! marks and selectivity are order-insensitive (an entry's final value is
+//! `0` if any conjunct zeroes it, else `½` if any conjunct marks it, else
+//! `1`, and the selectivity region is an intersection).
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::QfeError;
+use crate::featurize::space::AttributeSpace;
+use crate::featurize::{check_out_len, group_by_column, FeatureVec, Featurizer};
+use crate::fingerprint::expr_fingerprint;
+use crate::predicate::PredicateExpr;
+use crate::query::{ColumnRef, Query};
+
+/// A featurizer whose output decomposes into independent per-attribute
+/// segments over a base fill — the structural contract [`MemoFeaturizer`]
+/// needs to cache segments instead of whole vectors.
+///
+/// Law: for every query accepted by the featurizer,
+/// `featurize_into(query, out)` must equal `fill_base(out)` followed by
+/// `encode_attr_into(pos, expr, &mut out[segment(pos)])` for each
+/// `(attribute, merged expression)` pair of the query, and each segment's
+/// content may depend only on the attribute position and its expression.
+pub trait SegmentedFeaturizer: Featurizer {
+    /// The attribute space defining segment positions.
+    fn space(&self) -> &AttributeSpace;
+
+    /// Index range of attribute `pos`'s segment in the feature vector.
+    fn segment(&self, pos: usize) -> Range<usize>;
+
+    /// Value of the vector before any attribute is encoded (every entry of
+    /// an unpredicated attribute's segment).
+    fn fill_base(&self, out: &mut [f32]) {
+        out.fill(1.0);
+    }
+
+    /// Encode one attribute's merged expression into its segment.
+    fn encode_attr_into(
+        &self,
+        pos: usize,
+        expr: &PredicateExpr,
+        seg: &mut [f32],
+    ) -> Result<(), QfeError>;
+}
+
+impl SegmentedFeaturizer for super::UniversalConjunctionEncoding {
+    fn space(&self) -> &AttributeSpace {
+        self.space()
+    }
+
+    fn segment(&self, pos: usize) -> Range<usize> {
+        let start = self.attr_offset(pos);
+        start..start + self.buckets_of(pos) + usize::from(self.attr_sel())
+    }
+
+    fn encode_attr_into(
+        &self,
+        pos: usize,
+        expr: &PredicateExpr,
+        seg: &mut [f32],
+    ) -> Result<(), QfeError> {
+        self.encode_attr(pos, expr, seg)
+    }
+}
+
+/// Cumulative hit/miss/eviction counts of a [`MemoFeaturizer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Segment lookups answered from the memo.
+    pub hits: u64,
+    /// Segment lookups that ran the inner encoder.
+    pub misses: u64,
+    /// Entries dropped by capacity sweeps and explicit clears.
+    pub evictions: u64,
+}
+
+/// Wraps a [`SegmentedFeaturizer`] and memoizes encoded per-attribute
+/// segments keyed on `(attribute, canonical expression fingerprint)`.
+///
+/// Thread-safe (the memo is behind a mutex) and bounded: when the memo
+/// reaches capacity, the whole table is swept — sub-plan enumeration
+/// workloads have a small working set per `optimize()` call, so an epoch
+/// sweep beats per-entry bookkeeping. Output is bit-identical to the
+/// wrapped featurizer's (hits replay the exact bytes a miss produced).
+#[derive(Debug)]
+pub struct MemoFeaturizer<F> {
+    inner: F,
+    memo: Mutex<SegmentMap>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Memoized segments: the encoded feature slice for one
+/// `(attribute, canonical expression fingerprint)` pair.
+type SegmentMap = HashMap<(ColumnRef, u128), Box<[f32]>>;
+
+/// Default bound on memoized segments; far above the distinct-attribute
+/// count of any one `optimize()` call, small enough to be memory-trivial.
+pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
+
+impl<F: SegmentedFeaturizer> MemoFeaturizer<F> {
+    /// Wrap `inner` with the default capacity.
+    pub fn new(inner: F) -> Self {
+        Self::with_capacity(inner, DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// Wrap `inner`, keeping at most `capacity` memoized segments.
+    pub fn with_capacity(inner: F, capacity: usize) -> Self {
+        MemoFeaturizer {
+            inner,
+            memo: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped featurizer.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Cumulative memo statistics.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all memoized segments (counted as evictions). Call between
+    /// workload phases when expression distributions shift wholesale.
+    pub fn clear(&self) {
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        self.evictions
+            .fetch_add(memo.len() as u64, Ordering::Relaxed);
+        memo.clear();
+    }
+
+    fn encode_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        self.inner.fill_base(out);
+        for (col, expr) in group_by_column(query) {
+            let Some(pos) = self.inner.space().position(col) else {
+                return Err(QfeError::InvalidQuery(format!(
+                    "predicate on attribute outside the featurizer's space: table {} column {}",
+                    col.table.0, col.column.0
+                )));
+            };
+            let range = self.inner.segment(pos);
+            let key = (col, expr_fingerprint(&expr));
+            {
+                let memo = self.memo.lock().expect("memo poisoned");
+                if let Some(seg) = memo.get(&key) {
+                    out[range.clone()].copy_from_slice(seg);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            // Miss: run the real encoder directly into the output, then
+            // store a copy. The lock is not held while encoding, so two
+            // threads may race on the same key — both compute the same
+            // bytes (the encoder is deterministic), and the second insert
+            // harmlessly overwrites the first.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .encode_attr_into(pos, &expr, &mut out[range.clone()])?;
+            let seg: Box<[f32]> = out[range].into();
+            let mut memo = self.memo.lock().expect("memo poisoned");
+            if memo.len() >= self.capacity {
+                self.evictions
+                    .fetch_add(memo.len() as u64, Ordering::Relaxed);
+                memo.clear();
+            }
+            memo.insert(key, seg);
+        }
+        Ok(())
+    }
+}
+
+impl<F: SegmentedFeaturizer> Featurizer for MemoFeaturizer<F> {
+    /// The inner featurizer's label: memoization is an implementation
+    /// detail, not a different encoding (experiment output stays
+    /// comparable).
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn featurize(&self, query: &Query) -> Result<FeatureVec, QfeError> {
+        let mut out = vec![0.0f32; self.dim()];
+        self.encode_into(query, &mut out)?;
+        Ok(FeatureVec(out))
+    }
+
+    fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
+        check_out_len(self.dim(), out.len())?;
+        self.encode_into(query, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::UniversalConjunctionEncoding;
+    use crate::predicate::{CmpOp, CompoundPredicate, SimplePredicate};
+    use crate::schema::{AttributeDomain, ColumnId, TableId};
+
+    fn space() -> AttributeSpace {
+        AttributeSpace::new(vec![
+            (
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                AttributeDomain::integers(0, 99),
+            ),
+            (
+                ColumnRef::new(TableId(0), ColumnId(1)),
+                AttributeDomain::integers(0, 999),
+            ),
+            (
+                ColumnRef::new(TableId(1), ColumnId(0)),
+                AttributeDomain::integers(0, 9),
+            ),
+        ])
+    }
+
+    fn queries() -> Vec<Query> {
+        let c00 = ColumnRef::new(TableId(0), ColumnId(0));
+        let c01 = ColumnRef::new(TableId(0), ColumnId(1));
+        let c10 = ColumnRef::new(TableId(1), ColumnId(0));
+        vec![
+            Query::single_table(
+                TableId(0),
+                vec![CompoundPredicate::conjunction(
+                    c00,
+                    vec![
+                        SimplePredicate::new(CmpOp::Ge, 10),
+                        SimplePredicate::new(CmpOp::Le, 80),
+                    ],
+                )],
+            ),
+            Query::single_table(
+                TableId(0),
+                vec![
+                    CompoundPredicate::conjunction(
+                        c00,
+                        // Same conjunction, reordered: canonically equal.
+                        vec![
+                            SimplePredicate::new(CmpOp::Le, 80),
+                            SimplePredicate::new(CmpOp::Ge, 10),
+                        ],
+                    ),
+                    CompoundPredicate::conjunction(c01, vec![SimplePredicate::new(CmpOp::Eq, 500)]),
+                ],
+            ),
+            Query::single_table(
+                TableId(1),
+                vec![CompoundPredicate::conjunction(
+                    c10,
+                    vec![SimplePredicate::new(CmpOp::Ne, 3)],
+                )],
+            ),
+            Query::single_table(TableId(0), vec![]),
+        ]
+    }
+
+    #[test]
+    fn memoized_output_is_bit_identical() {
+        let plain = UniversalConjunctionEncoding::new(space(), 16).unwrap();
+        let memo = MemoFeaturizer::new(UniversalConjunctionEncoding::new(space(), 16).unwrap());
+        assert_eq!(plain.dim(), memo.dim());
+        assert_eq!(plain.name(), memo.name());
+        // Two passes so the second replays every segment from the memo.
+        for _ in 0..2 {
+            for q in queries() {
+                let want = plain.featurize(&q).unwrap();
+                let got = memo.featurize(&q).unwrap();
+                assert_eq!(want, got, "{q:?}");
+                let mut buf = vec![0.0f32; memo.dim()];
+                memo.featurize_into(&q, &mut buf).unwrap();
+                assert_eq!(want.0, buf);
+            }
+        }
+        let stats = memo.stats();
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(stats.misses > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn repeated_expressions_hit_the_memo() {
+        let memo = MemoFeaturizer::new(UniversalConjunctionEncoding::new(space(), 16).unwrap());
+        let q = &queries()[0];
+        memo.featurize(q).unwrap();
+        assert_eq!(
+            memo.stats(),
+            MemoStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        memo.featurize(q).unwrap();
+        assert_eq!(
+            memo.stats(),
+            MemoStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        // The reordered-conjunction variant hits the same entry.
+        memo.featurize(&queries()[1]).unwrap();
+        let stats = memo.stats();
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.misses, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn capacity_sweep_and_clear_count_evictions() {
+        let memo = MemoFeaturizer::with_capacity(
+            UniversalConjunctionEncoding::new(space(), 16).unwrap(),
+            1,
+        );
+        let qs = queries();
+        memo.featurize(&qs[0]).unwrap(); // miss, memo = {c00}
+        memo.featurize(&qs[2]).unwrap(); // miss, sweep {c00}, memo = {c10}
+        let stats = memo.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        memo.clear();
+        assert_eq!(memo.stats().evictions, 2);
+        // Still correct after clearing.
+        let plain = UniversalConjunctionEncoding::new(space(), 16).unwrap();
+        assert_eq!(
+            plain.featurize(&qs[0]).unwrap(),
+            memo.featurize(&qs[0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn errors_pass_through_and_are_not_cached() {
+        let memo = MemoFeaturizer::new(UniversalConjunctionEncoding::new(space(), 16).unwrap());
+        let disj = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: ColumnRef::new(TableId(0), ColumnId(0)),
+                expr: PredicateExpr::Or(vec![
+                    PredicateExpr::leaf(CmpOp::Eq, 1),
+                    PredicateExpr::leaf(CmpOp::Eq, 2),
+                ]),
+            }],
+        );
+        assert!(matches!(
+            memo.featurize(&disj),
+            Err(QfeError::UnsupportedQuery(_))
+        ));
+        assert!(matches!(
+            memo.featurize(&disj),
+            Err(QfeError::UnsupportedQuery(_))
+        ));
+        let outside = Query::single_table(
+            TableId(7),
+            vec![CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(7), ColumnId(0)),
+                vec![SimplePredicate::new(CmpOp::Eq, 1)],
+            )],
+        );
+        assert!(matches!(
+            memo.featurize(&outside),
+            Err(QfeError::InvalidQuery(_))
+        ));
+    }
+}

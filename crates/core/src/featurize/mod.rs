@@ -20,6 +20,7 @@ pub mod groupby;
 pub mod join;
 pub mod lossless;
 mod matrix;
+pub mod memo;
 pub mod mscn;
 mod range;
 mod simple;
@@ -31,6 +32,7 @@ pub use equidepth::EquiDepthConjunctionEncoding;
 pub use groupby::{GroupByEncoding, GroupedQuery};
 pub use join::GlobalTableEncoding;
 pub use matrix::FeatureMatrix;
+pub use memo::{MemoFeaturizer, MemoStats, SegmentedFeaturizer};
 pub use range::RangePredicateEncoding;
 pub use simple::SingularPredicateEncoding;
 pub use space::AttributeSpace;

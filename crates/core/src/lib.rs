@@ -39,6 +39,7 @@ pub mod deadline;
 pub mod error;
 pub mod estimator;
 pub mod featurize;
+pub mod fingerprint;
 pub mod interval;
 pub mod metrics;
 pub mod parallel;
@@ -50,7 +51,8 @@ pub mod value;
 
 pub use deadline::Deadline;
 pub use error::{EstimateError, EstimateErrorKind, QfeError};
-pub use estimator::{CardinalityEstimator, Estimate};
+pub use estimator::{CardinalityEstimator, Estimate, GenerationSource};
+pub use fingerprint::{expr_fingerprint, CanonicalQuery, QueryFingerprint};
 pub use metrics::{q_error, ErrorSummary, SummaryError};
 pub use parallel::ThreadPool;
 pub use parse::{parse_single_table_query, parse_where};

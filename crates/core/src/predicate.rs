@@ -164,17 +164,23 @@ impl PredicateExpr {
     /// a list of simple predicates. This is the `Split(cp, "OR")` step of
     /// Algorithm 2, generalized to arbitrary nesting.
     ///
+    /// Exact duplicate conjunctions (same predicates in the same order) are
+    /// removed — `x = 1 OR x = 1` yields one term — which keeps the output
+    /// stable under input duplication without perturbing term order, so
+    /// featurization of the surviving terms is unchanged.
+    ///
     /// The expansion is exponential in the worst case; compound predicates
     /// in practice are small (the paper's workloads use at most three
     /// disjuncts per attribute), and we cap the expansion to guard against
-    /// adversarial inputs.
+    /// adversarial inputs. The cap is enforced *during* expansion in the
+    /// `Or` arm — after deduplication, so only distinct terms count — and
+    /// an adversarial input fails before materializing its full blow-up
+    /// rather than after.
     pub fn to_dnf(&self) -> Result<Vec<Vec<SimplePredicate>>, QfeError> {
-        const MAX_DNF_TERMS: usize = 4096;
-        let dnf = self.dnf_inner()?;
+        let mut dnf = self.dnf_inner()?;
+        dedup_terms(&mut dnf);
         if dnf.len() > MAX_DNF_TERMS {
-            return Err(QfeError::UnsupportedQuery(format!(
-                "DNF expansion of compound predicate exceeds {MAX_DNF_TERMS} terms"
-            )));
+            return Err(dnf_cap_error());
         }
         Ok(dnf)
     }
@@ -183,9 +189,20 @@ impl PredicateExpr {
         match self {
             PredicateExpr::Leaf(p) => Ok(vec![vec![p.clone()]]),
             PredicateExpr::Or(children) => {
-                let mut terms = Vec::new();
+                let mut terms: Vec<Vec<SimplePredicate>> = Vec::new();
+                let mut seen = std::collections::HashSet::new();
                 for child in children {
-                    terms.extend(child.dnf_inner()?);
+                    for term in child.dnf_inner()? {
+                        if seen.insert(term_key(&term)) {
+                            terms.push(term);
+                        }
+                    }
+                    // Incremental cap: distinct terms so far already
+                    // exceed the budget — fail now instead of expanding
+                    // the remaining disjuncts first.
+                    if terms.len() > MAX_DNF_TERMS {
+                        return Err(dnf_cap_error());
+                    }
                 }
                 Ok(terms)
             }
@@ -202,6 +219,7 @@ impl PredicateExpr {
                             next.push(term);
                         }
                     }
+                    dedup_terms(&mut next);
                     if next.len() > 1 << 20 {
                         return Err(QfeError::UnsupportedQuery(
                             "DNF expansion blow-up".to_owned(),
@@ -213,6 +231,61 @@ impl PredicateExpr {
             }
         }
     }
+}
+
+/// Upper bound on DNF terms a single compound predicate may expand to
+/// (see [`PredicateExpr::to_dnf`]).
+const MAX_DNF_TERMS: usize = 4096;
+
+fn dnf_cap_error() -> QfeError {
+    QfeError::UnsupportedQuery(format!(
+        "DNF expansion of compound predicate exceeds {MAX_DNF_TERMS} terms"
+    ))
+}
+
+/// Order-preserving identity key of a DNF term. Two terms are duplicates
+/// only when they hold the same predicates in the same order —
+/// featurization is order-sensitive in its ternary marks, so reordered
+/// terms are *not* collapsed. `SimplePredicate` has no `Hash`/`Ord`
+/// (its `Value` carries an `f64`), hence the byte encoding; float
+/// literals key by bit pattern.
+fn term_key(term: &[SimplePredicate]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(term.len() * 10);
+    for p in term {
+        out.push(match p.op {
+            CmpOp::Eq => 0,
+            CmpOp::Lt => 1,
+            CmpOp::Gt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Ge => 4,
+            CmpOp::Ne => 5,
+        });
+        match &p.value {
+            Value::Int(i) => {
+                out.push(b'i');
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(b'f');
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(b's');
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Remove exact duplicate terms, keeping first occurrences in order.
+fn dedup_terms(terms: &mut Vec<Vec<SimplePredicate>>) {
+    if terms.len() < 2 {
+        return;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(terms.len());
+    terms.retain(|t| seen.insert(term_key(t)));
 }
 
 /// A compound predicate: an AND/OR combination of simple predicates over a
@@ -365,6 +438,58 @@ mod tests {
                 .any(|term| term.iter().all(|p| p.matches_f64(x as f64)));
             assert_eq!(direct, via_dnf, "x = {x}");
         }
+    }
+
+    #[test]
+    fn dnf_dedups_exact_duplicate_terms() {
+        // x = 1 OR x = 1 OR x = 2 → two terms, first occurrence order.
+        let e = PredicateExpr::Or(vec![
+            PredicateExpr::leaf(CmpOp::Eq, 1),
+            PredicateExpr::leaf(CmpOp::Eq, 1),
+            PredicateExpr::leaf(CmpOp::Eq, 2),
+        ]);
+        let dnf = e.to_dnf().unwrap();
+        assert_eq!(dnf.len(), 2);
+        assert_eq!(dnf[0], vec![SimplePredicate::new(CmpOp::Eq, 1)]);
+        assert_eq!(dnf[1], vec![SimplePredicate::new(CmpOp::Eq, 2)]);
+        // Reordered conjunctions are distinct terms, not duplicates.
+        let ab = PredicateExpr::And(vec![
+            PredicateExpr::leaf(CmpOp::Ge, 1),
+            PredicateExpr::leaf(CmpOp::Le, 9),
+        ]);
+        let ba = PredicateExpr::And(vec![
+            PredicateExpr::leaf(CmpOp::Le, 9),
+            PredicateExpr::leaf(CmpOp::Ge, 1),
+        ]);
+        let both = PredicateExpr::Or(vec![ab, ba]);
+        assert_eq!(both.to_dnf().unwrap().len(), 2);
+        // Int and Float literals never collapse into one term.
+        let mixed = PredicateExpr::Or(vec![
+            PredicateExpr::leaf(CmpOp::Eq, 5),
+            PredicateExpr::leaf(CmpOp::Eq, 5.0),
+        ]);
+        assert_eq!(mixed.to_dnf().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dnf_cap_fires_incrementally_in_or_arm() {
+        // 2^13 = 8192 distinct terms via 13 ANDed binary disjunctions;
+        // must be rejected (and is rejected mid-expansion, before the
+        // full cross product of the enclosing Or is realized).
+        let or_pair = |v: i64| {
+            PredicateExpr::Or(vec![
+                PredicateExpr::leaf(CmpOp::Eq, v),
+                PredicateExpr::leaf(CmpOp::Ne, v),
+            ])
+        };
+        let big = PredicateExpr::And((0..13).map(or_pair).collect());
+        let wide = PredicateExpr::Or(vec![big, PredicateExpr::leaf(CmpOp::Eq, 0)]);
+        let err = wide.to_dnf().unwrap_err();
+        assert!(matches!(err, QfeError::UnsupportedQuery(_)), "{err:?}");
+        // Duplication alone must NOT trip the cap: 5000 copies of the
+        // same disjunct dedup to one term.
+        let dup = PredicateExpr::Or(vec![PredicateExpr::leaf(CmpOp::Eq, 7); 5000]);
+        assert_eq!(dup.to_dnf().unwrap().len(), 1);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! Used for labeling training workloads and as the "true cardinalities"
 //! arm of the end-to-end experiment (paper Table 4).
 
-use qfe_core::estimator::CardinalityEstimator;
+use qfe_core::error::EstimateError;
+use qfe_core::estimator::{CardinalityEstimator, Estimate};
 use qfe_core::Query;
 use qfe_data::Database;
 use qfe_exec::true_cardinality;
@@ -33,6 +34,17 @@ impl CardinalityEstimator for TrueCardinalityEstimator<'_> {
             Ok(c) => c as f64,
             Err(_) => 1.0,
         }
+    }
+
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        // An exact count of 0 is a legitimate answer, not a protocol
+        // violation: under the estimation contract (`Ok` is finite and
+        // >= 1) an empty result clamps to 1. `estimate` keeps reporting
+        // the raw count for inclusion-exclusion consumers.
+        Ok(Estimate::primary(
+            self.estimate(query).max(1.0),
+            self.name(),
+        ))
     }
 }
 

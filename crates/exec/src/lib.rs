@@ -8,6 +8,9 @@
 //!   this is the labeling oracle that produces training/test cardinalities
 //!   for the learned estimators and the ground truth for q-errors.
 //! * [`join`] — hash-join machinery shared by counting and execution.
+//! * [`cache`] — cross-call sub-plan estimate cache keyed on semantic
+//!   query fingerprints, with generation-based invalidation for
+//!   hot-swapped models.
 //! * [`optimizer`] — a cost-based dynamic-programming join-order optimizer
 //!   parameterized by any [`qfe_core::CardinalityEstimator`]; used by the
 //!   end-to-end experiment (paper Table 4) to measure how estimate quality
@@ -16,6 +19,7 @@
 //!   wall-clock time.
 
 pub mod bitmap;
+pub mod cache;
 pub mod count;
 pub mod eval;
 pub mod executor;
@@ -23,5 +27,6 @@ pub mod join;
 pub mod optimizer;
 
 pub use bitmap::Bitmap;
+pub use cache::{CacheStats, EstimateCache, FillToken, Probe};
 pub use count::true_cardinality;
-pub use optimizer::{JoinPlan, Optimizer};
+pub use optimizer::{JoinPlan, OptimizeError, OptimizeStats, OptimizedPlan, Optimizer};

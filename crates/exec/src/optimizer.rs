@@ -11,12 +11,54 @@
 //! `cost(L ⋈ R) = cost(L) + cost(R) + |L| + |R| + |L ⋈ R|`,
 //! where all cardinalities come from the injected
 //! [`CardinalityEstimator`].
+//!
+//! # Estimation is fallible
+//!
+//! Every sub-plan cardinality goes through
+//! [`CardinalityEstimator::try_estimate`]; a failing estimator aborts the
+//! optimization with a typed [`OptimizeError::Estimate`] naming the
+//! sub-plan, instead of silently planning on garbage. (An earlier version
+//! called `estimate().max(1.0)`, which swallowed every failure into the
+//! least informative legal estimate — the plan choice then depended on
+//! *which* sub-plans happened to fail.)
+//!
+//! # Sub-plan estimate caching
+//!
+//! Estimates are memoized in two scopes, following Hyrise's
+//! `CardinalityEstimationCache` design:
+//!
+//! * **per-call** — always on, always sound: within one `optimize()` call
+//!   every semantically distinct sub-plan is estimated at most once, keyed
+//!   by its canonical [`QueryFingerprint`](qfe_core::fingerprint::QueryFingerprint).
+//! * **cross-call** — opt-in via [`Optimizer::with_cache`]: an
+//!   [`EstimateCache`] shared across `optimize()` calls (and threads)
+//!   answers sub-plans seen in earlier queries. Its generation protocol
+//!   invalidates everything when the underlying model hot-swaps.
+//!
+//! On a cache hit the sub-query is never materialized and never
+//! featurized; [`OptimizeStats`] reports how often that happened.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use qfe_core::error::EstimateError;
 use qfe_core::estimator::CardinalityEstimator;
+use qfe_core::fingerprint::CanonicalQuery;
 use qfe_core::query::JoinPredicate;
 use qfe_core::{QfeError, Query, TableId};
+use qfe_obs::{NoopRecorder, Recorder};
+
+use crate::cache::{EstimateCache, Probe};
+
+/// Counter bumped once per sub-plan whose estimation failed (the failure
+/// also surfaces as [`OptimizeError::Estimate`]; the counter exists so
+/// fleet dashboards see optimizer-scope estimate failures without parsing
+/// errors).
+const ESTIMATE_FAIL: &str = "optimizer.estimate.fail";
+
+/// Gauge set at the end of every `optimize()` call: percentage of sub-plan
+/// estimate probes answered by either cache scope, rounded to an integer.
+const CACHE_HIT_RATE_PCT: &str = "optimizer.cache.hit_rate_pct";
 
 /// A physical plan: scans joined by binary hash joins.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +100,96 @@ impl JoinPlan {
     }
 }
 
+/// Why [`Optimizer::optimize`] gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// The query itself is malformed or unsupported (no tables, too many
+    /// tables, disconnected join graph).
+    Query(QfeError),
+    /// The estimator failed on a sub-plan. The failure is typed and named
+    /// after the sub-plan's tables so callers can react per failure class
+    /// instead of planning on a silently substituted estimate.
+    Estimate {
+        /// Tables of the sub-plan whose estimation failed.
+        tables: Vec<TableId>,
+        /// The estimator's own failure classification.
+        error: EstimateError,
+    },
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::Query(e) => write!(f, "{e}"),
+            OptimizeError::Estimate { tables, error } => {
+                write!(f, "estimating sub-plan over tables [")?;
+                for (i, t) in tables.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "t{}", t.0)?;
+                }
+                write!(f, "]: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimizeError::Query(e) => Some(e),
+            OptimizeError::Estimate { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<QfeError> for OptimizeError {
+    fn from(e: QfeError) -> Self {
+        OptimizeError::Query(e)
+    }
+}
+
+/// Per-call estimation accounting of one [`Optimizer::optimize`] run.
+///
+/// Conservation law (asserted in tests and by `bench_optimizer`): every
+/// sub-plan estimate request is exactly one of a per-call hit, a
+/// cross-call hit, or a miss — `probes == call_hits + cross_hits +
+/// misses`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Sub-plan estimate requests issued by the dynamic program.
+    pub probes: u64,
+    /// Probes answered by the per-call memo (same fingerprint seen earlier
+    /// in this `optimize()` call).
+    pub call_hits: u64,
+    /// Probes answered by the shared cross-call [`EstimateCache`].
+    pub cross_hits: u64,
+    /// Probes that reached the estimator.
+    pub misses: u64,
+    /// Freshly computed estimates that were produced by a fallback stage
+    /// rather than the primary estimator.
+    pub fallbacks: u64,
+    /// Deepest fallback chain observed among freshly computed estimates.
+    pub max_fallback_depth: usize,
+}
+
+impl OptimizeStats {
+    /// Probes answered without consulting the estimator.
+    pub fn hits(&self) -> u64 {
+        self.call_hits + self.cross_hits
+    }
+
+    /// Fraction of probes answered from either cache scope, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.probes as f64
+        }
+    }
+}
+
 /// The optimization result: the best plan and its estimated cost.
 #[derive(Debug, Clone)]
 pub struct OptimizedPlan {
@@ -67,49 +199,177 @@ pub struct OptimizedPlan {
     pub cost: f64,
     /// Estimated cardinality of the full join.
     pub estimated_cardinality: f64,
+    /// Estimation accounting for this call.
+    pub stats: OptimizeStats,
 }
 
 /// Dynamic-programming join-order optimizer.
 pub struct Optimizer<'a, E: CardinalityEstimator> {
     estimator: &'a E,
+    cache: Option<Arc<EstimateCache>>,
+    recorder: Arc<dyn Recorder>,
+}
+
+/// Everything about one query the sub-plan loop needs, precomputed once
+/// per `optimize()` call: the canonical form (for O(sub-plan-size)
+/// fingerprints), and per-join / per-predicate membership bit masks so
+/// materializing a sub-query never scans a `Vec<TableId>`.
+struct SubsetCtx<'q> {
+    query: &'q Query,
+    canon: CanonicalQuery,
+    tables: Vec<TableId>,
+    /// `(left_bit | right_bit, join)` for every join whose sides are both
+    /// known tables; a join belongs to `mask` iff `mask & m == m`.
+    join_masks: Vec<(u32, JoinPredicate)>,
+    /// Bit of each predicate's table (parallel to `query.predicates`);
+    /// `0` for predicates on tables outside the accessed set, which no
+    /// sub-query includes (mirroring [`subset_query`]).
+    pred_bits: Vec<u32>,
+}
+
+impl<'q> SubsetCtx<'q> {
+    fn new(query: &'q Query, tables: Vec<TableId>) -> Self {
+        let index_of: HashMap<TableId, usize> =
+            tables.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let bit = |t: TableId| index_of.get(&t).map_or(0u32, |&i| 1 << i);
+        let join_masks = query
+            .joins
+            .iter()
+            .filter_map(|j| {
+                let (l, r) = (bit(j.left.table), bit(j.right.table));
+                (l != 0 && r != 0).then_some((l | r, *j))
+            })
+            .collect();
+        let pred_bits = query
+            .predicates
+            .iter()
+            .map(|cp| bit(cp.column.table))
+            .collect();
+        SubsetCtx {
+            query,
+            canon: CanonicalQuery::new(query),
+            tables,
+            join_masks,
+            pred_bits,
+        }
+    }
+
+    /// Materialize the sub-query for `mask` (only reached on cache
+    /// misses — hits never clone a predicate).
+    fn subset_query(&self, mask: u32) -> Query {
+        Query {
+            tables: self
+                .tables
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &t)| t)
+                .collect(),
+            joins: self
+                .join_masks
+                .iter()
+                .filter(|(m, _)| mask & m == *m)
+                .map(|(_, j)| *j)
+                .collect(),
+            predicates: self
+                .query
+                .predicates
+                .iter()
+                .zip(&self.pred_bits)
+                .filter(|(_, &b)| b != 0 && mask & b != 0)
+                .map(|(cp, _)| cp.clone())
+                .collect(),
+        }
+    }
 }
 
 impl<'a, E: CardinalityEstimator> Optimizer<'a, E> {
     /// Create an optimizer using `estimator` for all cardinalities.
     pub fn new(estimator: &'a E) -> Self {
-        Optimizer { estimator }
+        Optimizer {
+            estimator,
+            cache: None,
+            recorder: Arc::new(NoopRecorder),
+        }
+    }
+
+    /// Share `cache` across `optimize()` calls: sub-plans fingerprint-equal
+    /// to ones estimated earlier (by any optimizer holding the same cache)
+    /// are answered without consulting the estimator. Only sound while the
+    /// estimator does not change underneath the cache — tie the cache to a
+    /// generation source ([`EstimateCache::with_generation_source`]) when
+    /// it can.
+    pub fn with_cache(mut self, cache: Arc<EstimateCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Route optimizer metrics (estimate-failure counter, per-call cache
+    /// hit-rate gauge) to `recorder`.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Find the cheapest bushy hash-join plan for `query`.
     ///
     /// Supports up to 20 tables (subset DP); the paper's JOB-light queries
     /// have at most 5.
-    pub fn optimize(&self, query: &Query) -> Result<OptimizedPlan, QfeError> {
+    ///
+    /// # Errors
+    /// [`OptimizeError::Query`] for malformed queries (no tables, more
+    /// than 20 tables, disconnected join graph);
+    /// [`OptimizeError::Estimate`] when the estimator fails on any
+    /// sub-plan — estimation failures abort planning instead of being
+    /// silently replaced.
+    pub fn optimize(&self, query: &Query) -> Result<OptimizedPlan, OptimizeError> {
         let tables = query.sub_schema().tables().to_vec();
         let n = tables.len();
         if n == 0 {
-            return Err(QfeError::InvalidQuery("query accesses no table".into()));
+            return Err(QfeError::InvalidQuery("query accesses no table".into()).into());
         }
         if n > 20 {
-            return Err(QfeError::UnsupportedQuery(
-                "optimizer supports at most 20 tables".into(),
-            ));
+            return Err(
+                QfeError::UnsupportedQuery("optimizer supports at most 20 tables".into()).into(),
+            );
         }
+        let ctx = SubsetCtx::new(query, tables);
+        let mut state = CallState::default();
+        let result = self.optimize_inner(&ctx, &mut state, n);
+        self.recorder.set_gauge(
+            CACHE_HIT_RATE_PCT,
+            (state.stats.hit_rate() * 100.0).round() as u64,
+        );
+        result.map(|(plan, cost, estimated_cardinality)| OptimizedPlan {
+            plan,
+            cost,
+            estimated_cardinality,
+            stats: state.stats,
+        })
+    }
+
+    fn optimize_inner(
+        &self,
+        ctx: &SubsetCtx<'_>,
+        state: &mut CallState,
+        n: usize,
+    ) -> Result<(JoinPlan, f64, f64), OptimizeError> {
         if n == 1 {
-            let card = self.subset_cardinality(query, &tables, 1);
-            return Ok(OptimizedPlan {
-                plan: JoinPlan::Scan(tables[0]),
-                cost: card,
-                estimated_cardinality: card,
-            });
+            let card = self.subset_estimate(ctx, state, 1)?;
+            return Ok((JoinPlan::Scan(ctx.tables[0]), card, card));
         }
 
         // Adjacency as table-index bit masks.
-        let index_of: HashMap<TableId, usize> =
-            tables.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let index_of: HashMap<TableId, usize> = ctx
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
         let mut adjacency = vec![0u32; n];
-        for j in &query.joins {
-            let (l, r) = (index_of[&j.left.table], index_of[&j.right.table]);
+        for (m, _) in &ctx.join_masks {
+            let l = m.trailing_zeros() as usize;
+            let r = (31 - m.leading_zeros()) as usize;
             adjacency[l] |= 1 << r;
             adjacency[r] |= 1 << l;
         }
@@ -118,17 +378,17 @@ impl<'a, E: CardinalityEstimator> Optimizer<'a, E> {
         let full = (1u32 << n) - 1;
         let mut best: HashMap<u32, (f64, JoinPlan)> = HashMap::new();
         let mut cards: HashMap<u32, f64> = HashMap::new();
-        for i in 0..n {
+        for (i, &t) in ctx.tables.iter().enumerate() {
             let mask = 1u32 << i;
-            let card = self.subset_cardinality(query, &tables, mask);
+            let card = self.subset_estimate(ctx, state, mask)?;
             cards.insert(mask, card);
-            best.insert(mask, (card, JoinPlan::Scan(tables[i])));
+            best.insert(mask, (card, JoinPlan::Scan(t)));
         }
         for mask in 1..=full {
             if mask.count_ones() < 2 || !subset_connected(mask, &adjacency) {
                 continue;
             }
-            let card = self.subset_cardinality(query, &tables, mask);
+            let card = self.subset_estimate(ctx, state, mask)?;
             cards.insert(mask, card);
             let mut best_here: Option<(f64, JoinPlan)> = None;
             // Enumerate proper sub-splits (left = submask containing the
@@ -138,7 +398,7 @@ impl<'a, E: CardinalityEstimator> Optimizer<'a, E> {
             while left != 0 {
                 let right = mask ^ left;
                 if left & low != 0 && best.contains_key(&left) && best.contains_key(&right) {
-                    if let Some(join) = connecting_join(query, &index_of, left, right) {
+                    if let Some(join) = connecting_join(ctx.query, &index_of, left, right) {
                         let (lc, lp) = &best[&left];
                         let (rc, rp) = &best[&right];
                         let cost = lc + rc + cards[&left] + cards[&right] + card;
@@ -164,44 +424,93 @@ impl<'a, E: CardinalityEstimator> Optimizer<'a, E> {
         let (cost, plan) = best.remove(&full).ok_or_else(|| {
             QfeError::InvalidQuery("join graph does not connect all accessed tables".into())
         })?;
-        Ok(OptimizedPlan {
-            plan,
-            cost,
-            estimated_cardinality: cards[&full],
-        })
+        Ok((plan, cost, cards[&full]))
     }
 
     /// Estimated cardinality of the query restricted to the tables in
-    /// `mask`.
-    fn subset_cardinality(&self, query: &Query, tables: &[TableId], mask: u32) -> f64 {
-        let sub = subset_query(query, tables, mask);
-        self.estimator.estimate(&sub).max(1.0)
+    /// `mask`, through both cache scopes (per-call memo, then the shared
+    /// cross-call cache), reaching the estimator only on a double miss.
+    fn subset_estimate(
+        &self,
+        ctx: &SubsetCtx<'_>,
+        state: &mut CallState,
+        mask: u32,
+    ) -> Result<f64, OptimizeError> {
+        state.stats.probes += 1;
+        let fp = ctx.canon.subset_fingerprint(mask);
+        if let Some(&card) = state.per_call.get(&fp.0) {
+            state.stats.call_hits += 1;
+            return Ok(card);
+        }
+        let token = match &self.cache {
+            Some(cache) => match cache.probe(fp) {
+                Probe::Hit(est) => {
+                    state.stats.cross_hits += 1;
+                    state.per_call.insert(fp.0, est.value);
+                    return Ok(est.value);
+                }
+                Probe::Miss(token) => Some(token),
+            },
+            None => None,
+        };
+        let sub = ctx.subset_query(mask);
+        let est = match self.estimator.try_estimate(&sub) {
+            Ok(est) => est,
+            Err(error) => {
+                self.recorder.incr(ESTIMATE_FAIL);
+                return Err(OptimizeError::Estimate {
+                    tables: sub.tables,
+                    error,
+                });
+            }
+        };
+        state.stats.misses += 1;
+        if est.fell_back() {
+            state.stats.fallbacks += 1;
+            state.stats.max_fallback_depth = state.stats.max_fallback_depth.max(est.fallback_depth);
+        }
+        if let (Some(cache), Some(token)) = (&self.cache, token) {
+            cache.fill(fp, est.clone(), token);
+        }
+        state.per_call.insert(fp.0, est.value);
+        Ok(est.value)
     }
 }
 
+/// Per-`optimize()` mutable state: the always-on per-call memo plus the
+/// call's [`OptimizeStats`].
+#[derive(Default)]
+struct CallState {
+    per_call: HashMap<u128, f64>,
+    stats: OptimizeStats,
+}
+
 /// The query restricted to the tables selected by `mask`: their joins and
-/// predicates only.
+/// predicates only. Membership is decided by bit tests against an index
+/// built once — no per-join or per-predicate scan of the table list.
 pub fn subset_query(query: &Query, tables: &[TableId], mask: u32) -> Query {
-    let selected: Vec<TableId> = tables
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| mask >> i & 1 == 1)
-        .map(|(_, &t)| t)
-        .collect();
+    let index_of: HashMap<TableId, usize> =
+        tables.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let in_mask = |t: TableId| index_of.get(&t).is_some_and(|&i| mask >> i & 1 == 1);
     Query {
         joins: query
             .joins
             .iter()
-            .filter(|j| selected.contains(&j.left.table) && selected.contains(&j.right.table))
+            .filter(|j| in_mask(j.left.table) && in_mask(j.right.table))
             .cloned()
             .collect(),
         predicates: query
             .predicates
             .iter()
-            .filter(|cp| selected.contains(&cp.column.table))
+            .filter(|cp| in_mask(cp.column.table))
             .cloned()
             .collect(),
-        tables: selected,
+        tables: tables
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &t)| t)
+            .collect(),
     }
 }
 
@@ -241,6 +550,7 @@ mod tests {
     use super::*;
     use qfe_core::query::ColumnRef;
     use qfe_core::ColumnId;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// Estimator with hardcoded per-sub-schema cardinalities, to force
     /// specific plan choices.
@@ -254,6 +564,47 @@ mod tests {
         fn estimate(&self, query: &Query) -> f64 {
             let key = query.sub_schema().tables().to_vec();
             *self.0.get(&key).unwrap_or(&1.0)
+        }
+    }
+
+    /// Estimator that counts how often the optimizer actually reaches it.
+    struct Counting {
+        calls: AtomicU64,
+    }
+
+    impl Counting {
+        fn new() -> Self {
+            Counting {
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl CardinalityEstimator for Counting {
+        fn name(&self) -> String {
+            "counting".into()
+        }
+
+        fn estimate(&self, _query: &Query) -> f64 {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            10.0
+        }
+    }
+
+    /// Estimator that fails on sub-schemata listed in its set.
+    struct Failing(Vec<Vec<TableId>>);
+
+    impl CardinalityEstimator for Failing {
+        fn name(&self) -> String {
+            "failing".into()
+        }
+
+        fn estimate(&self, query: &Query) -> f64 {
+            if self.0.contains(&query.sub_schema().tables().to_vec()) {
+                f64::NAN
+            } else {
+                10.0
+            }
         }
     }
 
@@ -282,6 +633,8 @@ mod tests {
         let plan = opt.optimize(&chain_query(1)).unwrap();
         assert_eq!(plan.plan, JoinPlan::Scan(TableId(0)));
         assert_eq!(plan.estimated_cardinality, 50.0);
+        assert_eq!(plan.stats.probes, 1);
+        assert_eq!(plan.stats.misses, 1);
     }
 
     #[test]
@@ -363,7 +716,8 @@ mod tests {
         let opt = Optimizer::new(&est);
         let mut q = chain_query(3);
         q.joins.remove(0); // disconnect t0
-        assert!(opt.optimize(&q).is_err());
+        let err = opt.optimize(&q).unwrap_err();
+        assert!(matches!(err, OptimizeError::Query(_)), "{err}");
     }
 
     #[test]
@@ -379,6 +733,115 @@ mod tests {
     }
 
     #[test]
+    fn estimate_failure_propagates_with_subplan_context() {
+        // The estimator fails on the {t1, t2} sub-plan: the optimizer must
+        // surface the typed error, not plan around a substituted value.
+        let est = Failing(vec![t(&[1, 2])]);
+        let opt = Optimizer::new(&est);
+        let err = opt.optimize(&chain_query(3)).unwrap_err();
+        match err {
+            OptimizeError::Estimate { tables, error } => {
+                assert_eq!(tables, t(&[1, 2]));
+                assert!(
+                    matches!(error, EstimateError::NonFinite { .. }),
+                    "{error:?}"
+                );
+            }
+            other => panic!("expected Estimate error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn estimate_failures_are_counted() {
+        let recorder = Arc::new(qfe_obs::MetricsRecorder::new());
+        let est = Failing(vec![t(&[0])]);
+        let opt = Optimizer::new(&est).with_recorder(recorder.clone());
+        assert!(opt.optimize(&chain_query(2)).is_err());
+        assert_eq!(recorder.counter(ESTIMATE_FAIL), 1);
+    }
+
+    #[test]
+    fn stats_conserve_probes() {
+        let est = Counting::new();
+        let opt = Optimizer::new(&est);
+        let plan = opt.optimize(&chain_query(4)).unwrap();
+        let s = plan.stats;
+        assert_eq!(s.probes, s.call_hits + s.cross_hits + s.misses);
+        // No cross-call cache installed.
+        assert_eq!(s.cross_hits, 0);
+        // Every miss is exactly one estimator call.
+        assert_eq!(est.calls.load(Ordering::Relaxed), s.misses);
+        // The chain query has no predicates, so all sub-plans of equal
+        // shape are distinct (different tables) — every probe misses.
+        assert_eq!(s.call_hits, 0);
+    }
+
+    #[test]
+    fn cross_call_cache_answers_repeat_queries() {
+        let est = Counting::new();
+        let cache = Arc::new(EstimateCache::new());
+        let opt = Optimizer::new(&est).with_cache(cache.clone());
+        let q = chain_query(3);
+        let first = opt.optimize(&q).unwrap();
+        let calls_after_first = est.calls.load(Ordering::Relaxed);
+        assert!(calls_after_first > 0);
+        let second = opt.optimize(&q).unwrap();
+        // The second call is answered entirely from the cross-call cache.
+        assert_eq!(est.calls.load(Ordering::Relaxed), calls_after_first);
+        assert_eq!(second.stats.misses, 0);
+        assert_eq!(second.stats.cross_hits, second.stats.probes);
+        // And it chose the identical plan at the identical cost.
+        assert_eq!(first.plan, second.plan);
+        assert_eq!(first.cost, second.cost);
+        assert_eq!(first.estimated_cardinality, second.estimated_cardinality);
+    }
+
+    #[test]
+    fn reordered_predicates_hit_the_cross_call_cache() {
+        // Two predicates on the same column in either order: the sub-plans
+        // for {t0} under both orderings fingerprint identically, so within
+        // one call the estimator is asked once per distinct sub-plan even
+        // without a cross-call cache.
+        use qfe_core::{CmpOp, CompoundPredicate, SimplePredicate};
+        let col = ColumnRef::new(TableId(0), ColumnId(1));
+        let mut q = chain_query(2);
+        q.predicates = vec![
+            CompoundPredicate::conjunction(col, vec![SimplePredicate::new(CmpOp::Ge, 1)]),
+            CompoundPredicate::conjunction(col, vec![SimplePredicate::new(CmpOp::Le, 9)]),
+        ];
+        let est = Counting::new();
+        let cache = Arc::new(EstimateCache::new());
+        let opt = Optimizer::new(&est).with_cache(cache.clone());
+        opt.optimize(&q).unwrap();
+
+        let mut q2 = chain_query(2);
+        q2.predicates = vec![
+            CompoundPredicate::conjunction(col, vec![SimplePredicate::new(CmpOp::Le, 9)]),
+            CompoundPredicate::conjunction(col, vec![SimplePredicate::new(CmpOp::Ge, 1)]),
+        ];
+        let calls_before = est.calls.load(Ordering::Relaxed);
+        let plan = opt.optimize(&q2).unwrap();
+        // Reordered predicates hit the cache filled by the first query.
+        assert_eq!(est.calls.load(Ordering::Relaxed), calls_before);
+        assert_eq!(plan.stats.misses, 0);
+    }
+
+    #[test]
+    fn hit_rate_gauge_is_set_per_call() {
+        let recorder = Arc::new(qfe_obs::MetricsRecorder::new());
+        let est = Counting::new();
+        let cache = Arc::new(EstimateCache::new());
+        let opt = Optimizer::new(&est)
+            .with_cache(cache)
+            .with_recorder(recorder.clone());
+        let q = chain_query(3);
+        opt.optimize(&q).unwrap();
+        assert_eq!(recorder.gauge(CACHE_HIT_RATE_PCT), 0);
+        opt.optimize(&q).unwrap();
+        assert_eq!(recorder.gauge(CACHE_HIT_RATE_PCT), 100);
+    }
+
+    #[test]
     fn subset_query_restricts_everything() {
         let mut q = chain_query(3);
         q.predicates.push(qfe_core::CompoundPredicate::conjunction(
@@ -388,6 +851,21 @@ mod tests {
         let sub = subset_query(&q, &t(&[0, 1, 2]), 0b011);
         assert_eq!(sub.tables, t(&[0, 1]));
         assert_eq!(sub.joins.len(), 1);
+        assert!(sub.predicates.is_empty());
+    }
+
+    #[test]
+    fn subset_query_ignores_unknown_tables() {
+        // Predicates and joins on tables absent from the table list are
+        // excluded no matter the mask (same contract as the scan-based
+        // implementation this replaced).
+        let mut q = chain_query(2);
+        q.predicates.push(qfe_core::CompoundPredicate::conjunction(
+            ColumnRef::new(TableId(9), ColumnId(0)),
+            vec![qfe_core::SimplePredicate::new(qfe_core::CmpOp::Eq, 1)],
+        ));
+        let sub = subset_query(&q, &t(&[0, 1]), 0b11);
+        assert_eq!(sub.tables, t(&[0, 1]));
         assert!(sub.predicates.is_empty());
     }
 }

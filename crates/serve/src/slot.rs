@@ -313,6 +313,17 @@ impl ModelSlot {
     }
 }
 
+/// The slot is the canonical generation producer for cross-call estimate
+/// caches: every accepted hot swap bumps the generation, so a cache
+/// keyed on it (`qfe-exec`'s `EstimateCache`) drops all estimates the
+/// previous model produced — the invalidation half of the adaptation
+/// loop's atomic-swap contract.
+impl qfe_core::estimator::GenerationSource for ModelSlot {
+    fn generation(&self) -> u64 {
+        ModelSlot::generation(self)
+    }
+}
+
 impl CardinalityEstimator for ModelSlot {
     fn name(&self) -> String {
         format!("slot({})", self.read().name())
