@@ -10,8 +10,11 @@
 //! two outputs byte-for-byte. Any difference is a violation of the
 //! determinism contract in `qfe_core::parallel` (fixed chunk boundaries,
 //! chunk-order reduction). To make that check bite on the model itself
-//! and not just its q-error quantiles, the record embeds an FNV-1a
-//! fingerprint of a GBDT's serialized bytes.
+//! and not just its q-error quantiles, the record embeds FNV-1a
+//! fingerprints of a GBDT's serialized bytes *and* of the compiled
+//! inference form built from it (flattened node arrays, leaf table, and
+//! quantization cuts), so compiled-model construction is under the same
+//! determinism gate as training.
 //!
 //! Exits non-zero if any QFT's median q-error exceeds its bound.
 
@@ -75,6 +78,15 @@ fn main() {
     gb.fit(&x, &y);
     let gb_fp = fingerprint(&gbdt_to_bytes(&gb));
     eprintln!("gbdt fingerprint: {gb_fp}");
+    // Same witness for the compiled-inference layer: the flattened node
+    // arrays, leaf table, and quantization cuts compiled from that model
+    // must also be identical across thread counts, or the binned serving
+    // path would silently depend on the training pool.
+    let compiled_fp = fingerprint(
+        &gb.compiled_fingerprint_bytes()
+            .expect("trained GB compiles"),
+    );
+    eprintln!("compiled fingerprint: {compiled_fp}");
 
     let mut rows_json = Vec::new();
     let mut failed = false;
@@ -122,9 +134,10 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"workload\":\"forest\",\"scale\":\"{}\",\"model\":\"GB\",\"gbdt_fingerprint\":\"{}\",\"qfts\":{{{}}}}}\n",
+        "{{\"workload\":\"forest\",\"scale\":\"{}\",\"model\":\"GB\",\"gbdt_fingerprint\":\"{}\",\"compiled_fingerprint\":\"{}\",\"qfts\":{{{}}}}}\n",
         scale.label,
         gb_fp,
+        compiled_fp,
         rows_json.join(",")
     );
     let path = std::env::var("QFE_ACCURACY_JSON").unwrap_or_else(|_| "ACCURACY.json".into());

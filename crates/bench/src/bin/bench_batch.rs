@@ -13,11 +13,21 @@ use std::time::{Duration, Instant};
 
 use qfe_bench::envs::ForestEnv;
 use qfe_bench::trainers::{make_featurizer, train_single_table, ModelKind, QftKind};
-use qfe_core::featurize::{AttributeSpace, FeatureMatrix};
+use qfe_core::featurize::{AttributeSpace, BinnedFeatureMatrix, FeatureMatrix};
 use qfe_core::{CardinalityEstimator, Deadline, Query, TableId};
+use qfe_ml::gbdt::{Gbdt, GbdtConfig};
+use qfe_ml::matrix::Matrix;
+use qfe_ml::scaling::LogScaler;
+use qfe_ml::train::Regressor;
 use qfe_serve::{EstimatorService, ServiceConfig, SharedEstimator};
 
 const BATCH: usize = 64;
+
+/// Estimator-segment µs/query committed with the pre-compiled-inference
+/// batch record (smoke scale, 1-core CI runner) — the fixed yardstick the
+/// compiled pipeline is gated against, independent of run-to-run drift in
+/// the freshly measured reference.
+const COMMITTED_ESTIMATOR_BASELINE_US: f64 = 4.202;
 
 /// One measured comparison: microseconds per query down each path.
 struct Layer {
@@ -130,6 +140,60 @@ fn main() {
         }),
     };
 
+    // The serve layer spawned one watchdog thread per deadline-bounded
+    // call; drop the service before timing the compiled pipeline so no
+    // straggler competes for the core on single-CPU runners.
+    drop(svc);
+
+    // Layer 2b: compiled inference inside the estimator segment — the
+    // full reference pipeline (f32 arena → enum-tree walk → inverse
+    // scaling) against the compiled pipeline (u16 binned arena →
+    // flattened-forest walk → inverse scaling), on the same raw GB model.
+    // The two must agree bit-for-bit (quantization contract); the
+    // speedup is the tentpole number of the compiled-inference layer.
+    eprintln!("training raw GB for the compiled-inference comparison…");
+    let mut gb = Gbdt::new(GbdtConfig {
+        n_trees: scale.gbdt_trees,
+        min_samples_leaf: 3,
+        max_leaves: 64,
+        ..GbdtConfig::default()
+    });
+    let train_m = FeatureMatrix::build(featurizer.as_ref(), &env.conj_train.queries);
+    let (rows, cols, data, _errs) = train_m.into_raw();
+    let x_train = Matrix::from_vec(rows, cols, data);
+    let scaler = LogScaler::fit(&env.conj_train.cardinalities).expect("labels scale");
+    let y_train = scaler.transform_batch(&env.conj_train.cardinalities);
+    gb.try_fit(&x_train, &y_train).expect("GB fit");
+    let binner = gb.feature_binner().expect("trained GB compiles");
+    {
+        // Equivalence gate before timing anything: both pipelines must
+        // produce bit-identical estimates on the bench batch.
+        let (r, c, d, _) = FeatureMatrix::build(featurizer.as_ref(), &batch).into_raw();
+        let reference = gb.predict_batch_reference(&Matrix::from_vec(r, c, d));
+        let (br, _bc, bins, _) =
+            BinnedFeatureMatrix::build(featurizer.as_ref(), binner, &batch).into_raw();
+        let compiled = gb.predict_batch_binned(br, &bins).expect("binned path");
+        assert_eq!(reference, compiled, "compiled pipeline diverged");
+    }
+    let estimator_compiled = Layer {
+        name: "est-compiled",
+        singleton_us: measure(BATCH, budget, || {
+            let (r, c, d, _) = FeatureMatrix::build(featurizer.as_ref(), &batch).into_raw();
+            let preds = gb.predict_batch_reference(&Matrix::from_vec(r, c, d));
+            let out: Vec<f64> = preds.iter().map(|&p| scaler.inverse(p)).collect();
+            assert_eq!(out.len(), BATCH);
+            std::hint::black_box(out);
+        }),
+        batched_us: measure(BATCH, budget, || {
+            let (r, _c, bins, _) =
+                BinnedFeatureMatrix::build(featurizer.as_ref(), binner, &batch).into_raw();
+            let preds = gb.predict_batch_binned(r, &bins).expect("binned path");
+            let out: Vec<f64> = preds.iter().map(|&p| scaler.inverse(p)).collect();
+            assert_eq!(out.len(), BATCH);
+            std::hint::black_box(out);
+        }),
+    };
+
     let layers = [feat, estimator, serve];
     println!(
         "batched execution at batch {BATCH}, forest conjunctive workload ({}):",
@@ -144,15 +208,29 @@ fn main() {
             l.speedup()
         );
     }
+    let vs_committed = COMMITTED_ESTIMATOR_BASELINE_US / estimator_compiled.batched_us;
+    println!(
+        "  {:<10} reference {:>9.2} µs/query   compiled {:>9.2} µs/query   speedup {:>5.2}×",
+        estimator_compiled.name,
+        estimator_compiled.singleton_us,
+        estimator_compiled.batched_us,
+        estimator_compiled.speedup()
+    );
+    println!(
+        "  compiled vs committed {COMMITTED_ESTIMATOR_BASELINE_US} µs/query baseline: {vs_committed:>5.2}×"
+    );
     // The headline number is the end-to-end serving layer: that is what
     // the micro-batcher amortizes per request.
     let headline = layers[2].speedup();
     let json = format!(
-        "{{\"workload\":\"forest-conjunctive\",\"scale\":\"{}\",\"batch_size\":{},\"featurize\":{},\"estimator\":{},\"serve\":{},\"speedup\":{:.2}}}\n",
+        "{{\"workload\":\"forest-conjunctive\",\"scale\":\"{}\",\"batch_size\":{},\"featurize\":{},\"estimator\":{},\"estimator_compiled\":{{\"reference_us_per_query\":{:.3},\"compiled_us_per_query\":{:.3},\"speedup\":{:.2},\"committed_baseline_us_per_query\":{COMMITTED_ESTIMATOR_BASELINE_US},\"speedup_vs_committed\":{vs_committed:.2}}},\"serve\":{},\"speedup\":{:.2}}}\n",
         scale.label,
         BATCH,
         layers[0].to_json(),
         layers[1].to_json(),
+        estimator_compiled.singleton_us,
+        estimator_compiled.batched_us,
+        estimator_compiled.speedup(),
         layers[2].to_json(),
         headline
     );
@@ -170,6 +248,13 @@ fn main() {
             );
             failed = true;
         }
+    }
+    if estimator_compiled.speedup() < 1.0 {
+        eprintln!(
+            "REGRESSION: compiled estimator pipeline is slower than the reference ({:.2}×)",
+            estimator_compiled.speedup()
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

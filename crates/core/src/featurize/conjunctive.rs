@@ -24,7 +24,7 @@
 use crate::error::QfeError;
 use crate::featurize::space::AttributeSpace;
 use crate::featurize::{group_by_column, FeatureVec, Featurizer};
-use crate::interval::{Region, RegionSet};
+use crate::interval::Region;
 use crate::predicate::{CmpOp, SimplePredicate};
 use crate::query::Query;
 use crate::schema::AttributeDomain;
@@ -140,15 +140,28 @@ impl UniversalConjunctionEncoding {
     fn encode_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
         // Default per attribute: all-one buckets and selectivity 1 ("no
         // restriction"); predicated attributes overwrite their slot below
-        // (group_by_column yields each attribute at most once).
+        // (each attribute is encoded at most once).
         out.fill(1.0);
+        // Workload-shaped queries predicate each attribute at most once
+        // (Definition 3.3), so their expressions can be encoded straight
+        // off the query by reference. Only user-built queries that repeat
+        // an attribute pay for the merging clones in `group_by_column`.
+        if distinct_columns(query) {
+            let mut leaves = Vec::new();
+            for cp in &query.predicates {
+                let pos = self.position_of(cp.column)?;
+                leaves.clear();
+                self.encode_attr_in(
+                    pos,
+                    &cp.expr,
+                    &mut out[self.offsets[pos]..self.offsets[pos + 1]],
+                    &mut leaves,
+                )?;
+            }
+            return Ok(());
+        }
         for (col, expr) in group_by_column(query) {
-            let Some(pos) = self.space.position(col) else {
-                return Err(QfeError::InvalidQuery(format!(
-                    "predicate on attribute outside the featurizer's space: table {} column {}",
-                    col.table.0, col.column.0
-                )));
-            };
+            let pos = self.position_of(col)?;
             self.encode_attr(
                 pos,
                 &expr,
@@ -156,6 +169,16 @@ impl UniversalConjunctionEncoding {
             )?;
         }
         Ok(())
+    }
+
+    /// Layout position of `col`, or the typed out-of-space error.
+    fn position_of(&self, col: crate::query::ColumnRef) -> Result<usize, QfeError> {
+        self.space.position(col).ok_or_else(|| {
+            QfeError::InvalidQuery(format!(
+                "predicate on attribute outside the featurizer's space: table {} column {}",
+                col.table.0, col.column.0
+            ))
+        })
     }
 
     /// Encode one attribute's merged predicate expression into its segment
@@ -168,6 +191,18 @@ impl UniversalConjunctionEncoding {
         expr: &crate::predicate::PredicateExpr,
         seg: &mut [f32],
     ) -> Result<(), QfeError> {
+        self.encode_attr_in(pos, expr, seg, &mut Vec::new())
+    }
+
+    /// [`Self::encode_attr`] with a caller-owned leaf-reference scratch,
+    /// so the per-query loop reuses one allocation across attributes.
+    fn encode_attr_in<'q>(
+        &self,
+        pos: usize,
+        expr: &'q crate::predicate::PredicateExpr,
+        seg: &mut [f32],
+        leaves: &mut Vec<&'q SimplePredicate>,
+    ) -> Result<(), QfeError> {
         if !expr.is_conjunctive() {
             return Err(QfeError::UnsupportedQuery(
                 "Universal Conjunction Encoding cannot featurize disjunctions; \
@@ -179,24 +214,38 @@ impl UniversalConjunctionEncoding {
         let n_a = domain.bucket_count(self.max_buckets);
         debug_assert_eq!(seg.len(), self.attr_width(pos));
         let (buckets, sel_slot) = seg.split_at_mut(n_a);
-        match expr.to_dnf()?.into_iter().next() {
-            Some(preds) => {
-                let region = featurize_conjunct_into(&preds, domain, buckets, self.ternary)?;
-                if self.attr_sel {
-                    sel_slot[0] = RegionSet::new(vec![region]).selectivity(domain) as f32;
-                }
+        // The DNF of a conjunctive expression is a single term holding
+        // exactly its leaves in depth-first order; gather them by
+        // reference instead of cloning through `to_dnf` — same bits out,
+        // none of the expansion's per-attribute allocations.
+        leaves.clear();
+        if expr.conjunct_leaf_refs(leaves) {
+            let region =
+                featurize_conjunct_into(leaves.iter().copied(), domain, buckets, self.ternary)?;
+            if self.attr_sel {
+                sel_slot[0] = region.selectivity(domain) as f32;
             }
+        } else {
             // An empty disjunction is unsatisfiable (e.g. a prefix
             // predicate matching nothing): no bucket qualifies.
-            None => {
-                buckets.fill(0.0);
-                if self.attr_sel {
-                    sel_slot[0] = 0.0;
-                }
+            buckets.fill(0.0);
+            if self.attr_sel {
+                sel_slot[0] = 0.0;
             }
         }
         Ok(())
     }
+}
+
+/// Whether every compound predicate names a different attribute
+/// (Definition 3.3's shape) — the precondition for the by-reference
+/// encoding paths that skip `group_by_column`'s merging clones.
+fn distinct_columns(query: &Query) -> bool {
+    query.predicates.iter().enumerate().all(|(i, cp)| {
+        query.predicates[..i]
+            .iter()
+            .all(|prev| prev.column != cp.column)
+    })
 }
 
 /// Featurize one attribute's conjunction of simple predicates into `n_a`
@@ -217,16 +266,20 @@ pub(crate) fn featurize_conjunct(
 
 /// In-place variant of [`featurize_conjunct`]: encodes into `out` (whose
 /// length is the attribute's bucket count `n_a`) without allocating the
-/// bucket vector. Used by the batched arena path.
-pub(crate) fn featurize_conjunct_into(
-    preds: &[SimplePredicate],
+/// bucket vector. Used by the batched arena path. Generic over borrowed
+/// predicates so the zero-clone leaf-reference path shares it.
+pub(crate) fn featurize_conjunct_into<'a, I>(
+    preds: I,
     domain: &AttributeDomain,
     out: &mut [f32],
     ternary: bool,
-) -> Result<Region, QfeError> {
+) -> Result<Region, QfeError>
+where
+    I: IntoIterator<Item = &'a SimplePredicate> + Clone,
+{
     let n_a = out.len();
     let exact = domain.exact_buckets(n_a);
-    featurize_conjunct_buckets_into(preds, out, exact, ternary, &|val| {
+    featurize_conjunct_buckets_into(preds.clone(), out, exact, ternary, &|val| {
         domain.bucket_of(val, n_a)
     })?;
     Ok(Region::from_conjunct(preds, domain))
@@ -238,13 +291,16 @@ pub(crate) fn featurize_conjunct_into(
 /// non-decreasing in its argument. Operates in place: `v` (length = the
 /// bucket count `n_a`) is reset to all-ones and then updated, so batch
 /// callers can point it straight into their feature arena.
-pub(crate) fn featurize_conjunct_buckets_into(
-    preds: &[SimplePredicate],
+pub(crate) fn featurize_conjunct_buckets_into<'a, I>(
+    preds: I,
     v: &mut [f32],
     exact: bool,
     ternary: bool,
     bucket_of: &dyn Fn(f64) -> usize,
-) -> Result<(), QfeError> {
+) -> Result<(), QfeError>
+where
+    I: IntoIterator<Item = &'a SimplePredicate>,
+{
     let n_a = v.len();
     v.fill(1.0);
     for p in preds {
@@ -332,6 +388,39 @@ impl Featurizer for UniversalConjunctionEncoding {
     fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
         crate::featurize::check_out_len(self.dim(), out.len())?;
         self.encode_into(query, out)
+    }
+
+    fn featurize_binned_into(
+        &self,
+        query: &Query,
+        binner: &crate::featurize::FeatureBinner,
+        scratch: &mut [f32],
+        out: &mut [u16],
+    ) -> Result<(), QfeError> {
+        crate::featurize::check_out_len(self.dim(), out.len())?;
+        crate::featurize::check_out_len(self.dim(), binner.features())?;
+        crate::featurize::check_out_len(self.dim(), scratch.len())?;
+        if !distinct_columns(query) {
+            self.encode_into(query, scratch)?;
+            binner.bin_row(scratch, out);
+            return Ok(());
+        }
+        // Fused fast path: unpredicated attributes hold the constant
+        // all-ones default, so their bins come straight off the binner's
+        // precomputed template; only predicated segments are encoded
+        // (into their slice of `scratch`) and re-binned value by value.
+        // `bin_value` is `bin_row`'s kernel, so the bits match the
+        // default encode-then-bin composition exactly.
+        binner.bin_ones_into(out);
+        let mut leaves = Vec::new();
+        for cp in &query.predicates {
+            let pos = self.position_of(cp.column)?;
+            let range = self.offsets[pos]..self.offsets[pos + 1];
+            leaves.clear();
+            self.encode_attr_in(pos, &cp.expr, &mut scratch[range.clone()], &mut leaves)?;
+            binner.bin_span(range.start, &scratch[range.clone()], &mut out[range]);
+        }
+        Ok(())
     }
 }
 

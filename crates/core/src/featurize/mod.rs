@@ -13,6 +13,7 @@
 //! | `conjunctive`| [`UniversalConjunctionEncoding`] |
 //! | `complex`    | [`LimitedDisjunctionEncoding`] |
 
+pub mod binned;
 mod complex;
 mod conjunctive;
 mod equidepth;
@@ -26,6 +27,7 @@ mod range;
 mod simple;
 mod space;
 
+pub use binned::{BinnedFeatureMatrix, FeatureBinner};
 pub use complex::LimitedDisjunctionEncoding;
 pub use conjunctive::UniversalConjunctionEncoding;
 pub use equidepth::EquiDepthConjunctionEncoding;
@@ -97,6 +99,31 @@ pub trait Featurizer: Send + Sync {
         out.copy_from_slice(&v.0);
         Ok(())
     }
+
+    /// Encode `query` and quantize it to `u16` bin ids in one pass: the
+    /// compiled-inference entry point ([`BinnedFeatureMatrix`] builds its
+    /// arena through this).
+    ///
+    /// `scratch` receives the intermediate `f32` features (caller-owned so
+    /// batch loops reuse one buffer); `out` receives one bin id per
+    /// feature. Both must be exactly [`dim`](Self::dim) long, and `binner`
+    /// must cover the same width. The default composes
+    /// [`featurize_into`](Self::featurize_into) with
+    /// [`FeatureBinner::bin_row`], which is already zero-alloc; overrides
+    /// must stay bit-identical to that composition.
+    fn featurize_binned_into(
+        &self,
+        query: &Query,
+        binner: &FeatureBinner,
+        scratch: &mut [f32],
+        out: &mut [u16],
+    ) -> Result<(), QfeError> {
+        check_out_len(self.dim(), out.len())?;
+        check_out_len(self.dim(), binner.features())?;
+        self.featurize_into(query, scratch)?;
+        binner.bin_row(scratch, out);
+        Ok(())
+    }
 }
 
 /// Shared guard for [`Featurizer::featurize_into`] buffer lengths.
@@ -128,6 +155,17 @@ impl<F: Featurizer + ?Sized> Featurizer for Box<F> {
 
     fn featurize_into(&self, query: &Query, out: &mut [f32]) -> Result<(), QfeError> {
         self.as_ref().featurize_into(query, out)
+    }
+
+    fn featurize_binned_into(
+        &self,
+        query: &Query,
+        binner: &FeatureBinner,
+        scratch: &mut [f32],
+        out: &mut [u16],
+    ) -> Result<(), QfeError> {
+        self.as_ref()
+            .featurize_binned_into(query, binner, scratch, out)
     }
 }
 

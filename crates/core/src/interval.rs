@@ -49,7 +49,10 @@ impl Region {
     ///
     /// Predicates with non-numeric literals yield an empty region (they can
     /// never match after dictionary encoding, which is enforced upstream).
-    pub fn from_conjunct(preds: &[SimplePredicate], domain: &AttributeDomain) -> Self {
+    pub fn from_conjunct<'a, I>(preds: I, domain: &AttributeDomain) -> Self
+    where
+        I: IntoIterator<Item = &'a SimplePredicate>,
+    {
         let mut region = Region::full(domain);
         let step = domain.step();
         for p in preds {
@@ -116,6 +119,50 @@ impl Region {
         } else {
             self.hi - self.lo
         }
+    }
+
+    /// Selectivity of this region alone — **bit-identical** to
+    /// `RegionSet::new(vec![self.clone()]).selectivity(domain)` without
+    /// building the set. This is the hot per-attribute path of Algorithm 1
+    /// (one region per attribute), where the set machinery's allocations
+    /// dominated featurization.
+    ///
+    /// Precondition inherited from [`Region::from_conjunct`]: `nots` is
+    /// sorted, deduplicated, and confined to `[lo, hi]` — exactly the
+    /// state the set path's candidate filtering re-establishes, so every
+    /// retained point subtracts one from the measure. Note the set path
+    /// applies *no* integrality filter to the excluded points (unlike
+    /// [`Region::measure`]); this replica must not either.
+    pub fn selectivity(&self, domain: &AttributeDomain) -> f64 {
+        let total = if domain.integral {
+            domain.max - domain.min + 1.0
+        } else {
+            domain.max - domain.min
+        };
+        if total <= 0.0 {
+            // Single-value domain: selectivity is 1 if that value qualifies.
+            return if self.contains(domain.min) { 1.0 } else { 0.0 };
+        }
+        let mut measure = if self.is_empty() {
+            0.0
+        } else {
+            Region {
+                lo: self.lo,
+                hi: self.hi,
+                nots: Vec::new(),
+            }
+            .measure(domain)
+        };
+        if domain.integral && !self.is_empty() {
+            debug_assert!(self.nots.iter().all(|&v| v >= self.lo && v <= self.hi));
+            // Subtract sequentially, 1.0 at a time, to keep the float
+            // arithmetic identical to `RegionSet::measure`'s loop.
+            for _ in &self.nots {
+                measure -= 1.0;
+            }
+        }
+        measure = measure.max(0.0);
+        (measure / total).clamp(0.0, 1.0)
     }
 }
 

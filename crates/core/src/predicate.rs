@@ -150,6 +150,30 @@ impl PredicateExpr {
         }
     }
 
+    /// Gather the leaves of a *conjunctive* expression (see
+    /// [`Self::is_conjunctive`]) by reference, in exactly the order
+    /// [`Self::to_dnf`] would emit them in its single term — depth-first,
+    /// left to right, duplicates kept. Returns `false` (leaving `out` in
+    /// an unspecified state) when the expression contains an empty
+    /// disjunction: its DNF has *no* terms, i.e. it is unsatisfiable.
+    ///
+    /// This is the zero-clone hot path of per-attribute featurization;
+    /// callers must have checked `is_conjunctive()` first — a multi-child
+    /// `Or` (not conjunctive) also reports `false` rather than expanding.
+    pub(crate) fn conjunct_leaf_refs<'a>(&'a self, out: &mut Vec<&'a SimplePredicate>) -> bool {
+        match self {
+            PredicateExpr::Leaf(p) => {
+                out.push(p);
+                true
+            }
+            PredicateExpr::And(children) => children.iter().all(|c| c.conjunct_leaf_refs(out)),
+            PredicateExpr::Or(children) => match children.as_slice() {
+                [only] => only.conjunct_leaf_refs(out),
+                _ => false,
+            },
+        }
+    }
+
     /// Evaluate against a single numeric attribute value. Empty `And` is
     /// `true`, empty `Or` is `false` (the usual identities).
     pub fn matches_f64(&self, attr_value: f64) -> bool {
@@ -490,6 +514,48 @@ mod tests {
         // same disjunct dedup to one term.
         let dup = PredicateExpr::Or(vec![PredicateExpr::leaf(CmpOp::Eq, 7); 5000]);
         assert_eq!(dup.to_dnf().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn conjunct_leaf_refs_matches_dnf_single_term() {
+        // Nested And/single-child-Or shape: the gathered references must
+        // equal the DNF's one term, in the same depth-first order,
+        // duplicates included.
+        let expr = PredicateExpr::And(vec![
+            PredicateExpr::leaf(CmpOp::Ge, 1),
+            PredicateExpr::Or(vec![PredicateExpr::And(vec![
+                PredicateExpr::leaf(CmpOp::Le, 9),
+                PredicateExpr::leaf(CmpOp::Ne, 5),
+                PredicateExpr::leaf(CmpOp::Ne, 5),
+            ])]),
+        ]);
+        assert!(expr.is_conjunctive());
+        let mut leaves = Vec::new();
+        assert!(expr.conjunct_leaf_refs(&mut leaves));
+        let dnf = expr.to_dnf().unwrap();
+        assert_eq!(dnf.len(), 1);
+        let gathered: Vec<SimplePredicate> = leaves.into_iter().cloned().collect();
+        assert_eq!(gathered, dnf[0]);
+    }
+
+    #[test]
+    fn conjunct_leaf_refs_reports_unsatisfiable_and_non_conjunctive() {
+        // An empty disjunction anywhere makes the whole conjunct
+        // unsatisfiable: `false`, nothing gathered past it.
+        let unsat = PredicateExpr::And(vec![
+            PredicateExpr::leaf(CmpOp::Ge, 1),
+            PredicateExpr::Or(vec![]),
+        ]);
+        let mut leaves = Vec::new();
+        assert!(!unsat.conjunct_leaf_refs(&mut leaves));
+        // A multi-child Or is outside the conjunctive shape; the method
+        // declines it (callers gate on `is_conjunctive` first).
+        let wide = PredicateExpr::Or(vec![
+            PredicateExpr::leaf(CmpOp::Eq, 1),
+            PredicateExpr::leaf(CmpOp::Eq, 2),
+        ]);
+        leaves.clear();
+        assert!(!wide.conjunct_leaf_refs(&mut leaves));
     }
 
     #[test]

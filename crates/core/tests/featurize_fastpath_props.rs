@@ -1,0 +1,195 @@
+//! Property tests of the conjunctive-encoding fast paths behind compiled
+//! inference. Each fast path replaces a general composition and claims
+//! **bit-identical** output; these tests pin that claim over arbitrary
+//! workloads:
+//!
+//! * the fused `featurize_binned_into` override (template copy + span
+//!   re-bin) against the default featurize-then-`bin_row` composition,
+//! * the by-reference distinct-column encode against the merging
+//!   `group_by_column` path (driven by comparing a repeated-attribute
+//!   query with its premerged equivalent),
+//! * `Region::selectivity` against the `RegionSet` machinery it
+//!   short-circuits.
+
+use proptest::prelude::*;
+use qfe_core::featurize::{
+    AttributeSpace, FeatureBinner, Featurizer, UniversalConjunctionEncoding,
+};
+use qfe_core::interval::{Region, RegionSet};
+use qfe_core::{
+    AttributeDomain, CmpOp, ColumnId, ColumnRef, CompoundPredicate, PredicateExpr, Query,
+    SimplePredicate, TableId,
+};
+
+fn col(i: usize) -> ColumnRef {
+    ColumnRef::new(TableId(0), ColumnId(i))
+}
+
+/// Three integral attributes of very different widths (exact-bucket mode
+/// kicks in on the third when `max_buckets` exceeds its cardinality).
+fn space() -> AttributeSpace {
+    AttributeSpace::new(vec![
+        (col(0), AttributeDomain::integers(-20, 90)),
+        (col(1), AttributeDomain::integers(0, 999)),
+        (col(2), AttributeDomain::integers(1, 4)),
+    ])
+}
+
+fn any_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn any_leaf() -> impl Strategy<Value = PredicateExpr> {
+    (any_op(), -30i64..1010).prop_map(|(op, v)| PredicateExpr::leaf(op, v))
+}
+
+/// Conjunctive expression shapes the encoder accepts: leaves, `And`
+/// nests, single-child `Or` wrappers, and the unsatisfiable `Or([])`.
+fn conjunctive_expr() -> impl Strategy<Value = PredicateExpr> {
+    any_leaf().prop_recursive(3, 12, 4, |inner| {
+        prop_oneof![
+            4 => prop::collection::vec(inner.clone(), 1..4).prop_map(PredicateExpr::And),
+            1 => inner.prop_map(|e| PredicateExpr::Or(vec![e])),
+            1 => Just(PredicateExpr::Or(vec![])),
+        ]
+    })
+}
+
+/// A query over `space()`, possibly predicating the same attribute more
+/// than once (repeats drive the `group_by_column` slow path).
+fn any_query() -> impl Strategy<Value = Query> {
+    prop::collection::vec((0usize..3, conjunctive_expr()), 0..5).prop_map(|preds| {
+        Query::single_table(
+            TableId(0),
+            preds
+                .into_iter()
+                .map(|(c, expr)| CompoundPredicate {
+                    column: col(c),
+                    expr,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fused featurize-and-bin override must produce exactly the bins
+    /// of the default composition (full `f32` row, then `bin_row`) — and
+    /// agree on which queries error.
+    #[test]
+    fn fused_binned_path_matches_encode_then_bin(
+        query in any_query(),
+        buckets in 2usize..24,
+        attr_sel in prop_oneof![Just(true), Just(false)],
+        seed in 0u64..u64::MAX,
+    ) {
+        let enc = UniversalConjunctionEncoding::new(space(), buckets)
+            .unwrap()
+            .with_attr_sel(attr_sel);
+        let dim = enc.dim();
+        // Derive a deterministic binner from the seed via the strategy's
+        // value space: reuse the seed to pick cut counts/values cheaply.
+        let mut per = vec![Vec::new(); dim];
+        let mut s = seed;
+        for cuts in per.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let n = (s >> 60) as usize % 4;
+            for k in 0..n {
+                cuts.push(((s >> (8 * k)) & 0xFF) as f32 / 64.0 - 1.5);
+            }
+            cuts.sort_by(f32::total_cmp);
+            cuts.dedup();
+        }
+        let binner = FeatureBinner::from_cuts(&per).expect("sorted finite cuts");
+
+        let mut reference_row = vec![0.0f32; dim];
+        let reference = enc
+            .featurize_into(&query, &mut reference_row)
+            .map(|()| {
+                let mut bins = vec![0u16; dim];
+                binner.bin_row(&reference_row, &mut bins);
+                bins
+            });
+        let mut scratch = vec![0.0f32; dim];
+        let mut fused = vec![0u16; dim];
+        match enc.featurize_binned_into(&query, &binner, &mut scratch, &mut fused) {
+            Ok(()) => {
+                let expected = reference.expect("default path must also accept");
+                prop_assert_eq!(fused, expected);
+            }
+            Err(_) => prop_assert!(reference.is_err(), "fused path errored, default did not"),
+        }
+    }
+
+    /// A query repeating an attribute (merged through `group_by_column`)
+    /// must featurize identically to the premerged single-compound form
+    /// (taken by the by-reference fast path).
+    #[test]
+    fn repeated_attribute_matches_premerged_conjunction(
+        exprs in prop::collection::vec(conjunctive_expr(), 2..4),
+        attr in 0usize..3,
+        buckets in 2usize..24,
+    ) {
+        let enc = UniversalConjunctionEncoding::new(space(), buckets).unwrap();
+        let repeated = Query::single_table(
+            TableId(0),
+            exprs
+                .iter()
+                .map(|e| CompoundPredicate { column: col(attr), expr: e.clone() })
+                .collect(),
+        );
+        let premerged = Query::single_table(
+            TableId(0),
+            vec![CompoundPredicate {
+                column: col(attr),
+                expr: PredicateExpr::And(exprs.clone()),
+            }],
+        );
+        match (enc.featurize(&repeated), enc.featurize(&premerged)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree on acceptance: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// `Region::selectivity` claims bit-identity with
+    /// `RegionSet::new(vec![region]).selectivity(domain)`; pin it over
+    /// arbitrary conjuncts on both integral and real domains.
+    #[test]
+    fn region_selectivity_matches_region_set(
+        preds in prop::collection::vec((any_op(), -40i64..140), 0..6),
+        integral in prop_oneof![Just(true), Just(false)],
+        lo in -20i64..20,
+        span in 0i64..120,
+    ) {
+        let domain = if integral {
+            AttributeDomain::integers(lo, lo + span)
+        } else {
+            AttributeDomain::reals(lo as f64, (lo + span) as f64)
+        };
+        let preds: Vec<SimplePredicate> = preds
+            .into_iter()
+            .map(|(op, v)| SimplePredicate::new(op, v))
+            .collect();
+        let region = Region::from_conjunct(&preds, &domain);
+        let fast = region.selectivity(&domain);
+        let slow = RegionSet::new(vec![region.clone()]).selectivity(&domain);
+        prop_assert_eq!(
+            fast.to_bits(),
+            slow.to_bits(),
+            "region {:?}: fast {} vs set {}",
+            region,
+            fast,
+            slow
+        );
+    }
+}

@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use qfe_core::estimator::{CardinalityEstimator, Estimate};
-use qfe_core::featurize::{FeatureMatrix, Featurizer};
+use qfe_core::featurize::{BinnedFeatureMatrix, FeatureMatrix, Featurizer};
 use qfe_core::{EstimateError, QfeError, Query};
 use qfe_ml::matrix::Matrix;
 use qfe_ml::scaling::LogScaler;
@@ -198,6 +198,37 @@ impl LearnedEstimator {
             fallbacks: AtomicU64::new(0),
         })
     }
+
+    /// Featurize + predict a whole batch, choosing the cheapest path the
+    /// model supports.
+    ///
+    /// When the model publishes a [`feature_binner`](Regressor::
+    /// feature_binner) (compiled GBDT), the workload is featurized
+    /// straight into a `u16` [`BinnedFeatureMatrix`] — half the arena
+    /// bytes of the `f32` path and the model then walks its flattened
+    /// trees on integer compares. The quantization contract (`bin(v) <= k
+    /// ⇔ v <= cut[k]`) makes the predictions bit-identical to the `f32`
+    /// path, so callers never observe which path ran. Any refusal
+    /// (`predict_batch_binned` → `None`) falls through to the dense
+    /// `f32` pipeline.
+    fn batch_predictions(&self, queries: &[Query]) -> (Vec<f32>, Vec<Option<QfeError>>) {
+        if let Some(binner) = self.model.feature_binner() {
+            if binner.features() == self.featurizer.dim() {
+                let m = BinnedFeatureMatrix::build(self.featurizer.as_ref(), binner, queries);
+                let (rows, _cols, bins, errors) = m.into_raw();
+                if let Some(preds) = self.model.predict_batch_binned(rows, &bins) {
+                    return (preds, errors);
+                }
+                // The model declined the binned arena (e.g. a wrapper
+                // delegating `feature_binner` but not the predict hook):
+                // rebuild on the f32 path below rather than guessing.
+            }
+        }
+        let (rows, cols, data, errors) =
+            FeatureMatrix::build(self.featurizer.as_ref(), queries).into_raw();
+        let x = Matrix::from_vec(rows, cols, data);
+        (self.model.predict_batch(&x), errors)
+    }
 }
 
 impl CardinalityEstimator for LearnedEstimator {
@@ -239,14 +270,18 @@ impl CardinalityEstimator for LearnedEstimator {
         Ok(Estimate::primary(value, self.name()))
     }
 
-    /// One featurization pass into a contiguous [`FeatureMatrix`] arena,
-    /// one model forward over the whole batch — this is the win the
-    /// batched execution path exists for. Rows that fail to featurize
-    /// stay zero-filled so the arena converts to a [`Matrix`] without
-    /// copying; their predictions are computed and discarded, which is
-    /// cheaper than compacting the matrix in the common all-ok case.
-    /// Row-for-row equivalent to [`try_estimate`](Self::try_estimate):
-    /// same errors, bit-identical values.
+    /// One featurization pass into a contiguous arena, one model forward
+    /// over the whole batch — this is the win the batched execution path
+    /// exists for. With a compiled model the arena is the quantized
+    /// [`BinnedFeatureMatrix`] (`u16` bin ids, integer tree traversal);
+    /// otherwise the dense `f32` [`FeatureMatrix`] → [`Matrix`] pipeline
+    /// runs (`batch_predictions` picks per call). Rows
+    /// that fail to featurize stay zero-filled so the arena converts
+    /// without copying; their predictions are computed and discarded,
+    /// which is cheaper than compacting the matrix in the common all-ok
+    /// case. Row-for-row equivalent to
+    /// [`try_estimate`](Self::try_estimate): same errors, bit-identical
+    /// values on both paths.
     fn estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
         let Some(scaler) = &self.scaler else {
             return queries
@@ -261,10 +296,7 @@ impl CardinalityEstimator for LearnedEstimator {
         if queries.is_empty() {
             return Vec::new();
         }
-        let (rows, cols, data, errors) =
-            FeatureMatrix::build(self.featurizer.as_ref(), queries).into_raw();
-        let x = Matrix::from_vec(rows, cols, data);
-        let preds = self.model.predict_batch(&x);
+        let (preds, errors) = self.batch_predictions(queries);
         errors
             .into_iter()
             .zip(preds)
@@ -585,6 +617,12 @@ mod tests {
         .unwrap();
         assert!(restored.is_trained());
         assert_eq!(restored.name(), est.name());
+        // Decoding rebuilt the compiled inference form: the restored GB
+        // publishes its quantization table, so batches run binned.
+        assert!(
+            restored.model.feature_binner().is_some(),
+            "snapshot restore must rebuild compiled inference"
+        );
         for (lo, hi) in [(5, 20), (30, 35), (10, 70), (0, 99)] {
             let q = range_query(lo, hi);
             assert_eq!(restored.estimate(&q), est.estimate(&q), "({lo},{hi})");

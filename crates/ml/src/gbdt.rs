@@ -15,8 +15,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use qfe_core::featurize::FeatureBinner;
 use qfe_core::parallel::ThreadPool;
 
+use crate::compiled::CompiledGbdt;
 use crate::matrix::Matrix;
 use crate::train::Regressor;
 
@@ -76,8 +78,11 @@ impl Default for GbdtConfig {
     }
 }
 
+/// Reference tree node — the representation training grows and the
+/// snapshot format serializes. Inference goes through the flattened
+/// [`CompiledGbdt`] form compiled from these (see [`crate::compiled`]).
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     /// Go left if `x[feature] <= threshold`.
     Split {
         feature: u32,
@@ -89,12 +94,12 @@ enum Node {
 }
 
 #[derive(Debug, Clone)]
-struct Tree {
-    nodes: Vec<Node>,
+pub(crate) struct Tree {
+    pub(crate) nodes: Vec<Node>,
 }
 
 impl Tree {
-    fn predict(&self, x: &[f32]) -> f32 {
+    pub(crate) fn predict(&self, x: &[f32]) -> f32 {
         let mut i = 0usize;
         loop {
             match &self.nodes[i] {
@@ -115,7 +120,8 @@ impl Tree {
         }
     }
 
-    fn memory_bytes(&self) -> usize {
+    /// Footprint of the reference representation: the enum nodes.
+    pub(crate) fn memory_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<Node>()
     }
 }
@@ -148,6 +154,12 @@ pub struct Gbdt {
     trees: Vec<Tree>,
     base: f32,
     input_dim: usize,
+    /// Flattened inference form, rebuilt after every fit and decode
+    /// (never serialized — the snapshot format carries the reference
+    /// trees). `None` only before training or for forests outside the
+    /// compiled index space; prediction then falls back to the reference
+    /// walk.
+    compiled: Option<CompiledGbdt>,
 }
 
 impl Gbdt {
@@ -161,12 +173,41 @@ impl Gbdt {
             trees: Vec::new(),
             base: 0.0,
             input_dim: 0,
+            compiled: None,
         }
     }
 
     /// Number of trained trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
+    }
+
+    /// True when the flattened inference form is active (every forest the
+    /// trainer or decoder can realistically produce compiles; see
+    /// `CompiledGbdt::compile` for the index-space limits).
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// The compiled forest, if built.
+    pub fn compiled(&self) -> Option<&CompiledGbdt> {
+        self.compiled.as_ref()
+    }
+
+    /// Heap footprint of the reference (pointer-free enum) trees alone —
+    /// the baseline the compiled layout is measured against. The
+    /// flattened form must come out *smaller* (12-byte packed splits + a
+    /// 4-byte threshold and 4-byte leaf each, vs 20 bytes per enum node),
+    /// which `compiled_smaller_than_reference` in the equivalence suite
+    /// pins.
+    pub fn reference_memory_bytes(&self) -> usize {
+        self.trees.iter().map(Tree::memory_bytes).sum::<usize>()
+    }
+
+    /// Deterministic byte image of the compiled layout (for the
+    /// thread-count determinism gate); `None` when not compiled.
+    pub fn compiled_fingerprint_bytes(&self) -> Option<Vec<u8>> {
+        self.compiled.as_ref().map(CompiledGbdt::fingerprint_bytes)
     }
 
     /// Quantile cut points for one feature column.
@@ -540,6 +581,10 @@ impl Gbdt {
         if !r.finished() {
             return Err(DecodeError::Corrupt("trailing bytes"));
         }
+        // Recompile the flattened inference form from the decoded trees —
+        // this is what makes a warm restart (qfe-store) serve compiled
+        // predictions without any change to the snapshot format.
+        let compiled = CompiledGbdt::compile(&trees, input_dim);
         Ok(Gbdt {
             config: GbdtConfig {
                 n_trees,
@@ -549,6 +594,7 @@ impl Gbdt {
             trees,
             base,
             input_dim,
+            compiled,
         })
     }
 }
@@ -648,7 +694,81 @@ impl Gbdt {
             }
             self.trees.push(tree);
         }
+        // Flatten the finished forest for inference. Compilation reads
+        // only the trees (deterministic at any thread count), so the
+        // compiled bytes inherit training's determinism contract.
+        self.compiled = CompiledGbdt::compile(&self.trees, self.input_dim);
         Ok(())
+    }
+}
+
+impl Gbdt {
+    /// Run `fill(base_row, chunk)` over the accumulator, serially for
+    /// small batches and over fixed row chunks on the shared pool
+    /// otherwise. Rows are independent, so the gate and chunking only
+    /// shape scheduling — outputs are bit-identical at any thread count.
+    fn accumulate<F>(&self, fill: F, rows: usize) -> Vec<f32>
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let mut acc = vec![0.0f32; rows];
+        if rows < PREDICT_PAR_MIN_ROWS {
+            fill(0, &mut acc);
+        } else {
+            let pool = qfe_core::parallel::current();
+            pool.par_chunks_mut(&mut acc, ROW_CHUNK, |ci, chunk| {
+                fill(ci * ROW_CHUNK, chunk);
+            });
+        }
+        acc
+    }
+
+    /// `base + lr * sum` over the tree-order accumulator.
+    fn finish(&self, acc: Vec<f32>) -> Vec<f32> {
+        let lr = self.config.learning_rate;
+        acc.iter().map(|&sum| self.base + lr * sum).collect()
+    }
+
+    /// The reference prediction path: the enum-node tree walk the model
+    /// trained with. Kept as the bit-exactness baseline for the compiled
+    /// walk (and as the fallback for forests outside the compiled index
+    /// space).
+    ///
+    /// Trees-outer / rows-inner: each tree's node array stays hot in
+    /// cache while the whole batch streams through its walk. Each
+    /// accumulator receives the per-tree contributions in tree order, so
+    /// the f32 summation order — and therefore the result — is
+    /// bit-identical to the rows-outer singleton path at any thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if the model is untrained or `x` has the wrong width (same
+    /// contract as [`Regressor::predict_batch`]).
+    pub fn predict_batch_reference(&self, x: &Matrix) -> Vec<f32> {
+        assert!(
+            !self.trees.is_empty(),
+            "predict called before fit — the GBDT has no trees yet"
+        );
+        if x.rows() == 0 {
+            return Vec::new();
+        }
+        assert_eq!(
+            x.cols(),
+            self.input_dim,
+            "input dimension {} does not match trained dimension {}",
+            x.cols(),
+            self.input_dim
+        );
+        self.finish(self.accumulate(
+            |base_row, acc| {
+                for tree in &self.trees {
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        *a += tree.predict(x.row(base_row + j));
+                    }
+                }
+            },
+            x.rows(),
+        ))
     }
 }
 
@@ -702,40 +822,47 @@ impl Regressor for Gbdt {
             x.cols(),
             self.input_dim
         );
-        let lr = self.config.learning_rate;
-        // Trees-outer / rows-inner: each tree's flat node array stays hot
-        // in cache while the whole batch streams through its iterative
-        // index-chasing walk, instead of re-faulting every tree per row.
-        // Each accumulator receives the per-tree contributions in tree
-        // order, so the f32 summation order — and therefore the result —
-        // is bit-identical to the rows-outer singleton path. Large
-        // batches split into fixed row chunks; within each chunk the
-        // trees-outer order is preserved, so every row's sum is still
-        // accumulated in tree order and the output is bit-identical to
-        // the serial path at any thread count.
-        let mut acc = vec![0.0f32; x.rows()];
-        if x.rows() < PREDICT_PAR_MIN_ROWS {
-            for tree in &self.trees {
-                for (r, a) in acc.iter_mut().enumerate() {
-                    *a += tree.predict(x.row(r));
-                }
-            }
-        } else {
-            let pool = qfe_core::parallel::current();
-            pool.par_chunks_mut(&mut acc, ROW_CHUNK, |ci, chunk| {
-                let base = ci * ROW_CHUNK;
-                for tree in &self.trees {
-                    for (j, a) in chunk.iter_mut().enumerate() {
-                        *a += tree.predict(x.row(base + j));
-                    }
-                }
-            });
+        // The compiled walk takes the same branches and accumulates in
+        // the same tree order as the reference walk below, so the two are
+        // bit-identical (proptested in tests/compiled_equivalence.rs).
+        if let Some(compiled) = &self.compiled {
+            return self.finish(self.accumulate(
+                |base_row, acc| {
+                    compiled.accumulate_rows(x, base_row, acc);
+                },
+                x.rows(),
+            ));
         }
-        acc.iter().map(|&sum| self.base + lr * sum).collect()
+        self.predict_batch_reference(x)
+    }
+
+    fn feature_binner(&self) -> Option<&FeatureBinner> {
+        self.compiled.as_ref().map(CompiledGbdt::binner)
+    }
+
+    fn predict_batch_binned(&self, rows: usize, bins: &[u16]) -> Option<Vec<f32>> {
+        let compiled = self.compiled.as_ref()?;
+        if rows == 0 {
+            return Some(Vec::new());
+        }
+        if bins.len() != rows.checked_mul(self.input_dim)? {
+            return None; // shape mismatch: let the caller take the f32 path
+        }
+        Some(self.finish(self.accumulate(
+            |base_row, acc| {
+                compiled.accumulate_binned(bins, base_row, acc);
+            },
+            rows,
+        )))
     }
 
     fn memory_bytes(&self) -> usize {
-        self.trees.iter().map(Tree::memory_bytes).sum::<usize>() + 8
+        // Both representations are live: the reference trees (kept for
+        // serialization and as the equivalence baseline) plus the
+        // compiled arrays actually serving predictions.
+        self.reference_memory_bytes()
+            + self.compiled.as_ref().map_or(0, CompiledGbdt::memory_bytes)
+            + 8
     }
 
     fn model_name(&self) -> &'static str {

@@ -24,6 +24,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chaos;
+pub mod compiled;
 pub mod gbdt;
 pub mod linreg;
 pub mod matrix;
@@ -34,6 +35,7 @@ pub mod serialize;
 pub mod train;
 
 pub use chaos::{ChaosRegressor, RegressorFault};
+pub use compiled::{fma_available, mlp_simd_active, CompiledGbdt, CompiledMlp, MlpScratch};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use linreg::LinearRegression;
 pub use matrix::Matrix;

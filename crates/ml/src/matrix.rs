@@ -143,6 +143,34 @@ impl Matrix {
         out
     }
 
+    /// `self · other` into a caller-provided output, reusing its
+    /// allocation. Same loop structure and therefore bit-identical
+    /// results to [`matmul`](Self::matmul); this is the allocation-free
+    /// primitive behind the MLP's scratch-buffer forward pass.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        out.data.resize(self.rows * other.cols, 0.0);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // feature vectors are sparse-ish in zeros
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
     /// `self · otherᵀ` — (m×k)·(n×k)ᵀ = m×n.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
         assert_eq!(

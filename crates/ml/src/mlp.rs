@@ -6,6 +6,7 @@ use qfe_core::parallel::ThreadPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::compiled::{CompiledMlp, MlpScratch};
 use crate::matrix::Matrix;
 use crate::train::{shuffled_indices, Regressor};
 
@@ -54,6 +55,17 @@ impl Linear {
             }
         }
         z
+    }
+
+    /// [`forward`](Self::forward) into a reusable buffer — bit-identical
+    /// output, no allocation once `out` has warmed up.
+    pub(crate) fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        for r in 0..out.rows() {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
     }
 
     /// Adam step with gradients `(dw, db)`.
@@ -142,6 +154,10 @@ pub struct Mlp {
     layers: Vec<Linear>,
     input_dim: usize,
     adam_t: i32,
+    /// Transposed-weight inference form, rebuilt after every fit and
+    /// decode (never serialized). `None` only before training; training
+    /// itself always reads the reference `layers`.
+    compiled: Option<CompiledMlp>,
 }
 
 impl Mlp {
@@ -153,7 +169,19 @@ impl Mlp {
             layers: Vec::new(),
             input_dim: 0,
             adam_t: 0,
+            compiled: None,
         }
+    }
+
+    /// True when the compiled inference form is active (always, once
+    /// trained or decoded).
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// The compiled forward-pass kernels, once trained or decoded.
+    pub fn compiled(&self) -> Option<&CompiledMlp> {
+        self.compiled.as_ref()
     }
 
     fn build(&mut self, input_dim: usize) {
@@ -167,6 +195,7 @@ impl Mlp {
             .collect();
         self.input_dim = input_dim;
         self.adam_t = 0;
+        self.compiled = None; // stale until this fit completes
     }
 
     /// Forward pass keeping pre-activations and activations for backprop.
@@ -337,6 +366,9 @@ impl Mlp {
                 }
             }
         }
+        // Compile the finished weights for inference (training reads the
+        // reference layers, so this happens exactly once per fit).
+        self.compiled = Some(CompiledMlp::compile(&self.layers));
         Ok(())
     }
 }
@@ -449,6 +481,9 @@ impl Mlp {
             return Err(DecodeError::Corrupt("trailing bytes"));
         }
         let hidden: Vec<usize> = layers[..n_layers - 1].iter().map(|l| l.w.cols()).collect();
+        // Recompile the inference form from the decoded weights — a warm
+        // restart serves compiled predictions with no snapshot change.
+        let compiled = Some(CompiledMlp::compile(&layers));
         Ok(Mlp {
             config: MlpConfig {
                 hidden,
@@ -460,6 +495,57 @@ impl Mlp {
             layers,
             input_dim,
             adam_t: adam_t as i32,
+            compiled,
+        })
+    }
+}
+
+impl Mlp {
+    /// The reference forward pass: layer-by-layer `x·W + b` through the
+    /// untransposed weights, the arithmetic the network trained with.
+    /// Kept as the tolerance baseline for the compiled kernels.
+    ///
+    /// Forwarding runs through two thread-local ping-pong matrices
+    /// (`matmul_into`), so — unlike the historical `x.clone()` per call
+    /// plus one fresh matrix per layer — the steady state allocates only
+    /// the output vector.
+    ///
+    /// # Panics
+    /// Panics if the model is untrained or `x` has the wrong width (same
+    /// contract as [`Regressor::predict_batch`]).
+    pub fn predict_batch_reference(&self, x: &Matrix) -> Vec<f32> {
+        use std::cell::RefCell;
+        assert!(
+            !self.layers.is_empty(),
+            "predict called before fit — the MLP has no weights yet"
+        );
+        if x.rows() == 0 {
+            return Vec::new();
+        }
+        assert_eq!(
+            x.cols(),
+            self.input_dim,
+            "input dimension {} does not match trained dimension {}",
+            x.cols(),
+            self.input_dim
+        );
+        thread_local! {
+            static PING_PONG: RefCell<(Matrix, Matrix)> =
+                RefCell::new((Matrix::empty(0), Matrix::empty(0)));
+        }
+        PING_PONG.with(|slot| {
+            let mut bufs = slot.borrow_mut();
+            let (a, b) = &mut *bufs;
+            let mut src: &Matrix = x;
+            for (i, layer) in self.layers.iter().enumerate() {
+                layer.forward_into(src, b);
+                if i + 1 < self.layers.len() {
+                    relu(b);
+                }
+                std::mem::swap(a, b);
+                src = &*a;
+            }
+            (0..src.rows()).map(|r| src.get(r, 0)).collect()
         })
     }
 }
@@ -498,18 +584,26 @@ impl Regressor for Mlp {
             x.cols(),
             self.input_dim
         );
-        let mut a = x.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            a = layer.forward(&a);
-            if i + 1 < self.layers.len() {
-                relu(&mut a);
+        if let Some(compiled) = &self.compiled {
+            use std::cell::RefCell;
+            thread_local! {
+                static SCRATCH: RefCell<MlpScratch> = RefCell::new(MlpScratch::new());
             }
+            return SCRATCH.with(|slot| {
+                let mut scratch = slot.borrow_mut();
+                (0..x.rows())
+                    .map(|r| compiled.forward_row(x.row(r), &mut scratch))
+                    .collect()
+            });
         }
-        (0..a.rows()).map(|r| a.get(r, 0)).collect()
+        self.predict_batch_reference(x)
     }
 
     fn memory_bytes(&self) -> usize {
-        self.layers.iter().map(Linear::memory_bytes).sum()
+        // Reference weights (training + serialization) plus the
+        // transposed inference copies.
+        self.layers.iter().map(Linear::memory_bytes).sum::<usize>()
+            + self.compiled.as_ref().map_or(0, CompiledMlp::memory_bytes)
     }
 
     fn model_name(&self) -> &'static str {

@@ -65,8 +65,17 @@ impl std::error::Error for SwapError {}
 /// the full acceptance gate for a model artifact produced elsewhere.
 /// Checksum first (any corruption is [`SwapError::Corrupt`]), then finite
 /// predictions on the probe ([`SwapError::ProbeFailed`]).
+///
+/// Decoding rebuilds the compiled inference form (flattened node arrays
+/// and quantization table — see `qfe_ml::compiled`) from the enum trees,
+/// so a model restored on warm restart serves at compiled speed from its
+/// first query; the snapshot format itself carries no compiled state.
 pub fn decode_validated(bytes: &[u8], probe: &Matrix) -> Result<Gbdt, SwapError> {
     let model = gbdt_from_bytes(bytes).map_err(SwapError::Corrupt)?;
+    debug_assert!(
+        model.is_compiled(),
+        "decoded GBDT must carry its compiled inference form"
+    );
     model
         .validate_probe(probe)
         .map_err(|e| SwapError::ProbeFailed {
@@ -480,6 +489,9 @@ mod tests {
 
         let ok = decode_validated(&bytes, &x).unwrap();
         assert_eq!(ok.predict_batch(&x), gb.predict_batch(&x));
+        // The decode path must hand back a model that is already in its
+        // compiled form — warm restarts serve at compiled speed.
+        assert!(ok.is_compiled());
 
         // Flip one payload bit: the checksum gate must reject it.
         let mut corrupt = bytes.clone();

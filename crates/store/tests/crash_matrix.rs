@@ -212,6 +212,45 @@ fn double_fault_still_recovers() {
     assert_eq!(report.latest.expect("seed survives").note, "seed");
 }
 
+#[test]
+fn recovered_model_bytes_decode_to_compiled_form() {
+    // A real trained forest through the crash → recover → decode cycle.
+    // The wire format carries only the enum trees; the flattened compiled
+    // form (node arrays + quantization table) is rebuilt at decode time,
+    // so a warm restart serves at compiled speed from its first query
+    // without the snapshot format ever changing.
+    use qfe_ml::train::Regressor;
+    let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![(i % 16) as f32]).collect();
+    let y: Vec<f32> = rows.iter().map(|r| r[0] * 3.0 + 1.0).collect();
+    let x = qfe_ml::Matrix::from_rows(&rows);
+    let mut gb = qfe_ml::Gbdt::new(qfe_ml::GbdtConfig {
+        n_trees: 8,
+        ..qfe_ml::GbdtConfig::default()
+    });
+    gb.try_fit(&x, &y).expect("fit");
+    let bytes = qfe_ml::gbdt_to_bytes(&gb);
+
+    let mem = Arc::new(MemFs::new());
+    let store = store_over(Arc::clone(&mem) as Arc<dyn StoreFs>);
+    store.save(&meta("trained"), bytes.clone()).expect("save");
+    mem.crash_with(CrashStyle::DropUnsynced);
+
+    let recovered = store_over(Arc::clone(&mem) as Arc<dyn StoreFs>);
+    let report = recovered.recover().expect("recover");
+    let latest = report.latest.expect("durable save survives the crash");
+    assert_eq!(latest.model, bytes, "byte-exact recovery");
+    let restored = qfe_ml::gbdt_from_bytes(&latest.model).expect("decode");
+    assert!(
+        restored.is_compiled(),
+        "decode must rebuild the compiled inference form"
+    );
+    assert_eq!(
+        restored.predict_batch(&x),
+        gb.predict_batch(&x),
+        "restored compiled forest must predict bit-identically"
+    );
+}
+
 proptest! {
     #![proptest_config(proptest::test_runner::Config::with_cases(128))]
 
