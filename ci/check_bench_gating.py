@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fail if any committed BENCH_*.json is not regenerated and compared by CI.
+
+A committed benchmark record that no job regenerates is worse than no
+record: it silently goes stale and every later comparison against it is
+fiction. This check closes the loop — every `BENCH_*.json` tracked by
+git must appear as a `record:` entry in the bench-records matrix of
+`.github/workflows/ci.yml`, whose steps regenerate it, compare it
+against the committed copy via `ci/compare_bench.py`, and upload it.
+
+Run from the repository root (CI runs it in the lint job).
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+CI_YML = pathlib.Path(".github/workflows/ci.yml")
+
+
+def main():
+    records = subprocess.check_output(
+        ["git", "ls-files", "BENCH_*.json"], text=True
+    ).split()
+    if not records:
+        raise SystemExit("no committed BENCH_*.json records found — wrong cwd?")
+    ci = CI_YML.read_text()
+
+    gated = set(re.findall(r"record:\s*(\S+)", ci))
+    missing = [r for r in records if r not in gated]
+    if missing:
+        print(f"committed records not gated by any CI matrix entry: {missing}")
+        print("add a bench-records matrix entry (bin + record) for each")
+        raise SystemExit(1)
+
+    # The matrix entries are only meaningful if the job actually runs the
+    # bin, compares, and uploads using the matrix variables.
+    for needle, why in [
+        ("--bin ${{ matrix.bin }}", "bench-records must run the matrix bin"),
+        (
+            "ci/compare_bench.py ${{ matrix.bin }} ${{ matrix.record }}",
+            "bench-records must compare against the committed record",
+        ),
+        ("path: ${{ matrix.record }}", "bench-records must upload the record"),
+    ]:
+        if needle not in ci:
+            print(f"ci.yml lost its bench gating plumbing: {why}")
+            raise SystemExit(1)
+
+    for r in records:
+        print(f"{r}: regenerated, compared and uploaded by bench-records")
+    print("all committed bench records are CI-gated")
+
+
+if __name__ == "__main__":
+    main()

@@ -307,4 +307,55 @@ mod tests {
         .unwrap();
         assert!(est.memory_bytes() > 0);
     }
+
+    #[test]
+    fn equal_fingerprints_are_interchangeable_for_routing() {
+        // The serving registry keys routing and caching on the
+        // canonical query fingerprint. For that to be sound over a
+        // global model, two queries with equal fingerprints must be
+        // indistinguishable to the estimator: same sub-schema key and
+        // bit-identical estimate.
+        use qfe_core::QueryFingerprint;
+        let db = db();
+        let data = workload(&db);
+        let space = AttributeSpace::for_catalog(db.catalog());
+        let mut est = GlobalLearnedEstimator::new(
+            Box::new(UniversalConjunctionEncoding::new(space, 16).unwrap()),
+            Box::new(Gbdt::new(GbdtConfig {
+                n_trees: 30,
+                min_samples_leaf: 2,
+                ..GbdtConfig::default()
+            })),
+            db.catalog(),
+        );
+        est.fit(&data).unwrap();
+
+        let pred = |col: usize, lo: i64| {
+            CompoundPredicate::conjunction(
+                ColumnRef::new(TableId(0), ColumnId(col)),
+                vec![SimplePredicate::new(CmpOp::Ge, lo)],
+            )
+        };
+        let a = Query::single_table(TableId(0), vec![pred(0, 10), pred(1, 20)]);
+        let b = Query::single_table(TableId(0), vec![pred(1, 20), pred(0, 10)]);
+        assert_eq!(
+            QueryFingerprint::of(&a),
+            QueryFingerprint::of(&b),
+            "reordered predicates must share a routing fingerprint"
+        );
+        assert_eq!(a.sub_schema(), b.sub_schema());
+        let ea = est.estimate(&a);
+        let eb = est.estimate(&b);
+        assert_eq!(
+            ea.to_bits(),
+            eb.to_bits(),
+            "equal fingerprints must yield bit-identical global estimates"
+        );
+        // Different sub-schemata must not share a routing key: the
+        // table-presence bits that separate them in the featurization
+        // also separate them at the router.
+        let j = join_query(10);
+        assert_ne!(QueryFingerprint::of(&a), QueryFingerprint::of(&j));
+        assert_ne!(a.sub_schema(), j.sub_schema());
+    }
 }

@@ -214,4 +214,38 @@ mod tests {
         let g = GroupedQuery::new(qfe_core::Query::single_table(TableId(0), vec![]), vec![]);
         assert_eq!(est.estimate(&g), 1.0);
     }
+
+    #[test]
+    fn selection_fingerprint_is_stable_for_routing() {
+        // Grouped shards are keyed by the selection's canonical
+        // fingerprint in the serving registry: two ways of writing the
+        // same selection must collide (route to the same shard) and a
+        // different selection must not.
+        use qfe_core::predicate::{CmpOp, CompoundPredicate, PredicateExpr};
+        use qfe_core::{ColumnId, ColumnRef, QueryFingerprint, Value};
+        let table = TableId(0);
+        let pred = |col: usize, v: i64| CompoundPredicate {
+            column: ColumnRef::new(table, ColumnId(col)),
+            expr: PredicateExpr::leaf(CmpOp::Le, Value::Int(v)),
+        };
+        let ordered = qfe_core::Query::single_table(table, vec![pred(0, 5), pred(1, 9)]);
+        let reordered = qfe_core::Query::single_table(table, vec![pred(1, 9), pred(0, 5)]);
+        let different = qfe_core::Query::single_table(table, vec![pred(0, 6), pred(1, 9)]);
+        let group = vec![ColumnRef::new(table, ColumnId(10))];
+        let a = GroupedQuery::new(ordered, group.clone());
+        let b = GroupedQuery::new(reordered, group.clone());
+        let c = GroupedQuery::new(different, group);
+        assert_eq!(
+            QueryFingerprint::of(&a.query),
+            QueryFingerprint::of(&b.query),
+            "predicate order must not split a grouped tenant across shards"
+        );
+        assert_ne!(
+            QueryFingerprint::of(&a.query),
+            QueryFingerprint::of(&c.query),
+            "distinct selections must not collide"
+        );
+        // And the sub-schema (the coarser routing key) agrees too.
+        assert_eq!(a.query.sub_schema(), b.query.sub_schema());
+    }
 }

@@ -92,6 +92,26 @@ impl MetricsSnapshot {
         *self.counters.entry(name.to_owned()).or_insert(0) += value;
     }
 
+    /// Fold an entire snapshot into this one with every key rewritten to
+    /// `<prefix><key>`. Counters add (so repeated merges accumulate),
+    /// gauges and histograms are last-write-wins under the prefixed name.
+    /// This is how a fleet-level snapshot absorbs per-shard snapshots:
+    /// shard `a`'s `serve.answered` lands as `shard.a.serve.answered`,
+    /// and the prefix keeps tenants from colliding. The q-error summary
+    /// is *not* merged — quantiles from different windows don't compose;
+    /// per-shard summaries stay on the per-shard snapshot.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            self.merge_counter(&format!("{prefix}{k}"), *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(format!("{prefix}{k}"), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.insert(format!("{prefix}{k}"), h.clone());
+        }
+    }
+
     /// Sum of all counters whose name starts with `prefix` — convenient
     /// for asserting "any stage recorded something" in tests.
     pub fn counter_sum_with_prefix(&self, prefix: &str) -> u64 {
@@ -289,6 +309,24 @@ mod tests {
         s.merge_counter("serve.requests", 9);
         assert_eq!(s.counter_sum_with_prefix("chain."), 5);
         assert_eq!(s.counter_sum_with_prefix("nope."), 0);
+    }
+
+    #[test]
+    fn merge_prefixed_rewrites_and_accumulates() {
+        let mut fleet = MetricsSnapshot::default();
+        fleet.merge_counter("registry.routed", 7);
+        let mut shard = sample();
+        shard.qerror = Some(ErrorSummary::from_errors(&[1.0, 2.0]));
+        fleet.merge_prefixed("shard.a.", &shard);
+        fleet.merge_prefixed("shard.a.", &shard); // counters accumulate
+        assert_eq!(fleet.counter("shard.a.serve.requests"), 6);
+        assert_eq!(fleet.counter("registry.routed"), 7);
+        assert_eq!(fleet.gauge("shard.a.queue.depth"), 1);
+        assert!(fleet.histogram("shard.a.e2e").is_some());
+        // Un-prefixed originals must not leak in.
+        assert_eq!(fleet.counter("serve.requests"), 0);
+        // Quantile summaries don't compose across windows.
+        assert!(fleet.qerror.is_none());
     }
 
     #[test]

@@ -32,7 +32,16 @@
 //!   crash-safe [`qfe_store::CheckpointStore`] off the hot path, and
 //!   [`EstimatorService::warm_restart`](service::EstimatorService::warm_restart)
 //!   rebuilds the newest valid checkpoint through the slot's probe gate
-//!   on startup, so adapted accuracy survives a process death.
+//!   on startup, so adapted accuracy survives a process death;
+//! - **sharding** ([`shard`]) — a [`shard::ShardRegistry`] maps 128-bit
+//!   tenant/schema fingerprints to per-tenant services (each with its
+//!   own chain, breakers, slot, quota, and checkpoint namespace) with
+//!   consistent rendezvous routing and one merged fleet snapshot;
+//! - **the network front door** ([`net`], [`proto`]) — a std-only TCP
+//!   server speaking a length-prefixed binary protocol: thread-per-core
+//!   acceptors, per-connection deadlines, and typed [`proto::ProtoError`]s
+//!   for every malformed byte a client can send — nothing on the wire
+//!   panics or hangs the acceptor.
 //!
 //! The crate deliberately contains no estimation logic: it composes any
 //! [`qfe_core::CardinalityEstimator`] stack.
@@ -44,8 +53,11 @@ pub mod adapt;
 pub mod admission;
 pub mod batch;
 pub mod error;
+pub mod net;
 pub mod persist;
+pub mod proto;
 pub mod service;
+pub mod shard;
 pub mod slot;
 
 pub use adapt::{
@@ -55,10 +67,16 @@ pub use adapt::{
 pub use admission::AdmissionStats;
 pub use batch::{BatcherStats, MicroBatcher};
 pub use error::{FeedbackError, OverloadKind, ServeError, ShedPolicy};
+pub use net::{NetConfig, NetServer, NetStats};
 pub use persist::{AsyncCheckpointer, RestoreOutcome, WarmRestartReport};
+pub use proto::{read_frame, write_frame, ErrCode, Frame, ProtoError, ReadError};
 pub use service::{
     EstimatorService, ServiceConfig, ServiceStats, StageServiceStats, BATCH_SIZE_METRIC,
     REQUEST_LATENCY_METRIC,
+};
+pub use shard::{
+    FleetError, RegisterError, RouteError, Shard, ShardConfig, ShardError, ShardKey, ShardRegistry,
+    ShardStats,
 };
 pub use slot::{decode_validated, ModelPersister, ModelSlot, SharedEstimator, SwapError};
 

@@ -1,0 +1,835 @@
+//! Length-prefixed binary wire protocol for the TCP front door.
+//!
+//! Every frame on the wire is `[u32 LE payload length][payload]`, where
+//! the payload starts with a one-byte frame tag. The format is designed
+//! for hostile input: every decode path is bounded *before* it
+//! allocates (frame cap, string cap, collection cap, recursion cap),
+//! every malformed byte sequence maps to a typed [`ProtoError`], and no
+//! input — truncated, oversized, or bit-flipped — can panic or hang the
+//! decoder. `tests/proto_props.rs` sweeps exactly those corruptions.
+//!
+//! ## Frame layout
+//!
+//! | tag  | frame            | body |
+//! |------|------------------|------|
+//! | 0x01 | EstimateRequest  | `request_id:u64, tenant:u128, budget_micros:u64, query` |
+//! | 0x02 | EstimateOk       | `request_id:u64, value:f64, fallback_depth:u32, estimator:str` |
+//! | 0x03 | EstimateErr      | `request_id:u64, code:u8, detail:str` |
+//! | 0x04 | Ping             | `token:u64` |
+//! | 0x05 | Pong             | `token:u64` |
+//!
+//! All integers are little-endian. Strings are a `u32` length followed
+//! by UTF-8 bytes. A query is `tables` (u32 count, then u64 ids),
+//! `joins` (u32 count, then four u64s each), and `predicates` (u32
+//! count, then column and expression tree). Expression nodes are
+//! tagged `0 = leaf(op:u8, value)`, `1 = AND(u32 count, children)`,
+//! `2 = OR(...)`; values are tagged `i`/`f`/`s` like the fingerprint
+//! encoding in `qfe-core`. Floats travel as `to_bits` so round-trips
+//! are bit-exact.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use qfe_core::predicate::{CmpOp, CompoundPredicate, PredicateExpr, SimplePredicate};
+use qfe_core::query::{ColumnRef, JoinPredicate, Query};
+use qfe_core::schema::{ColumnId, TableId};
+use qfe_core::Value;
+
+/// Hard cap on a frame payload. Anything larger is refused before
+/// allocation — a 4-byte header claiming 4 GiB must cost nothing.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// Cap on any single collection (tables, joins, predicates, children).
+pub const MAX_ITEMS: usize = 4096;
+/// Cap on a string field (estimator names, error details).
+pub const MAX_STR_LEN: usize = 1 << 16;
+/// Cap on predicate-expression nesting depth.
+pub const MAX_DEPTH: usize = 32;
+
+/// Why a frame could not be decoded. Every variant is a *diagnosis*:
+/// the acceptor logs and counts these; it never panics on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended before a field's bytes did.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A declared length exceeded its cap (frame, string, or payload).
+    Oversized {
+        /// The length the frame declared.
+        declared: usize,
+        /// The cap it violated.
+        max: usize,
+    },
+    /// The first payload byte is not a known frame tag.
+    UnknownFrameTag(u8),
+    /// An interior tag byte (op, value, expression node, error code) is
+    /// out of range for its field.
+    UnknownTag {
+        /// Which field the tag belongs to.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// The frame decoded cleanly but bytes were left over — a framing
+    /// bug or corruption; trailing garbage is never silently ignored.
+    TrailingBytes {
+        /// How many bytes remained after the frame.
+        extra: usize,
+    },
+    /// A collection declared more items than [`MAX_ITEMS`] or than the
+    /// remaining bytes could possibly hold.
+    TooManyItems {
+        /// Which collection.
+        what: &'static str,
+        /// The declared count.
+        count: usize,
+        /// The cap it violated.
+        max: usize,
+    },
+    /// Predicate expression nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// A string field held invalid UTF-8.
+    BadUtf8 {
+        /// Which field.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {available}")
+            }
+            ProtoError::Oversized { declared, max } => {
+                write!(f, "oversized length {declared} (cap {max})")
+            }
+            ProtoError::UnknownFrameTag(t) => write!(f, "unknown frame tag 0x{t:02x}"),
+            ProtoError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag 0x{tag:02x}")
+            }
+            ProtoError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after frame")
+            }
+            ProtoError::TooManyItems { what, count, max } => {
+                write!(f, "{what} count {count} exceeds cap {max}")
+            }
+            ProtoError::TooDeep => write!(f, "expression nesting exceeds {MAX_DEPTH}"),
+            ProtoError::BadUtf8 { what } => write!(f, "{what} is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Why a response carries an error instead of an estimate. One byte on
+/// the wire; the mapping from service errors lives in `net.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrCode {
+    /// The shard's admission queue turned the request away.
+    Overloaded = 1,
+    /// The request's budget ran out before any stage answered.
+    DeadlineExceeded = 2,
+    /// The shard's per-tenant quota was exhausted (fairness shed).
+    QuotaExhausted = 3,
+    /// No shard is registered that can serve this tenant key.
+    UnknownTenant = 4,
+    /// The request decoded but was semantically invalid (e.g. an
+    /// ill-formed query).
+    BadRequest = 5,
+    /// Anything else — the catch-all that keeps the connection alive.
+    Internal = 6,
+}
+
+impl ErrCode {
+    fn from_u8(tag: u8) -> Result<Self, ProtoError> {
+        Ok(match tag {
+            1 => ErrCode::Overloaded,
+            2 => ErrCode::DeadlineExceeded,
+            3 => ErrCode::QuotaExhausted,
+            4 => ErrCode::UnknownTenant,
+            5 => ErrCode::BadRequest,
+            6 => ErrCode::Internal,
+            t => {
+                return Err(ProtoError::UnknownTag {
+                    what: "error code",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One message on the wire, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: estimate `query` for tenant `tenant` within
+    /// `budget_micros` (0 means "server default budget").
+    EstimateRequest {
+        /// Client-chosen correlation id, echoed in the response.
+        request_id: u64,
+        /// Routing key — a schema/tenant fingerprint (see `shard.rs`).
+        tenant: u128,
+        /// Per-request budget in microseconds; 0 = server default.
+        budget_micros: u64,
+        /// The query to estimate.
+        query: Query,
+    },
+    /// Server → client: the estimate, with provenance.
+    EstimateOk {
+        /// Echo of the request's correlation id.
+        request_id: u64,
+        /// The estimated cardinality (finite, ≥ 1 by service contract).
+        value: f64,
+        /// Fallback stages exhausted before this answer (0 = primary).
+        fallback_depth: u32,
+        /// `name()` of the estimator that answered.
+        estimator: String,
+    },
+    /// Server → client: a typed failure; the connection stays usable.
+    EstimateErr {
+        /// Echo of the request's correlation id (0 when the request id
+        /// itself could not be decoded).
+        request_id: u64,
+        /// Failure class.
+        code: ErrCode,
+        /// Human-readable detail for logs.
+        detail: String,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Opaque token echoed in the matching [`Frame::Pong`].
+        token: u64,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Echo of the ping's token.
+        token: u64,
+    },
+}
+
+const TAG_REQUEST: u8 = 0x01;
+const TAG_OK: u8 = 0x02;
+const TAG_ERR: u8 = 0x03;
+const TAG_PING: u8 = 0x04;
+const TAG_PONG: u8 = 0x05;
+
+const EXPR_LEAF: u8 = 0;
+const EXPR_AND: u8 = 1;
+const EXPR_OR: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    // Encoder-side honesty: never emit a string the decoder would
+    // refuse. Truncating on a char boundary keeps the field valid UTF-8.
+    let mut bytes = s.as_bytes();
+    if bytes.len() > MAX_STR_LEN {
+        let mut end = MAX_STR_LEN;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        bytes = &s.as_bytes()[..end];
+    }
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(b'i');
+            put_u64(out, *i as u64);
+        }
+        Value::Float(f) => {
+            out.push(b'f');
+            put_u64(out, f.to_bits());
+        }
+        Value::Str(s) => {
+            out.push(b's');
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_expr(out: &mut Vec<u8>, expr: &PredicateExpr) {
+    match expr {
+        PredicateExpr::Leaf(p) => {
+            out.push(EXPR_LEAF);
+            out.push(p.op as u8);
+            put_value(out, &p.value);
+        }
+        PredicateExpr::And(children) | PredicateExpr::Or(children) => {
+            out.push(if matches!(expr, PredicateExpr::And(_)) {
+                EXPR_AND
+            } else {
+                EXPR_OR
+            });
+            put_u32(out, children.len() as u32);
+            for c in children {
+                put_expr(out, c);
+            }
+        }
+    }
+}
+
+fn put_column(out: &mut Vec<u8>, c: &ColumnRef) {
+    put_u64(out, c.table.0 as u64);
+    put_u64(out, c.column.0 as u64);
+}
+
+fn put_query(out: &mut Vec<u8>, q: &Query) {
+    put_u32(out, q.tables.len() as u32);
+    for t in &q.tables {
+        put_u64(out, t.0 as u64);
+    }
+    put_u32(out, q.joins.len() as u32);
+    for j in &q.joins {
+        put_column(out, &j.left);
+        put_column(out, &j.right);
+    }
+    put_u32(out, q.predicates.len() as u32);
+    for p in &q.predicates {
+        put_column(out, &p.column);
+        put_expr(out, &p.expr);
+    }
+}
+
+impl Frame {
+    /// Encode the frame payload (tag + body, *without* the length
+    /// prefix). Use [`write_frame`] for on-the-wire framing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Frame::EstimateRequest {
+                request_id,
+                tenant,
+                budget_micros,
+                query,
+            } => {
+                out.push(TAG_REQUEST);
+                put_u64(&mut out, *request_id);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                put_u64(&mut out, *budget_micros);
+                put_query(&mut out, query);
+            }
+            Frame::EstimateOk {
+                request_id,
+                value,
+                fallback_depth,
+                estimator,
+            } => {
+                out.push(TAG_OK);
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, value.to_bits());
+                put_u32(&mut out, *fallback_depth);
+                put_str(&mut out, estimator);
+            }
+            Frame::EstimateErr {
+                request_id,
+                code,
+                detail,
+            } => {
+                out.push(TAG_ERR);
+                put_u64(&mut out, *request_id);
+                out.push(*code as u8);
+                put_str(&mut out, detail);
+            }
+            Frame::Ping { token } => {
+                out.push(TAG_PING);
+                put_u64(&mut out, *token);
+            }
+            Frame::Pong { token } => {
+                out.push(TAG_PONG);
+                put_u64(&mut out, *token);
+            }
+        }
+        out
+    }
+
+    /// Decode one frame from a complete payload (tag + body, without
+    /// the length prefix). Rejects trailing bytes.
+    ///
+    /// # Errors
+    /// A typed [`ProtoError`] for any malformed input; never panics.
+    pub fn decode(payload: &[u8]) -> Result<Frame, ProtoError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(ProtoError::Oversized {
+                declared: payload.len(),
+                max: MAX_FRAME_LEN,
+            });
+        }
+        let mut cur = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let tag = cur.u8()?;
+        let frame = match tag {
+            TAG_REQUEST => Frame::EstimateRequest {
+                request_id: cur.u64()?,
+                tenant: cur.u128()?,
+                budget_micros: cur.u64()?,
+                query: cur.query()?,
+            },
+            TAG_OK => Frame::EstimateOk {
+                request_id: cur.u64()?,
+                value: f64::from_bits(cur.u64()?),
+                fallback_depth: cur.u32()?,
+                estimator: cur.str("estimator name")?,
+            },
+            TAG_ERR => Frame::EstimateErr {
+                request_id: cur.u64()?,
+                code: ErrCode::from_u8(cur.u8()?)?,
+                detail: cur.str("error detail")?,
+            },
+            TAG_PING => Frame::Ping { token: cur.u64()? },
+            TAG_PONG => Frame::Pong { token: cur.u64()? },
+            t => return Err(ProtoError::UnknownFrameTag(t)),
+        };
+        if cur.pos != payload.len() {
+            return Err(ProtoError::TrailingBytes {
+                extra: payload.len() - cur.pos,
+            });
+        }
+        Ok(frame)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn u128(&mut self) -> Result<u128, ProtoError> {
+        let b = self.take(16)?;
+        let mut a = [0u8; 16];
+        a.copy_from_slice(b);
+        Ok(u128::from_le_bytes(a))
+    }
+
+    /// A declared collection count, validated against both the absolute
+    /// cap and the bytes actually left (each item needs ≥ `min_item`
+    /// bytes) — so a corrupted count can never drive a huge allocation.
+    fn count(&mut self, what: &'static str, min_item: usize) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_ITEMS {
+            return Err(ProtoError::TooManyItems {
+                what,
+                count: n,
+                max: MAX_ITEMS,
+            });
+        }
+        if n.saturating_mul(min_item) > self.remaining() {
+            return Err(ProtoError::Truncated {
+                needed: n * min_item,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STR_LEN {
+            return Err(ProtoError::Oversized {
+                declared: len,
+                max: MAX_STR_LEN,
+            });
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8 { what })
+    }
+
+    fn value(&mut self) -> Result<Value, ProtoError> {
+        match self.u8()? {
+            b'i' => Ok(Value::Int(self.u64()? as i64)),
+            b'f' => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            b's' => Ok(Value::Str(self.str("string literal")?)),
+            t => Err(ProtoError::UnknownTag {
+                what: "value",
+                tag: t,
+            }),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ProtoError> {
+        let tag = self.u8()?;
+        CmpOp::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(ProtoError::UnknownTag {
+                what: "comparison operator",
+                tag,
+            })
+    }
+
+    fn expr(&mut self, depth: usize) -> Result<PredicateExpr, ProtoError> {
+        if depth > MAX_DEPTH {
+            return Err(ProtoError::TooDeep);
+        }
+        match self.u8()? {
+            EXPR_LEAF => {
+                let op = self.cmp_op()?;
+                let value = self.value()?;
+                Ok(PredicateExpr::Leaf(SimplePredicate { op, value }))
+            }
+            tag @ (EXPR_AND | EXPR_OR) => {
+                let n = self.count("expression children", 1)?;
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    children.push(self.expr(depth + 1)?);
+                }
+                Ok(if tag == EXPR_AND {
+                    PredicateExpr::And(children)
+                } else {
+                    PredicateExpr::Or(children)
+                })
+            }
+            t => Err(ProtoError::UnknownTag {
+                what: "expression node",
+                tag: t,
+            }),
+        }
+    }
+
+    fn column(&mut self) -> Result<ColumnRef, ProtoError> {
+        let table = TableId(self.u64()? as usize);
+        let column = ColumnId(self.u64()? as usize);
+        Ok(ColumnRef::new(table, column))
+    }
+
+    fn query(&mut self) -> Result<Query, ProtoError> {
+        let n_tables = self.count("tables", 8)?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            tables.push(TableId(self.u64()? as usize));
+        }
+        let n_joins = self.count("joins", 32)?;
+        let mut joins = Vec::with_capacity(n_joins);
+        for _ in 0..n_joins {
+            joins.push(JoinPredicate {
+                left: self.column()?,
+                right: self.column()?,
+            });
+        }
+        let n_preds = self.count("predicates", 17)?;
+        let mut predicates = Vec::with_capacity(n_preds);
+        for _ in 0..n_preds {
+            predicates.push(CompoundPredicate {
+                column: self.column()?,
+                expr: self.expr(0)?,
+            });
+        }
+        Ok(Query {
+            tables,
+            joins,
+            predicates,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// On-the-wire framing
+// ---------------------------------------------------------------------------
+
+/// A framing-layer read failure: either the transport broke or the
+/// bytes were malformed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying transport failed (includes mid-frame EOF).
+    Io(io::Error),
+    /// The bytes arrived but did not decode.
+    Proto(ProtoError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "transport error: {e}"),
+            ReadError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<ProtoError> for ReadError {
+    fn from(e: ProtoError) -> Self {
+        ReadError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Write one length-prefixed frame.
+///
+/// # Errors
+/// Propagates transport errors from the writer.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let payload = frame.encode();
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Read one length-prefixed frame. `Ok(None)` means the peer closed
+/// the connection cleanly *at a frame boundary*; EOF mid-frame is a
+/// transport error.
+///
+/// The declared length is validated against [`MAX_FRAME_LEN`] before
+/// any allocation, so a hostile 4-byte header cannot cost memory.
+///
+/// # Errors
+/// [`ReadError::Io`] for transport failures, [`ReadError::Proto`] for
+/// malformed bytes.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ReadError> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled read loop for the header so a clean close (0 bytes
+    // read) is distinguishable from a mid-header cut.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ReadError::Proto(ProtoError::Oversized {
+            declared: len,
+            max: MAX_FRAME_LEN,
+        }));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame::decode(&payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_core::predicate::PredicateExpr as E;
+
+    fn sample_query() -> Query {
+        Query {
+            tables: vec![TableId(0), TableId(3)],
+            joins: vec![JoinPredicate {
+                left: ColumnRef::new(TableId(0), ColumnId(1)),
+                right: ColumnRef::new(TableId(3), ColumnId(0)),
+            }],
+            predicates: vec![CompoundPredicate {
+                column: ColumnRef::new(TableId(0), ColumnId(2)),
+                expr: E::Or(vec![
+                    E::leaf(CmpOp::Eq, Value::Int(7)),
+                    E::And(vec![
+                        E::leaf(CmpOp::Ge, Value::Float(1.5)),
+                        E::leaf(CmpOp::Lt, Value::Str("zebra".into())),
+                    ]),
+                ]),
+            }],
+        }
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let frames = [
+            Frame::EstimateRequest {
+                request_id: 42,
+                tenant: 0xDEAD_BEEF_DEAD_BEEF_0123,
+                budget_micros: 2_000,
+                query: sample_query(),
+            },
+            Frame::EstimateOk {
+                request_id: 42,
+                value: 1234.5,
+                fallback_depth: 2,
+                estimator: "postgres".into(),
+            },
+            Frame::EstimateErr {
+                request_id: 43,
+                code: ErrCode::QuotaExhausted,
+                detail: "tenant over quota".into(),
+            },
+            Frame::Ping { token: 7 },
+            Frame::Pong { token: 7 },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            assert_eq!(Frame::decode(&bytes).unwrap(), f, "frame {f:?}");
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_through_a_stream() {
+        let f = Frame::Ping { token: 99 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(f));
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn oversized_header_is_refused_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &bytes[..];
+        match read_frame(&mut r) {
+            Err(ReadError::Proto(ProtoError::Oversized { max, .. })) => {
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = Frame::Ping { token: 1 }.encode();
+        bytes.push(0xFF);
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(ProtoError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn hostile_counts_cannot_allocate() {
+        // A request claiming 4096 tables in a 40-byte payload must be
+        // refused by the count-vs-remaining check, not by OOM.
+        let mut bytes = vec![TAG_REQUEST];
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // request_id
+        bytes.extend_from_slice(&0u128.to_le_bytes()); // tenant
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // budget
+        bytes.extend_from_slice(&4096u32.to_le_bytes()); // table count
+        match Frame::decode(&bytes) {
+            Err(ProtoError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_refused() {
+        // AND(AND(AND(...(leaf)))) deeper than MAX_DEPTH.
+        let mut expr = E::leaf(CmpOp::Eq, Value::Int(1));
+        for _ in 0..(MAX_DEPTH + 2) {
+            expr = E::And(vec![expr]);
+        }
+        let f = Frame::EstimateRequest {
+            request_id: 0,
+            tenant: 0,
+            budget_micros: 0,
+            query: Query {
+                tables: vec![TableId(0)],
+                joins: vec![],
+                predicates: vec![CompoundPredicate {
+                    column: ColumnRef::new(TableId(0), ColumnId(0)),
+                    expr,
+                }],
+            },
+        };
+        assert_eq!(Frame::decode(&f.encode()), Err(ProtoError::TooDeep));
+    }
+
+    #[test]
+    fn float_literals_round_trip_bit_exact() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, 1e300, -7.25] {
+            let f = Frame::EstimateRequest {
+                request_id: 1,
+                tenant: 1,
+                budget_micros: 1,
+                query: Query {
+                    tables: vec![TableId(0)],
+                    joins: vec![],
+                    predicates: vec![CompoundPredicate {
+                        column: ColumnRef::new(TableId(0), ColumnId(0)),
+                        expr: E::leaf(CmpOp::Le, Value::Float(v)),
+                    }],
+                },
+            };
+            assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn long_estimator_names_are_truncated_not_refused() {
+        let f = Frame::EstimateOk {
+            request_id: 1,
+            value: 2.0,
+            fallback_depth: 0,
+            estimator: "x".repeat(MAX_STR_LEN + 100),
+        };
+        match Frame::decode(&f.encode()).unwrap() {
+            Frame::EstimateOk { estimator, .. } => assert_eq!(estimator.len(), MAX_STR_LEN),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

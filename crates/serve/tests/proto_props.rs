@@ -1,0 +1,291 @@
+//! Adversarial coverage for the wire protocol, mirroring the
+//! `corrupt_model.rs` pattern from qfe-ml: every frame type round-trips
+//! bit-exactly, and *every* corruption of a valid frame — truncation at
+//! each length, a flip of each bit, random multi-byte damage, arbitrary
+//! garbage — yields a typed `ProtoError`, never a panic, never a hang,
+//! and never a silently-wrong frame that compares equal to a different
+//! encoding's frame.
+
+use proptest::prelude::*;
+use qfe_core::predicate::{CmpOp, CompoundPredicate, PredicateExpr, SimplePredicate};
+use qfe_core::query::{ColumnRef, JoinPredicate, Query};
+use qfe_core::schema::{ColumnId, TableId};
+use qfe_core::Value;
+use qfe_serve::proto::MAX_FRAME_LEN;
+use qfe_serve::{ErrCode, Frame, ProtoError};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// The vendored proptest shim has no `any::<T>()` / regex strategies;
+/// full-width ranges and byte-vector strings cover the same space.
+fn arb_u64() -> impl Strategy<Value = u64> {
+    0u64..u64::MAX
+}
+
+fn arb_u128() -> impl Strategy<Value = u128> {
+    (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(hi, lo)| ((hi as u128) << 64) | lo as u128)
+}
+
+fn arb_string(max_len: usize) -> BoxedStrategy<String> {
+    prop::collection::vec(b'a'..=b'z', 0..max_len)
+        .prop_map(|bytes| String::from_utf8(bytes).unwrap())
+        .boxed()
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (i64::MIN..i64::MAX).prop_map(Value::Int),
+        // Finite floats only: the estimate/literal contract upstream is
+        // finite values, and NaN breaks PartialEq round-trip checks.
+        (i32::MIN..i32::MAX).prop_map(|v| Value::Float(v as f64 / 7.0)),
+        arb_string(12).prop_map(Value::Str),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = PredicateExpr> {
+    let leaf = (arb_op(), arb_value())
+        .prop_map(|(op, value)| PredicateExpr::Leaf(SimplePredicate { op, value }));
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(PredicateExpr::And),
+            prop::collection::vec(inner, 1..4).prop_map(PredicateExpr::Or),
+        ]
+    })
+}
+
+fn arb_column() -> impl Strategy<Value = ColumnRef> {
+    (0usize..64, 0usize..64).prop_map(|(t, c)| ColumnRef::new(TableId(t), ColumnId(c)))
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(0usize..64, 1..4),
+        prop::collection::vec((arb_column(), arb_column()), 0..3),
+        prop::collection::vec((arb_column(), arb_expr()), 0..4),
+    )
+        .prop_map(|(tables, joins, preds)| Query {
+            tables: tables.into_iter().map(TableId).collect(),
+            joins: joins
+                .into_iter()
+                .map(|(left, right)| JoinPredicate { left, right })
+                .collect(),
+            predicates: preds
+                .into_iter()
+                .map(|(column, expr)| CompoundPredicate { column, expr })
+                .collect(),
+        })
+}
+
+fn arb_err_code() -> impl Strategy<Value = ErrCode> {
+    prop_oneof![
+        Just(ErrCode::Overloaded),
+        Just(ErrCode::DeadlineExceeded),
+        Just(ErrCode::QuotaExhausted),
+        Just(ErrCode::UnknownTenant),
+        Just(ErrCode::BadRequest),
+        Just(ErrCode::Internal),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (arb_u64(), arb_u128(), arb_u64(), arb_query()).prop_map(
+            |(request_id, tenant, budget_micros, query)| Frame::EstimateRequest {
+                request_id,
+                tenant,
+                budget_micros,
+                query,
+            }
+        ),
+        (arb_u64(), 1u32..1_000_000, 0u32..8, arb_string(24)).prop_map(
+            |(request_id, v, fallback_depth, estimator)| Frame::EstimateOk {
+                request_id,
+                value: v as f64,
+                fallback_depth,
+                estimator,
+            }
+        ),
+        (arb_u64(), arb_err_code(), arb_string(32)).prop_map(|(request_id, code, detail)| {
+            Frame::EstimateErr {
+                request_id,
+                code,
+                detail,
+            }
+        }),
+        arb_u64().prop_map(|token| Frame::Ping { token }),
+        arb_u64().prop_map(|token| Frame::Pong { token }),
+    ]
+}
+
+/// Decode must produce a value or a typed error — anything else
+/// (panic, unbounded work) fails the test harness itself.
+fn decode_is_total(bytes: &[u8]) {
+    let _ = Frame::decode(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive sweeps on a representative frame
+// ---------------------------------------------------------------------------
+
+fn representative_request() -> Frame {
+    Frame::EstimateRequest {
+        request_id: 7,
+        tenant: 0xABCD_EF01_2345_6789_ABCD_EF01_2345_6789,
+        budget_micros: 1500,
+        query: Query {
+            tables: vec![TableId(0), TableId(2)],
+            joins: vec![JoinPredicate {
+                left: ColumnRef::new(TableId(0), ColumnId(1)),
+                right: ColumnRef::new(TableId(2), ColumnId(0)),
+            }],
+            predicates: vec![CompoundPredicate {
+                column: ColumnRef::new(TableId(0), ColumnId(3)),
+                expr: PredicateExpr::Or(vec![
+                    PredicateExpr::leaf(CmpOp::Eq, Value::Int(4)),
+                    PredicateExpr::And(vec![
+                        PredicateExpr::leaf(CmpOp::Ge, Value::Float(0.5)),
+                        PredicateExpr::leaf(CmpOp::Ne, Value::Str("july".into())),
+                    ]),
+                ]),
+            }],
+        },
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = representative_request().encode();
+    for len in 0..bytes.len() {
+        match Frame::decode(&bytes[..len]) {
+            Err(_) => {}
+            Ok(f) => panic!("truncation to {len}/{} bytes decoded as {f:?}", bytes.len()),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected_or_decodes_to_a_different_valid_frame() {
+    // A bit flip may still be a *valid* frame (e.g. flipping a bit of
+    // request_id) — what it must never be is a panic, and if it does
+    // decode, it must not compare equal to the original.
+    let original = representative_request();
+    let bytes = original.encode();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupted = bytes.clone();
+            corrupted[byte] ^= 1 << bit;
+            match Frame::decode(&corrupted) {
+                Err(_) => {}
+                Ok(f) => assert_ne!(
+                    f, original,
+                    "bit {bit} of byte {byte} flipped yet decoded equal"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_of_every_frame_type_never_panics() {
+    let frames = [
+        representative_request(),
+        Frame::EstimateOk {
+            request_id: 1,
+            value: 42.0,
+            fallback_depth: 1,
+            estimator: "postgres".into(),
+        },
+        Frame::EstimateErr {
+            request_id: 2,
+            code: ErrCode::Overloaded,
+            detail: "queue full".into(),
+        },
+        Frame::Ping { token: 3 },
+        Frame::Pong { token: 4 },
+    ];
+    for f in &frames {
+        let bytes = f.encode();
+        for len in 0..bytes.len() {
+            assert!(
+                Frame::decode(&bytes[..len]).is_err(),
+                "truncated {f:?} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn hostile_lengths_fail_fast_without_allocation() {
+    // Frames claiming enormous collections/strings must be refused by
+    // the bounds checks, not by attempting the allocation. If any of
+    // these allocated multi-GiB buffers the test would OOM, not fail
+    // an assert.
+    let oversized = vec![0u8; MAX_FRAME_LEN + 1];
+    assert!(matches!(
+        Frame::decode(&oversized),
+        Err(ProtoError::Oversized { .. })
+    ));
+    // EstimateOk with a string length field of u32::MAX.
+    let mut bytes = vec![0x02];
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    bytes.extend_from_slice(&2.0f64.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&bytes),
+        Err(ProtoError::Oversized { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized sweeps
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_frame_round_trips_bit_exactly(frame in arb_frame()) {
+        let bytes = frame.encode();
+        let decoded = Frame::decode(&bytes).expect("valid frame must decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn random_multi_byte_corruption_is_total(
+        frame in arb_frame(),
+        damage in prop::collection::vec((0usize..1 << 20, 1u8..255), 1..16),
+    ) {
+        let mut bytes = frame.encode();
+        for (pos, val) in damage {
+            let i = pos % bytes.len();
+            bytes[i] ^= val;
+        }
+        decode_is_total(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        decode_is_total(&bytes);
+    }
+
+    #[test]
+    fn random_truncations_never_panic(frame in arb_frame(), cut in 0usize..1 << 20) {
+        let bytes = frame.encode();
+        let len = cut % (bytes.len() + 1);
+        decode_is_total(&bytes[..len]);
+    }
+}
